@@ -1,0 +1,328 @@
+//! Stores for the ternary data-dependency relation `⊆ C × C × L̂`.
+//!
+//! [`DepStore`] abstracts over the two representations §5 compares:
+//!
+//! * [`SetDepStore`] — "a naive set-based implementation, which keeps a map
+//!   (⊆ C × C → 2^L̂)"; simple and fast but memory-hungry;
+//! * [`BddDepStore`] — triples bit-encoded into one boolean function. The
+//!   variable order is source bits, then target bits, then location bits
+//!   (most significant first), so triples sharing a `(to, loc)` suffix — the
+//!   many-definitions-one-use pattern that dominates real dependency
+//!   relations — share BDD subgraphs. No dynamic variable reordering was
+//!   necessary — same observation as the paper.
+
+use crate::bdd::{Bdd, BddRef};
+use sga_utils::{FxHashMap, FxHashSet};
+
+/// One dependency triple: value of location `loc` flows `from → to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DepTriple {
+    /// Defining control point (dense global index).
+    pub from: u32,
+    /// Using control point.
+    pub to: u32,
+    /// The abstract location carried along the edge (dense index).
+    pub loc: u32,
+}
+
+/// A store for dependency triples.
+pub trait DepStore {
+    /// Inserts a triple; returns `true` if it was new.
+    fn insert(&mut self, t: DepTriple) -> bool;
+    /// Membership test.
+    fn contains(&self, t: DepTriple) -> bool;
+    /// Number of triples stored.
+    fn len(&self) -> usize;
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Estimated memory footprint in bytes — the §5 comparison metric.
+    fn approx_bytes(&self) -> usize;
+}
+
+/// The naive set-based store: `(from, to) → Vec<loc>`.
+#[derive(Default, Debug)]
+pub struct SetDepStore {
+    map: FxHashMap<(u32, u32), Vec<u32>>,
+    len: usize,
+}
+
+impl SetDepStore {
+    /// Creates an empty store.
+    pub fn new() -> SetDepStore {
+        SetDepStore::default()
+    }
+
+    /// Iterates over all triples (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = DepTriple> + '_ {
+        self.map.iter().flat_map(|(&(from, to), locs)| {
+            locs.iter().map(move |&loc| DepTriple { from, to, loc })
+        })
+    }
+}
+
+impl DepStore for SetDepStore {
+    fn insert(&mut self, t: DepTriple) -> bool {
+        let locs = self.map.entry((t.from, t.to)).or_default();
+        match locs.binary_search(&t.loc) {
+            Ok(_) => false,
+            Err(pos) => {
+                locs.insert(pos, t.loc);
+                self.len += 1;
+                true
+            }
+        }
+    }
+
+    fn contains(&self, t: DepTriple) -> bool {
+        self.map
+            .get(&(t.from, t.to))
+            .is_some_and(|locs| locs.binary_search(&t.loc).is_ok())
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // Hash-map entry overhead + key + Vec header + elements.
+        self.map.len() * (size_of::<(u32, u32)>() + size_of::<Vec<u32>>() + 16)
+            + self.len * size_of::<u32>()
+    }
+}
+
+/// Bit-position layout for triples.
+#[derive(Clone, Debug)]
+struct Encoding {
+    from_vars: Vec<u32>,
+    to_vars: Vec<u32>,
+    loc_vars: Vec<u32>,
+}
+
+impl Encoding {
+    fn new(num_points: u32, num_locs: u32) -> Encoding {
+        let point_bits = bits_for(num_points);
+        let loc_bits = bits_for(num_locs);
+        // Sequential order: from bits, then to bits, then location bits
+        // (each MSB first): common (to, loc) suffixes share subgraphs.
+        let from_vars: Vec<u32> = (0..point_bits).collect();
+        let to_vars: Vec<u32> = (point_bits..2 * point_bits).collect();
+        let base = 2 * point_bits;
+        let loc_vars = (0..loc_bits).map(|b| base + b).collect();
+        Encoding { from_vars, to_vars, loc_vars }
+    }
+
+    fn num_vars(&self) -> u32 {
+        (self.from_vars.len() + self.to_vars.len() + self.loc_vars.len()) as u32
+    }
+}
+
+fn bits_for(n: u32) -> u32 {
+    32 - n.max(1).leading_zeros()
+}
+
+/// The BDD-backed store.
+pub struct BddDepStore {
+    mgr: Bdd,
+    root: BddRef,
+    enc: Encoding,
+    len: usize,
+}
+
+impl BddDepStore {
+    /// Creates a store for points `< num_points` and locations `< num_locs`.
+    pub fn new(num_points: u32, num_locs: u32) -> BddDepStore {
+        let enc = Encoding::new(num_points, num_locs);
+        let mgr = Bdd::new(enc.num_vars());
+        BddDepStore { mgr, root: BddRef::FALSE, enc, len: 0 }
+    }
+
+    fn triple_cube(&mut self, t: DepTriple) -> BddRef {
+        // Build the cube variable/polarity list: MSB-first point encodings.
+        let mut vars: Vec<u32> = Vec::with_capacity(self.enc.num_vars() as usize);
+        let mut bits: u64 = 0;
+        let push = |vars: &mut Vec<u32>, bits: &mut u64, var: u32, bit: bool| {
+            if bit {
+                *bits |= 1 << vars.len();
+            }
+            vars.push(var);
+        };
+        let fb = self.enc.from_vars.len();
+        for (i, &v) in self.enc.from_vars.iter().enumerate() {
+            push(&mut vars, &mut bits, v, t.from >> (fb - 1 - i) & 1 == 1);
+        }
+        let tb = self.enc.to_vars.len();
+        for (i, &v) in self.enc.to_vars.iter().enumerate() {
+            push(&mut vars, &mut bits, v, t.to >> (tb - 1 - i) & 1 == 1);
+        }
+        let lb = self.enc.loc_vars.len();
+        for (i, &v) in self.enc.loc_vars.iter().enumerate() {
+            push(&mut vars, &mut bits, v, t.loc >> (lb - 1 - i) & 1 == 1);
+        }
+        self.mgr.cube(&vars, bits)
+    }
+
+    /// Number of BDD nodes in the underlying diagram of the relation.
+    pub fn diagram_size(&self) -> usize {
+        self.mgr.reachable_count(self.root)
+    }
+}
+
+impl DepStore for BddDepStore {
+    fn insert(&mut self, t: DepTriple) -> bool {
+        let cube = self.triple_cube(t);
+        let new_root = self.mgr.or(self.root, cube);
+        if new_root == self.root {
+            false
+        } else {
+            self.root = new_root;
+            self.len += 1;
+            true
+        }
+    }
+
+    fn contains(&self, t: DepTriple) -> bool {
+        // Evaluate under the assignment encoding the triple.
+        let mut assignment: u64 = 0;
+        let fb = self.enc.from_vars.len();
+        for (i, &v) in self.enc.from_vars.iter().enumerate() {
+            if t.from >> (fb - 1 - i) & 1 == 1 {
+                assignment |= 1 << v;
+            }
+        }
+        let tb = self.enc.to_vars.len();
+        for (i, &v) in self.enc.to_vars.iter().enumerate() {
+            if t.to >> (tb - 1 - i) & 1 == 1 {
+                assignment |= 1 << v;
+            }
+        }
+        let lb = self.enc.loc_vars.len();
+        for (i, &v) in self.enc.loc_vars.iter().enumerate() {
+            if t.loc >> (lb - 1 - i) & 1 == 1 {
+                assignment |= 1 << v;
+            }
+        }
+        self.mgr.eval(self.root, assignment)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // Memory a garbage-collected implementation (like BuDDy) retains:
+        // the reachable diagram plus unique-table overhead per live node.
+        self.diagram_size() * (std::mem::size_of::<u32>() * 3 + 16)
+    }
+}
+
+impl std::fmt::Debug for BddDepStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BddDepStore {{ triples: {}, diagram nodes: {} }}",
+            self.len,
+            self.diagram_size()
+        )
+    }
+}
+
+/// Verifies two stores agree on a triple universe sample (test helper).
+#[doc(hidden)]
+pub fn stores_agree(
+    a: &impl DepStore,
+    b: &impl DepStore,
+    universe: impl Iterator<Item = DepTriple>,
+) -> bool {
+    let mut ok = true;
+    for t in universe {
+        ok &= a.contains(t) == b.contains(t);
+    }
+    ok && a.len() == b.len()
+}
+
+/// Deduplicating convenience used by tests and the ablation harness.
+pub fn fill_both(
+    triples: &[DepTriple],
+    set: &mut SetDepStore,
+    bdd: &mut BddDepStore,
+) -> usize {
+    let mut seen: FxHashSet<DepTriple> = FxHashSet::default();
+    let mut fresh = 0;
+    for &t in triples {
+        if seen.insert(t) {
+            fresh += 1;
+        }
+        let a = set.insert(t);
+        let b = bdd.insert(t);
+        assert_eq!(a, b, "stores disagree on freshness of {t:?}");
+    }
+    fresh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_store_basics() {
+        let mut s = SetDepStore::new();
+        let t = DepTriple { from: 1, to: 2, loc: 3 };
+        assert!(s.insert(t));
+        assert!(!s.insert(t));
+        assert!(s.contains(t));
+        assert!(!s.contains(DepTriple { from: 1, to: 2, loc: 4 }));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![t]);
+    }
+
+    #[test]
+    fn bdd_store_basics() {
+        let mut s = BddDepStore::new(16, 8);
+        let t = DepTriple { from: 5, to: 11, loc: 7 };
+        assert!(!s.contains(t));
+        assert!(s.insert(t));
+        assert!(!s.insert(t));
+        assert!(s.contains(t));
+        assert!(!s.contains(DepTriple { from: 5, to: 11, loc: 6 }));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn bdd_shares_structure_on_redundant_relations() {
+        // Many sources defining the same (to, loc): suffix sharing should
+        // keep the diagram far smaller than the triple count.
+        let mut s = BddDepStore::new(1024, 64);
+        for from in 0..512 {
+            s.insert(DepTriple { from, to: 700, loc: 3 });
+        }
+        assert_eq!(s.len(), 512);
+        assert!(
+            s.diagram_size() < 64,
+            "expected heavy sharing, got {} nodes",
+            s.diagram_size()
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn stores_agree_on_random_relations(
+            triples in prop::collection::vec((0u32..32, 0u32..32, 0u32..16), 0..200)
+        ) {
+            let triples: Vec<DepTriple> =
+                triples.into_iter().map(|(from, to, loc)| DepTriple { from, to, loc }).collect();
+            let mut set = SetDepStore::new();
+            let mut bdd = BddDepStore::new(32, 16);
+            let fresh = fill_both(&triples, &mut set, &mut bdd);
+            prop_assert_eq!(set.len(), fresh);
+            prop_assert_eq!(bdd.len(), fresh);
+            let universe = (0..32u32).flat_map(|f|
+                (0..32u32).flat_map(move |t| (0..16u32).map(move |l|
+                    DepTriple { from: f, to: t, loc: l })));
+            prop_assert!(stores_agree(&set, &bdd, universe));
+        }
+    }
+}

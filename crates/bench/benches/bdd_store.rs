@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of the dependency-relation stores (§5's
+//! BDD-vs-set comparison, throughput side).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sga::bdd::relation::DepTriple;
+use sga::bdd::{BddDepStore, DepStore, SetDepStore};
+
+/// A redundant relation shaped like real dependency data: many sources per
+/// (target, location).
+fn triples() -> Vec<DepTriple> {
+    let mut out = Vec::new();
+    for to in 0..64u32 {
+        for loc in 0..8u32 {
+            for k in 0..8u32 {
+                out.push(DepTriple { from: (to * 7 + k * 13) % 512, to, loc });
+            }
+        }
+    }
+    out
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let ts = triples();
+    c.bench_function("depstore/set_insert_4k", |b| {
+        b.iter(|| {
+            let mut s = SetDepStore::new();
+            for &t in &ts {
+                s.insert(t);
+            }
+            s.len()
+        })
+    });
+    c.bench_function("depstore/bdd_insert_4k", |b| {
+        b.iter(|| {
+            let mut s = BddDepStore::new(512, 8);
+            for &t in &ts {
+                s.insert(t);
+            }
+            s.len()
+        })
+    });
+}
+
+fn bench_query(c: &mut Criterion) {
+    let ts = triples();
+    let mut set = SetDepStore::new();
+    let mut bdd = BddDepStore::new(512, 8);
+    for &t in &ts {
+        set.insert(t);
+        bdd.insert(t);
+    }
+    c.bench_function("depstore/set_contains", |b| {
+        b.iter(|| ts.iter().filter(|&&t| set.contains(t)).count())
+    });
+    c.bench_function("depstore/bdd_contains", |b| {
+        b.iter(|| ts.iter().filter(|&&t| bdd.contains(t)).count())
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks of the sparse pipeline's phases: the
+//! flow-insensitive pre-analysis, def/use derivation, and dependency
+//! generation with/without the bypass optimization — the `Dep` column of
+//! Table 2 decomposed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sga::analysis::depgen::{self, DepGenOptions};
+use sga::analysis::{defuse, preanalysis};
+use sga::cgen::GenConfig;
+
+fn bench_phases(c: &mut Criterion) {
+    let mut cfg = GenConfig::sized(0xDE9, 1);
+    cfg.target_loc = 1000;
+    let src = sga::cgen::generate(&cfg);
+    let program = sga::frontend::parse(&src).expect("parses");
+
+    let mut group = c.benchmark_group("dep_phase");
+    group.sample_size(20);
+    group.bench_function("preanalysis", |b| b.iter(|| preanalysis::run(&program)));
+
+    let pre = preanalysis::run(&program);
+    group.bench_function("defuse", |b| b.iter(|| defuse::compute(&program, &pre)));
+
+    let du = defuse::compute(&program, &pre);
+    group.bench_function("depgen_bypass_on", |b| {
+        b.iter(|| depgen::generate(&program, &pre, &du, DepGenOptions { bypass: true }))
+    });
+    group.bench_function("depgen_bypass_off", |b| {
+        b.iter(|| depgen::generate(&program, &pre, &du, DepGenOptions { bypass: false }))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

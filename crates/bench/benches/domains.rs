@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the abstract domains: interval arithmetic,
+//! octagon closure, points-to unions, and the persistent state map.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sga::domains::{AbsLoc, Interval, Lattice, LocSet, Octagon, State, Value};
+use sga::ir::VarId;
+use sga::utils::Idx;
+
+fn bench_interval(c: &mut Criterion) {
+    let a = Interval::range(-50, 120);
+    let b = Interval::range(3, 17);
+    c.bench_function("interval/mul", |bch| bch.iter(|| std::hint::black_box(a).mul(&b)));
+    c.bench_function("interval/widen_join", |bch| {
+        bch.iter(|| {
+            let w = std::hint::black_box(a).widen(&b);
+            w.join(&a)
+        })
+    });
+}
+
+fn bench_octagon(c: &mut Criterion) {
+    // A 10-variable octagon (the pack-size cap) with a mix of constraints.
+    let mut oct = Octagon::top(10);
+    for i in 0..10 {
+        oct = oct.assign_interval(i, &Interval::range(i as i64, 10 + i as i64));
+    }
+    for i in 0..9 {
+        oct = oct.add_diff(i + 1, i, 1);
+    }
+    let unclosed = oct.widen(&oct.assign_var_plus(0, 1, 2));
+    c.bench_function("octagon/strong_closure_10vars", |bch| {
+        bch.iter(|| std::hint::black_box(&unclosed).close())
+    });
+    c.bench_function("octagon/join_10vars", |bch| {
+        let other = oct.assign_var_plus(3, 4, -2);
+        bch.iter(|| std::hint::black_box(&oct).join(&other))
+    });
+    c.bench_function("octagon/project", |bch| {
+        bch.iter(|| std::hint::black_box(&oct).project(5))
+    });
+}
+
+fn bench_state(c: &mut Criterion) {
+    let locs: Vec<AbsLoc> = (0..1000).map(|i| AbsLoc::Var(VarId::new(i))).collect();
+    let big: State =
+        locs.iter().map(|&l| (l, Value::constant(7))).collect();
+    c.bench_function("state/insert_into_1000", |bch| {
+        bch.iter(|| std::hint::black_box(&big).set(AbsLoc::Var(VarId::new(500)), Value::constant(9)))
+    });
+    let shifted: State = big.set(AbsLoc::Var(VarId::new(1)), Value::constant(8));
+    c.bench_function("state/join_mostly_shared_1000", |bch| {
+        bch.iter(|| std::hint::black_box(&big).join(&shifted))
+    });
+    let halves: State = locs.iter().step_by(2).map(|&l| (l, Value::constant(3))).collect();
+    c.bench_function("state/join_disjoint_halves", |bch| {
+        bch.iter(|| std::hint::black_box(&big).join(&halves))
+    });
+}
+
+fn bench_locset(c: &mut Criterion) {
+    let a: LocSet = (0..200).step_by(2).map(|i| AbsLoc::Var(VarId::new(i))).collect();
+    let b: LocSet = (0..200).step_by(3).map(|i| AbsLoc::Var(VarId::new(i))).collect();
+    c.bench_function("locset/union_200", |bch| {
+        bch.iter(|| std::hint::black_box(&a).union(&b))
+    });
+    c.bench_function("locset/subset_query", |bch| {
+        bch.iter(|| std::hint::black_box(&b).is_subset(&a))
+    });
+}
+
+criterion_group!(benches, bench_interval, bench_octagon, bench_state, bench_locset);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the three interval engines — the
+//! continuous-integration-sized companion to Table 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sga::analysis::interval::{analyze, Engine};
+use sga::cgen::GenConfig;
+use sga::ir::Program;
+
+fn programs() -> Vec<(String, Program)> {
+    [(500usize, 1u64), (1500, 2)]
+        .into_iter()
+        .map(|(loc, seed)| {
+            let mut cfg = GenConfig::sized(seed, 1);
+            cfg.target_loc = loc;
+            cfg.functions = (loc / 25).max(4);
+            let src = sga::cgen::generate(&cfg);
+            let program = sga::frontend::parse(&src).expect("parses");
+            (format!("{loc}loc"), program)
+        })
+        .collect()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let programs = programs();
+    let mut group = c.benchmark_group("interval_engines");
+    group.sample_size(10);
+    for (name, program) in &programs {
+        for engine in [Engine::Vanilla, Engine::Base, Engine::Sparse] {
+            // Vanilla on the larger program is too slow for a micro-bench.
+            if engine == Engine::Vanilla && name != "500loc" {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("{engine:?}"), name),
+                program,
+                |b, p| b.iter(|| analyze(p, engine)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_octagon(c: &mut Criterion) {
+    let mut cfg = GenConfig::sized(3, 1);
+    cfg.target_loc = 400;
+    cfg.functions = 16;
+    let src = sga::cgen::generate(&cfg);
+    let program = sga::frontend::parse(&src).expect("parses");
+    let mut group = c.benchmark_group("octagon_engines");
+    group.sample_size(10);
+    for engine in [Engine::Base, Engine::Sparse] {
+        group.bench_function(format!("{engine:?}"), |b| {
+            b.iter(|| sga::analysis::octagon::analyze(&program, engine))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_octagon);
+criterion_main!(benches);

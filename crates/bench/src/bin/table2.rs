@@ -1,0 +1,94 @@
+//! Regenerates **Table 2**: interval-analysis performance across
+//! `Interval_vanilla`, `Interval_base`, and `Interval_sparse`.
+//!
+//! ```sh
+//! cargo run --release -p sga-bench --bin table2 [--quick]
+//! ```
+//!
+//! Each (row, engine) job runs in a fresh subprocess so the peak-RSS column
+//! is per-analyzer, as in the paper. `N/A` marks engines the paper reports
+//! as ∞ (out of the 24-hour budget) — we skip them by the same row policy.
+//! `--quick` limits the sweep to the first 8 rows.
+
+use sga::analysis::interval::{analyze, Engine};
+use sga_bench::{
+    fmt_memsave, fmt_s, fmt_speedup, run_job_subprocess, serde_json, table1_rows, Measurement,
+};
+use std::time::Duration;
+
+/// Per-job budget: the paper's 24-hour limit, scaled to the 1:40 substrate.
+const JOB_TIMEOUT: Duration = Duration::from_secs(600);
+
+fn run_engine(row: usize, engine: &str) -> Measurement {
+    let rows = table1_rows();
+    let cfg = &rows[row].config;
+    let src = sga::cgen::generate(cfg);
+    let program = sga::frontend::parse(&src).expect("generated source parses");
+    let engine = match engine {
+        "vanilla" => Engine::Vanilla,
+        "base" => Engine::Base,
+        "sparse" => Engine::Sparse,
+        other => panic!("unknown engine {other}"),
+    };
+    let result = analyze(&program, engine);
+    Measurement::from_stats(&result.stats)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // Child mode: run one job and print JSON.
+    if args.len() >= 4 && args[1] == "--job" {
+        let row: usize = args[2].parse().expect("row index");
+        let m = run_engine(row, &args[3]);
+        println!("{}", serde_json::to_string(&m));
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let rows = table1_rows();
+    let n = if quick { 8 } else { rows.len() };
+    println!(
+        "{:<18} | {:>8} {:>7} | {:>8} {:>7} {:>6} {:>6} | {:>7} {:>7} {:>8} {:>7} {:>6} {:>6} | {:>5} {:>5}",
+        "Program", "van(s)", "vanMB", "base(s)", "baseMB", "Spd1", "Mem1", "Dep", "Fix",
+        "Total", "spMB", "Spd2", "Mem2", "D̂(c)", "Û(c)"
+    );
+    for (i, row) in rows.iter().take(n).enumerate() {
+        let vanilla = if row.run_vanilla {
+            run_job_subprocess(i, "vanilla", JOB_TIMEOUT)
+        } else {
+            None
+        };
+        let base =
+            if row.run_base { run_job_subprocess(i, "base", JOB_TIMEOUT) } else { None };
+        let sparse = run_job_subprocess(i, "sparse", JOB_TIMEOUT);
+        let Some(sp) = sparse else {
+            println!("{:<18} | sparse failed/timed out", row.name);
+            continue;
+        };
+        let (van_s, van_mb) = vanilla
+            .as_ref()
+            .map_or(("N/A".into(), "N/A".into()), |m| (fmt_s(m.total_s), format!("{:.0}", m.mem_mb)));
+        let (base_s, base_mb) = base
+            .as_ref()
+            .map_or(("N/A".into(), "N/A".into()), |m| (fmt_s(m.total_s), format!("{:.0}", m.mem_mb)));
+        println!(
+            "{:<18} | {:>8} {:>7} | {:>8} {:>7} {:>6} {:>6} | {:>7} {:>7} {:>8} {:>7} {:>6} {:>6} | {:>5.1} {:>5.1}",
+            row.name,
+            van_s,
+            van_mb,
+            base_s,
+            base_mb,
+            fmt_speedup(vanilla.as_ref().map(|m| m.total_s), base.as_ref().map_or(f64::NAN, |m| m.total_s)),
+            fmt_memsave(vanilla.as_ref().map(|m| m.mem_mb), base.as_ref().map_or(f64::NAN, |m| m.mem_mb)),
+            fmt_s(sp.dep_s),
+            fmt_s(sp.fix_s),
+            fmt_s(sp.total_s),
+            format!("{:.0}", sp.mem_mb),
+            fmt_speedup(base.as_ref().map(|m| m.total_s), sp.total_s),
+            fmt_memsave(base.as_ref().map(|m| m.mem_mb), sp.mem_mb),
+            sp.avg_defs,
+            sp.avg_uses,
+        );
+    }
+    println!("\nSpd1/Mem1: base over vanilla; Spd2/Mem2: sparse over base (paper columns).");
+}

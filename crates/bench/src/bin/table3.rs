@@ -1,0 +1,92 @@
+//! Regenerates **Table 3**: octagon-analysis performance across
+//! `Octagon_vanilla`, `Octagon_base`, and `Octagon_sparse` on the 9 smaller
+//! benchmark rows.
+//!
+//! ```sh
+//! cargo run --release -p sga-bench --bin table3 [--quick]
+//! ```
+//!
+//! Per the paper: the vanilla octagon analyzer only finishes on the two
+//! smallest rows, the localized baseline on the six smallest; the sparse
+//! analyzer covers all nine. `--quick` limits the sweep to 5 rows.
+
+use sga::analysis::octagon;
+use sga_bench::{
+    fmt_memsave, fmt_s, fmt_speedup, run_job_subprocess, serde_json, table3_rows, Measurement,
+};
+use std::time::Duration;
+
+const JOB_TIMEOUT: Duration = Duration::from_secs(900);
+
+fn run_engine(row: usize, engine: &str) -> Measurement {
+    let rows = table3_rows();
+    let cfg = &rows[row].config;
+    let src = sga::cgen::generate(cfg);
+    let program = sga::frontend::parse(&src).expect("generated source parses");
+    let engine = match engine {
+        "vanilla" => octagon::Engine::Vanilla,
+        "base" => octagon::Engine::Base,
+        "sparse" => octagon::Engine::Sparse,
+        other => panic!("unknown engine {other}"),
+    };
+    let result = octagon::analyze(&program, engine);
+    Measurement::from_stats(&result.stats)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() >= 4 && args[1] == "--job" {
+        let row: usize = args[2].parse().expect("row index");
+        let m = run_engine(row, &args[3]);
+        println!("{}", serde_json::to_string(&m));
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let rows = table3_rows();
+    let n = if quick { 5 } else { rows.len() };
+    println!(
+        "{:<18} | {:>8} {:>7} | {:>8} {:>7} {:>6} {:>6} | {:>7} {:>7} {:>8} {:>7} {:>6} {:>6} | {:>5} {:>5}",
+        "Program", "van(s)", "vanMB", "base(s)", "baseMB", "Spd1", "Mem1", "Dep", "Fix",
+        "Total", "spMB", "Spd2", "Mem2", "D̂(c)", "Û(c)"
+    );
+    for (i, row) in rows.iter().take(n).enumerate() {
+        let vanilla = if row.run_vanilla {
+            run_job_subprocess(i, "vanilla", JOB_TIMEOUT)
+        } else {
+            None
+        };
+        let base =
+            if row.run_base { run_job_subprocess(i, "base", JOB_TIMEOUT) } else { None };
+        let sparse = run_job_subprocess(i, "sparse", JOB_TIMEOUT);
+        let Some(sp) = sparse else {
+            println!("{:<18} | sparse failed/timed out", row.name);
+            continue;
+        };
+        let (van_s, van_mb) = vanilla
+            .as_ref()
+            .map_or(("N/A".into(), "N/A".into()), |m| (fmt_s(m.total_s), format!("{:.0}", m.mem_mb)));
+        let (base_s, base_mb) = base
+            .as_ref()
+            .map_or(("N/A".into(), "N/A".into()), |m| (fmt_s(m.total_s), format!("{:.0}", m.mem_mb)));
+        println!(
+            "{:<18} | {:>8} {:>7} | {:>8} {:>7} {:>6} {:>6} | {:>7} {:>7} {:>8} {:>7} {:>6} {:>6} | {:>5.1} {:>5.1}",
+            row.name,
+            van_s,
+            van_mb,
+            base_s,
+            base_mb,
+            fmt_speedup(vanilla.as_ref().map(|m| m.total_s), base.as_ref().map_or(f64::NAN, |m| m.total_s)),
+            fmt_memsave(vanilla.as_ref().map(|m| m.mem_mb), base.as_ref().map_or(f64::NAN, |m| m.mem_mb)),
+            fmt_s(sp.dep_s),
+            fmt_s(sp.fix_s),
+            fmt_s(sp.total_s),
+            format!("{:.0}", sp.mem_mb),
+            fmt_speedup(base.as_ref().map(|m| m.total_s), sp.total_s),
+            fmt_memsave(base.as_ref().map(|m| m.mem_mb), sp.mem_mb),
+            sp.avg_defs,
+            sp.avg_uses,
+        );
+    }
+    println!("\nSpd1/Mem1: base over vanilla; Spd2/Mem2: sparse over base (paper columns).");
+}

@@ -1,0 +1,296 @@
+//! Shared harness for the table-regeneration binaries.
+//!
+//! The paper's Table 1 lists 16 open-source C packages. Each row here is a
+//! synthetic stand-in with the same *shape*: source size (scaled 1:40 —
+//! our substrate is a from-scratch analyzer on one laptop core, the paper
+//! used a 3 GHz Xeon with a 24-hour budget), function count, global
+//! density, and — crucially — the call graph's largest SCC, which §6
+//! identifies as the real cost driver (nethack/vim/emacs rows). Paper SCC
+//! sizes are scaled 1:10 and capped by the row's function count.
+//!
+//! Every measurement binary runs each (row, engine) job in a fresh
+//! subprocess so peak-RSS readings are isolated, mirroring the paper's
+//! per-analyzer memory columns.
+
+use serde::{Deserialize, Serialize};
+use sga::cgen::GenConfig;
+use std::time::Duration;
+
+/// One benchmark row: the paper's package it mirrors plus generator knobs.
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// Paper benchmark this row stands in for.
+    pub name: &'static str,
+    /// The paper's reported LOC (for the table's provenance column).
+    pub paper_kloc: usize,
+    /// The paper's maxSCC.
+    pub paper_max_scc: usize,
+    /// Our scaled generator configuration.
+    pub config: GenConfig,
+    /// Which engines are expected to finish in reasonable time (mirrors the
+    /// ∞ entries of Tables 2–3).
+    pub run_vanilla: bool,
+    /// Whether the localized baseline runs on this row.
+    pub run_base: bool,
+}
+
+/// Scale factor from paper LOC to generated LOC.
+pub const LOC_SCALE: usize = 40;
+
+/// The 16 rows of Table 1, scaled.
+pub fn table1_rows() -> Vec<BenchRow> {
+    // (name, paper KLOC, paper maxSCC, vanilla?, base?)
+    let spec: [(&'static str, usize, usize, bool, bool); 16] = [
+        ("gzip-1.2.4a", 7, 2, true, true),
+        ("bc-1.06", 13, 1, true, true),
+        ("tar-1.13", 20, 13, true, true),
+        ("less-382", 23, 46, true, true),
+        ("make-3.76.1", 27, 57, true, true),
+        ("wget-1.9", 35, 13, true, true),
+        ("screen-4.0.2", 45, 65, false, true),
+        ("a2ps-4.14", 64, 6, false, true),
+        // The paper reports Interval_base as ∞ from sendmail on; we let it
+        // run under the per-job timeout instead, so the crossover is
+        // *measured* rather than asserted.
+        ("sendmail-8.13.6", 130, 60, false, true),
+        ("nethack-3.3.0", 211, 997, false, true),
+        ("vim60", 227, 1668, false, true),
+        ("emacs-22.1", 399, 1554, false, true),
+        ("python-2.5.1", 435, 723, false, true),
+        ("linux-3.0", 710, 493, false, true),
+        ("gimp-2.6", 959, 2, false, true),
+        ("ghostscript-9.00", 1363, 39, false, true),
+    ];
+    spec.iter()
+        .enumerate()
+        .map(|(i, &(name, paper_kloc, paper_max_scc, run_vanilla, run_base))| {
+            let loc = (paper_kloc * 1000 / LOC_SCALE).max(150);
+            let functions = (loc / 25).max(4);
+            let mut config = GenConfig::sized(0x5EED_0000 + i as u64, 1);
+            config.target_loc = loc;
+            config.functions = functions;
+            config.globals = (loc / 90).max(6);
+            config.global_ptrs = (loc / 400).max(2);
+            // Paper SCCs scaled 1:10, at least the paper's small values, at
+            // most half the functions.
+            config.max_scc = (paper_max_scc / 10)
+                .max(paper_max_scc.min(4))
+                .min(functions / 2)
+                .max(1);
+            BenchRow { name, paper_kloc, paper_max_scc, config, run_vanilla, run_base }
+        })
+        .collect()
+}
+
+/// Octagon rows: the 9 smaller packages of Table 3, scaled further (the
+/// relational domain is an order of magnitude heavier, as in the paper).
+pub fn table3_rows() -> Vec<BenchRow> {
+    let mut rows: Vec<BenchRow> = table1_rows().into_iter().take(9).collect();
+    for (i, row) in rows.iter_mut().enumerate() {
+        row.config.target_loc = (row.config.target_loc / 4).max(120);
+        row.config.functions = (row.config.target_loc / 25).max(4);
+        row.config.globals = (row.config.target_loc / 90).max(6);
+        row.config.max_scc = row.config.max_scc.min(row.config.functions / 2).max(1);
+        // Paper: octagon-vanilla finishes only on the 2 smallest rows;
+        // octagon-base on the 6 smallest.
+        row.run_vanilla = i < 2;
+        row.run_base = i < 6;
+    }
+    rows
+}
+
+/// Measurement of one (row, engine) job, exchanged with subprocesses as
+/// JSON lines.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Measurement {
+    /// `Dep` column (pre-analysis + dependency generation), seconds.
+    pub dep_s: f64,
+    /// `Fix` column, seconds.
+    pub fix_s: f64,
+    /// `Total` column, seconds.
+    pub total_s: f64,
+    /// Peak RSS in MB.
+    pub mem_mb: f64,
+    /// Average |D̂(c)|.
+    pub avg_defs: f64,
+    /// Average |Û(c)|.
+    pub avg_uses: f64,
+    /// Abstract locations (or packs).
+    pub locs: usize,
+    /// Fixpoint node evaluations.
+    pub iterations: usize,
+}
+
+impl Measurement {
+    /// Builds from analysis stats plus the current peak RSS.
+    pub fn from_stats(stats: &sga::analysis::stats::AnalysisStats) -> Measurement {
+        Measurement {
+            dep_s: stats.dep_phase().as_secs_f64(),
+            fix_s: stats.fix_time.as_secs_f64(),
+            total_s: stats.total_time.as_secs_f64(),
+            mem_mb: stats.peak_mem_bytes.unwrap_or(0) as f64 / (1024.0 * 1024.0),
+            avg_defs: stats.avg_defs,
+            avg_uses: stats.avg_uses,
+            locs: stats.num_locs,
+            iterations: stats.iterations,
+        }
+    }
+}
+
+/// Runs `current_exe --job <row> <engine>` in a fresh subprocess and parses
+/// its JSON measurement (isolated peak RSS). `None` when the child failed
+/// or timed out.
+pub fn run_job_subprocess(row: usize, engine: &str, timeout: Duration) -> Option<Measurement> {
+    use std::io::Read as _;
+    use std::process::{Command, Stdio};
+    let exe = std::env::current_exe().ok()?;
+    let mut child = Command::new(exe)
+        .args(["--job", &row.to_string(), engine])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .ok()?;
+    let start = std::time::Instant::now();
+    loop {
+        match child.try_wait().ok()? {
+            Some(status) => {
+                if !status.success() {
+                    return None;
+                }
+                break;
+            }
+            None => {
+                if start.elapsed() > timeout {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    let mut out = String::new();
+    child.stdout.take()?.read_to_string(&mut out).ok()?;
+    serde_json::from_str(out.trim()).ok()
+}
+
+/// Minimal JSON (de)serialization to avoid an extra dependency: the
+/// measurement struct is flat, so `serde_json` is replaced by a tiny
+/// hand-rolled codec.
+pub mod serde_json {
+    use super::Measurement;
+
+    /// Serializes a measurement as one JSON object line.
+    pub fn to_string(m: &Measurement) -> String {
+        format!(
+            "{{\"dep_s\":{},\"fix_s\":{},\"total_s\":{},\"mem_mb\":{},\"avg_defs\":{},\"avg_uses\":{},\"locs\":{},\"iterations\":{}}}",
+            m.dep_s, m.fix_s, m.total_s, m.mem_mb, m.avg_defs, m.avg_uses, m.locs, m.iterations
+        )
+    }
+
+    /// Parses what `to_string` produces.
+    pub fn from_str(s: &str) -> Result<Measurement, String> {
+        let mut m = Measurement::default();
+        let body = s.trim().trim_start_matches('{').trim_end_matches('}');
+        for field in body.split(',') {
+            let mut kv = field.splitn(2, ':');
+            let key = kv.next().ok_or("missing key")?.trim().trim_matches('"');
+            let value = kv.next().ok_or("missing value")?.trim();
+            match key {
+                "dep_s" => m.dep_s = value.parse().map_err(|e| format!("{e}"))?,
+                "fix_s" => m.fix_s = value.parse().map_err(|e| format!("{e}"))?,
+                "total_s" => m.total_s = value.parse().map_err(|e| format!("{e}"))?,
+                "mem_mb" => m.mem_mb = value.parse().map_err(|e| format!("{e}"))?,
+                "avg_defs" => m.avg_defs = value.parse().map_err(|e| format!("{e}"))?,
+                "avg_uses" => m.avg_uses = value.parse().map_err(|e| format!("{e}"))?,
+                "locs" => m.locs = value.parse().map_err(|e| format!("{e}"))?,
+                "iterations" => m.iterations = value.parse().map_err(|e| format!("{e}"))?,
+                _ => {}
+            }
+        }
+        Ok(m)
+    }
+}
+
+/// Formats seconds like the paper's tables (integer seconds above 10).
+pub fn fmt_s(secs: f64) -> String {
+    if secs >= 10.0 {
+        format!("{secs:.0}")
+    } else if secs >= 0.01 {
+        format!("{secs:.2}")
+    } else {
+        format!("{:.1}ms", secs * 1000.0)
+    }
+}
+
+/// `x.y×` speedup formatting; `∞` markers for skipped engines.
+pub fn fmt_speedup(slow: Option<f64>, fast: f64) -> String {
+    match slow {
+        Some(s) if fast > 0.0 => format!("{:.0}x", s / fast),
+        _ => "N/A".to_string(),
+    }
+}
+
+/// Memory-saving percentage, `Mem↓` columns.
+pub fn fmt_memsave(before: Option<f64>, after: f64) -> String {
+    match before {
+        Some(b) if b > 0.0 => format!("{:.0}%", (1.0 - after / b) * 100.0),
+        _ => "N/A".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_rows_mirror_the_paper() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 16);
+        assert_eq!(rows[0].name, "gzip-1.2.4a");
+        assert_eq!(rows[15].name, "ghostscript-9.00");
+        // LOC ordering follows the paper.
+        assert!(rows[15].config.target_loc > rows[0].config.target_loc);
+        // The vim row carries the biggest SCC.
+        let vim = rows.iter().find(|r| r.name == "vim60").unwrap();
+        let gzip = rows.iter().find(|r| r.name == "gzip-1.2.4a").unwrap();
+        assert!(vim.config.max_scc > gzip.config.max_scc);
+    }
+
+    #[test]
+    fn octagon_rows_are_smaller() {
+        let t1 = table1_rows();
+        let t3 = table3_rows();
+        assert_eq!(t3.len(), 9);
+        for (a, b) in t3.iter().zip(&t1) {
+            assert!(a.config.target_loc <= b.config.target_loc);
+        }
+        assert!(t3[0].run_vanilla && !t3[8].run_vanilla);
+    }
+
+    #[test]
+    fn measurement_json_roundtrip() {
+        let m = Measurement {
+            dep_s: 1.5,
+            fix_s: 0.25,
+            total_s: 2.0,
+            mem_mb: 128.0,
+            avg_defs: 2.4,
+            avg_uses: 2.5,
+            locs: 1784,
+            iterations: 9001,
+        };
+        let s = serde_json::to_string(&m);
+        let back = serde_json::from_str(&s).unwrap();
+        assert_eq!(s, serde_json::to_string(&back));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_s(90.4), "90");
+        assert_eq!(fmt_s(1.234), "1.23");
+        assert_eq!(fmt_speedup(Some(10.0), 2.0), "5x");
+        assert_eq!(fmt_speedup(None, 2.0), "N/A");
+        assert_eq!(fmt_memsave(Some(100.0), 25.0), "75%");
+    }
+}

@@ -1,0 +1,427 @@
+//! Hand-written lexer for the C subset.
+
+use crate::token::{Kw, Punct, Tok, Token};
+use crate::FrontError;
+
+/// Lexes `src` into tokens (with a trailing [`Tok::Eof`]).
+///
+/// # Errors
+///
+/// Returns an error on unterminated comments/strings or stray characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, FrontError> {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1 }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, message: impl Into<String>) -> FrontError {
+        FrontError::new(self.line, message)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, FrontError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let line = self.line;
+            let Some(c) = self.peek() else {
+                out.push(Token { kind: Tok::Eof, line });
+                return Ok(out);
+            };
+            let kind = if c.is_ascii_alphabetic() || c == '_' {
+                self.ident_or_kw()
+            } else if c.is_ascii_digit() {
+                self.number()?
+            } else if c == '"' {
+                self.string()?
+            } else if c == '\'' {
+                self.char_lit()?
+            } else {
+                self.punct()?
+            };
+            out.push(Token { kind, line });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), FrontError> {
+        loop {
+            match (self.peek(), self.peek2()) {
+                (Some(c), _) if c.is_whitespace() => {
+                    self.bump();
+                }
+                (Some('/'), Some('/')) => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                (Some('/'), Some('*')) => {
+                    let start = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (None, _) => {
+                                return Err(FrontError::new(start, "unterminated block comment"))
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                // Preprocessor remnants: skip the whole line (inputs are
+                // notionally preprocessed; #line noise shouldn't kill us).
+                (Some('#'), _) => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident_or_kw(&mut self) -> Tok {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let kw = match s.as_str() {
+            "int" => Kw::Int,
+            "char" => Kw::Char,
+            "long" => Kw::Long,
+            "short" => Kw::Short,
+            "unsigned" => Kw::Unsigned,
+            "signed" => Kw::Signed,
+            "void" => Kw::Void,
+            "struct" => Kw::Struct,
+            "if" => Kw::If,
+            "else" => Kw::Else,
+            "while" => Kw::While,
+            "for" => Kw::For,
+            "do" => Kw::Do,
+            "break" => Kw::Break,
+            "continue" => Kw::Continue,
+            "return" => Kw::Return,
+            "goto" => Kw::Goto,
+            "sizeof" => Kw::Sizeof,
+            "extern" => Kw::Extern,
+            "static" => Kw::Static,
+            "const" => Kw::Const,
+            "switch" => Kw::Switch,
+            "case" => Kw::Case,
+            "default" => Kw::Default,
+            "typedef" => Kw::Typedef,
+            "enum" => Kw::Enum,
+            "NULL" => Kw::Null,
+            _ => return Tok::Ident(s),
+        };
+        Tok::Kw(kw)
+    }
+
+    fn number(&mut self) -> Result<Tok, FrontError> {
+        let mut s = String::new();
+        let mut hex = false;
+        if self.peek() == Some('0') && matches!(self.peek2(), Some('x') | Some('X')) {
+            self.bump();
+            self.bump();
+            hex = true;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_hexdigit() {
+                s.push(c);
+                self.bump();
+            } else if matches!(c, 'u' | 'U' | 'l' | 'L') {
+                self.bump(); // suffixes are dropped
+            } else {
+                break;
+            }
+        }
+        let radix = if hex { 16 } else { 10 };
+        let value = i64::from_str_radix(&s, radix)
+            .or_else(|_| u64::from_str_radix(&s, radix).map(|u| u as i64))
+            .map_err(|_| self.err(format!("invalid integer literal `{s}`")))?;
+        Ok(Tok::Int(value))
+    }
+
+    fn string(&mut self) -> Result<Tok, FrontError> {
+        let start = self.line;
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(Tok::Str(s)),
+                Some('\\') => {
+                    let esc = self
+                        .bump()
+                        .ok_or_else(|| FrontError::new(start, "unterminated string"))?;
+                    s.push(unescape(esc));
+                }
+                Some(c) => s.push(c),
+                None => return Err(FrontError::new(start, "unterminated string")),
+            }
+        }
+    }
+
+    fn char_lit(&mut self) -> Result<Tok, FrontError> {
+        let start = self.line;
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            Some('\\') => {
+                let esc = self
+                    .bump()
+                    .ok_or_else(|| FrontError::new(start, "unterminated char literal"))?;
+                unescape(esc)
+            }
+            Some(c) => c,
+            None => return Err(FrontError::new(start, "unterminated char literal")),
+        };
+        if self.bump() != Some('\'') {
+            return Err(FrontError::new(start, "unterminated char literal"));
+        }
+        Ok(Tok::Int(c as i64))
+    }
+
+    fn punct(&mut self) -> Result<Tok, FrontError> {
+        use Punct::*;
+        let c = self.bump().expect("punct called at end of input");
+        let two = |l: &mut Lexer, next: char, yes: Punct, no: Punct| {
+            if l.peek() == Some(next) {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let p = match c {
+            '(' => LParen,
+            ')' => RParen,
+            '{' => LBrace,
+            '}' => RBrace,
+            '[' => LBracket,
+            ']' => RBracket,
+            ';' => Semi,
+            ',' => Comma,
+            '.' => Dot,
+            '?' => Question,
+            ':' => Colon,
+            '~' => Tilde,
+            '+' => match self.peek() {
+                Some('+') => {
+                    self.bump();
+                    PlusPlus
+                }
+                Some('=') => {
+                    self.bump();
+                    PlusAssign
+                }
+                _ => Plus,
+            },
+            '-' => match self.peek() {
+                Some('-') => {
+                    self.bump();
+                    MinusMinus
+                }
+                Some('=') => {
+                    self.bump();
+                    MinusAssign
+                }
+                Some('>') => {
+                    self.bump();
+                    Arrow
+                }
+                _ => Minus,
+            },
+            '*' => two(self, '=', StarAssign, Star),
+            '/' => two(self, '=', SlashAssign, Slash),
+            '%' => two(self, '=', PercentAssign, Percent),
+            '!' => two(self, '=', Ne, Bang),
+            '=' => two(self, '=', EqEq, Assign),
+            '^' => two(self, '=', CaretAssign, Caret),
+            '&' => match self.peek() {
+                Some('&') => {
+                    self.bump();
+                    AmpAmp
+                }
+                Some('=') => {
+                    self.bump();
+                    AmpAssign
+                }
+                _ => Amp,
+            },
+            '|' => match self.peek() {
+                Some('|') => {
+                    self.bump();
+                    PipePipe
+                }
+                Some('=') => {
+                    self.bump();
+                    PipeAssign
+                }
+                _ => Pipe,
+            },
+            '<' => match self.peek() {
+                Some('<') => {
+                    self.bump();
+                    two(self, '=', ShlAssign, Shl)
+                }
+                Some('=') => {
+                    self.bump();
+                    Le
+                }
+                _ => Lt,
+            },
+            '>' => match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    two(self, '=', ShrAssign, Shr)
+                }
+                Some('=') => {
+                    self.bump();
+                    Ge
+                }
+                _ => Gt,
+            },
+            other => return Err(self.err(format!("unexpected character `{other}`"))),
+        };
+        Ok(Tok::Punct(p))
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                Tok::Kw(Kw::Int),
+                Tok::Ident("x".into()),
+                Tok::Punct(Punct::Assign),
+                Tok::Int(42),
+                Tok::Punct(Punct::Semi),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(
+            kinds("a <= b && c != d >> 2"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct(Punct::Le),
+                Tok::Ident("b".into()),
+                Tok::Punct(Punct::AmpAmp),
+                Tok::Ident("c".into()),
+                Tok::Punct(Punct::Ne),
+                Tok::Ident("d".into()),
+                Tok::Punct(Punct::Shr),
+                Tok::Int(2),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_vs_minus() {
+        assert_eq!(
+            kinds("p->f - 1"),
+            vec![
+                Tok::Ident("p".into()),
+                Tok::Punct(Punct::Arrow),
+                Tok::Ident("f".into()),
+                Tok::Punct(Punct::Minus),
+                Tok::Int(1),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_preprocessor_skipped() {
+        let toks = kinds("// hi\n/* multi\nline */ x # define FOO\ny");
+        assert_eq!(toks, vec![Tok::Ident("x".into()), Tok::Ident("y".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn hex_and_char_literals() {
+        assert_eq!(kinds("0x10 'a' '\\n'"), vec![Tok::Int(16), Tok::Int(97), Tok::Int(10), Tok::Eof]);
+    }
+
+    #[test]
+    fn string_literal() {
+        assert_eq!(kinds("\"ab\\n\""), vec![Tok::Str("ab\n".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("x\n\ny").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn stray_character_errors() {
+        let err = lex("int x @").unwrap_err();
+        assert!(err.message.contains('@'));
+    }
+}

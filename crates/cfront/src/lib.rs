@@ -1,0 +1,72 @@
+//! A C-subset frontend: lexer, parser, and lowering to the SGA IR.
+//!
+//! Accepts a practical subset of (preprocessed) C: `int`/`char`/`void` and
+//! pointers/arrays/structs over them, function definitions and prototypes,
+//! globals with initializers, `if`/`while`/`for`/`do` control flow plus
+//! `break`/`continue`/`goto`/labels, the usual expression operators
+//! including assignment operators, `++`/`--`, short-circuit `&&`/`||`,
+//! function pointers, and `malloc`-style allocation.
+//!
+//! Unknown external functions are modeled per §6 of the paper: "we assume
+//! that the procedure returns arbitrary values and has no side-effect",
+//! with a handful of handcrafted stubs for the standard library
+//! ([`lower::stub_kind`]).
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//!     int g;
+//!     int main() {
+//!         int x = 0;
+//!         while (x < 10) { x = x + 1; }
+//!         g = x;
+//!         return g;
+//!     }
+//! "#;
+//! let program = sga_cfront::parse(src).expect("valid C subset");
+//! assert_eq!(program.procs[program.main].name, "main");
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+use sga_ir::Program;
+
+/// A frontend failure: lexing, parsing, or lowering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrontError {
+    /// 1-based source line.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl FrontError {
+    pub(crate) fn new(line: u32, message: impl Into<String>) -> FrontError {
+        FrontError { line, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for FrontError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FrontError {}
+
+/// Parses and lowers a C-subset source file to an IR program.
+///
+/// # Errors
+///
+/// Returns a [`FrontError`] naming the first offending source line when the
+/// input is outside the accepted subset or has no `main`.
+pub fn parse(src: &str) -> Result<Program, FrontError> {
+    let tokens = lexer::lex(src)?;
+    let unit = parser::parse_unit(&tokens)?;
+    lower::lower(&unit)
+}

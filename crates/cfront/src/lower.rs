@@ -1,0 +1,1284 @@
+//! Lowering from the C AST to the one-command-per-node IR.
+//!
+//! Responsibilities:
+//!
+//! * flattening side-effecting expressions (calls, assignments, `++`) into
+//!   temporaries so IR expressions are pure;
+//! * short-circuit lowering of `&&`/`||`/`!` and comparison conditions into
+//!   `assume` branch nodes;
+//! * desugaring loops, `switch` (to an assume cascade; fallthrough is not
+//!   modeled), `goto`/labels, `break`/`continue`;
+//! * array declarations and `malloc`-family calls become `alloc` commands
+//!   (the allocation site is the control point, per §6.1);
+//! * global initializers run in a prelude at the start of `main`;
+//! * standard-library stubs ([`stub_kind`]); any other unknown procedure
+//!   becomes an *external* proc that "returns arbitrary values and has no
+//!   side-effect" (§6).
+
+use crate::ast::*;
+use crate::FrontError;
+use sga_ir::{
+    BinOp, Callee, Cmd, Cond, Expr as IrExpr, FieldId, LVal, NodeId, Proc, ProcBuilder,
+    ProcId, Program, RelOp, UnOp, VarId, VarInfo, VarKind,
+};
+use sga_ir::program::FieldTable;
+use sga_utils::{FxHashMap, Idx, IndexVec};
+
+/// How a known library function is summarized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stub {
+    /// Returns a fresh allocation of the given argument's size (`malloc`).
+    Alloc,
+    /// `calloc(n, size)` — allocation sized by the first argument.
+    AllocZeroed,
+    /// Returns an unknown integer, no side effects (`rand`, `atoi`, …).
+    UnknownInt,
+    /// Stores an unknown value through its first (pointer) argument and
+    /// returns it (`strcpy`, `memset`, `fgets`, …).
+    StoreUnknown,
+    /// No effect at all (`free`, `printf`, …).
+    Nop,
+}
+
+/// Looks up the stub summary for a standard-library name.
+pub fn stub_kind(name: &str) -> Option<Stub> {
+    Some(match name {
+        "malloc" | "alloca" | "strdup" | "calloc" | "realloc" => Stub::Alloc,
+        "rand" | "random" | "atoi" | "atol" | "getchar" | "getc" | "fgetc" | "strlen"
+        | "strcmp" | "strncmp" | "abs" | "time" | "input" | "read" | "unknown" => Stub::UnknownInt,
+        "strcpy" | "strncpy" | "strcat" | "strncat" | "memset" | "memcpy" | "memmove"
+        | "fgets" | "gets" | "sprintf" | "snprintf" => Stub::StoreUnknown,
+        "free" | "printf" | "fprintf" | "puts" | "putchar" | "exit" | "abort" | "assert"
+        | "srand" | "fflush" | "close" => Stub::Nop,
+        _ => return None,
+    })
+}
+
+impl Stub {
+    fn zeroed(self) -> bool {
+        self == Stub::AllocZeroed
+    }
+}
+
+/// Lowers a parsed unit to an IR program.
+///
+/// # Errors
+///
+/// Reports constructs outside the supported subset (e.g. struct assignment
+/// by value) and a missing `main`.
+pub fn lower(unit: &Unit) -> Result<Program, FrontError> {
+    Lowerer::new(unit)?.run()
+}
+
+struct Lowerer<'u> {
+    unit: &'u Unit,
+    fields: FieldTable,
+    vars: IndexVec<VarId, VarInfo>,
+    globals: FxHashMap<String, VarId>,
+    proc_ids: FxHashMap<String, ProcId>,
+    /// Lowered bodies, indexed by ProcId; `None` until lowered.
+    procs: IndexVec<ProcId, Option<Proc>>,
+    /// Names of functions with bodies (definitions).
+    defined: FxHashMap<String, &'u FuncDef>,
+}
+
+impl<'u> Lowerer<'u> {
+    fn new(unit: &'u Unit) -> Result<Lowerer<'u>, FrontError> {
+        let mut me = Lowerer {
+            unit,
+            fields: FieldTable::new(),
+            vars: IndexVec::new(),
+            globals: FxHashMap::default(),
+            proc_ids: FxHashMap::default(),
+            procs: IndexVec::new(),
+            defined: FxHashMap::default(),
+        };
+        for f in &unit.funcs {
+            if me.defined.insert(f.name.clone(), f).is_some() {
+                return Err(FrontError::new(f.line, format!("duplicate function `{}`", f.name)));
+            }
+            let id = me.procs.push(None);
+            me.proc_ids.insert(f.name.clone(), id);
+        }
+        for p in &unit.protos {
+            if !me.proc_ids.contains_key(&p.name) && stub_kind(&p.name).is_none() {
+                let id = me.procs.push(None);
+                me.proc_ids.insert(p.name.clone(), id);
+            }
+        }
+        for g in &unit.globals {
+            let v = me.vars.push(VarInfo {
+                name: g.name.clone(),
+                kind: VarKind::Global,
+                address_taken: false,
+            });
+            me.globals.insert(g.name.clone(), v);
+        }
+        Ok(me)
+    }
+
+    fn external_proc(&mut self, name: &str) -> ProcId {
+        if let Some(&id) = self.proc_ids.get(name) {
+            return id;
+        }
+        let id = self.procs.push(None);
+        self.proc_ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn run(mut self) -> Result<Program, FrontError> {
+        // Lower defined functions in declaration order.
+        for f in &self.unit.funcs {
+            let id = self.proc_ids[&f.name];
+            let proc = self.lower_fn(f, id)?;
+            self.procs[id] = Some(proc);
+        }
+        // Materialize externals (protos + on-demand) as trivial bodies.
+        let mut procs: IndexVec<ProcId, Proc> = IndexVec::with_capacity(self.procs.len());
+        let names: FxHashMap<ProcId, String> =
+            self.proc_ids.iter().map(|(n, &i)| (i, n.clone())).collect();
+        for (id, slot) in self.procs.into_raw().into_iter().enumerate() {
+            let id = ProcId::new(id);
+            match slot {
+                Some(p) => {
+                    procs.push(p);
+                }
+                None => {
+                    let name = names.get(&id).cloned().unwrap_or_else(|| format!("extern_{id}"));
+                    let ret = self.vars.push(VarInfo {
+                        name: format!("__ret_{name}"),
+                        kind: VarKind::Return(id),
+                        address_taken: false,
+                    });
+                    let mut b = ProcBuilder::new(name, ret);
+                    b.external();
+                    let (en, ex) = (b.entry(), b.exit());
+                    b.edge(en, ex);
+                    procs.push(b.finish());
+                }
+            }
+        }
+        let main = procs
+            .iter_enumerated()
+            .find(|(_, p)| p.name == "main")
+            .map(|(id, _)| id)
+            .ok_or_else(|| FrontError::new(1, "program has no `main`"))?;
+        let program =
+            Program { procs, vars: self.vars, fields: self.fields.into_names(), main };
+        debug_assert!(
+            sga_ir::validate::validate(&program).is_empty(),
+            "lowering produced malformed IR: {:?}",
+            sga_ir::validate::validate(&program)
+        );
+        Ok(program)
+    }
+
+    fn lower_fn(&mut self, f: &'u FuncDef, id: ProcId) -> Result<Proc, FrontError> {
+        let ret = self.vars.push(VarInfo {
+            name: format!("__ret_{}", f.name),
+            kind: VarKind::Return(id),
+            address_taken: false,
+        });
+        let mut ctx = FnCtx {
+            b: ProcBuilder::new(f.name.clone(), ret),
+            proc: id,
+            cur: None,
+            scopes: vec![FxHashMap::default()],
+            breaks: Vec::new(),
+            continues: Vec::new(),
+            labels: FxHashMap::default(),
+            pending_gotos: Vec::new(),
+            temp_count: 0,
+            line: f.line,
+        };
+        ctx.cur = Some(ctx.b.entry());
+        for (pname, pty) in &f.params {
+            let v = self.vars.push(VarInfo {
+                name: pname.clone(),
+                kind: VarKind::Param(id),
+                address_taken: false,
+            });
+            ctx.b.param(v);
+            ctx.scopes[0].insert(pname.clone(), v);
+            // Array-typed parameters behave as pointers; nothing to allocate.
+            let _ = pty;
+        }
+        // Global-initialization prelude runs at the start of main.
+        if f.name == "main" {
+            for g in self.unit.globals.iter() {
+                let gv = self.globals[&g.name];
+                self.lower_decl_body(&mut ctx, gv, g)?;
+            }
+        }
+        for stmt in &f.body {
+            self.lower_stmt(&mut ctx, stmt)?;
+        }
+        // Fall off the end: implicit return.
+        if let Some(cur) = ctx.cur {
+            let exit = ctx.b.exit();
+            ctx.b.edge(cur, exit);
+        }
+        // Patch gotos.
+        for (label, from, line) in std::mem::take(&mut ctx.pending_gotos) {
+            let Some(&target) = ctx.labels.get(&label) else {
+                return Err(FrontError::new(line, format!("goto to unknown label `{label}`")));
+            };
+            ctx.b.edge(from, target);
+        }
+        Ok(ctx.b.finish())
+    }
+
+    /// Lowers a declaration's storage setup + initializer into the CFG.
+    ///
+    /// C initialization semantics are made explicit: file-scope objects
+    /// without initializers are zero-initialized (scalars and pointers to
+    /// `0`, array cells and struct fields to `0`); uninitialized *local*
+    /// arrays get ⊤ cells (their contents are arbitrary). Uninitialized
+    /// local scalars stay unbound — reading them is undefined behaviour.
+    fn lower_decl_body(
+        &mut self,
+        ctx: &mut FnCtx,
+        var: VarId,
+        decl: &Decl,
+    ) -> Result<(), FrontError> {
+        ctx.line = decl.line;
+        let is_global = self.vars[var].kind == VarKind::Global;
+        match &decl.ty {
+            Type::Array(_, len) => {
+                let size = match len {
+                    Some(n) => IrExpr::Const(*n),
+                    None => IrExpr::Unknown,
+                };
+                ctx.emit(Cmd::Alloc(LVal::Var(var), size));
+                let tmp = self.fresh_temp(ctx);
+                ctx.emit(Cmd::Assign(LVal::Var(tmp), IrExpr::Var(var)));
+                if let Some(init) = &decl.init {
+                    // Array initializer: every element summarized into the
+                    // block's single abstract cell (weak store). Unlisted
+                    // elements are zero.
+                    let (e, _) = self.lower_expr(ctx, init)?;
+                    ctx.emit(Cmd::Assign(LVal::Deref(tmp), e));
+                    ctx.emit(Cmd::Assign(LVal::Deref(tmp), IrExpr::Const(0)));
+                } else if is_global {
+                    ctx.emit(Cmd::Assign(LVal::Deref(tmp), IrExpr::Const(0)));
+                } else {
+                    ctx.emit(Cmd::Assign(LVal::Deref(tmp), IrExpr::Unknown));
+                }
+            }
+            Type::Struct(tag) => {
+                if decl.init.is_some() {
+                    return Err(FrontError::new(
+                        decl.line,
+                        "struct initializers are not supported",
+                    ));
+                }
+                if is_global {
+                    // Zero-initialize every declared field.
+                    let fields: Vec<FieldId> = self
+                        .unit
+                        .structs
+                        .iter()
+                        .find(|sd| sd.name == *tag)
+                        .map(|sd| {
+                            sd.fields
+                                .iter()
+                                .map(|(fname, _)| self.fields.intern(fname))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    for f in fields {
+                        ctx.emit(Cmd::Assign(LVal::Field(var, f), IrExpr::Const(0)));
+                    }
+                }
+            }
+            _ => {
+                if let Some(init) = &decl.init {
+                    let (e, _) = self.lower_expr(ctx, init)?;
+                    ctx.emit(Cmd::Assign(LVal::Var(var), e));
+                } else if is_global {
+                    // File-scope objects are zero-initialized.
+                    ctx.emit(Cmd::Assign(LVal::Var(var), IrExpr::Const(0)));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn fresh_temp(&mut self, ctx: &mut FnCtx) -> VarId {
+        ctx.temp_count += 1;
+        let v = self.vars.push(VarInfo {
+            name: format!("__t{}_{}", ctx.proc.index(), ctx.temp_count),
+            kind: VarKind::Temp(ctx.proc),
+            address_taken: false,
+        });
+        ctx.b.local(v);
+        v
+    }
+
+    fn lookup(&mut self, ctx: &FnCtx, name: &str) -> Option<VarId> {
+        for scope in ctx.scopes.iter().rev() {
+            if let Some(&v) = scope.get(name) {
+                return Some(v);
+            }
+        }
+        self.globals.get(name).copied()
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn lower_stmt(&mut self, ctx: &mut FnCtx, stmt: &Stmt) -> Result<(), FrontError> {
+        match stmt {
+            Stmt::Empty => Ok(()),
+            Stmt::Label(name, inner) => {
+                let node = *ctx
+                    .labels
+                    .entry(name.clone())
+                    .or_insert_with(|| ctx.b.node(Cmd::Skip));
+                if let Some(cur) = ctx.cur {
+                    ctx.b.edge(cur, node);
+                }
+                ctx.cur = Some(node);
+                self.lower_stmt(ctx, inner)
+            }
+            _ if ctx.cur.is_none() => Ok(()), // unreachable code: drop
+            Stmt::Block(stmts) => {
+                ctx.scopes.push(FxHashMap::default());
+                for s in stmts {
+                    self.lower_stmt(ctx, s)?;
+                }
+                ctx.scopes.pop();
+                Ok(())
+            }
+            Stmt::Decl(decl) => {
+                let v = self.vars.push(VarInfo {
+                    name: decl.name.clone(),
+                    kind: VarKind::Local(ctx.proc),
+                    address_taken: false,
+                });
+                ctx.b.local(v);
+                self.lower_decl_body(ctx, v, decl)?;
+                ctx.scopes
+                    .last_mut()
+                    .expect("scope stack never empty")
+                    .insert(decl.name.clone(), v);
+                Ok(())
+            }
+            Stmt::Expr(e, line) => {
+                ctx.line = *line;
+                // Statement position: an assignment's value is discarded, so
+                // skip the value-pinning temp of expression-position assigns.
+                if let Expr::Assign(None, lhs, rhs) = e {
+                    let (rv, _) = self.lower_expr(ctx, rhs)?;
+                    let lv = self.lower_lval(ctx, lhs)?;
+                    ctx.emit(Cmd::Assign(lv, rv));
+                } else {
+                    self.lower_expr(ctx, e)?;
+                }
+                Ok(())
+            }
+            Stmt::If(cond, then, els, line) => {
+                ctx.line = *line;
+                let (t, f) = self.branch(ctx, cond)?;
+                ctx.cur = Some(t);
+                self.lower_stmt(ctx, then)?;
+                let t_end = ctx.cur;
+                ctx.cur = Some(f);
+                if let Some(e) = els {
+                    self.lower_stmt(ctx, e)?;
+                }
+                let f_end = ctx.cur;
+                ctx.cur = match (t_end, f_end) {
+                    (None, None) => None,
+                    (Some(only), None) | (None, Some(only)) => Some(only),
+                    (Some(a), Some(b)) => {
+                        let join = ctx.b.node(Cmd::Skip);
+                        ctx.b.edge(a, join);
+                        ctx.b.edge(b, join);
+                        Some(join)
+                    }
+                };
+                Ok(())
+            }
+            Stmt::While(cond, body, line) => {
+                ctx.line = *line;
+                let head = ctx.b.node(Cmd::Skip);
+                ctx.connect_to(head);
+                ctx.cur = Some(head);
+                let (t, f) = self.branch(ctx, cond)?;
+                ctx.breaks.push(Lazy::fixed(f));
+                ctx.continues.push(Lazy::fixed(head));
+                ctx.cur = Some(t);
+                self.lower_stmt(ctx, body)?;
+                if let Some(end) = ctx.cur {
+                    ctx.b.edge(end, head);
+                }
+                let brk = ctx.breaks.pop().expect("break stack");
+                ctx.continues.pop();
+                ctx.cur = Some(brk.node.expect("while break target is the false branch"));
+                Ok(())
+            }
+            Stmt::DoWhile(body, cond, line) => {
+                ctx.line = *line;
+                let head = ctx.b.node(Cmd::Skip);
+                ctx.connect_to(head);
+                ctx.cur = Some(head);
+                ctx.breaks.push(Lazy::new());
+                ctx.continues.push(Lazy::new());
+                self.lower_stmt(ctx, body)?;
+                let cont = ctx.continues.pop().expect("continue stack");
+                // The condition runs if the body falls through or continues.
+                if let Some(cnode) = cont.node {
+                    ctx.connect_to(cnode);
+                    ctx.cur = Some(cnode);
+                }
+                if ctx.cur.is_some() {
+                    let (t, f) = self.branch(ctx, cond)?;
+                    ctx.b.edge(t, head);
+                    ctx.cur = Some(f);
+                } else {
+                    ctx.cur = None;
+                }
+                let brk = ctx.breaks.pop().expect("break stack");
+                if let Some(bnode) = brk.node {
+                    ctx.connect_to(bnode);
+                    ctx.cur = Some(bnode);
+                }
+                Ok(())
+            }
+            Stmt::For(init, cond, step, body, line) => {
+                ctx.line = *line;
+                if let Some(e) = init {
+                    self.lower_expr(ctx, e)?;
+                }
+                let head = ctx.b.node(Cmd::Skip);
+                ctx.connect_to(head);
+                ctx.cur = Some(head);
+                match cond {
+                    Some(c) => {
+                        // The false branch is the loop exit; breaks join it.
+                        let (t, f) = self.branch(ctx, c)?;
+                        ctx.breaks.push(Lazy::fixed(f));
+                        ctx.cur = Some(t);
+                    }
+                    None => {
+                        // `for(;;)`: the body hangs directly off the head;
+                        // the exit only exists if a `break` creates it.
+                        ctx.breaks.push(Lazy::new());
+                        ctx.cur = Some(head);
+                    }
+                }
+                ctx.continues.push(Lazy::new());
+                self.lower_stmt(ctx, body)?;
+                let cont = ctx.continues.pop().expect("continue stack");
+                if ctx.cur.is_some() || cont.node.is_some() {
+                    if let Some(cnode) = cont.node {
+                        ctx.connect_to(cnode);
+                        ctx.cur = Some(cnode);
+                    }
+                    if let Some(e) = step {
+                        self.lower_expr(ctx, e)?;
+                    }
+                    if let Some(end) = ctx.cur {
+                        if end == head {
+                            // Empty infinite loop: a self-loop on the head.
+                            ctx.b.edge(head, head);
+                        } else {
+                            ctx.b.edge(end, head);
+                        }
+                    }
+                }
+                let brk = ctx.breaks.pop().expect("break stack");
+                ctx.cur = brk.node;
+                Ok(())
+            }
+            Stmt::Switch(scrutinee, arms, line) => {
+                ctx.line = *line;
+                let (e, _) = self.lower_expr(ctx, scrutinee)?;
+                let v = self.to_var(ctx, e);
+                let after = Lazy::new();
+                ctx.breaks.push(after);
+                let mut fall_cur = ctx.cur; // path where no case matched yet
+                let mut default_body: Option<&[Stmt]> = None;
+                for arm in arms {
+                    if arm.values.contains(&None) {
+                        default_body = Some(&arm.body);
+                        continue;
+                    }
+                    // assume(v == k) for each label, all entering this body.
+                    let entry = ctx.b.node(Cmd::Skip);
+                    let mut next_fall = None;
+                    for val in arm.values.iter().flatten() {
+                        let Some(from) = fall_cur else { break };
+                        let t = ctx.b.node(Cmd::Assume(Cond::new(
+                            IrExpr::Var(v),
+                            RelOp::Eq,
+                            IrExpr::Const(*val),
+                        )));
+                        let nf = ctx.b.node(Cmd::Assume(Cond::new(
+                            IrExpr::Var(v),
+                            RelOp::Ne,
+                            IrExpr::Const(*val),
+                        )));
+                        ctx.b.edge(from, t);
+                        ctx.b.edge(from, nf);
+                        ctx.b.edge(t, entry);
+                        fall_cur = Some(nf);
+                        next_fall = Some(nf);
+                    }
+                    let _ = next_fall;
+                    ctx.cur = Some(entry);
+                    for s in &arm.body {
+                        self.lower_stmt(ctx, s)?;
+                    }
+                    if ctx.cur.is_some() {
+                        let a = ctx.breaks.last_mut().expect("switch break").get(&mut ctx.b);
+                        ctx.connect_to_node(a);
+                    }
+                }
+                // Default (or implicit empty default).
+                ctx.cur = fall_cur;
+                if let Some(body) = default_body {
+                    for s in body {
+                        self.lower_stmt(ctx, s)?;
+                    }
+                }
+                if ctx.cur.is_some() {
+                    let a = ctx.breaks.last_mut().expect("switch break").get(&mut ctx.b);
+                    ctx.connect_to_node(a);
+                }
+                let after = ctx.breaks.pop().expect("switch break");
+                ctx.cur = after.node;
+                Ok(())
+            }
+            Stmt::Break(line) => {
+                ctx.line = *line;
+                let Some(target) = ctx.breaks.last_mut() else {
+                    return Err(FrontError::new(*line, "`break` outside loop/switch"));
+                };
+                let node = target.get(&mut ctx.b);
+                ctx.connect_to_node(node);
+                ctx.cur = None;
+                Ok(())
+            }
+            Stmt::Continue(line) => {
+                ctx.line = *line;
+                let Some(target) = ctx.continues.last_mut() else {
+                    return Err(FrontError::new(*line, "`continue` outside loop"));
+                };
+                let node = target.get(&mut ctx.b);
+                ctx.connect_to_node(node);
+                ctx.cur = None;
+                Ok(())
+            }
+            Stmt::Return(value, line) => {
+                ctx.line = *line;
+                let expr = match value {
+                    Some(e) => Some(self.lower_expr(ctx, e)?.0),
+                    None => None,
+                };
+                ctx.emit(Cmd::Return(expr));
+                let exit = ctx.b.exit();
+                ctx.connect_to(exit);
+                ctx.cur = None;
+                Ok(())
+            }
+            Stmt::Goto(label, line) => {
+                ctx.line = *line;
+                let cur = ctx.cur.expect("guarded by unreachable-code check");
+                if let Some(&target) = ctx.labels.get(label) {
+                    ctx.b.edge(cur, target);
+                } else {
+                    // Forward goto: create the label node now so the edge can
+                    // be patched later without dangling.
+                    let node = ctx.b.node(Cmd::Skip);
+                    ctx.labels.insert(label.clone(), node);
+                    ctx.b.edge(cur, node);
+                }
+                ctx.cur = None;
+                Ok(())
+            }
+        }
+    }
+
+    // ---- conditions ------------------------------------------------------
+
+    /// Lowers a condition into assume-branches hanging off `ctx.cur`;
+    /// returns `(true_exit, false_exit)` nodes.
+    fn branch(&mut self, ctx: &mut FnCtx, e: &Expr) -> Result<(NodeId, NodeId), FrontError> {
+        match e {
+            Expr::Unary(UnKind::Not, inner) => {
+                let (t, f) = self.branch(ctx, inner)?;
+                Ok((f, t))
+            }
+            Expr::Binary(BinKind::LAnd, a, b) => {
+                let (ta, fa) = self.branch(ctx, a)?;
+                ctx.cur = Some(ta);
+                let (tb, fb) = self.branch(ctx, b)?;
+                let f = ctx.b.node(Cmd::Skip);
+                ctx.b.edge(fa, f);
+                ctx.b.edge(fb, f);
+                Ok((tb, f))
+            }
+            Expr::Binary(BinKind::LOr, a, b) => {
+                let (ta, fa) = self.branch(ctx, a)?;
+                ctx.cur = Some(fa);
+                let (tb, fb) = self.branch(ctx, b)?;
+                let t = ctx.b.node(Cmd::Skip);
+                ctx.b.edge(ta, t);
+                ctx.b.edge(tb, t);
+                Ok((t, fb))
+            }
+            Expr::Binary(k, a, b) if relop_of(*k).is_some() => {
+                let op = relop_of(*k).expect("guard checked");
+                let (pa, _) = self.lower_expr(ctx, a)?;
+                let (pb, _) = self.lower_expr(ctx, b)?;
+                Ok(self.emit_cmp(ctx, pa, op, pb))
+            }
+            other => {
+                let (p, _) = self.lower_expr(ctx, other)?;
+                Ok(self.emit_cmp(ctx, p, RelOp::Ne, IrExpr::Const(0)))
+            }
+        }
+    }
+
+    fn emit_cmp(
+        &mut self,
+        ctx: &mut FnCtx,
+        lhs: IrExpr,
+        op: RelOp,
+        rhs: IrExpr,
+    ) -> (NodeId, NodeId) {
+        let cond = Cond::new(lhs, op, rhs);
+        let t = ctx.b.node_at_line(Cmd::Assume(cond.clone()), ctx.line);
+        let f = ctx.b.node_at_line(Cmd::Assume(cond.negate()), ctx.line);
+        let from = ctx.cur.expect("branch from dead code");
+        ctx.b.edge(from, t);
+        ctx.b.edge(from, f);
+        (t, f)
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    /// Lowers `e` to a pure IR expression, emitting any side effects onto the
+    /// current chain. The second component is the line for diagnostics.
+    fn lower_expr(&mut self, ctx: &mut FnCtx, e: &Expr) -> Result<(IrExpr, u32), FrontError> {
+        let line = ctx.line;
+        let out = match e {
+            Expr::Int(n) => IrExpr::Const(*n),
+            Expr::Null => IrExpr::Const(0),
+            Expr::Sizeof => IrExpr::Const(8),
+            Expr::Str(s) => {
+                // A string literal is an anonymous constant array.
+                let tmp = self.fresh_temp(ctx);
+                ctx.emit(Cmd::Alloc(LVal::Var(tmp), IrExpr::Const(s.len() as i64 + 1)));
+                IrExpr::Var(tmp)
+            }
+            Expr::Ident(name) => {
+                if let Some(v) = self.lookup(ctx, name) {
+                    IrExpr::Var(v)
+                } else if let Some(&p) = self.proc_ids.get(name.as_str()) {
+                    IrExpr::AddrOfProc(p)
+                } else if stub_kind(name).is_some() || self.defined.contains_key(name) {
+                    let p = self.external_proc(name);
+                    IrExpr::AddrOfProc(p)
+                } else {
+                    return Err(FrontError::new(line, format!("unknown identifier `{name}`")));
+                }
+            }
+            Expr::Binary(BinKind::LAnd | BinKind::LOr, _, _)
+            | Expr::Binary(
+                BinKind::Lt | BinKind::Le | BinKind::Gt | BinKind::Ge | BinKind::Eq | BinKind::Ne,
+                _,
+                _,
+            ) => {
+                // A comparison used as a value: materialize 0/1 via branching
+                // so assume-refinement still applies.
+                let tmp = self.fresh_temp(ctx);
+                let (t, f) = self.branch(ctx, e)?;
+                ctx.cur = Some(t);
+                ctx.emit(Cmd::Assign(LVal::Var(tmp), IrExpr::Const(1)));
+                let t_end = ctx.cur.expect("assign keeps control");
+                ctx.cur = Some(f);
+                ctx.emit(Cmd::Assign(LVal::Var(tmp), IrExpr::Const(0)));
+                let f_end = ctx.cur.expect("assign keeps control");
+                let join = ctx.b.node(Cmd::Skip);
+                ctx.b.edge(t_end, join);
+                ctx.b.edge(f_end, join);
+                ctx.cur = Some(join);
+                IrExpr::Var(tmp)
+            }
+            Expr::Binary(k, a, b) => {
+                let (pa, _) = self.lower_expr(ctx, a)?;
+                let (pb, _) = self.lower_expr(ctx, b)?;
+                IrExpr::binop(irop_of(*k), pa, pb)
+            }
+            Expr::Unary(k, a) => {
+                let (pa, _) = self.lower_expr(ctx, a)?;
+                let op = match k {
+                    UnKind::Neg => UnOp::Neg,
+                    UnKind::Not => UnOp::Not,
+                    UnKind::BitNot => UnOp::BitNot,
+                };
+                IrExpr::Unop(op, Box::new(pa))
+            }
+            Expr::Deref(inner) => {
+                let (p, _) = self.lower_expr(ctx, inner)?;
+                IrExpr::deref(p)
+            }
+            Expr::AddrOf(inner) => self.lower_addr_of(ctx, inner)?,
+            Expr::Index(base, idx) => {
+                let (pb, _) = self.lower_expr(ctx, base)?;
+                let (pi, _) = self.lower_expr(ctx, idx)?;
+                IrExpr::deref(IrExpr::binop(BinOp::Add, pb, pi))
+            }
+            Expr::Member(base, fname) => {
+                let f = self.fields.intern(fname);
+                match &**base {
+                    Expr::Ident(name) => {
+                        let v = self.lookup(ctx, name).ok_or_else(|| {
+                            FrontError::new(line, format!("unknown identifier `{name}`"))
+                        })?;
+                        IrExpr::Field(v, f)
+                    }
+                    Expr::Deref(p) => {
+                        let (pp, _) = self.lower_expr(ctx, p)?;
+                        IrExpr::DerefField(Box::new(pp), f)
+                    }
+                    other => {
+                        // (complex).f — evaluate the aggregate conservatively.
+                        let (pe, _) = self.lower_expr(ctx, other)?;
+                        IrExpr::DerefField(Box::new(pe), f)
+                    }
+                }
+            }
+            Expr::Arrow(base, fname) => {
+                let f = self.fields.intern(fname);
+                let (pb, _) = self.lower_expr(ctx, base)?;
+                IrExpr::DerefField(Box::new(pb), f)
+            }
+            Expr::Call(callee, args) => self.lower_call(ctx, callee, args)?,
+            Expr::Assign(op, lhs, rhs) => {
+                let (rv, _) = self.lower_expr(ctx, rhs)?;
+                let rv = match op {
+                    None => rv,
+                    Some(k) => {
+                        let (cur, _) = self.lower_read_of_lval(ctx, lhs)?;
+                        IrExpr::binop(irop_of(*k), cur, rv)
+                    }
+                };
+                // Pin complex RHS in a temp so the stored value is
+                // re-readable as the expression's result.
+                let stored = match rv {
+                    IrExpr::Var(_) | IrExpr::Const(_) => rv,
+                    other => IrExpr::Var(self.to_var(ctx, other)),
+                };
+                let lv = self.lower_lval(ctx, lhs)?;
+                ctx.emit(Cmd::Assign(lv, stored.clone()));
+                stored
+            }
+            Expr::IncDec { target, delta, post } => {
+                let (old, _) = self.lower_read_of_lval(ctx, target)?;
+                let old_var = self.to_var(ctx, old);
+                let new_val =
+                    IrExpr::binop(BinOp::Add, IrExpr::Var(old_var), IrExpr::Const(*delta));
+                let new_var = self.to_var(ctx, new_val);
+                let lv = self.lower_lval(ctx, target)?;
+                ctx.emit(Cmd::Assign(lv, IrExpr::Var(new_var)));
+                IrExpr::Var(if *post { old_var } else { new_var })
+            }
+            Expr::Cond(c, t, e2) => {
+                let tmp = self.fresh_temp(ctx);
+                let (tn, fn_) = self.branch(ctx, c)?;
+                ctx.cur = Some(tn);
+                let (tv, _) = self.lower_expr(ctx, t)?;
+                ctx.emit(Cmd::Assign(LVal::Var(tmp), tv));
+                let t_end = ctx.cur.expect("assign keeps control");
+                ctx.cur = Some(fn_);
+                let (fv, _) = self.lower_expr(ctx, e2)?;
+                ctx.emit(Cmd::Assign(LVal::Var(tmp), fv));
+                let f_end = ctx.cur.expect("assign keeps control");
+                let join = ctx.b.node(Cmd::Skip);
+                ctx.b.edge(t_end, join);
+                ctx.b.edge(f_end, join);
+                ctx.cur = Some(join);
+                IrExpr::Var(tmp)
+            }
+            Expr::Comma(a, b) => {
+                self.lower_expr(ctx, a)?;
+                self.lower_expr(ctx, b)?.0
+            }
+        };
+        Ok((out, line))
+    }
+
+    fn lower_addr_of(&mut self, ctx: &mut FnCtx, inner: &Expr) -> Result<IrExpr, FrontError> {
+        match inner {
+            Expr::Ident(name) => {
+                if let Some(v) = self.lookup(ctx, name) {
+                    self.vars[v].address_taken = true;
+                    Ok(IrExpr::AddrOf(v))
+                } else if let Some(&p) = self.proc_ids.get(name.as_str()) {
+                    Ok(IrExpr::AddrOfProc(p))
+                } else {
+                    Err(FrontError::new(ctx.line, format!("unknown identifier `{name}`")))
+                }
+            }
+            Expr::Member(base, fname) => {
+                let f = self.fields.intern(fname);
+                if let Expr::Ident(name) = &**base {
+                    let v = self.lookup(ctx, name).ok_or_else(|| {
+                        FrontError::new(ctx.line, format!("unknown identifier `{name}`"))
+                    })?;
+                    self.vars[v].address_taken = true;
+                    Ok(IrExpr::AddrOfField(v, f))
+                } else {
+                    // &(complex.f): approximate by the aggregate's address.
+                    self.lower_addr_of(ctx, base)
+                }
+            }
+            Expr::Deref(p) => Ok(self.lower_expr(ctx, p)?.0), // &*p ≡ p
+            Expr::Index(base, idx) => {
+                // &a[i] ≡ a + i (pointer into the array block).
+                let (pb, _) = self.lower_expr(ctx, base)?;
+                let (pi, _) = self.lower_expr(ctx, idx)?;
+                Ok(IrExpr::binop(BinOp::Add, pb, pi))
+            }
+            Expr::Arrow(base, _fname) => {
+                // &(p->f): approximated by p's value — field-insensitive
+                // pointer into the same object.
+                Ok(self.lower_expr(ctx, base)?.0)
+            }
+            other => Err(FrontError::new(
+                ctx.line,
+                format!("cannot take the address of this expression: {other:?}"),
+            )),
+        }
+    }
+
+    /// Reads the current value of an l-value expression (for `+=`, `++`).
+    fn lower_read_of_lval(
+        &mut self,
+        ctx: &mut FnCtx,
+        e: &Expr,
+    ) -> Result<(IrExpr, u32), FrontError> {
+        self.lower_expr(ctx, e)
+    }
+
+    /// Lowers an assignment target.
+    fn lower_lval(&mut self, ctx: &mut FnCtx, e: &Expr) -> Result<LVal, FrontError> {
+        match e {
+            Expr::Ident(name) => {
+                let v = self.lookup(ctx, name).ok_or_else(|| {
+                    FrontError::new(ctx.line, format!("unknown identifier `{name}`"))
+                })?;
+                Ok(LVal::Var(v))
+            }
+            Expr::Deref(inner) => {
+                let (p, _) = self.lower_expr(ctx, inner)?;
+                Ok(LVal::Deref(self.to_var(ctx, p)))
+            }
+            Expr::Index(base, idx) => {
+                let (pb, _) = self.lower_expr(ctx, base)?;
+                let (pi, _) = self.lower_expr(ctx, idx)?;
+                let ptr = IrExpr::binop(BinOp::Add, pb, pi);
+                Ok(LVal::Deref(self.to_var(ctx, ptr)))
+            }
+            Expr::Member(base, fname) => {
+                let f = self.fields.intern(fname);
+                match &**base {
+                    Expr::Ident(name) => {
+                        let v = self.lookup(ctx, name).ok_or_else(|| {
+                            FrontError::new(ctx.line, format!("unknown identifier `{name}`"))
+                        })?;
+                        Ok(LVal::Field(v, f))
+                    }
+                    Expr::Deref(p) => {
+                        let (pp, _) = self.lower_expr(ctx, p)?;
+                        Ok(LVal::DerefField(self.to_var(ctx, pp), f))
+                    }
+                    other => Err(FrontError::new(
+                        ctx.line,
+                        format!("unsupported struct l-value: {other:?}"),
+                    )),
+                }
+            }
+            Expr::Arrow(base, fname) => {
+                let f = self.fields.intern(fname);
+                let (pb, _) = self.lower_expr(ctx, base)?;
+                Ok(LVal::DerefField(self.to_var(ctx, pb), f))
+            }
+            other => {
+                Err(FrontError::new(ctx.line, format!("not an l-value: {other:?}")))
+            }
+        }
+    }
+
+    /// Ensures a pure expression is a variable (inserting a temp if needed).
+    fn to_var(&mut self, ctx: &mut FnCtx, e: IrExpr) -> VarId {
+        if let IrExpr::Var(v) = e {
+            return v;
+        }
+        let tmp = self.fresh_temp(ctx);
+        ctx.emit(Cmd::Assign(LVal::Var(tmp), e));
+        tmp
+    }
+
+    fn lower_call(
+        &mut self,
+        ctx: &mut FnCtx,
+        callee: &Expr,
+        args: &[Expr],
+    ) -> Result<IrExpr, FrontError> {
+        // Stub dispatch happens on direct calls by name.
+        if let Expr::Ident(name) = callee {
+            if self.lookup(ctx, name).is_none() && !self.proc_ids.contains_key(name.as_str()) {
+                if let Some(stub) = stub_kind(name) {
+                    return self.lower_stub_call(ctx, name, stub, args);
+                }
+            }
+        }
+        let mut arg_exprs = Vec::with_capacity(args.len());
+        for a in args {
+            arg_exprs.push(self.lower_expr(ctx, a)?.0);
+        }
+        let ret_tmp = self.fresh_temp(ctx);
+        let target = match callee {
+            Expr::Ident(name) => {
+                if let Some(v) = self.lookup(ctx, name) {
+                    Callee::Indirect(IrExpr::Var(v))
+                } else if let Some(&p) = self.proc_ids.get(name.as_str()) {
+                    Callee::Direct(p)
+                } else {
+                    Callee::Direct(self.external_proc(name))
+                }
+            }
+            Expr::Deref(inner) => {
+                let (p, _) = self.lower_expr(ctx, inner)?;
+                Callee::Indirect(p)
+            }
+            other => {
+                let (p, _) = self.lower_expr(ctx, other)?;
+                Callee::Indirect(p)
+            }
+        };
+        ctx.emit(Cmd::Call { ret: Some(LVal::Var(ret_tmp)), callee: target, args: arg_exprs });
+        Ok(IrExpr::Var(ret_tmp))
+    }
+
+    fn lower_stub_call(
+        &mut self,
+        ctx: &mut FnCtx,
+        name: &str,
+        stub: Stub,
+        args: &[Expr],
+    ) -> Result<IrExpr, FrontError> {
+        let mut arg_exprs = Vec::with_capacity(args.len());
+        for a in args {
+            arg_exprs.push(self.lower_expr(ctx, a)?.0);
+        }
+        Ok(match stub {
+            Stub::Alloc | Stub::AllocZeroed => {
+                let size = match (name, arg_exprs.as_slice()) {
+                    ("calloc", [n, _sz]) => n.clone(),
+                    ("realloc", [_p, n]) => n.clone(),
+                    ("strdup", _) => IrExpr::Unknown,
+                    (_, [n, ..]) => n.clone(),
+                    _ => IrExpr::Unknown,
+                };
+                let tmp = self.fresh_temp(ctx);
+                ctx.emit(Cmd::Alloc(LVal::Var(tmp), size));
+                if !stub.zeroed() {
+                    // Contents of a fresh malloc are arbitrary.
+                    let t2 = self.fresh_temp(ctx);
+                    ctx.emit(Cmd::Assign(LVal::Var(t2), IrExpr::Var(tmp)));
+                    ctx.emit(Cmd::Assign(LVal::Deref(t2), IrExpr::Unknown));
+                }
+                IrExpr::Var(tmp)
+            }
+            Stub::UnknownInt => {
+                let tmp = self.fresh_temp(ctx);
+                ctx.emit(Cmd::Assign(LVal::Var(tmp), IrExpr::Unknown));
+                IrExpr::Var(tmp)
+            }
+            Stub::StoreUnknown => {
+                if let Some(dest) = arg_exprs.first().cloned() {
+                    let d = self.to_var(ctx, dest);
+                    ctx.emit(Cmd::Assign(LVal::Deref(d), IrExpr::Unknown));
+                    IrExpr::Var(d)
+                } else {
+                    IrExpr::Unknown
+                }
+            }
+            Stub::Nop => IrExpr::Const(0),
+        })
+    }
+}
+
+fn relop_of(k: BinKind) -> Option<RelOp> {
+    Some(match k {
+        BinKind::Lt => RelOp::Lt,
+        BinKind::Le => RelOp::Le,
+        BinKind::Gt => RelOp::Gt,
+        BinKind::Ge => RelOp::Ge,
+        BinKind::Eq => RelOp::Eq,
+        BinKind::Ne => RelOp::Ne,
+        _ => return None,
+    })
+}
+
+fn irop_of(k: BinKind) -> BinOp {
+    match k {
+        BinKind::Add => BinOp::Add,
+        BinKind::Sub => BinOp::Sub,
+        BinKind::Mul => BinOp::Mul,
+        BinKind::Div => BinOp::Div,
+        BinKind::Mod => BinOp::Mod,
+        BinKind::Lt => BinOp::Cmp(RelOp::Lt),
+        BinKind::Le => BinOp::Cmp(RelOp::Le),
+        BinKind::Gt => BinOp::Cmp(RelOp::Gt),
+        BinKind::Ge => BinOp::Cmp(RelOp::Ge),
+        BinKind::Eq => BinOp::Cmp(RelOp::Eq),
+        BinKind::Ne => BinOp::Cmp(RelOp::Ne),
+        BinKind::LAnd => BinOp::And,
+        BinKind::LOr => BinOp::Or,
+        BinKind::BitAnd | BinKind::BitOr | BinKind::BitXor | BinKind::Shl | BinKind::Shr => {
+            BinOp::Bits
+        }
+    }
+}
+
+/// A lazily created skip node (break/continue targets that may go unused).
+struct Lazy {
+    node: Option<NodeId>,
+}
+
+impl Lazy {
+    fn new() -> Lazy {
+        Lazy { node: None }
+    }
+
+    /// A target that already exists and is reachable.
+    fn fixed(node: NodeId) -> Lazy {
+        Lazy { node: Some(node) }
+    }
+
+    fn get(&mut self, b: &mut ProcBuilder) -> NodeId {
+        *self.node.get_or_insert_with(|| b.node(Cmd::Skip))
+    }
+}
+
+struct FnCtx {
+    b: ProcBuilder,
+    proc: ProcId,
+    cur: Option<NodeId>,
+    scopes: Vec<FxHashMap<String, VarId>>,
+    breaks: Vec<Lazy>,
+    continues: Vec<Lazy>,
+    labels: FxHashMap<String, NodeId>,
+    pending_gotos: Vec<(String, NodeId, u32)>,
+    temp_count: u32,
+    line: u32,
+}
+
+impl FnCtx {
+    /// Appends a command node to the current chain.
+    fn emit(&mut self, cmd: Cmd) {
+        let n = self.b.node_at_line(cmd, self.line);
+        if let Some(cur) = self.cur {
+            self.b.edge(cur, n);
+        }
+        self.cur = Some(n);
+    }
+
+    /// Connects the current node (if any) to `target` without moving `cur`.
+    fn connect_to(&mut self, target: NodeId) {
+        if let Some(cur) = self.cur {
+            if cur != target {
+                self.b.edge(cur, target);
+            }
+        }
+    }
+
+    fn connect_to_node(&mut self, target: NodeId) {
+        self.connect_to(target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use sga_ir::pretty;
+
+    fn lower_ok(src: &str) -> Program {
+        let p = parse(src).unwrap_or_else(|e| panic!("frontend failed: {e}\nsource: {src}"));
+        let errs = sga_ir::validate::validate(&p);
+        assert!(errs.is_empty(), "invalid IR: {errs:?}\n{}", pretty::program(&p));
+        p
+    }
+
+    #[test]
+    fn lowers_straight_line() {
+        let p = lower_ok("int main() { int x = 1; int y = x + 2; return y; }");
+        let text = pretty::program(&p);
+        assert!(text.contains("x := 1"), "{text}");
+        assert!(text.contains("y := (x + 2)"), "{text}");
+        assert!(text.contains("return y"), "{text}");
+    }
+
+    #[test]
+    fn lowers_while_loop_with_assumes() {
+        let p = lower_ok("int main() { int i = 0; while (i < 10) { i = i + 1; } return i; }");
+        let text = pretty::program(&p);
+        assert!(text.contains("assume(i < 10)"), "{text}");
+        assert!(text.contains("assume(i >= 10)"), "{text}");
+    }
+
+    #[test]
+    fn lowers_pointers_and_malloc() {
+        let p = lower_ok(
+            "int main() { int x; int *p = &x; *p = 5; int *q = malloc(4); *q = x; return *q; }",
+        );
+        let text = pretty::program(&p);
+        assert!(text.contains("p := &x"), "{text}");
+        assert!(text.contains("*p := "), "{text}");
+        assert!(text.contains("alloc("), "{text}");
+        // &x marks x address-taken.
+        let x = p.vars.iter().find(|v| v.name == "x").unwrap();
+        assert!(x.address_taken);
+    }
+
+    #[test]
+    fn lowers_calls_direct_and_fp() {
+        let p = lower_ok(
+            "int add(int a, int b) { return a + b; }
+             int main() { int (*fp)(int, int); fp = add; return fp(1, add(2, 3)); }",
+        );
+        let text = pretty::program(&p);
+        assert!(text.contains("add("), "{text}");
+        assert!(text.contains("(*fp)") || text.contains("(*"), "{text}");
+        assert!(text.contains("&add"), "{text}");
+    }
+
+    #[test]
+    fn globals_initialized_in_main_prelude() {
+        let p = lower_ok("int g = 7; int main() { return g; }");
+        let main = &p.procs[p.main];
+        let text = pretty::proc(&p, main);
+        assert!(text.contains("g := 7"), "{text}");
+    }
+
+    #[test]
+    fn lowers_structs() {
+        let p = lower_ok(
+            "struct pt { int x; int y; };
+             int main() { struct pt p; p.x = 1; struct pt *q = &p; q->y = p.x; return q->y; }",
+        );
+        let text = pretty::program(&p);
+        assert!(text.contains("p.x := 1"), "{text}");
+        assert!(text.contains("->y :="), "{text}");
+    }
+
+    #[test]
+    fn lowers_arrays() {
+        let p = lower_ok(
+            "int main() { int a[10]; int i = 0; a[i] = 3; int x = a[5]; return x; }",
+        );
+        let text = pretty::program(&p);
+        assert!(text.contains("alloc(10)"), "{text}");
+    }
+
+    #[test]
+    fn lowers_switch() {
+        let p = lower_ok(
+            "int main(int argc) {
+                int r = 0;
+                switch (argc) { case 1: r = 10; break; case 2: r = 20; break; default: r = 9; break; }
+                return r;
+             }",
+        );
+        let text = pretty::program(&p);
+        assert!(text.contains("assume(argc == 1)"), "{text}");
+        assert!(text.contains("assume(argc != 1)"), "{text}");
+    }
+
+    #[test]
+    fn lowers_goto_forward_and_back() {
+        lower_ok(
+            "int main() {
+                int i = 0;
+              top:
+                i = i + 1;
+                if (i < 3) goto top;
+                goto done;
+              done:
+                return i;
+             }",
+        );
+    }
+
+    #[test]
+    fn lowers_do_while_and_for() {
+        lower_ok(
+            "int main() {
+                int s = 0;
+                for (int i = 0; i < 4; i++) { if (i == 2) continue; s += i; }
+                do { s--; } while (s > 0);
+                for (;;) { break; }
+                return s;
+             }",
+        );
+    }
+
+    #[test]
+    fn infinite_loop_without_break() {
+        lower_ok("int main() { for (;;) { } return 0; }");
+    }
+
+    #[test]
+    fn unreachable_code_dropped() {
+        let p = lower_ok("int main() { return 1; return 2; }");
+        let text = pretty::program(&p);
+        assert!(text.contains("return 1"));
+        assert!(!text.contains("return 2"), "{text}");
+    }
+
+    #[test]
+    fn unknown_extern_becomes_external_proc() {
+        let p = lower_ok("int mystery(int); int main() { return mystery(1); }");
+        let ext = p.procs.iter().find(|x| x.name == "mystery").unwrap();
+        assert!(ext.is_external);
+    }
+
+    #[test]
+    fn stub_calls_have_no_proc() {
+        let p = lower_ok("int main() { int *p = malloc(8); free(p); return rand(); }");
+        assert!(p.proc_by_name("malloc").is_none(), "malloc lowered inline, not as a call");
+        let text = pretty::program(&p);
+        assert!(text.contains("alloc(8)"), "{text}");
+        assert!(text.contains("⊤"), "{text}");
+    }
+
+    #[test]
+    fn ternary_and_logical_values() {
+        lower_ok(
+            "int main(int a, int b) {
+                int m = a > b ? a : b;
+                int c = (a < 3) && (b > 1);
+                return m + c;
+             }",
+        );
+    }
+
+    #[test]
+    fn missing_main_is_error() {
+        assert!(parse("int f() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn string_literals_allocate() {
+        let p = lower_ok("int main() { char *s = \"hi\"; return 0; }");
+        let text = pretty::program(&p);
+        assert!(text.contains("alloc(3)"), "{text}");
+    }
+}

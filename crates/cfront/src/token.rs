@@ -1,0 +1,123 @@
+//! Token definitions for the C subset.
+
+/// A lexed token with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or non-keyword name.
+    Ident(String),
+    /// Integer literal (includes char literals, already numeric).
+    Int(i64),
+    /// String literal contents (used only for its length/address).
+    Str(String),
+    /// A keyword.
+    Kw(Kw),
+    /// Punctuation / operator.
+    Punct(Punct),
+    /// End of input sentinel.
+    Eof,
+}
+
+/// Recognized keywords.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kw {
+    Int,
+    Char,
+    Long,
+    Short,
+    Unsigned,
+    Signed,
+    Void,
+    Struct,
+    If,
+    Else,
+    While,
+    For,
+    Do,
+    Break,
+    Continue,
+    Return,
+    Goto,
+    Sizeof,
+    Extern,
+    Static,
+    Const,
+    Switch,
+    Case,
+    Default,
+    Typedef,
+    Enum,
+    Null,
+}
+
+/// Punctuation and operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    AmpAmp,
+    PipePipe,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    PlusPlus,
+    MinusMinus,
+    Question,
+    Colon,
+}
+
+impl Tok {
+    /// Short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Int(n) => format!("integer `{n}`"),
+            Tok::Str(_) => "string literal".to_string(),
+            Tok::Kw(k) => format!("keyword `{k:?}`").to_lowercase(),
+            Tok::Punct(p) => format!("`{p:?}`"),
+            Tok::Eof => "end of input".to_string(),
+        }
+    }
+}

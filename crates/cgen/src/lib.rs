@@ -1,0 +1,407 @@
+//! Deterministic synthetic C program generator — the benchmark substrate.
+//!
+//! The paper evaluates on 16 open-source C packages (gzip … ghostscript,
+//! 7 KLOC – 1.4 MLOC). Those sources aren't reproducible inputs for a
+//! self-contained library, and §6.3's own discussion says analysis cost
+//! tracks *shape* — sparsity (average D̂/Û size) and the call graph's
+//! largest SCC — rather than raw line count. This generator exposes exactly
+//! those shape knobs, so the benchmark harness can synthesize stand-ins
+//! whose Table 1 characteristics mirror each paper row:
+//!
+//! * [`GenConfig::target_loc`] — approximate source size;
+//! * [`GenConfig::functions`] — function count;
+//! * [`GenConfig::globals`] — global-variable count (drives sparsity:
+//!   globals are what flows interprocedurally);
+//! * [`GenConfig::max_scc`] — size of a deliberately constructed recursion
+//!   cycle in the call graph (the `maxSCC` column; §6 blames large SCCs for
+//!   emacs-like slowdowns);
+//! * [`GenConfig::ptr_density`] — fraction of statements manipulating
+//!   pointers/arrays rather than scalars.
+//!
+//! Generation is seeded and fully deterministic: the same config yields the
+//! same program byte-for-byte. The output is real C-subset source that goes
+//! through the full `sga-cfront` pipeline — the generator exercises the
+//! frontend as hard as the analyzers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Shape parameters for one synthetic program.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// RNG seed; same seed + same knobs ⇒ identical source.
+    pub seed: u64,
+    /// Approximate lines of code to generate.
+    pub target_loc: usize,
+    /// Number of functions (besides `main`).
+    pub functions: usize,
+    /// Number of global scalar variables.
+    pub globals: usize,
+    /// Number of global pointer variables.
+    pub global_ptrs: usize,
+    /// Size of the recursion cycle to build into the call graph
+    /// (0 or 1 = no recursion).
+    pub max_scc: usize,
+    /// Fraction (0–1) of statements that do pointer/array work.
+    pub ptr_density: f64,
+    /// Average number of statements per function body block.
+    pub stmts_per_block: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 0xC0FFEE,
+            target_loc: 1000,
+            functions: 20,
+            globals: 12,
+            global_ptrs: 4,
+            max_scc: 2,
+            ptr_density: 0.2,
+            stmts_per_block: 6,
+        }
+    }
+}
+
+impl GenConfig {
+    /// A config scaled to roughly `kloc` thousand lines with proportionate
+    /// shape, handy for sweeps.
+    pub fn sized(seed: u64, kloc: usize) -> GenConfig {
+        let loc = kloc.max(1) * 1000;
+        GenConfig {
+            seed,
+            target_loc: loc,
+            functions: (loc / 25).max(4),
+            globals: (loc / 90).max(6),
+            global_ptrs: (loc / 400).max(2),
+            max_scc: 2,
+            ptr_density: 0.2,
+            stmts_per_block: 6,
+        }
+    }
+}
+
+/// Generates one C-subset translation unit from the config.
+pub fn generate(config: &GenConfig) -> String {
+    Generator::new(config).run()
+}
+
+struct Generator<'c> {
+    cfg: &'c GenConfig,
+    rng: StdRng,
+    out: String,
+    loc: usize,
+    /// (name, arity) of every generated function, for call sites.
+    funcs: Vec<(String, usize)>,
+}
+
+impl<'c> Generator<'c> {
+    fn new(cfg: &'c GenConfig) -> Self {
+        Generator {
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            out: String::new(),
+            loc: 0,
+            funcs: Vec::new(),
+        }
+    }
+
+    fn line(&mut self, indent: usize, text: &str) {
+        for _ in 0..indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+        self.loc += 1;
+    }
+
+    fn global(&self, i: usize) -> String {
+        format!("g{i}")
+    }
+
+    fn gptr(&self, i: usize) -> String {
+        format!("gp{i}")
+    }
+
+    fn run(mut self) -> String {
+        let cfg = self.cfg.clone();
+        // Globals.
+        for i in 0..cfg.globals {
+            let init = self.rng.gen_range(0..100);
+            let g = self.global(i);
+            self.line(0, &format!("int {g} = {init};"));
+        }
+        for i in 0..cfg.global_ptrs {
+            let g = self.gptr(i);
+            self.line(0, &format!("int *{g};"));
+        }
+        self.line(0, "int gbuf[64];");
+        // A function-pointer table and a global struct: indirect calls and
+        // field accesses keep the frontend and pre-analysis honest.
+        self.line(0, "int (*gfp)(int, int);");
+        self.line(0, "struct rec { int val; int cnt; };");
+        self.line(0, "struct rec grec;");
+
+        // Function set: a recursion cycle of max_scc members, then a DAG of
+        // helpers, declared leaf-first so calls are forward-resolvable via
+        // prototypes.
+        let nfuncs = cfg.functions.max(1);
+        let cycle = cfg.max_scc.min(nfuncs);
+        // Prototypes for everything (enables arbitrary call topology).
+        for f in 0..nfuncs {
+            self.line(0, &format!("int f{f}(int a, int b);"));
+            self.funcs.push((format!("f{f}"), 2));
+        }
+
+        for f in 0..nfuncs {
+            self.emit_function(f, cycle, nfuncs);
+            if self.loc >= cfg.target_loc {
+                // Emit remaining bodies minimally to keep prototypes honest.
+                for g in (f + 1)..nfuncs {
+                    self.line(0, &format!("int f{g}(int a, int b) {{ return a + b; }}"));
+                }
+                break;
+            }
+        }
+
+        self.emit_main(nfuncs);
+        self.out
+    }
+
+    /// Picks callees: cycle members call the next cycle member (building the
+    /// SCC); everyone may call higher-numbered functions (a DAG otherwise).
+    fn pick_callee(&mut self, f: usize, cycle: usize, nfuncs: usize) -> Option<usize> {
+        if cycle >= 2 && f < cycle && self.rng.gen_bool(0.8) {
+            return Some((f + 1) % cycle);
+        }
+        if f + 1 < nfuncs {
+            Some(self.rng.gen_range(f + 1..nfuncs))
+        } else {
+            None
+        }
+    }
+
+    fn scalar_expr(&mut self, locals: &[String]) -> String {
+        let g = self.cfg.globals;
+        let atom = |rng: &mut StdRng| -> String {
+            match rng.gen_range(0..4) {
+                0 => format!("{}", rng.gen_range(0..50)),
+                1 if !locals.is_empty() => locals[rng.gen_range(0..locals.len())].clone(),
+                2 if g > 0 => format!("g{}", rng.gen_range(0..g)),
+                _ => "a".to_string(),
+            }
+        };
+        let a = atom(&mut self.rng);
+        match self.rng.gen_range(0..4) {
+            0 => a,
+            1 => format!("{a} + {}", atom(&mut self.rng)),
+            2 => format!("{a} - {}", atom(&mut self.rng)),
+            _ => format!("{a} + {}", self.rng.gen_range(1..5)),
+        }
+    }
+
+    fn emit_stmts(&mut self, indent: usize, locals: &[String], f: usize, cycle: usize, nfuncs: usize) {
+        let count = self.cfg.stmts_per_block.max(1);
+        for _ in 0..count {
+            let roll: f64 = self.rng.gen();
+            if roll < self.cfg.ptr_density {
+                // Pointer/array statement.
+                match self.rng.gen_range(0..4) {
+                    0 if self.cfg.global_ptrs > 0 && self.cfg.globals > 0 => {
+                        let pi = self.rng.gen_range(0..self.cfg.global_ptrs);
+                        let gi = self.rng.gen_range(0..self.cfg.globals);
+                        let (p, g) = (self.gptr(pi), self.global(gi));
+                        self.line(indent, &format!("{p} = &{g};"));
+                    }
+                    1 if self.cfg.global_ptrs > 0 => {
+                        let pi = self.rng.gen_range(0..self.cfg.global_ptrs);
+                        let p = self.gptr(pi);
+                        let e = self.scalar_expr(locals);
+                        self.line(indent, &format!("if ({p}) *{p} = {e};"));
+                    }
+                    2 => {
+                        let idx = self.rng.gen_range(0..64);
+                        let e = self.scalar_expr(locals);
+                        self.line(indent, &format!("gbuf[{idx}] = {e};"));
+                    }
+                    _ => {
+                        let l = &locals[self.rng.gen_range(0..locals.len())];
+                        let idx = self.rng.gen_range(0..64);
+                        self.line(indent, &format!("{l} = gbuf[{idx}];"));
+                    }
+                }
+            } else {
+                match self.rng.gen_range(0..7) {
+                    // Indirect call through the global function pointer.
+                    5 => {
+                        let l = locals[self.rng.gen_range(0..locals.len())].clone();
+                        // The b > 0 guard bounds indirect-recursion depth
+                        // (DAG members have no base case of their own).
+                        self.line(
+                            indent,
+                            &format!("if (gfp && b > 0) {l} = gfp({l}, b - 1);"),
+                        );
+                    }
+                    // Struct field traffic.
+                    6 => {
+                        let l = locals[self.rng.gen_range(0..locals.len())].clone();
+                        if self.rng.gen_bool(0.5) {
+                            let e = self.scalar_expr(locals);
+                            self.line(indent, &format!("grec.val = {e};"));
+                        } else {
+                            self.line(indent, &format!("{l} = grec.val + grec.cnt;"));
+                        }
+                    }
+                    // Scalar assignment to a local.
+                    0 | 1 => {
+                        let l = locals[self.rng.gen_range(0..locals.len())].clone();
+                        let e = self.scalar_expr(locals);
+                        self.line(indent, &format!("{l} = {e};"));
+                    }
+                    // Global update (the interprocedural flow driver).
+                    2 => {
+                        let gi = self.rng.gen_range(0..self.cfg.globals);
+                        let g = self.global(gi);
+                        let e = self.scalar_expr(locals);
+                        self.line(indent, &format!("{g} = {e};"));
+                    }
+                    // Call.
+                    3 => {
+                        if let Some(callee) = self.pick_callee(f, cycle, nfuncs) {
+                            let l = locals[self.rng.gen_range(0..locals.len())].clone();
+                            let e = self.scalar_expr(locals);
+                            self.line(indent, &format!("{l} = f{callee}({e}, b - 1);"));
+                        }
+                    }
+                    // Bounded loop.
+                    _ => {
+                        let l = locals[self.rng.gen_range(0..locals.len())].clone();
+                        let bound = self.rng.gen_range(2..20);
+                        let e = self.scalar_expr(locals);
+                        self.line(indent, &format!("for ({l} = 0; {l} < {bound}; {l}++) {{"));
+                        let gi = self.rng.gen_range(0..self.cfg.globals);
+                        let g = self.global(gi);
+                        self.line(indent + 1, &format!("{g} = {g} + {e};"));
+                        self.line(indent, "}");
+                    }
+                }
+            }
+        }
+    }
+
+    fn emit_function(&mut self, f: usize, cycle: usize, nfuncs: usize) {
+        self.line(0, &format!("int f{f}(int a, int b) {{"));
+        let nlocals = self.rng.gen_range(2..6);
+        let locals: Vec<String> = (0..nlocals).map(|i| format!("l{i}")).collect();
+        for l in &locals {
+            let init = self.rng.gen_range(0..10);
+            self.line(1, &format!("int {l} = {init};"));
+        }
+        // Recursion guard plus a guaranteed cycle edge for cycle members:
+        // the call-graph SCC must materialize regardless of random rolls.
+        if cycle >= 2 && f < cycle {
+            self.line(1, "if (b <= 0) { return a; }");
+            let next = (f + 1) % cycle;
+            self.line(1, &format!("int cyc = f{next}(a, b - 1);"));
+            self.line(1, "if (cyc > a) { a = cyc; }");
+        }
+        let guard = self.rng.gen_range(5..50);
+        self.line(1, &format!("if (a < {guard}) {{"));
+        self.emit_stmts(2, &locals, f, cycle, nfuncs);
+        self.line(1, "} else {");
+        self.emit_stmts(2, &locals, f, cycle, nfuncs);
+        self.line(1, "}");
+        let l = &locals[0];
+        self.line(1, &format!("return {l} + a;"));
+        self.line(0, "}");
+    }
+
+    fn emit_main(&mut self, nfuncs: usize) {
+        self.line(0, "int main(int argc) {");
+        self.line(1, "int r = 0;");
+        // Seed the function-pointer table (deterministically, with the last
+        // function — a DAG leaf — so indirect calls don't randomly reshape
+        // the call-graph SCC the benchmark rows control via `max_scc`).
+        let fp_target = nfuncs - 1;
+        self.line(1, &format!("gfp = f{fp_target};"));
+        self.line(1, "grec.val = argc;");
+        self.line(1, "grec.cnt = 0;");
+        // Call a spread of roots so everything is reachable.
+        let roots = (nfuncs.min(8)).max(1);
+        for i in 0..roots {
+            let f = i * nfuncs / roots;
+            let mut arg = String::new();
+            let _ = write!(arg, "r = r + f{f}(argc, {});", self.rng.gen_range(1..10));
+            self.line(1, &arg);
+        }
+        self.line(1, "return r;");
+        self.line(0, "}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = GenConfig::default();
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn different_seed_different_program() {
+        let a = generate(&GenConfig { seed: 1, ..GenConfig::default() });
+        let b = generate(&GenConfig { seed: 2, ..GenConfig::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn roughly_hits_target_loc() {
+        for kloc in [1, 5] {
+            let cfg = GenConfig::sized(42, kloc);
+            let src = generate(&cfg);
+            let lines = src.lines().count();
+            assert!(
+                lines >= cfg.target_loc / 2 && lines <= cfg.target_loc * 2,
+                "kloc={kloc}: got {lines} lines for target {}",
+                cfg.target_loc
+            );
+        }
+    }
+
+    #[test]
+    fn generated_source_parses() {
+        let cfg = GenConfig::sized(7, 2);
+        let src = generate(&cfg);
+        let program = sga_cfront::parse(&src)
+            .unwrap_or_else(|e| panic!("generated source must parse: {e}"));
+        assert!(program.procs.len() > cfg.functions / 2);
+        let errs = sga_ir::validate::validate(&program);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn recursion_cycle_materializes() {
+        let cfg = GenConfig { max_scc: 4, functions: 10, ..GenConfig::default() };
+        let src = generate(&cfg);
+        let program = sga_cfront::parse(&src).unwrap();
+        let cg = sga_ir::callgraph::CallGraph::syntactic(&program);
+        assert!(
+            cg.max_scc_size() >= 2,
+            "expected a recursion cycle, maxSCC = {}",
+            cg.max_scc_size()
+        );
+        assert!(cg.max_scc_size() <= cfg.max_scc, "cycle larger than requested");
+    }
+
+    #[test]
+    fn no_recursion_when_disabled() {
+        let cfg = GenConfig { max_scc: 0, ..GenConfig::default() };
+        let src = generate(&cfg);
+        let program = sga_cfront::parse(&src).unwrap();
+        let cg = sga_ir::callgraph::CallGraph::syntactic(&program);
+        assert_eq!(cg.max_scc_size(), 1);
+    }
+}

@@ -1,0 +1,416 @@
+//! A Sparrow-style client: buffer-overrun detection on top of an interval
+//! analysis result.
+//!
+//! Two checks:
+//!
+//! * **buffer overruns** ([`check_overruns`]) — for every access through a
+//!   pointer carrying an array block `(base, offset, size)`, alarm unless
+//!   `offset ⊆ [0, size-1]` is provable;
+//! * **null dereferences** ([`check_null_derefs`]) — null is the integer
+//!   component of a pointer value (the frontend lowers `NULL` to `0`), so a
+//!   dereferenced pointer whose abstract value contains 0 may be null; one
+//!   with *only* 0 definitely is.
+//!
+//! This is the class of property the original system hunts (SPARROW is an
+//! error-detection tool for full C), and it is the client we use to
+//! sanity-check that precision survives sparsification end to end.
+
+use crate::interval::IntervalResult;
+use sga_domains::interval::Bound;
+use sga_domains::{AbsLoc, Interval, Lattice};
+use sga_ir::{Cmd, Cp, Expr, LVal, Program, VarId};
+
+/// The property an alarm is about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlarmKind {
+    /// Array access may escape its block.
+    Overrun,
+    /// Dereferenced pointer may be null.
+    NullDeref,
+}
+
+/// One potential memory error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Alarm {
+    /// What kind of error.
+    pub kind: AlarmKind,
+    /// The accessing control point.
+    pub cp: Cp,
+    /// Source line of the access.
+    pub line: u32,
+    /// The pointer variable involved.
+    pub ptr: VarId,
+    /// Rendered offset interval (overruns) or the pointer's numeric
+    /// component (null checks).
+    pub offset: String,
+    /// Rendered size interval.
+    pub size: String,
+    /// Whether the access is provably erroneous (vs merely unproven).
+    pub definite: bool,
+}
+
+impl std::fmt::Display for Alarm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let suffix = if self.definite { " [definite]" } else { "" };
+        match self.kind {
+            AlarmKind::Overrun => write!(
+                f,
+                "line {}: possible buffer overrun at {} (offset {}, size {}){suffix}",
+                self.line, self.cp, self.offset, self.size,
+            ),
+            AlarmKind::NullDeref => write!(
+                f,
+                "line {}: possible null dereference at {} (pointer value {}){suffix}",
+                self.line, self.cp, self.size,
+            ),
+        }
+    }
+}
+
+/// Scans the program for array accesses whose offset may escape the block.
+pub fn check_overruns(program: &Program, result: &IntervalResult) -> Vec<Alarm> {
+    let mut alarms = Vec::new();
+    for (pid, proc) in program.procs.iter_enumerated() {
+        if proc.is_external {
+            continue;
+        }
+        for (nid, node) in proc.nodes.iter_enumerated() {
+            let cp = Cp::new(pid, nid);
+            let mut ptrs: Vec<VarId> = Vec::new();
+            collect_deref_ptrs(&node.cmd, &mut ptrs);
+            for ptr in ptrs {
+                // The pointer's value at the access: its value in the input
+                // states — approximate with its reaching definitions' join
+                // over all stored states that bind it at this point's
+                // predecessors; the definition point's own state is exact
+                // for temps (which array accesses are lowered through).
+                let v = value_before(program, result, cp, ptr);
+                for (_, info) in v.arr.iter() {
+                    if info.offset.is_bottom() || info.size.is_bottom() {
+                        continue;
+                    }
+                    let max_index = match info.size.lo() {
+                        Some(Bound::Int(s)) => Interval::range(0, (s - 1).max(0)),
+                        _ => Interval::top(),
+                    };
+                    if !info.offset.le(&max_index) {
+                        let definite = info.offset.meet(&max_index).is_bottom();
+                        alarms.push(Alarm {
+                            kind: AlarmKind::Overrun,
+                            cp,
+                            line: node.line,
+                            ptr,
+                            offset: info.offset.to_string(),
+                            size: info.size.to_string(),
+                            definite,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    alarms.sort_by_key(|a| (a.line, a.cp));
+    alarms
+}
+
+/// Scans for dereferences of potentially-null pointers.
+pub fn check_null_derefs(program: &Program, result: &IntervalResult) -> Vec<Alarm> {
+    let mut alarms = Vec::new();
+    for (pid, proc) in program.procs.iter_enumerated() {
+        if proc.is_external {
+            continue;
+        }
+        for (nid, node) in proc.nodes.iter_enumerated() {
+            let cp = Cp::new(pid, nid);
+            let mut ptrs: Vec<VarId> = Vec::new();
+            collect_deref_ptrs(&node.cmd, &mut ptrs);
+            for ptr in ptrs {
+                let v = value_before(program, result, cp, ptr);
+                let has_targets = !v.ptr.is_empty() || !v.arr.is_empty();
+                let maybe_null = v.itv.contains(0);
+                if !maybe_null {
+                    continue;
+                }
+                alarms.push(Alarm {
+                    kind: AlarmKind::NullDeref,
+                    cp,
+                    line: node.line,
+                    ptr,
+                    offset: "null".to_string(),
+                    size: v.itv.to_string(),
+                    definite: !has_targets && v.itv.as_const() == Some(0),
+                });
+            }
+        }
+    }
+    alarms.sort_by_key(|a| (a.line, a.cp));
+    alarms
+}
+
+/// The value of `ptr` flowing into `cp`: join over the post-states of its
+/// CFG predecessors (dense) or of its recorded definitions (sparse).
+fn value_before(
+    program: &Program,
+    result: &IntervalResult,
+    cp: Cp,
+    ptr: VarId,
+) -> sga_domains::Value {
+    let l = AbsLoc::Var(ptr);
+    let proc = &program.procs[cp.proc];
+    let mut acc = sga_domains::Value::bot();
+    for &p in proc.preds_of(cp.node) {
+        acc = acc.join(&result.value_at(Cp::new(cp.proc, p), &l));
+    }
+    if acc.is_bottom() {
+        // Sparse results may not bind the pointer at the predecessor; fall
+        // back to the join over all points that bind it.
+        for s in result.values.values() {
+            if let Some(v) = s.get_ref(&l) {
+                acc = acc.join(v);
+            }
+        }
+    }
+    acc
+}
+
+fn collect_expr_ptrs(e: &Expr, out: &mut Vec<VarId>) {
+    match e {
+        Expr::Deref(inner) | Expr::DerefField(inner, _) => {
+            if let Expr::Var(v) = &**inner {
+                out.push(*v);
+            }
+            collect_expr_ptrs(inner, out);
+        }
+        Expr::Binop(_, a, b) => {
+            collect_expr_ptrs(a, out);
+            collect_expr_ptrs(b, out);
+        }
+        Expr::Unop(_, a) => collect_expr_ptrs(a, out),
+        _ => {}
+    }
+}
+
+fn collect_deref_ptrs(cmd: &Cmd, out: &mut Vec<VarId>) {
+    match cmd {
+        Cmd::Assign(lv, e) | Cmd::Alloc(lv, e) => {
+            if let LVal::Deref(v) | LVal::DerefField(v, _) = lv {
+                out.push(*v);
+            }
+            collect_expr_ptrs(e, out);
+        }
+        Cmd::Assume(c) => {
+            collect_expr_ptrs(&c.lhs, out);
+            collect_expr_ptrs(&c.rhs, out);
+        }
+        Cmd::Call { ret, args, .. } => {
+            if let Some(LVal::Deref(v) | LVal::DerefField(v, _)) = ret {
+                out.push(*v);
+            }
+            for a in args {
+                collect_expr_ptrs(a, out);
+            }
+        }
+        Cmd::Return(Some(e)) => collect_expr_ptrs(e, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{analyze, Engine};
+    use sga_cfront::parse;
+
+    #[test]
+    fn in_bounds_loop_is_clean() {
+        let p = parse(
+            "int main() {
+                int *buf = malloc(10);
+                int i = 0;
+                while (i < 10) { buf[i] = 1; i = i + 1; }
+                return 0;
+             }",
+        )
+        .unwrap();
+        let r = analyze(&p, Engine::Sparse);
+        let alarms = check_overruns(&p, &r);
+        assert!(alarms.is_empty(), "false alarms: {alarms:?}");
+    }
+
+    #[test]
+    fn off_by_one_is_reported() {
+        let p = parse(
+            "int main() {
+                int *buf = malloc(10);
+                int i = 0;
+                while (i <= 10) { buf[i] = 1; i = i + 1; }
+                return 0;
+             }",
+        )
+        .unwrap();
+        let r = analyze(&p, Engine::Sparse);
+        let alarms = check_overruns(&p, &r);
+        assert!(!alarms.is_empty(), "off-by-one missed");
+    }
+
+    #[test]
+    fn definite_overrun_flagged() {
+        let p = parse(
+            "int main() {
+                int *buf = malloc(4);
+                buf[9] = 1;
+                return 0;
+             }",
+        )
+        .unwrap();
+        let r = analyze(&p, Engine::Sparse);
+        let alarms = check_overruns(&p, &r);
+        assert!(alarms.iter().any(|a| a.definite), "{alarms:?}");
+    }
+
+    #[test]
+    fn engines_agree_on_alarm_count() {
+        let src = "int main(int n) {
+                int *buf = malloc(8);
+                int i = 0;
+                while (i < n) { buf[i] = i; i = i + 1; }
+                buf[7] = 0;
+                return 0;
+             }";
+        let p = parse(src).unwrap();
+        let base = check_overruns(&p, &analyze(&p, Engine::Base)).len();
+        let sparse = check_overruns(&p, &analyze(&p, Engine::Sparse)).len();
+        assert_eq!(base, sparse, "alarm counts must match between engines");
+    }
+}
+
+#[cfg(test)]
+mod null_tests {
+    use super::*;
+    use crate::interval::{analyze, Engine};
+    use sga_cfront::parse;
+
+    #[test]
+    fn definite_null_deref() {
+        let p = parse("int main() { int *p = 0; *p = 1; return 0; }").unwrap();
+        let r = analyze(&p, Engine::Sparse);
+        let alarms = check_null_derefs(&p, &r);
+        assert!(alarms.iter().any(|a| a.definite), "{alarms:?}");
+    }
+
+    #[test]
+    fn possible_null_after_join() {
+        let p = parse(
+            "int g;
+             int main(int c) {
+                int *p = 0;
+                if (c) p = &g;
+                *p = 1;
+                return 0;
+             }",
+        )
+        .unwrap();
+        let r = analyze(&p, Engine::Sparse);
+        let alarms = check_null_derefs(&p, &r);
+        assert_eq!(alarms.len(), 1);
+        assert!(!alarms[0].definite, "join with &g makes it only possible");
+    }
+
+    #[test]
+    fn guarded_deref_is_clean() {
+        let p = parse(
+            "int g;
+             int main(int c) {
+                int *p = 0;
+                if (c) p = &g;
+                if (p != 0) { *p = 1; }
+                return 0;
+             }",
+        )
+        .unwrap();
+        let r = analyze(&p, Engine::Sparse);
+        let alarms = check_null_derefs(&p, &r);
+        // The null-comparison refinement prunes 0 from p's interval
+        // component inside the guard.
+        assert!(alarms.is_empty(), "{alarms:?}");
+    }
+
+    #[test]
+    fn malloc_result_not_null_flagged() {
+        let p = parse("int main() { int *p = malloc(4); *p = 1; return 0; }").unwrap();
+        let r = analyze(&p, Engine::Sparse);
+        assert!(check_null_derefs(&p, &r).is_empty());
+    }
+}
+
+/// Reports `assume` points whose condition is provably never true — dead
+/// branches (`if (x) …` where the analysis bounds `x` away from the
+/// condition). A development-time client: dead guards often flag logic
+/// errors or stale feature checks.
+pub fn check_dead_branches(program: &Program, result: &IntervalResult) -> Vec<Cp> {
+    use sga_ir::Expr;
+    let mut dead = Vec::new();
+    for (pid, proc) in program.procs.iter_enumerated() {
+        if proc.is_external {
+            continue;
+        }
+        for (nid, node) in proc.nodes.iter_enumerated() {
+            let Cmd::Assume(cond) = &node.cmd else { continue };
+            let cp = Cp::new(pid, nid);
+            // The refined value of a directly-mentioned location: ⊥ numeric
+            // with a non-⊥ input means the condition excluded every value.
+            let Expr::Var(x) = &cond.lhs else { continue };
+            let l = AbsLoc::Var(*x);
+            let after = result.value_at(cp, &l);
+            let before = value_before(program, result, cp, *x);
+            if after.itv.is_bottom()
+                && !before.itv.is_bottom()
+                && before.ptr.is_empty()
+                && before.arr.is_empty()
+            {
+                dead.push(cp);
+            }
+        }
+    }
+    dead.sort();
+    dead
+}
+
+#[cfg(test)]
+mod dead_branch_tests {
+    use super::*;
+    use crate::interval::{analyze, Engine};
+    use sga_cfront::parse;
+
+    #[test]
+    fn impossible_guard_is_dead() {
+        let p = parse(
+            "int main() {
+                int x = 3;
+                if (x > 10) { x = 0; }
+                return x;
+             }",
+        )
+        .unwrap();
+        for engine in [Engine::Base, Engine::Sparse] {
+            let r = analyze(&p, engine);
+            let dead = check_dead_branches(&p, &r);
+            assert_eq!(dead.len(), 1, "{engine:?}: {dead:?}");
+        }
+    }
+
+    #[test]
+    fn feasible_guards_are_live() {
+        let p = parse(
+            "int main(int c) {
+                int x = c;
+                if (x > 10) { x = 0; }
+                if (x < 0) { x = 1; }
+                return x;
+             }",
+        )
+        .unwrap();
+        let r = analyze(&p, Engine::Sparse);
+        assert!(check_dead_branches(&p, &r).is_empty());
+    }
+}

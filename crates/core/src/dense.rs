@@ -1,0 +1,161 @@
+//! The dense worklist fixpoint engine — the baseline the sparse analysis is
+//! derived from.
+//!
+//! Computes `lfp F̂` where `F̂(X)(c) = f̂_c(⊔_{c' ↪ c} X(c'))` (equation (3)
+//! of the paper), generalized with per-edge transfers for the
+//! interprocedural edges. One engine serves both the `vanilla` and `base`
+//! analyzers (they differ only in their [`DenseSpec::edge`] implementation)
+//! and both the interval and octagon instances (they differ in the state
+//! type).
+//!
+//! The solve runs an ascending phase with widening at the ICFG's widening
+//! points, then bounded descending (narrowing) rounds — the "conventional
+//! widening operator" setup of §6.1.
+
+use crate::icfg::{Icfg, InEdge};
+use sga_ir::{Cp, Program};
+use sga_utils::FxHashMap;
+use std::collections::BTreeSet;
+
+/// The parts of a dense analysis that vary per instance/engine.
+pub trait DenseSpec {
+    /// Abstract state attached to each control point.
+    type St: Clone + PartialEq;
+
+    /// ⊥ — the state of a point before any information arrives.
+    fn bottom(&self) -> Self::St;
+
+    /// The state flowing into `main`'s entry.
+    fn initial(&self) -> Self::St;
+
+    /// The node transfer function `f̂_c`.
+    fn transfer(&self, cp: Cp, input: &Self::St) -> Self::St;
+
+    /// The edge transfer into `dst`; `lookup` gives access to other points'
+    /// post-states (the localized return join needs the call site's state).
+    fn edge(
+        &self,
+        dst: Cp,
+        edge: &InEdge,
+        src_post: &Self::St,
+        lookup: &dyn Fn(Cp) -> Option<Self::St>,
+    ) -> Self::St;
+
+    /// Least upper bound.
+    fn join(&self, a: &Self::St, b: &Self::St) -> Self::St;
+
+    /// Widening.
+    fn widen(&self, a: &Self::St, b: &Self::St) -> Self::St;
+
+    /// Narrowing.
+    fn narrow(&self, a: &Self::St, b: &Self::St) -> Self::St;
+}
+
+/// The dense fixpoint: post-states per control point.
+#[derive(Debug)]
+pub struct DenseResult<St> {
+    /// Post-state of every control point (absent = ⊥).
+    pub post: FxHashMap<Cp, St>,
+    /// Node evaluations during the ascending phase.
+    pub iterations: usize,
+    /// Descending rounds executed.
+    pub narrowing_rounds: usize,
+}
+
+impl<St> DenseResult<St> {
+    /// Post-state at `cp`, if any information reached it.
+    pub fn post_at(&self, cp: Cp) -> Option<&St> {
+        self.post.get(&cp)
+    }
+}
+
+/// Runs the dense analysis to its (narrowed) fixpoint.
+///
+/// # Panics
+///
+/// Panics if the ascending phase exceeds a generous iteration budget —
+/// which indicates a widening bug, not a big program.
+pub fn solve<S: DenseSpec>(program: &Program, icfg: &Icfg, spec: &S) -> DenseResult<S::St> {
+    let main_entry = Cp::new(program.main, program.procs[program.main].entry);
+    let mut post: FxHashMap<Cp, S::St> = FxHashMap::default();
+    let mut worklist: BTreeSet<(u32, Cp)> = BTreeSet::new();
+    let all_points: Vec<Cp> = program
+        .all_points()
+        .filter(|cp| !program.procs[cp.proc].is_external)
+        .collect();
+    for &cp in &all_points {
+        worklist.insert((icfg.priority[&cp], cp));
+    }
+
+    let compute_in = |post: &FxHashMap<Cp, S::St>, cp: Cp| -> S::St {
+        let mut acc = if cp == main_entry { spec.initial() } else { spec.bottom() };
+        let lookup = |q: Cp| post.get(&q).cloned();
+        for e in icfg.incoming(cp) {
+            if let Some(src_post) = post.get(&e.src) {
+                let v = spec.edge(cp, e, src_post, &lookup);
+                acc = spec.join(&acc, &v);
+            }
+        }
+        acc
+    };
+
+    let budget = 2000usize.saturating_mul(all_points.len()).max(100_000);
+    let mut iterations = 0usize;
+    while let Some(&(prio, cp)) = worklist.iter().next() {
+        worklist.remove(&(prio, cp));
+        iterations += 1;
+        assert!(
+            iterations <= budget,
+            "dense fixpoint exceeded {budget} iterations: widening failure at {cp}"
+        );
+        let input = compute_in(&post, cp);
+        let mut new_post = spec.transfer(cp, &input);
+        let old = post.get(&cp);
+        if icfg.widen_points.contains(&cp) {
+            if let Some(old) = old {
+                new_post = spec.widen(old, &new_post);
+            }
+        }
+        let changed = old != Some(&new_post);
+        if changed {
+            post.insert(cp, new_post);
+            for &t in icfg.targets(cp) {
+                worklist.insert((icfg.priority[&t], t));
+            }
+        }
+    }
+
+    // Descending (narrowing) phase: change-driven from above — monotone, so
+    // skipping points whose inputs did not change is exact. A per-point cap
+    // bounds descent.
+    const MAX_DESCENDS_PER_POINT: u8 = 4;
+    let mut narrowing_rounds = 0usize;
+    let mut desc_count: FxHashMap<Cp, u8> = FxHashMap::default();
+    let mut worklist: BTreeSet<(u32, Cp)> = BTreeSet::new();
+    for &cp in &all_points {
+        worklist.insert((icfg.priority[&cp], cp));
+    }
+    while let Some(&(prio, cp)) = worklist.iter().next() {
+        worklist.remove(&(prio, cp));
+        let count = desc_count.entry(cp).or_insert(0);
+        if *count >= MAX_DESCENDS_PER_POINT {
+            continue;
+        }
+        *count += 1;
+        narrowing_rounds += 1;
+        let input = compute_in(&post, cp);
+        let candidate = spec.transfer(cp, &input);
+        let new_post = match post.get(&cp) {
+            Some(old) if icfg.widen_points.contains(&cp) => spec.narrow(old, &candidate),
+            _ => candidate,
+        };
+        if post.get(&cp) != Some(&new_post) {
+            post.insert(cp, new_post);
+            for &t in icfg.targets(cp) {
+                worklist.insert((icfg.priority[&t], t));
+            }
+        }
+    }
+
+    DenseResult { post, iterations, narrowing_rounds }
+}

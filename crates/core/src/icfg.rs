@@ -1,0 +1,264 @@
+//! The interprocedural control-flow graph shared by the dense engines.
+//!
+//! Nodes are the program's control points. Edges:
+//!
+//! * [`EdgeKind::Intra`] — ordinary CFG flow;
+//! * [`EdgeKind::Call`] — call site → callee entry (argument binding);
+//! * [`EdgeKind::Return`] — callee exit → the call's CFG successors
+//!   (return-value binding); `vanilla` passes the whole exit state,
+//!   `base` restricts it to the callee's accessed locations and joins with
+//!   the caller's state at the call (access-based localization \[38\]);
+//! * [`EdgeKind::ExternalRet`] — call → successor for calls whose targets
+//!   are external: the return value becomes ⊤, no other effect (§6).
+//!
+//! Also computed here: worklist priorities (procedure-major, WTO-minor) and
+//! the widening points (WTO component heads plus procedure entries, the
+//! latter needed for recursion).
+
+use crate::preanalysis::PreAnalysis;
+use sga_ir::{Cmd, Cp, Program};
+use sga_utils::graph::weak_topological_order;
+use sga_utils::{FxHashMap, FxHashSet, Idx};
+
+/// The role of an ICFG edge, which selects its transfer function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Plain intraprocedural flow.
+    Intra,
+    /// `site` → callee entry.
+    Call {
+        /// The call node.
+        site: Cp,
+    },
+    /// Callee exit → return point of `site`.
+    Return {
+        /// The call node this return corresponds to.
+        site: Cp,
+    },
+    /// `site` → return point, for external callees.
+    ExternalRet {
+        /// The call node.
+        site: Cp,
+    },
+}
+
+/// One incoming edge: the source control point and the edge role.
+#[derive(Clone, Copy, Debug)]
+pub struct InEdge {
+    /// Source control point (whose post-state feeds the edge).
+    pub src: Cp,
+    /// Edge role.
+    pub kind: EdgeKind,
+}
+
+/// The interprocedural CFG.
+#[derive(Debug)]
+pub struct Icfg {
+    /// Incoming edges per control point.
+    pub in_edges: FxHashMap<Cp, Vec<InEdge>>,
+    /// Outgoing edge targets per control point (for worklist pushes).
+    pub out_targets: FxHashMap<Cp, Vec<Cp>>,
+    /// Worklist priority of each control point (lower runs first).
+    pub priority: FxHashMap<Cp, u32>,
+    /// Widening points: WTO heads and procedure entries.
+    pub widen_points: FxHashSet<Cp>,
+}
+
+impl Icfg {
+    /// Builds the ICFG using the pre-analysis' resolved call graph.
+    pub fn build(program: &Program, pre: &PreAnalysis) -> Icfg {
+        let mut in_edges: FxHashMap<Cp, Vec<InEdge>> = FxHashMap::default();
+        let mut out_targets: FxHashMap<Cp, Vec<Cp>> = FxHashMap::default();
+        let add = |in_edges: &mut FxHashMap<Cp, Vec<InEdge>>,
+                       out_targets: &mut FxHashMap<Cp, Vec<Cp>>,
+                       src: Cp,
+                       dst: Cp,
+                       kind: EdgeKind| {
+            in_edges.entry(dst).or_default().push(InEdge { src, kind });
+            out_targets.entry(src).or_default().push(dst);
+        };
+
+        for (pid, proc) in program.procs.iter_enumerated() {
+            if proc.is_external {
+                continue;
+            }
+            for (nid, node) in proc.nodes.iter_enumerated() {
+                let cp = Cp::new(pid, nid);
+                if let Cmd::Call { .. } = &node.cmd {
+                    let targets = pre.call_targets(cp);
+                    let internal: Vec<_> = targets
+                        .iter()
+                        .copied()
+                        .filter(|&t| !program.procs[t].is_external)
+                        .collect();
+                    let has_external =
+                        internal.len() < targets.len() || targets.is_empty();
+                    for &t in &internal {
+                        let callee = &program.procs[t];
+                        let entry = Cp::new(t, callee.entry);
+                        let exit = Cp::new(t, callee.exit);
+                        add(&mut in_edges, &mut out_targets, cp, entry, EdgeKind::Call {
+                            site: cp,
+                        });
+                        for &r in proc.succs_of(nid) {
+                            let ret_site = Cp::new(pid, r);
+                            add(
+                                &mut in_edges,
+                                &mut out_targets,
+                                exit,
+                                ret_site,
+                                EdgeKind::Return { site: cp },
+                            );
+                            // The localized return join also reads the call
+                            // site's state, so a change there must requeue
+                            // the return site even without a direct edge.
+                            out_targets.entry(cp).or_default().push(ret_site);
+                        }
+                    }
+                    if has_external {
+                        for &r in proc.succs_of(nid) {
+                            add(
+                                &mut in_edges,
+                                &mut out_targets,
+                                cp,
+                                Cp::new(pid, r),
+                                EdgeKind::ExternalRet { site: cp },
+                            );
+                        }
+                    }
+                } else {
+                    for &s in proc.succs_of(nid) {
+                        add(&mut in_edges, &mut out_targets, cp, Cp::new(pid, s), EdgeKind::Intra);
+                    }
+                }
+            }
+        }
+
+        // Priorities and widening points from per-procedure WTOs.
+        let numbering = program.point_numbering();
+        let mut priority: FxHashMap<Cp, u32> = FxHashMap::default();
+        let mut widen_points: FxHashSet<Cp> = FxHashSet::default();
+        // Call-site counts: a callee invoked from two or more sites closes
+        // interprocedural ICFG cycles (exit → return-site₁ → … → site₂ →
+        // entry) even when the call graph is acyclic; every such cycle
+        // passes the callee's entry, so multi-site entries must widen.
+        let mut site_count: FxHashMap<sga_ir::ProcId, usize> = FxHashMap::default();
+        for targets in pre.callgraph.site_targets.values() {
+            for &t in targets {
+                *site_count.entry(t).or_insert(0) += 1;
+            }
+        }
+        for (pid, proc) in program.procs.iter_enumerated() {
+            if proc.is_external {
+                continue;
+            }
+            // Entries and exits widen for recursive procedures
+            // (interprocedural cycles run through one or the other); entries
+            // also widen for multi-site callees (see above). Single-site
+            // non-recursive entries keep plain joins — widening there would
+            // needlessly discard the argument binding.
+            if pre.callgraph.is_recursive(pid) {
+                widen_points.insert(Cp::new(pid, proc.entry));
+                widen_points.insert(Cp::new(pid, proc.exit));
+            }
+            if site_count.get(&pid).copied().unwrap_or(0) >= 2 {
+                widen_points.insert(Cp::new(pid, proc.entry));
+            }
+            let wto = weak_topological_order(&proc.cfg_view(), proc.entry.index());
+            for h in wto.heads() {
+                widen_points.insert(Cp::new(pid, sga_ir::NodeId::new(h)));
+            }
+            let base = numbering.index(Cp::new(pid, proc.entry)) as u32;
+            for (rank, node) in wto.linearize().into_iter().enumerate() {
+                priority.insert(Cp::new(pid, sga_ir::NodeId::new(node)), base + rank as u32);
+            }
+            // Nodes outside the WTO (unreachable exits of infinite loops)
+            // still need a priority.
+            for nid in proc.nodes.indices() {
+                let cp = Cp::new(pid, nid);
+                priority.entry(cp).or_insert(base + proc.nodes.len() as u32);
+            }
+        }
+
+        Icfg { in_edges, out_targets, priority, widen_points }
+    }
+
+    /// Incoming edges of `cp`.
+    pub fn incoming(&self, cp: Cp) -> &[InEdge] {
+        self.in_edges.get(&cp).map_or(&[], Vec::as_slice)
+    }
+
+    /// Control points to re-queue after `cp` changes.
+    pub fn targets(&self, cp: Cp) -> &[Cp] {
+        self.out_targets.get(&cp).map_or(&[], Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preanalysis;
+    use sga_cfront::parse;
+
+    fn build(src: &str) -> (Program, Icfg) {
+        let p = parse(src).unwrap();
+        let pre = preanalysis::run(&p);
+        let icfg = Icfg::build(&p, &pre);
+        (p, icfg)
+    }
+
+    #[test]
+    fn call_edges_replace_fallthrough() {
+        let (p, icfg) = build(
+            "int f() { return 1; }
+             int main() { int r = f(); return r; }",
+        );
+        let f = p.proc_by_name("f").unwrap();
+        let f_entry = Cp::new(f, p.procs[f].entry);
+        let f_exit = Cp::new(f, p.procs[f].exit);
+        // f's entry has an incoming Call edge.
+        assert!(icfg
+            .incoming(f_entry)
+            .iter()
+            .any(|e| matches!(e.kind, EdgeKind::Call { .. })));
+        // Some node in main has an incoming Return edge from f's exit.
+        let has_ret = p.procs[p.main].nodes.indices().any(|n| {
+            icfg.incoming(Cp::new(p.main, n))
+                .iter()
+                .any(|e| e.src == f_exit && matches!(e.kind, EdgeKind::Return { .. }))
+        });
+        assert!(has_ret);
+    }
+
+    #[test]
+    fn external_calls_get_external_edges() {
+        let (p, icfg) = build("int mystery(int); int main() { return mystery(1); }");
+        let has_ext = p.procs[p.main].nodes.indices().any(|n| {
+            icfg.incoming(Cp::new(p.main, n))
+                .iter()
+                .any(|e| matches!(e.kind, EdgeKind::ExternalRet { .. }))
+        });
+        assert!(has_ext);
+    }
+
+    #[test]
+    fn loop_heads_are_widening_points() {
+        let (p, icfg) = build("int main() { int i = 0; while (i < 5) i = i + 1; return i; }");
+        // At least one non-entry widening point (the loop head).
+        let entry = Cp::new(p.main, p.procs[p.main].entry);
+        assert!(icfg.widen_points.iter().any(|&w| w != entry));
+    }
+
+    #[test]
+    fn priorities_are_total_over_points() {
+        let (p, icfg) = build(
+            "int f(int x) { return x; }
+             int main() { for (;;) { if (f(1)) break; } return 0; }",
+        );
+        for cp in p.all_points() {
+            if !p.procs[cp.proc].is_external {
+                assert!(icfg.priority.contains_key(&cp), "no priority for {cp}");
+            }
+        }
+    }
+}

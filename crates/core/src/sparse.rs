@@ -1,0 +1,204 @@
+//! The sparse fixpoint engine (§2.7).
+//!
+//! Computes `lfp F̂_s` where
+//! `F̂_s(X)(c) = f̂_c(⊔ { X(c_d)|ₗ : c_d →l c })` — values arrive along data
+//! dependencies, not control flow. A point's stored state binds only its
+//! `D̂(c)` locations, which is where the memory savings come from: the sum of
+//! all sparse states is proportional to the number of definitions, not
+//! `|C| × |L̂|`.
+//!
+//! Widening happens at the control points that participate in dependency
+//! cycles (loop-carried definitions, recursion) — the sparse counterpart of
+//! the dense engine's WTO heads.
+
+use crate::depgen::DataDeps;
+use crate::icfg::Icfg;
+use sga_domains::lattice::Lattice;
+use sga_ir::{Cp, Program};
+use sga_utils::{FxHashMap, PMap};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::hash::Hash;
+
+/// The per-instance pieces of a sparse analysis.
+pub trait SparseSpec {
+    /// Abstract locations (interval: [`sga_domains::AbsLoc`]; octagon:
+    /// variable packs).
+    type L: Copy + Ord + Hash + fmt::Debug;
+    /// Abstract values per location.
+    type V: Lattice + fmt::Debug;
+
+    /// Decodes a dependency-edge location id.
+    fn loc_of(&self, id: u32) -> Self::L;
+
+    /// The sparse node transfer: given the assembled input bindings
+    /// (covering `Û(cp)`), produce the output bindings for `D̂(cp)`.
+    ///
+    /// `pre` holds values arriving over ordinary def→use dependencies;
+    /// `ret` holds values returning from callee exits (non-empty only at
+    /// call sites). Argument expressions must be evaluated against `pre`;
+    /// relayed locations take `pre ⊔ ret`.
+    fn transfer(
+        &self,
+        cp: Cp,
+        pre: &PMap<Self::L, Self::V>,
+        ret: &PMap<Self::L, Self::V>,
+    ) -> PMap<Self::L, Self::V>;
+
+    /// The state entering `main` (parameter seeds), as initial bindings for
+    /// the main-entry point.
+    fn initial(&self) -> PMap<Self::L, Self::V>;
+}
+
+/// Sparse analysis result: `D̂(c)`-restricted states per point.
+#[derive(Debug)]
+pub struct SparseResult<L: Copy + Ord, V: Clone> {
+    /// Output bindings of every control point that holds any.
+    pub values: FxHashMap<Cp, PMap<L, V>>,
+    /// Node evaluations during the ascending phase.
+    pub iterations: usize,
+    /// Descending rounds executed.
+    pub narrowing_rounds: usize,
+}
+
+impl<L: Copy + Ord, V: Clone + Lattice> SparseResult<L, V> {
+    /// The value of `l` in `cp`'s output bindings (⊥ if absent).
+    pub fn value(&self, cp: Cp, l: &L) -> V {
+        self.values.get(&cp).and_then(|m| m.get(l).cloned()).unwrap_or_else(V::bottom)
+    }
+}
+
+/// Runs the sparse analysis to its (narrowed) fixpoint.
+///
+/// `icfg` supplies worklist priorities (shared with the dense engines so
+/// iteration orders are comparable); `deps` supplies edges and widening
+/// points.
+///
+/// # Panics
+///
+/// Panics if the ascending phase exceeds its iteration budget (a widening
+/// bug).
+pub fn solve<S: SparseSpec>(
+    program: &Program,
+    icfg: &Icfg,
+    deps: &DataDeps,
+    spec: &S,
+) -> SparseResult<S::L, S::V> {
+    let main_entry = Cp::new(program.main, program.procs[program.main].entry);
+    let mut values: FxHashMap<Cp, PMap<S::L, S::V>> = FxHashMap::default();
+    let all_points: Vec<Cp> = program
+        .all_points()
+        .filter(|cp| !program.procs[cp.proc].is_external)
+        .collect();
+    // Priority: dependency-graph topological rank (producers first), with
+    // the ICFG priority as a deterministic tiebreak for nodes outside the
+    // dependency graph.
+    let prio = |cp: Cp| -> (u32, u32) {
+        (deps.topo_rank.get(&cp).copied().unwrap_or(0), icfg.priority[&cp])
+    };
+    let mut worklist: BTreeSet<((u32, u32), Cp)> = BTreeSet::new();
+    for &cp in &all_points {
+        worklist.insert((prio(cp), cp));
+    }
+
+    let gather = |values: &FxHashMap<Cp, PMap<S::L, S::V>>,
+                  edges: &[(u32, Cp)],
+                  mut acc: PMap<S::L, S::V>|
+     -> PMap<S::L, S::V> {
+        for &(loc_id, from) in edges {
+            let l = spec.loc_of(loc_id);
+            if let Some(v) = values.get(&from).and_then(|m| m.get(&l)) {
+                let joined = match acc.get(&l) {
+                    Some(old) => old.join(v),
+                    None => v.clone(),
+                };
+                acc = acc.insert(l, joined);
+            }
+        }
+        acc
+    };
+    let assemble = |values: &FxHashMap<Cp, PMap<S::L, S::V>>,
+                    cp: Cp|
+     -> (PMap<S::L, S::V>, PMap<S::L, S::V>) {
+        let seed: PMap<S::L, S::V> =
+            if cp == main_entry { spec.initial() } else { PMap::new() };
+        let pre = gather(values, deps.deps_into(cp), seed);
+        let ret = gather(values, deps.deps_into_ret(cp), PMap::new());
+        (pre, ret)
+    };
+
+    let widen_map = |old: &PMap<S::L, S::V>, new: &PMap<S::L, S::V>| -> PMap<S::L, S::V> {
+        old.union_with(new, |_, o, n| o.widen(n))
+    };
+    let narrow_map = |old: &PMap<S::L, S::V>, new: &PMap<S::L, S::V>| -> PMap<S::L, S::V> {
+        // Narrow entries present in both; entries only in `old` keep their
+        // value; entries only in `new` are fresh information.
+        old.union_with(new, |_, o, n| o.narrow(n))
+    };
+
+    let budget = 2000usize.saturating_mul(all_points.len()).max(100_000);
+    let mut iterations = 0usize;
+    while let Some(&(rank, cp)) = worklist.iter().next() {
+        worklist.remove(&(rank, cp));
+        iterations += 1;
+        assert!(
+            iterations <= budget,
+            "sparse fixpoint exceeded {budget} iterations: widening failure at {cp}"
+        );
+        let (pre, ret) = assemble(&values, cp);
+        let mut out = spec.transfer(cp, &pre, &ret);
+        let old = values.get(&cp);
+        if deps.cycle_nodes.contains(&cp) {
+            if let Some(old) = old {
+                out = widen_map(old, &out);
+            }
+        }
+        if old != Some(&out) {
+            // Requeue only dependency targets whose location changed.
+            for &(loc_id, to) in deps.deps_out(cp) {
+                let l = spec.loc_of(loc_id);
+                let old_v = old.and_then(|m| m.get(&l));
+                let new_v = out.get(&l);
+                if old_v != new_v {
+                    worklist.insert((prio(to), to));
+                }
+            }
+            values.insert(cp, out);
+        }
+    }
+
+    // Descending (narrowing) phase: change-driven, like the ascending
+    // phase, with a per-point evaluation cap to bound descent.
+    const MAX_DESCENDS_PER_POINT: u8 = 4;
+    let mut narrowing_rounds = 0usize;
+    let mut desc_count: FxHashMap<Cp, u8> = FxHashMap::default();
+    for &cp in &all_points {
+        worklist.insert((prio(cp), cp));
+    }
+    while let Some(&(rank, cp)) = worklist.iter().next() {
+        worklist.remove(&(rank, cp));
+        let count = desc_count.entry(cp).or_insert(0);
+        if *count >= MAX_DESCENDS_PER_POINT {
+            continue;
+        }
+        *count += 1;
+        narrowing_rounds += 1;
+        let (pre, ret) = assemble(&values, cp);
+        let candidate = spec.transfer(cp, &pre, &ret);
+        let new_out = match values.get(&cp) {
+            Some(old) if deps.cycle_nodes.contains(&cp) => narrow_map(old, &candidate),
+            _ => candidate,
+        };
+        if values.get(&cp) != Some(&new_out) {
+            for &(loc_id, to) in deps.deps_out(cp) {
+                let l = spec.loc_of(loc_id);
+                if values.get(&cp).and_then(|m| m.get(&l)) != new_out.get(&l) {
+                    worklist.insert((prio(to), to));
+                }
+            }
+            values.insert(cp, new_out);
+        }
+    }
+
+    SparseResult { values, iterations, narrowing_rounds }
+}

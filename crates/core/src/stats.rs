@@ -1,0 +1,40 @@
+//! Per-phase measurements — the columns of Tables 2 and 3.
+
+use std::time::Duration;
+
+/// Timing/size statistics of one analyzer run.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisStats {
+    /// Pre-analysis time (included in `dep` per the paper's accounting:
+    /// "Dep includes times for pre-analysis and data dependency
+    /// generation").
+    pub pre_time: Duration,
+    /// Dependency-generation time (def/use + reaching defs + bypass).
+    /// Zero for the dense engines.
+    pub dep_time: Duration,
+    /// Fixpoint time (`Fix` column).
+    pub fix_time: Duration,
+    /// End-to-end time (`Total`).
+    pub total_time: Duration,
+    /// Peak RSS observed after the run, if the platform reports it.
+    pub peak_mem_bytes: Option<u64>,
+    /// Ascending-phase node evaluations.
+    pub iterations: usize,
+    /// Number of abstract locations (Table 1's `AbsLocs`).
+    pub num_locs: usize,
+    /// Average `|D̂(c)|` (Table 2/3 column).
+    pub avg_defs: f64,
+    /// Average `|Û(c)|`.
+    pub avg_uses: f64,
+    /// Dependency edges before the bypass optimization.
+    pub dep_edges_raw: usize,
+    /// Dependency edges actually used by the sparse engine.
+    pub dep_edges: usize,
+}
+
+impl AnalysisStats {
+    /// `Dep` column: pre-analysis + dependency construction.
+    pub fn dep_phase(&self) -> Duration {
+        self.pre_time + self.dep_time
+    }
+}

@@ -1,0 +1,272 @@
+//! Array blocks: the paper's abstraction of arrays (§6.1).
+//!
+//! "The analysis abstracts an array by a set of tuples of base address,
+//! offset, and size" — an [`ArrayBlk`] maps each base allocation site (or
+//! fixed-size global buffer) to the interval of offsets a pointer may have
+//! into it and the interval of the block's size. Pointer arithmetic shifts
+//! offsets; dereferencing reads the base's summarized contents; the
+//! buffer-overrun checker compares offset against size.
+
+use crate::interval::Interval;
+use crate::lattice::Lattice;
+use crate::locs::AbsLoc;
+use std::fmt;
+use std::rc::Rc;
+
+/// Offset/size information for one array base.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ArrInfo {
+    /// Possible byte/element offsets of the pointer into the block.
+    pub offset: Interval,
+    /// Possible sizes of the block.
+    pub size: Interval,
+}
+
+impl ArrInfo {
+    /// Fresh pointer to the start of a block of `size` elements.
+    pub fn fresh(size: Interval) -> ArrInfo {
+        ArrInfo { offset: Interval::constant(0), size }
+    }
+}
+
+impl Lattice for ArrInfo {
+    fn bottom() -> Self {
+        ArrInfo { offset: Interval::Bot, size: Interval::Bot }
+    }
+    fn le(&self, other: &Self) -> bool {
+        self.offset.le(&other.offset) && self.size.le(&other.size)
+    }
+    fn join(&self, other: &Self) -> Self {
+        ArrInfo { offset: self.offset.join(&other.offset), size: self.size.join(&other.size) }
+    }
+    fn widen(&self, other: &Self) -> Self {
+        ArrInfo { offset: self.offset.widen(&other.offset), size: self.size.widen(&other.size) }
+    }
+    fn narrow(&self, other: &Self) -> Self {
+        ArrInfo { offset: self.offset.narrow(&other.offset), size: self.size.narrow(&other.size) }
+    }
+}
+
+/// A set of `(base, offset, size)` tuples, sorted by base.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ArrayBlk(Rc<[(AbsLoc, ArrInfo)]>);
+
+impl ArrayBlk {
+    /// The empty block set (no array value).
+    pub fn empty() -> ArrayBlk {
+        ArrayBlk(Rc::from([]))
+    }
+
+    /// A single fresh block at `base` with `size` elements.
+    pub fn alloc(base: AbsLoc, size: Interval) -> ArrayBlk {
+        ArrayBlk(Rc::from([(base, ArrInfo::fresh(size))]))
+    }
+
+    /// Whether no blocks are present.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Iterates over `(base, info)` pairs.
+    pub fn iter(&self) -> std::slice::Iter<'_, (AbsLoc, ArrInfo)> {
+        self.0.iter()
+    }
+
+    /// Info for one base.
+    pub fn get(&self, base: &AbsLoc) -> Option<&ArrInfo> {
+        self.0.binary_search_by(|(b, _)| b.cmp(base)).ok().map(|i| &self.0[i].1)
+    }
+
+    /// The base locations a dereference of this pointer-to-array reaches.
+    pub fn bases(&self) -> impl Iterator<Item = AbsLoc> + '_ {
+        self.0.iter().map(|(b, _)| *b)
+    }
+
+    /// Pointer arithmetic: shifts every offset by `delta` (`p + i`).
+    #[must_use]
+    pub fn shift(&self, delta: &Interval) -> ArrayBlk {
+        if self.0.is_empty() || delta.as_const() == Some(0) {
+            return self.clone();
+        }
+        ArrayBlk(
+            self.0
+                .iter()
+                .map(|(b, info)| {
+                    (*b, ArrInfo { offset: info.offset.add(delta), size: info.size })
+                })
+                .collect::<Vec<_>>()
+                .into(),
+        )
+    }
+
+    fn merge_with(&self, other: &ArrayBlk, f: impl Fn(&ArrInfo, &ArrInfo) -> ArrInfo) -> ArrayBlk {
+        if self.0.is_empty() {
+            return other.clone();
+        }
+        if other.0.is_empty() || Rc::ptr_eq(&self.0, &other.0) {
+            return self.clone();
+        }
+        let mut out: Vec<(AbsLoc, ArrInfo)> = Vec::with_capacity(self.0.len() + other.0.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].0.cmp(&other.0[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.0[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((self.0[i].0, f(&self.0[i].1, &other.0[j].1)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        out.extend_from_slice(&other.0[j..]);
+        ArrayBlk(out.into())
+    }
+}
+
+impl Lattice for ArrayBlk {
+    fn bottom() -> Self {
+        ArrayBlk::empty()
+    }
+
+    fn le(&self, other: &Self) -> bool {
+        if Rc::ptr_eq(&self.0, &other.0) {
+            return true;
+        }
+        self.0.iter().all(|(b, info)| other.get(b).is_some_and(|o| info.le(o)))
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        self.merge_with(other, |a, b| a.join(b))
+    }
+
+    fn widen(&self, other: &Self) -> Self {
+        self.merge_with(other, |a, b| a.widen(b))
+    }
+
+    fn narrow(&self, other: &Self) -> Self {
+        // Narrowing only refines infinite bounds of entries present in both;
+        // bases are kept (they were sound in `self`).
+        if Rc::ptr_eq(&self.0, &other.0) {
+            return self.clone();
+        }
+        ArrayBlk(
+            self.0
+                .iter()
+                .map(|(b, info)| match other.get(b) {
+                    Some(o) => (*b, info.narrow(o)),
+                    None => (*b, *info),
+                })
+                .collect::<Vec<_>>()
+                .into(),
+        )
+    }
+}
+
+impl FromIterator<(AbsLoc, ArrInfo)> for ArrayBlk {
+    fn from_iter<I: IntoIterator<Item = (AbsLoc, ArrInfo)>>(iter: I) -> Self {
+        let mut v: Vec<(AbsLoc, ArrInfo)> = iter.into_iter().collect();
+        v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        v.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 = b.1.join(&a.1);
+                true
+            } else {
+                false
+            }
+        });
+        ArrayBlk(v.into())
+    }
+}
+
+impl fmt::Debug for ArrayBlk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut set = f.debug_set();
+        for (b, info) in self.iter() {
+            set.entry(&format_args!("⟨{b:?}, off {}, sz {}⟩", info.offset, info.size));
+        }
+        set.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::laws;
+    use sga_ir::{Cp, NodeId, ProcId, VarId};
+    use sga_utils::Idx;
+
+    fn site(n: usize) -> AbsLoc {
+        AbsLoc::Alloc(crate::locs::AllocSite(Cp::new(ProcId::new(0), NodeId::new(n))))
+    }
+
+    #[test]
+    fn alloc_and_shift() {
+        let blk = ArrayBlk::alloc(site(1), Interval::constant(10));
+        let shifted = blk.shift(&Interval::range(2, 3));
+        let info = shifted.get(&site(1)).unwrap();
+        assert_eq!(info.offset, Interval::range(2, 3));
+        assert_eq!(info.size, Interval::constant(10));
+        // Shift by zero shares.
+        assert!(blk.shift(&Interval::constant(0)) == blk);
+    }
+
+    #[test]
+    fn join_merges_bases() {
+        let a = ArrayBlk::alloc(site(1), Interval::constant(10));
+        let b = ArrayBlk::alloc(site(2), Interval::constant(20));
+        let j = a.join(&b);
+        assert_eq!(j.len(), 2);
+        assert!(j.get(&site(1)).is_some() && j.get(&site(2)).is_some());
+    }
+
+    #[test]
+    fn join_same_base_joins_info() {
+        let a = ArrayBlk::alloc(site(1), Interval::constant(10));
+        let b = ArrayBlk::alloc(site(1), Interval::constant(20)).shift(&Interval::constant(5));
+        let j = a.join(&b);
+        let info = j.get(&site(1)).unwrap();
+        assert_eq!(info.offset, Interval::range(0, 5));
+        assert_eq!(info.size, Interval::range(10, 20));
+    }
+
+    #[test]
+    fn le_requires_base_coverage() {
+        let a = ArrayBlk::alloc(site(1), Interval::constant(10));
+        let b = a.join(&ArrayBlk::alloc(site(2), Interval::constant(5)));
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert!(ArrayBlk::empty().le(&a));
+    }
+
+    #[test]
+    fn lattice_laws_on_samples() {
+        let var = AbsLoc::Var(VarId::new(0));
+        let samples = [
+            ArrayBlk::empty(),
+            ArrayBlk::alloc(site(1), Interval::constant(10)),
+            ArrayBlk::alloc(site(2), Interval::range(5, 9)),
+            ArrayBlk::alloc(var, Interval::top()).shift(&Interval::range(-1, 1)),
+        ];
+        for a in &samples {
+            for b in &samples {
+                for c in &samples {
+                    laws::check_join_laws(a, b, c);
+                    laws::check_widen_narrow_laws(a, b);
+                }
+            }
+        }
+    }
+}

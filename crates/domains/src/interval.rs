@@ -1,0 +1,626 @@
+//! The interval domain `Ẑ` of §3.1 — the representative non-relational
+//! numeric domain used by the paper's evaluation (`Interval*` analyzers).
+//!
+//! Intervals are `[l, u]` with `l, u ∈ ℤ ∪ {-∞, +∞}`, plus ⊥. Arithmetic
+//! that would overflow `i64` conservatively escapes to the adjacent
+//! infinity, keeping the operators sound.
+//!
+//! # Examples
+//!
+//! ```
+//! use sga_domains::{Interval, Lattice};
+//!
+//! let a = Interval::range(0, 10);
+//! let b = Interval::range(5, 20);
+//! assert_eq!(a.join(&b), Interval::range(0, 20));
+//! assert_eq!(a.add(&b), Interval::range(5, 30));
+//! assert_eq!(a.widen(&b), Interval::new(sga_domains::interval::Bound::Int(0),
+//!                                        sga_domains::interval::Bound::PosInf));
+//! ```
+
+use crate::lattice::Lattice;
+use sga_ir::RelOp;
+use std::fmt;
+
+/// One endpoint of an interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// `-∞`
+    NegInf,
+    /// A finite endpoint.
+    Int(i64),
+    /// `+∞`
+    PosInf,
+}
+
+impl Bound {
+    fn cmp_bound(self, other: Bound) -> std::cmp::Ordering {
+        use Bound::*;
+        match (self, other) {
+            (NegInf, NegInf) | (PosInf, PosInf) => std::cmp::Ordering::Equal,
+            (NegInf, _) | (_, PosInf) => std::cmp::Ordering::Less,
+            (PosInf, _) | (_, NegInf) => std::cmp::Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(&b),
+        }
+    }
+
+    fn min(self, other: Bound) -> Bound {
+        if self.cmp_bound(other).is_le() {
+            self
+        } else {
+            other
+        }
+    }
+
+    fn max(self, other: Bound) -> Bound {
+        if self.cmp_bound(other).is_ge() {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Addition; overflow escapes to the corresponding infinity.
+    fn add(self, other: Bound) -> Bound {
+        use Bound::*;
+        match (self, other) {
+            (NegInf, PosInf) | (PosInf, NegInf) => {
+                unreachable!("adding opposite infinities in interval arithmetic")
+            }
+            (NegInf, _) | (_, NegInf) => NegInf,
+            (PosInf, _) | (_, PosInf) => PosInf,
+            (Int(a), Int(b)) => match a.checked_add(b) {
+                Some(s) => Int(s),
+                None if a > 0 => PosInf,
+                None => NegInf,
+            },
+        }
+    }
+
+    fn neg(self) -> Bound {
+        match self {
+            Bound::NegInf => Bound::PosInf,
+            Bound::PosInf => Bound::NegInf,
+            Bound::Int(a) => a.checked_neg().map_or(Bound::PosInf, Bound::Int),
+        }
+    }
+
+    fn mul(self, other: Bound) -> Bound {
+        use Bound::*;
+        let sign = |b: Bound| match b {
+            NegInf => -1,
+            PosInf => 1,
+            Int(v) => v.signum() as i32,
+        };
+        match (self, other) {
+            (Int(0), _) | (_, Int(0)) => Int(0),
+            (Int(a), Int(b)) => match a.checked_mul(b) {
+                Some(p) => Int(p),
+                None if (a > 0) == (b > 0) => PosInf,
+                None => NegInf,
+            },
+            _ => {
+                if sign(self) * sign(other) >= 0 {
+                    PosInf
+                } else {
+                    NegInf
+                }
+            }
+        }
+    }
+
+    fn pred(self) -> Bound {
+        match self {
+            Bound::Int(a) => a.checked_sub(1).map_or(Bound::NegInf, Bound::Int),
+            b => b,
+        }
+    }
+
+    fn succ(self) -> Bound {
+        match self {
+            Bound::Int(a) => a.checked_add(1).map_or(Bound::PosInf, Bound::Int),
+            b => b,
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::NegInf => write!(f, "-oo"),
+            Bound::PosInf => write!(f, "+oo"),
+            Bound::Int(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// An interval value: ⊥ or a non-empty range.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interval {
+    /// The empty interval.
+    Bot,
+    /// `[lo, hi]` with `lo ⩽ hi`.
+    Range(Bound, Bound),
+}
+
+impl Interval {
+    /// The full range `[-∞, +∞]`.
+    pub fn top() -> Interval {
+        Interval::Range(Bound::NegInf, Bound::PosInf)
+    }
+
+    /// The singleton `[n, n]`.
+    pub fn constant(n: i64) -> Interval {
+        Interval::Range(Bound::Int(n), Bound::Int(n))
+    }
+
+    /// The finite range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(lo: i64, hi: i64) -> Interval {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]; use Interval::Bot");
+        Interval::Range(Bound::Int(lo), Bound::Int(hi))
+    }
+
+    /// A range from explicit bounds, normalizing empties to ⊥.
+    pub fn new(lo: Bound, hi: Bound) -> Interval {
+        if lo.cmp_bound(hi).is_gt() {
+            Interval::Bot
+        } else {
+            Interval::Range(lo, hi)
+        }
+    }
+
+    /// `[n, +∞]`.
+    pub fn at_least(n: i64) -> Interval {
+        Interval::Range(Bound::Int(n), Bound::PosInf)
+    }
+
+    /// `[-∞, n]`.
+    pub fn at_most(n: i64) -> Interval {
+        Interval::Range(Bound::NegInf, Bound::Int(n))
+    }
+
+    /// Lower bound, if not ⊥.
+    pub fn lo(&self) -> Option<Bound> {
+        match self {
+            Interval::Bot => None,
+            Interval::Range(l, _) => Some(*l),
+        }
+    }
+
+    /// Upper bound, if not ⊥.
+    pub fn hi(&self) -> Option<Bound> {
+        match self {
+            Interval::Bot => None,
+            Interval::Range(_, h) => Some(*h),
+        }
+    }
+
+    /// The single integer this interval denotes, if exact.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            Interval::Range(Bound::Int(a), Bound::Int(b)) if a == b => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Whether `n` is included.
+    pub fn contains(&self, n: i64) -> bool {
+        match self {
+            Interval::Bot => false,
+            Interval::Range(l, h) => {
+                l.cmp_bound(Bound::Int(n)).is_le() && Bound::Int(n).cmp_bound(*h).is_le()
+            }
+        }
+    }
+
+    /// Greatest lower bound.
+    #[must_use]
+    pub fn meet(&self, other: &Interval) -> Interval {
+        match (self, other) {
+            (Interval::Bot, _) | (_, Interval::Bot) => Interval::Bot,
+            (Interval::Range(l1, h1), Interval::Range(l2, h2)) => {
+                Interval::new(l1.max(*l2), h1.min(*h2))
+            }
+        }
+    }
+
+    /// Abstract addition.
+    #[must_use]
+    pub fn add(&self, other: &Interval) -> Interval {
+        match (self, other) {
+            (Interval::Bot, _) | (_, Interval::Bot) => Interval::Bot,
+            (Interval::Range(l1, h1), Interval::Range(l2, h2)) => {
+                Interval::Range(l1.add(*l2), h1.add(*h2))
+            }
+        }
+    }
+
+    /// Abstract negation.
+    #[must_use]
+    pub fn neg(&self) -> Interval {
+        match self {
+            Interval::Bot => Interval::Bot,
+            Interval::Range(l, h) => Interval::Range(h.neg(), l.neg()),
+        }
+    }
+
+    /// Abstract subtraction.
+    #[must_use]
+    pub fn sub(&self, other: &Interval) -> Interval {
+        self.add(&other.neg())
+    }
+
+    /// Abstract multiplication.
+    #[must_use]
+    pub fn mul(&self, other: &Interval) -> Interval {
+        match (self, other) {
+            (Interval::Bot, _) | (_, Interval::Bot) => Interval::Bot,
+            (Interval::Range(l1, h1), Interval::Range(l2, h2)) => {
+                let candidates = [l1.mul(*l2), l1.mul(*h2), h1.mul(*l2), h1.mul(*h2)];
+                let lo = candidates.iter().copied().reduce(Bound::min).unwrap();
+                let hi = candidates.iter().copied().reduce(Bound::max).unwrap();
+                Interval::Range(lo, hi)
+            }
+        }
+    }
+
+    /// Abstract division (sound, coarse around divisors containing 0).
+    #[must_use]
+    pub fn div(&self, other: &Interval) -> Interval {
+        match (self, other) {
+            (Interval::Bot, _) | (_, Interval::Bot) => Interval::Bot,
+            (_, d) if d.contains(0) => {
+                // Division by a range containing zero: any result (UB in C,
+                // abstracted to ⊤ to stay sound for the checker client).
+                Interval::top()
+            }
+            (Interval::Range(l1, h1), Interval::Range(l2, h2)) => {
+                let divide = |a: Bound, b: Bound| -> Bound {
+                    match (a, b) {
+                        (Bound::Int(x), Bound::Int(y)) => Bound::Int(x / y),
+                        (Bound::NegInf, y) => {
+                            if y.cmp_bound(Bound::Int(0)).is_gt() {
+                                Bound::NegInf
+                            } else {
+                                Bound::PosInf
+                            }
+                        }
+                        (Bound::PosInf, y) => {
+                            if y.cmp_bound(Bound::Int(0)).is_gt() {
+                                Bound::PosInf
+                            } else {
+                                Bound::NegInf
+                            }
+                        }
+                        (Bound::Int(_), _) => Bound::Int(0),
+                    }
+                };
+                let candidates = [
+                    divide(*l1, *l2),
+                    divide(*l1, *h2),
+                    divide(*h1, *l2),
+                    divide(*h1, *h2),
+                ];
+                let lo = candidates.iter().copied().reduce(Bound::min).unwrap();
+                let hi = candidates.iter().copied().reduce(Bound::max).unwrap();
+                Interval::Range(lo, hi)
+            }
+        }
+    }
+
+    /// Abstract modulo (sound over-approximation).
+    #[must_use]
+    pub fn rem(&self, other: &Interval) -> Interval {
+        match (self, other) {
+            (Interval::Bot, _) | (_, Interval::Bot) => Interval::Bot,
+            (_, d) if d.contains(0) => Interval::top(),
+            (a, Interval::Range(l2, h2)) => {
+                // |result| < max(|l2|, |h2|); sign follows the dividend.
+                let mag = match (l2, h2) {
+                    (Bound::Int(l), Bound::Int(h)) => Bound::Int(l.abs().max(h.abs()) - 1),
+                    _ => Bound::PosInf,
+                };
+                let lo = if a.contains_negative() { mag.neg() } else { Bound::Int(0) };
+                let hi = if a.contains_positive_or_zero() { mag } else { Bound::Int(0) };
+                Interval::new(lo, hi)
+            }
+        }
+    }
+
+    fn contains_negative(&self) -> bool {
+        match self {
+            Interval::Bot => false,
+            Interval::Range(l, _) => l.cmp_bound(Bound::Int(0)).is_lt(),
+        }
+    }
+
+    fn contains_positive_or_zero(&self) -> bool {
+        match self {
+            Interval::Bot => false,
+            Interval::Range(_, h) => h.cmp_bound(Bound::Int(0)).is_ge(),
+        }
+    }
+
+    /// Refines `self` assuming `self ⋈ other` holds — the transfer function
+    /// of `assume(x ⋈ e)` from §3.1.
+    #[must_use]
+    pub fn filter(&self, op: RelOp, other: &Interval) -> Interval {
+        let (Interval::Range(l, h), Interval::Range(ol, oh)) = (*self, *other) else {
+            return Interval::Bot;
+        };
+        match op {
+            RelOp::Lt => self.meet(&Interval::new(Bound::NegInf, oh.pred())),
+            RelOp::Le => self.meet(&Interval::new(Bound::NegInf, oh)),
+            RelOp::Gt => self.meet(&Interval::new(ol.succ(), Bound::PosInf)),
+            RelOp::Ge => self.meet(&Interval::new(ol, Bound::PosInf)),
+            RelOp::Eq => self.meet(other),
+            RelOp::Ne => {
+                // Only improves when `other` is a constant touching an endpoint.
+                if let Some(n) = other.as_const() {
+                    if l == Bound::Int(n) && h == Bound::Int(n) {
+                        Interval::Bot
+                    } else if l == Bound::Int(n) {
+                        Interval::new(l.succ(), h)
+                    } else if h == Bound::Int(n) {
+                        Interval::new(l, h.pred())
+                    } else {
+                        *self
+                    }
+                } else {
+                    *self
+                }
+            }
+        }
+    }
+
+    /// The comparison result `self ⋈ other` as a boolean interval
+    /// (`[0,0]` false, `[1,1]` true, `[0,1]` unknown).
+    #[must_use]
+    pub fn cmp_result(&self, op: RelOp, other: &Interval) -> Interval {
+        if self.is_bottom() || other.is_bottom() {
+            return Interval::Bot;
+        }
+        let true_branch = self.filter(op, other);
+        let false_branch = self.filter(op.negate(), other);
+        match (true_branch.is_bottom(), false_branch.is_bottom()) {
+            (true, true) => Interval::Bot,
+            (true, false) => Interval::constant(0),
+            (false, true) => Interval::constant(1),
+            (false, false) => Interval::range(0, 1),
+        }
+    }
+}
+
+impl Lattice for Interval {
+    fn bottom() -> Self {
+        Interval::Bot
+    }
+
+    fn le(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Interval::Bot, _) => true,
+            (_, Interval::Bot) => false,
+            (Interval::Range(l1, h1), Interval::Range(l2, h2)) => {
+                l2.cmp_bound(*l1).is_le() && h1.cmp_bound(*h2).is_le()
+            }
+        }
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Interval::Bot, x) | (x, Interval::Bot) => *x,
+            (Interval::Range(l1, h1), Interval::Range(l2, h2)) => {
+                Interval::Range(l1.min(*l2), h1.max(*h2))
+            }
+        }
+    }
+
+    fn widen(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Interval::Bot, x) | (x, Interval::Bot) => *x,
+            (Interval::Range(l1, h1), Interval::Range(l2, h2)) => {
+                let lo = if l2.cmp_bound(*l1).is_lt() { Bound::NegInf } else { *l1 };
+                let hi = if h2.cmp_bound(*h1).is_gt() { Bound::PosInf } else { *h1 };
+                Interval::Range(lo, hi)
+            }
+        }
+    }
+
+    fn narrow(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Interval::Bot, _) | (_, Interval::Bot) => Interval::Bot,
+            (Interval::Range(l1, h1), Interval::Range(l2, h2)) => {
+                let lo = if *l1 == Bound::NegInf { *l2 } else { *l1 };
+                let hi = if *h1 == Bound::PosInf { *h2 } else { *h1 };
+                Interval::new(lo, hi)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interval::Bot => write!(f, "⊥"),
+            Interval::Range(l, h) => write!(f, "[{l}, {h}]"),
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::laws;
+    use proptest::prelude::*;
+
+    fn arb_interval() -> impl Strategy<Value = Interval> {
+        prop_oneof![
+            Just(Interval::Bot),
+            Just(Interval::top()),
+            (-100i64..100).prop_map(Interval::constant),
+            (-100i64..100, 0i64..50).prop_map(|(l, w)| Interval::range(l, l + w)),
+            (-100i64..100).prop_map(Interval::at_least),
+            (-100i64..100).prop_map(Interval::at_most),
+        ]
+    }
+
+    #[test]
+    fn constants_and_ranges() {
+        assert_eq!(Interval::constant(5).as_const(), Some(5));
+        assert!(Interval::range(1, 3).contains(2));
+        assert!(!Interval::range(1, 3).contains(4));
+        assert!(Interval::top().contains(i64::MAX));
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Interval::range(1, 2);
+        let b = Interval::range(10, 20);
+        assert_eq!(a.add(&b), Interval::range(11, 22));
+        assert_eq!(b.sub(&a), Interval::range(8, 19));
+        assert_eq!(a.mul(&b), Interval::range(10, 40));
+        assert_eq!(a.neg(), Interval::range(-2, -1));
+        assert_eq!(b.div(&a), Interval::range(5, 20));
+    }
+
+    #[test]
+    fn mul_with_negatives() {
+        let a = Interval::range(-3, 2);
+        let b = Interval::range(-1, 4);
+        // min over cross products: -3*4 = -12; max: -3*-1=3, 2*4=8 → 8.
+        assert_eq!(a.mul(&b), Interval::range(-12, 8));
+    }
+
+    #[test]
+    fn div_by_zero_containing_is_top() {
+        assert_eq!(Interval::range(1, 2).div(&Interval::range(-1, 1)), Interval::top());
+    }
+
+    #[test]
+    fn rem_bounded_by_divisor() {
+        let r = Interval::range(0, 100).rem(&Interval::range(1, 10));
+        assert_eq!(r, Interval::range(0, 9));
+        let r2 = Interval::range(-5, 100).rem(&Interval::range(3, 3));
+        assert_eq!(r2, Interval::range(-2, 2));
+    }
+
+    #[test]
+    fn widen_escapes_moving_bounds() {
+        let a = Interval::range(0, 10);
+        let b = Interval::range(0, 11);
+        assert_eq!(a.widen(&b), Interval::new(Bound::Int(0), Bound::PosInf));
+        let c = Interval::range(-1, 10);
+        assert_eq!(a.widen(&c), Interval::new(Bound::NegInf, Bound::Int(10)));
+        assert_eq!(a.widen(&a), a);
+    }
+
+    #[test]
+    fn narrow_recovers_finite_bounds() {
+        let widened = Interval::new(Bound::Int(0), Bound::PosInf);
+        let refined = Interval::range(0, 41);
+        assert_eq!(widened.narrow(&refined), Interval::range(0, 41));
+    }
+
+    #[test]
+    fn filter_lt() {
+        let x = Interval::range(0, 100);
+        let n = Interval::constant(10);
+        assert_eq!(x.filter(RelOp::Lt, &n), Interval::range(0, 9));
+        assert_eq!(x.filter(RelOp::Ge, &n), Interval::range(10, 100));
+        assert_eq!(x.filter(RelOp::Eq, &n), Interval::constant(10));
+        assert_eq!(Interval::constant(10).filter(RelOp::Ne, &n), Interval::Bot);
+    }
+
+    #[test]
+    fn filter_against_range() {
+        let x = Interval::range(0, 100);
+        let e = Interval::range(10, 20);
+        // x < [10,20] possible whenever x < 20.
+        assert_eq!(x.filter(RelOp::Lt, &e), Interval::range(0, 19));
+        assert_eq!(x.filter(RelOp::Gt, &e), Interval::range(11, 100));
+    }
+
+    #[test]
+    fn cmp_result_three_values() {
+        let x = Interval::range(0, 5);
+        assert_eq!(x.cmp_result(RelOp::Lt, &Interval::constant(10)), Interval::constant(1));
+        assert_eq!(x.cmp_result(RelOp::Gt, &Interval::constant(10)), Interval::constant(0));
+        assert_eq!(x.cmp_result(RelOp::Lt, &Interval::constant(3)), Interval::range(0, 1));
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        let big = Interval::constant(i64::MAX);
+        let one = Interval::constant(1);
+        let sum = big.add(&one);
+        assert_eq!(sum, Interval::Range(Bound::PosInf, Bound::PosInf).meet(&sum));
+        assert!(Interval::constant(i64::MIN).neg().hi() == Some(Bound::PosInf));
+    }
+
+    proptest! {
+        #[test]
+        fn lattice_laws(a in arb_interval(), b in arb_interval(), c in arb_interval()) {
+            laws::check_join_laws(&a, &b, &c);
+            laws::check_widen_narrow_laws(&a, &b);
+        }
+
+        #[test]
+        fn widening_chains_stabilize(xs in prop::collection::vec(arb_interval(), 1..20)) {
+            let mut acc = Interval::Bot;
+            let mut prev;
+            for x in &xs {
+                prev = acc;
+                acc = acc.widen(x);
+                prop_assert!(prev.le(&acc));
+            }
+            // One more widening with anything ⊑ acc must be stable.
+            for x in &xs {
+                let stable = acc.widen(&x.meet(&acc));
+                prop_assert_eq!(stable, acc);
+            }
+        }
+
+        #[test]
+        fn add_sound_on_samples(a in arb_interval(), b in arb_interval(),
+                                x in -99i64..99, y in -99i64..99) {
+            if a.contains(x) && b.contains(y) {
+                prop_assert!(a.add(&b).contains(x + y));
+                prop_assert!(a.sub(&b).contains(x - y));
+                prop_assert!(a.mul(&b).contains(x * y));
+                if y != 0 {
+                    prop_assert!(a.div(&b).contains(x / y));
+                    prop_assert!(a.rem(&b).contains(x % y));
+                }
+            }
+        }
+
+        #[test]
+        fn filter_sound_on_samples(a in arb_interval(), b in arb_interval(),
+                                   x in -99i64..99, y in -99i64..99) {
+            let holds = |op: RelOp| match op {
+                RelOp::Lt => x < y,
+                RelOp::Le => x <= y,
+                RelOp::Gt => x > y,
+                RelOp::Ge => x >= y,
+                RelOp::Eq => x == y,
+                RelOp::Ne => x != y,
+            };
+            for op in [RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge, RelOp::Eq, RelOp::Ne] {
+                if a.contains(x) && b.contains(y) && holds(op) {
+                    prop_assert!(a.filter(op, &b).contains(x),
+                        "filter {op:?} dropped {x} from {a:?} given {b:?}");
+                }
+            }
+        }
+    }
+}

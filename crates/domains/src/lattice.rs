@@ -1,0 +1,120 @@
+//! The lattice interface every abstract domain implements.
+
+/// A join-semilattice with widening/narrowing, as required by the abstract
+/// interpretation framework the analyses are built on.
+///
+/// Laws (checked by property tests on each implementation):
+///
+/// * `join` is the least upper bound: `a ⊑ a ⊔ b`, `b ⊑ a ⊔ b`, and it is
+///   idempotent/commutative/associative;
+/// * `bottom` is the unit: `⊥ ⊔ a = a`;
+/// * `widen` over-approximates join: `a ⊔ b ⊑ a ∇ b`, and any ascending
+///   chain `x_{n+1} = x_n ∇ y_n` stabilizes;
+/// * `narrow` stays between: `b ⊑ a △ b ⊑ a` whenever `b ⊑ a`.
+pub trait Lattice: Clone + PartialEq {
+    /// The least element.
+    fn bottom() -> Self;
+
+    /// Whether this is the least element.
+    fn is_bottom(&self) -> bool {
+        *self == Self::bottom()
+    }
+
+    /// Partial-order test `self ⊑ other`.
+    fn le(&self, other: &Self) -> bool;
+
+    /// Least upper bound.
+    #[must_use = "join returns the joined value"]
+    fn join(&self, other: &Self) -> Self;
+
+    /// Widening `self ∇ other`; defaults to `join` for finite-height domains.
+    #[must_use = "widen returns the widened value"]
+    fn widen(&self, other: &Self) -> Self {
+        self.join(other)
+    }
+
+    /// Narrowing `self △ other`; defaults to keeping `self` (always sound
+    /// when `other ⊑ self`).
+    #[must_use = "narrow returns the narrowed value"]
+    fn narrow(&self, other: &Self) -> Self {
+        let _ = other;
+        self.clone()
+    }
+}
+
+/// Property-test helpers shared by the domain test suites.
+#[doc(hidden)]
+pub mod laws {
+    use super::Lattice;
+
+    /// Asserts the join laws on a triple.
+    pub fn check_join_laws<L: Lattice + std::fmt::Debug>(a: &L, b: &L, c: &L) {
+        let ab = a.join(b);
+        assert!(a.le(&ab), "a ⋢ a⊔b: {a:?} vs {ab:?}");
+        assert!(b.le(&ab), "b ⋢ a⊔b: {b:?} vs {ab:?}");
+        assert_eq!(a.join(a), a.clone(), "join not idempotent");
+        assert_eq!(ab, b.join(a), "join not commutative");
+        assert_eq!(a.join(&b.join(c)), a.join(b).join(c), "join not associative");
+        assert_eq!(L::bottom().join(a), a.clone(), "⊥ not unit");
+        assert!(L::bottom().le(a), "⊥ not least");
+    }
+
+    /// Asserts `a ⊔ b ⊑ a ∇ b` and that narrowing stays in range.
+    pub fn check_widen_narrow_laws<L: Lattice + std::fmt::Debug>(a: &L, b: &L) {
+        let j = a.join(b);
+        let w = a.widen(b);
+        assert!(j.le(&w), "join ⋢ widen: {j:?} vs {w:?}");
+        let n = w.narrow(&j);
+        assert!(j.le(&n) && n.le(&w), "narrow out of range: {j:?} ⊑ {n:?} ⊑ {w:?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny two-point lattice to exercise the default methods.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum TwoPoint {
+        Bot,
+        Top,
+    }
+
+    impl Lattice for TwoPoint {
+        fn bottom() -> Self {
+            TwoPoint::Bot
+        }
+        fn le(&self, other: &Self) -> bool {
+            matches!((self, other), (TwoPoint::Bot, _) | (_, TwoPoint::Top))
+        }
+        fn join(&self, other: &Self) -> Self {
+            if *self == TwoPoint::Top || *other == TwoPoint::Top {
+                TwoPoint::Top
+            } else {
+                TwoPoint::Bot
+            }
+        }
+    }
+
+    #[test]
+    fn default_widen_is_join() {
+        assert_eq!(TwoPoint::Bot.widen(&TwoPoint::Top), TwoPoint::Top);
+    }
+
+    #[test]
+    fn default_narrow_keeps_self() {
+        assert_eq!(TwoPoint::Top.narrow(&TwoPoint::Bot), TwoPoint::Top);
+    }
+
+    #[test]
+    fn laws_hold_for_two_point() {
+        for a in [TwoPoint::Bot, TwoPoint::Top] {
+            for b in [TwoPoint::Bot, TwoPoint::Top] {
+                for c in [TwoPoint::Bot, TwoPoint::Top] {
+                    laws::check_join_laws(&a, &b, &c);
+                    laws::check_widen_narrow_laws(&a, &b);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Abstract domains for the SGA analyses.
+//!
+//! The paper's baseline abstraction (§2.3) fixes abstract states to maps
+//! `L̂ → V̂` from a finite set of abstract locations to abstract values. This
+//! crate provides both instantiations used in the evaluation:
+//!
+//! * the **non-relational** instance (§3): [`Value`] is a
+//!   product of an interval ([`interval`]), a points-to set ([`locs`]), an
+//!   array block ([`array`](mod@array)) and a function-pointer set, with
+//!   [`State`] the location-indexed map;
+//! * the **relational** instance (§4): packed [`octagon`]s, where the
+//!   abstract locations are variable [`pack`]s and the values are octagon
+//!   constraints.
+//!
+//! All domains implement the [`Lattice`] trait consumed by
+//! the fixpoint engines in `sga-core`.
+
+pub mod array;
+pub mod interval;
+pub mod lattice;
+pub mod locs;
+pub mod octagon;
+pub mod pack;
+pub mod state;
+pub mod value;
+
+pub use interval::Interval;
+pub use lattice::Lattice;
+pub use locs::{AbsLoc, LocSet};
+pub use octagon::Octagon;
+pub use pack::{Pack, PackId, PackSet};
+pub use state::State;
+pub use value::Value;

@@ -1,0 +1,284 @@
+//! Abstract locations `L̂` and points-to sets `P̂ = 2^L̂` (§3.1).
+//!
+//! An abstract location is a program variable, a field of a variable, a
+//! dynamic allocation site (abstracted by its control point, per §6.1), a
+//! field of an allocation site, or a procedure (for function pointers).
+//!
+//! [`LocSet`] is an immutable sorted set with `Rc` sharing: points-to sets
+//! are copied into every state that mentions them, so cheap clones and
+//! subset-shortcut unions matter.
+
+use crate::lattice::Lattice;
+use sga_ir::{Cp, FieldId, ProcId, VarId};
+use std::fmt;
+use std::rc::Rc;
+
+/// An allocation site: the control point of the `alloc` command.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AllocSite(pub Cp);
+
+impl fmt::Debug for AllocSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "alloc@{}", self.0)
+    }
+}
+
+/// An abstract location `l ∈ L̂`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbsLoc {
+    /// A program variable.
+    Var(VarId),
+    /// A field of a (struct) variable.
+    Field(VarId, FieldId),
+    /// Summarized contents of an allocation site.
+    Alloc(AllocSite),
+    /// A field of every object allocated at a site.
+    AllocField(AllocSite, FieldId),
+    /// A procedure, the target of a function pointer.
+    Proc(ProcId),
+}
+
+impl AbsLoc {
+    /// Whether the location summarizes *several* concrete cells (allocation
+    /// sites do; so do address-taken variables in loops, but we keep the
+    /// paper's simple site-based criterion). Summary locations only admit
+    /// weak updates.
+    pub fn is_summary(&self) -> bool {
+        matches!(self, AbsLoc::Alloc(_) | AbsLoc::AllocField(_, _))
+    }
+
+    /// The variable this location refines, if any.
+    pub fn var(&self) -> Option<VarId> {
+        match self {
+            AbsLoc::Var(v) | AbsLoc::Field(v, _) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for AbsLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsLoc::Var(v) => write!(f, "{v}"),
+            AbsLoc::Field(v, fl) => write!(f, "{v}.{fl}"),
+            AbsLoc::Alloc(site) => write!(f, "{site:?}"),
+            AbsLoc::AllocField(site, fl) => write!(f, "{site:?}.{fl}"),
+            AbsLoc::Proc(p) => write!(f, "fn:{p}"),
+        }
+    }
+}
+
+/// An immutable, sorted, deduplicated set of abstract locations.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LocSet(Rc<[AbsLoc]>);
+
+impl LocSet {
+    /// The empty set.
+    pub fn empty() -> LocSet {
+        LocSet(Rc::from([]))
+    }
+
+    /// A one-element set.
+    pub fn singleton(l: AbsLoc) -> LocSet {
+        LocSet(Rc::from([l]))
+    }
+
+    /// Number of locations.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, l: &AbsLoc) -> bool {
+        self.0.binary_search(l).is_ok()
+    }
+
+    /// Iterates in ascending order.
+    pub fn iter(&self) -> std::slice::Iter<'_, AbsLoc> {
+        self.0.iter()
+    }
+
+    /// The single element, if the set is a singleton — the strong-update
+    /// eligibility test.
+    pub fn as_singleton(&self) -> Option<AbsLoc> {
+        match &*self.0 {
+            [l] => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// Set union, sharing the larger side when one includes the other.
+    #[must_use]
+    pub fn union(&self, other: &LocSet) -> LocSet {
+        if self.0.is_empty() || Rc::ptr_eq(&self.0, &other.0) {
+            return other.clone();
+        }
+        if other.0.is_empty() {
+            return self.clone();
+        }
+        if other.is_subset(self) {
+            return self.clone();
+        }
+        if self.is_subset(other) {
+            return other.clone();
+        }
+        let mut out = Vec::with_capacity(self.0.len() + other.0.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.0[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        out.extend_from_slice(&other.0[j..]);
+        LocSet(Rc::from(out))
+    }
+
+    /// Subset test over the sorted representations.
+    pub fn is_subset(&self, other: &LocSet) -> bool {
+        if self.0.len() > other.0.len() {
+            return false;
+        }
+        let mut j = 0;
+        'outer: for l in self.0.iter() {
+            while j < other.0.len() {
+                match other.0[j].cmp(l) {
+                    std::cmp::Ordering::Less => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        j += 1;
+                        continue 'outer;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+impl Lattice for LocSet {
+    fn bottom() -> Self {
+        LocSet::empty()
+    }
+    fn le(&self, other: &Self) -> bool {
+        self.is_subset(other)
+    }
+    fn join(&self, other: &Self) -> Self {
+        self.union(other)
+    }
+}
+
+impl FromIterator<AbsLoc> for LocSet {
+    fn from_iter<I: IntoIterator<Item = AbsLoc>>(iter: I) -> Self {
+        let mut v: Vec<AbsLoc> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        LocSet(Rc::from(v))
+    }
+}
+
+impl<'a> IntoIterator for &'a LocSet {
+    type Item = &'a AbsLoc;
+    type IntoIter = std::slice::Iter<'a, AbsLoc>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Debug for LocSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::laws;
+    use proptest::prelude::*;
+    use sga_utils::Idx;
+
+    fn v(i: usize) -> AbsLoc {
+        AbsLoc::Var(VarId::new(i))
+    }
+
+    #[test]
+    fn union_dedups_and_sorts() {
+        let a: LocSet = [v(3), v(1)].into_iter().collect();
+        let b: LocSet = [v(2), v(1)].into_iter().collect();
+        let u = a.union(&b);
+        assert_eq!(u.iter().copied().collect::<Vec<_>>(), vec![v(1), v(2), v(3)]);
+    }
+
+    #[test]
+    fn union_shares_on_subset() {
+        let a: LocSet = [v(1), v(2), v(3)].into_iter().collect();
+        let b: LocSet = [v(2)].into_iter().collect();
+        let u = a.union(&b);
+        assert!(Rc::ptr_eq(&u.0, &a.0), "superset side should be shared");
+    }
+
+    #[test]
+    fn singleton_detection() {
+        assert_eq!(LocSet::singleton(v(4)).as_singleton(), Some(v(4)));
+        let two: LocSet = [v(1), v(2)].into_iter().collect();
+        assert_eq!(two.as_singleton(), None);
+        assert_eq!(LocSet::empty().as_singleton(), None);
+    }
+
+    #[test]
+    fn summary_flags() {
+        use sga_ir::{NodeId, ProcId};
+        let site = AllocSite(Cp::new(ProcId::new(0), NodeId::new(5)));
+        assert!(AbsLoc::Alloc(site).is_summary());
+        assert!(!v(0).is_summary());
+        assert!(!AbsLoc::Proc(ProcId::new(1)).is_summary());
+    }
+
+    proptest! {
+        #[test]
+        fn set_ops_match_btreeset(
+            xs in prop::collection::btree_set(0usize..40, 0..20),
+            ys in prop::collection::btree_set(0usize..40, 0..20),
+        ) {
+            let a: LocSet = xs.iter().map(|&i| v(i)).collect();
+            let b: LocSet = ys.iter().map(|&i| v(i)).collect();
+            let u = a.union(&b);
+            let want: Vec<AbsLoc> = xs.union(&ys).map(|&i| v(i)).collect();
+            prop_assert_eq!(u.iter().copied().collect::<Vec<_>>(), want);
+            prop_assert_eq!(a.is_subset(&b), xs.is_subset(&ys));
+            prop_assert_eq!(a.contains(&v(7)), xs.contains(&7));
+        }
+
+        #[test]
+        fn lattice_laws(
+            xs in prop::collection::btree_set(0usize..20, 0..10),
+            ys in prop::collection::btree_set(0usize..20, 0..10),
+            zs in prop::collection::btree_set(0usize..20, 0..10),
+        ) {
+            let a: LocSet = xs.iter().map(|&i| v(i)).collect();
+            let b: LocSet = ys.iter().map(|&i| v(i)).collect();
+            let c: LocSet = zs.iter().map(|&i| v(i)).collect();
+            laws::check_join_laws(&a, &b, &c);
+            laws::check_widen_narrow_laws(&a, &b);
+        }
+    }
+}

@@ -1,0 +1,676 @@
+//! The octagon abstract domain (Miné, HOSC 2006) — the representative
+//! relational domain of the paper's evaluation (`Octagon*` analyzers, §6.2).
+//!
+//! An octagon over `k` variables tracks constraints of the form
+//! `±x_i ± x_j ≤ c`. The implementation is the classic difference-bound
+//! matrix (DBM) over `2k` signed forms: index `2i` is `+x_i`, index `2i+1`
+//! is `-x_i`, and entry `m[a][b]` bounds `V_b − V_a ≤ m[a][b]`. Strong
+//! closure (Floyd–Warshall plus the unary-constraint strengthening step) is
+//! the normal form used by `le`, `join`, and projection; widening operates
+//! on the *unclosed* left argument, as required for termination.
+//!
+//! # Examples
+//!
+//! ```
+//! use sga_domains::{Octagon, Interval};
+//!
+//! // x0 ∈ [0, 10], x1 = x0 + 2  ⇒  x1 ∈ [2, 12]
+//! let oct = Octagon::top(2)
+//!     .assign_interval(0, &Interval::range(0, 10))
+//!     .assign_var_plus(1, 0, 2);
+//! assert_eq!(oct.project(1), Interval::range(2, 12));
+//! ```
+
+use crate::interval::{Bound, Interval};
+use crate::lattice::Lattice;
+use sga_ir::RelOp;
+use std::fmt;
+use std::rc::Rc;
+
+/// Entry value for "no constraint".
+const INF: i64 = i64::MAX / 4;
+
+#[inline]
+fn badd(a: i64, b: i64) -> i64 {
+    if a >= INF || b >= INF {
+        INF
+    } else {
+        (a + b).min(INF)
+    }
+}
+
+#[inline]
+fn pos(i: usize) -> usize {
+    2 * i
+}
+
+#[inline]
+fn neg(i: usize) -> usize {
+    2 * i + 1
+}
+
+/// Flips the sign of a DBM index (`+x ↔ -x`).
+#[inline]
+fn bar(a: usize) -> usize {
+    a ^ 1
+}
+
+/// An octagon over a fixed number of variables.
+///
+/// The dimensionless [`Lattice::bottom`] unifies with any dimension, so the
+/// packed relational state can use a single `Lattice` instance.
+#[derive(Clone)]
+pub enum Octagon {
+    /// Unsatisfiable constraints (⊥), any dimension.
+    Bot,
+    /// A satisfiable constraint matrix.
+    Oct(Matrix),
+}
+
+/// The DBM payload of a non-⊥ octagon.
+#[derive(Clone)]
+pub struct Matrix {
+    dim: usize,
+    /// Row-major `2dim × 2dim` bound matrix.
+    m: Rc<[i64]>,
+    closed: bool,
+}
+
+impl Matrix {
+    #[inline]
+    fn n(&self) -> usize {
+        2 * self.dim
+    }
+
+    #[inline]
+    fn at(&self, a: usize, b: usize) -> i64 {
+        self.m[a * self.n() + b]
+    }
+}
+
+impl Octagon {
+    /// The unconstrained octagon over `dim` variables.
+    pub fn top(dim: usize) -> Octagon {
+        let n = 2 * dim;
+        let mut m = vec![INF; n * n];
+        for a in 0..n {
+            m[a * n + a] = 0;
+        }
+        Octagon::Oct(Matrix { dim, m: m.into(), closed: true })
+    }
+
+    /// Number of variables, `None` for the dimensionless ⊥.
+    pub fn dim(&self) -> Option<usize> {
+        match self {
+            Octagon::Bot => None,
+            Octagon::Oct(mat) => Some(mat.dim),
+        }
+    }
+
+    fn with_matrix(dim: usize, m: Vec<i64>, closed: bool) -> Octagon {
+        Octagon::Oct(Matrix { dim, m: m.into(), closed })
+    }
+
+    /// Strong closure: shortest paths plus the strengthening step
+    /// `m[a][b] ← min(m[a][b], (m[a][ā] + m[b̄][b]) / 2)`. Detects ⊥ via a
+    /// negative diagonal. Returns a closed octagon (or ⊥).
+    #[must_use]
+    pub fn close(&self) -> Octagon {
+        let Octagon::Oct(mat) = self else { return Octagon::Bot };
+        if mat.closed {
+            return self.clone();
+        }
+        let n = mat.n();
+        let mut m: Vec<i64> = mat.m.to_vec();
+        // Floyd–Warshall.
+        for k in 0..n {
+            for a in 0..n {
+                let mak = m[a * n + k];
+                if mak >= INF {
+                    continue;
+                }
+                for b in 0..n {
+                    let cand = badd(mak, m[k * n + b]);
+                    if cand < m[a * n + b] {
+                        m[a * n + b] = cand;
+                    }
+                }
+            }
+            // Strengthening interleaved keeps strong closure exact.
+            for a in 0..n {
+                let ua = m[a * n + bar(a)];
+                if ua >= INF {
+                    continue;
+                }
+                for b in 0..n {
+                    let ub = m[bar(b) * n + b];
+                    if ub >= INF {
+                        continue;
+                    }
+                    let cand = (ua >> 1) + (ub >> 1) + (ua & ub & 1);
+                    if cand < m[a * n + b] {
+                        m[a * n + b] = cand;
+                    }
+                }
+            }
+        }
+        for a in 0..n {
+            if m[a * n + a] < 0 {
+                return Octagon::Bot;
+            }
+            m[a * n + a] = 0;
+        }
+        Octagon::with_matrix(mat.dim, m, true)
+    }
+
+    /// Adds the constraint `V_b − V_a ≤ c` in raw DBM coordinates (and its
+    /// coherent mirror), without closing.
+    #[must_use]
+    fn add_raw(&self, a: usize, b: usize, c: i64) -> Octagon {
+        let Octagon::Oct(mat) = self else { return Octagon::Bot };
+        let n = mat.n();
+        let mut m = mat.m.to_vec();
+        if c < m[a * n + b] {
+            m[a * n + b] = c;
+            m[bar(b) * n + bar(a)] = c;
+        }
+        Octagon::with_matrix(mat.dim, m, false)
+    }
+
+    /// Adds `x_j − x_i ≤ c`.
+    #[must_use]
+    pub fn add_diff(&self, j: usize, i: usize, c: i64) -> Octagon {
+        self.add_raw(pos(i), pos(j), c).close()
+    }
+
+    /// Adds `x_j + x_i ≤ c`.
+    #[must_use]
+    pub fn add_sum_le(&self, j: usize, i: usize, c: i64) -> Octagon {
+        self.add_raw(neg(i), pos(j), c).close()
+    }
+
+    /// Adds `−x_j − x_i ≤ c`.
+    #[must_use]
+    pub fn add_neg_sum_le(&self, j: usize, i: usize, c: i64) -> Octagon {
+        self.add_raw(pos(i), neg(j), c).close()
+    }
+
+    /// Adds `x_i ≤ c`.
+    #[must_use]
+    pub fn add_upper(&self, i: usize, c: i64) -> Octagon {
+        self.add_raw(neg(i), pos(i), c.saturating_mul(2).min(INF)).close()
+    }
+
+    /// Adds `x_i ≥ c`.
+    #[must_use]
+    pub fn add_lower(&self, i: usize, c: i64) -> Octagon {
+        self.add_raw(pos(i), neg(i), (-c).saturating_mul(2).min(INF)).close()
+    }
+
+    /// Removes every constraint on `x_i` (Miné's *forget*), closing first so
+    /// relations through `x_i` are preserved.
+    #[must_use]
+    pub fn forget(&self, i: usize) -> Octagon {
+        let closed = self.close();
+        let Octagon::Oct(mat) = &closed else { return Octagon::Bot };
+        let n = mat.n();
+        let mut m = mat.m.to_vec();
+        for a in [pos(i), neg(i)] {
+            for b in 0..n {
+                if a != b {
+                    m[a * n + b] = INF;
+                    m[b * n + a] = INF;
+                }
+            }
+        }
+        Octagon::with_matrix(mat.dim, m, true)
+    }
+
+    /// `x_i := [lo, hi]` — forget then bound.
+    #[must_use]
+    pub fn assign_interval(&self, i: usize, itv: &Interval) -> Octagon {
+        match itv {
+            Interval::Bot => Octagon::Bot,
+            Interval::Range(lo, hi) => {
+                let mut oct = self.forget(i);
+                if let Bound::Int(h) = hi {
+                    oct = oct.add_upper(i, *h);
+                }
+                if let Bound::Int(l) = lo {
+                    oct = oct.add_lower(i, *l);
+                }
+                oct
+            }
+        }
+    }
+
+    /// `x_i := x_j + c` (exact octagonal assignment).
+    #[must_use]
+    pub fn assign_var_plus(&self, i: usize, j: usize, c: i64) -> Octagon {
+        if i == j {
+            // x := x + c — shift every bound mentioning x by ±c.
+            let closed = self.close();
+            let Octagon::Oct(mat) = &closed else { return Octagon::Bot };
+            let n = mat.n();
+            let mut m = mat.m.to_vec();
+            let (p, q) = (pos(i), neg(i));
+            for a in 0..n {
+                for b in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    let mut delta = 0i64;
+                    // Entry bounds V_b − V_a; +x contributes +c to V,
+                    // −x contributes −c.
+                    if b == p {
+                        delta -= c;
+                    }
+                    if b == q {
+                        delta += c;
+                    }
+                    if a == p {
+                        delta += c;
+                    }
+                    if a == q {
+                        delta -= c;
+                    }
+                    let v = m[a * n + b];
+                    if v < INF {
+                        m[a * n + b] = v.saturating_sub(delta).min(INF);
+                    }
+                }
+            }
+            Octagon::with_matrix(mat.dim, m, true)
+        } else {
+            // x := y + c: forget x, then x − y ≤ c and y − x ≤ −c.
+            self.forget(i)
+                .add_raw(pos(j), pos(i), c)
+                .add_raw(pos(i), pos(j), -c)
+                .close()
+        }
+    }
+
+    /// Tests/refines with `x_i ⋈ x_j + c` (assume transfer function).
+    #[must_use]
+    pub fn assume_var(&self, i: usize, op: RelOp, j: usize, c: i64) -> Octagon {
+        match op {
+            RelOp::Le => self.add_diff(i, j, c),
+            RelOp::Lt => self.add_diff(i, j, c - 1),
+            RelOp::Ge => self.add_diff(j, i, -c),
+            RelOp::Gt => self.add_diff(j, i, -c - 1),
+            RelOp::Eq => self.add_diff(i, j, c).add_diff(j, i, -c),
+            RelOp::Ne => self.clone(), // octagons cannot express ≠
+        }
+    }
+
+    /// Tests/refines with `x_i ⋈ c`.
+    #[must_use]
+    pub fn assume_const(&self, i: usize, op: RelOp, c: i64) -> Octagon {
+        match op {
+            RelOp::Le => self.add_upper(i, c),
+            RelOp::Lt => self.add_upper(i, c - 1),
+            RelOp::Ge => self.add_lower(i, c),
+            RelOp::Gt => self.add_lower(i, c + 1),
+            RelOp::Eq => self.add_upper(i, c).add_lower(i, c),
+            RelOp::Ne => self.clone(),
+        }
+    }
+
+    /// Projects variable `x_i` to an interval — `π_x` of §4.2, the bridge
+    /// from the relational domain back to non-relational values.
+    pub fn project(&self, i: usize) -> Interval {
+        let closed = self.close();
+        let Octagon::Oct(mat) = &closed else { return Interval::Bot };
+        let up = mat.at(neg(i), pos(i)); // 2·x ≤ up
+        let dn = mat.at(pos(i), neg(i)); // −2·x ≤ dn
+        let hi = if up >= INF { Bound::PosInf } else { Bound::Int(up.div_euclid(2)) };
+        let lo = if dn >= INF { Bound::NegInf } else { Bound::Int((-dn).div_euclid(2) + i64::from((-dn).rem_euclid(2) != 0)) };
+        Interval::new(lo, hi)
+    }
+
+    /// The tightest known bound on `x_i − x_j`, if any.
+    pub fn diff_bound(&self, i: usize, j: usize) -> Option<i64> {
+        let closed = self.close();
+        let Octagon::Oct(mat) = &closed else { return None };
+        let c = mat.at(pos(j), pos(i));
+        (c < INF).then_some(c)
+    }
+
+    /// The interval of `x_i − x_j` implied by the constraints.
+    pub fn diff_interval(&self, i: usize, j: usize) -> Interval {
+        let closed = self.close();
+        let Octagon::Oct(_) = &closed else { return Interval::Bot };
+        let hi = match closed.diff_bound(i, j) {
+            Some(c) => Bound::Int(c),
+            None => Bound::PosInf,
+        };
+        let lo = match closed.diff_bound(j, i) {
+            Some(c) => Bound::Int(-c),
+            None => Bound::NegInf,
+        };
+        Interval::new(lo, hi)
+    }
+
+    /// The interval of `x_i + x_j` implied by the constraints.
+    pub fn sum_interval(&self, i: usize, j: usize) -> Interval {
+        let closed = self.close();
+        let Octagon::Oct(mat) = &closed else { return Interval::Bot };
+        // x_i + x_j ≤ c is entry m[i⁻][j⁺]; −x_i − x_j ≤ c is m[i⁺][j⁻].
+        let up = mat.at(neg(i), pos(j));
+        let dn = mat.at(pos(i), neg(j));
+        let hi = if up >= INF { Bound::PosInf } else { Bound::Int(up) };
+        let lo = if dn >= INF { Bound::NegInf } else { Bound::Int(-dn) };
+        Interval::new(lo, hi)
+    }
+
+    fn binary_pointwise(&self, other: &Self, f: impl Fn(i64, i64) -> i64, closed: bool) -> Octagon {
+        match (self.close(), other.close()) {
+            (Octagon::Bot, o) | (o, Octagon::Bot) => o,
+            (Octagon::Oct(a), Octagon::Oct(b)) => {
+                assert_eq!(a.dim, b.dim, "octagon dimension mismatch");
+                let m: Vec<i64> =
+                    a.m.iter().zip(b.m.iter()).map(|(&x, &y)| f(x, y)).collect();
+                Octagon::with_matrix(a.dim, m, closed)
+            }
+        }
+    }
+
+    /// Greatest lower bound.
+    #[must_use]
+    pub fn meet(&self, other: &Self) -> Octagon {
+        match (self, other) {
+            (Octagon::Bot, _) | (_, Octagon::Bot) => Octagon::Bot,
+            _ => self.binary_pointwise(other, i64::min, false).close(),
+        }
+    }
+}
+
+impl Lattice for Octagon {
+    fn bottom() -> Self {
+        Octagon::Bot
+    }
+
+    fn is_bottom(&self) -> bool {
+        matches!(self.close(), Octagon::Bot)
+    }
+
+    fn le(&self, other: &Self) -> bool {
+        match (self.close(), other) {
+            (Octagon::Bot, _) => true,
+            (_, Octagon::Bot) => other.close().is_bottom() && self.is_bottom(),
+            (Octagon::Oct(a), Octagon::Oct(_)) => {
+                // Compare against the raw right side is unsound; close it.
+                let Octagon::Oct(b) = other.close() else {
+                    return false;
+                };
+                assert_eq!(a.dim, b.dim, "octagon dimension mismatch");
+                a.m.iter().zip(b.m.iter()).all(|(&x, &y)| x <= y)
+            }
+        }
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        // Pointwise max of *closed* arguments is the octagon lub.
+        self.binary_pointwise(other, i64::max, true)
+    }
+
+    fn widen(&self, other: &Self) -> Self {
+        // Standard DBM widening: keep stable bounds, drop growing ones.
+        // The left argument must stay unclosed between widening steps.
+        match (self, other.close()) {
+            (Octagon::Bot, o) => o,
+            (s, Octagon::Bot) => s.clone(),
+            (Octagon::Oct(a), Octagon::Oct(b)) => {
+                assert_eq!(a.dim, b.dim, "octagon dimension mismatch");
+                let m: Vec<i64> = a
+                    .m
+                    .iter()
+                    .zip(b.m.iter())
+                    .map(|(&x, &y)| if y <= x { x } else { INF })
+                    .collect();
+                Octagon::with_matrix(a.dim, m, false)
+            }
+        }
+    }
+
+    fn narrow(&self, other: &Self) -> Self {
+        match (self.close(), other.close()) {
+            (Octagon::Bot, _) | (_, Octagon::Bot) => Octagon::Bot,
+            (Octagon::Oct(a), Octagon::Oct(b)) => {
+                assert_eq!(a.dim, b.dim, "octagon dimension mismatch");
+                // Refine only the unconstrained (INF) entries.
+                let m: Vec<i64> = a
+                    .m
+                    .iter()
+                    .zip(b.m.iter())
+                    .map(|(&x, &y)| if x >= INF { y } else { x })
+                    .collect();
+                Octagon::with_matrix(a.dim, m, false).close()
+            }
+        }
+    }
+}
+
+impl PartialEq for Octagon {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.close(), other.close()) {
+            (Octagon::Bot, Octagon::Bot) => true,
+            (Octagon::Oct(a), Octagon::Oct(b)) => a.dim == b.dim && a.m == b.m,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Debug for Octagon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.close() {
+            Octagon::Bot => write!(f, "⊥oct"),
+            Octagon::Oct(mat) => {
+                write!(f, "oct{{")?;
+                let mut first = true;
+                for i in 0..mat.dim {
+                    let itv = self.project(i);
+                    if itv != Interval::top() {
+                        if !first {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "x{i}∈{itv}")?;
+                        first = false;
+                    }
+                    for j in 0..mat.dim {
+                        if i != j {
+                            let c = mat.at(pos(j), pos(i));
+                            if c < INF {
+                                if !first {
+                                    write!(f, ", ")?;
+                                }
+                                write!(f, "x{i}-x{j}≤{c}")?;
+                                first = false;
+                            }
+                        }
+                    }
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::laws;
+    use proptest::prelude::*;
+
+    #[test]
+    fn top_projects_to_top() {
+        let o = Octagon::top(2);
+        assert_eq!(o.project(0), Interval::top());
+        assert!(!o.is_bottom());
+    }
+
+    #[test]
+    fn interval_assignment_roundtrips() {
+        let o = Octagon::top(3).assign_interval(1, &Interval::range(-4, 7));
+        assert_eq!(o.project(1), Interval::range(-4, 7));
+        assert_eq!(o.project(0), Interval::top());
+    }
+
+    #[test]
+    fn relational_propagation() {
+        // x0 ∈ [0,10]; x1 := x0 + 2; assume x0 ≥ 5 ⇒ x1 ≥ 7.
+        let o = Octagon::top(2)
+            .assign_interval(0, &Interval::range(0, 10))
+            .assign_var_plus(1, 0, 2)
+            .assume_const(0, RelOp::Ge, 5);
+        assert_eq!(o.project(1), Interval::range(7, 12));
+        assert_eq!(o.diff_bound(1, 0), Some(2));
+        assert_eq!(o.diff_bound(0, 1), Some(-2));
+    }
+
+    #[test]
+    fn contradiction_is_bottom() {
+        let o = Octagon::top(1).assume_const(0, RelOp::Ge, 5).assume_const(0, RelOp::Lt, 5);
+        assert!(o.is_bottom());
+    }
+
+    #[test]
+    fn self_increment_shifts_bounds() {
+        let o = Octagon::top(2)
+            .assign_interval(0, &Interval::range(0, 3))
+            .assign_var_plus(1, 0, 0) // x1 = x0
+            .assign_var_plus(0, 0, 1); // x0 += 1
+        assert_eq!(o.project(0), Interval::range(1, 4));
+        // relation updated: x0 − x1 = 1.
+        assert_eq!(o.diff_bound(0, 1), Some(1));
+    }
+
+    #[test]
+    fn forget_drops_var_keeps_others() {
+        let o = Octagon::top(2)
+            .assign_interval(0, &Interval::range(1, 2))
+            .assign_interval(1, &Interval::range(3, 4))
+            .forget(0);
+        assert_eq!(o.project(0), Interval::top());
+        assert_eq!(o.project(1), Interval::range(3, 4));
+    }
+
+    #[test]
+    fn forget_preserves_transitive_relations() {
+        // x0 = x1, x1 = x2; forgetting x1 must keep x0 = x2.
+        let o = Octagon::top(3)
+            .assign_var_plus(0, 1, 0)
+            .add_diff(1, 2, 0)
+            .add_diff(2, 1, 0)
+            .forget(1);
+        assert_eq!(o.diff_bound(0, 2), Some(0));
+        assert_eq!(o.diff_bound(2, 0), Some(0));
+    }
+
+    #[test]
+    fn join_loses_precision_soundly() {
+        let a = Octagon::top(1).assign_interval(0, &Interval::range(0, 1));
+        let b = Octagon::top(1).assign_interval(0, &Interval::range(5, 6));
+        let j = a.join(&b);
+        assert_eq!(j.project(0), Interval::range(0, 6));
+        assert!(a.le(&j) && b.le(&j));
+    }
+
+    #[test]
+    fn meet_refines() {
+        let a = Octagon::top(1).assign_interval(0, &Interval::range(0, 10));
+        let b = Octagon::top(1).assign_interval(0, &Interval::range(5, 20));
+        assert_eq!(a.meet(&b).project(0), Interval::range(5, 10));
+    }
+
+    #[test]
+    fn widening_stabilizes_loop_counter() {
+        // Simulates i := 0; while (i < 100) i := i + 1 at the loop head.
+        let mut head = Octagon::top(1).assign_interval(0, &Interval::constant(0));
+        for _ in 0..5 {
+            let body = head.assume_const(0, RelOp::Lt, 100).assign_var_plus(0, 0, 1);
+            let init = Octagon::top(1).assign_interval(0, &Interval::constant(0));
+            let next = head.widen(&init.join(&body));
+            if next == head {
+                break;
+            }
+            head = next;
+        }
+        // After widening: i ≥ 0 with unbounded top.
+        assert_eq!(head.project(0).lo(), Some(Bound::Int(0)));
+        assert_eq!(head.project(0).hi(), Some(Bound::PosInf));
+        // Narrowing recovers the exit bound ≤ 100.
+        let body = head.assume_const(0, RelOp::Lt, 100).assign_var_plus(0, 0, 1);
+        let init = Octagon::top(1).assign_interval(0, &Interval::constant(0));
+        let narrowed = head.narrow(&init.join(&body));
+        assert_eq!(narrowed.project(0), Interval::range(0, 100));
+    }
+
+    #[test]
+    fn diff_and_sum_intervals() {
+        let o = Octagon::top(2)
+            .assign_interval(0, &Interval::range(1, 3))
+            .assign_interval(1, &Interval::range(10, 20));
+        // x0 − x1 ∈ [1−20, 3−10] = [−19, −7]; x0 + x1 ∈ [11, 23].
+        assert_eq!(o.diff_interval(0, 1), Interval::range(-19, -7));
+        assert_eq!(o.diff_interval(1, 0), Interval::range(7, 19));
+        assert_eq!(o.sum_interval(0, 1), Interval::range(11, 23));
+        // Adding a tighter relation narrows the diff.
+        let o2 = o.assume_var(1, RelOp::Eq, 0, 9); // x1 = x0 + 9
+        assert_eq!(o2.diff_interval(1, 0), Interval::constant(9));
+    }
+
+    #[test]
+    fn diff_interval_on_bot_is_bot() {
+        assert_eq!(Octagon::Bot.diff_interval(0, 1), Interval::Bot);
+        assert_eq!(Octagon::Bot.sum_interval(0, 1), Interval::Bot);
+    }
+
+    #[test]
+    fn odd_sum_strengthening_rounds_down() {
+        // x ≤ 1 and x ≥ 0 and x0+x1 ≤ 1 with x1 ≥ 1 forces x0 ≤ 0.
+        let o = Octagon::top(2)
+            .assign_interval(0, &Interval::range(0, 1))
+            .add_sum_le(0, 1, 1)
+            .add_lower(1, 1);
+        assert_eq!(o.project(0), Interval::range(0, 0));
+    }
+
+    fn arb_oct() -> impl Strategy<Value = Octagon> {
+        let built = prop::collection::vec((-20i64..20, 0i64..10), 2).prop_flat_map(|bounds| {
+            prop::collection::vec(-15i64..15, 0..3).prop_map(move |diffs| {
+                let mut o = Octagon::top(2);
+                for (i, (lo, w)) in bounds.iter().enumerate() {
+                    o = o.assign_interval(i, &Interval::range(*lo, lo + w));
+                }
+                for (idx, &c) in diffs.iter().enumerate() {
+                    o = o.add_diff(idx % 2, (idx + 1) % 2, c);
+                }
+                o
+            })
+        });
+        prop_oneof![built, Just(Octagon::Bot)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn lattice_laws(a in arb_oct(), b in arb_oct(), c in arb_oct()) {
+            laws::check_join_laws(&a.close(), &b.close(), &c.close());
+            laws::check_widen_narrow_laws(&a, &b);
+        }
+
+        #[test]
+        fn projection_sound_on_concrete_points(
+            x in -10i64..10, y in -10i64..10, c in -25i64..25,
+        ) {
+            // Build an octagon that must contain the concrete point (x, y).
+            let o = Octagon::top(2)
+                .assign_interval(0, &Interval::range(x.min(0), x.max(0)))
+                .assign_interval(1, &Interval::range(y.min(0), y.max(0)));
+            let o = if x - y <= c { o.add_diff(0, 1, c) } else { o };
+            prop_assert!(o.project(0).contains(x));
+            prop_assert!(o.project(1).contains(y));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Variable packs for packed relational analysis (§4).
+//!
+//! A pack is a set of variables selected to be related together; the packed
+//! relational state maps packs (the abstract locations of the relational
+//! instance) to octagon constraints over the pack's members. §4 assumes
+//! `⋃Packs = Var` and that every variable also has a singleton pack — the
+//! singleton packs are what the projection `π_x` reads (§4.2).
+
+use sga_ir::VarId;
+use sga_utils::{new_index, FxHashMap, IndexVec};
+use std::fmt;
+use std::rc::Rc;
+
+new_index!(pub struct PackId, "pk");
+
+/// A sorted, deduplicated set of variables related together.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pack(Rc<[VarId]>);
+
+impl Pack {
+    /// Builds a pack from members (sorted and deduplicated).
+    pub fn new(mut members: Vec<VarId>) -> Pack {
+        members.sort_unstable();
+        members.dedup();
+        Pack(Rc::from(members))
+    }
+
+    /// The singleton pack `⟪x⟫`.
+    pub fn singleton(x: VarId) -> Pack {
+        Pack(Rc::from([x]))
+    }
+
+    /// Members in ascending order.
+    pub fn members(&self) -> &[VarId] {
+        &self.0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the pack is empty (never true for well-formed pack sets).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: VarId) -> bool {
+        self.0.binary_search(&x).is_ok()
+    }
+
+    /// Index of `x` within the pack — the octagon variable index.
+    pub fn index_of(&self, x: VarId) -> Option<usize> {
+        self.0.binary_search(&x).ok()
+    }
+}
+
+impl fmt::Debug for Pack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟪")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟫")
+    }
+}
+
+/// The program's pack set, with the `pack(x)` reverse index from §4.1.
+#[derive(Clone, Debug, Default)]
+pub struct PackSet {
+    packs: IndexVec<PackId, Pack>,
+    by_var: FxHashMap<VarId, Vec<PackId>>,
+    singleton_of: FxHashMap<VarId, PackId>,
+}
+
+impl PackSet {
+    /// Builds a pack set. Singleton packs for every mentioned variable are
+    /// added automatically (required by the projection of §4.2).
+    pub fn new(packs: impl IntoIterator<Item = Pack>) -> PackSet {
+        let mut set = PackSet::default();
+        let mut seen: FxHashMap<Pack, PackId> = FxHashMap::default();
+        let add = |set: &mut PackSet, seen: &mut FxHashMap<Pack, PackId>, pack: Pack| {
+            if let Some(&id) = seen.get(&pack) {
+                return id;
+            }
+            let id = set.packs.push(pack.clone());
+            for &v in pack.members() {
+                set.by_var.entry(v).or_default().push(id);
+            }
+            seen.insert(pack, id);
+            id
+        };
+        let mut vars: Vec<VarId> = Vec::new();
+        for pack in packs {
+            if pack.is_empty() {
+                continue;
+            }
+            vars.extend_from_slice(pack.members());
+            add(&mut set, &mut seen, pack);
+        }
+        vars.sort_unstable();
+        vars.dedup();
+        for v in vars {
+            let id = add(&mut set, &mut seen, Pack::singleton(v));
+            set.singleton_of.insert(v, id);
+        }
+        set
+    }
+
+    /// All packs.
+    pub fn iter(&self) -> impl Iterator<Item = (PackId, &Pack)> + '_ {
+        self.packs.iter_enumerated()
+    }
+
+    /// The pack with id `id`.
+    pub fn pack(&self, id: PackId) -> &Pack {
+        &self.packs[id]
+    }
+
+    /// Number of packs (including singletons).
+    pub fn len(&self) -> usize {
+        self.packs.len()
+    }
+
+    /// Whether there are no packs.
+    pub fn is_empty(&self) -> bool {
+        self.packs.is_empty()
+    }
+
+    /// `pack(x)`: ids of every pack containing `x` (§4.1).
+    pub fn packs_of(&self, x: VarId) -> &[PackId] {
+        self.by_var.get(&x).map_or(&[], Vec::as_slice)
+    }
+
+    /// The singleton pack of `x`, if `x` is packed at all.
+    pub fn singleton_id(&self, x: VarId) -> Option<PackId> {
+        self.singleton_of.get(&x).copied()
+    }
+
+    /// Average pack size — reported in §6.2's discussion (5–7 for the
+    /// paper's benchmarks).
+    pub fn average_size(&self) -> f64 {
+        if self.packs.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.packs.iter().map(Pack::len).sum();
+        total as f64 / self.packs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sga_utils::Idx;
+
+    fn v(i: usize) -> VarId {
+        VarId::new(i)
+    }
+
+    #[test]
+    fn pack_sorts_and_dedups() {
+        let p = Pack::new(vec![v(3), v(1), v(3)]);
+        assert_eq!(p.members(), &[v(1), v(3)]);
+        assert_eq!(p.index_of(v(3)), Some(1));
+        assert_eq!(p.index_of(v(2)), None);
+    }
+
+    #[test]
+    fn packset_adds_singletons() {
+        let set = PackSet::new(vec![Pack::new(vec![v(0), v(1)])]);
+        // ⟪0,1⟫ plus singletons ⟪0⟫ and ⟪1⟫.
+        assert_eq!(set.len(), 3);
+        assert!(set.singleton_id(v(0)).is_some());
+        assert!(set.singleton_id(v(1)).is_some());
+        assert_eq!(set.packs_of(v(0)).len(), 2);
+    }
+
+    #[test]
+    fn packset_dedups_packs() {
+        let set = PackSet::new(vec![
+            Pack::new(vec![v(0), v(1)]),
+            Pack::new(vec![v(1), v(0)]),
+            Pack::singleton(v(0)),
+        ]);
+        assert_eq!(set.len(), 3, "duplicate packs collapse");
+    }
+
+    #[test]
+    fn average_size() {
+        let set = PackSet::new(vec![Pack::new(vec![v(0), v(1), v(2)])]);
+        // sizes: 3, 1, 1, 1 → avg 1.5
+        assert!((set.average_size() - 1.5).abs() < 1e-9);
+    }
+}

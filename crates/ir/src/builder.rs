@@ -1,0 +1,200 @@
+//! Convenient construction of procedure CFGs.
+//!
+//! Used by the frontend's lowering pass, by the synthetic program generator,
+//! and pervasively by tests. The builder keeps `preds` in sync with `succs`
+//! and pins entry/exit skip nodes at indices 0 and 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use sga_ir::{Cmd, Expr, LVal, ProcBuilder, VarId};
+//! use sga_utils::Idx;
+//!
+//! let x = VarId::new(1);
+//! let mut b = ProcBuilder::new("f", VarId::new(0));
+//! let n = b.node(Cmd::Assign(LVal::Var(x), Expr::Const(42)));
+//! b.edge(b.entry(), n);
+//! b.edge(n, b.exit());
+//! let proc = b.finish();
+//! assert_eq!(proc.num_nodes(), 3);
+//! ```
+
+use crate::expr::Cmd;
+use crate::proc::{Node, NodeId, Proc};
+use crate::program::VarId;
+use sga_utils::IndexVec;
+
+/// Incremental builder for a [`Proc`].
+#[derive(Debug)]
+pub struct ProcBuilder {
+    name: String,
+    params: Vec<VarId>,
+    locals: Vec<VarId>,
+    ret_var: VarId,
+    nodes: IndexVec<NodeId, Node>,
+    succs: IndexVec<NodeId, Vec<NodeId>>,
+    preds: IndexVec<NodeId, Vec<NodeId>>,
+    entry: NodeId,
+    exit: NodeId,
+    is_external: bool,
+}
+
+impl ProcBuilder {
+    /// Starts a procedure named `name` whose return variable is `ret_var`.
+    /// Entry and exit `Skip` nodes are created immediately.
+    pub fn new(name: impl Into<String>, ret_var: VarId) -> Self {
+        let mut nodes = IndexVec::new();
+        let entry = nodes.push(Node { cmd: Cmd::Skip, line: 0 });
+        let exit = nodes.push(Node { cmd: Cmd::Skip, line: 0 });
+        let succs = IndexVec::from_elem_n(Vec::new(), 2);
+        let preds = IndexVec::from_elem_n(Vec::new(), 2);
+        ProcBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            locals: Vec::new(),
+            ret_var,
+            nodes,
+            succs,
+            preds,
+            entry,
+            exit,
+            is_external: false,
+        }
+    }
+
+    /// The entry node.
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// The exit node.
+    pub fn exit(&self) -> NodeId {
+        self.exit
+    }
+
+    /// Declares a formal parameter.
+    pub fn param(&mut self, v: VarId) -> &mut Self {
+        self.params.push(v);
+        self
+    }
+
+    /// Declares a local or temporary.
+    pub fn local(&mut self, v: VarId) -> &mut Self {
+        self.locals.push(v);
+        self
+    }
+
+    /// Marks the procedure as external (unknown body).
+    pub fn external(&mut self) -> &mut Self {
+        self.is_external = true;
+        self
+    }
+
+    /// Adds a node carrying `cmd`, returning its id.
+    pub fn node(&mut self, cmd: Cmd) -> NodeId {
+        self.node_at_line(cmd, 0)
+    }
+
+    /// Adds a node with source-line info.
+    pub fn node_at_line(&mut self, cmd: Cmd, line: u32) -> NodeId {
+        let id = self.nodes.push(Node { cmd, line });
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Adds the edge `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate edges, which indicate a lowering bug.
+    pub fn edge(&mut self, from: NodeId, to: NodeId) {
+        assert!(
+            !self.succs[from].contains(&to),
+            "duplicate edge {from:?} -> {to:?} in {}",
+            self.name
+        );
+        self.succs[from].push(to);
+        self.preds[to].push(from);
+    }
+
+    /// Adds a straight-line chain of commands after `from`, returning the
+    /// last node (or `from` if `cmds` is empty).
+    pub fn chain(&mut self, from: NodeId, cmds: impl IntoIterator<Item = Cmd>) -> NodeId {
+        let mut cur = from;
+        for cmd in cmds {
+            let n = self.node(cmd);
+            self.edge(cur, n);
+            cur = n;
+        }
+        cur
+    }
+
+    /// Number of nodes so far.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Finishes the procedure.
+    pub fn finish(self) -> Proc {
+        Proc {
+            name: self.name,
+            params: self.params,
+            locals: self.locals,
+            ret_var: self.ret_var,
+            nodes: self.nodes,
+            succs: self.succs,
+            preds: self.preds,
+            entry: self.entry,
+            exit: self.exit,
+            is_external: self.is_external,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Cond, Expr, LVal, RelOp};
+    use sga_utils::Idx;
+
+    #[test]
+    fn chain_builds_straight_line() {
+        let mut b = ProcBuilder::new("f", VarId::new(0));
+        let end = b.chain(
+            b.entry(),
+            vec![
+                Cmd::Assign(LVal::Var(VarId::new(1)), Expr::Const(1)),
+                Cmd::Assign(LVal::Var(VarId::new(2)), Expr::Const(2)),
+            ],
+        );
+        b.edge(end, b.exit());
+        let p = b.finish();
+        assert_eq!(p.num_nodes(), 4);
+        assert_eq!(p.succs_of(p.entry).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edge_panics() {
+        let mut b = ProcBuilder::new("f", VarId::new(0));
+        b.edge(b.entry(), b.exit());
+        b.edge(b.entry(), b.exit());
+    }
+
+    #[test]
+    fn branch_shape() {
+        let x = VarId::new(1);
+        let mut b = ProcBuilder::new("f", VarId::new(0));
+        let cond = Cond::new(Expr::Var(x), RelOp::Lt, Expr::Const(10));
+        let t = b.node(Cmd::Assume(cond.clone()));
+        let f = b.node(Cmd::Assume(cond.negate()));
+        b.edge(b.entry(), t);
+        b.edge(b.entry(), f);
+        b.edge(t, b.exit());
+        b.edge(f, b.exit());
+        let p = b.finish();
+        assert_eq!(p.succs_of(p.entry).len(), 2);
+        assert_eq!(p.preds_of(p.exit).len(), 2);
+    }
+}

@@ -1,0 +1,300 @@
+//! Expressions, l-values, conditions and commands.
+//!
+//! The shapes here mirror the abstract semantics in §3.1 of the paper. The
+//! frontend flattens side-effecting subexpressions into temporaries, so
+//! expressions are pure and commands have at most one store/call each — which
+//! is what makes the per-command definition/use sets of §3.2 well defined.
+
+use crate::proc::ProcId;
+use crate::program::{FieldId, VarId};
+
+/// Binary operators on abstract values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+` — also pointer/array arithmetic (shifts array offsets).
+    Add,
+    /// `-` — also pointer difference.
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// Comparison producing 0/1; kept as data so conditions can reuse it.
+    Cmp(RelOp),
+    /// `&&` (logical, on already-evaluated scalar values)
+    And,
+    /// `||`
+    Or,
+    /// Bitwise ops, shifts — abstracted conservatively by the domains.
+    Bits,
+}
+
+/// Relational operators used in conditions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RelOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl RelOp {
+    /// The operator asserting the negation (`!(a < b)` is `a >= b`).
+    pub fn negate(self) -> RelOp {
+        match self {
+            RelOp::Lt => RelOp::Ge,
+            RelOp::Le => RelOp::Gt,
+            RelOp::Gt => RelOp::Le,
+            RelOp::Ge => RelOp::Lt,
+            RelOp::Eq => RelOp::Ne,
+            RelOp::Ne => RelOp::Eq,
+        }
+    }
+
+    /// The operator with swapped operands (`a < b` is `b > a`).
+    pub fn swap(self) -> RelOp {
+        match self {
+            RelOp::Lt => RelOp::Gt,
+            RelOp::Le => RelOp::Ge,
+            RelOp::Gt => RelOp::Lt,
+            RelOp::Ge => RelOp::Le,
+            RelOp::Eq => RelOp::Eq,
+            RelOp::Ne => RelOp::Ne,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (0/1).
+    Not,
+    /// Bitwise complement — abstracted conservatively.
+    BitNot,
+}
+
+/// Pure expressions (`e` in the paper's grammar).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Integer literal `n`.
+    Const(i64),
+    /// Variable read `x`.
+    Var(VarId),
+    /// Struct-field read `x.f`.
+    Field(VarId, FieldId),
+    /// Pointer dereference `*e`.
+    Deref(Box<Expr>),
+    /// `e->f`, i.e. `(*e).f`.
+    DerefField(Box<Expr>, FieldId),
+    /// Address-of `&x`.
+    AddrOf(VarId),
+    /// Address of a field `&x.f`.
+    AddrOfField(VarId, FieldId),
+    /// A function's address (function pointer constant).
+    AddrOfProc(ProcId),
+    /// Binary operation `e₁ ⊕ e₂`; `Add`/`Sub` double as pointer arithmetic.
+    Binop(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unop(UnOp, Box<Expr>),
+    /// An unknown external value (input, unmodeled library result): ⊤.
+    Unknown,
+}
+
+impl Expr {
+    /// Convenience constructor for `e₁ ⊕ e₂`.
+    pub fn binop(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binop(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for `*e`.
+    pub fn deref(e: Expr) -> Expr {
+        Expr::Deref(Box::new(e))
+    }
+
+    /// All variables syntactically read by the expression (`V(e)` in §4.2),
+    /// *excluding* variables only reached through a dereference (those are
+    /// discovered semantically via the pre-analysis).
+    pub fn vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Expr::Const(_) | Expr::Unknown | Expr::AddrOfProc(_) => {}
+            Expr::Var(x) | Expr::Field(x, _) => out.push(*x),
+            Expr::AddrOf(_) | Expr::AddrOfField(_, _) => {}
+            Expr::Deref(e) | Expr::DerefField(e, _) | Expr::Unop(_, e) => e.vars(out),
+            Expr::Binop(_, a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+        }
+    }
+
+    /// Whether the expression contains a dereference anywhere.
+    pub fn has_deref(&self) -> bool {
+        match self {
+            Expr::Deref(_) | Expr::DerefField(_, _) => true,
+            Expr::Binop(_, a, b) => a.has_deref() || b.has_deref(),
+            Expr::Unop(_, e) => e.has_deref(),
+            _ => false,
+        }
+    }
+}
+
+/// Assignment targets after lowering.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum LVal {
+    /// `x := e`
+    Var(VarId),
+    /// `x.f := e`
+    Field(VarId, FieldId),
+    /// `*x := e` — the paper's store command; targets come from `x`'s
+    /// points-to set.
+    Deref(VarId),
+    /// `x->f := e`
+    DerefField(VarId, FieldId),
+}
+
+impl LVal {
+    /// The variable syntactically mentioned by the l-value.
+    pub fn base(&self) -> VarId {
+        match *self {
+            LVal::Var(x) | LVal::Field(x, _) | LVal::Deref(x) | LVal::DerefField(x, _) => x,
+        }
+    }
+
+    /// Whether the target is reached through a pointer (indirect store).
+    pub fn is_indirect(&self) -> bool {
+        matches!(self, LVal::Deref(_) | LVal::DerefField(_, _))
+    }
+}
+
+/// A branch condition, `assume(lhs ⋈ rhs)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Cond {
+    /// Left operand.
+    pub lhs: Expr,
+    /// Relation.
+    pub op: RelOp,
+    /// Right operand.
+    pub rhs: Expr,
+}
+
+impl Cond {
+    /// Builds a condition.
+    pub fn new(lhs: Expr, op: RelOp, rhs: Expr) -> Self {
+        Cond { lhs, op, rhs }
+    }
+
+    /// The negated condition (taken on the false branch).
+    pub fn negate(&self) -> Cond {
+        Cond { lhs: self.lhs.clone(), op: self.op.negate(), rhs: self.rhs.clone() }
+    }
+}
+
+/// Who a call targets.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Callee {
+    /// A direct call `f(...)`.
+    Direct(ProcId),
+    /// An indirect call through a function pointer expression.
+    Indirect(Expr),
+}
+
+/// One command (statement); each CFG node carries exactly one.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Cmd {
+    /// No-op (also used for procedure entry/exit markers and joins).
+    Skip,
+    /// `lv := e`.
+    Assign(LVal, Expr),
+    /// `lv := alloc(size)` — dynamic allocation; the allocation site is the
+    /// control point itself.
+    Alloc(LVal, Expr),
+    /// `assume(cond)` — the true/false branch guard.
+    Assume(Cond),
+    /// A procedure call `ret := callee(args)`.
+    Call {
+        /// Where the return value goes, if used.
+        ret: Option<LVal>,
+        /// Call target.
+        callee: Callee,
+        /// Actual arguments (pure expressions).
+        args: Vec<Expr>,
+    },
+    /// `return e` — assigns the synthetic return variable and jumps to exit.
+    Return(Option<Expr>),
+}
+
+impl Cmd {
+    /// Whether this command is a no-op for every abstract semantics
+    /// (the "identity function" case that sparse *evaluation* techniques
+    /// remove; our sparse *analysis* subsumes this).
+    pub fn is_skip(&self) -> bool {
+        matches!(self, Cmd::Skip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sga_utils::Idx;
+
+    #[test]
+    fn relop_negate_involution() {
+        for op in [RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge, RelOp::Eq, RelOp::Ne] {
+            assert_eq!(op.negate().negate(), op);
+            assert_eq!(op.swap().swap(), op);
+        }
+    }
+
+    #[test]
+    fn expr_vars_skips_addr_of() {
+        let x = VarId::new(0);
+        let y = VarId::new(1);
+        // &x + y reads only y syntactically.
+        let e = Expr::binop(BinOp::Add, Expr::AddrOf(x), Expr::Var(y));
+        let mut vs = Vec::new();
+        e.vars(&mut vs);
+        assert_eq!(vs, vec![y]);
+    }
+
+    #[test]
+    fn expr_vars_sees_through_deref_base() {
+        let p = VarId::new(0);
+        // *(p) reads p.
+        let e = Expr::deref(Expr::Var(p));
+        let mut vs = Vec::new();
+        e.vars(&mut vs);
+        assert_eq!(vs, vec![p]);
+        assert!(e.has_deref());
+    }
+
+    #[test]
+    fn cond_negation() {
+        let c = Cond::new(Expr::Var(VarId::new(0)), RelOp::Lt, Expr::Const(5));
+        let n = c.negate();
+        assert_eq!(n.op, RelOp::Ge);
+        assert_eq!(n.lhs, c.lhs);
+    }
+
+    #[test]
+    fn lval_base_and_indirection() {
+        let x = VarId::new(2);
+        let f = FieldId::new(0);
+        assert_eq!(LVal::Var(x).base(), x);
+        assert!(!LVal::Var(x).is_indirect());
+        assert!(LVal::Deref(x).is_indirect());
+        assert!(LVal::DerefField(x, f).is_indirect());
+        assert!(!LVal::Field(x, f).is_indirect());
+    }
+}

@@ -1,0 +1,606 @@
+//! A concrete interpreter for the IR.
+//!
+//! Executes a program with real values — stack frames, a heap of allocated
+//! blocks, struct fields — and records the value every assignment writes at
+//! every control point it visits. Its purpose is *testing*: a static
+//! analysis claims `X(c)(l)` over-approximates every concrete value `l`
+//! takes at `c`; the interpreter produces those concrete values, so the
+//! workspace's soundness tests can check the claim run by run.
+//!
+//! Nondeterminism (`⊤` expressions, external calls) draws from a caller-
+//! provided supply, keeping runs reproducible.
+
+use crate::expr::{BinOp, Callee, Cmd, Cond, Expr, LVal, RelOp, UnOp};
+use crate::proc::{NodeId, ProcId};
+use crate::program::{Cp, FieldId, Program, VarId};
+use sga_utils::FxHashMap;
+
+/// A concrete runtime value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CVal {
+    /// An integer.
+    Int(i64),
+    /// A pointer: addressed cell plus an element offset (pointer
+    /// arithmetic moves the offset).
+    Ptr(Place, i64),
+    /// A function pointer.
+    Fn(ProcId),
+    /// Never assigned.
+    Uninit,
+}
+
+impl CVal {
+    fn as_int(&self) -> Option<i64> {
+        match self {
+            CVal::Int(n) => Some(*n),
+            CVal::Uninit => Some(0), // uninitialized reads settle on 0
+            CVal::Ptr(_, _) | CVal::Fn(_) => None,
+        }
+    }
+
+    /// C truthiness (used by clients building condition-driven drivers).
+    pub fn truthy(&self) -> bool {
+        match self {
+            CVal::Int(n) => *n != 0,
+            CVal::Ptr(_, _) | CVal::Fn(_) => true,
+            CVal::Uninit => false,
+        }
+    }
+}
+
+/// A concrete memory cell address (without the pointer offset).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Place {
+    /// A global variable.
+    Global(VarId),
+    /// A local in a specific frame (frames are numbered from program
+    /// start, so recursion distinguishes activations).
+    Local(usize, VarId),
+    /// A heap block: allocation index plus the allocating control point
+    /// (the abstract allocation site, carried for soundness checking).
+    Heap(usize, Cp),
+}
+
+/// One observation: the command at `cp` wrote `value` into `target`.
+#[derive(Clone, Debug)]
+pub struct Observation {
+    /// Where it happened.
+    pub cp: Cp,
+    /// The (variable or field) cell written. Heap writes record the
+    /// allocation's originating control point instead.
+    pub target: ObservedLoc,
+    /// The written value.
+    pub value: CVal,
+}
+
+/// The abstract-location-shaped view of a concrete write target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ObservedLoc {
+    /// A variable.
+    Var(VarId),
+    /// A field of a variable.
+    Field(VarId, FieldId),
+    /// The summarized contents of the allocation made at `Cp`.
+    AllocSite(Cp),
+    /// A field of the allocation at `Cp`.
+    AllocField(Cp, FieldId),
+}
+
+/// Why a run stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// `main` returned this value.
+    Finished(Option<i64>),
+    /// The step budget ran out (e.g. an intentional infinite loop).
+    OutOfFuel,
+    /// The program performed an operation the interpreter rejects
+    /// (wild pointer, call through a non-function, stuck branch).
+    Trap(String),
+    /// The program hit C undefined behaviour (signed overflow, division by
+    /// zero); execution stops, and anything before this point is still a
+    /// valid observation.
+    UndefinedBehaviour(String),
+}
+
+/// A completed run: outcome plus the write log.
+#[derive(Debug)]
+pub struct Run {
+    /// How it ended.
+    pub outcome: Outcome,
+    /// Every write, in execution order.
+    pub log: Vec<Observation>,
+}
+
+/// Interpreter configuration.
+#[derive(Clone, Debug)]
+pub struct InterpConfig {
+    /// Values supplied to `main`'s parameters.
+    pub main_args: Vec<i64>,
+    /// Values drawn (cyclically) for `⊤` expressions and external calls.
+    pub unknown_supply: Vec<i64>,
+    /// Maximum executed commands.
+    pub fuel: usize,
+    /// Maximum call depth (runaway recursion ends the run like exhausted
+    /// fuel rather than exhausting the host stack).
+    pub max_depth: usize,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig {
+            main_args: vec![1],
+            unknown_supply: vec![7],
+            fuel: 200_000,
+            max_depth: 1000,
+        }
+    }
+}
+
+struct HeapBlock {
+    /// Allocation site.
+    site: Cp,
+    /// Summarized element cell (the abstract array model keeps one cell per
+    /// site; the interpreter mirrors that so observations line up).
+    cell: CVal,
+    /// Field cells.
+    fields: FxHashMap<FieldId, CVal>,
+}
+
+struct Interp<'p> {
+    program: &'p Program,
+    globals: FxHashMap<VarId, CVal>,
+    global_fields: FxHashMap<(VarId, FieldId), CVal>,
+    frames: Vec<FxHashMap<VarId, CVal>>,
+    frame_fields: Vec<FxHashMap<(VarId, FieldId), CVal>>,
+    heap: Vec<HeapBlock>,
+    unknown_supply: Vec<i64>,
+    unknown_next: usize,
+    fuel: usize,
+    max_depth: usize,
+    log: Vec<Observation>,
+}
+
+impl<'p> Interp<'p> {
+    fn unknown(&mut self) -> i64 {
+        let v = self.unknown_supply[self.unknown_next % self.unknown_supply.len()];
+        self.unknown_next += 1;
+        v
+    }
+
+    fn read_var(&self, frame: usize, v: VarId) -> CVal {
+        let kind = self.program.vars[v].kind;
+        if kind == crate::program::VarKind::Global {
+            self.globals.get(&v).cloned().unwrap_or(CVal::Uninit)
+        } else {
+            self.frames[frame].get(&v).cloned().unwrap_or(CVal::Uninit)
+        }
+    }
+
+    fn write_var(&mut self, frame: usize, v: VarId, value: CVal) {
+        if self.program.vars[v].kind == crate::program::VarKind::Global {
+            self.globals.insert(v, value);
+        } else {
+            self.frames[frame].insert(v, value);
+        }
+    }
+
+    fn read_field(&self, frame: usize, v: VarId, f: FieldId) -> CVal {
+        if self.program.vars[v].kind == crate::program::VarKind::Global {
+            self.global_fields.get(&(v, f)).cloned().unwrap_or(CVal::Uninit)
+        } else {
+            self.frame_fields[frame].get(&(v, f)).cloned().unwrap_or(CVal::Uninit)
+        }
+    }
+
+    fn read_place(&self, place: &Place, field: Option<FieldId>) -> Result<CVal, String> {
+        Ok(match (place, field) {
+            (Place::Global(v) | Place::Local(_, v), None) => match place {
+                Place::Local(fr, _) => {
+                    self.frames[*fr].get(v).cloned().unwrap_or(CVal::Uninit)
+                }
+                _ => self.globals.get(v).cloned().unwrap_or(CVal::Uninit),
+            },
+            (Place::Global(v), Some(f)) => {
+                self.global_fields.get(&(*v, f)).cloned().unwrap_or(CVal::Uninit)
+            }
+            (Place::Local(fr, v), Some(f)) => {
+                self.frame_fields[*fr].get(&(*v, f)).cloned().unwrap_or(CVal::Uninit)
+            }
+            (Place::Heap(i, _), None) => {
+                self.heap.get(*i).ok_or("dangling heap pointer")?.cell.clone()
+            }
+            (Place::Heap(i, _), Some(f)) => self
+                .heap
+                .get(*i)
+                .ok_or("dangling heap pointer")?
+                .fields
+                .get(&f)
+                .cloned()
+                .unwrap_or(CVal::Uninit),
+        })
+    }
+
+    fn write_place(
+        &mut self,
+        cp: Cp,
+        place: &Place,
+        field: Option<FieldId>,
+        value: CVal,
+    ) -> Result<(), String> {
+        let target = match (place, field) {
+            (Place::Global(v) | Place::Local(_, v), None) => ObservedLoc::Var(*v),
+            (Place::Global(v) | Place::Local(_, v), Some(f)) => ObservedLoc::Field(*v, f),
+            (Place::Heap(i, _), None) => {
+                ObservedLoc::AllocSite(self.heap.get(*i).ok_or("dangling heap pointer")?.site)
+            }
+            (Place::Heap(i, _), Some(f)) => {
+                ObservedLoc::AllocField(self.heap.get(*i).ok_or("dangling heap pointer")?.site, f)
+            }
+        };
+        match (place, field) {
+            (Place::Global(v), None) => {
+                self.globals.insert(*v, value.clone());
+            }
+            (Place::Global(v), Some(f)) => {
+                self.global_fields.insert((*v, f), value.clone());
+            }
+            (Place::Local(fr, v), None) => {
+                self.frames[*fr].insert(*v, value.clone());
+            }
+            (Place::Local(fr, v), Some(f)) => {
+                self.frame_fields[*fr].insert((*v, f), value.clone());
+            }
+            (Place::Heap(i, _), None) => {
+                self.heap[*i].cell = value.clone();
+            }
+            (Place::Heap(i, _), Some(f)) => {
+                self.heap[*i].fields.insert(f, value.clone());
+            }
+        }
+        self.log.push(Observation { cp, target, value });
+        Ok(())
+    }
+
+    fn var_place(&self, frame: usize, v: VarId) -> Place {
+        if self.program.vars[v].kind == crate::program::VarKind::Global {
+            Place::Global(v)
+        } else {
+            Place::Local(frame, v)
+        }
+    }
+
+    fn eval(&mut self, frame: usize, e: &Expr) -> Result<CVal, String> {
+        Ok(match e {
+            Expr::Const(n) => CVal::Int(*n),
+            Expr::Unknown => CVal::Int(self.unknown()),
+            Expr::Var(x) => self.read_var(frame, *x),
+            Expr::Field(x, f) => self.read_field(frame, *x, *f),
+            Expr::AddrOf(x) => CVal::Ptr(self.var_place(frame, *x), 0),
+            Expr::AddrOfField(x, _f) => CVal::Ptr(self.var_place(frame, *x), 0),
+            Expr::AddrOfProc(p) => CVal::Fn(*p),
+            Expr::Deref(inner) => {
+                let ptr = self.eval(frame, inner)?;
+                match ptr {
+                    CVal::Ptr(place, _off) => self.read_place(&place, None)?,
+                    other => return Err(format!("deref of non-pointer {other:?}")),
+                }
+            }
+            Expr::DerefField(inner, f) => {
+                let ptr = self.eval(frame, inner)?;
+                match ptr {
+                    CVal::Ptr(place, _off) => self.read_place(&place, Some(*f))?,
+                    other => return Err(format!("deref of non-pointer {other:?}")),
+                }
+            }
+            Expr::Unop(op, inner) => {
+                let v = self.eval(frame, inner)?;
+                let n = v.as_int().ok_or("unop on pointer")?;
+                CVal::Int(match op {
+                    UnOp::Neg => n.checked_neg().ok_or("__ub__ negation overflow")?,
+                    UnOp::Not => i64::from(n == 0),
+                    UnOp::BitNot => !n,
+                })
+            }
+            Expr::Binop(op, a, b) => {
+                let va = self.eval(frame, a)?;
+                let vb = self.eval(frame, b)?;
+                self.binop(*op, va, vb)?
+            }
+        })
+    }
+
+    fn binop(&mut self, op: BinOp, a: CVal, b: CVal) -> Result<CVal, String> {
+        // Pointer ± integer moves the offset; everything else is integer.
+        if let (BinOp::Add | BinOp::Sub, CVal::Ptr(place, off)) = (op, a.clone()) {
+            let delta = b.as_int().ok_or("pointer arith with pointer rhs")?;
+            let delta = if op == BinOp::Add { delta } else { -delta };
+            return Ok(CVal::Ptr(place, off + delta));
+        }
+        if let (BinOp::Add, CVal::Ptr(place, off)) = (op, b.clone()) {
+            let delta = a.as_int().ok_or("pointer arith with pointer lhs")?;
+            return Ok(CVal::Ptr(place, off + delta));
+        }
+        if let BinOp::Cmp(rel) = op {
+            return Ok(CVal::Int(i64::from(self.compare(rel, &a, &b)?)));
+        }
+        let x = a.as_int().ok_or("integer op on pointer")?;
+        let y = b.as_int().ok_or("integer op on pointer")?;
+        Ok(CVal::Int(match op {
+            // Signed overflow is C undefined behaviour: stop the run there
+            // rather than wrapping (the abstract domains model unbounded
+            // integers, so a wrapped value would be a false unsoundness).
+            BinOp::Add => x.checked_add(y).ok_or("__ub__ signed overflow in +")?,
+            BinOp::Sub => x.checked_sub(y).ok_or("__ub__ signed overflow in -")?,
+            BinOp::Mul => x.checked_mul(y).ok_or("__ub__ signed overflow in *")?,
+            BinOp::Div => {
+                if y == 0 {
+                    return Err("__ub__ division by zero".into());
+                }
+                x.checked_div(y).ok_or("__ub__ signed overflow in /")?
+            }
+            BinOp::Mod => {
+                if y == 0 {
+                    return Err("__ub__ modulo by zero".into());
+                }
+                x.checked_rem(y).ok_or("__ub__ signed overflow in %")?
+            }
+            BinOp::And => i64::from(x != 0 && y != 0),
+            BinOp::Or => i64::from(x != 0 || y != 0),
+            BinOp::Bits => x ^ y, // representative bit op
+            BinOp::Cmp(_) => unreachable!("handled above"),
+        }))
+    }
+
+    fn compare(&self, rel: RelOp, a: &CVal, b: &CVal) -> Result<bool, String> {
+        // Pointer comparisons: equality by place, ordering unsupported
+        // except against null (0).
+        let as_num = |v: &CVal| -> Option<i64> { v.as_int() };
+        match (as_num(a), as_num(b)) {
+            (Some(x), Some(y)) => Ok(match rel {
+                RelOp::Lt => x < y,
+                RelOp::Le => x <= y,
+                RelOp::Gt => x > y,
+                RelOp::Ge => x >= y,
+                RelOp::Eq => x == y,
+                RelOp::Ne => x != y,
+            }),
+            _ => match rel {
+                RelOp::Eq => Ok(a == b),
+                RelOp::Ne => Ok(a != b),
+                // Pointer vs 0 orderings: treat any pointer as "nonzero".
+                RelOp::Lt | RelOp::Le => Ok(false),
+                RelOp::Gt | RelOp::Ge => Ok(true),
+            },
+        }
+    }
+
+    fn check(&mut self, frame: usize, cond: &Cond) -> Result<bool, String> {
+        let a = self.eval(frame, &cond.lhs)?;
+        let b = self.eval(frame, &cond.rhs)?;
+        self.compare(cond.op, &a, &b)
+    }
+
+    fn lval_place(
+        &mut self,
+        frame: usize,
+        lv: &LVal,
+    ) -> Result<(Place, Option<FieldId>), String> {
+        Ok(match lv {
+            LVal::Var(x) => (self.var_place(frame, *x), None),
+            LVal::Field(x, f) => (self.var_place(frame, *x), Some(*f)),
+            LVal::Deref(x) => match self.read_var(frame, *x) {
+                CVal::Ptr(place, _) => (place, None),
+                other => return Err(format!("store through non-pointer {other:?}")),
+            },
+            LVal::DerefField(x, f) => match self.read_var(frame, *x) {
+                CVal::Ptr(place, _) => (place, Some(*f)),
+                other => return Err(format!("store through non-pointer {other:?}")),
+            },
+        })
+    }
+
+    /// Executes procedure `pid`; returns its return value.
+    fn call(&mut self, pid: ProcId, args: Vec<CVal>) -> Result<Option<CVal>, String> {
+        let proc = &self.program.procs[pid];
+        if proc.is_external {
+            return Ok(Some(CVal::Int(self.unknown())));
+        }
+        if self.frames.len() >= self.max_depth {
+            return Err("__fuel__".into());
+        }
+        let frame = self.frames.len();
+        self.frames.push(FxHashMap::default());
+        self.frame_fields.push(FxHashMap::default());
+        for (i, &p) in proc.params.iter().enumerate() {
+            let v = args.get(i).cloned().unwrap_or(CVal::Uninit);
+            self.write_var(frame, p, v);
+        }
+        let mut node = proc.entry;
+        let result = loop {
+            if self.fuel == 0 {
+                return Err("__fuel__".into());
+            }
+            self.fuel -= 1;
+            let cp = Cp::new(pid, node);
+            match &proc.nodes[node].cmd {
+                Cmd::Skip => {}
+                Cmd::Assign(lv, e) => {
+                    let v = self.eval(frame, e)?;
+                    let (place, field) = self.lval_place(frame, lv)?;
+                    self.write_place(cp, &place, field, v)?;
+                }
+                Cmd::Alloc(lv, _size) => {
+                    let idx = self.heap.len();
+                    self.heap.push(HeapBlock {
+                        site: cp,
+                        cell: CVal::Uninit,
+                        fields: FxHashMap::default(),
+                    });
+                    let (place, field) = self.lval_place(frame, lv)?;
+                    self.write_place(cp, &place, field, CVal::Ptr(Place::Heap(idx, cp), 0))?;
+                }
+                Cmd::Assume(_) => {} // handled during successor choice
+                Cmd::Call { ret, callee, args } => {
+                    let mut arg_vals = Vec::with_capacity(args.len());
+                    for a in args {
+                        arg_vals.push(self.eval(frame, a)?);
+                    }
+                    let target = match callee {
+                        Callee::Direct(t) => *t,
+                        Callee::Indirect(e) => match self.eval(frame, e)? {
+                            CVal::Fn(t) => t,
+                            other => {
+                                return Err(format!("call through non-function {other:?}"))
+                            }
+                        },
+                    };
+                    let rv = self.call(target, arg_vals)?;
+                    if let Some(lv) = ret {
+                        let v = rv.unwrap_or(CVal::Uninit);
+                        let (place, field) = self.lval_place(frame, lv)?;
+                        self.write_place(cp, &place, field, v)?;
+                    }
+                }
+                Cmd::Return(e) => {
+                    let v = match e {
+                        Some(e) => Some(self.eval(frame, e)?),
+                        None => None,
+                    };
+                    if let Some(v) = &v {
+                        self.log.push(Observation {
+                            cp,
+                            target: ObservedLoc::Var(proc.ret_var),
+                            value: v.clone(),
+                        });
+                    }
+                    break v;
+                }
+            }
+            if node == proc.exit {
+                break None;
+            }
+            // Choose the successor: unique, or the assume that holds.
+            let succs = proc.succs_of(node);
+            node = match succs {
+                [] => break None,
+                [only] => *only,
+                many => {
+                    let mut chosen: Option<NodeId> = None;
+                    for &s in many {
+                        if let Cmd::Assume(cond) = &proc.nodes[s].cmd {
+                            if self.check(frame, cond)? {
+                                chosen = Some(s);
+                                break;
+                            }
+                        } else {
+                            chosen = Some(s);
+                            break;
+                        }
+                    }
+                    chosen.ok_or("no feasible branch")?
+                }
+            };
+        };
+        self.frames.pop();
+        self.frame_fields.pop();
+        Ok(result)
+    }
+}
+
+/// Runs `main` under `config`.
+pub fn run(program: &Program, config: &InterpConfig) -> Run {
+    let mut interp = Interp {
+        program,
+        globals: FxHashMap::default(),
+        global_fields: FxHashMap::default(),
+        frames: Vec::new(),
+        frame_fields: Vec::new(),
+        heap: Vec::new(),
+        unknown_supply: if config.unknown_supply.is_empty() {
+            vec![0]
+        } else {
+            config.unknown_supply.clone()
+        },
+        unknown_next: 0,
+        fuel: config.fuel,
+        max_depth: config.max_depth.max(1),
+        log: Vec::new(),
+    };
+    let args: Vec<CVal> = config.main_args.iter().map(|&n| CVal::Int(n)).collect();
+    let outcome = match interp.call(program.main, args) {
+        Ok(Some(CVal::Int(n))) => Outcome::Finished(Some(n)),
+        Ok(_) => Outcome::Finished(None),
+        Err(e) if e == "__fuel__" => Outcome::OutOfFuel,
+        Err(e) if e.starts_with("__ub__") => {
+            Outcome::UndefinedBehaviour(e.trim_start_matches("__ub__ ").to_string())
+        }
+        Err(e) => Outcome::Trap(e),
+    };
+    Run { outcome, log: interp.log }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProcBuilder;
+    use crate::program::{FieldTable, VarInfo, VarKind};
+    use sga_utils::{Idx, IndexVec};
+
+    /// Builds `main() { x := 1; x := x + 2; return x; }` by hand (the C
+    /// frontend lives downstream; cross-crate tests drive real sources).
+    fn tiny_program() -> Program {
+        let mut vars: IndexVec<VarId, VarInfo> = IndexVec::new();
+        let ret = vars.push(VarInfo {
+            name: "__ret".into(),
+            kind: VarKind::Return(ProcId::new(0)),
+            address_taken: false,
+        });
+        let x = vars.push(VarInfo {
+            name: "x".into(),
+            kind: VarKind::Local(ProcId::new(0)),
+            address_taken: false,
+        });
+        let mut b = ProcBuilder::new("main", ret);
+        b.local(x);
+        let n1 = b.node(Cmd::Assign(LVal::Var(x), Expr::Const(1)));
+        let n2 = b.node(Cmd::Assign(
+            LVal::Var(x),
+            Expr::binop(BinOp::Add, Expr::Var(x), Expr::Const(2)),
+        ));
+        let n3 = b.node(Cmd::Return(Some(Expr::Var(x))));
+        let entry = b.entry();
+        let exit = b.exit();
+        b.edge(entry, n1);
+        b.edge(n1, n2);
+        b.edge(n2, n3);
+        b.edge(n3, exit);
+        let mut procs = IndexVec::new();
+        let main = procs.push(b.finish());
+        Program { procs, vars, fields: FieldTable::new().into_names(), main }
+    }
+
+    #[test]
+    fn runs_straight_line_and_logs_writes() {
+        let p = tiny_program();
+        let run = super::run(&p, &InterpConfig::default());
+        assert_eq!(run.outcome, Outcome::Finished(Some(3)));
+        let values: Vec<&CVal> = run.log.iter().map(|o| &o.value).collect();
+        assert!(values.contains(&&CVal::Int(1)));
+        assert!(values.contains(&&CVal::Int(3)));
+    }
+
+    #[test]
+    fn fuel_limits_execution() {
+        let p = tiny_program();
+        let run = super::run(&p, &InterpConfig { fuel: 2, ..Default::default() });
+        assert_eq!(run.outcome, Outcome::OutOfFuel);
+    }
+
+    #[test]
+    fn cval_truthiness() {
+        assert!(CVal::Int(1).truthy());
+        assert!(!CVal::Int(0).truthy());
+        assert!(!CVal::Uninit.truthy());
+        assert!(CVal::Ptr(Place::Global(VarId::new(0)), 0).truthy());
+    }
+}

@@ -1,0 +1,32 @@
+//! The C-like intermediate representation analyzed by the SGA framework.
+//!
+//! A [`Program`] is a set of procedures plus a global
+//! variable/field table. Each [`Proc`] is a control-flow graph
+//! whose nodes each carry one [`Cmd`] — so a node *is* a control
+//! point `c ∈ C` in the paper's sense, and the CFG edge relation is the
+//! paper's `↪`. The frontend (`sga-cfront`) lowers C source to this IR;
+//! the analyses in `sga-core` consume it.
+//!
+//! The command language follows §3 of the paper, extended with the C
+//! features §6.1 mentions (arrays, structures, dynamic allocation, calls and
+//! function pointers):
+//!
+//! ```text
+//! cmd ::= skip | x := e | *x := e | x.f := e | x->f := e
+//!       | assume(e ⋈ e) | x := alloc(e) | call | return e
+//! ```
+
+pub mod builder;
+pub mod callgraph;
+pub mod expr;
+pub mod metrics;
+pub mod pretty;
+pub mod proc;
+pub mod program;
+pub mod interp;
+pub mod validate;
+
+pub use builder::ProcBuilder;
+pub use expr::{BinOp, Callee, Cmd, Cond, Expr, LVal, RelOp, UnOp};
+pub use proc::{Node, NodeId, Proc, ProcId};
+pub use program::{Cp, FieldId, Program, VarId, VarInfo, VarKind};

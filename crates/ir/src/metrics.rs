@@ -1,0 +1,83 @@
+//! Program-shape metrics — the columns of the paper's Table 1.
+
+use crate::callgraph::CallGraph;
+use crate::program::Program;
+
+/// The characteristics Table 1 reports for each benchmark.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramMetrics {
+    /// Number of (non-external) functions in the program.
+    pub functions: usize,
+    /// Number of IR statements (control points carrying real commands).
+    pub statements: usize,
+    /// Number of basic blocks (maximal straight-line chains).
+    pub blocks: usize,
+    /// Size of the largest call-graph SCC.
+    pub max_scc: usize,
+}
+
+impl ProgramMetrics {
+    /// Measures `program`, using `callgraph` for the SCC column (pass a
+    /// resolved call graph when the program has function pointers).
+    pub fn measure(program: &Program, callgraph: &CallGraph) -> ProgramMetrics {
+        let functions = program.procs.iter().filter(|p| !p.is_external).count();
+        let statements = program
+            .procs
+            .iter()
+            .filter(|p| !p.is_external)
+            .map(|p| p.nodes.iter().filter(|n| !n.cmd.is_skip()).count())
+            .sum();
+        let blocks = program
+            .procs
+            .iter()
+            .filter(|p| !p.is_external)
+            .map(|p| p.num_basic_blocks())
+            .sum();
+        ProgramMetrics { functions, statements, blocks, max_scc: callgraph.max_scc_size() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProcBuilder;
+    use crate::expr::{Cmd, Expr, LVal};
+    use crate::program::{FieldTable, VarId, VarInfo, VarKind};
+    use crate::ProcId;
+    use sga_utils::{Idx, IndexVec};
+
+    #[test]
+    fn counts_statements_not_skips() {
+        let mut vars: IndexVec<VarId, VarInfo> = IndexVec::new();
+        let ret = vars.push(VarInfo {
+            name: "__ret".into(),
+            kind: VarKind::Return(ProcId::new(0)),
+            address_taken: false,
+        });
+        let x = vars.push(VarInfo {
+            name: "x".into(),
+            kind: VarKind::Global,
+            address_taken: false,
+        });
+        let mut b = ProcBuilder::new("main", ret);
+        let end = b.chain(
+            b.entry(),
+            vec![
+                Cmd::Assign(LVal::Var(x), Expr::Const(1)),
+                Cmd::Assign(LVal::Var(x), Expr::Const(2)),
+            ],
+        );
+        let exit = b.exit();
+        b.edge(end, exit);
+        let mut procs = IndexVec::new();
+        let main = procs.push(b.finish());
+        let program =
+            Program { procs, vars, fields: FieldTable::new().into_names(), main };
+        let cg = CallGraph::syntactic(&program);
+        let m = ProgramMetrics::measure(&program, &cg);
+        assert_eq!(m.functions, 1);
+        assert_eq!(m.statements, 2); // entry/exit skips excluded
+        assert_eq!(m.blocks, 1);
+        assert_eq!(m.max_scc, 1);
+    }
+}

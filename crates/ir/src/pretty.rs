@@ -1,0 +1,182 @@
+//! Human-readable dumps of the IR, for debugging and the examples.
+
+use crate::expr::{BinOp, Callee, Cmd, Cond, Expr, LVal, RelOp, UnOp};
+use crate::proc::Proc;
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Renders an expression in C-like syntax.
+pub fn expr(program: &Program, e: &Expr) -> String {
+    match e {
+        Expr::Const(n) => n.to_string(),
+        Expr::Var(x) => program.var_name(*x).to_string(),
+        Expr::Field(x, f) => format!("{}.{}", program.var_name(*x), program.field_name(*f)),
+        Expr::Deref(inner) => format!("*({})", expr(program, inner)),
+        Expr::DerefField(inner, f) => {
+            format!("({})->{}", expr(program, inner), program.field_name(*f))
+        }
+        Expr::AddrOf(x) => format!("&{}", program.var_name(*x)),
+        Expr::AddrOfField(x, f) => {
+            format!("&{}.{}", program.var_name(*x), program.field_name(*f))
+        }
+        Expr::AddrOfProc(p) => format!("&{}", program.procs[*p].name),
+        Expr::Binop(op, a, b) => {
+            format!("({} {} {})", expr(program, a), binop(*op), expr(program, b))
+        }
+        Expr::Unop(op, a) => format!("{}({})", unop(*op), expr(program, a)),
+        Expr::Unknown => "⊤".to_string(),
+    }
+}
+
+fn binop(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+        BinOp::Cmp(r) => relop(r),
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+        BinOp::Bits => "<bits>",
+    }
+}
+
+fn relop(op: RelOp) -> &'static str {
+    match op {
+        RelOp::Lt => "<",
+        RelOp::Le => "<=",
+        RelOp::Gt => ">",
+        RelOp::Ge => ">=",
+        RelOp::Eq => "==",
+        RelOp::Ne => "!=",
+    }
+}
+
+fn unop(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Neg => "-",
+        UnOp::Not => "!",
+        UnOp::BitNot => "~",
+    }
+}
+
+/// Renders an l-value.
+pub fn lval(program: &Program, lv: &LVal) -> String {
+    match lv {
+        LVal::Var(x) => program.var_name(*x).to_string(),
+        LVal::Field(x, f) => format!("{}.{}", program.var_name(*x), program.field_name(*f)),
+        LVal::Deref(x) => format!("*{}", program.var_name(*x)),
+        LVal::DerefField(x, f) => {
+            format!("{}->{}", program.var_name(*x), program.field_name(*f))
+        }
+    }
+}
+
+/// Renders a condition.
+pub fn cond(program: &Program, c: &Cond) -> String {
+    format!("{} {} {}", expr(program, &c.lhs), relop(c.op), expr(program, &c.rhs))
+}
+
+/// Renders one command.
+pub fn cmd(program: &Program, c: &Cmd) -> String {
+    match c {
+        Cmd::Skip => "skip".to_string(),
+        Cmd::Assign(lv, e) => format!("{} := {}", lval(program, lv), expr(program, e)),
+        Cmd::Alloc(lv, size) => {
+            format!("{} := alloc({})", lval(program, lv), expr(program, size))
+        }
+        Cmd::Assume(c) => format!("assume({})", cond(program, c)),
+        Cmd::Call { ret, callee, args } => {
+            let callee_str = match callee {
+                Callee::Direct(p) => program.procs[*p].name.clone(),
+                Callee::Indirect(e) => format!("(*{})", expr(program, e)),
+            };
+            let args_str: Vec<String> = args.iter().map(|a| expr(program, a)).collect();
+            match ret {
+                Some(lv) => {
+                    format!("{} := {}({})", lval(program, lv), callee_str, args_str.join(", "))
+                }
+                None => format!("{}({})", callee_str, args_str.join(", ")),
+            }
+        }
+        Cmd::Return(Some(e)) => format!("return {}", expr(program, e)),
+        Cmd::Return(None) => "return".to_string(),
+    }
+}
+
+/// Renders a whole procedure with its CFG edges.
+pub fn proc(program: &Program, p: &Proc) -> String {
+    let mut out = String::new();
+    let params: Vec<&str> = p.params.iter().map(|&v| program.var_name(v)).collect();
+    let _ = writeln!(out, "proc {}({}) {{", p.name, params.join(", "));
+    for (n, node) in p.nodes.iter_enumerated() {
+        let succs: Vec<String> = p.succs_of(n).iter().map(|s| format!("{s}")).collect();
+        let marker = if n == p.entry {
+            " <entry>"
+        } else if n == p.exit {
+            " <exit>"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  {n}: {} -> [{}]{marker}",
+            cmd(program, &node.cmd),
+            succs.join(", ")
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders the whole program.
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    for procedure in &p.procs {
+        if !procedure.is_external {
+            out.push_str(&proc(p, procedure));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProcBuilder;
+    use crate::program::{FieldTable, VarId, VarInfo, VarKind};
+    use crate::ProcId;
+    use sga_utils::{Idx, IndexVec};
+
+    fn tiny() -> Program {
+        let mut vars: IndexVec<VarId, VarInfo> = IndexVec::new();
+        let ret = vars.push(VarInfo {
+            name: "__ret_main".into(),
+            kind: VarKind::Return(ProcId::new(0)),
+            address_taken: false,
+        });
+        let x = vars.push(VarInfo { name: "x".into(), kind: VarKind::Global, address_taken: true });
+        let p = vars.push(VarInfo { name: "p".into(), kind: VarKind::Global, address_taken: false });
+        let mut b = ProcBuilder::new("main", ret);
+        let n1 = b.node(Cmd::Assign(LVal::Var(p), Expr::AddrOf(x)));
+        let n2 = b.node(Cmd::Assign(LVal::Deref(p), Expr::Const(7)));
+        b.edge(b.entry(), n1);
+        b.edge(n1, n2);
+        let exit = b.exit();
+        b.edge(n2, exit);
+        let mut procs = IndexVec::new();
+        let main = procs.push(b.finish());
+        Program { procs, vars, fields: FieldTable::new().into_names(), main }
+    }
+
+    #[test]
+    fn renders_store_through_pointer() {
+        let prog = tiny();
+        let text = program(&prog);
+        assert!(text.contains("p := &x"), "{text}");
+        assert!(text.contains("*p := 7"), "{text}");
+        assert!(text.contains("<entry>"));
+    }
+}

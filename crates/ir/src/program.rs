@@ -1,0 +1,244 @@
+//! Whole-program containers: variables, fields, procedures, control points.
+
+use crate::proc::{NodeId, Proc, ProcId};
+use sga_utils::{new_index, FxHashMap, Idx, IndexVec};
+use std::fmt;
+
+new_index!(pub struct VarId, "v");
+new_index!(pub struct FieldId, "f");
+
+/// What kind of storage a variable names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// A file-scope global.
+    Global,
+    /// A procedure-local declared variable.
+    Local(ProcId),
+    /// A formal parameter.
+    Param(ProcId),
+    /// A compiler-introduced temporary.
+    Temp(ProcId),
+    /// The synthetic variable holding a procedure's return value.
+    Return(ProcId),
+}
+
+impl VarKind {
+    /// The procedure owning the variable, or `None` for globals.
+    pub fn owner(self) -> Option<ProcId> {
+        match self {
+            VarKind::Global => None,
+            VarKind::Local(p)
+            | VarKind::Param(p)
+            | VarKind::Temp(p)
+            | VarKind::Return(p) => Some(p),
+        }
+    }
+}
+
+/// Metadata for one program variable.
+#[derive(Clone, Debug)]
+pub struct VarInfo {
+    /// Source-level name (synthetic for temporaries).
+    pub name: String,
+    /// Storage kind.
+    pub kind: VarKind,
+    /// Whether the program takes this variable's address (`&x`). Top-level
+    /// variables (address never taken) admit strong updates and are what
+    /// semi-sparse analysis [Hardekopf & Lin 2009] treats sparsely.
+    pub address_taken: bool,
+}
+
+/// A *control point*: a (procedure, node) pair, the `c ∈ C` of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cp {
+    /// The procedure.
+    pub proc: ProcId,
+    /// The node within the procedure's CFG.
+    pub node: NodeId,
+}
+
+impl Cp {
+    /// Builds a control point.
+    pub fn new(proc: ProcId, node: NodeId) -> Self {
+        Cp { proc, node }
+    }
+}
+
+impl fmt::Debug for Cp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.proc, self.node)
+    }
+}
+
+impl fmt::Display for Cp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.proc, self.node)
+    }
+}
+
+/// A whole program: procedures plus global symbol tables.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// All procedures.
+    pub procs: IndexVec<ProcId, Proc>,
+    /// All variables (globals, locals, params, temps, returns).
+    pub vars: IndexVec<VarId, VarInfo>,
+    /// Interned field names.
+    pub fields: IndexVec<FieldId, String>,
+    /// The entry procedure (`main`).
+    pub main: ProcId,
+}
+
+impl Program {
+    /// Looks up a procedure by name.
+    pub fn proc_by_name(&self, name: &str) -> Option<ProcId> {
+        self.procs.iter_enumerated().find(|(_, p)| p.name == name).map(|(id, _)| id)
+    }
+
+    /// Total number of control points (IR statements) in the program.
+    pub fn num_points(&self) -> usize {
+        self.procs.iter().map(|p| p.nodes.len()).sum()
+    }
+
+    /// Iterates over every control point of the program.
+    pub fn all_points(&self) -> impl Iterator<Item = Cp> + '_ {
+        self.procs
+            .iter_enumerated()
+            .flat_map(|(pid, p)| p.nodes.indices().map(move |n| Cp::new(pid, n)))
+    }
+
+    /// Assigns each control point a dense global number (used for bitset and
+    /// BDD encodings of the dependency relation).
+    pub fn point_numbering(&self) -> PointNumbering {
+        let mut offsets = IndexVec::with_capacity(self.procs.len());
+        let mut total = 0usize;
+        for p in &self.procs {
+            offsets.push(total);
+            total += p.nodes.len();
+        }
+        PointNumbering { offsets, total }
+    }
+
+    /// The command at control point `cp`.
+    pub fn cmd(&self, cp: Cp) -> &crate::expr::Cmd {
+        &self.procs[cp.proc].nodes[cp.node].cmd
+    }
+
+    /// Field name for a [`FieldId`].
+    pub fn field_name(&self, f: FieldId) -> &str {
+        &self.fields[f]
+    }
+
+    /// Variable name for a [`VarId`].
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v].name
+    }
+
+    /// All global variables.
+    pub fn globals(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.vars
+            .iter_enumerated()
+            .filter(|(_, info)| info.kind == VarKind::Global)
+            .map(|(v, _)| v)
+    }
+}
+
+/// Dense numbering of control points, `Cp ↔ usize`.
+#[derive(Clone, Debug)]
+pub struct PointNumbering {
+    offsets: IndexVec<ProcId, usize>,
+    total: usize,
+}
+
+impl PointNumbering {
+    /// Total number of control points.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the program had no control points.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Global index of `cp`.
+    pub fn index(&self, cp: Cp) -> usize {
+        self.offsets[cp.proc] + cp.node.index()
+    }
+
+    /// Inverse of [`index`](Self::index).
+    pub fn cp(&self, index: usize) -> Cp {
+        // Binary search over the offset table.
+        let mut lo = 0usize;
+        let mut hi = self.offsets.len();
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.offsets[ProcId::new(mid)] <= index {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let proc = ProcId::new(lo);
+        Cp::new(proc, NodeId::new(index - self.offsets[proc]))
+    }
+}
+
+/// A builder-side interner for field names.
+#[derive(Default, Debug)]
+pub struct FieldTable {
+    names: IndexVec<FieldId, String>,
+    index: FxHashMap<String, FieldId>,
+}
+
+impl FieldTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id.
+    pub fn intern(&mut self, name: &str) -> FieldId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Finishes building, returning the name arena.
+    pub fn into_names(self) -> IndexVec<FieldId, String> {
+        self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_interning_dedups() {
+        let mut t = FieldTable::new();
+        let a = t.intern("next");
+        let b = t.intern("data");
+        let a2 = t.intern("next");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.into_names().into_raw(), vec!["next", "data"]);
+    }
+
+    #[test]
+    fn var_kind_owner() {
+        let p = ProcId::new(3);
+        assert_eq!(VarKind::Global.owner(), None);
+        assert_eq!(VarKind::Local(p).owner(), Some(p));
+        assert_eq!(VarKind::Return(p).owner(), Some(p));
+    }
+
+    #[test]
+    fn cp_display() {
+        let cp = Cp::new(ProcId::new(1), NodeId::new(4));
+        assert_eq!(format!("{cp}"), "p1:n4");
+    }
+}

@@ -1,0 +1,234 @@
+//! Structural well-formedness checks for IR programs.
+//!
+//! Lowering bugs (dangling edges, nodes unreachable from entry, commands
+//! referencing variables of the wrong procedure) surface as hard-to-debug
+//! analysis misbehaviour; `validate` catches them at construction time. The
+//! frontend and the synthetic generator both run it in debug builds and
+//! tests run it on every constructed program.
+
+use crate::expr::{Callee, Cmd, Expr, LVal};
+use crate::proc::ProcId;
+use crate::program::{Program, VarId};
+use sga_utils::graph::reverse_postorder;
+use sga_utils::Idx;
+
+/// A structural defect found by [`validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidationError {
+    /// The offending procedure.
+    pub proc: ProcId,
+    /// Description of the defect.
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "proc {}: {}", self.proc, self.message)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks structural invariants; returns all defects found.
+pub fn validate(program: &Program) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    let num_vars = program.vars.len();
+    let num_procs = program.procs.len();
+
+    if program.main.index() >= num_procs {
+        errors.push(ValidationError {
+            proc: program.main,
+            message: "main procedure id out of range".into(),
+        });
+        return errors;
+    }
+
+    for (pid, proc) in program.procs.iter_enumerated() {
+        let mut err = |message: String| errors.push(ValidationError { proc: pid, message });
+
+        // Edge endpoints in range and preds/succs mirrored.
+        for (n, succs) in proc.succs.iter_enumerated() {
+            for &s in succs {
+                if s.index() >= proc.nodes.len() {
+                    err(format!("edge {n} -> {s} targets a missing node"));
+                } else if !proc.preds[s].contains(&n) {
+                    err(format!("edge {n} -> {s} missing from preds"));
+                }
+            }
+        }
+        for (n, preds) in proc.preds.iter_enumerated() {
+            for &p in preds {
+                if p.index() >= proc.nodes.len() || !proc.succs[p].contains(&n) {
+                    err(format!("pred edge {p} -> {n} missing from succs"));
+                }
+            }
+        }
+
+        // Exit has no successors; every non-exit reachable node should flow on.
+        if !proc.succs[proc.exit].is_empty() {
+            err("exit node has successors".into());
+        }
+
+        if !proc.is_external {
+            // Reachability: all nodes reachable from entry. The exit node is
+            // exempt — a procedure that never returns (infinite loop) has a
+            // legitimately unreachable exit.
+            let reached = reverse_postorder(&proc.cfg_view(), proc.entry.index());
+            let mut missing = proc.nodes.len() - reached.len();
+            if missing > 0 && !reached.contains(&proc.exit.index()) {
+                missing -= 1;
+            }
+            if missing > 0 {
+                err(format!("{missing} of {} nodes unreachable from entry", proc.nodes.len()));
+            }
+        }
+
+        // Variable references in range.
+        let check_var = |v: VarId| v.index() < num_vars;
+        let mut vars_of_cmd: Vec<VarId> = Vec::new();
+        for node in &proc.nodes {
+            vars_of_cmd.clear();
+            collect_cmd_vars(&node.cmd, &mut vars_of_cmd);
+            for &v in &vars_of_cmd {
+                if !check_var(v) {
+                    err(format!("command references missing variable {v}"));
+                }
+            }
+            if let Cmd::Call { callee: Callee::Direct(t), .. } = &node.cmd {
+                if t.index() >= num_procs {
+                    err(format!("call to missing procedure {t}"));
+                }
+            }
+        }
+    }
+    errors
+}
+
+/// Panicking wrapper for construction-time use.
+///
+/// # Panics
+///
+/// Panics with the full defect list if the program is malformed.
+pub fn assert_valid(program: &Program) {
+    let errors = validate(program);
+    assert!(
+        errors.is_empty(),
+        "malformed IR:\n{}",
+        errors.iter().map(|e| format!("  {e}")).collect::<Vec<_>>().join("\n")
+    );
+}
+
+fn collect_expr_vars(e: &Expr, out: &mut Vec<VarId>) {
+    match e {
+        Expr::Const(_) | Expr::Unknown | Expr::AddrOfProc(_) => {}
+        Expr::Var(x)
+        | Expr::Field(x, _)
+        | Expr::AddrOf(x)
+        | Expr::AddrOfField(x, _) => out.push(*x),
+        Expr::Deref(inner) | Expr::DerefField(inner, _) | Expr::Unop(_, inner) => {
+            collect_expr_vars(inner, out)
+        }
+        Expr::Binop(_, a, b) => {
+            collect_expr_vars(a, out);
+            collect_expr_vars(b, out);
+        }
+    }
+}
+
+fn collect_cmd_vars(c: &Cmd, out: &mut Vec<VarId>) {
+    let mut lv = |l: &LVal| out.push(l.base());
+    match c {
+        Cmd::Skip => {}
+        Cmd::Assign(l, e) | Cmd::Alloc(l, e) => {
+            lv(l);
+            collect_expr_vars(e, out);
+        }
+        Cmd::Assume(cond) => {
+            collect_expr_vars(&cond.lhs, out);
+            collect_expr_vars(&cond.rhs, out);
+        }
+        Cmd::Call { ret, callee, args } => {
+            if let Some(l) = ret {
+                lv(l);
+            }
+            if let Callee::Indirect(e) = callee {
+                collect_expr_vars(e, out);
+            }
+            for a in args {
+                collect_expr_vars(a, out);
+            }
+        }
+        Cmd::Return(Some(e)) => collect_expr_vars(e, out),
+        Cmd::Return(None) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProcBuilder;
+    use crate::program::{FieldTable, VarInfo, VarKind};
+    use sga_utils::IndexVec;
+
+    fn one_proc_program(build: impl FnOnce(&mut ProcBuilder)) -> Program {
+        let mut vars: IndexVec<VarId, VarInfo> = IndexVec::new();
+        let ret = vars.push(VarInfo {
+            name: "__ret".into(),
+            kind: VarKind::Return(ProcId::new(0)),
+            address_taken: false,
+        });
+        let mut b = ProcBuilder::new("main", ret);
+        build(&mut b);
+        let mut procs = IndexVec::new();
+        let main = procs.push(b.finish());
+        Program { procs, vars, fields: FieldTable::new().into_names(), main }
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let p = one_proc_program(|b| {
+            let exit = b.exit();
+            let entry = b.entry();
+            b.edge(entry, exit);
+        });
+        assert!(validate(&p).is_empty());
+    }
+
+    #[test]
+    fn unreachable_node_reported() {
+        let p = one_proc_program(|b| {
+            let entry = b.entry();
+            let exit = b.exit();
+            b.edge(entry, exit);
+            b.node(Cmd::Skip); // dangling
+        });
+        let errs = validate(&p);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("unreachable"));
+    }
+
+    #[test]
+    fn missing_variable_reported() {
+        let p = one_proc_program(|b| {
+            let entry = b.entry();
+            let exit = b.exit();
+            let n = b.node(Cmd::Assign(LVal::Var(VarId::new(99)), Expr::Const(0)));
+            b.edge(entry, n);
+            b.edge(n, exit);
+        });
+        let errs = validate(&p);
+        assert!(errs.iter().any(|e| e.message.contains("missing variable")));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed IR")]
+    fn assert_valid_panics_on_bad_ir() {
+        let p = one_proc_program(|b| {
+            let entry = b.entry();
+            let exit = b.exit();
+            b.edge(entry, exit);
+            b.node(Cmd::Skip);
+        });
+        assert_valid(&p);
+    }
+}

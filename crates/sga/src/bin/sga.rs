@@ -1,0 +1,177 @@
+//! The `sga` command-line analyzer: a miniature Sparrow.
+//!
+//! ```text
+//! sga <file.c> [--engine vanilla|base|sparse] [--domain interval|octagon]
+//!              [--check] [--dump-ir] [--dump-values] [--stats]
+//! ```
+//!
+//! Exit code 0 when no definite alarm is found, 1 otherwise, 2 on usage or
+//! frontend errors.
+
+use sga::analysis::interval::{self, Engine};
+use sga::analysis::{checker, octagon};
+use sga::domains::Lattice;
+use std::process::ExitCode;
+
+struct Options {
+    file: String,
+    engine: Engine,
+    domain: Domain,
+    check: bool,
+    dump_ir: bool,
+    dump_values: bool,
+    stats: bool,
+}
+
+#[derive(PartialEq)]
+enum Domain {
+    Interval,
+    Octagon,
+}
+
+const USAGE: &str = "usage: sga <file.c> [--engine vanilla|base|sparse] \
+                     [--domain interval|octagon] [--check] [--dump-ir] \
+                     [--dump-values] [--stats]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut file: Option<String> = None;
+    let mut engine = Engine::Sparse;
+    let mut domain = Domain::Interval;
+    let (mut check, mut dump_ir, mut dump_values, mut stats) = (false, false, false, false);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--engine" => {
+                engine = match args.next().as_deref() {
+                    Some("vanilla") => Engine::Vanilla,
+                    Some("base") => Engine::Base,
+                    Some("sparse") => Engine::Sparse,
+                    other => return Err(format!("bad --engine {other:?}")),
+                }
+            }
+            "--domain" => {
+                domain = match args.next().as_deref() {
+                    Some("interval") => Domain::Interval,
+                    Some("octagon") => Domain::Octagon,
+                    other => return Err(format!("bad --domain {other:?}")),
+                }
+            }
+            "--check" => check = true,
+            "--dump-ir" => dump_ir = true,
+            "--dump-values" => dump_values = true,
+            "--stats" => stats = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if !other.starts_with('-') && file.is_none() => {
+                file = Some(other.to_string())
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let file = file.ok_or_else(|| USAGE.to_string())?;
+    Ok(Options { file, engine, domain, check, dump_ir, dump_values, stats })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let src = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sga: cannot read {}: {e}", opts.file);
+            return ExitCode::from(2);
+        }
+    };
+    let program = match sga::frontend::parse(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sga: {}: {e}", opts.file);
+            return ExitCode::from(2);
+        }
+    };
+    if opts.dump_ir {
+        print!("{}", sga::ir::pretty::program(&program));
+    }
+
+    let mut definite = false;
+    match opts.domain {
+        Domain::Interval => {
+            let result = interval::analyze(&program, opts.engine);
+            if opts.stats {
+                let s = &result.stats;
+                eprintln!(
+                    "engine {:?}: total {:?} (pre {:?}, dep {:?}, fix {:?}), {} evaluations, {} locations, {} dep edges",
+                    opts.engine, s.total_time, s.pre_time, s.dep_time, s.fix_time,
+                    s.iterations, s.num_locs, s.dep_edges
+                );
+            }
+            if opts.dump_values {
+                for cp in program.all_points() {
+                    let st = result.state_at(cp);
+                    if st.is_empty() {
+                        continue;
+                    }
+                    println!("{cp}: {}", sga::ir::pretty::cmd(&program, program.cmd(cp)));
+                    for (l, v) in st.iter() {
+                        if !v.is_bottom() {
+                            println!("    {l:?} = {v:?}");
+                        }
+                    }
+                }
+            }
+            if opts.check {
+                let overruns = checker::check_overruns(&program, &result);
+                let nulls = checker::check_null_derefs(&program, &result);
+                for a in &overruns {
+                    println!("{a}");
+                }
+                for a in &nulls {
+                    println!("{a}");
+                }
+                println!(
+                    "{} buffer alarm(s), {} null-dereference alarm(s)",
+                    overruns.len(),
+                    nulls.len()
+                );
+                definite = overruns.iter().any(|a| a.definite)
+                    || nulls.iter().any(|a| a.definite);
+            }
+        }
+        Domain::Octagon => {
+            let result = octagon::analyze(&program, opts.engine);
+            if opts.stats {
+                let s = &result.stats;
+                eprintln!(
+                    "engine {:?} (octagon): total {:?} (fix {:?}), {} evaluations, {} packs (avg size {:.1})",
+                    opts.engine, s.total_time, s.fix_time, s.iterations,
+                    result.packs.len(), result.packs.average_size()
+                );
+            }
+            if opts.dump_values {
+                for (v, info) in program.vars.iter_enumerated() {
+                    if info.kind != sga::ir::VarKind::Global {
+                        continue;
+                    }
+                    // Show each global's projection at program exit.
+                    let main_exit = sga::ir::Cp::new(
+                        program.main,
+                        program.procs[program.main].exit,
+                    );
+                    println!("{} ∈ {}", info.name, result.itv_of(main_exit, v));
+                }
+            }
+            if opts.check {
+                eprintln!("sga: --check is interval-domain only (octagon is for relations)");
+            }
+        }
+    }
+    if definite {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

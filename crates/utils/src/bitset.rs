@@ -1,0 +1,288 @@
+//! Dense bitsets over a fixed universe.
+//!
+//! Def/use sets and reaching-definition facts range over small, dense index
+//! spaces (locations used in a procedure, nodes of a CFG), which makes a
+//! `u64`-word bitset the right representation: set algebra is word-parallel
+//! and iteration skips empty words.
+//!
+//! # Examples
+//!
+//! ```
+//! use sga_utils::BitSet;
+//!
+//! let mut a = BitSet::new(128);
+//! a.insert(3);
+//! a.insert(100);
+//! let mut b = BitSet::new(128);
+//! b.insert(100);
+//! assert!(a.union_with(&b) == false); // b added nothing new
+//! assert_eq!(a.iter().collect::<Vec<_>>(), vec![3, 100]);
+//! ```
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A growably-sized dense bitset over `usize` elements `< domain_size`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    domain_size: usize,
+}
+
+#[inline]
+fn word_index(bit: usize) -> (usize, u64) {
+    (bit / WORD_BITS, 1u64 << (bit % WORD_BITS))
+}
+
+impl BitSet {
+    /// Creates an empty set over a universe of `domain_size` elements.
+    pub fn new(domain_size: usize) -> Self {
+        BitSet { words: vec![0; domain_size.div_ceil(WORD_BITS)], domain_size }
+    }
+
+    /// Size of the universe this set ranges over.
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+
+    /// Inserts `bit`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= domain_size`.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        assert!(bit < self.domain_size, "bit {bit} out of domain {}", self.domain_size);
+        let (w, mask) = word_index(bit);
+        let fresh = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        fresh
+    }
+
+    /// Removes `bit`; returns `true` if it was present.
+    pub fn remove(&mut self, bit: usize) -> bool {
+        let (w, mask) = word_index(bit);
+        match self.words.get_mut(w) {
+            Some(word) => {
+                let present = *word & mask != 0;
+                *word &= !mask;
+                present
+            }
+            None => false,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, bit: usize) -> bool {
+        let (w, mask) = word_index(bit);
+        self.words.get(w).is_some_and(|word| word & mask != 0)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ∪= other`; returns `true` if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domains differ.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.domain_size, other.domain_size, "bitset domain mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self ∩= other`; returns `true` if `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.domain_size, other.domain_size, "bitset domain mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self −= other`; returns `true` if `self` changed.
+    pub fn subtract(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.domain_size, other.domain_size, "bitset domain mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & !b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Whether `self` and `other` share no element.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.domain_size, other.domain_size, "bitset domain mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the elements in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { words: &self.words, current: self.words.first().copied().unwrap_or(0), word_idx: 0 }
+    }
+}
+
+/// Ascending iterator over a [`BitSet`], produced by [`BitSet::iter`].
+pub struct Iter<'a> {
+    words: &'a [u64],
+    current: u64,
+    word_idx: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to the maximum element + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let size = items.iter().max().map_or(0, |m| m + 1);
+        let mut set = BitSet::new(size);
+        for i in items {
+            set.insert(i);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(200);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(199));
+        assert!(!s.insert(63));
+        assert!(s.contains(64));
+        assert!(!s.contains(65));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = BitSet::new(300);
+        for &b in &[250, 3, 64, 128, 65] {
+            s.insert(b);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64, 65, 128, 250]);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        b.insert(2);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert!(a.contains(1) && a.contains(2));
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(10);
+        b.insert(10);
+        b.insert(20);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(!a.is_disjoint(&b));
+        a.clear();
+        assert!(a.is_disjoint(&b));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn insert_out_of_domain_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    proptest! {
+        #[test]
+        fn set_algebra_matches_btreeset(
+            xs in prop::collection::btree_set(0usize..512, 0..64),
+            ys in prop::collection::btree_set(0usize..512, 0..64),
+        ) {
+            let mut a = BitSet::new(512);
+            let mut b = BitSet::new(512);
+            for &x in &xs { a.insert(x); }
+            for &y in &ys { b.insert(y); }
+
+            let mut u = a.clone();
+            u.union_with(&b);
+            let expect_u: Vec<_> = xs.union(&ys).copied().collect();
+            prop_assert_eq!(u.iter().collect::<Vec<_>>(), expect_u);
+
+            let mut i = a.clone();
+            i.intersect_with(&b);
+            let expect_i: Vec<_> = xs.intersection(&ys).copied().collect();
+            prop_assert_eq!(i.iter().collect::<Vec<_>>(), expect_i);
+
+            let mut d = a.clone();
+            d.subtract(&b);
+            let expect_d: Vec<_> = xs.difference(&ys).copied().collect();
+            prop_assert_eq!(d.iter().collect::<Vec<_>>(), expect_d);
+
+            prop_assert_eq!(a.is_subset(&b), xs.is_subset(&ys));
+            prop_assert_eq!(a.is_disjoint(&b), xs.is_disjoint(&ys));
+            prop_assert_eq!(a.count(), xs.len());
+        }
+    }
+}

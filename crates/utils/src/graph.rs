@@ -1,0 +1,419 @@
+//! Graph algorithms used by the CFG and call-graph layers.
+//!
+//! * [`Scc`] — Tarjan's strongly-connected-components algorithm (iterative,
+//!   so deep CFGs cannot overflow the stack). The paper's Table 1 reports
+//!   `maxSCC` of the call graph, and §5 explains why large call-graph SCCs
+//!   dominate analysis cost; we need the same measurement.
+//! * [`reverse_postorder`] — the iteration order for dense worklists.
+//! * [`WtoItem`]/[`weak_topological_order`] — Bourdoncle's weak topological
+//!   order; its component heads are exactly the widening points of both the
+//!   dense and sparse fixpoint engines.
+
+use crate::bitset::BitSet;
+
+/// A read-only view of a directed graph with nodes `0..num_nodes`.
+pub trait DiGraph {
+    /// Number of nodes; node ids are `0..num_nodes()`.
+    fn num_nodes(&self) -> usize;
+    /// Successors of `node`.
+    fn successors(&self, node: usize) -> Vec<usize>;
+}
+
+/// An adjacency-list graph, the default [`DiGraph`] implementation.
+#[derive(Clone, Debug, Default)]
+pub struct AdjGraph {
+    succ: Vec<Vec<usize>>,
+}
+
+impl AdjGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        AdjGraph { succ: vec![Vec::new(); n] }
+    }
+
+    /// Adds the edge `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(to < self.succ.len(), "edge target {to} out of range");
+        self.succ[from].push(to);
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+}
+
+impl DiGraph for AdjGraph {
+    fn num_nodes(&self) -> usize {
+        self.succ.len()
+    }
+    fn successors(&self, node: usize) -> Vec<usize> {
+        self.succ[node].clone()
+    }
+}
+
+/// The strongly connected components of a graph, in reverse topological
+/// order (callees before callers when applied to a call graph).
+#[derive(Clone, Debug)]
+pub struct Scc {
+    /// `component[v]` is the id of `v`'s SCC.
+    pub component: Vec<usize>,
+    /// Members of each SCC; `components[i]` lists the nodes of SCC `i`.
+    pub components: Vec<Vec<usize>>,
+}
+
+impl Scc {
+    /// Computes SCCs with an iterative Tarjan traversal.
+    pub fn compute(graph: &impl DiGraph) -> Scc {
+        let n = graph.num_nodes();
+        const UNSET: usize = usize::MAX;
+        let mut index = vec![UNSET; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut component = vec![UNSET; n];
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        let mut counter = 0usize;
+
+        // Explicit DFS frames: (node, successor list, next successor index).
+        let mut frames: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+
+        for root in 0..n {
+            if index[root] != UNSET {
+                continue;
+            }
+            index[root] = counter;
+            lowlink[root] = counter;
+            counter += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            frames.push((root, graph.successors(root), 0));
+
+            while let Some(frame) = frames.last_mut() {
+                let v = frame.0;
+                if frame.2 < frame.1.len() {
+                    let w = frame.1[frame.2];
+                    frame.2 += 1;
+                    if index[w] == UNSET {
+                        index[w] = counter;
+                        lowlink[w] = counter;
+                        counter += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        frames.push((w, graph.successors(w), 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(parent) = frames.last() {
+                        let p = parent.0;
+                        lowlink[p] = lowlink[p].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        let id = components.len();
+                        let mut members = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            component[w] = id;
+                            members.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        components.push(members);
+                    }
+                }
+            }
+        }
+        Scc { component, components }
+    }
+
+    /// Number of SCCs.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the graph was empty.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Size of the largest component (the paper's `maxSCC` column).
+    pub fn max_component_size(&self) -> usize {
+        self.components.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether `v` belongs to a nontrivial cycle (an SCC of size > 1, or a
+    /// self-loop detected by the caller).
+    pub fn in_cycle(&self, v: usize) -> bool {
+        self.components[self.component[v]].len() > 1
+    }
+}
+
+/// Reverse postorder of the nodes reachable from `entry`.
+pub fn reverse_postorder(graph: &impl DiGraph, entry: usize) -> Vec<usize> {
+    let n = graph.num_nodes();
+    let mut visited = BitSet::new(n.max(1));
+    let mut post: Vec<usize> = Vec::new();
+    // Frame: (node, successors, next index).
+    let mut frames: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+    if n == 0 {
+        return post;
+    }
+    visited.insert(entry);
+    frames.push((entry, graph.successors(entry), 0));
+    while let Some(frame) = frames.last_mut() {
+        let v = frame.0;
+        if frame.2 < frame.1.len() {
+            let w = frame.1[frame.2];
+            frame.2 += 1;
+            if visited.insert(w) {
+                frames.push((w, graph.successors(w), 0));
+            }
+        } else {
+            post.push(v);
+            frames.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// One element of a weak topological order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WtoItem {
+    /// A node outside any cycle.
+    Node(usize),
+    /// A cycle: the head (widening point) followed by the body in WTO order.
+    Component(usize, Vec<WtoItem>),
+}
+
+impl WtoItem {
+    fn push_heads(&self, out: &mut Vec<usize>) {
+        if let WtoItem::Component(h, body) = self {
+            out.push(*h);
+            for item in body {
+                item.push_heads(out);
+            }
+        }
+    }
+
+    fn push_nodes(&self, out: &mut Vec<usize>) {
+        match self {
+            WtoItem::Node(v) => out.push(*v),
+            WtoItem::Component(h, body) => {
+                out.push(*h);
+                for item in body {
+                    item.push_nodes(out);
+                }
+            }
+        }
+    }
+}
+
+/// A weak topological order (Bourdoncle 1993) of the nodes reachable from an
+/// entry node.
+#[derive(Clone, Debug, Default)]
+pub struct Wto {
+    /// Top-level WTO items in order.
+    pub items: Vec<WtoItem>,
+}
+
+impl Wto {
+    /// All component heads — the widening points.
+    pub fn heads(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for item in &self.items {
+            item.push_heads(&mut out);
+        }
+        out
+    }
+
+    /// All nodes in WTO order (heads before their bodies).
+    pub fn linearize(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for item in &self.items {
+            item.push_nodes(&mut out);
+        }
+        out
+    }
+}
+
+/// Computes a weak topological order using Bourdoncle's recursive-strategy
+/// algorithm (hierarchical Tarjan).
+///
+/// Self-loops make their node a component head, as required for widening.
+pub fn weak_topological_order(graph: &impl DiGraph, entry: usize) -> Wto {
+    // Bourdoncle's algorithm is most naturally recursive; CFG procedure
+    // bodies are modest in depth after block-level construction, but we keep
+    // an explicit depth budget by boxing the recursion on the heap via a
+    // helper struct.
+    struct Ctx<'g, G: DiGraph> {
+        graph: &'g G,
+        dfn: Vec<usize>,
+        num: usize,
+        stack: Vec<usize>,
+    }
+    const UNVISITED: usize = 0;
+    const DONE: usize = usize::MAX;
+
+    fn visit<G: DiGraph>(ctx: &mut Ctx<'_, G>, v: usize, partition: &mut Vec<WtoItem>) -> usize {
+        ctx.stack.push(v);
+        ctx.num += 1;
+        ctx.dfn[v] = ctx.num;
+        let mut head = ctx.dfn[v];
+        let mut loop_found = false;
+        for w in ctx.graph.successors(v) {
+            let min = if ctx.dfn[w] == UNVISITED { visit(ctx, w, partition) } else { ctx.dfn[w] };
+            if min != DONE && min <= head {
+                head = min;
+                loop_found = true;
+            }
+        }
+        if head == ctx.dfn[v] {
+            ctx.dfn[v] = DONE;
+            let mut element = ctx.stack.pop().expect("wto stack underflow");
+            if loop_found {
+                while element != v {
+                    ctx.dfn[element] = UNVISITED;
+                    element = ctx.stack.pop().expect("wto stack underflow");
+                }
+                partition.insert(0, component(ctx, v));
+            } else {
+                partition.insert(0, WtoItem::Node(v));
+            }
+        }
+        head
+    }
+
+    fn component<G: DiGraph>(ctx: &mut Ctx<'_, G>, v: usize) -> WtoItem {
+        let mut partition: Vec<WtoItem> = Vec::new();
+        for w in ctx.graph.successors(v) {
+            if ctx.dfn[w] == UNVISITED {
+                visit(ctx, w, &mut partition);
+            }
+        }
+        WtoItem::Component(v, partition)
+    }
+
+    let n = graph.num_nodes();
+    let mut ctx = Ctx { graph, dfn: vec![UNVISITED; n], num: 0, stack: Vec::new() };
+    let mut partition = Vec::new();
+    if n > 0 {
+        visit(&mut ctx, entry, &mut partition);
+    }
+    Wto { items: partition }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> AdjGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut g = AdjGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn scc_of_dag_is_singletons() {
+        let scc = Scc::compute(&diamond());
+        assert_eq!(scc.len(), 4);
+        assert_eq!(scc.max_component_size(), 1);
+        assert!(!scc.in_cycle(0));
+    }
+
+    #[test]
+    fn scc_finds_cycle() {
+        // 0 -> 1 -> 2 -> 0, 2 -> 3
+        let mut g = AdjGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(2, 3);
+        let scc = Scc::compute(&g);
+        assert_eq!(scc.max_component_size(), 3);
+        assert_eq!(scc.component[0], scc.component[1]);
+        assert_eq!(scc.component[1], scc.component[2]);
+        assert_ne!(scc.component[2], scc.component[3]);
+        // Reverse topological: node 3's component comes before the cycle.
+        assert!(scc.component[3] < scc.component[0]);
+        assert!(scc.in_cycle(0));
+        assert!(!scc.in_cycle(3));
+    }
+
+    #[test]
+    fn rpo_of_diamond_starts_at_entry_ends_at_exit() {
+        let rpo = reverse_postorder(&diamond(), 0);
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], 0);
+        assert_eq!(rpo[3], 3);
+    }
+
+    #[test]
+    fn rpo_skips_unreachable() {
+        let mut g = AdjGraph::new(3);
+        g.add_edge(0, 1);
+        let rpo = reverse_postorder(&g, 0);
+        assert_eq!(rpo, vec![0, 1]);
+    }
+
+    #[test]
+    fn wto_of_loop_marks_head() {
+        // 0 -> 1 -> 2 -> 1, 2 -> 3  (while loop)
+        let mut g = AdjGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.add_edge(2, 3);
+        let wto = weak_topological_order(&g, 0);
+        assert_eq!(wto.heads(), vec![1]);
+        assert_eq!(wto.linearize(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn wto_nested_loops() {
+        // 0 -> 1 -> 2 -> 3 -> 2 (inner), 3 -> 1 (outer), 3 -> 4
+        let mut g = AdjGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 2);
+        g.add_edge(3, 1);
+        g.add_edge(3, 4);
+        let wto = weak_topological_order(&g, 0);
+        let mut heads = wto.heads();
+        heads.sort_unstable();
+        assert_eq!(heads, vec![1, 2]);
+    }
+
+    #[test]
+    fn scc_empty_graph() {
+        let g = AdjGraph::new(0);
+        let scc = Scc::compute(&g);
+        assert!(scc.is_empty());
+        assert_eq!(scc.max_component_size(), 0);
+    }
+
+    #[test]
+    fn scc_large_path_does_not_overflow() {
+        // A 200k-node path exercises the iterative traversal.
+        let n = 200_000;
+        let mut g = AdjGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        let scc = Scc::compute(&g);
+        assert_eq!(scc.len(), n);
+    }
+}

@@ -1,0 +1,113 @@
+//! Timers and memory statistics for the benchmark harness.
+//!
+//! The paper's Tables 2–3 report, per analyzer: total analysis time, its
+//! split into dependency-generation (`Dep`) and fixpoint (`Fix`) phases, and
+//! peak memory. [`Phase`] provides the stopwatch; [`peak_rss_bytes`] reads the
+//! process high-water mark from `/proc/self/status` (Linux), which is the
+//! same notion of "peak memory consumption" the paper reports.
+
+use std::time::{Duration, Instant};
+
+/// A simple stopwatch for one named analysis phase.
+#[derive(Debug)]
+pub struct Phase {
+    name: &'static str,
+    start: Instant,
+}
+
+impl Phase {
+    /// Starts timing a phase.
+    pub fn start(name: &'static str) -> Self {
+        Phase { name, start: Instant::now() }
+    }
+
+    /// Phase name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Stops the phase, returning its duration.
+    pub fn stop(self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed time so far, without stopping.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+/// Peak resident-set size of this process in bytes, if the platform exposes
+/// it (`VmHWM` in `/proc/self/status`); `None` elsewhere.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Current resident-set size of this process in bytes (`VmRSS`).
+pub fn current_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Formats a duration as the paper's tables do: whole seconds for large
+/// values, millisecond precision below 10 s.
+pub fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 10.0 {
+        format!("{secs:.0}")
+    } else {
+        format!("{secs:.3}")
+    }
+}
+
+/// Formats a byte count in binary megabytes, as the paper's tables do.
+pub fn fmt_megabytes(bytes: u64) -> String {
+    format!("{:.0}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_measures_nonzero_time() {
+        let p = Phase::start("test");
+        assert_eq!(p.name(), "test");
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(p.stop() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn rss_available_on_linux() {
+        if cfg!(target_os = "linux") {
+            let peak = peak_rss_bytes().expect("VmHWM should parse on Linux");
+            let cur = current_rss_bytes().expect("VmRSS should parse on Linux");
+            assert!(peak >= cur, "high-water mark below current RSS");
+            assert!(cur > 0);
+        }
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_secs(90)), "90");
+        assert_eq!(fmt_duration(Duration::from_millis(1500)), "1.500");
+    }
+
+    #[test]
+    fn megabyte_formatting() {
+        assert_eq!(fmt_megabytes(24 * 1024 * 1024), "24");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based end-to-end fuzzing: random generator configurations must
+//! produce programs that parse, validate, analyze under every engine, and
+//! stay sound against concrete runs. This is the closest thing to throwing
+//! arbitrary C at the pipeline while staying deterministic.
+
+use proptest::prelude::*;
+use sga::analysis::interval::{analyze, Engine};
+use sga::cgen::GenConfig;
+use sga::domains::{AbsLoc, Lattice};
+use sga::ir::interp::{self, CVal, InterpConfig, ObservedLoc, Place};
+
+fn arb_config() -> impl Strategy<Value = GenConfig> {
+    (
+        any::<u64>(),
+        200usize..800,
+        2usize..30,
+        0usize..40,
+        0usize..6,
+        0usize..8,
+        0.0f64..0.5,
+    )
+        .prop_map(|(seed, loc, functions, globals, global_ptrs, max_scc, ptr_density)| {
+            GenConfig {
+                seed,
+                target_loc: loc,
+                functions,
+                globals: globals.max(1),
+                global_ptrs,
+                max_scc,
+                ptr_density,
+                stmts_per_block: 5,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pipeline_never_panics_and_stays_sound(config in arb_config()) {
+        let src = sga::cgen::generate(&config);
+        let program = sga::frontend::parse(&src)
+            .unwrap_or_else(|e| panic!("generated source must parse: {e}"));
+        prop_assert!(sga::ir::validate::validate(&program).is_empty());
+
+        let sparse = analyze(&program, Engine::Sparse);
+        let base = analyze(&program, Engine::Base);
+        prop_assert!(sparse.stats.iterations > 0);
+
+        // Concrete runs must be covered by both engines' claims.
+        let run = interp::run(
+            &program,
+            &InterpConfig {
+                main_args: vec![3],
+                unknown_supply: vec![1, -7, 100],
+                fuel: 200_000,
+                max_depth: 400,
+            },
+        );
+        for obs in &run.log {
+            let loc = match obs.target {
+                ObservedLoc::Var(v) => AbsLoc::Var(v),
+                ObservedLoc::Field(v, f) => AbsLoc::Field(v, f),
+                ObservedLoc::AllocSite(cp) => AbsLoc::Alloc(sga::domains::locs::AllocSite(cp)),
+                ObservedLoc::AllocField(cp, f) => {
+                    AbsLoc::AllocField(sga::domains::locs::AllocSite(cp), f)
+                }
+            };
+            for result in [&sparse, &base] {
+                // Dense engines bind call results on the successor edge.
+                let mut aval = result.value_at(obs.cp, &loc);
+                if matches!(program.cmd(obs.cp), sga::ir::Cmd::Call { .. }) {
+                    for &s in program.procs[obs.cp.proc].succs_of(obs.cp.node) {
+                        aval = aval.join(
+                            &result.value_at(sga::ir::Cp::new(obs.cp.proc, s), &loc),
+                        );
+                    }
+                }
+                let ok = match &obs.value {
+                    CVal::Uninit => true,
+                    CVal::Int(n) => aval.itv.contains(*n),
+                    CVal::Fn(p) => aval.procs.contains(&AbsLoc::Proc(*p)),
+                    CVal::Ptr(place, _) => match place {
+                        Place::Global(v) | Place::Local(_, v) => {
+                            aval.ptr.iter().any(|l| l.var() == Some(*v))
+                                || aval.arr.iter().any(|(b, _)| b.var() == Some(*v))
+                        }
+                        Place::Heap(_, site) => {
+                            let l = AbsLoc::Alloc(sga::domains::locs::AllocSite(*site));
+                            aval.ptr.contains(&l) || aval.arr.iter().any(|(b, _)| *b == l)
+                        }
+                    },
+                };
+                prop_assert!(
+                    ok,
+                    "UNSOUND seed {} at {} for {loc:?}: concrete {:?} ⊄ {:?}",
+                    config.seed,
+                    obs.cp,
+                    obs.value,
+                    aval
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Soundness, executably: every value a concrete run writes must be
+//! included in what the abstract analyses claim at that control point.
+//!
+//! The IR interpreter ([`sga::ir::interp`]) logs `(control point, location,
+//! concrete value)` triples; for each engine we assert the abstract value
+//! `X(c)(l)` covers the concrete one — integers land in the interval,
+//! pointers' targets land in the points-to/array components, function
+//! pointers in the procedure set.
+
+use sga::analysis::interval::{analyze, Engine, IntervalResult};
+use sga::domains::{AbsLoc, Lattice, Value};
+use sga::frontend::parse;
+use sga::ir::interp::{self, CVal, InterpConfig, ObservedLoc, Outcome, Place};
+use sga::ir::Program;
+
+// Small shim: translate interpreter observations to abstract locations.
+mod shim {
+    use super::*;
+    pub fn abs_loc(program: &Program, target: &ObservedLoc) -> AbsLoc {
+        match *target {
+            ObservedLoc::Var(v) => AbsLoc::Var(v),
+            ObservedLoc::Field(v, f) => AbsLoc::Field(v, f),
+            ObservedLoc::AllocSite(cp) => {
+                AbsLoc::Alloc(sga::domains::locs::AllocSite(cp))
+            }
+            ObservedLoc::AllocField(cp, f) => {
+                AbsLoc::AllocField(sga::domains::locs::AllocSite(cp), f)
+            }
+        }
+        .tap(program)
+    }
+    trait Tap {
+        fn tap(self, _p: &Program) -> Self
+        where
+            Self: Sized,
+        {
+            self
+        }
+    }
+    impl Tap for AbsLoc {}
+}
+
+/// The abstract value for `loc` at `cp`, widened to the call's successors
+/// when `cp` is a call — dense engines materialize return-value bindings on
+/// the return edge (i.e. in the successor's post-state), the sparse engine
+/// at the call node itself.
+fn abstract_at(program: &Program, result: &IntervalResult, cp: sga::ir::Cp, loc: &AbsLoc) -> Value {
+    let mut aval = result.value_at(cp, loc);
+    if matches!(program.cmd(cp), sga::ir::Cmd::Call { .. }) {
+        for &s in program.procs[cp.proc].succs_of(cp.node) {
+            aval = aval.join(&result.value_at(sga::ir::Cp::new(cp.proc, s), loc));
+        }
+    }
+    aval
+}
+
+/// Whether concrete `cval` is covered by abstract `aval`.
+fn covered(cval: &CVal, aval: &Value) -> bool {
+    match cval {
+        CVal::Uninit => true,
+        CVal::Int(n) => aval.itv.contains(*n),
+        CVal::Fn(p) => aval.procs.contains(&AbsLoc::Proc(*p)),
+        CVal::Ptr(place, _off) => match place {
+            Place::Global(v) | Place::Local(_, v) => {
+                // Field-refined pointers lower to the variable; accept any
+                // component of the variable in the abstract set.
+                aval.ptr.iter().any(|l| l.var() == Some(*v))
+                    || aval.arr.iter().any(|(b, _)| b.var() == Some(*v))
+            }
+            Place::Heap(_, site) => {
+                let l = AbsLoc::Alloc(sga::domains::locs::AllocSite(*site));
+                aval.ptr.contains(&l) || aval.arr.iter().any(|(b, _)| *b == l)
+            }
+        },
+    }
+}
+
+fn check_run(
+    program: &Program,
+    result: &IntervalResult,
+    config: &InterpConfig,
+    engine: Engine,
+    src_tag: &str,
+) {
+    let run = interp::run(program, config);
+    assert!(
+        !matches!(run.outcome, Outcome::Trap(_)),
+        "{src_tag}: interpreter trapped: {:?}",
+        run.outcome
+    );
+    for obs in &run.log {
+        let loc = shim::abs_loc(program, &obs.target);
+        let aval = abstract_at(program, result, obs.cp, &loc);
+        assert!(
+            covered(&obs.value, &aval),
+            "{src_tag} {engine:?}: UNSOUND at {} for {loc:?}\n  concrete {:?}\n  abstract {:?}\n  cmd: {}",
+            obs.cp,
+            obs.value,
+            aval,
+            sga::ir::pretty::cmd(program, program.cmd(obs.cp)),
+        );
+    }
+}
+
+fn check_sources(src: &str, configs: &[InterpConfig]) {
+    let program = parse(src).unwrap_or_else(|e| panic!("parse: {e}"));
+    for engine in [Engine::Vanilla, Engine::Base, Engine::Sparse] {
+        let result = analyze(&program, engine);
+        for config in configs {
+            check_run(&program, &result, config, engine, "handwritten");
+        }
+    }
+}
+
+fn arg_sweep() -> Vec<InterpConfig> {
+    [-3i64, 0, 1, 5, 42, 1000]
+        .into_iter()
+        .map(|a| InterpConfig { main_args: vec![a], unknown_supply: vec![a, 9, -1], ..Default::default() })
+        .collect()
+}
+
+#[test]
+fn sound_on_loops_and_branches() {
+    check_sources(
+        "int main(int n) {
+            int i = 0; int s = 0;
+            while (i < 50) {
+                if (i % 3 == 0) s = s + i; else s = s - 1;
+                i = i + 1;
+            }
+            int r = s + n;
+            return r;
+         }",
+        &arg_sweep(),
+    );
+}
+
+#[test]
+fn sound_on_pointers_and_heap() {
+    check_sources(
+        "int g;
+         int main(int n) {
+            int *p = malloc(4);
+            *p = n;
+            int *q = p;
+            *q = *q + 1;
+            g = *p;
+            int *r = &g;
+            *r = *r * 2;
+            return g;
+         }",
+        &arg_sweep(),
+    );
+}
+
+#[test]
+fn sound_on_calls_and_recursion() {
+    check_sources(
+        "int gcd(int a, int b) {
+            if (b == 0) return a;
+            return gcd(b, a % b);
+         }
+         int main(int n) {
+            if (n < 1) n = 1;
+            int r = gcd(n + 12, n);
+            return r;
+         }",
+        &arg_sweep(),
+    );
+}
+
+#[test]
+fn sound_on_structs_and_fields() {
+    check_sources(
+        "struct box { int v; struct box *next; };
+         int main(int n) {
+            struct box a;
+            struct box b;
+            a.v = n;
+            a.next = &b;
+            struct box *p = &a;
+            p->next->v = n * 2;
+            int r = b.v + a.v;
+            return r;
+         }",
+        &arg_sweep(),
+    );
+}
+
+#[test]
+fn sound_on_function_pointers() {
+    check_sources(
+        "int inc(int x) { return x + 1; }
+         int dec(int x) { return x - 1; }
+         int main(int n) {
+            int (*op)(int);
+            if (n > 0) op = inc; else op = dec;
+            int r = op(n);
+            return r;
+         }",
+        &arg_sweep(),
+    );
+}
+
+#[test]
+fn sound_on_generated_programs() {
+    for seed in [21u64, 77, 2026] {
+        let cfg = sga::cgen::GenConfig::sized(seed, 1);
+        let src = sga::cgen::generate(&cfg);
+        let program = parse(&src).expect("generated source parses");
+        let result = analyze(&program, Engine::Sparse);
+        for args in [vec![0i64], vec![3], vec![100]] {
+            let config = InterpConfig {
+                main_args: args,
+                unknown_supply: vec![5, -2, 11],
+                fuel: 500_000,
+                max_depth: 600,
+            };
+            let run = interp::run(&program, &config);
+            // Generated programs always terminate (bounded loops, guarded
+            // recursion) — but don't insist, just check what executed.
+            for obs in &run.log {
+                let loc = shim::abs_loc(&program, &obs.target);
+                let aval = abstract_at(&program, &result, obs.cp, &loc);
+                assert!(
+                    covered(&obs.value, &aval),
+                    "seed {seed}: UNSOUND at {} for {loc:?}: {:?} ⊄ {:?}\n  cmd: {}",
+                    obs.cp,
+                    obs.value,
+                    aval,
+                    sga::ir::pretty::cmd(&program, program.cmd(obs.cp)),
+                );
+            }
+        }
+    }
+}
