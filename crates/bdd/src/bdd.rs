@@ -72,8 +72,16 @@ impl Bdd {
     pub fn new(num_vars: u32) -> Bdd {
         // Index 0/1 are the terminals; their `var` sorts after all real vars.
         let terminals = vec![
-            Node { var: TERMINAL_VAR, lo: BddRef::FALSE, hi: BddRef::FALSE },
-            Node { var: TERMINAL_VAR, lo: BddRef::TRUE, hi: BddRef::TRUE },
+            Node {
+                var: TERMINAL_VAR,
+                lo: BddRef::FALSE,
+                hi: BddRef::FALSE,
+            },
+            Node {
+                var: TERMINAL_VAR,
+                lo: BddRef::TRUE,
+                hi: BddRef::TRUE,
+            },
         ];
         Bdd {
             nodes: terminals,
@@ -99,7 +107,8 @@ impl Bdd {
         use std::mem::size_of;
         self.nodes.len() * size_of::<Node>()
             + self.unique.len() * (size_of::<Node>() + size_of::<BddRef>() + 8)
-            + self.ite_cache.len() * (size_of::<(BddRef, BddRef, BddRef)>() + size_of::<BddRef>() + 8)
+            + self.ite_cache.len()
+                * (size_of::<(BddRef, BddRef, BddRef)>() + size_of::<BddRef>() + 8)
     }
 
     fn var_of(&self, r: BddRef) -> u32 {
@@ -209,7 +218,7 @@ impl Bdd {
             .enumerate()
             .map(|(i, &v)| (v, assignment >> i & 1 == 1))
             .collect();
-        sorted.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        sorted.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
         let mut acc = BddRef::TRUE;
         for (v, polarity) in sorted {
             acc = if polarity {
@@ -227,7 +236,11 @@ impl Bdd {
         let mut cur = f;
         while !cur.is_terminal() {
             let v = self.var_of(cur);
-            cur = if assignment >> v & 1 == 1 { self.hi(cur) } else { self.lo(cur) };
+            cur = if assignment >> v & 1 == 1 {
+                self.hi(cur)
+            } else {
+                self.lo(cur)
+            };
         }
         cur == BddRef::TRUE
     }
@@ -249,17 +262,25 @@ impl Bdd {
             let lo_child = bdd.lo(f);
             let hi_child = bdd.hi(f);
             let child_weight = |bdd: &Bdd, child: BddRef, memo: &mut FxHashMap<BddRef, u128>| {
-                let cv = if child.is_terminal() { bdd.num_vars } else { bdd.var_of(child) };
+                let cv = if child.is_terminal() {
+                    bdd.num_vars
+                } else {
+                    bdd.var_of(child)
+                };
                 let gap = cv - v - 1;
                 count(bdd, child, memo).saturating_mul(2u128.saturating_pow(gap))
             };
-            let total = child_weight(bdd, lo_child, memo)
-                .saturating_add(child_weight(bdd, hi_child, memo));
+            let total =
+                child_weight(bdd, lo_child, memo).saturating_add(child_weight(bdd, hi_child, memo));
             memo.insert(f, total);
             total
         }
         let mut memo = FxHashMap::default();
-        let top_gap = if f.is_terminal() { self.num_vars } else { self.var_of(f) };
+        let top_gap = if f.is_terminal() {
+            self.num_vars
+        } else {
+            self.var_of(f)
+        };
         count(self, f, &mut memo).saturating_mul(2u128.saturating_pow(top_gap))
     }
 
@@ -281,7 +302,12 @@ impl Bdd {
 
 impl fmt::Debug for Bdd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Bdd {{ vars: {}, nodes: {} }}", self.num_vars, self.nodes.len())
+        write!(
+            f,
+            "Bdd {{ vars: {}, nodes: {} }}",
+            self.num_vars,
+            self.nodes.len()
+        )
     }
 }
 

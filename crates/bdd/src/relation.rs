@@ -111,7 +111,11 @@ impl Encoding {
         let to_vars: Vec<u32> = (point_bits..2 * point_bits).collect();
         let base = 2 * point_bits;
         let loc_vars = (0..loc_bits).map(|b| base + b).collect();
-        Encoding { from_vars, to_vars, loc_vars }
+        Encoding {
+            from_vars,
+            to_vars,
+            loc_vars,
+        }
     }
 
     fn num_vars(&self) -> u32 {
@@ -136,7 +140,12 @@ impl BddDepStore {
     pub fn new(num_points: u32, num_locs: u32) -> BddDepStore {
         let enc = Encoding::new(num_points, num_locs);
         let mgr = Bdd::new(enc.num_vars());
-        BddDepStore { mgr, root: BddRef::FALSE, enc, len: 0 }
+        BddDepStore {
+            mgr,
+            root: BddRef::FALSE,
+            enc,
+            len: 0,
+        }
     }
 
     fn triple_cube(&mut self, t: DepTriple) -> BddRef {
@@ -244,11 +253,7 @@ pub fn stores_agree(
 }
 
 /// Deduplicating convenience used by tests and the ablation harness.
-pub fn fill_both(
-    triples: &[DepTriple],
-    set: &mut SetDepStore,
-    bdd: &mut BddDepStore,
-) -> usize {
+pub fn fill_both(triples: &[DepTriple], set: &mut SetDepStore, bdd: &mut BddDepStore) -> usize {
     let mut seen: FxHashSet<DepTriple> = FxHashSet::default();
     let mut fresh = 0;
     for &t in triples {
@@ -270,11 +275,19 @@ mod tests {
     #[test]
     fn set_store_basics() {
         let mut s = SetDepStore::new();
-        let t = DepTriple { from: 1, to: 2, loc: 3 };
+        let t = DepTriple {
+            from: 1,
+            to: 2,
+            loc: 3,
+        };
         assert!(s.insert(t));
         assert!(!s.insert(t));
         assert!(s.contains(t));
-        assert!(!s.contains(DepTriple { from: 1, to: 2, loc: 4 }));
+        assert!(!s.contains(DepTriple {
+            from: 1,
+            to: 2,
+            loc: 4
+        }));
         assert_eq!(s.len(), 1);
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![t]);
     }
@@ -282,12 +295,20 @@ mod tests {
     #[test]
     fn bdd_store_basics() {
         let mut s = BddDepStore::new(16, 8);
-        let t = DepTriple { from: 5, to: 11, loc: 7 };
+        let t = DepTriple {
+            from: 5,
+            to: 11,
+            loc: 7,
+        };
         assert!(!s.contains(t));
         assert!(s.insert(t));
         assert!(!s.insert(t));
         assert!(s.contains(t));
-        assert!(!s.contains(DepTriple { from: 5, to: 11, loc: 6 }));
+        assert!(!s.contains(DepTriple {
+            from: 5,
+            to: 11,
+            loc: 6
+        }));
         assert_eq!(s.len(), 1);
     }
 
@@ -297,7 +318,11 @@ mod tests {
         // keep the diagram far smaller than the triple count.
         let mut s = BddDepStore::new(1024, 64);
         for from in 0..512 {
-            s.insert(DepTriple { from, to: 700, loc: 3 });
+            s.insert(DepTriple {
+                from,
+                to: 700,
+                loc: 3,
+            });
         }
         assert_eq!(s.len(), 512);
         assert!(

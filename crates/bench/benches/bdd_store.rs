@@ -12,7 +12,11 @@ fn triples() -> Vec<DepTriple> {
     for to in 0..64u32 {
         for loc in 0..8u32 {
             for k in 0..8u32 {
-                out.push(DepTriple { from: (to * 7 + k * 13) % 512, to, loc });
+                out.push(DepTriple {
+                    from: (to * 7 + k * 13) % 512,
+                    to,
+                    loc,
+                });
             }
         }
     }

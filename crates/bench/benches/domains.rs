@@ -9,7 +9,9 @@ use sga::utils::Idx;
 fn bench_interval(c: &mut Criterion) {
     let a = Interval::range(-50, 120);
     let b = Interval::range(3, 17);
-    c.bench_function("interval/mul", |bch| bch.iter(|| std::hint::black_box(a).mul(&b)));
+    c.bench_function("interval/mul", |bch| {
+        bch.iter(|| std::hint::black_box(a).mul(&b))
+    });
     c.bench_function("interval/widen_join", |bch| {
         bch.iter(|| {
             let w = std::hint::black_box(a).widen(&b);
@@ -42,24 +44,35 @@ fn bench_octagon(c: &mut Criterion) {
 
 fn bench_state(c: &mut Criterion) {
     let locs: Vec<AbsLoc> = (0..1000).map(|i| AbsLoc::Var(VarId::new(i))).collect();
-    let big: State =
-        locs.iter().map(|&l| (l, Value::constant(7))).collect();
+    let big: State = locs.iter().map(|&l| (l, Value::constant(7))).collect();
     c.bench_function("state/insert_into_1000", |bch| {
-        bch.iter(|| std::hint::black_box(&big).set(AbsLoc::Var(VarId::new(500)), Value::constant(9)))
+        bch.iter(|| {
+            std::hint::black_box(&big).set(AbsLoc::Var(VarId::new(500)), Value::constant(9))
+        })
     });
     let shifted: State = big.set(AbsLoc::Var(VarId::new(1)), Value::constant(8));
     c.bench_function("state/join_mostly_shared_1000", |bch| {
         bch.iter(|| std::hint::black_box(&big).join(&shifted))
     });
-    let halves: State = locs.iter().step_by(2).map(|&l| (l, Value::constant(3))).collect();
+    let halves: State = locs
+        .iter()
+        .step_by(2)
+        .map(|&l| (l, Value::constant(3)))
+        .collect();
     c.bench_function("state/join_disjoint_halves", |bch| {
         bch.iter(|| std::hint::black_box(&big).join(&halves))
     });
 }
 
 fn bench_locset(c: &mut Criterion) {
-    let a: LocSet = (0..200).step_by(2).map(|i| AbsLoc::Var(VarId::new(i))).collect();
-    let b: LocSet = (0..200).step_by(3).map(|i| AbsLoc::Var(VarId::new(i))).collect();
+    let a: LocSet = (0..200)
+        .step_by(2)
+        .map(|i| AbsLoc::Var(VarId::new(i)))
+        .collect();
+    let b: LocSet = (0..200)
+        .step_by(3)
+        .map(|i| AbsLoc::Var(VarId::new(i)))
+        .collect();
     c.bench_function("locset/union_200", |bch| {
         bch.iter(|| std::hint::black_box(&a).union(&b))
     });
@@ -68,5 +81,11 @@ fn bench_locset(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_interval, bench_octagon, bench_state, bench_locset);
+criterion_group!(
+    benches,
+    bench_interval,
+    bench_octagon,
+    bench_state,
+    bench_locset
+);
 criterion_main!(benches);

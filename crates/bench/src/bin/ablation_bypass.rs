@@ -30,7 +30,11 @@ fn chain_program(depth: usize, globals: usize) -> String {
     let _ = writeln!(src, "  return x; }}");
     // Middle procedures neither use nor define globals.
     for i in 1..depth {
-        let _ = writeln!(src, "int f{i}(int x) {{ int t = x + 1; return f{}(t); }}", i - 1);
+        let _ = writeln!(
+            src,
+            "int f{i}(int x) {{ int t = x + 1; return f{}(t); }}",
+            i - 1
+        );
     }
     let _ = writeln!(
         src,
@@ -43,7 +47,15 @@ fn chain_program(depth: usize, globals: usize) -> String {
 fn main() {
     println!(
         "{:>6} {:>8} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10} | {:>7}",
-        "depth", "globals", "edges_off", "evals_off", "fix_off", "edges_on", "evals_on", "fix_on", "equal?"
+        "depth",
+        "globals",
+        "edges_off",
+        "evals_off",
+        "fix_off",
+        "edges_on",
+        "evals_on",
+        "fix_on",
+        "equal?"
     );
     for (depth, globals) in [(10, 10), (20, 20), (40, 40), (60, 60)] {
         let src = chain_program(depth, globals);
@@ -51,12 +63,18 @@ fn main() {
         let off = analyze_with(
             &program,
             Engine::Sparse,
-            AnalyzeOptions { depgen: DepGenOptions { bypass: false }, ..Default::default() },
+            AnalyzeOptions {
+                depgen: DepGenOptions { bypass: false },
+                ..Default::default()
+            },
         );
         let on = analyze_with(
             &program,
             Engine::Sparse,
-            AnalyzeOptions { depgen: DepGenOptions { bypass: true }, ..Default::default() },
+            AnalyzeOptions {
+                depgen: DepGenOptions { bypass: true },
+                ..Default::default()
+            },
         );
         // Precision neutrality.
         let mut equal = true;

@@ -61,12 +61,18 @@ fn main() {
         let precise = analyze_with(
             &program,
             Engine::Sparse,
-            AnalyzeOptions { semi_sparse: false, ..Default::default() },
+            AnalyzeOptions {
+                semi_sparse: false,
+                ..Default::default()
+            },
         );
         let semi = analyze_with(
             &program,
             Engine::Sparse,
-            AnalyzeOptions { semi_sparse: true, ..Default::default() },
+            AnalyzeOptions {
+                semi_sparse: true,
+                ..Default::default()
+            },
         );
 
         // Both are safe approximations: the coarse run must cover the

@@ -1,0 +1,79 @@
+//! Benchmarks the batch pipeline: sequential vs parallel wall time over a
+//! fixed-seed generated corpus, cache disabled so every run measures real
+//! analysis work. Writes `BENCH_pipeline.json` next to the working
+//! directory and prints a small table.
+//!
+//! Note the container caveat recorded in ROADMAP.md: on a single-CPU host
+//! the parallel schedule cannot beat the sequential one (thread scheduling
+//! only adds overhead); the numbers written here are honest measurements of
+//! whatever hardware runs them, not the paper-style speedup table.
+
+use sga::pipeline::{run, PipelineOptions, Project};
+use sga::utils::Json;
+use std::time::Instant;
+
+fn measure(project: &Project, jobs: usize) -> (f64, String) {
+    let opts = PipelineOptions {
+        jobs,
+        canonical: true,
+        ..PipelineOptions::default()
+    };
+    let start = Instant::now();
+    let report = run(project, &opts).expect("pipeline run");
+    let secs = start.elapsed().as_secs_f64();
+    let totals = report.get("totals").expect("totals");
+    let fingerprint: String = report
+        .get("units")
+        .and_then(Json::as_arr)
+        .expect("units")
+        .iter()
+        .map(|u| {
+            u.get("fingerprint")
+                .and_then(Json::as_str)
+                .expect("fingerprint")
+        })
+        .collect::<Vec<_>>()
+        .join("+");
+    println!(
+        "jobs={jobs}: {secs:.3}s  ({} units, {} procs, {} alarms)",
+        totals.get("units").unwrap().as_u64().unwrap(),
+        totals.get("procs").unwrap().as_u64().unwrap(),
+        totals.get("alarms").unwrap().as_u64().unwrap(),
+    );
+    (secs, fingerprint)
+}
+
+fn main() {
+    let project = Project::Corpus {
+        units: 8,
+        kloc: 2,
+        seed: 0xFEED,
+    };
+    println!("pipeline_bench: 8 units x ~2 kloc, fixed seed 0xFEED, cache off");
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (seq, seq_fp) = measure(&project, 1);
+    let (par, par_fp) = measure(&project, 4);
+    assert_eq!(seq_fp, par_fp, "parallel run changed the analysis results");
+
+    let speedup = seq / par;
+    println!("speedup (jobs=4 over jobs=1): {speedup:.2}x on {cpus} cpu(s)");
+
+    let report = Json::obj()
+        .with("bench", "pipeline")
+        .with(
+            "corpus",
+            Json::obj()
+                .with("units", 8usize)
+                .with("kloc", 2usize)
+                .with("seed", 0xFEEDusize),
+        )
+        .with("cpus", cpus)
+        .with("sequential_secs", seq)
+        .with("parallel_jobs4_secs", par)
+        .with("speedup", speedup)
+        .with("results_identical", true);
+    std::fs::write("BENCH_pipeline.json", report.to_pretty() + "\n")
+        .expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json");
+}

@@ -56,19 +56,22 @@ fn main() {
         } else {
             None
         };
-        let base =
-            if row.run_base { run_job_subprocess(i, "base", JOB_TIMEOUT) } else { None };
+        let base = if row.run_base {
+            run_job_subprocess(i, "base", JOB_TIMEOUT)
+        } else {
+            None
+        };
         let sparse = run_job_subprocess(i, "sparse", JOB_TIMEOUT);
         let Some(sp) = sparse else {
             println!("{:<18} | sparse failed/timed out", row.name);
             continue;
         };
-        let (van_s, van_mb) = vanilla
-            .as_ref()
-            .map_or(("N/A".into(), "N/A".into()), |m| (fmt_s(m.total_s), format!("{:.0}", m.mem_mb)));
-        let (base_s, base_mb) = base
-            .as_ref()
-            .map_or(("N/A".into(), "N/A".into()), |m| (fmt_s(m.total_s), format!("{:.0}", m.mem_mb)));
+        let (van_s, van_mb) = vanilla.as_ref().map_or(("N/A".into(), "N/A".into()), |m| {
+            (fmt_s(m.total_s), format!("{:.0}", m.mem_mb))
+        });
+        let (base_s, base_mb) = base.as_ref().map_or(("N/A".into(), "N/A".into()), |m| {
+            (fmt_s(m.total_s), format!("{:.0}", m.mem_mb))
+        });
         println!(
             "{:<18} | {:>8} {:>7} | {:>8} {:>7} {:>6} {:>6} | {:>7} {:>7} {:>8} {:>7} {:>6} {:>6} | {:>5.1} {:>5.1}",
             row.name,

@@ -12,7 +12,6 @@
 //! subprocess so peak-RSS readings are isolated, mirroring the paper's
 //! per-analyzer memory columns.
 
-use serde::{Deserialize, Serialize};
 use sga::cgen::GenConfig;
 use std::time::Duration;
 
@@ -63,22 +62,31 @@ pub fn table1_rows() -> Vec<BenchRow> {
     ];
     spec.iter()
         .enumerate()
-        .map(|(i, &(name, paper_kloc, paper_max_scc, run_vanilla, run_base))| {
-            let loc = (paper_kloc * 1000 / LOC_SCALE).max(150);
-            let functions = (loc / 25).max(4);
-            let mut config = GenConfig::sized(0x5EED_0000 + i as u64, 1);
-            config.target_loc = loc;
-            config.functions = functions;
-            config.globals = (loc / 90).max(6);
-            config.global_ptrs = (loc / 400).max(2);
-            // Paper SCCs scaled 1:10, at least the paper's small values, at
-            // most half the functions.
-            config.max_scc = (paper_max_scc / 10)
-                .max(paper_max_scc.min(4))
-                .min(functions / 2)
-                .max(1);
-            BenchRow { name, paper_kloc, paper_max_scc, config, run_vanilla, run_base }
-        })
+        .map(
+            |(i, &(name, paper_kloc, paper_max_scc, run_vanilla, run_base))| {
+                let loc = (paper_kloc * 1000 / LOC_SCALE).max(150);
+                let functions = (loc / 25).max(4);
+                let mut config = GenConfig::sized(0x5EED_0000 + i as u64, 1);
+                config.target_loc = loc;
+                config.functions = functions;
+                config.globals = (loc / 90).max(6);
+                config.global_ptrs = (loc / 400).max(2);
+                // Paper SCCs scaled 1:10, at least the paper's small values, at
+                // most half the functions.
+                config.max_scc = (paper_max_scc / 10)
+                    .max(paper_max_scc.min(4))
+                    .min(functions / 2)
+                    .max(1);
+                BenchRow {
+                    name,
+                    paper_kloc,
+                    paper_max_scc,
+                    config,
+                    run_vanilla,
+                    run_base,
+                }
+            },
+        )
         .collect()
 }
 
@@ -101,7 +109,7 @@ pub fn table3_rows() -> Vec<BenchRow> {
 
 /// Measurement of one (row, engine) job, exchanged with subprocesses as
 /// JSON lines.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Measurement {
     /// `Dep` column (pre-analysis + dependency generation), seconds.
     pub dep_s: f64,

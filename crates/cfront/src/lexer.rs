@@ -9,7 +9,12 @@ use crate::FrontError;
 ///
 /// Returns an error on unterminated comments/strings or stray characters.
 pub fn lex(src: &str) -> Result<Vec<Token>, FrontError> {
-    Lexer { chars: src.chars().collect(), pos: 0, line: 1 }.run()
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
 }
 
 struct Lexer {
@@ -46,7 +51,10 @@ impl Lexer {
             self.skip_trivia()?;
             let line = self.line;
             let Some(c) = self.peek() else {
-                out.push(Token { kind: Tok::Eof, line });
+                out.push(Token {
+                    kind: Tok::Eof,
+                    line,
+                });
                 return Ok(out);
             };
             let kind = if c.is_ascii_alphabetic() || c == '_' {
@@ -393,12 +401,18 @@ mod tests {
     #[test]
     fn comments_and_preprocessor_skipped() {
         let toks = kinds("// hi\n/* multi\nline */ x # define FOO\ny");
-        assert_eq!(toks, vec![Tok::Ident("x".into()), Tok::Ident("y".into()), Tok::Eof]);
+        assert_eq!(
+            toks,
+            vec![Tok::Ident("x".into()), Tok::Ident("y".into()), Tok::Eof]
+        );
     }
 
     #[test]
     fn hex_and_char_literals() {
-        assert_eq!(kinds("0x10 'a' '\\n'"), vec![Tok::Int(16), Tok::Int(97), Tok::Int(10), Tok::Eof]);
+        assert_eq!(
+            kinds("0x10 'a' '\\n'"),
+            vec![Tok::Int(16), Tok::Int(97), Tok::Int(10), Tok::Eof]
+        );
     }
 
     #[test]

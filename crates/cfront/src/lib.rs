@@ -47,7 +47,10 @@ pub struct FrontError {
 
 impl FrontError {
     pub(crate) fn new(line: u32, message: impl Into<String>) -> FrontError {
-        FrontError { line, message: message.into() }
+        FrontError {
+            line,
+            message: message.into(),
+        }
     }
 }
 

@@ -17,11 +17,11 @@
 
 use crate::ast::*;
 use crate::FrontError;
-use sga_ir::{
-    BinOp, Callee, Cmd, Cond, Expr as IrExpr, FieldId, LVal, NodeId, Proc, ProcBuilder,
-    ProcId, Program, RelOp, UnOp, VarId, VarInfo, VarKind,
-};
 use sga_ir::program::FieldTable;
+use sga_ir::{
+    BinOp, Callee, Cmd, Cond, Expr as IrExpr, FieldId, LVal, NodeId, Proc, ProcBuilder, ProcId,
+    Program, RelOp, UnOp, VarId, VarInfo, VarKind,
+};
 use sga_utils::{FxHashMap, Idx, IndexVec};
 
 /// How a known library function is summarized.
@@ -46,8 +46,8 @@ pub fn stub_kind(name: &str) -> Option<Stub> {
         "malloc" | "alloca" | "strdup" | "calloc" | "realloc" => Stub::Alloc,
         "rand" | "random" | "atoi" | "atol" | "getchar" | "getc" | "fgetc" | "strlen"
         | "strcmp" | "strncmp" | "abs" | "time" | "input" | "read" | "unknown" => Stub::UnknownInt,
-        "strcpy" | "strncpy" | "strcat" | "strncat" | "memset" | "memcpy" | "memmove"
-        | "fgets" | "gets" | "sprintf" | "snprintf" => Stub::StoreUnknown,
+        "strcpy" | "strncpy" | "strcat" | "strncat" | "memset" | "memcpy" | "memmove" | "fgets"
+        | "gets" | "sprintf" | "snprintf" => Stub::StoreUnknown,
         "free" | "printf" | "fprintf" | "puts" | "putchar" | "exit" | "abort" | "assert"
         | "srand" | "fflush" | "close" => Stub::Nop,
         _ => return None,
@@ -95,7 +95,10 @@ impl<'u> Lowerer<'u> {
         };
         for f in &unit.funcs {
             if me.defined.insert(f.name.clone(), f).is_some() {
-                return Err(FrontError::new(f.line, format!("duplicate function `{}`", f.name)));
+                return Err(FrontError::new(
+                    f.line,
+                    format!("duplicate function `{}`", f.name),
+                ));
             }
             let id = me.procs.push(None);
             me.proc_ids.insert(f.name.clone(), id);
@@ -144,7 +147,10 @@ impl<'u> Lowerer<'u> {
                     procs.push(p);
                 }
                 None => {
-                    let name = names.get(&id).cloned().unwrap_or_else(|| format!("extern_{id}"));
+                    let name = names
+                        .get(&id)
+                        .cloned()
+                        .unwrap_or_else(|| format!("extern_{id}"));
                     let ret = self.vars.push(VarInfo {
                         name: format!("__ret_{name}"),
                         kind: VarKind::Return(id),
@@ -163,8 +169,12 @@ impl<'u> Lowerer<'u> {
             .find(|(_, p)| p.name == "main")
             .map(|(id, _)| id)
             .ok_or_else(|| FrontError::new(1, "program has no `main`"))?;
-        let program =
-            Program { procs, vars: self.vars, fields: self.fields.into_names(), main };
+        let program = Program {
+            procs,
+            vars: self.vars,
+            fields: self.fields.into_names(),
+            main,
+        };
         debug_assert!(
             sga_ir::validate::validate(&program).is_empty(),
             "lowering produced malformed IR: {:?}",
@@ -221,7 +231,10 @@ impl<'u> Lowerer<'u> {
         // Patch gotos.
         for (label, from, line) in std::mem::take(&mut ctx.pending_gotos) {
             let Some(&target) = ctx.labels.get(&label) else {
-                return Err(FrontError::new(line, format!("goto to unknown label `{label}`")));
+                return Err(FrontError::new(
+                    line,
+                    format!("goto to unknown label `{label}`"),
+                ));
             };
             ctx.b.edge(from, target);
         }
@@ -494,7 +507,7 @@ impl<'u> Lowerer<'u> {
             Stmt::Switch(scrutinee, arms, line) => {
                 ctx.line = *line;
                 let (e, _) = self.lower_expr(ctx, scrutinee)?;
-                let v = self.to_var(ctx, e);
+                let v = self.force_var(ctx, e);
                 let after = Lazy::new();
                 ctx.breaks.push(after);
                 let mut fall_cur = ctx.cur; // path where no case matched yet
@@ -670,7 +683,10 @@ impl<'u> Lowerer<'u> {
             Expr::Str(s) => {
                 // A string literal is an anonymous constant array.
                 let tmp = self.fresh_temp(ctx);
-                ctx.emit(Cmd::Alloc(LVal::Var(tmp), IrExpr::Const(s.len() as i64 + 1)));
+                ctx.emit(Cmd::Alloc(
+                    LVal::Var(tmp),
+                    IrExpr::Const(s.len() as i64 + 1),
+                ));
                 IrExpr::Var(tmp)
             }
             Expr::Ident(name) => {
@@ -682,7 +698,10 @@ impl<'u> Lowerer<'u> {
                     let p = self.external_proc(name);
                     IrExpr::AddrOfProc(p)
                 } else {
-                    return Err(FrontError::new(line, format!("unknown identifier `{name}`")));
+                    return Err(FrontError::new(
+                        line,
+                        format!("unknown identifier `{name}`"),
+                    ));
                 }
             }
             Expr::Binary(BinKind::LAnd | BinKind::LOr, _, _)
@@ -770,18 +789,22 @@ impl<'u> Lowerer<'u> {
                 // re-readable as the expression's result.
                 let stored = match rv {
                     IrExpr::Var(_) | IrExpr::Const(_) => rv,
-                    other => IrExpr::Var(self.to_var(ctx, other)),
+                    other => IrExpr::Var(self.force_var(ctx, other)),
                 };
                 let lv = self.lower_lval(ctx, lhs)?;
                 ctx.emit(Cmd::Assign(lv, stored.clone()));
                 stored
             }
-            Expr::IncDec { target, delta, post } => {
+            Expr::IncDec {
+                target,
+                delta,
+                post,
+            } => {
                 let (old, _) = self.lower_read_of_lval(ctx, target)?;
-                let old_var = self.to_var(ctx, old);
+                let old_var = self.force_var(ctx, old);
                 let new_val =
                     IrExpr::binop(BinOp::Add, IrExpr::Var(old_var), IrExpr::Const(*delta));
-                let new_var = self.to_var(ctx, new_val);
+                let new_var = self.force_var(ctx, new_val);
                 let lv = self.lower_lval(ctx, target)?;
                 ctx.emit(Cmd::Assign(lv, IrExpr::Var(new_var)));
                 IrExpr::Var(if *post { old_var } else { new_var })
@@ -820,7 +843,10 @@ impl<'u> Lowerer<'u> {
                 } else if let Some(&p) = self.proc_ids.get(name.as_str()) {
                     Ok(IrExpr::AddrOfProc(p))
                 } else {
-                    Err(FrontError::new(ctx.line, format!("unknown identifier `{name}`")))
+                    Err(FrontError::new(
+                        ctx.line,
+                        format!("unknown identifier `{name}`"),
+                    ))
                 }
             }
             Expr::Member(base, fname) => {
@@ -875,13 +901,13 @@ impl<'u> Lowerer<'u> {
             }
             Expr::Deref(inner) => {
                 let (p, _) = self.lower_expr(ctx, inner)?;
-                Ok(LVal::Deref(self.to_var(ctx, p)))
+                Ok(LVal::Deref(self.force_var(ctx, p)))
             }
             Expr::Index(base, idx) => {
                 let (pb, _) = self.lower_expr(ctx, base)?;
                 let (pi, _) = self.lower_expr(ctx, idx)?;
                 let ptr = IrExpr::binop(BinOp::Add, pb, pi);
-                Ok(LVal::Deref(self.to_var(ctx, ptr)))
+                Ok(LVal::Deref(self.force_var(ctx, ptr)))
             }
             Expr::Member(base, fname) => {
                 let f = self.fields.intern(fname);
@@ -894,7 +920,7 @@ impl<'u> Lowerer<'u> {
                     }
                     Expr::Deref(p) => {
                         let (pp, _) = self.lower_expr(ctx, p)?;
-                        Ok(LVal::DerefField(self.to_var(ctx, pp), f))
+                        Ok(LVal::DerefField(self.force_var(ctx, pp), f))
                     }
                     other => Err(FrontError::new(
                         ctx.line,
@@ -905,16 +931,17 @@ impl<'u> Lowerer<'u> {
             Expr::Arrow(base, fname) => {
                 let f = self.fields.intern(fname);
                 let (pb, _) = self.lower_expr(ctx, base)?;
-                Ok(LVal::DerefField(self.to_var(ctx, pb), f))
+                Ok(LVal::DerefField(self.force_var(ctx, pb), f))
             }
-            other => {
-                Err(FrontError::new(ctx.line, format!("not an l-value: {other:?}")))
-            }
+            other => Err(FrontError::new(
+                ctx.line,
+                format!("not an l-value: {other:?}"),
+            )),
         }
     }
 
     /// Ensures a pure expression is a variable (inserting a temp if needed).
-    fn to_var(&mut self, ctx: &mut FnCtx, e: IrExpr) -> VarId {
+    fn force_var(&mut self, ctx: &mut FnCtx, e: IrExpr) -> VarId {
         if let IrExpr::Var(v) = e {
             return v;
         }
@@ -961,7 +988,11 @@ impl<'u> Lowerer<'u> {
                 Callee::Indirect(p)
             }
         };
-        ctx.emit(Cmd::Call { ret: Some(LVal::Var(ret_tmp)), callee: target, args: arg_exprs });
+        ctx.emit(Cmd::Call {
+            ret: Some(LVal::Var(ret_tmp)),
+            callee: target,
+            args: arg_exprs,
+        });
         Ok(IrExpr::Var(ret_tmp))
     }
 
@@ -1002,7 +1033,7 @@ impl<'u> Lowerer<'u> {
             }
             Stub::StoreUnknown => {
                 if let Some(dest) = arg_exprs.first().cloned() {
-                    let d = self.to_var(ctx, dest);
+                    let d = self.force_var(ctx, dest);
                     ctx.emit(Cmd::Assign(LVal::Deref(d), IrExpr::Unknown));
                     IrExpr::Var(d)
                 } else {
@@ -1113,7 +1144,11 @@ mod tests {
     fn lower_ok(src: &str) -> Program {
         let p = parse(src).unwrap_or_else(|e| panic!("frontend failed: {e}\nsource: {src}"));
         let errs = sga_ir::validate::validate(&p);
-        assert!(errs.is_empty(), "invalid IR: {errs:?}\n{}", pretty::program(&p));
+        assert!(
+            errs.is_empty(),
+            "invalid IR: {errs:?}\n{}",
+            pretty::program(&p)
+        );
         p
     }
 
@@ -1181,9 +1216,7 @@ mod tests {
 
     #[test]
     fn lowers_arrays() {
-        let p = lower_ok(
-            "int main() { int a[10]; int i = 0; a[i] = 3; int x = a[5]; return x; }",
-        );
+        let p = lower_ok("int main() { int a[10]; int i = 0; a[i] = 3; int x = a[5]; return x; }");
         let text = pretty::program(&p);
         assert!(text.contains("alloc(10)"), "{text}");
     }
@@ -1253,7 +1286,10 @@ mod tests {
     #[test]
     fn stub_calls_have_no_proc() {
         let p = lower_ok("int main() { int *p = malloc(8); free(p); return rand(); }");
-        assert!(p.proc_by_name("malloc").is_none(), "malloc lowered inline, not as a call");
+        assert!(
+            p.proc_by_name("malloc").is_none(),
+            "malloc lowered inline, not as a call"
+        );
         let text = pretty::program(&p);
         assert!(text.contains("alloc(8)"), "{text}");
         assert!(text.contains("⊤"), "{text}");

@@ -62,7 +62,10 @@ impl<'t> Parser<'t> {
         if self.eat(p) {
             Ok(())
         } else {
-            Err(self.err(format!("expected `{p:?}`, found {}", self.peek().describe())))
+            Err(self.err(format!(
+                "expected `{p:?}`, found {}",
+                self.peek().describe()
+            )))
         }
     }
 
@@ -105,10 +108,9 @@ impl<'t> Parser<'t> {
                 | Kw::Const,
             ) => true,
             // A typedef name followed by something declarator-shaped.
-            Tok::Ident(name) if self.typedefs.contains_key(name) => matches!(
-                self.peek_at(1),
-                Tok::Ident(_) | Tok::Punct(Punct::Star)
-            ),
+            Tok::Ident(name) if self.typedefs.contains_key(name) => {
+                matches!(self.peek_at(1), Tok::Ident(_) | Tok::Punct(Punct::Star))
+            }
             _ => false,
         }
     }
@@ -289,13 +291,27 @@ impl<'t> Parser<'t> {
         // `type name (params) { body }` — function definition or prototype.
         let (name, ty) = self.declarator(base.clone())?;
         if !matches!(ty, Type::FuncPtr(_)) && *self.peek() == Tok::Punct(Punct::LParen) {
-            return self.function(unit, name, matches!(base, Type::Void) && ty == Type::Void, line);
+            return self.function(
+                unit,
+                name,
+                matches!(base, Type::Void) && ty == Type::Void,
+                line,
+            );
         }
         // Global declaration(s): `type a = e, *b, c[4];`
         let mut pending = (name, ty);
         loop {
-            let init = if self.eat(Punct::Assign) { Some(self.initializer()?) } else { None };
-            unit.globals.push(Decl { name: pending.0, ty: pending.1, init, line });
+            let init = if self.eat(Punct::Assign) {
+                Some(self.initializer()?)
+            } else {
+                None
+            };
+            unit.globals.push(Decl {
+                name: pending.0,
+                ty: pending.1,
+                init,
+                line,
+            });
             if !self.eat(Punct::Comma) {
                 break;
             }
@@ -371,12 +387,22 @@ impl<'t> Parser<'t> {
             }
         }
         if self.eat(Punct::Semi) {
-            unit.protos.push(Proto { name, params: params.len(), line });
+            unit.protos.push(Proto {
+                name,
+                params: params.len(),
+                line,
+            });
             return Ok(());
         }
         self.expect(Punct::LBrace)?;
         let body = self.block_body()?;
-        unit.funcs.push(FuncDef { name, params, returns_void, body, line });
+        unit.funcs.push(FuncDef {
+            name,
+            params,
+            returns_void,
+            body,
+            line,
+        });
         Ok(())
     }
 
@@ -410,7 +436,11 @@ impl<'t> Parser<'t> {
                 let cond = self.expr()?;
                 self.expect(Punct::RParen)?;
                 let then = Box::new(self.stmt()?);
-                let els = if self.eat_kw(Kw::Else) { Some(Box::new(self.stmt()?)) } else { None };
+                let els = if self.eat_kw(Kw::Else) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
                 Ok(Stmt::If(cond, then, els, line))
             }
             Tok::Kw(Kw::While) => {
@@ -441,8 +471,11 @@ impl<'t> Parser<'t> {
                     // C99 `for (int i = 0; ...)` — hoist as a block.
                     let decl = self.local_decl()?;
                     self.expect(Punct::Semi)?;
-                    let cond =
-                        if *self.peek() == Tok::Punct(Punct::Semi) { None } else { Some(self.expr()?) };
+                    let cond = if *self.peek() == Tok::Punct(Punct::Semi) {
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
                     self.expect(Punct::Semi)?;
                     let step = if *self.peek() == Tok::Punct(Punct::RParen) {
                         None
@@ -458,11 +491,17 @@ impl<'t> Parser<'t> {
                     Some(self.expr()?)
                 };
                 self.expect(Punct::Semi)?;
-                let cond =
-                    if *self.peek() == Tok::Punct(Punct::Semi) { None } else { Some(self.expr()?) };
+                let cond = if *self.peek() == Tok::Punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(Punct::Semi)?;
-                let step =
-                    if *self.peek() == Tok::Punct(Punct::RParen) { None } else { Some(self.expr()?) };
+                let step = if *self.peek() == Tok::Punct(Punct::RParen) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(Punct::RParen)?;
                 Ok(Stmt::For(init, cond, step, Box::new(self.stmt()?), line))
             }
@@ -522,8 +561,11 @@ impl<'t> Parser<'t> {
             }
             Tok::Kw(Kw::Return) => {
                 self.bump();
-                let value =
-                    if *self.peek() == Tok::Punct(Punct::Semi) { None } else { Some(self.expr()?) };
+                let value = if *self.peek() == Tok::Punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(Punct::Semi)?;
                 Ok(Stmt::Return(value, line))
             }
@@ -561,8 +603,17 @@ impl<'t> Parser<'t> {
         let mut out = Vec::new();
         loop {
             let (name, ty) = self.declarator(base.clone())?;
-            let init = if self.eat(Punct::Assign) { Some(self.initializer()?) } else { None };
-            out.push(Decl { name, ty, init, line });
+            let init = if self.eat(Punct::Assign) {
+                Some(self.initializer()?)
+            } else {
+                None
+            };
+            out.push(Decl {
+                name,
+                ty,
+                init,
+                line,
+            });
             if !self.eat(Punct::Comma) {
                 break;
             }
@@ -618,8 +669,7 @@ impl<'t> Parser<'t> {
 
     fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, FrontError> {
         let mut lhs = self.unary_expr()?;
-        loop {
-            let Some((op, prec)) = self.peek_binop() else { break };
+        while let Some((op, prec)) = self.peek_binop() {
             if prec < min_prec {
                 break;
             }
@@ -687,12 +737,20 @@ impl<'t> Parser<'t> {
             Tok::Punct(Punct::PlusPlus) => {
                 self.bump();
                 let t = self.unary_expr()?;
-                Ok(Expr::IncDec { target: Box::new(t), delta: 1, post: false })
+                Ok(Expr::IncDec {
+                    target: Box::new(t),
+                    delta: 1,
+                    post: false,
+                })
             }
             Tok::Punct(Punct::MinusMinus) => {
                 self.bump();
                 let t = self.unary_expr()?;
-                Ok(Expr::IncDec { target: Box::new(t), delta: -1, post: false })
+                Ok(Expr::IncDec {
+                    target: Box::new(t),
+                    delta: -1,
+                    post: false,
+                })
             }
             Tok::Kw(Kw::Sizeof) => {
                 self.bump();
@@ -785,11 +843,19 @@ impl<'t> Parser<'t> {
                 }
                 Tok::Punct(Punct::PlusPlus) => {
                     self.bump();
-                    e = Expr::IncDec { target: Box::new(e), delta: 1, post: true };
+                    e = Expr::IncDec {
+                        target: Box::new(e),
+                        delta: 1,
+                        post: true,
+                    };
                 }
                 Tok::Punct(Punct::MinusMinus) => {
                     self.bump();
-                    e = Expr::IncDec { target: Box::new(e), delta: -1, post: true };
+                    e = Expr::IncDec {
+                        target: Box::new(e),
+                        delta: -1,
+                        post: true,
+                    };
                 }
                 _ => return Ok(e),
             }
@@ -841,7 +907,10 @@ mod tests {
         let u = parse("struct node { int data; struct node *next; }; int main() { return 0; }");
         assert_eq!(u.structs.len(), 1);
         assert_eq!(u.structs[0].fields.len(), 2);
-        assert_eq!(u.structs[0].fields[1].1, Type::Ptr(Box::new(Type::Struct("node".into()))));
+        assert_eq!(
+            u.structs[0].fields[1].1,
+            Type::Ptr(Box::new(Type::Struct("node".into())))
+        );
     }
 
     #[test]
@@ -895,7 +964,9 @@ mod tests {
 
     #[test]
     fn parses_function_pointers() {
-        let u = parse("int f(int x) { return x; } int main() { int (*fp)(int); fp = f; return fp(3); }");
+        let u = parse(
+            "int f(int x) { return x; } int main() { int (*fp)(int); fp = f; return fp(3); }",
+        );
         assert_eq!(u.funcs.len(), 2);
     }
 

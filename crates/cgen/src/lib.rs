@@ -201,7 +201,14 @@ impl<'c> Generator<'c> {
         }
     }
 
-    fn emit_stmts(&mut self, indent: usize, locals: &[String], f: usize, cycle: usize, nfuncs: usize) {
+    fn emit_stmts(
+        &mut self,
+        indent: usize,
+        locals: &[String],
+        f: usize,
+        cycle: usize,
+        nfuncs: usize,
+    ) {
         let count = self.cfg.stmts_per_block.max(1);
         for _ in 0..count {
             let roll: f64 = self.rng.gen();
@@ -238,10 +245,7 @@ impl<'c> Generator<'c> {
                         let l = locals[self.rng.gen_range(0..locals.len())].clone();
                         // The b > 0 guard bounds indirect-recursion depth
                         // (DAG members have no base case of their own).
-                        self.line(
-                            indent,
-                            &format!("if (gfp && b > 0) {l} = gfp({l}, b - 1);"),
-                        );
+                        self.line(indent, &format!("if (gfp && b > 0) {l} = gfp({l}, b - 1);"));
                     }
                     // Struct field traffic.
                     6 => {
@@ -328,7 +332,7 @@ impl<'c> Generator<'c> {
         self.line(1, "grec.val = argc;");
         self.line(1, "grec.cnt = 0;");
         // Call a spread of roots so everything is reachable.
-        let roots = (nfuncs.min(8)).max(1);
+        let roots = nfuncs.clamp(1, 8);
         for i in 0..roots {
             let f = i * nfuncs / roots;
             let mut arg = String::new();
@@ -352,8 +356,14 @@ mod tests {
 
     #[test]
     fn different_seed_different_program() {
-        let a = generate(&GenConfig { seed: 1, ..GenConfig::default() });
-        let b = generate(&GenConfig { seed: 2, ..GenConfig::default() });
+        let a = generate(&GenConfig {
+            seed: 1,
+            ..GenConfig::default()
+        });
+        let b = generate(&GenConfig {
+            seed: 2,
+            ..GenConfig::default()
+        });
         assert_ne!(a, b);
     }
 
@@ -375,8 +385,8 @@ mod tests {
     fn generated_source_parses() {
         let cfg = GenConfig::sized(7, 2);
         let src = generate(&cfg);
-        let program = sga_cfront::parse(&src)
-            .unwrap_or_else(|e| panic!("generated source must parse: {e}"));
+        let program =
+            sga_cfront::parse(&src).unwrap_or_else(|e| panic!("generated source must parse: {e}"));
         assert!(program.procs.len() > cfg.functions / 2);
         let errs = sga_ir::validate::validate(&program);
         assert!(errs.is_empty(), "{errs:?}");
@@ -384,7 +394,11 @@ mod tests {
 
     #[test]
     fn recursion_cycle_materializes() {
-        let cfg = GenConfig { max_scc: 4, functions: 10, ..GenConfig::default() };
+        let cfg = GenConfig {
+            max_scc: 4,
+            functions: 10,
+            ..GenConfig::default()
+        };
         let src = generate(&cfg);
         let program = sga_cfront::parse(&src).unwrap();
         let cg = sga_ir::callgraph::CallGraph::syntactic(&program);
@@ -393,12 +407,18 @@ mod tests {
             "expected a recursion cycle, maxSCC = {}",
             cg.max_scc_size()
         );
-        assert!(cg.max_scc_size() <= cfg.max_scc, "cycle larger than requested");
+        assert!(
+            cg.max_scc_size() <= cfg.max_scc,
+            "cycle larger than requested"
+        );
     }
 
     #[test]
     fn no_recursion_when_disabled() {
-        let cfg = GenConfig { max_scc: 0, ..GenConfig::default() };
+        let cfg = GenConfig {
+            max_scc: 0,
+            ..GenConfig::default()
+        };
         let src = generate(&cfg);
         let program = sga_cfront::parse(&src).unwrap();
         let cg = sga_ir::callgraph::CallGraph::syntactic(&program);

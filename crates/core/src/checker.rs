@@ -355,7 +355,9 @@ pub fn check_dead_branches(program: &Program, result: &IntervalResult) -> Vec<Cp
             continue;
         }
         for (nid, node) in proc.nodes.iter_enumerated() {
-            let Cmd::Assume(cond) = &node.cmd else { continue };
+            let Cmd::Assume(cond) = &node.cmd else {
+                continue;
+            };
             let cp = Cp::new(pid, nid);
             // The refined value of a directly-mentioned location: ⊥ numeric
             // with a non-⊥ input means the condition excluded every value.

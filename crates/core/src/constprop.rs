@@ -77,7 +77,11 @@ pub struct ConstResult {
 impl ConstResult {
     /// The constant bound for `l` at `cp`.
     pub fn value_at(&self, cp: Cp, l: &AbsLoc) -> Const {
-        self.values.get(&cp).and_then(|m| m.get(l)).copied().unwrap_or(Const::Bot)
+        self.values
+            .get(&cp)
+            .and_then(|m| m.get(l))
+            .copied()
+            .unwrap_or(Const::Bot)
     }
 
     /// Number of point-location pairs proven constant.
@@ -101,24 +105,33 @@ pub fn analyze(program: &Program) -> ConstResult {
     let deps = depgen::generate(program, &pre, &du, DepGenOptions::default());
     let dep_time = dep_phase.stop();
 
-    let mut stats = AnalysisStats { pre_time, dep_time, ..AnalysisStats::default() };
+    let mut stats = AnalysisStats {
+        pre_time,
+        dep_time,
+        ..AnalysisStats::default()
+    };
     stats.num_locs = du.locs.len();
     stats.dep_edges = deps.stats.final_edges;
 
-    let spec = ConstSpec { program, pre: &pre, du: &du };
+    let spec = ConstSpec {
+        program,
+        pre: &pre,
+        du: &du,
+    };
     let fix = Phase::start("fix");
     let result = sparse::solve(program, &icfg, &deps, &spec);
     stats.fix_time = fix.stop();
     stats.iterations = result.iterations;
     stats.total_time = total.stop();
     stats.peak_mem_bytes = peak_rss_bytes();
-    ConstResult { values: result.values, stats }
+    ConstResult {
+        values: result.values,
+        stats,
+    }
 }
 
 /// Exposes the dependency structures for callers staging their own runs.
-pub fn prepare<'p>(
-    program: &'p Program,
-) -> (PreAnalysis, Icfg, DefUse, DataDeps) {
+pub fn prepare(program: &Program) -> (PreAnalysis, Icfg, DefUse, DataDeps) {
     let pre = preanalysis::run(program);
     let icfg = Icfg::build(program, &pre);
     let du = crate::defuse::compute(program, &pre);
@@ -137,9 +150,7 @@ impl ConstSpec<'_> {
         match e {
             Expr::Const(n) => Const::Val(*n),
             Expr::Var(x) => s.get(&AbsLoc::Var(*x)).copied().unwrap_or(Const::Bot),
-            Expr::Field(x, f) => {
-                s.get(&AbsLoc::Field(*x, *f)).copied().unwrap_or(Const::Bot)
-            }
+            Expr::Field(x, f) => s.get(&AbsLoc::Field(*x, *f)).copied().unwrap_or(Const::Bot),
             Expr::Deref(_) | Expr::DerefField(_, _) => {
                 // Loads join over the pre-analysis' targets.
                 let mut targets = Vec::new();
@@ -154,10 +165,9 @@ impl ConstSpec<'_> {
                 acc
             }
             // Addresses and unknowns are not integer constants.
-            Expr::AddrOf(_)
-            | Expr::AddrOfField(_, _)
-            | Expr::AddrOfProc(_)
-            | Expr::Unknown => Const::Top,
+            Expr::AddrOf(_) | Expr::AddrOfField(_, _) | Expr::AddrOfProc(_) | Expr::Unknown => {
+                Const::Top
+            }
             Expr::Unop(op, a) => match (op, self.eval(a, s)) {
                 (_, Const::Bot) => Const::Bot,
                 (UnOp::Neg, Const::Val(n)) => Const::Val(n.wrapping_neg()),
@@ -240,8 +250,7 @@ impl SparseSpec for ConstSpec<'_> {
                 } else {
                     self.eval(e, pre_in)
                 };
-                let (targets, strong) =
-                    semantics::lval_targets(self.program, lv, &self.pre.state);
+                let (targets, strong) = semantics::lval_targets(self.program, lv, &self.pre.state);
                 if strong && targets.as_singleton().is_some() {
                     post = post.insert(targets.as_singleton().expect("checked"), v);
                 } else {
@@ -367,8 +376,14 @@ mod tests {
         )
         .unwrap();
         let r = analyze(&p);
-        assert_eq!(r.value_at(last_def(&p, "b"), &AbsLoc::Var(var(&p, "b"))), Const::Val(5));
-        assert_eq!(r.value_at(last_def(&p, "c"), &AbsLoc::Var(var(&p, "c"))), Const::Val(50));
+        assert_eq!(
+            r.value_at(last_def(&p, "b"), &AbsLoc::Var(var(&p, "b"))),
+            Const::Val(5)
+        );
+        assert_eq!(
+            r.value_at(last_def(&p, "c"), &AbsLoc::Var(var(&p, "c"))),
+            Const::Val(50)
+        );
         assert!(r.constants_found() >= 3);
     }
 
@@ -387,8 +402,14 @@ mod tests {
         )
         .unwrap();
         let r = analyze(&p);
-        assert_eq!(r.value_at(last_def(&p, "y"), &AbsLoc::Var(var(&p, "y"))), Const::Top);
-        assert_eq!(r.value_at(last_def(&p, "w"), &AbsLoc::Var(var(&p, "w"))), Const::Val(3));
+        assert_eq!(
+            r.value_at(last_def(&p, "y"), &AbsLoc::Var(var(&p, "y"))),
+            Const::Top
+        );
+        assert_eq!(
+            r.value_at(last_def(&p, "w"), &AbsLoc::Var(var(&p, "w"))),
+            Const::Val(3)
+        );
     }
 
     #[test]
@@ -405,7 +426,10 @@ mod tests {
         .unwrap();
         let r = analyze(&p);
         // i varies; k is loop-invariant and stays constant.
-        assert_eq!(r.value_at(last_def(&p, "m"), &AbsLoc::Var(var(&p, "m"))), Const::Val(42));
+        assert_eq!(
+            r.value_at(last_def(&p, "m"), &AbsLoc::Var(var(&p, "m"))),
+            Const::Val(42)
+        );
         let i_def = last_def(&p, "i");
         assert_eq!(r.value_at(i_def, &AbsLoc::Var(var(&p, "i"))), Const::Top);
     }
@@ -424,7 +448,10 @@ mod tests {
         )
         .unwrap();
         let r = analyze(&p);
-        assert_eq!(r.value_at(last_def(&p, "r"), &AbsLoc::Var(var(&p, "r"))), Const::Val(7));
+        assert_eq!(
+            r.value_at(last_def(&p, "r"), &AbsLoc::Var(var(&p, "r"))),
+            Const::Val(7)
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::preanalysis::PreAnalysis;
 use crate::semantics::{lval_targets, lval_used, used_locs};
 use sga_domains::{AbsLoc, State};
-use sga_ir::{Cmd, Cp, Expr, Program, ProcId, VarKind};
+use sga_ir::{Cmd, Cp, Expr, ProcId, Program, VarKind};
 use sga_utils::{FxHashMap, Idx, IndexVec};
 use std::collections::BTreeSet;
 
@@ -152,57 +152,26 @@ pub fn compute(program: &Program, pre: &PreAnalysis) -> DefUse {
 /// Like [`compute`], but deriving D̂/Û from an explicitly supplied
 /// pre-analysis state — used by the semi-sparse instance, which coarsens the
 /// points-to information of non-top-level variables (§3.2).
+///
+/// This is the sequential driver over the staged per-procedure passes —
+/// [`real_sets_for_proc`], [`summarize_scc`], [`relay_sets_for_proc`],
+/// [`finish`] — which the parallel pipeline schedules itself (pass 1 and
+/// pass 3 are independent per procedure; pass 2 is bottom-up over call-graph
+/// SCCs).
 pub fn compute_with_state(program: &Program, pre: &PreAnalysis, t: &State) -> DefUse {
-    let mut sets: FxHashMap<Cp, CpSets> = FxHashMap::default();
-
     // Pass 1: real sets per node.
-    for (pid, proc) in program.procs.iter_enumerated() {
-        if proc.is_external {
-            continue;
-        }
-        for (nid, node) in proc.nodes.iter_enumerated() {
-            let cp = Cp::new(pid, nid);
-            let (real_defs, real_uses) = real_def_use(program, pre, t, cp, &node.cmd);
-            sets.insert(
-                cp,
-                CpSets { real_defs, real_uses, defs: Vec::new(), uses: Vec::new() },
-            );
-        }
+    let mut sets: FxHashMap<Cp, CpSets> = FxHashMap::default();
+    for pid in program.procs.indices() {
+        sets.extend(real_sets_for_proc(program, pre, t, pid));
     }
 
     // Pass 2: transitive access summaries, bottom-up over call-graph SCCs.
     let nprocs = program.procs.len();
-    let mut summary_defs: IndexVec<ProcId, Vec<AbsLoc>> =
-        IndexVec::from_elem_n(Vec::new(), nprocs);
-    let mut summary_uses: IndexVec<ProcId, Vec<AbsLoc>> =
-        IndexVec::from_elem_n(Vec::new(), nprocs);
+    let mut summary_defs: IndexVec<ProcId, Vec<AbsLoc>> = IndexVec::from_elem_n(Vec::new(), nprocs);
+    let mut summary_uses: IndexVec<ProcId, Vec<AbsLoc>> = IndexVec::from_elem_n(Vec::new(), nprocs);
     for scc in pre.callgraph.bottom_up_sccs() {
-        let mut defs: BTreeSet<AbsLoc> = BTreeSet::new();
-        let mut uses: BTreeSet<AbsLoc> = BTreeSet::new();
-        for &praw in scc {
-            let pid = ProcId::new(praw);
-            let proc = &program.procs[pid];
-            if proc.is_external {
-                continue;
-            }
-            for nid in proc.nodes.indices() {
-                let cp = Cp::new(pid, nid);
-                let s = &sets[&cp];
-                defs.extend(s.real_defs.iter().copied());
-                uses.extend(s.real_uses.iter().copied());
-                for &t_pid in pre.call_targets(cp) {
-                    if scc.contains(&t_pid.index()) {
-                        continue; // same-SCC summaries converge to the union
-                    }
-                    defs.extend(summary_defs[t_pid].iter().copied());
-                    uses.extend(summary_uses[t_pid].iter().copied());
-                }
-            }
-        }
-        let exported_defs: Vec<AbsLoc> =
-            defs.iter().copied().filter(|l| !is_frame_private(program, l)).collect();
-        let exported_uses: Vec<AbsLoc> =
-            uses.iter().copied().filter(|l| !is_frame_private(program, l)).collect();
+        let (exported_defs, exported_uses) =
+            summarize_scc(program, pre, &sets, scc, &summary_defs, &summary_uses);
         for &praw in scc {
             let pid = ProcId::new(praw);
             summary_defs[pid] = exported_defs.clone();
@@ -210,72 +179,193 @@ pub fn compute_with_state(program: &Program, pre: &PreAnalysis, t: &State) -> De
         }
     }
 
-    // Pass 3: full sets with relay roles.
-    let mut locs = LocTable::default();
-    for (pid, proc) in program.procs.iter_enumerated() {
+    // Pass 3: full sets with relay roles, then deterministic interning.
+    let parts: Vec<ProcFullSets> = program
+        .procs
+        .indices()
+        .map(|pid| relay_sets_for_proc(program, pre, pid, &sets, &summary_defs, &summary_uses))
+        .collect();
+    finish(sets, summary_defs, summary_uses, parts)
+}
+
+/// Full `D̂`/`Û` sets of one procedure's control points, in node order
+/// (pass 3's per-procedure output, not yet interned).
+pub type ProcFullSets = Vec<(Cp, Vec<AbsLoc>, Vec<AbsLoc>)>;
+
+/// Pass 1 for one procedure: the real (semantic) def/use sets of each of
+/// its control points. Independent across procedures.
+pub fn real_sets_for_proc(
+    program: &Program,
+    pre: &PreAnalysis,
+    t: &State,
+    pid: ProcId,
+) -> Vec<(Cp, CpSets)> {
+    let proc = &program.procs[pid];
+    if proc.is_external {
+        return Vec::new();
+    }
+    proc.nodes
+        .iter_enumerated()
+        .map(|(nid, node)| {
+            let cp = Cp::new(pid, nid);
+            let (real_defs, real_uses) = real_def_use(program, pre, t, cp, &node.cmd);
+            (
+                cp,
+                CpSets {
+                    real_defs,
+                    real_uses,
+                    defs: Vec::new(),
+                    uses: Vec::new(),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Pass 2 for one call-graph SCC: the exported (caller-visible) accesses of
+/// its procedures, given the summaries of everything below it. SCCs at the
+/// same bottom-up level are independent.
+pub fn summarize_scc(
+    program: &Program,
+    pre: &PreAnalysis,
+    sets: &FxHashMap<Cp, CpSets>,
+    scc: &[usize],
+    summary_defs: &IndexVec<ProcId, Vec<AbsLoc>>,
+    summary_uses: &IndexVec<ProcId, Vec<AbsLoc>>,
+) -> (Vec<AbsLoc>, Vec<AbsLoc>) {
+    let mut defs: BTreeSet<AbsLoc> = BTreeSet::new();
+    let mut uses: BTreeSet<AbsLoc> = BTreeSet::new();
+    for &praw in scc {
+        let pid = ProcId::new(praw);
+        let proc = &program.procs[pid];
         if proc.is_external {
             continue;
         }
-        // Locations flowing through this procedure's entry: everything its
-        // body (transitively) uses, plus its parameters; through its exit:
-        // everything it defines, plus its return variable.
-        let mut flow_in: BTreeSet<AbsLoc> = summary_uses[pid].iter().copied().collect();
-        for &p in &proc.params {
-            flow_in.insert(AbsLoc::Var(p));
-        }
-        let mut flow_out: BTreeSet<AbsLoc> = summary_defs[pid].iter().copied().collect();
-        flow_out.insert(AbsLoc::Var(proc.ret_var));
-
-        for (nid, node) in proc.nodes.iter_enumerated() {
+        for nid in proc.nodes.indices() {
             let cp = Cp::new(pid, nid);
-            let mut defs: BTreeSet<AbsLoc> = BTreeSet::new();
-            let mut uses: BTreeSet<AbsLoc> = BTreeSet::new();
-            {
-                let s = &sets[&cp];
-                defs.extend(s.real_defs.iter().copied());
-                uses.extend(s.real_uses.iter().copied());
-            }
-            if let Cmd::Call { .. } = &node.cmd {
-                for &t_pid in pre.call_targets(cp) {
-                    let callee = &program.procs[t_pid];
-                    if callee.is_external {
-                        continue;
-                    }
-                    // The call receives callee-defined values back and
-                    // relays them on; spurious (may-)defs go into Û per
-                    // Definition 5(2). Callee-*used* locations are NOT
-                    // relayed through the call: the dependency generator
-                    // routes their reaching definitions straight to the
-                    // callee entry (pre-call values must not mix with
-                    // returned ones), and keeps them in Û only so the
-                    // reaching-def pass visits this node.
-                    defs.extend(summary_defs[t_pid].iter().copied());
-                    uses.extend(summary_defs[t_pid].iter().copied());
-                    uses.extend(summary_uses[t_pid].iter().copied());
-                    for &p in &callee.params {
-                        defs.insert(AbsLoc::Var(p));
-                    }
-                    uses.insert(AbsLoc::Var(callee.ret_var));
+            let s = &sets[&cp];
+            defs.extend(s.real_defs.iter().copied());
+            uses.extend(s.real_uses.iter().copied());
+            for &t_pid in pre.call_targets(cp) {
+                if scc.contains(&t_pid.index()) {
+                    continue; // same-SCC summaries converge to the union
                 }
+                defs.extend(summary_defs[t_pid].iter().copied());
+                uses.extend(summary_uses[t_pid].iter().copied());
             }
-            if nid == proc.entry {
-                defs.extend(flow_in.iter().copied());
-                uses.extend(flow_in.iter().copied());
+        }
+    }
+    let exported_defs: Vec<AbsLoc> = defs
+        .iter()
+        .copied()
+        .filter(|l| !is_frame_private(program, l))
+        .collect();
+    let exported_uses: Vec<AbsLoc> = uses
+        .iter()
+        .copied()
+        .filter(|l| !is_frame_private(program, l))
+        .collect();
+    (exported_defs, exported_uses)
+}
+
+/// Pass 3 for one procedure: the full `D̂`/`Û` sets (real sets extended with
+/// relay roles), given everyone's summaries. Independent across procedures;
+/// the outputs must be handed to [`finish`] in procedure order so location
+/// interning stays deterministic.
+pub fn relay_sets_for_proc(
+    program: &Program,
+    pre: &PreAnalysis,
+    pid: ProcId,
+    sets: &FxHashMap<Cp, CpSets>,
+    summary_defs: &IndexVec<ProcId, Vec<AbsLoc>>,
+    summary_uses: &IndexVec<ProcId, Vec<AbsLoc>>,
+) -> ProcFullSets {
+    let proc = &program.procs[pid];
+    if proc.is_external {
+        return Vec::new();
+    }
+    // Locations flowing through this procedure's entry: everything its
+    // body (transitively) uses, plus its parameters; through its exit:
+    // everything it defines, plus its return variable.
+    let mut flow_in: BTreeSet<AbsLoc> = summary_uses[pid].iter().copied().collect();
+    for &p in &proc.params {
+        flow_in.insert(AbsLoc::Var(p));
+    }
+    let mut flow_out: BTreeSet<AbsLoc> = summary_defs[pid].iter().copied().collect();
+    flow_out.insert(AbsLoc::Var(proc.ret_var));
+
+    let mut out: ProcFullSets = Vec::with_capacity(proc.nodes.len());
+    for (nid, node) in proc.nodes.iter_enumerated() {
+        let cp = Cp::new(pid, nid);
+        let mut defs: BTreeSet<AbsLoc> = BTreeSet::new();
+        let mut uses: BTreeSet<AbsLoc> = BTreeSet::new();
+        {
+            let s = &sets[&cp];
+            defs.extend(s.real_defs.iter().copied());
+            uses.extend(s.real_uses.iter().copied());
+        }
+        if let Cmd::Call { .. } = &node.cmd {
+            for &t_pid in pre.call_targets(cp) {
+                let callee = &program.procs[t_pid];
+                if callee.is_external {
+                    continue;
+                }
+                // The call receives callee-defined values back and
+                // relays them on; spurious (may-)defs go into Û per
+                // Definition 5(2). Callee-*used* locations are NOT
+                // relayed through the call: the dependency generator
+                // routes their reaching definitions straight to the
+                // callee entry (pre-call values must not mix with
+                // returned ones), and keeps them in Û only so the
+                // reaching-def pass visits this node.
+                defs.extend(summary_defs[t_pid].iter().copied());
+                uses.extend(summary_defs[t_pid].iter().copied());
+                uses.extend(summary_uses[t_pid].iter().copied());
+                for &p in &callee.params {
+                    defs.insert(AbsLoc::Var(p));
+                }
+                uses.insert(AbsLoc::Var(callee.ret_var));
             }
-            if nid == proc.exit {
-                defs.extend(flow_out.iter().copied());
-                uses.extend(flow_out.iter().copied());
-            }
+        }
+        if nid == proc.entry {
+            defs.extend(flow_in.iter().copied());
+            uses.extend(flow_in.iter().copied());
+        }
+        if nid == proc.exit {
+            defs.extend(flow_out.iter().copied());
+            uses.extend(flow_out.iter().copied());
+        }
+        out.push((cp, defs.into_iter().collect(), uses.into_iter().collect()));
+    }
+    out
+}
+
+/// Merges the pass-3 outputs into the final [`DefUse`], interning locations
+/// in the order the parts are given (pass the parts in procedure order for
+/// run-to-run determinism).
+pub fn finish(
+    mut sets: FxHashMap<Cp, CpSets>,
+    summary_defs: IndexVec<ProcId, Vec<AbsLoc>>,
+    summary_uses: IndexVec<ProcId, Vec<AbsLoc>>,
+    parts: Vec<ProcFullSets>,
+) -> DefUse {
+    let mut locs = LocTable::default();
+    for part in parts {
+        for (cp, defs, uses) in part {
             let s = sets.get_mut(&cp).expect("pass 1 visited every node");
-            s.defs = defs.into_iter().collect();
-            s.uses = uses.into_iter().collect();
+            s.defs = defs;
+            s.uses = uses;
             for l in s.defs.iter().chain(&s.uses) {
                 locs.intern(*l);
             }
         }
     }
-
-    DefUse { sets, summary_defs, summary_uses, locs }
+    DefUse {
+        sets,
+        summary_defs,
+        summary_uses,
+        locs,
+    }
 }
 
 fn real_def_use(
@@ -392,7 +482,10 @@ mod tests {
         let du = compute(&p, &pre);
         // Skip the zero-init prelude assignments; pick the x = y + 1 node.
         let cp = find_cp(&p, |c| {
-            matches!(c, Cmd::Assign(sga_ir::LVal::Var(_), sga_ir::Expr::Binop(..)))
+            matches!(
+                c,
+                Cmd::Assign(sga_ir::LVal::Var(_), sga_ir::Expr::Binop(..))
+            )
         });
         let (x, y) = (var(&p, "x"), var(&p, "y"));
         assert_eq!(du.defs(cp), &[AbsLoc::Var(x)]);
@@ -414,8 +507,10 @@ mod tests {
         assert!(defs.contains(&AbsLoc::Var(x)) && defs.contains(&AbsLoc::Var(y)));
         let uses = du.uses(cp);
         assert!(uses.contains(&AbsLoc::Var(pv)), "pointer itself is used");
-        assert!(uses.contains(&AbsLoc::Var(x)) && uses.contains(&AbsLoc::Var(y)),
-            "weak-update targets must be in Û (Def 5(2)): {uses:?}");
+        assert!(
+            uses.contains(&AbsLoc::Var(x)) && uses.contains(&AbsLoc::Var(y)),
+            "weak-update targets must be in Û (Def 5(2)): {uses:?}"
+        );
     }
 
     #[test]
@@ -466,7 +561,10 @@ mod tests {
         let du = compute(&p, &pre);
         let f = p.proc_by_name("f").unwrap();
         let g = var(&p, "g");
-        assert!(du.summary_defs[f].contains(&AbsLoc::Var(g)), "transitive through h");
+        assert!(
+            du.summary_defs[f].contains(&AbsLoc::Var(g)),
+            "transitive through h"
+        );
         let local = var(&p, "local");
         assert!(
             !du.summary_defs[f].contains(&AbsLoc::Var(local)),
@@ -515,9 +613,15 @@ mod tests {
         let g = var(&p, "g");
         let entry = Cp::new(f, p.procs[f].entry);
         let exit = Cp::new(f, p.procs[f].exit);
-        assert!(du.defs(entry).contains(&AbsLoc::Var(g)), "entry relays used g");
+        assert!(
+            du.defs(entry).contains(&AbsLoc::Var(g)),
+            "entry relays used g"
+        );
         assert!(du.uses(exit).contains(&AbsLoc::Var(p.procs[f].ret_var)));
-        assert!(!du.is_real(entry, &AbsLoc::Var(g)), "entry relays are contractible");
+        assert!(
+            !du.is_real(entry, &AbsLoc::Var(g)),
+            "entry relays are contractible"
+        );
     }
 
     #[test]

@@ -88,7 +88,11 @@ pub fn solve<S: DenseSpec>(program: &Program, icfg: &Icfg, spec: &S) -> DenseRes
     }
 
     let compute_in = |post: &FxHashMap<Cp, S::St>, cp: Cp| -> S::St {
-        let mut acc = if cp == main_entry { spec.initial() } else { spec.bottom() };
+        let mut acc = if cp == main_entry {
+            spec.initial()
+        } else {
+            spec.bottom()
+        };
         let lookup = |q: Cp| post.get(&q).cloned();
         for e in icfg.incoming(cp) {
             if let Some(src_post) = post.get(&e.src) {
@@ -157,5 +161,9 @@ pub fn solve<S: DenseSpec>(program: &Program, icfg: &Icfg, spec: &S) -> DenseRes
         }
     }
 
-    DenseResult { post, iterations, narrowing_rounds }
+    DenseResult {
+        post,
+        iterations,
+        narrowing_rounds,
+    }
 }

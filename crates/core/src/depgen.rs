@@ -92,14 +92,16 @@ impl DataDeps {
 
     /// Iterates all `(from, loc, to)` triples.
     pub fn iter(&self) -> impl Iterator<Item = (Cp, u32, Cp)> + '_ {
-        self.out.iter().flat_map(|(&from, outs)| {
-            outs.iter().map(move |&(loc, to)| (from, loc, to))
-        })
+        self.out
+            .iter()
+            .flat_map(|(&from, outs)| outs.iter().map(move |&(loc, to)| (from, loc, to)))
     }
 
     /// Whether `from →loc to` is present (either flavour).
     pub fn has(&self, from: Cp, loc: u32, to: Cp) -> bool {
-        self.out.get(&from).is_some_and(|v| v.binary_search(&(loc, to)).is_ok())
+        self.out
+            .get(&from)
+            .is_some_and(|v| v.binary_search(&(loc, to)).is_ok())
     }
 }
 
@@ -121,7 +123,10 @@ pub trait DepSource {
     /// in without mixing with returned ones.
     fn use_routes(&self, cp: Cp, loc: u32) -> UseRoutes<'_> {
         let _ = (cp, loc);
-        UseRoutes { self_edge: true, entries: &[] }
+        UseRoutes {
+            self_edge: true,
+            entries: &[],
+        }
     }
     /// Emits the interprocedural linking edges `(loc, from, to,
     /// is_return)`; `is_return` marks callee-exit → call-site edges.
@@ -149,22 +154,62 @@ pub fn generate(
     generate_from(program, &source, options)
 }
 
+/// One dependency edge: `(loc, from, to, is_return)`.
+pub type DepEdge = (u32, Cp, Cp, bool);
+
 /// Generates data dependencies from any [`DepSource`].
+///
+/// This is the sequential driver over the staged pieces: per-procedure
+/// reaching-definition segments ([`proc_dep_edges`], independent across
+/// procedures) merged by [`assemble`], which adds the interprocedural
+/// linking edges and runs the bypass contraction. The parallel pipeline
+/// calls the pieces itself.
 pub fn generate_from<S: DepSource>(
     program: &Program,
     source: &S,
     options: DepGenOptions,
 ) -> DataDeps {
+    let segments: Vec<Vec<DepEdge>> = program
+        .procs
+        .indices()
+        .map(|pid| proc_dep_edges(program, source, pid))
+        .collect();
+    assemble(source, options, segments)
+}
+
+/// Per-procedure dependency segment: the intraprocedural def→use edges of
+/// `pid` (already routed — a call site's callee-used locations land on the
+/// callee entries). Independent across procedures.
+pub fn proc_dep_edges<S: DepSource>(
+    program: &Program,
+    source: &S,
+    pid: sga_ir::ProcId,
+) -> Vec<DepEdge> {
+    let mut edges = Vec::new();
+    if program.procs[pid].is_external {
+        return edges;
+    }
+    intra_proc_edges(program, source, pid, &mut edges);
+    edges
+}
+
+/// Merges per-procedure segments (pass them in procedure order for
+/// determinism), adds the source's interprocedural linking edges, applies
+/// the bypass contraction, and computes widening points and ranks.
+pub fn assemble<S: DepSource>(
+    source: &S,
+    options: DepGenOptions,
+    segments: Vec<Vec<DepEdge>>,
+) -> DataDeps {
     // Raw edges grouped by location id for the bypass pass. The bool marks
     // return-flow edges.
     let mut by_loc: FxHashMap<u32, Vec<(Cp, Cp, bool)>> = FxHashMap::default();
     let mut raw_edges = 0usize;
-
-    for (pid, proc) in program.procs.iter_enumerated() {
-        if proc.is_external {
-            continue;
+    for segment in segments {
+        for (loc, from, to, is_return) in segment {
+            by_loc.entry(loc).or_default().push((from, to, is_return));
+            raw_edges += 1;
         }
-        raw_edges += intra_proc_edges(program, source, pid, &mut by_loc);
     }
     source.inter_edges(&mut |loc, from, to, is_return| {
         by_loc.entry(loc).or_default().push((from, to, is_return));
@@ -199,24 +244,40 @@ pub fn generate_from<S: DepSource>(
     }
 
     let (cycle_nodes, topo_rank) = dep_graph_structure(&out);
+    // Widening points are the *real* cycle nodes only. Relays on a cycle
+    // merely forward joins — they cannot generate an ascending chain, so any
+    // infinite ascent passes through a real definition on the same cycle,
+    // which widens. Widening at relays is not just redundant: it makes
+    // precision depend on how many relay hops survive contraction, so the
+    // bypass ablation would change results instead of only edge counts.
+    let cycle_nodes = cycle_nodes
+        .into_iter()
+        .filter(|cp| {
+            out.get(cp)
+                .is_some_and(|es| es.iter().any(|&(loc, _)| source.is_real(*cp, loc)))
+        })
+        .collect();
     DataDeps {
         out,
         into,
         into_ret,
         cycle_nodes,
         topo_rank,
-        stats: DepGenStats { raw_edges, final_edges: total_final, triples: total_final },
+        stats: DepGenStats {
+            raw_edges,
+            final_edges: total_final,
+            triples: total_final,
+        },
     }
 }
 
-/// Reaching-definition pass for one procedure; returns the number of edges
-/// added.
+/// Reaching-definition pass for one procedure, appending to `sink`.
 fn intra_proc_edges<S: DepSource>(
     program: &Program,
     source: &S,
     pid: sga_ir::ProcId,
-    by_loc: &mut FxHashMap<u32, Vec<(Cp, Cp, bool)>>,
-) -> usize {
+    sink: &mut Vec<DepEdge>,
+) {
     let proc = &program.procs[pid];
     let n = proc.nodes.len();
 
@@ -234,7 +295,6 @@ fn intra_proc_edges<S: DepSource>(
     }
 
     let rpo = sga_utils::graph::reverse_postorder(&proc.cfg_view(), proc.entry.index());
-    let mut added = 0usize;
 
     for (&loc_id, (def_points, use_points)) in &locs_here {
         if use_points.is_empty() || def_points.is_empty() {
@@ -243,8 +303,11 @@ fn intra_proc_edges<S: DepSource>(
         // Dataflow over def-point indices: in(n) = ⋃ preds out(p);
         // out(n) = {n} if n defines l (must-kill) else in(n).
         let ndefs = def_points.len();
-        let def_index: FxHashMap<usize, usize> =
-            def_points.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        let def_index: FxHashMap<usize, usize> = def_points
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d, i))
+            .collect();
         let mut in_sets: Vec<BitSet> = (0..n).map(|_| BitSet::new(ndefs)).collect();
         let mut out_sets: Vec<BitSet> = (0..n).map(|_| BitSet::new(ndefs)).collect();
         // Initialize defs' own out-sets.
@@ -273,24 +336,20 @@ fn intra_proc_edges<S: DepSource>(
         // Emit edges def → use for every def reaching a use, honoring the
         // source's routing (call sites redirect callee-used locations to
         // the callee entries).
-        let edges = by_loc.entry(loc_id).or_default();
         for &u in use_points {
             let ucp = Cp::new(pid, sga_ir::NodeId::new(u));
             let routes = source.use_routes(ucp, loc_id);
             for di in in_sets[u].iter() {
                 let d = Cp::new(pid, sga_ir::NodeId::new(def_points[di]));
                 if routes.self_edge {
-                    edges.push((d, ucp, false));
-                    added += 1;
+                    sink.push((loc_id, d, ucp, false));
                 }
                 for &entry in routes.entries {
-                    edges.push((d, entry, false));
-                    added += 1;
+                    sink.push((loc_id, d, entry, false));
                 }
             }
         }
     }
-    added
 }
 
 /// The interval instance's [`DepSource`]: id-mapped views of [`DefUse`]
@@ -349,7 +408,11 @@ impl<'a> IntervalDepSource<'a> {
                     let entry = Cp::new(t_pid, callee.entry);
                     for l in &du.summary_uses[t_pid] {
                         let Some(id) = du.locs.id(l) else { continue };
-                        per_loc.entry(id).or_insert((false, Vec::new())).1.push(entry);
+                        per_loc
+                            .entry(id)
+                            .or_insert((false, Vec::new()))
+                            .1
+                            .push(entry);
                     }
                 }
                 if per_loc.is_empty() {
@@ -366,7 +429,14 @@ impl<'a> IntervalDepSource<'a> {
                 routes.insert(cp, per_loc);
             }
         }
-        IntervalDepSource { program, pre, du, def_ids, use_ids, routes }
+        IntervalDepSource {
+            program,
+            pre,
+            du,
+            def_ids,
+            use_ids,
+            routes,
+        }
     }
 }
 
@@ -385,10 +455,14 @@ impl DepSource for IntervalDepSource<'_> {
 
     fn use_routes(&self, cp: Cp, loc: u32) -> UseRoutes<'_> {
         match self.routes.get(&cp).and_then(|m| m.get(&loc)) {
-            Some((self_edge, entries)) => {
-                UseRoutes { self_edge: *self_edge, entries: entries.as_slice() }
-            }
-            None => UseRoutes { self_edge: true, entries: &[] },
+            Some((self_edge, entries)) => UseRoutes {
+                self_edge: *self_edge,
+                entries: entries.as_slice(),
+            },
+            None => UseRoutes {
+                self_edge: true,
+                entries: &[],
+            },
         }
     }
 
@@ -471,8 +545,7 @@ fn bypass_contract<S: DepSource>(
             continue;
         }
         let in_edges: Vec<(Cp, bool)> = ins.remove(&b).unwrap_or_default().into_iter().collect();
-        let out_edges: Vec<(Cp, bool)> =
-            outs.remove(&b).unwrap_or_default().into_iter().collect();
+        let out_edges: Vec<(Cp, bool)> = outs.remove(&b).unwrap_or_default().into_iter().collect();
         for &(a, _) in &in_edges {
             outs.entry(a).or_default().remove(&(b, false));
             outs.entry(a).or_default().remove(&(b, true));
@@ -482,7 +555,11 @@ fn bypass_contract<S: DepSource>(
         }
         for &(a, _) in &in_edges {
             for &(c, kc) in &out_edges {
-                if a == c {
+                if a == c && !source.is_real(a, loc) {
+                    // Contracting b out of a relay cycle a → b → a would
+                    // produce a relay self-loop — a forwarding no-op, drop
+                    // it. A *real* a keeps its self-loop: it is genuine
+                    // feedback and must stay a widening point.
                     continue;
                 }
                 outs.entry(a).or_default().insert((c, kc));
@@ -508,9 +585,7 @@ fn bypass_contract<S: DepSource>(
 /// Control points participating in dependency cycles (including
 /// self-loops), plus a topological ranking of the dependency graph's SCC
 /// condensation (producers rank before consumers).
-fn dep_graph_structure(
-    out: &FxHashMap<Cp, Vec<(u32, Cp)>>,
-) -> (FxHashSet<Cp>, FxHashMap<Cp, u32>) {
+fn dep_graph_structure(out: &FxHashMap<Cp, Vec<(u32, Cp)>>) -> (FxHashSet<Cp>, FxHashMap<Cp, u32>) {
     // Dense-number the involved cps.
     let mut ids: FxHashMap<Cp, usize> = FxHashMap::default();
     let mut cps: Vec<Cp> = Vec::new();
@@ -592,9 +667,9 @@ mod tests {
         let v = var(program, name);
         program
             .all_points()
-            .filter(|cp| {
-                matches!(program.cmd(*cp), Cmd::Assign(sga_ir::LVal::Var(x), _) if *x == v)
-            })
+            .filter(
+                |cp| matches!(program.cmd(*cp), Cmd::Assign(sga_ir::LVal::Var(x), _) if *x == v),
+            )
             .collect()
     }
 
@@ -604,7 +679,11 @@ mod tests {
         let x_def = assign_to(&s.program, "x")[0];
         let y_def = assign_to(&s.program, "y")[0];
         let x_id = s.du.locs.id(&AbsLoc::Var(var(&s.program, "x"))).unwrap();
-        assert!(s.deps.has(x_def, x_id, y_def), "x flows def→use:\n{:?}", s.deps.out);
+        assert!(
+            s.deps.has(x_def, x_id, y_def),
+            "x flows def→use:\n{:?}",
+            s.deps.out
+        );
     }
 
     #[test]
@@ -614,15 +693,16 @@ mod tests {
         let xdefs = assign_to(&s.program, "x");
         let y_def = assign_to(&s.program, "y")[0];
         let x_id = s.du.locs.id(&AbsLoc::Var(var(&s.program, "x"))).unwrap();
-        assert!(!s.deps.has(xdefs[0], x_id, y_def), "killed def must not flow");
+        assert!(
+            !s.deps.has(xdefs[0], x_id, y_def),
+            "killed def must not flow"
+        );
         assert!(s.deps.has(xdefs[1], x_id, y_def));
     }
 
     #[test]
     fn both_branch_defs_reach_join_use() {
-        let s = setup(
-            "int main(int c) { int x; if (c) x = 1; else x = 2; return x; }",
-        );
+        let s = setup("int main(int c) { int x; if (c) x = 1; else x = 2; return x; }");
         let xdefs = assign_to(&s.program, "x");
         assert_eq!(xdefs.len(), 2);
         let x_id = s.du.locs.id(&AbsLoc::Var(var(&s.program, "x"))).unwrap();
@@ -702,7 +782,10 @@ mod tests {
             .all_points()
             .find(|cp| cp.proc == h && matches!(s.program.cmd(*cp), Cmd::Return(Some(_))))
             .unwrap();
-        assert!(!s.deps.has(x_def, x_id, h_ret), "direct edge only exists after bypass");
+        assert!(
+            !s.deps.has(x_def, x_id, h_ret),
+            "direct edge only exists after bypass"
+        );
         assert!(s.deps.stats.final_edges >= s.deps.stats.raw_edges);
     }
 
@@ -737,8 +820,14 @@ mod tests {
         let x_id = s.du.locs.id(&AbsLoc::Var(var(&s.program, "x"))).unwrap();
         let f = s.program.proc_by_name("f").unwrap();
         let g = s.program.proc_by_name("g").unwrap();
-        let def_in_f = assign_to(&s.program, "x").into_iter().find(|cp| cp.proc == f).unwrap();
-        let def_in_g = assign_to(&s.program, "x").into_iter().find(|cp| cp.proc == g).unwrap();
+        let def_in_f = assign_to(&s.program, "x")
+            .into_iter()
+            .find(|cp| cp.proc == f)
+            .unwrap();
+        let def_in_g = assign_to(&s.program, "x")
+            .into_iter()
+            .find(|cp| cp.proc == g)
+            .unwrap();
         let use_in_f = assign_to(&s.program, "a")[0];
         let use_in_g = assign_to(&s.program, "b")[0];
         assert!(s.deps.has(def_in_f, x_id, use_in_f));
@@ -756,6 +845,9 @@ mod tests {
             "int f(int n) { if (n <= 0) return 0; return f(n - 1); }
              int main() { return f(9); }",
         );
-        assert!(!s.deps.cycle_nodes.is_empty(), "recursion must create dep cycles");
+        assert!(
+            !s.deps.cycle_nodes.is_empty(),
+            "recursion must create dep cycles"
+        );
     }
 }

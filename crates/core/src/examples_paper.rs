@@ -69,18 +69,33 @@ fn example_1_def_use_sets() {
     let p = &s.program;
     let (x, y, pv) = (var(p, "x"), var(p, "y"), var(p, "p"));
 
-    let c10 = cp_of(p, |c| matches!(c, Cmd::Assign(LVal::Var(v), Expr::AddrOf(_)) if *v == x));
-    let c11 = cp_of(p, |c| matches!(c, Cmd::Assign(LVal::Deref(v), _) if *v == pv));
-    let c12 = cp_of(p, |c| matches!(c, Cmd::Assign(LVal::Var(v), Expr::Var(_)) if *v == y));
+    let c10 = cp_of(
+        p,
+        |c| matches!(c, Cmd::Assign(LVal::Var(v), Expr::AddrOf(_)) if *v == x),
+    );
+    let c11 = cp_of(
+        p,
+        |c| matches!(c, Cmd::Assign(LVal::Deref(v), _) if *v == pv),
+    );
+    let c12 = cp_of(
+        p,
+        |c| matches!(c, Cmd::Assign(LVal::Var(v), Expr::Var(_)) if *v == y),
+    );
 
     assert_eq!(s.du.defs(c10), &[AbsLoc::Var(x)]);
     assert!(s.du.uses(c10).is_empty(), "U(10) = ∅: {:?}", s.du.uses(c10));
 
     let d11: Vec<_> = s.du.defs(c11).to_vec();
-    assert!(d11.contains(&AbsLoc::Var(x)) && d11.contains(&AbsLoc::Var(y)), "{d11:?}");
+    assert!(
+        d11.contains(&AbsLoc::Var(x)) && d11.contains(&AbsLoc::Var(y)),
+        "{d11:?}"
+    );
     let u11: Vec<_> = s.du.uses(c11).to_vec();
     for l in [AbsLoc::Var(pv), AbsLoc::Var(x), AbsLoc::Var(y)] {
-        assert!(u11.contains(&l), "U(11) must contain {l:?} (weak update): {u11:?}");
+        assert!(
+            u11.contains(&l),
+            "U(11) must contain {l:?} (weak update): {u11:?}"
+        );
     }
 
     assert_eq!(s.du.defs(c12), &[AbsLoc::Var(y)]);
@@ -96,13 +111,25 @@ fn example_2_data_dependencies() {
     let (x, y, pv) = (var(p, "x"), var(p, "y"), var(p, "p"));
     let x_id = s.du.locs.id(&AbsLoc::Var(x)).unwrap();
 
-    let c10 = cp_of(p, |c| matches!(c, Cmd::Assign(LVal::Var(v), Expr::AddrOf(_)) if *v == x));
-    let c11 = cp_of(p, |c| matches!(c, Cmd::Assign(LVal::Deref(v), _) if *v == pv));
-    let c12 = cp_of(p, |c| matches!(c, Cmd::Assign(LVal::Var(v), Expr::Var(_)) if *v == y));
+    let c10 = cp_of(
+        p,
+        |c| matches!(c, Cmd::Assign(LVal::Var(v), Expr::AddrOf(_)) if *v == x),
+    );
+    let c11 = cp_of(
+        p,
+        |c| matches!(c, Cmd::Assign(LVal::Deref(v), _) if *v == pv),
+    );
+    let c12 = cp_of(
+        p,
+        |c| matches!(c, Cmd::Assign(LVal::Var(v), Expr::Var(_)) if *v == y),
+    );
 
     assert!(s.deps.has(c10, x_id, c11), "10 →x 11 missing");
     assert!(s.deps.has(c11, x_id, c12), "11 →x 12 missing");
-    assert!(!s.deps.has(c10, x_id, c12), "10 →x 12 must be blocked by D̂(11)");
+    assert!(
+        !s.deps.has(c10, x_id, c12),
+        "10 →x 12 must be blocked by D̂(11)"
+    );
 }
 
 #[test]
@@ -115,11 +142,20 @@ fn example_3_def_use_chains_differ() {
     let p = &s.program;
     let (x, y, pv) = (var(p, "x"), var(p, "y"), var(p, "p"));
     let x_id = s.du.locs.id(&AbsLoc::Var(x)).unwrap();
-    let c10 = cp_of(p, |c| matches!(c, Cmd::Assign(LVal::Var(v), Expr::AddrOf(_)) if *v == x));
-    let c12 = cp_of(p, |c| matches!(c, Cmd::Assign(LVal::Var(v), Expr::Var(_)) if *v == y));
+    let c10 = cp_of(
+        p,
+        |c| matches!(c, Cmd::Assign(LVal::Var(v), Expr::AddrOf(_)) if *v == x),
+    );
+    let c12 = cp_of(
+        p,
+        |c| matches!(c, Cmd::Assign(LVal::Var(v), Expr::Var(_)) if *v == y),
+    );
     // The def-use chain 10 →x 12 exists syntactically (no always-kill in
     // between) …
-    let c11 = cp_of(p, |c| matches!(c, Cmd::Assign(LVal::Deref(v), _) if *v == pv));
+    let c11 = cp_of(
+        p,
+        |c| matches!(c, Cmd::Assign(LVal::Deref(v), _) if *v == pv),
+    );
     assert!(
         s.du.defs(c11).contains(&AbsLoc::Var(x)) && s.du.uses(c11).contains(&AbsLoc::Var(x)),
         "11 may-kills x"
@@ -145,13 +181,26 @@ fn example_4_strong_update_needs_no_self_use() {
     );
     let p = &s.program;
     let (x, y, pv) = (var(p, "x"), var(p, "y"), var(p, "p"));
-    let c11 = cp_of(p, |c| matches!(c, Cmd::Assign(LVal::Deref(v), _) if *v == pv));
+    let c11 = cp_of(
+        p,
+        |c| matches!(c, Cmd::Assign(LVal::Deref(v), _) if *v == pv),
+    );
     assert_eq!(s.du.defs(c11), &[AbsLoc::Var(y)], "D(11) = {{y}}");
-    assert_eq!(s.du.uses(c11), &[AbsLoc::Var(pv)], "U(11) = {{p}} under strong update");
+    assert_eq!(
+        s.du.uses(c11),
+        &[AbsLoc::Var(pv)],
+        "U(11) = {{p}} under strong update"
+    );
     // And x now flows directly 10 → 12.
     let x_id = s.du.locs.id(&AbsLoc::Var(x)).unwrap();
-    let c10 = cp_of(p, |c| matches!(c, Cmd::Assign(LVal::Var(v), Expr::AddrOf(_)) if *v == x));
-    let c12 = cp_of(p, |c| matches!(c, Cmd::Assign(LVal::Var(v), Expr::Var(_)) if *v == y));
+    let c10 = cp_of(
+        p,
+        |c| matches!(c, Cmd::Assign(LVal::Var(v), Expr::AddrOf(_)) if *v == x),
+    );
+    let c12 = cp_of(
+        p,
+        |c| matches!(c, Cmd::Assign(LVal::Var(v), Expr::Var(_)) if *v == y),
+    );
     assert!(s.deps.has(c10, x_id, c12), "strong update does not relay x");
 }
 
@@ -186,9 +235,13 @@ fn example_5_sparse_precision_equals_dense() {
     // And the final points-to set of w is exactly {z}.
     let w = var(&program, "w");
     let z = var(&program, "z");
-    let c12 = cp_of(&program, |c| {
-        matches!(c, Cmd::Assign(LVal::Var(v), Expr::Var(_)) if *v == w)
-    });
+    let c12 = cp_of(
+        &program,
+        |c| matches!(c, Cmd::Assign(LVal::Var(v), Expr::Var(_)) if *v == w),
+    );
     let v = sparse.value_at(c12, &AbsLoc::Var(w));
-    assert_eq!(v.ptr.iter().copied().collect::<Vec<_>>(), vec![AbsLoc::Var(z)]);
+    assert_eq!(
+        v.ptr.iter().copied().collect::<Vec<_>>(),
+        vec![AbsLoc::Var(z)]
+    );
 }

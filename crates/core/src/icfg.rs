@@ -70,10 +70,10 @@ impl Icfg {
         let mut in_edges: FxHashMap<Cp, Vec<InEdge>> = FxHashMap::default();
         let mut out_targets: FxHashMap<Cp, Vec<Cp>> = FxHashMap::default();
         let add = |in_edges: &mut FxHashMap<Cp, Vec<InEdge>>,
-                       out_targets: &mut FxHashMap<Cp, Vec<Cp>>,
-                       src: Cp,
-                       dst: Cp,
-                       kind: EdgeKind| {
+                   out_targets: &mut FxHashMap<Cp, Vec<Cp>>,
+                   src: Cp,
+                   dst: Cp,
+                   kind: EdgeKind| {
             in_edges.entry(dst).or_default().push(InEdge { src, kind });
             out_targets.entry(src).or_default().push(dst);
         };
@@ -91,15 +91,18 @@ impl Icfg {
                         .copied()
                         .filter(|&t| !program.procs[t].is_external)
                         .collect();
-                    let has_external =
-                        internal.len() < targets.len() || targets.is_empty();
+                    let has_external = internal.len() < targets.len() || targets.is_empty();
                     for &t in &internal {
                         let callee = &program.procs[t];
                         let entry = Cp::new(t, callee.entry);
                         let exit = Cp::new(t, callee.exit);
-                        add(&mut in_edges, &mut out_targets, cp, entry, EdgeKind::Call {
-                            site: cp,
-                        });
+                        add(
+                            &mut in_edges,
+                            &mut out_targets,
+                            cp,
+                            entry,
+                            EdgeKind::Call { site: cp },
+                        );
                         for &r in proc.succs_of(nid) {
                             let ret_site = Cp::new(pid, r);
                             add(
@@ -128,7 +131,13 @@ impl Icfg {
                     }
                 } else {
                     for &s in proc.succs_of(nid) {
-                        add(&mut in_edges, &mut out_targets, cp, Cp::new(pid, s), EdgeKind::Intra);
+                        add(
+                            &mut in_edges,
+                            &mut out_targets,
+                            cp,
+                            Cp::new(pid, s),
+                            EdgeKind::Intra,
+                        );
                     }
                 }
             }
@@ -180,7 +189,12 @@ impl Icfg {
             }
         }
 
-        Icfg { in_edges, out_targets, priority, widen_points }
+        Icfg {
+            in_edges,
+            out_targets,
+            priority,
+            widen_points,
+        }
     }
 
     /// Incoming edges of `cp`.

@@ -23,7 +23,7 @@ use crate::semantics;
 use crate::sparse::{self, SparseSpec};
 use crate::stats::AnalysisStats;
 use sga_domains::{AbsLoc, Lattice, LocSet, State, Value};
-use sga_ir::{Cmd, Cp, Program, ProcId};
+use sga_ir::{Cmd, Cp, ProcId, Program};
 use sga_utils::stats::{peak_rss_bytes, Phase};
 use sga_utils::{FxHashMap, IndexVec, PMap};
 
@@ -79,18 +79,17 @@ pub fn analyze(program: &Program, engine: Engine) -> IntervalResult {
 }
 
 /// Runs the chosen interval analyzer.
-pub fn analyze_with(
-    program: &Program,
-    engine: Engine,
-    options: AnalyzeOptions,
-) -> IntervalResult {
+pub fn analyze_with(program: &Program, engine: Engine, options: AnalyzeOptions) -> IntervalResult {
     let total = Phase::start("total");
     let pre_phase = Phase::start("pre");
     let pre = preanalysis::run(program);
     let pre_time = pre_phase.stop();
     let icfg = Icfg::build(program, &pre);
 
-    let mut stats = AnalysisStats { pre_time, ..AnalysisStats::default() };
+    let mut stats = AnalysisStats {
+        pre_time,
+        ..AnalysisStats::default()
+    };
 
     let values = match engine {
         Engine::Vanilla | Engine::Base => {
@@ -104,7 +103,12 @@ pub fn analyze_with(
             } else {
                 (IndexVec::new(), IndexVec::new())
             };
-            let spec = IntervalDenseSpec { program, localize, in_sets, out_sets };
+            let spec = IntervalDenseSpec {
+                program,
+                localize,
+                in_sets,
+                out_sets,
+            };
             let fix = Phase::start("fix");
             let result = dense::solve(program, &icfg, &spec);
             stats.fix_time = fix.stop();
@@ -126,7 +130,11 @@ pub fn analyze_with(
             stats.avg_uses = du.avg_use_size();
             stats.dep_edges_raw = deps.stats.raw_edges;
             stats.dep_edges = deps.stats.final_edges;
-            let spec = IntervalSparseSpec { program, pre: &pre, du: &du };
+            let spec = IntervalSparseSpec {
+                program,
+                pre: &pre,
+                du: &du,
+            };
             let fix = Phase::start("fix");
             let result = sparse::solve(program, &icfg, &deps, &spec);
             stats.fix_time = fix.stop();
@@ -141,7 +149,11 @@ pub fn analyze_with(
 
     stats.total_time = total.stop();
     stats.peak_mem_bytes = peak_rss_bytes();
-    IntervalResult { engine, values, stats }
+    IntervalResult {
+        engine,
+        values,
+        stats,
+    }
 }
 
 /// Re-exposed pieces for callers who want to stage the pipeline themselves
@@ -166,7 +178,13 @@ impl<'p> Pipeline<'p> {
         let icfg = Icfg::build(program, &pre);
         let du = defuse::compute(program, &pre);
         let deps = depgen::generate(program, &pre, &du, options.depgen);
-        Pipeline { program, pre, icfg, du, deps }
+        Pipeline {
+            program,
+            pre,
+            icfg,
+            du,
+            deps,
+        }
     }
 }
 
@@ -289,10 +307,15 @@ pub fn initial_state(program: &Program) -> State {
 // Sparse spec
 // ---------------------------------------------------------------------------
 
-struct IntervalSparseSpec<'p> {
-    program: &'p Program,
-    pre: &'p PreAnalysis,
-    du: &'p DefUse,
+/// The interval instance of [`SparseSpec`] — public so external drivers
+/// (the parallel pipeline) can stage the pieces themselves.
+pub struct IntervalSparseSpec<'p> {
+    /// The analyzed program.
+    pub program: &'p Program,
+    /// Pre-analysis result (call targets, points-to).
+    pub pre: &'p PreAnalysis,
+    /// Def/use sets with the interned location table.
+    pub du: &'p DefUse,
 }
 
 impl SparseSpec for IntervalSparseSpec<'_> {
@@ -319,8 +342,7 @@ impl SparseSpec for IntervalSparseSpec<'_> {
                 // The post-call view of callee-affected locations joins the
                 // pre-call value (the "spurious definition" side of Def 5)
                 // with what returns from the callee exits.
-                let joined =
-                    State::from_pmap(pre_in.union_with(ret_in, |_, a, b| a.join(b)));
+                let joined = State::from_pmap(pre_in.union_with(ret_in, |_, a, b| a.join(b)));
                 let mut out = joined.clone();
                 let mut ret_val: Option<Value> = None;
                 let mut any_internal = false;
@@ -338,17 +360,18 @@ impl SparseSpec for IntervalSparseSpec<'_> {
                         };
                         out = out.set(AbsLoc::Var(p), v);
                     }
-                    let rv = State::from_pmap(ret_in.clone())
-                        .get(&AbsLoc::Var(callee.ret_var));
+                    let rv = State::from_pmap(ret_in.clone()).get(&AbsLoc::Var(callee.ret_var));
                     ret_val = Some(match ret_val {
                         Some(acc) => acc.join(&rv),
                         None => rv,
                     });
                 }
-                let external =
-                    !any_internal || self.pre.call_targets(cp).iter().any(|&t| {
-                        self.program.procs[t].is_external
-                    });
+                let external = !any_internal
+                    || self
+                        .pre
+                        .call_targets(cp)
+                        .iter()
+                        .any(|&t| self.program.procs[t].is_external);
                 if external {
                     let u = Value::unknown_int();
                     ret_val = Some(match ret_val {
@@ -409,8 +432,7 @@ mod tests {
 
     #[test]
     fn counting_loop_all_engines() {
-        let p = parse("int main() { int i = 0; while (i < 10) { i = i + 1; } return i; }")
-            .unwrap();
+        let p = parse("int main() { int i = 0; while (i < 10) { i = i + 1; } return i; }").unwrap();
         let ret = AbsLoc::Var(p.procs[p.main].ret_var);
         for engine in [Engine::Vanilla, Engine::Base, Engine::Sparse] {
             let r = analyze(&p, engine);
@@ -524,7 +546,11 @@ mod tests {
             if let Some(v) = s.get_ref(&AbsLoc::Var(*ptr)) {
                 for (_, info) in v.arr.iter() {
                     seen = true;
-                    assert!(info.offset.le(&Interval::range(0, 9)), "offset {:?}", info.offset);
+                    assert!(
+                        info.offset.le(&Interval::range(0, 9)),
+                        "offset {:?}",
+                        info.offset
+                    );
                     assert_eq!(info.size, Interval::constant(10));
                 }
             }
@@ -582,7 +608,10 @@ mod semi_sparse_tests {
         let semi = analyze_with(
             &program,
             Engine::Sparse,
-            AnalyzeOptions { semi_sparse: true, ..AnalyzeOptions::default() },
+            AnalyzeOptions {
+                semi_sparse: true,
+                ..AnalyzeOptions::default()
+            },
         );
         // Coarser dependencies are still a safe approximation (Def. 5): the
         // computed values agree on every location the precise run binds.

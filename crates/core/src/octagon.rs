@@ -28,14 +28,14 @@
 //! relationally, matching practical packed analyses.
 
 use crate::defuse::DefUse;
-use crate::depgen::{self, DataDeps, DepGenOptions, DepSource};
 use crate::dense::{self, DenseSpec};
+use crate::depgen::{self, DataDeps, DepGenOptions, DepSource};
 use crate::icfg::{EdgeKind, Icfg, InEdge};
 use crate::preanalysis::{self, PreAnalysis};
 use crate::sparse::{self, SparseSpec};
 use crate::stats::AnalysisStats;
 use sga_domains::{AbsLoc, Interval, Lattice, Octagon, Pack, PackId, PackSet};
-use sga_ir::{BinOp, Cmd, Cond, Cp, Expr, LVal, Program, ProcId, RelOp, VarId};
+use sga_ir::{BinOp, Cmd, Cond, Cp, Expr, LVal, ProcId, Program, RelOp, VarId};
 use sga_utils::stats::{peak_rss_bytes, Phase};
 use sga_utils::{FxHashMap, FxHashSet, Idx, IndexVec, PMap};
 
@@ -77,7 +77,9 @@ impl OctagonResult {
     /// Projects variable `x` to an interval at `cp`, meeting the
     /// projections of every pack that contains `x`.
     pub fn itv_of(&self, cp: Cp, x: VarId) -> Interval {
-        let Some(st) = self.values.get(&cp) else { return Interval::Bot };
+        let Some(st) = self.values.get(&cp) else {
+            return Interval::Bot;
+        };
         project_all(&self.packs, st, x)
     }
 
@@ -121,7 +123,10 @@ pub fn analyze_with(
     let du = crate::defuse::compute(program, &pre);
     let odu = OctDefUse::compute(program, &pre, &du, &packs);
 
-    let mut stats = AnalysisStats { pre_time, ..AnalysisStats::default() };
+    let mut stats = AnalysisStats {
+        pre_time,
+        ..AnalysisStats::default()
+    };
     stats.num_locs = packs.len();
     stats.avg_defs = odu.avg_def_size();
     stats.avg_uses = odu.avg_use_size();
@@ -153,7 +158,10 @@ pub fn analyze_with(
             stats.dep_time = dep_phase.stop();
             stats.dep_edges_raw = deps.stats.raw_edges;
             stats.dep_edges = deps.stats.final_edges;
-            let spec = OctSparseSpec { sem: &sem, odu: &odu };
+            let spec = OctSparseSpec {
+                sem: &sem,
+                odu: &odu,
+            };
             let fix = Phase::start("fix");
             let result = sparse::solve(program, &icfg, &deps, &spec);
             stats.fix_time = fix.stop();
@@ -164,7 +172,12 @@ pub fn analyze_with(
 
     stats.total_time = total.stop();
     stats.peak_mem_bytes = peak_rss_bytes();
-    OctagonResult { engine, values, packs, stats }
+    OctagonResult {
+        engine,
+        values,
+        packs,
+        stats,
+    }
 }
 
 /// Builds the octagon dependency structures without running the fixpoint
@@ -206,7 +219,11 @@ pub fn build_packs(program: &Program) -> PackSet {
         if size[ra] + size[rb] > PACK_SIZE_LIMIT {
             return; // §6.2: keep packs below the threshold
         }
-        let (big, small) = if size[ra] >= size[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if size[ra] >= size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         parent[small] = big;
         size[big] += size[small];
     };
@@ -277,10 +294,7 @@ pub fn build_packs(program: &Program) -> PackSet {
             continue;
         }
         let _ = pid;
-        let wto = sga_utils::graph::weak_topological_order(
-            &proc.cfg_view(),
-            proc.entry.index(),
-        );
+        let wto = sga_utils::graph::weak_topological_order(&proc.cfg_view(), proc.entry.index());
         let mut stack: Vec<&sga_utils::graph::WtoItem> = wto.items.iter().collect();
         while let Some(item) = stack.pop() {
             if let sga_utils::graph::WtoItem::Component(head, body) = item {
@@ -289,11 +303,9 @@ pub fn build_packs(program: &Program) -> PackSet {
                 let mut vars: Vec<VarId> = Vec::new();
                 for &n in &nodes {
                     match &proc.nodes[sga_ir::NodeId::new(n)].cmd {
-                        Cmd::Assign(LVal::Var(x), e) => {
-                            if !matches!(linearize(e), Lin::Other) {
-                                vars.push(*x);
-                                e.vars(&mut vars);
-                            }
+                        Cmd::Assign(LVal::Var(x), e) if !matches!(linearize(e), Lin::Other) => {
+                            vars.push(*x);
+                            e.vars(&mut vars);
                         }
                         Cmd::Assume(c) => {
                             c.lhs.vars(&mut vars);
@@ -313,7 +325,10 @@ pub fn build_packs(program: &Program) -> PackSet {
     // Collect classes.
     let mut classes: FxHashMap<usize, Vec<VarId>> = FxHashMap::default();
     for v in 0..n {
-        classes.entry(find(&mut parent, v)).or_default().push(VarId::new(v));
+        classes
+            .entry(find(&mut parent, v))
+            .or_default()
+            .push(VarId::new(v));
     }
     let mut packs: Vec<Pack> = classes.into_values().map(Pack::new).collect();
     // Deterministic order.
@@ -342,9 +357,7 @@ fn linearize(e: &Expr) -> Lin {
         Expr::Const(n) => Lin::Const(*n),
         Expr::Var(x) => Lin::VarPlus(*x, 0),
         Expr::Binop(BinOp::Add, a, b) => match (&**a, &**b) {
-            (Expr::Var(x), Expr::Const(c)) | (Expr::Const(c), Expr::Var(x)) => {
-                Lin::VarPlus(*x, *c)
-            }
+            (Expr::Var(x), Expr::Const(c)) | (Expr::Const(c), Expr::Var(x)) => Lin::VarPlus(*x, *c),
             (Expr::Var(y), Expr::Var(z)) => Lin::VarSum(*y, *z),
             _ => Lin::Other,
         },
@@ -619,7 +632,9 @@ fn project_all(packs: &PackSet, st: &OctState, x: VarId) -> Interval {
 /// `x ⋈ [lo, hi]` as octagon constraints.
 fn assume_interval(oct: &Octagon, ix: usize, op: RelOp, itv: &Interval) -> Octagon {
     use sga_domains::interval::Bound;
-    let Interval::Range(lo, hi) = *itv else { return Octagon::Bot };
+    let Interval::Range(lo, hi) = *itv else {
+        return Octagon::Bot;
+    };
     match op {
         RelOp::Lt | RelOp::Le => {
             let slack = i64::from(op == RelOp::Lt);
@@ -734,9 +749,7 @@ impl OctDefUse {
                 }
             }
             // Entry/exit relays also define what they relay.
-            if cp.node == program.procs[cp.proc].entry
-                || cp.node == program.procs[cp.proc].exit
-            {
+            if cp.node == program.procs[cp.proc].entry || cp.node == program.procs[cp.proc].exit {
                 for v in sets.uses.iter().filter_map(var_of) {
                     for p in packs_of(v) {
                         d.insert(p);
@@ -808,7 +821,11 @@ impl OctDefUse {
                         inter.push((p.0, cp, entry, false));
                     }
                     for &p in &sum_use_packs[t_pid] {
-                        per_loc.entry(p).or_insert((false, Vec::new())).1.push(entry);
+                        per_loc
+                            .entry(p)
+                            .or_insert((false, Vec::new()))
+                            .1
+                            .push(entry);
                     }
                     for &p in &out_packs[t_pid] {
                         inter.push((p.0, exit, cp, true));
@@ -820,14 +837,21 @@ impl OctDefUse {
                 let real_here = &real[&cp];
                 let defs_here = &def_ids[&cp];
                 for (id, (self_edge, _)) in per_loc.iter_mut() {
-                    *self_edge =
-                        real_here.contains(id) || defs_here.binary_search(id).is_ok();
+                    *self_edge = real_here.contains(id) || defs_here.binary_search(id).is_ok();
                 }
                 routes.insert(cp, per_loc);
             }
         }
 
-        OctDefUse { def_ids, use_ids, real, inter, routes, in_packs, out_packs }
+        OctDefUse {
+            def_ids,
+            use_ids,
+            real,
+            inter,
+            routes,
+            in_packs,
+            out_packs,
+        }
     }
 
     /// Average `|D̂(c)|` in packs.
@@ -883,7 +907,10 @@ impl DepSource for OctDefUse {
                 self_edge: *self_edge,
                 entries: entries.as_slice(),
             },
-            None => depgen::UseRoutes { self_edge: true, entries: &[] },
+            None => depgen::UseRoutes {
+                self_edge: true,
+                entries: &[],
+            },
         }
     }
 
@@ -1189,9 +1216,7 @@ mod tests {
             let (x, y) = (var(&p, "x"), var(&p, "y"));
             let y_def = p
                 .all_points()
-                .find(|cp| {
-                    matches!(p.cmd(*cp), Cmd::Assign(LVal::Var(v), _) if *v == y)
-                })
+                .find(|cp| matches!(p.cmd(*cp), Cmd::Assign(LVal::Var(v), _) if *v == y))
                 .unwrap();
             assert_eq!(
                 r.diff_bound(y_def, y, x),
@@ -1203,9 +1228,7 @@ mod tests {
             let d = var(&p, "d");
             let d_def = p
                 .all_points()
-                .find(|cp| {
-                    matches!(p.cmd(*cp), Cmd::Assign(LVal::Var(v), _) if *v == d)
-                })
+                .find(|cp| matches!(p.cmd(*cp), Cmd::Assign(LVal::Var(v), _) if *v == d))
                 .unwrap();
             assert_eq!(r.itv_of(d_def, d), Interval::constant(1), "{engine:?}");
         }
@@ -1251,9 +1274,7 @@ mod tests {
             let d = var(&p, "d");
             let d_def = p
                 .all_points()
-                .find(|cp| {
-                    matches!(p.cmd(*cp), Cmd::Assign(LVal::Var(v), _) if *v == d)
-                })
+                .find(|cp| matches!(p.cmd(*cp), Cmd::Assign(LVal::Var(v), _) if *v == d))
                 .unwrap();
             let dv = r.itv_of(d_def, d);
             // The relation a = x + 0 → ret = x + 1 → y = x + 1 needs the

@@ -28,7 +28,10 @@ pub struct PreAnalysis {
 impl PreAnalysis {
     /// Resolved targets of the call at `cp` (empty for pure externals).
     pub fn call_targets(&self, cp: Cp) -> &[sga_ir::ProcId] {
-        self.callgraph.site_targets.get(&cp).map_or(&[], Vec::as_slice)
+        self.callgraph
+            .site_targets
+            .get(&cp)
+            .map_or(&[], Vec::as_slice)
     }
 }
 
@@ -123,7 +126,11 @@ pub fn run(program: &Program) -> PreAnalysis {
         }
         // Plain joins for two rounds (cheap precision), widening afterwards
         // to force convergence of the numeric component.
-        let merged = if rounds <= 2 { state.join(&next) } else { state.widen(&next) };
+        let merged = if rounds <= 2 {
+            state.join(&next)
+        } else {
+            state.widen(&next)
+        };
         if merged == state {
             break;
         }
@@ -135,16 +142,16 @@ pub fn run(program: &Program) -> PreAnalysis {
         };
         resolve_targets(program, callee, &state)
     });
-    PreAnalysis { state, callgraph, rounds }
+    PreAnalysis {
+        state,
+        callgraph,
+        rounds,
+    }
 }
 
 /// Call targets under state `s`: syntactic for direct calls, the
 /// function-pointer component of the callee expression otherwise.
-pub fn resolve_targets(
-    program: &Program,
-    callee: &Callee,
-    s: &State,
-) -> Vec<sga_ir::ProcId> {
+pub fn resolve_targets(program: &Program, callee: &Callee, s: &State) -> Vec<sga_ir::ProcId> {
     match callee {
         Callee::Direct(p) => vec![*p],
         Callee::Indirect(e) => {
@@ -190,7 +197,15 @@ pub fn coarsen_semi_sparse(program: &Program, precise: &State) -> State {
     let arr_all: ArrayBlk = universe
         .iter()
         .filter(|l| l.is_summary())
-        .map(|&l| (l, sga_domains::array::ArrInfo { offset: Interval::top(), size: Interval::top() }))
+        .map(|&l| {
+            (
+                l,
+                sga_domains::array::ArrInfo {
+                    offset: Interval::top(),
+                    size: Interval::top(),
+                },
+            )
+        })
         .collect();
     let top_value = Value {
         itv: Interval::top(),
@@ -259,12 +274,15 @@ mod tests {
 
     #[test]
     fn widening_terminates_counting_loop() {
-        let p = parse("int main() { int i = 0; while (i < 1000000) i = i + 1; return i; }")
-            .unwrap();
+        let p =
+            parse("int main() { int i = 0; while (i < 1000000) i = i + 1; return i; }").unwrap();
         let pre = run(&p);
         assert!(pre.rounds < 20, "diverged: {} rounds", pre.rounds);
         let iv = pre.state.get(&AbsLoc::Var(var(&p, "i"))).itv;
-        assert!(Interval::constant(500).le(&iv), "flow-insensitively i is unbounded-ish: {iv}");
+        assert!(
+            Interval::constant(500).le(&iv),
+            "flow-insensitively i is unbounded-ish: {iv}"
+        );
     }
 
     #[test]

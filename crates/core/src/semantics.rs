@@ -13,6 +13,7 @@ use sga_domains::{AbsLoc, Interval, Lattice, LocSet, State, Value};
 use sga_ir::{BinOp, Cmd, Cond, Cp, Expr, FieldId, LVal, Proc, Program, RelOp, UnOp};
 
 /// Evaluates expression `e` in state `s` — `Ê(e)(ŝ)`.
+#[allow(clippy::only_used_in_recursion)] // `program` is part of the eval signature
 pub fn eval(program: &Program, e: &Expr, s: &State) -> Value {
     match e {
         Expr::Const(n) => Value::constant(*n),
@@ -55,11 +56,19 @@ pub fn eval(program: &Program, e: &Expr, s: &State) -> Value {
 fn eval_binop(op: BinOp, a: &Value, b: &Value) -> Value {
     match op {
         BinOp::Add | BinOp::Sub => {
-            let itv = if op == BinOp::Add { a.itv.add(&b.itv) } else { a.itv.sub(&b.itv) };
+            let itv = if op == BinOp::Add {
+                a.itv.add(&b.itv)
+            } else {
+                a.itv.sub(&b.itv)
+            };
             // Pointer arithmetic: points-to sets are offset-insensitive; the
             // array component shifts its offsets.
             let delta = |i: &Interval| -> Interval {
-                let d = if i.is_bottom() { Interval::constant(0) } else { *i };
+                let d = if i.is_bottom() {
+                    Interval::constant(0)
+                } else {
+                    *i
+                };
                 if op == BinOp::Add {
                     d
                 } else {
@@ -77,7 +86,12 @@ fn eval_binop(op: BinOp, a: &Value, b: &Value) -> Value {
                     a.itv
                 }));
             }
-            Value { itv, ptr: a.ptr.join(&b.ptr), arr, procs: a.procs.join(&b.procs) }
+            Value {
+                itv,
+                ptr: a.ptr.join(&b.ptr),
+                arr,
+                procs: a.procs.join(&b.procs),
+            }
         }
         BinOp::Mul => Value::of_itv(a.itv.mul(&b.itv)),
         BinOp::Div => Value::of_itv(a.itv.div(&b.itv)),
@@ -103,7 +117,11 @@ fn read_locs(s: &State, locs: impl Iterator<Item = AbsLoc>) -> Value {
 
 /// The locations `(*v).f` denotes.
 fn field_targets(v: &Value, f: FieldId) -> impl Iterator<Item = AbsLoc> + '_ {
-    v.deref_targets().iter().map(move |l| refine_field(*l, f)).collect::<Vec<_>>().into_iter()
+    v.deref_targets()
+        .iter()
+        .map(move |l| refine_field(*l, f))
+        .collect::<Vec<_>>()
+        .into_iter()
 }
 
 /// Adds a field selector to a pointed-to location (nested aggregates
@@ -120,7 +138,10 @@ fn refine_field(l: AbsLoc, f: FieldId) -> AbsLoc {
 /// `Ê(e)(ŝ)`.
 pub fn used_locs(program: &Program, e: &Expr, s: &State, out: &mut Vec<AbsLoc>) {
     match e {
-        Expr::Const(_) | Expr::Unknown | Expr::AddrOf(_) | Expr::AddrOfField(_, _)
+        Expr::Const(_)
+        | Expr::Unknown
+        | Expr::AddrOf(_)
+        | Expr::AddrOfField(_, _)
         | Expr::AddrOfProc(_) => {}
         Expr::Var(x) => out.push(AbsLoc::Var(*x)),
         Expr::Field(x, f) => out.push(AbsLoc::Field(*x, *f)),
@@ -318,9 +339,10 @@ mod tests {
         let p = parse("int main() { int x; int *q; return 0; }").unwrap();
         let x = var(&p, "x");
         let q = var(&p, "q");
-        let s = State::new()
-            .set(AbsLoc::Var(x), Value::constant(7))
-            .set(AbsLoc::Var(q), Value::of_ptr(LocSet::singleton(AbsLoc::Var(x))));
+        let s = State::new().set(AbsLoc::Var(x), Value::constant(7)).set(
+            AbsLoc::Var(q),
+            Value::of_ptr(LocSet::singleton(AbsLoc::Var(x))),
+        );
         let deref = Expr::deref(Expr::Var(q));
         assert_eq!(eval(&p, &deref, &s).itv, Interval::constant(7));
         // Û(*q) = {q, x}
@@ -335,9 +357,10 @@ mod tests {
         let p = parse("int main() { int a; int b; int *q; return 0; }").unwrap();
         let (a, b, q) = (var(&p, "a"), var(&p, "b"), var(&p, "q"));
         // q -> {a}: strong update overwrites.
-        let s = State::new()
-            .set(AbsLoc::Var(a), Value::constant(1))
-            .set(AbsLoc::Var(q), Value::of_ptr(LocSet::singleton(AbsLoc::Var(a))));
+        let s = State::new().set(AbsLoc::Var(a), Value::constant(1)).set(
+            AbsLoc::Var(q),
+            Value::of_ptr(LocSet::singleton(AbsLoc::Var(a))),
+        );
         let s2 = assign(&p, &s, &LVal::Deref(q), &Value::constant(9));
         assert_eq!(s2.get(&AbsLoc::Var(a)).itv, Interval::constant(9));
         // q -> {a, b}: weak update joins.
@@ -358,7 +381,10 @@ mod tests {
         let cond = Cond::new(Expr::Var(x), RelOp::Lt, Expr::Var(y));
         let r = refine(&p, &s, &cond);
         assert_eq!(r.get(&AbsLoc::Var(x)).itv, Interval::range(0, 59));
-        assert_eq!(r.get(&AbsLoc::Var(y)).itv, Interval::range(40, 60).filter(RelOp::Gt, &Interval::range(0, 100)));
+        assert_eq!(
+            r.get(&AbsLoc::Var(y)).itv,
+            Interval::range(40, 60).filter(RelOp::Gt, &Interval::range(0, 100))
+        );
     }
 
     #[test]
@@ -384,7 +410,9 @@ mod tests {
             .expect("has alloc");
         let cp = Cp::new(p.main, nid);
         let s = transfer(&p, cp, &State::new());
-        let Cmd::Alloc(lv, _) = p.cmd(cp) else { unreachable!() };
+        let Cmd::Alloc(lv, _) = p.cmd(cp) else {
+            unreachable!()
+        };
         let target = AbsLoc::Var(lv.base());
         let v = s.get(&target);
         assert_eq!(v.arr.len(), 1);
@@ -416,6 +444,9 @@ mod tests {
             .find(|(_, n)| matches!(n.cmd, Cmd::Return(_)))
             .unwrap();
         let s = transfer(&p, Cp::new(p.main, nid), &State::new());
-        assert_eq!(s.get(&AbsLoc::Var(main.ret_var)).itv, Interval::constant(41));
+        assert_eq!(
+            s.get(&AbsLoc::Var(main.ret_var)).itv,
+            Interval::constant(41)
+        );
     }
 }

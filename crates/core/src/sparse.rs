@@ -64,7 +64,10 @@ pub struct SparseResult<L: Copy + Ord, V: Clone> {
 impl<L: Copy + Ord, V: Clone + Lattice> SparseResult<L, V> {
     /// The value of `l` in `cp`'s output bindings (⊥ if absent).
     pub fn value(&self, cp: Cp, l: &L) -> V {
-        self.values.get(&cp).and_then(|m| m.get(l).cloned()).unwrap_or_else(V::bottom)
+        self.values
+            .get(&cp)
+            .and_then(|m| m.get(l).cloned())
+            .unwrap_or_else(V::bottom)
     }
 }
 
@@ -94,7 +97,10 @@ pub fn solve<S: SparseSpec>(
     // the ICFG priority as a deterministic tiebreak for nodes outside the
     // dependency graph.
     let prio = |cp: Cp| -> (u32, u32) {
-        (deps.topo_rank.get(&cp).copied().unwrap_or(0), icfg.priority[&cp])
+        (
+            deps.topo_rank.get(&cp).copied().unwrap_or(0),
+            icfg.priority[&cp],
+        )
     };
     let mut worklist: BTreeSet<((u32, u32), Cp)> = BTreeSet::new();
     for &cp in &all_points {
@@ -117,11 +123,16 @@ pub fn solve<S: SparseSpec>(
         }
         acc
     };
-    let assemble = |values: &FxHashMap<Cp, PMap<S::L, S::V>>,
-                    cp: Cp|
-     -> (PMap<S::L, S::V>, PMap<S::L, S::V>) {
-        let seed: PMap<S::L, S::V> =
-            if cp == main_entry { spec.initial() } else { PMap::new() };
+    type InPair<S> = (
+        PMap<<S as SparseSpec>::L, <S as SparseSpec>::V>,
+        PMap<<S as SparseSpec>::L, <S as SparseSpec>::V>,
+    );
+    let assemble = |values: &FxHashMap<Cp, PMap<S::L, S::V>>, cp: Cp| -> InPair<S> {
+        let seed: PMap<S::L, S::V> = if cp == main_entry {
+            spec.initial()
+        } else {
+            PMap::new()
+        };
         let pre = gather(values, deps.deps_into(cp), seed);
         let ret = gather(values, deps.deps_into_ret(cp), PMap::new());
         (pre, ret)
@@ -200,5 +211,9 @@ pub fn solve<S: SparseSpec>(
         }
     }
 
-    SparseResult { values, iterations, narrowing_rounds }
+    SparseResult {
+        values,
+        iterations,
+        narrowing_rounds,
+    }
 }

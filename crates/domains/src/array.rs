@@ -11,7 +11,11 @@ use crate::interval::Interval;
 use crate::lattice::Lattice;
 use crate::locs::AbsLoc;
 use std::fmt;
-use std::rc::Rc;
+// `Arc`, not `Rc`: values travel across the pipeline's worker threads
+// inside shared abstract states, so the sharing pointer must be thread-safe.
+use std::sync::Arc;
+
+type Rc<T> = Arc<T>;
 
 /// Offset/size information for one array base.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -25,25 +29,40 @@ pub struct ArrInfo {
 impl ArrInfo {
     /// Fresh pointer to the start of a block of `size` elements.
     pub fn fresh(size: Interval) -> ArrInfo {
-        ArrInfo { offset: Interval::constant(0), size }
+        ArrInfo {
+            offset: Interval::constant(0),
+            size,
+        }
     }
 }
 
 impl Lattice for ArrInfo {
     fn bottom() -> Self {
-        ArrInfo { offset: Interval::Bot, size: Interval::Bot }
+        ArrInfo {
+            offset: Interval::Bot,
+            size: Interval::Bot,
+        }
     }
     fn le(&self, other: &Self) -> bool {
         self.offset.le(&other.offset) && self.size.le(&other.size)
     }
     fn join(&self, other: &Self) -> Self {
-        ArrInfo { offset: self.offset.join(&other.offset), size: self.size.join(&other.size) }
+        ArrInfo {
+            offset: self.offset.join(&other.offset),
+            size: self.size.join(&other.size),
+        }
     }
     fn widen(&self, other: &Self) -> Self {
-        ArrInfo { offset: self.offset.widen(&other.offset), size: self.size.widen(&other.size) }
+        ArrInfo {
+            offset: self.offset.widen(&other.offset),
+            size: self.size.widen(&other.size),
+        }
     }
     fn narrow(&self, other: &Self) -> Self {
-        ArrInfo { offset: self.offset.narrow(&other.offset), size: self.size.narrow(&other.size) }
+        ArrInfo {
+            offset: self.offset.narrow(&other.offset),
+            size: self.size.narrow(&other.size),
+        }
     }
 }
 
@@ -79,7 +98,10 @@ impl ArrayBlk {
 
     /// Info for one base.
     pub fn get(&self, base: &AbsLoc) -> Option<&ArrInfo> {
-        self.0.binary_search_by(|(b, _)| b.cmp(base)).ok().map(|i| &self.0[i].1)
+        self.0
+            .binary_search_by(|(b, _)| b.cmp(base))
+            .ok()
+            .map(|i| &self.0[i].1)
     }
 
     /// The base locations a dereference of this pointer-to-array reaches.
@@ -97,7 +119,13 @@ impl ArrayBlk {
             self.0
                 .iter()
                 .map(|(b, info)| {
-                    (*b, ArrInfo { offset: info.offset.add(delta), size: info.size })
+                    (
+                        *b,
+                        ArrInfo {
+                            offset: info.offset.add(delta),
+                            size: info.size,
+                        },
+                    )
                 })
                 .collect::<Vec<_>>()
                 .into(),
@@ -145,7 +173,9 @@ impl Lattice for ArrayBlk {
         if Rc::ptr_eq(&self.0, &other.0) {
             return true;
         }
-        self.0.iter().all(|(b, info)| other.get(b).is_some_and(|o| info.le(o)))
+        self.0
+            .iter()
+            .all(|(b, info)| other.get(b).is_some_and(|o| info.le(o)))
     }
 
     fn join(&self, other: &Self) -> Self {
@@ -178,7 +208,7 @@ impl Lattice for ArrayBlk {
 impl FromIterator<(AbsLoc, ArrInfo)> for ArrayBlk {
     fn from_iter<I: IntoIterator<Item = (AbsLoc, ArrInfo)>>(iter: I) -> Self {
         let mut v: Vec<(AbsLoc, ArrInfo)> = iter.into_iter().collect();
-        v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        v.sort_unstable_by_key(|a| a.0);
         v.dedup_by(|a, b| {
             if a.0 == b.0 {
                 b.1 = b.1.join(&a.1);
@@ -195,7 +225,10 @@ impl fmt::Debug for ArrayBlk {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut set = f.debug_set();
         for (b, info) in self.iter() {
-            set.entry(&format_args!("⟨{b:?}, off {}, sz {}⟩", info.offset, info.size));
+            set.entry(&format_args!(
+                "⟨{b:?}, off {}, sz {}⟩",
+                info.offset, info.size
+            ));
         }
         set.finish()
     }
@@ -209,7 +242,10 @@ mod tests {
     use sga_utils::Idx;
 
     fn site(n: usize) -> AbsLoc {
-        AbsLoc::Alloc(crate::locs::AllocSite(Cp::new(ProcId::new(0), NodeId::new(n))))
+        AbsLoc::Alloc(crate::locs::AllocSite(Cp::new(
+            ProcId::new(0),
+            NodeId::new(n),
+        )))
     }
 
     #[test]

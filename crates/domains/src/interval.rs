@@ -324,8 +324,16 @@ impl Interval {
                     (Bound::Int(l), Bound::Int(h)) => Bound::Int(l.abs().max(h.abs()) - 1),
                     _ => Bound::PosInf,
                 };
-                let lo = if a.contains_negative() { mag.neg() } else { Bound::Int(0) };
-                let hi = if a.contains_positive_or_zero() { mag } else { Bound::Int(0) };
+                let lo = if a.contains_negative() {
+                    mag.neg()
+                } else {
+                    Bound::Int(0)
+                };
+                let hi = if a.contains_positive_or_zero() {
+                    mag
+                } else {
+                    Bound::Int(0)
+                };
                 Interval::new(lo, hi)
             }
         }
@@ -423,8 +431,16 @@ impl Lattice for Interval {
         match (self, other) {
             (Interval::Bot, x) | (x, Interval::Bot) => *x,
             (Interval::Range(l1, h1), Interval::Range(l2, h2)) => {
-                let lo = if l2.cmp_bound(*l1).is_lt() { Bound::NegInf } else { *l1 };
-                let hi = if h2.cmp_bound(*h1).is_gt() { Bound::PosInf } else { *h1 };
+                let lo = if l2.cmp_bound(*l1).is_lt() {
+                    Bound::NegInf
+                } else {
+                    *l1
+                };
+                let hi = if h2.cmp_bound(*h1).is_gt() {
+                    Bound::PosInf
+                } else {
+                    *h1
+                };
                 Interval::Range(lo, hi)
             }
         }
@@ -503,7 +519,10 @@ mod tests {
 
     #[test]
     fn div_by_zero_containing_is_top() {
-        assert_eq!(Interval::range(1, 2).div(&Interval::range(-1, 1)), Interval::top());
+        assert_eq!(
+            Interval::range(1, 2).div(&Interval::range(-1, 1)),
+            Interval::top()
+        );
     }
 
     #[test]
@@ -553,9 +572,18 @@ mod tests {
     #[test]
     fn cmp_result_three_values() {
         let x = Interval::range(0, 5);
-        assert_eq!(x.cmp_result(RelOp::Lt, &Interval::constant(10)), Interval::constant(1));
-        assert_eq!(x.cmp_result(RelOp::Gt, &Interval::constant(10)), Interval::constant(0));
-        assert_eq!(x.cmp_result(RelOp::Lt, &Interval::constant(3)), Interval::range(0, 1));
+        assert_eq!(
+            x.cmp_result(RelOp::Lt, &Interval::constant(10)),
+            Interval::constant(1)
+        );
+        assert_eq!(
+            x.cmp_result(RelOp::Gt, &Interval::constant(10)),
+            Interval::constant(0)
+        );
+        assert_eq!(
+            x.cmp_result(RelOp::Lt, &Interval::constant(3)),
+            Interval::range(0, 1)
+        );
     }
 
     #[test]
@@ -563,7 +591,10 @@ mod tests {
         let big = Interval::constant(i64::MAX);
         let one = Interval::constant(1);
         let sum = big.add(&one);
-        assert_eq!(sum, Interval::Range(Bound::PosInf, Bound::PosInf).meet(&sum));
+        assert_eq!(
+            sum,
+            Interval::Range(Bound::PosInf, Bound::PosInf).meet(&sum)
+        );
         assert!(Interval::constant(i64::MIN).neg().hi() == Some(Bound::PosInf));
     }
 

@@ -54,7 +54,11 @@ pub mod laws {
         assert!(b.le(&ab), "b ⋢ a⊔b: {b:?} vs {ab:?}");
         assert_eq!(a.join(a), a.clone(), "join not idempotent");
         assert_eq!(ab, b.join(a), "join not commutative");
-        assert_eq!(a.join(&b.join(c)), a.join(b).join(c), "join not associative");
+        assert_eq!(
+            a.join(&b.join(c)),
+            a.join(b).join(c),
+            "join not associative"
+        );
         assert_eq!(L::bottom().join(a), a.clone(), "⊥ not unit");
         assert!(L::bottom().le(a), "⊥ not least");
     }
@@ -65,7 +69,10 @@ pub mod laws {
         let w = a.widen(b);
         assert!(j.le(&w), "join ⋢ widen: {j:?} vs {w:?}");
         let n = w.narrow(&j);
-        assert!(j.le(&n) && n.le(&w), "narrow out of range: {j:?} ⊑ {n:?} ⊑ {w:?}");
+        assert!(
+            j.le(&n) && n.le(&w),
+            "narrow out of range: {j:?} ⊑ {n:?} ⊑ {w:?}"
+        );
     }
 }
 

@@ -11,7 +11,11 @@
 use crate::lattice::Lattice;
 use sga_ir::{Cp, FieldId, ProcId, VarId};
 use std::fmt;
-use std::rc::Rc;
+// `Arc`, not `Rc`: values travel across the pipeline's worker threads
+// inside shared abstract states, so the sharing pointer must be thread-safe.
+use std::sync::Arc;
+
+type Rc<T> = Arc<T>;
 
 /// An allocation site: the control point of the `alloc` command.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -225,7 +229,10 @@ mod tests {
         let a: LocSet = [v(3), v(1)].into_iter().collect();
         let b: LocSet = [v(2), v(1)].into_iter().collect();
         let u = a.union(&b);
-        assert_eq!(u.iter().copied().collect::<Vec<_>>(), vec![v(1), v(2), v(3)]);
+        assert_eq!(
+            u.iter().copied().collect::<Vec<_>>(),
+            vec![v(1), v(2), v(3)]
+        );
     }
 
     #[test]

@@ -96,7 +96,11 @@ impl Octagon {
         for a in 0..n {
             m[a * n + a] = 0;
         }
-        Octagon::Oct(Matrix { dim, m: m.into(), closed: true })
+        Octagon::Oct(Matrix {
+            dim,
+            m: m.into(),
+            closed: true,
+        })
     }
 
     /// Number of variables, `None` for the dimensionless ⊥.
@@ -108,7 +112,11 @@ impl Octagon {
     }
 
     fn with_matrix(dim: usize, m: Vec<i64>, closed: bool) -> Octagon {
-        Octagon::Oct(Matrix { dim, m: m.into(), closed })
+        Octagon::Oct(Matrix {
+            dim,
+            m: m.into(),
+            closed,
+        })
     }
 
     /// Strong closure: shortest paths plus the strengthening step
@@ -116,7 +124,9 @@ impl Octagon {
     /// negative diagonal. Returns a closed octagon (or ⊥).
     #[must_use]
     pub fn close(&self) -> Octagon {
-        let Octagon::Oct(mat) = self else { return Octagon::Bot };
+        let Octagon::Oct(mat) = self else {
+            return Octagon::Bot;
+        };
         if mat.closed {
             return self.clone();
         }
@@ -167,7 +177,9 @@ impl Octagon {
     /// coherent mirror), without closing.
     #[must_use]
     fn add_raw(&self, a: usize, b: usize, c: i64) -> Octagon {
-        let Octagon::Oct(mat) = self else { return Octagon::Bot };
+        let Octagon::Oct(mat) = self else {
+            return Octagon::Bot;
+        };
         let n = mat.n();
         let mut m = mat.m.to_vec();
         if c < m[a * n + b] {
@@ -198,13 +210,15 @@ impl Octagon {
     /// Adds `x_i ≤ c`.
     #[must_use]
     pub fn add_upper(&self, i: usize, c: i64) -> Octagon {
-        self.add_raw(neg(i), pos(i), c.saturating_mul(2).min(INF)).close()
+        self.add_raw(neg(i), pos(i), c.saturating_mul(2).min(INF))
+            .close()
     }
 
     /// Adds `x_i ≥ c`.
     #[must_use]
     pub fn add_lower(&self, i: usize, c: i64) -> Octagon {
-        self.add_raw(pos(i), neg(i), (-c).saturating_mul(2).min(INF)).close()
+        self.add_raw(pos(i), neg(i), (-c).saturating_mul(2).min(INF))
+            .close()
     }
 
     /// Removes every constraint on `x_i` (Miné's *forget*), closing first so
@@ -212,7 +226,9 @@ impl Octagon {
     #[must_use]
     pub fn forget(&self, i: usize) -> Octagon {
         let closed = self.close();
-        let Octagon::Oct(mat) = &closed else { return Octagon::Bot };
+        let Octagon::Oct(mat) = &closed else {
+            return Octagon::Bot;
+        };
         let n = mat.n();
         let mut m = mat.m.to_vec();
         for a in [pos(i), neg(i)] {
@@ -250,7 +266,9 @@ impl Octagon {
         if i == j {
             // x := x + c — shift every bound mentioning x by ±c.
             let closed = self.close();
-            let Octagon::Oct(mat) = &closed else { return Octagon::Bot };
+            let Octagon::Oct(mat) = &closed else {
+                return Octagon::Bot;
+            };
             let n = mat.n();
             let mut m = mat.m.to_vec();
             let (p, q) = (pos(i), neg(i));
@@ -320,18 +338,30 @@ impl Octagon {
     /// from the relational domain back to non-relational values.
     pub fn project(&self, i: usize) -> Interval {
         let closed = self.close();
-        let Octagon::Oct(mat) = &closed else { return Interval::Bot };
+        let Octagon::Oct(mat) = &closed else {
+            return Interval::Bot;
+        };
         let up = mat.at(neg(i), pos(i)); // 2·x ≤ up
         let dn = mat.at(pos(i), neg(i)); // −2·x ≤ dn
-        let hi = if up >= INF { Bound::PosInf } else { Bound::Int(up.div_euclid(2)) };
-        let lo = if dn >= INF { Bound::NegInf } else { Bound::Int((-dn).div_euclid(2) + i64::from((-dn).rem_euclid(2) != 0)) };
+        let hi = if up >= INF {
+            Bound::PosInf
+        } else {
+            Bound::Int(up.div_euclid(2))
+        };
+        let lo = if dn >= INF {
+            Bound::NegInf
+        } else {
+            Bound::Int((-dn).div_euclid(2) + i64::from((-dn).rem_euclid(2) != 0))
+        };
         Interval::new(lo, hi)
     }
 
     /// The tightest known bound on `x_i − x_j`, if any.
     pub fn diff_bound(&self, i: usize, j: usize) -> Option<i64> {
         let closed = self.close();
-        let Octagon::Oct(mat) = &closed else { return None };
+        let Octagon::Oct(mat) = &closed else {
+            return None;
+        };
         let c = mat.at(pos(j), pos(i));
         (c < INF).then_some(c)
     }
@@ -339,7 +369,9 @@ impl Octagon {
     /// The interval of `x_i − x_j` implied by the constraints.
     pub fn diff_interval(&self, i: usize, j: usize) -> Interval {
         let closed = self.close();
-        let Octagon::Oct(_) = &closed else { return Interval::Bot };
+        let Octagon::Oct(_) = &closed else {
+            return Interval::Bot;
+        };
         let hi = match closed.diff_bound(i, j) {
             Some(c) => Bound::Int(c),
             None => Bound::PosInf,
@@ -354,12 +386,22 @@ impl Octagon {
     /// The interval of `x_i + x_j` implied by the constraints.
     pub fn sum_interval(&self, i: usize, j: usize) -> Interval {
         let closed = self.close();
-        let Octagon::Oct(mat) = &closed else { return Interval::Bot };
+        let Octagon::Oct(mat) = &closed else {
+            return Interval::Bot;
+        };
         // x_i + x_j ≤ c is entry m[i⁻][j⁺]; −x_i − x_j ≤ c is m[i⁺][j⁻].
         let up = mat.at(neg(i), pos(j));
         let dn = mat.at(pos(i), neg(j));
-        let hi = if up >= INF { Bound::PosInf } else { Bound::Int(up) };
-        let lo = if dn >= INF { Bound::NegInf } else { Bound::Int(-dn) };
+        let hi = if up >= INF {
+            Bound::PosInf
+        } else {
+            Bound::Int(up)
+        };
+        let lo = if dn >= INF {
+            Bound::NegInf
+        } else {
+            Bound::Int(-dn)
+        };
         Interval::new(lo, hi)
     }
 
@@ -368,8 +410,7 @@ impl Octagon {
             (Octagon::Bot, o) | (o, Octagon::Bot) => o,
             (Octagon::Oct(a), Octagon::Oct(b)) => {
                 assert_eq!(a.dim, b.dim, "octagon dimension mismatch");
-                let m: Vec<i64> =
-                    a.m.iter().zip(b.m.iter()).map(|(&x, &y)| f(x, y)).collect();
+                let m: Vec<i64> = a.m.iter().zip(b.m.iter()).map(|(&x, &y)| f(x, y)).collect();
                 Octagon::with_matrix(a.dim, m, closed)
             }
         }
@@ -422,12 +463,11 @@ impl Lattice for Octagon {
             (s, Octagon::Bot) => s.clone(),
             (Octagon::Oct(a), Octagon::Oct(b)) => {
                 assert_eq!(a.dim, b.dim, "octagon dimension mismatch");
-                let m: Vec<i64> = a
-                    .m
-                    .iter()
-                    .zip(b.m.iter())
-                    .map(|(&x, &y)| if y <= x { x } else { INF })
-                    .collect();
+                let m: Vec<i64> =
+                    a.m.iter()
+                        .zip(b.m.iter())
+                        .map(|(&x, &y)| if y <= x { x } else { INF })
+                        .collect();
                 Octagon::with_matrix(a.dim, m, false)
             }
         }
@@ -439,12 +479,11 @@ impl Lattice for Octagon {
             (Octagon::Oct(a), Octagon::Oct(b)) => {
                 assert_eq!(a.dim, b.dim, "octagon dimension mismatch");
                 // Refine only the unconstrained (INF) entries.
-                let m: Vec<i64> = a
-                    .m
-                    .iter()
-                    .zip(b.m.iter())
-                    .map(|(&x, &y)| if x >= INF { y } else { x })
-                    .collect();
+                let m: Vec<i64> =
+                    a.m.iter()
+                        .zip(b.m.iter())
+                        .map(|(&x, &y)| if x >= INF { y } else { x })
+                        .collect();
                 Octagon::with_matrix(a.dim, m, false).close()
             }
         }
@@ -530,7 +569,9 @@ mod tests {
 
     #[test]
     fn contradiction_is_bottom() {
-        let o = Octagon::top(1).assume_const(0, RelOp::Ge, 5).assume_const(0, RelOp::Lt, 5);
+        let o = Octagon::top(1)
+            .assume_const(0, RelOp::Ge, 5)
+            .assume_const(0, RelOp::Lt, 5);
         assert!(o.is_bottom());
     }
 
@@ -588,7 +629,9 @@ mod tests {
         // Simulates i := 0; while (i < 100) i := i + 1 at the loop head.
         let mut head = Octagon::top(1).assign_interval(0, &Interval::constant(0));
         for _ in 0..5 {
-            let body = head.assume_const(0, RelOp::Lt, 100).assign_var_plus(0, 0, 1);
+            let body = head
+                .assume_const(0, RelOp::Lt, 100)
+                .assign_var_plus(0, 0, 1);
             let init = Octagon::top(1).assign_interval(0, &Interval::constant(0));
             let next = head.widen(&init.join(&body));
             if next == head {
@@ -600,7 +643,9 @@ mod tests {
         assert_eq!(head.project(0).lo(), Some(Bound::Int(0)));
         assert_eq!(head.project(0).hi(), Some(Bound::PosInf));
         // Narrowing recovers the exit bound ≤ 100.
-        let body = head.assume_const(0, RelOp::Lt, 100).assign_var_plus(0, 0, 1);
+        let body = head
+            .assume_const(0, RelOp::Lt, 100)
+            .assign_var_plus(0, 0, 1);
         let init = Octagon::top(1).assign_interval(0, &Interval::constant(0));
         let narrowed = head.narrow(&init.join(&body));
         assert_eq!(narrowed.project(0), Interval::range(0, 100));

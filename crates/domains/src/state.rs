@@ -45,7 +45,9 @@ impl State {
     /// Strong update: `s[l ↦ v]`.
     #[must_use = "State::set returns the updated state"]
     pub fn set(&self, l: AbsLoc, v: Value) -> State {
-        State { map: self.map.insert(l, v) }
+        State {
+            map: self.map.insert(l, v),
+        }
     }
 
     /// Weak update: `s[l ↦ s(l) ⊔ v]` (§2.1's `f[{...} ⤇ b]`).
@@ -55,7 +57,9 @@ impl State {
             Some(old) => old.join(v),
             None => v.clone(),
         };
-        State { map: self.map.insert(l, joined) }
+        State {
+            map: self.map.insert(l, joined),
+        }
     }
 
     /// Weak update over a whole target set — the store transfer function
@@ -72,7 +76,9 @@ impl State {
     /// Removes a binding (restriction `s\l`).
     #[must_use = "State::unbind returns the updated state"]
     pub fn unbind(&self, l: &AbsLoc) -> State {
-        State { map: self.map.remove(l) }
+        State {
+            map: self.map.remove(l),
+        }
     }
 
     /// Restriction `s|locs`: keeps only the given locations.
@@ -88,7 +94,9 @@ impl State {
             }
             out
         } else {
-            State { map: self.map.filter(|l, _| locs.contains(l)) }
+            State {
+                map: self.map.filter(|l, _| locs.contains(l)),
+            }
         }
     }
 
@@ -144,11 +152,15 @@ impl Lattice for State {
     }
 
     fn join(&self, other: &Self) -> Self {
-        State { map: self.map.union_with(&other.map, |_, a, b| a.join(b)) }
+        State {
+            map: self.map.union_with(&other.map, |_, a, b| a.join(b)),
+        }
     }
 
     fn widen(&self, other: &Self) -> Self {
-        State { map: self.map.union_with(&other.map, |_, a, b| a.widen(b)) }
+        State {
+            map: self.map.union_with(&other.map, |_, a, b| a.widen(b)),
+        }
     }
 
     fn narrow(&self, other: &Self) -> Self {
@@ -172,7 +184,9 @@ impl fmt::Debug for State {
 
 impl FromIterator<(AbsLoc, Value)> for State {
     fn from_iter<I: IntoIterator<Item = (AbsLoc, Value)>>(iter: I) -> Self {
-        State { map: iter.into_iter().collect() }
+        State {
+            map: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -197,27 +211,35 @@ mod tests {
 
     #[test]
     fn strong_update_replaces() {
-        let s = State::new().set(l(0), Value::constant(1)).set(l(0), Value::constant(2));
+        let s = State::new()
+            .set(l(0), Value::constant(1))
+            .set(l(0), Value::constant(2));
         assert_eq!(s.get(&l(0)).itv, Interval::constant(2));
     }
 
     #[test]
     fn weak_update_joins() {
-        let s = State::new().set(l(0), Value::constant(1)).weak_set(l(0), &Value::constant(5));
+        let s = State::new()
+            .set(l(0), Value::constant(1))
+            .weak_set(l(0), &Value::constant(5));
         assert_eq!(s.get(&l(0)).itv, Interval::range(1, 5));
     }
 
     #[test]
     fn weak_set_all_hits_every_target() {
         let targets: LocSet = [l(1), l(2)].into_iter().collect();
-        let s = State::new().set(l(1), Value::constant(0)).weak_set_all(&targets, &Value::constant(9));
+        let s = State::new()
+            .set(l(1), Value::constant(0))
+            .weak_set_all(&targets, &Value::constant(9));
         assert_eq!(s.get(&l(1)).itv, Interval::range(0, 9));
         assert_eq!(s.get(&l(2)).itv, Interval::constant(9));
     }
 
     #[test]
     fn restrict_keeps_only_given() {
-        let s = State::new().set(l(0), Value::constant(1)).set(l(1), Value::constant(2));
+        let s = State::new()
+            .set(l(0), Value::constant(1))
+            .set(l(1), Value::constant(2));
         let keep: LocSet = [l(1), l(7)].into_iter().collect();
         let r = s.restrict(&keep);
         assert_eq!(r.len(), 1);
@@ -227,7 +249,9 @@ mod tests {
     #[test]
     fn join_is_pointwise() {
         let a = State::new().set(l(0), Value::constant(1));
-        let b = State::new().set(l(0), Value::constant(3)).set(l(1), Value::constant(7));
+        let b = State::new()
+            .set(l(0), Value::constant(3))
+            .set(l(1), Value::constant(7));
         let j = a.join(&b);
         assert_eq!(j.get(&l(0)).itv, Interval::range(1, 3));
         assert_eq!(j.get(&l(1)).itv, Interval::constant(7));
@@ -241,7 +265,10 @@ mod tests {
         assert!(!b.le(&a));
         assert!(State::new().le(&a));
         let with_bot = State::new().set(l(9), Value::bot());
-        assert!(with_bot.le(&State::new()), "explicit ⊥ binding ⊑ empty state");
+        assert!(
+            with_bot.le(&State::new()),
+            "explicit ⊥ binding ⊑ empty state"
+        );
     }
 
     #[test]
@@ -249,7 +276,9 @@ mod tests {
         let states = [
             State::new(),
             State::new().set(l(0), Value::constant(1)),
-            State::new().set(l(0), Value::of_itv(Interval::range(0, 5))).set(l(1), Value::constant(2)),
+            State::new()
+                .set(l(0), Value::of_itv(Interval::range(0, 5)))
+                .set(l(1), Value::constant(2)),
             State::new().set(l(2), Value::unknown_int()),
         ];
         for a in &states {

@@ -39,27 +39,42 @@ impl Value {
     /// ⊤ for scalars read from unknown sources: any integer, no pointers.
     /// (Unknown *pointers* are modeled by the frontend's stub generator.)
     pub fn unknown_int() -> Value {
-        Value { itv: Interval::top(), ..Value::bot() }
+        Value {
+            itv: Interval::top(),
+            ..Value::bot()
+        }
     }
 
     /// A pure interval value.
     pub fn of_itv(itv: Interval) -> Value {
-        Value { itv, ..Value::bot() }
+        Value {
+            itv,
+            ..Value::bot()
+        }
     }
 
     /// A pure points-to value.
     pub fn of_ptr(ptr: LocSet) -> Value {
-        Value { ptr, ..Value::bot() }
+        Value {
+            ptr,
+            ..Value::bot()
+        }
     }
 
     /// A pure array-block value.
     pub fn of_arr(arr: ArrayBlk) -> Value {
-        Value { arr, ..Value::bot() }
+        Value {
+            arr,
+            ..Value::bot()
+        }
     }
 
     /// A pure function-pointer value.
     pub fn of_procs(procs: LocSet) -> Value {
-        Value { procs, ..Value::bot() }
+        Value {
+            procs,
+            ..Value::bot()
+        }
     }
 
     /// A constant integer.
@@ -80,7 +95,12 @@ impl Value {
     /// Replaces the numeric component.
     #[must_use]
     pub fn with_itv(&self, itv: Interval) -> Value {
-        Value { itv, ptr: self.ptr.clone(), arr: self.arr.clone(), procs: self.procs.clone() }
+        Value {
+            itv,
+            ptr: self.ptr.clone(),
+            arr: self.arr.clone(),
+            procs: self.procs.clone(),
+        }
     }
 }
 

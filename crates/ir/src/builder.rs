@@ -44,8 +44,14 @@ impl ProcBuilder {
     /// Entry and exit `Skip` nodes are created immediately.
     pub fn new(name: impl Into<String>, ret_var: VarId) -> Self {
         let mut nodes = IndexVec::new();
-        let entry = nodes.push(Node { cmd: Cmd::Skip, line: 0 });
-        let exit = nodes.push(Node { cmd: Cmd::Skip, line: 0 });
+        let entry = nodes.push(Node {
+            cmd: Cmd::Skip,
+            line: 0,
+        });
+        let exit = nodes.push(Node {
+            cmd: Cmd::Skip,
+            line: 0,
+        });
         let succs = IndexVec::from_elem_n(Vec::new(), 2);
         let preds = IndexVec::from_elem_n(Vec::new(), 2);
         ProcBuilder {

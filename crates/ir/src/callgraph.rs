@@ -75,7 +75,12 @@ impl CallGraph {
             callees.push(cs);
         }
         let scc = Scc::compute(&graph);
-        CallGraph { callees, callers, site_targets, scc }
+        CallGraph {
+            callees,
+            callers,
+            site_targets,
+            scc,
+        }
     }
 
     /// Builds the syntactic (direct-calls-only) call graph.
@@ -143,7 +148,12 @@ mod tests {
         procs.push(f);
         procs.push(g);
         procs.push(h);
-        Program { procs, vars, fields: FieldTable::new().into_names(), main: main_id }
+        Program {
+            procs,
+            vars,
+            fields: FieldTable::new().into_names(),
+            main: main_id,
+        }
     }
 
     #[test]

@@ -197,7 +197,11 @@ impl Cond {
 
     /// The negated condition (taken on the false branch).
     pub fn negate(&self) -> Cond {
-        Cond { lhs: self.lhs.clone(), op: self.op.negate(), rhs: self.rhs.clone() }
+        Cond {
+            lhs: self.lhs.clone(),
+            op: self.op.negate(),
+            rhs: self.rhs.clone(),
+        }
     }
 }
 
@@ -251,7 +255,14 @@ mod tests {
 
     #[test]
     fn relop_negate_involution() {
-        for op in [RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge, RelOp::Eq, RelOp::Ne] {
+        for op in [
+            RelOp::Lt,
+            RelOp::Le,
+            RelOp::Gt,
+            RelOp::Ge,
+            RelOp::Eq,
+            RelOp::Ne,
+        ] {
             assert_eq!(op.negate().negate(), op);
             assert_eq!(op.swap().swap(), op);
         }

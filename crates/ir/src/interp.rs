@@ -186,29 +186,39 @@ impl<'p> Interp<'p> {
 
     fn read_field(&self, frame: usize, v: VarId, f: FieldId) -> CVal {
         if self.program.vars[v].kind == crate::program::VarKind::Global {
-            self.global_fields.get(&(v, f)).cloned().unwrap_or(CVal::Uninit)
+            self.global_fields
+                .get(&(v, f))
+                .cloned()
+                .unwrap_or(CVal::Uninit)
         } else {
-            self.frame_fields[frame].get(&(v, f)).cloned().unwrap_or(CVal::Uninit)
+            self.frame_fields[frame]
+                .get(&(v, f))
+                .cloned()
+                .unwrap_or(CVal::Uninit)
         }
     }
 
     fn read_place(&self, place: &Place, field: Option<FieldId>) -> Result<CVal, String> {
         Ok(match (place, field) {
             (Place::Global(v) | Place::Local(_, v), None) => match place {
-                Place::Local(fr, _) => {
-                    self.frames[*fr].get(v).cloned().unwrap_or(CVal::Uninit)
-                }
+                Place::Local(fr, _) => self.frames[*fr].get(v).cloned().unwrap_or(CVal::Uninit),
                 _ => self.globals.get(v).cloned().unwrap_or(CVal::Uninit),
             },
-            (Place::Global(v), Some(f)) => {
-                self.global_fields.get(&(*v, f)).cloned().unwrap_or(CVal::Uninit)
-            }
-            (Place::Local(fr, v), Some(f)) => {
-                self.frame_fields[*fr].get(&(*v, f)).cloned().unwrap_or(CVal::Uninit)
-            }
-            (Place::Heap(i, _), None) => {
-                self.heap.get(*i).ok_or("dangling heap pointer")?.cell.clone()
-            }
+            (Place::Global(v), Some(f)) => self
+                .global_fields
+                .get(&(*v, f))
+                .cloned()
+                .unwrap_or(CVal::Uninit),
+            (Place::Local(fr, v), Some(f)) => self.frame_fields[*fr]
+                .get(&(*v, f))
+                .cloned()
+                .unwrap_or(CVal::Uninit),
+            (Place::Heap(i, _), None) => self
+                .heap
+                .get(*i)
+                .ok_or("dangling heap pointer")?
+                .cell
+                .clone(),
             (Place::Heap(i, _), Some(f)) => self
                 .heap
                 .get(*i)
@@ -380,11 +390,7 @@ impl<'p> Interp<'p> {
         self.compare(cond.op, &a, &b)
     }
 
-    fn lval_place(
-        &mut self,
-        frame: usize,
-        lv: &LVal,
-    ) -> Result<(Place, Option<FieldId>), String> {
+    fn lval_place(&mut self, frame: usize, lv: &LVal) -> Result<(Place, Option<FieldId>), String> {
         Ok(match lv {
             LVal::Var(x) => (self.var_place(frame, *x), None),
             LVal::Field(x, f) => (self.var_place(frame, *x), Some(*f)),
@@ -449,9 +455,7 @@ impl<'p> Interp<'p> {
                         Callee::Direct(t) => *t,
                         Callee::Indirect(e) => match self.eval(frame, e)? {
                             CVal::Fn(t) => t,
-                            other => {
-                                return Err(format!("call through non-function {other:?}"))
-                            }
+                            other => return Err(format!("call through non-function {other:?}")),
                         },
                     };
                     let rv = self.call(target, arg_vals)?;
@@ -536,7 +540,10 @@ pub fn run(program: &Program, config: &InterpConfig) -> Run {
         }
         Err(e) => Outcome::Trap(e),
     };
-    Run { outcome, log: interp.log }
+    Run {
+        outcome,
+        log: interp.log,
+    }
 }
 
 #[cfg(test)]
@@ -576,7 +583,12 @@ mod tests {
         b.edge(n3, exit);
         let mut procs = IndexVec::new();
         let main = procs.push(b.finish());
-        Program { procs, vars, fields: FieldTable::new().into_names(), main }
+        Program {
+            procs,
+            vars,
+            fields: FieldTable::new().into_names(),
+            main,
+        }
     }
 
     #[test]
@@ -592,7 +604,13 @@ mod tests {
     #[test]
     fn fuel_limits_execution() {
         let p = tiny_program();
-        let run = super::run(&p, &InterpConfig { fuel: 2, ..Default::default() });
+        let run = super::run(
+            &p,
+            &InterpConfig {
+                fuel: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(run.outcome, Outcome::OutOfFuel);
     }
 

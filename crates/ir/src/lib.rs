@@ -19,11 +19,11 @@
 pub mod builder;
 pub mod callgraph;
 pub mod expr;
+pub mod interp;
 pub mod metrics;
 pub mod pretty;
 pub mod proc;
 pub mod program;
-pub mod interp;
 pub mod validate;
 
 pub use builder::ProcBuilder;

@@ -33,7 +33,12 @@ impl ProgramMetrics {
             .filter(|p| !p.is_external)
             .map(|p| p.num_basic_blocks())
             .sum();
-        ProgramMetrics { functions, statements, blocks, max_scc: callgraph.max_scc_size() }
+        ProgramMetrics {
+            functions,
+            statements,
+            blocks,
+            max_scc: callgraph.max_scc_size(),
+        }
     }
 }
 
@@ -71,8 +76,12 @@ mod tests {
         b.edge(end, exit);
         let mut procs = IndexVec::new();
         let main = procs.push(b.finish());
-        let program =
-            Program { procs, vars, fields: FieldTable::new().into_names(), main };
+        let program = Program {
+            procs,
+            vars,
+            fields: FieldTable::new().into_names(),
+            main,
+        };
         let cg = CallGraph::syntactic(&program);
         let m = ProgramMetrics::measure(&program, &cg);
         assert_eq!(m.functions, 1);

@@ -75,7 +75,12 @@ pub fn lval(program: &Program, lv: &LVal) -> String {
 
 /// Renders a condition.
 pub fn cond(program: &Program, c: &Cond) -> String {
-    format!("{} {} {}", expr(program, &c.lhs), relop(c.op), expr(program, &c.rhs))
+    format!(
+        "{} {} {}",
+        expr(program, &c.lhs),
+        relop(c.op),
+        expr(program, &c.rhs)
+    )
 }
 
 /// Renders one command.
@@ -95,7 +100,12 @@ pub fn cmd(program: &Program, c: &Cmd) -> String {
             let args_str: Vec<String> = args.iter().map(|a| expr(program, a)).collect();
             match ret {
                 Some(lv) => {
-                    format!("{} := {}({})", lval(program, lv), callee_str, args_str.join(", "))
+                    format!(
+                        "{} := {}({})",
+                        lval(program, lv),
+                        callee_str,
+                        args_str.join(", ")
+                    )
                 }
                 None => format!("{}({})", callee_str, args_str.join(", ")),
             }
@@ -157,8 +167,16 @@ mod tests {
             kind: VarKind::Return(ProcId::new(0)),
             address_taken: false,
         });
-        let x = vars.push(VarInfo { name: "x".into(), kind: VarKind::Global, address_taken: true });
-        let p = vars.push(VarInfo { name: "p".into(), kind: VarKind::Global, address_taken: false });
+        let x = vars.push(VarInfo {
+            name: "x".into(),
+            kind: VarKind::Global,
+            address_taken: true,
+        });
+        let p = vars.push(VarInfo {
+            name: "p".into(),
+            kind: VarKind::Global,
+            address_taken: false,
+        });
         let mut b = ProcBuilder::new("main", ret);
         let n1 = b.node(Cmd::Assign(LVal::Var(p), Expr::AddrOf(x)));
         let n2 = b.node(Cmd::Assign(LVal::Deref(p), Expr::Const(7)));
@@ -168,7 +186,12 @@ mod tests {
         b.edge(n2, exit);
         let mut procs = IndexVec::new();
         let main = procs.push(b.finish());
-        Program { procs, vars, fields: FieldTable::new().into_names(), main }
+        Program {
+            procs,
+            vars,
+            fields: FieldTable::new().into_names(),
+            main,
+        }
     }
 
     #[test]

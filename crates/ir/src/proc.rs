@@ -73,9 +73,8 @@ impl Proc {
         let mut leaders = 0usize;
         for n in self.nodes.indices() {
             let preds = self.preds_of(n);
-            let is_leader = n == self.entry
-                || preds.len() != 1
-                || self.succs_of(preds[0]).len() != 1;
+            let is_leader =
+                n == self.entry || preds.len() != 1 || self.succs_of(preds[0]).len() != 1;
             if is_leader {
                 leaders += 1;
             }
@@ -95,7 +94,10 @@ impl DiGraph for CfgView<'_> {
         self.proc.nodes.len()
     }
     fn successors(&self, node: usize) -> Vec<usize> {
-        self.proc.succs[NodeId(node as u32)].iter().map(|n| n.0 as usize).collect()
+        self.proc.succs[NodeId(node as u32)]
+            .iter()
+            .map(|n| n.0 as usize)
+            .collect()
     }
 }
 

@@ -27,10 +27,9 @@ impl VarKind {
     pub fn owner(self) -> Option<ProcId> {
         match self {
             VarKind::Global => None,
-            VarKind::Local(p)
-            | VarKind::Param(p)
-            | VarKind::Temp(p)
-            | VarKind::Return(p) => Some(p),
+            VarKind::Local(p) | VarKind::Param(p) | VarKind::Temp(p) | VarKind::Return(p) => {
+                Some(p)
+            }
         }
     }
 }
@@ -92,7 +91,10 @@ pub struct Program {
 impl Program {
     /// Looks up a procedure by name.
     pub fn proc_by_name(&self, name: &str) -> Option<ProcId> {
-        self.procs.iter_enumerated().find(|(_, p)| p.name == name).map(|(id, _)| id)
+        self.procs
+            .iter_enumerated()
+            .find(|(_, p)| p.name == name)
+            .map(|(id, _)| id)
     }
 
     /// Total number of control points (IR statements) in the program.

@@ -79,7 +79,10 @@ pub fn validate(program: &Program) -> Vec<ValidationError> {
                 missing -= 1;
             }
             if missing > 0 {
-                err(format!("{missing} of {} nodes unreachable from entry", proc.nodes.len()));
+                err(format!(
+                    "{missing} of {} nodes unreachable from entry",
+                    proc.nodes.len()
+                ));
             }
         }
 
@@ -94,7 +97,11 @@ pub fn validate(program: &Program) -> Vec<ValidationError> {
                     err(format!("command references missing variable {v}"));
                 }
             }
-            if let Cmd::Call { callee: Callee::Direct(t), .. } = &node.cmd {
+            if let Cmd::Call {
+                callee: Callee::Direct(t),
+                ..
+            } = &node.cmd
+            {
                 if t.index() >= num_procs {
                     err(format!("call to missing procedure {t}"));
                 }
@@ -114,17 +121,20 @@ pub fn assert_valid(program: &Program) {
     assert!(
         errors.is_empty(),
         "malformed IR:\n{}",
-        errors.iter().map(|e| format!("  {e}")).collect::<Vec<_>>().join("\n")
+        errors
+            .iter()
+            .map(|e| format!("  {e}"))
+            .collect::<Vec<_>>()
+            .join("\n")
     );
 }
 
 fn collect_expr_vars(e: &Expr, out: &mut Vec<VarId>) {
     match e {
         Expr::Const(_) | Expr::Unknown | Expr::AddrOfProc(_) => {}
-        Expr::Var(x)
-        | Expr::Field(x, _)
-        | Expr::AddrOf(x)
-        | Expr::AddrOfField(x, _) => out.push(*x),
+        Expr::Var(x) | Expr::Field(x, _) | Expr::AddrOf(x) | Expr::AddrOfField(x, _) => {
+            out.push(*x)
+        }
         Expr::Deref(inner) | Expr::DerefField(inner, _) | Expr::Unop(_, inner) => {
             collect_expr_vars(inner, out)
         }
@@ -181,7 +191,12 @@ mod tests {
         build(&mut b);
         let mut procs = IndexVec::new();
         let main = procs.push(b.finish());
-        Program { procs, vars, fields: FieldTable::new().into_names(), main }
+        Program {
+            procs,
+            vars,
+            fields: FieldTable::new().into_names(),
+            main,
+        }
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Content-hash-keyed on-disk cache of per-procedure analysis artifacts.
+//!
+//! One JSON file per translation unit, named `<unit>-<key>.json` where the
+//! key is a hash of the unit's *source text* plus the analysis options and
+//! the cache format version. Editing a unit, flipping an option, or bumping
+//! the format all change the key, so stale entries are simply never looked
+//! up again (they are overwritten lazily, not garbage-collected).
+//!
+//! A cache file stores everything the driver needs to skip re-analysis
+//! entirely: the per-procedure callee-access summaries and dependency
+//! segments (the expensive artifacts named by the paper's pre-analysis and
+//! dependency-generation phases), plus the unit's alarms and the fixpoint
+//! fingerprint. Loads are fully validated — any parse error or shape
+//! mismatch is treated as a miss, never an error.
+
+use crate::unit::{ProcArtifact, UnitAnalysis};
+use sga_utils::{fxhash, Json};
+use std::path::{Path, PathBuf};
+
+/// Bump when the cached schema or any analysis semantics change.
+pub const CACHE_FORMAT: u32 = 1;
+
+/// Cache key of one unit: format version + option fingerprint + source text.
+pub fn unit_key(source: &str, options_tag: &str) -> u64 {
+    fxhash::hash_one(&(CACHE_FORMAT, options_tag, source))
+}
+
+/// A directory of per-unit cache files.
+pub struct Cache {
+    dir: PathBuf,
+}
+
+impl Cache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    pub fn open(dir: &Path) -> std::io::Result<Cache> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Cache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn path_for(&self, unit: &str, key: u64) -> PathBuf {
+        let safe: String = unit
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.dir.join(format!("{safe}-{key:016x}.json"))
+    }
+
+    /// Looks `unit` up under `key`; `None` on absence or any corruption.
+    pub fn load(&self, unit: &str, key: u64) -> Option<UnitAnalysis> {
+        let text = std::fs::read_to_string(self.path_for(unit, key)).ok()?;
+        decode(&Json::parse(&text).ok()?)
+    }
+
+    /// Stores `analysis` for `unit` under `key`.
+    pub fn store(&self, unit: &str, key: u64, analysis: &UnitAnalysis) -> std::io::Result<()> {
+        std::fs::write(self.path_for(unit, key), encode(unit, analysis).to_pretty())
+    }
+}
+
+fn encode(unit: &str, a: &UnitAnalysis) -> Json {
+    let procs: Vec<Json> = a
+        .procs
+        .iter()
+        .map(|p| {
+            Json::obj()
+                .with("name", p.name.as_str())
+                .with("summary_defs", strs(&p.summary_defs))
+                .with("summary_uses", strs(&p.summary_uses))
+                .with(
+                    "dep_segment",
+                    p.dep_segment
+                        .iter()
+                        .map(|row| {
+                            Json::from(
+                                row.iter()
+                                    .map(|&x| Json::from(x as f64))
+                                    .collect::<Vec<_>>(),
+                            )
+                        })
+                        .collect::<Vec<_>>(),
+                )
+        })
+        .collect();
+    Json::obj()
+        .with("schema", CACHE_FORMAT)
+        .with("unit", unit)
+        .with("fingerprint", format!("{:016x}", a.fingerprint))
+        .with("iterations", a.iterations)
+        .with("num_locs", a.num_locs)
+        .with("dep_edges_raw", a.dep_edges_raw)
+        .with("dep_edges", a.dep_edges)
+        .with("alarms", strs(&a.alarms))
+        .with("procs", procs)
+}
+
+fn decode(j: &Json) -> Option<UnitAnalysis> {
+    if j.get("schema")?.as_u64()? != u64::from(CACHE_FORMAT) {
+        return None;
+    }
+    let fingerprint = u64::from_str_radix(j.get("fingerprint")?.as_str()?, 16).ok()?;
+    let mut procs = Vec::new();
+    for p in j.get("procs")?.as_arr()? {
+        let mut dep_segment = Vec::new();
+        for row in p.get("dep_segment")?.as_arr()? {
+            let row = row.as_arr()?;
+            if row.len() != 6 {
+                return None;
+            }
+            let mut out = [0u64; 6];
+            for (slot, v) in out.iter_mut().zip(row) {
+                *slot = v.as_u64()?;
+            }
+            dep_segment.push(out);
+        }
+        procs.push(ProcArtifact {
+            name: p.get("name")?.as_str()?.to_string(),
+            summary_defs: str_list(p.get("summary_defs")?)?,
+            summary_uses: str_list(p.get("summary_uses")?)?,
+            dep_segment,
+        });
+    }
+    Some(UnitAnalysis {
+        procs,
+        alarms: str_list(j.get("alarms")?)?,
+        fingerprint,
+        iterations: j.get("iterations")?.as_u64()? as usize,
+        num_locs: j.get("num_locs")?.as_u64()? as usize,
+        dep_edges_raw: j.get("dep_edges_raw")?.as_u64()? as usize,
+        dep_edges: j.get("dep_edges")?.as_u64()? as usize,
+    })
+}
+
+fn strs(v: &[String]) -> Vec<Json> {
+    v.iter().map(|s| Json::from(s.as_str())).collect()
+}
+
+fn str_list(j: &Json) -> Option<Vec<String>> {
+    j.as_arr()?
+        .iter()
+        .map(|s| Some(s.as_str()?.to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> UnitAnalysis {
+        UnitAnalysis {
+            procs: vec![ProcArtifact {
+                name: "main".into(),
+                summary_defs: vec!["Var(v0)".into()],
+                summary_uses: vec![],
+                dep_segment: vec![[3, 0, 1, 0, 4, 0], [7, 0, 2, 0, 5, 1]],
+            }],
+            alarms: vec!["line 3: possible buffer overrun".into()],
+            fingerprint: 0xDEAD_BEEF_0BAD_CAFE,
+            iterations: 42,
+            num_locs: 9,
+            dep_edges_raw: 12,
+            dep_edges: 10,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = sample();
+        let decoded = decode(&Json::parse(&encode("u", &a).to_pretty()).unwrap()).unwrap();
+        assert_eq!(decoded, a);
+    }
+
+    #[test]
+    fn schema_mismatch_is_a_miss() {
+        let mut j = encode("u", &sample());
+        j.set("schema", 999u32);
+        assert!(decode(&j).is_none());
+    }
+}

@@ -1,0 +1,284 @@
+//! `sga-pipeline` — a parallel, cache-aware batch analysis driver.
+//!
+//! The single-file `sga` analyzer runs one translation unit end to end.
+//! This crate drives the same sparse analysis over a *project* — a
+//! directory of C files, or a generated corpus — with three additions:
+//!
+//! 1. **Per-procedure scheduling.** Each unit's analysis is staged over the
+//!    public per-procedure APIs of `sga-core` (def/use passes, dependency
+//!    segments) and scheduled onto scoped worker threads; the def/use
+//!    summary pass runs bottom-up over the call graph's SCC condensation,
+//!    level by level. Units themselves also run concurrently. See [`unit`].
+//! 2. **Content-hash caching.** Per-procedure callee-access summaries and
+//!    dependency segments (plus the unit's alarms and fixpoint fingerprint)
+//!    are persisted to an on-disk cache keyed by a hash of the unit's
+//!    source and the analysis options; an unchanged unit is never
+//!    re-analyzed. See [`cache`].
+//! 3. **Machine-readable reports.** Every run produces a deterministic JSON
+//!    report (per-unit alarms and statistics, cache hit rate, per-stage
+//!    wall time) consumed by `sga analyze` and the benchmark harness.
+//!
+//! Determinism is a hard invariant: every parallel stage merges results in
+//! input order ([`par::run_indexed`]), so the report — timings aside — is
+//! byte-identical for any `--jobs` value. The `canonical` option drops the
+//! timing and job-count fields, making the *entire* report byte-comparable.
+
+pub mod cache;
+pub mod par;
+pub mod unit;
+
+pub use cache::Cache;
+pub use unit::{analyze_unit, ProcArtifact, UnitAnalysis};
+
+use sga_core::depgen::DepGenOptions;
+use sga_utils::stats::StageTimers;
+use sga_utils::Json;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Report schema version (`"schema"` field of the emitted JSON).
+pub const REPORT_SCHEMA: u32 = 1;
+
+/// What to analyze.
+#[derive(Clone, Debug)]
+pub enum Project {
+    /// Every `*.c` file directly inside a directory, in name order.
+    Dir(PathBuf),
+    /// A deterministic generated corpus: `units` translation units of
+    /// roughly `kloc` thousand lines each, seeded from `seed`.
+    Corpus {
+        units: usize,
+        kloc: usize,
+        seed: u64,
+    },
+}
+
+/// One translation unit, loaded.
+#[derive(Clone, Debug)]
+pub struct UnitInput {
+    /// Display name (file name, or `unitNNN` for corpus members).
+    pub name: String,
+    /// C source text.
+    pub source: String,
+}
+
+/// Driver configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineOptions {
+    /// Worker-thread budget shared between unit-level and procedure-level
+    /// parallelism (1 = fully sequential).
+    pub jobs: usize,
+    /// Cache directory; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Emit the canonical (timing-free, job-count-free) report, suitable
+    /// for byte comparison across runs and `--jobs` values.
+    pub canonical: bool,
+    /// Dependency-generation options forwarded to the sparse analysis.
+    pub depgen: DepGenOptions,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            jobs: 1,
+            cache_dir: None,
+            canonical: false,
+            depgen: DepGenOptions::default(),
+        }
+    }
+}
+
+/// Why a run failed. Per-unit *analysis* never fails; only I/O and the
+/// frontend can.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Filesystem trouble (project loading or cache directory creation).
+    Io(String),
+    /// A unit did not parse.
+    Frontend {
+        /// The offending unit.
+        unit: String,
+        /// Rendered frontend error.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Io(m) => write!(f, "{m}"),
+            PipelineError::Frontend { unit, message } => write!(f, "{unit}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Loads a project's translation units in deterministic order.
+pub fn load_project(project: &Project) -> Result<Vec<UnitInput>, PipelineError> {
+    match project {
+        Project::Dir(dir) => {
+            let mut names: Vec<PathBuf> = std::fs::read_dir(dir)
+                .map_err(|e| PipelineError::Io(format!("cannot read {}: {e}", dir.display())))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "c"))
+                .collect();
+            names.sort();
+            names
+                .into_iter()
+                .map(|path| {
+                    let source = std::fs::read_to_string(&path).map_err(|e| {
+                        PipelineError::Io(format!("cannot read {}: {e}", path.display()))
+                    })?;
+                    let name = path.file_name().map_or_else(
+                        || path.display().to_string(),
+                        |n| n.to_string_lossy().into_owned(),
+                    );
+                    Ok(UnitInput { name, source })
+                })
+                .collect()
+        }
+        Project::Corpus { units, kloc, seed } => Ok((0..*units)
+            .map(|i| UnitInput {
+                name: format!("unit{i:03}"),
+                source: sga_cgen::generate(&sga_cgen::GenConfig::sized(seed + i as u64, *kloc)),
+            })
+            .collect()),
+    }
+}
+
+/// How a unit's artifacts were obtained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CacheStatus {
+    Hit,
+    Miss,
+    Off,
+}
+
+impl CacheStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Off => "off",
+        }
+    }
+}
+
+/// Runs the whole project and returns the JSON run report.
+pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, PipelineError> {
+    let wall = Instant::now();
+    let timers = StageTimers::new();
+    let jobs = options.jobs.max(1);
+
+    let units = timers.time("load", || load_project(project))?;
+    let cache =
+        match &options.cache_dir {
+            Some(dir) => Some(Cache::open(dir).map_err(|e| {
+                PipelineError::Io(format!("cannot open cache {}: {e}", dir.display()))
+            })?),
+            None => None,
+        };
+
+    // Thread budget: units run concurrently; whatever head room is left
+    // over goes to procedure-level parallelism inside each unit.
+    let inner_jobs = (jobs / units.len().max(1)).max(1);
+    let options_tag = format!("{:?}", options.depgen);
+
+    let outcomes: Vec<Result<(u64, CacheStatus, UnitAnalysis), PipelineError>> =
+        par::run_indexed(jobs, &units, |_, input| {
+            let key = cache::unit_key(&input.source, &options_tag);
+            if let Some(cached) = cache.as_ref().and_then(|c| c.load(&input.name, key)) {
+                return Ok((key, CacheStatus::Hit, cached));
+            }
+            let program = timers
+                .time("parse", || sga_cfront::parse(&input.source))
+                .map_err(|e| PipelineError::Frontend {
+                    unit: input.name.clone(),
+                    message: e.to_string(),
+                })?;
+            let analysis = unit::analyze_unit(&program, inner_jobs, options.depgen, &timers);
+            let status = match &cache {
+                Some(c) => {
+                    // A store failure only costs the next run its hit.
+                    let _ = c.store(&input.name, key, &analysis);
+                    CacheStatus::Miss
+                }
+                None => CacheStatus::Off,
+            };
+            Ok((key, status, analysis))
+        });
+
+    let mut units_json: Vec<Json> = Vec::with_capacity(units.len());
+    let (mut procs, mut alarms, mut hits, mut misses) = (0usize, 0usize, 0usize, 0usize);
+    for (input, outcome) in units.iter().zip(outcomes) {
+        let (key, status, a) = outcome?;
+        procs += a.procs.len();
+        alarms += a.alarms.len();
+        match status {
+            CacheStatus::Hit => hits += a.procs.len(),
+            CacheStatus::Miss => misses += a.procs.len(),
+            CacheStatus::Off => {}
+        }
+        units_json.push(
+            Json::obj()
+                .with("name", input.name.as_str())
+                .with("source_hash", format!("{key:016x}"))
+                .with("procs", a.procs.len())
+                .with("locs", a.num_locs)
+                .with("dep_edges_raw", a.dep_edges_raw)
+                .with("dep_edges", a.dep_edges)
+                .with("iterations", a.iterations)
+                .with("fingerprint", format!("{:016x}", a.fingerprint))
+                .with("cache", status.as_str())
+                .with(
+                    "alarms",
+                    a.alarms
+                        .iter()
+                        .map(|s| Json::from(s.as_str()))
+                        .collect::<Vec<_>>(),
+                ),
+        );
+    }
+
+    let mut opts_json = Json::obj()
+        .with("engine", "sparse")
+        .with("bypass", options.depgen.bypass)
+        .with("cache", options.cache_dir.is_some());
+    if !options.canonical {
+        opts_json.set("jobs", jobs);
+    }
+
+    let looked_up = hits + misses;
+    let totals = Json::obj()
+        .with("units", units.len())
+        .with("procs", procs)
+        .with("alarms", alarms)
+        .with("cache_hits", hits)
+        .with("cache_misses", misses)
+        .with(
+            "hit_rate",
+            if looked_up == 0 {
+                0.0
+            } else {
+                hits as f64 / looked_up as f64
+            },
+        );
+
+    let mut report = Json::obj()
+        .with("schema", REPORT_SCHEMA)
+        .with("tool", "sga-pipeline")
+        .with("options", opts_json)
+        .with("units", units_json)
+        .with("totals", totals);
+
+    if !options.canonical {
+        let mut timing = Json::obj();
+        for (stage, d) in timers.snapshot() {
+            timing.set(&stage, d.as_secs_f64() * 1000.0);
+        }
+        timing.set("wall", wall.elapsed().as_secs_f64() * 1000.0);
+        report.set("timing_ms", timing);
+    }
+    Ok(report)
+}

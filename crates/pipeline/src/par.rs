@@ -1,0 +1,87 @@
+//! Deterministic fork/join helper built on scoped threads.
+//!
+//! Work items are claimed from a shared atomic counter (so a slow item does
+//! not stall the items behind it) and every worker tags its results with the
+//! item index; the caller gets results back in *input order* regardless of
+//! which thread ran what when. That index-ordered merge is what makes the
+//! whole pipeline's output independent of `--jobs`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item, using up to `jobs` worker threads, and returns
+/// the results in input order. With `jobs <= 1` (or a single item) this runs
+/// inline on the caller's thread — no thread is ever spawned for nothing.
+///
+/// `f` must be deterministic in `(index, item)`; the scheduler guarantees
+/// only that each item runs exactly once, not on which thread.
+pub fn run_indexed<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|_| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        done.push((i, f(i, &items[i])));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pipeline worker panicked"))
+            .collect()
+    })
+    .expect("pipeline thread scope failed");
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for batch in per_worker {
+        for (i, r) in batch {
+            debug_assert!(slots[i].is_none(), "item {i} claimed twice");
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every item claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for jobs in [1, 2, 7] {
+            let out = run_indexed(jobs, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = run_indexed(4, &[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Per-unit staged analysis: the sparse interval analysis of one
+//! translation unit, scheduled per procedure.
+//!
+//! This reimplements `sga_core::interval::analyze_with`'s sparse branch on
+//! top of the staged public APIs so that the independent per-procedure
+//! pieces can run on worker threads:
+//!
+//! * def/use pass 1 ([`defuse::real_sets_for_proc`]) — independent per
+//!   procedure;
+//! * def/use pass 2 ([`defuse::summarize_scc`]) — bottom-up over the call
+//!   graph's SCC condensation, SCCs at the same level run concurrently;
+//! * def/use pass 3 ([`defuse::relay_sets_for_proc`]) — independent per
+//!   procedure, merged in procedure order by [`defuse::finish`] so location
+//!   interning stays deterministic;
+//! * dependency segments ([`depgen::proc_dep_edges`]) — independent per
+//!   procedure, merged in procedure order by [`depgen::assemble`];
+//! * the sparse fixpoint itself is sequential (a chaotic-iteration solver
+//!   over one shared worklist), as are the checkers.
+//!
+//! Every parallel stage merges results in procedure (or SCC) order, so the
+//! outcome is bit-identical for any worker count.
+
+use crate::par;
+use sga_core::depgen::{self, DepGenOptions, IntervalDepSource};
+use sga_core::icfg::Icfg;
+use sga_core::interval::{Engine, IntervalResult, IntervalSparseSpec};
+use sga_core::stats::AnalysisStats;
+use sga_core::{checker, defuse, preanalysis, sparse};
+use sga_domains::State;
+use sga_ir::{Cp, ProcId, Program};
+use sga_utils::stats::StageTimers;
+use sga_utils::{fxhash, FxHashMap, Idx, IndexVec};
+
+/// Cached (and cacheable) artifacts of one procedure: its callee-access
+/// summary and its intraprocedural dependency segment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcArtifact {
+    /// Procedure name.
+    pub name: String,
+    /// Exported (caller-visible) definitions, rendered.
+    pub summary_defs: Vec<String>,
+    /// Exported uses, rendered.
+    pub summary_uses: Vec<String>,
+    /// Dependency segment rows `[loc, from_proc, from_node, to_proc,
+    /// to_node, is_return]`.
+    pub dep_segment: Vec<[u64; 6]>,
+}
+
+/// Everything the driver keeps about one analyzed unit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UnitAnalysis {
+    /// Per-procedure artifacts, in procedure order (externals skipped).
+    pub procs: Vec<ProcArtifact>,
+    /// Rendered checker alarms (overruns, then null dereferences).
+    pub alarms: Vec<String>,
+    /// Order-independent hash of every (point, location, value) binding.
+    pub fingerprint: u64,
+    /// Ascending-phase node evaluations.
+    pub iterations: usize,
+    /// Interned abstract locations.
+    pub num_locs: usize,
+    /// Dependency edges before the bypass contraction.
+    pub dep_edges_raw: usize,
+    /// Dependency edges the solver actually propagates along.
+    pub dep_edges: usize,
+}
+
+/// Groups the call graph's SCC condensation into bottom-up *levels*: SCCs in
+/// the same level have no call path between them, so their pass-2 summaries
+/// can be computed concurrently. Returns lists of component ids into
+/// `bottom_up_sccs()`, innermost level first.
+fn scc_levels(pre: &preanalysis::PreAnalysis) -> Vec<Vec<usize>> {
+    let sccs = pre.callgraph.bottom_up_sccs();
+    let comp = &pre.callgraph.scc.component;
+    let mut level = vec![0usize; sccs.len()];
+    // Components come callees-first, so every callee component has a smaller
+    // id and its level is already final when we get to the caller.
+    for (i, members) in sccs.iter().enumerate() {
+        let mut lv = 0usize;
+        for &p in members {
+            for &q in &pre.callgraph.callees[ProcId::new(p)] {
+                let cq = comp[q.index()];
+                if cq != i {
+                    lv = lv.max(level[cq] + 1);
+                }
+            }
+        }
+        level[i] = lv;
+    }
+    let depth = level.iter().copied().max().map_or(0, |m| m + 1);
+    let mut by_level: Vec<Vec<usize>> = vec![Vec::new(); depth];
+    for (i, &lv) in level.iter().enumerate() {
+        by_level[lv].push(i);
+    }
+    by_level
+}
+
+/// Runs the full sparse interval analysis of one parsed unit with up to
+/// `jobs` worker threads for the per-procedure stages. Stage wall times are
+/// accumulated into `timers` (they sum *work* across workers, not elapsed
+/// wall time, once `jobs > 1`).
+pub fn analyze_unit(
+    program: &Program,
+    jobs: usize,
+    options: DepGenOptions,
+    timers: &StageTimers,
+) -> UnitAnalysis {
+    let pids: Vec<ProcId> = program.procs.indices().collect();
+
+    let (pre, icfg) = timers.time("pre", || {
+        let pre = preanalysis::run(program);
+        let icfg = Icfg::build(program, &pre);
+        (pre, icfg)
+    });
+
+    let du = timers.time("defuse", || {
+        // Pass 1: real def/use sets, independent per procedure.
+        let mut sets = FxHashMap::default();
+        for part in par::run_indexed(jobs, &pids, |_, &pid| {
+            defuse::real_sets_for_proc(program, &pre, &pre.state, pid)
+        }) {
+            sets.extend(part);
+        }
+
+        // Pass 2: callee-access summaries, bottom-up over the SCC
+        // condensation; SCCs at the same level run concurrently.
+        let sccs = pre.callgraph.bottom_up_sccs();
+        let nprocs = program.procs.len();
+        let mut summary_defs: IndexVec<ProcId, Vec<_>> = IndexVec::from_elem_n(Vec::new(), nprocs);
+        let mut summary_uses: IndexVec<ProcId, Vec<_>> = IndexVec::from_elem_n(Vec::new(), nprocs);
+        for lvl in scc_levels(&pre) {
+            let summaries = par::run_indexed(jobs, &lvl, |_, &ci| {
+                defuse::summarize_scc(
+                    program,
+                    &pre,
+                    &sets,
+                    &sccs[ci],
+                    &summary_defs,
+                    &summary_uses,
+                )
+            });
+            for (&ci, (defs, uses)) in lvl.iter().zip(summaries) {
+                for &praw in &sccs[ci] {
+                    summary_defs[ProcId::new(praw)] = defs.clone();
+                    summary_uses[ProcId::new(praw)] = uses.clone();
+                }
+            }
+        }
+
+        // Pass 3: full D̂/Û sets, independent per procedure; merged in
+        // procedure order so interning is deterministic.
+        let parts = par::run_indexed(jobs, &pids, |_, &pid| {
+            defuse::relay_sets_for_proc(program, &pre, pid, &sets, &summary_defs, &summary_uses)
+        });
+        defuse::finish(sets, summary_defs, summary_uses, parts)
+    });
+
+    let (deps, segments) = timers.time("dep", || {
+        let source = IntervalDepSource::new(program, &pre, &du);
+        let segments = par::run_indexed(jobs, &pids, |_, &pid| {
+            depgen::proc_dep_edges(program, &source, pid)
+        });
+        let deps = depgen::assemble(&source, options, segments.clone());
+        (deps, segments)
+    });
+
+    let (values, iterations) = timers.time("fix", || {
+        let spec = IntervalSparseSpec {
+            program,
+            pre: &pre,
+            du: &du,
+        };
+        let solved = sparse::solve(program, &icfg, &deps, &spec);
+        let values: FxHashMap<Cp, State> = solved
+            .values
+            .into_iter()
+            .map(|(cp, m)| (cp, State::from_pmap(m)))
+            .collect();
+        (values, solved.iterations)
+    });
+
+    let (alarms, fingerprint) = timers.time("check", || {
+        let stats = AnalysisStats {
+            iterations,
+            num_locs: du.locs.len(),
+            ..AnalysisStats::default()
+        };
+        let result = IntervalResult {
+            engine: Engine::Sparse,
+            values,
+            stats,
+        };
+        let mut alarms: Vec<String> = checker::check_overruns(program, &result)
+            .iter()
+            .map(|a| a.to_string())
+            .collect();
+        alarms.extend(
+            checker::check_null_derefs(program, &result)
+                .iter()
+                .map(|a| a.to_string()),
+        );
+        (alarms, fingerprint_values(&result.values))
+    });
+
+    let procs = pids
+        .iter()
+        .filter(|&&pid| !program.procs[pid].is_external)
+        .map(|&pid| ProcArtifact {
+            name: program.procs[pid].name.clone(),
+            summary_defs: du.summary_defs[pid]
+                .iter()
+                .map(|l| format!("{l:?}"))
+                .collect(),
+            summary_uses: du.summary_uses[pid]
+                .iter()
+                .map(|l| format!("{l:?}"))
+                .collect(),
+            dep_segment: segments[pid.index()]
+                .iter()
+                .map(|&(loc, from, to, ret)| {
+                    [
+                        u64::from(loc),
+                        from.proc.index() as u64,
+                        from.node.index() as u64,
+                        to.proc.index() as u64,
+                        to.node.index() as u64,
+                        u64::from(ret),
+                    ]
+                })
+                .collect(),
+        })
+        .collect();
+
+    UnitAnalysis {
+        procs,
+        alarms,
+        fingerprint,
+        iterations,
+        num_locs: du.locs.len(),
+        dep_edges_raw: deps.stats.raw_edges,
+        dep_edges: deps.stats.final_edges,
+    }
+}
+
+/// Order-independent content hash of a value map: every binding rendered to
+/// one line, lines sorted, the sorted list hashed.
+fn fingerprint_values(values: &FxHashMap<Cp, State>) -> u64 {
+    let mut lines: Vec<String> = Vec::new();
+    for (cp, state) in values {
+        for (l, v) in state.iter() {
+            lines.push(format!("{cp} {l:?} = {v:?}"));
+        }
+    }
+    lines.sort_unstable();
+    fxhash::hash_one(&lines)
+}

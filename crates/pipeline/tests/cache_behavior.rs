@@ -1,0 +1,125 @@
+//! Cache contract: a warm second run hits on every procedure, skips
+//! re-analysis entirely, and still reports exactly the same analysis facts.
+
+use sga_pipeline::{run, PipelineOptions, Project};
+use sga_utils::Json;
+use std::path::PathBuf;
+
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sga-pipeline-test-{tag}-{}", std::process::id()))
+}
+
+/// Strips the per-unit "cache" status and total hit counters, leaving only
+/// the analysis facts, which must not depend on where they came from.
+fn analysis_facts(report: &Json) -> String {
+    let units: Vec<Json> = report
+        .get("units")
+        .and_then(Json::as_arr)
+        .expect("units array")
+        .iter()
+        .map(|u| {
+            let mut copy = Json::obj();
+            for key in [
+                "name",
+                "source_hash",
+                "procs",
+                "locs",
+                "dep_edges",
+                "iterations",
+                "fingerprint",
+            ] {
+                copy.set(key, u.get(key).expect(key).clone());
+            }
+            copy.set("alarms", u.get("alarms").expect("alarms").clone());
+            copy
+        })
+        .collect();
+    Json::from(units).to_pretty()
+}
+
+#[test]
+fn second_run_hits_on_every_procedure_with_equal_output() {
+    let dir = temp_cache_dir("warm");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let project = Project::Corpus {
+        units: 2,
+        kloc: 1,
+        seed: 42,
+    };
+    let opts = PipelineOptions {
+        jobs: 2,
+        cache_dir: Some(dir.clone()),
+        canonical: true,
+        ..PipelineOptions::default()
+    };
+
+    let cold = run(&project, &opts).expect("cold run");
+    let totals = cold.get("totals").expect("totals");
+    let procs = totals.get("procs").unwrap().as_u64().unwrap();
+    assert!(procs > 0);
+    assert_eq!(totals.get("cache_hits").unwrap().as_u64(), Some(0));
+    assert_eq!(totals.get("cache_misses").unwrap().as_u64(), Some(procs));
+
+    let warm = run(&project, &opts).expect("warm run");
+    let totals = warm.get("totals").expect("totals");
+    assert_eq!(
+        totals.get("cache_hits").unwrap().as_u64(),
+        Some(procs),
+        "warm run must hit 100%"
+    );
+    assert_eq!(totals.get("cache_misses").unwrap().as_u64(), Some(0));
+    assert_eq!(totals.get("hit_rate").unwrap().as_f64(), Some(1.0));
+    for unit in warm.get("units").unwrap().as_arr().unwrap() {
+        assert_eq!(unit.get("cache").unwrap().as_str(), Some("hit"));
+    }
+
+    assert_eq!(analysis_facts(&cold), analysis_facts(&warm));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_keys_track_source_and_options() {
+    let dir = temp_cache_dir("keys");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let project = Project::Corpus {
+        units: 1,
+        kloc: 1,
+        seed: 9,
+    };
+    let mut opts = PipelineOptions {
+        jobs: 1,
+        cache_dir: Some(dir.clone()),
+        canonical: true,
+        ..PipelineOptions::default()
+    };
+    run(&project, &opts).expect("seed the cache");
+
+    // Different analysis options ⇒ different key ⇒ a miss, not a stale hit.
+    opts.depgen.bypass = false;
+    let report = run(&project, &opts).expect("no-bypass run");
+    let totals = report.get("totals").unwrap();
+    assert_eq!(totals.get("cache_hits").unwrap().as_u64(), Some(0));
+
+    // A different unit (new seed ⇒ new source) also misses.
+    let other = Project::Corpus {
+        units: 1,
+        kloc: 1,
+        seed: 10,
+    };
+    opts.depgen.bypass = true;
+    let report = run(&other, &opts).expect("other-source run");
+    assert_eq!(
+        report
+            .get("totals")
+            .unwrap()
+            .get("cache_hits")
+            .unwrap()
+            .as_u64(),
+        Some(0)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

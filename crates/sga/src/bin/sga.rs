@@ -3,7 +3,13 @@
 //! ```text
 //! sga <file.c> [--engine vanilla|base|sparse] [--domain interval|octagon]
 //!              [--check] [--dump-ir] [--dump-values] [--stats]
+//! sga analyze <dir> | --corpus units=N,kloc=K,seed=S
+//!             [--jobs N] [--cache-dir D] [--no-cache] [--canonical]
+//!             [--no-bypass] [--out FILE]
 //! ```
+//!
+//! `sga analyze` runs the batch pipeline over every `*.c` file in a
+//! directory (or over a generated corpus) and prints a JSON run report.
 //!
 //! Exit code 0 when no definite alarm is found, 1 otherwise, 2 on usage or
 //! frontend errors.
@@ -11,6 +17,8 @@
 use sga::analysis::interval::{self, Engine};
 use sga::analysis::{checker, octagon};
 use sga::domains::Lattice;
+use sga::pipeline::{self, PipelineOptions, Project};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Options {
@@ -61,17 +69,128 @@ fn parse_args() -> Result<Options, String> {
             "--dump-values" => dump_values = true,
             "--stats" => stats = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
-            other if !other.starts_with('-') && file.is_none() => {
-                file = Some(other.to_string())
-            }
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
         }
     }
     let file = file.ok_or_else(|| USAGE.to_string())?;
-    Ok(Options { file, engine, domain, check, dump_ir, dump_values, stats })
+    Ok(Options {
+        file,
+        engine,
+        domain,
+        check,
+        dump_ir,
+        dump_values,
+        stats,
+    })
+}
+
+const ANALYZE_USAGE: &str = "usage: sga analyze <dir> | --corpus units=N,kloc=K,seed=S \
+                             [--jobs N] [--cache-dir D] [--no-cache] [--canonical] \
+                             [--no-bypass] [--out FILE]";
+
+fn parse_analyze_args(
+    args: impl Iterator<Item = String>,
+) -> Result<(Project, PipelineOptions, Option<PathBuf>, bool), String> {
+    let mut project: Option<Project> = None;
+    let mut opts = PipelineOptions::default();
+    let mut out: Option<PathBuf> = None;
+    let mut no_cache = false;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let n = args.next().ok_or("--jobs needs a value")?;
+                opts.jobs = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --jobs {n:?}"))?
+                    .max(1);
+            }
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(
+                    args.next().ok_or("--cache-dir needs a value")?,
+                ));
+            }
+            "--no-cache" => no_cache = true,
+            "--canonical" => opts.canonical = true,
+            "--no-bypass" => opts.depgen.bypass = false,
+            "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
+            "--corpus" => {
+                let spec = args.next().ok_or("--corpus needs units=N,kloc=K,seed=S")?;
+                let (mut units, mut kloc, mut seed) = (4usize, 1usize, 0u64);
+                for part in spec.split(',') {
+                    match part.split_once('=') {
+                        Some(("units", v)) => {
+                            units = v.parse().map_err(|_| format!("bad units={v}"))?
+                        }
+                        Some(("kloc", v)) => {
+                            kloc = v.parse().map_err(|_| format!("bad kloc={v}"))?
+                        }
+                        Some(("seed", v)) => {
+                            seed = v.parse().map_err(|_| format!("bad seed={v}"))?
+                        }
+                        _ => return Err(format!("bad --corpus field {part:?}")),
+                    }
+                }
+                project = Some(Project::Corpus { units, kloc, seed });
+            }
+            "--help" | "-h" => return Err(ANALYZE_USAGE.to_string()),
+            other if !other.starts_with('-') && project.is_none() => {
+                project = Some(Project::Dir(PathBuf::from(other)));
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{ANALYZE_USAGE}")),
+        }
+    }
+    let project = project.ok_or_else(|| ANALYZE_USAGE.to_string())?;
+    // Default cache: `.sga-cache` inside the analyzed directory. Corpus
+    // runs are generated on the fly, so they only cache when asked to.
+    opts.cache_dir = if no_cache {
+        None
+    } else {
+        cache_dir.or_else(|| match &project {
+            Project::Dir(d) => Some(d.join(".sga-cache")),
+            Project::Corpus { .. } => None,
+        })
+    };
+    Ok((project, opts, out, no_cache))
+}
+
+fn run_analyze(args: impl Iterator<Item = String>) -> ExitCode {
+    let (project, opts, out, _) = match parse_analyze_args(args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match pipeline::run(&project, &opts) {
+        Ok(report) => {
+            let text = report.to_pretty();
+            match out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, text + "\n") {
+                        eprintln!("sga: cannot write {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                }
+                None => println!("{text}"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sga: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn main() -> ExitCode {
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("analyze") {
+        raw.next();
+        return run_analyze(raw);
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(msg) => {
@@ -137,8 +256,7 @@ fn main() -> ExitCode {
                     overruns.len(),
                     nulls.len()
                 );
-                definite = overruns.iter().any(|a| a.definite)
-                    || nulls.iter().any(|a| a.definite);
+                definite = overruns.iter().any(|a| a.definite) || nulls.iter().any(|a| a.definite);
             }
         }
         Domain::Octagon => {
@@ -157,10 +275,8 @@ fn main() -> ExitCode {
                         continue;
                     }
                     // Show each global's projection at program exit.
-                    let main_exit = sga::ir::Cp::new(
-                        program.main,
-                        program.procs[program.main].exit,
-                    );
+                    let main_exit =
+                        sga::ir::Cp::new(program.main, program.procs[program.main].exit);
                     println!("{} ∈ {}", info.name, result.itv_of(main_exit, v));
                 }
             }

@@ -17,6 +17,8 @@
 //!   buffer-overrun checker;
 //! * [`bdd`] (`sga-bdd`) — the BDD package and dependency-relation stores;
 //! * [`cgen`] (`sga-cgen`) — the deterministic benchmark-program generator;
+//! * [`pipeline`] (`sga-pipeline`) — the parallel, cache-aware batch
+//!   analysis driver behind `sga analyze`;
 //! * [`utils`] (`sga-utils`) — support data structures.
 //!
 //! # Quickstart
@@ -39,4 +41,5 @@ pub use sga_cgen as cgen;
 pub use sga_core as analysis;
 pub use sga_domains as domains;
 pub use sga_ir as ir;
+pub use sga_pipeline as pipeline;
 pub use sga_utils as utils;

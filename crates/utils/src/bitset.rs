@@ -38,7 +38,10 @@ fn word_index(bit: usize) -> (usize, u64) {
 impl BitSet {
     /// Creates an empty set over a universe of `domain_size` elements.
     pub fn new(domain_size: usize) -> Self {
-        BitSet { words: vec![0; domain_size.div_ceil(WORD_BITS)], domain_size }
+        BitSet {
+            words: vec![0; domain_size.div_ceil(WORD_BITS)],
+            domain_size,
+        }
     }
 
     /// Size of the universe this set ranges over.
@@ -52,7 +55,11 @@ impl BitSet {
     ///
     /// Panics if `bit >= domain_size`.
     pub fn insert(&mut self, bit: usize) -> bool {
-        assert!(bit < self.domain_size, "bit {bit} out of domain {}", self.domain_size);
+        assert!(
+            bit < self.domain_size,
+            "bit {bit} out of domain {}",
+            self.domain_size
+        );
         let (w, mask) = word_index(bit);
         let fresh = self.words[w] & mask == 0;
         self.words[w] |= mask;
@@ -99,7 +106,10 @@ impl BitSet {
     ///
     /// Panics if the domains differ.
     pub fn union_with(&mut self, other: &BitSet) -> bool {
-        assert_eq!(self.domain_size, other.domain_size, "bitset domain mismatch");
+        assert_eq!(
+            self.domain_size, other.domain_size,
+            "bitset domain mismatch"
+        );
         let mut changed = false;
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             let new = *a | b;
@@ -111,7 +121,10 @@ impl BitSet {
 
     /// `self ∩= other`; returns `true` if `self` changed.
     pub fn intersect_with(&mut self, other: &BitSet) -> bool {
-        assert_eq!(self.domain_size, other.domain_size, "bitset domain mismatch");
+        assert_eq!(
+            self.domain_size, other.domain_size,
+            "bitset domain mismatch"
+        );
         let mut changed = false;
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             let new = *a & b;
@@ -123,7 +136,10 @@ impl BitSet {
 
     /// `self −= other`; returns `true` if `self` changed.
     pub fn subtract(&mut self, other: &BitSet) -> bool {
-        assert_eq!(self.domain_size, other.domain_size, "bitset domain mismatch");
+        assert_eq!(
+            self.domain_size, other.domain_size,
+            "bitset domain mismatch"
+        );
         let mut changed = false;
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             let new = *a & !b;
@@ -140,13 +156,23 @@ impl BitSet {
 
     /// Whether every element of `self` is in `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
-        assert_eq!(self.domain_size, other.domain_size, "bitset domain mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        assert_eq!(
+            self.domain_size, other.domain_size,
+            "bitset domain mismatch"
+        );
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over the elements in ascending order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { words: &self.words, current: self.words.first().copied().unwrap_or(0), word_idx: 0 }
+        Iter {
+            words: &self.words,
+            current: self.words.first().copied().unwrap_or(0),
+            word_idx: 0,
+        }
     }
 }
 

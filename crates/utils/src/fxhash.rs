@@ -50,7 +50,9 @@ impl Hasher for FxHasher {
             bytes = &bytes[8..];
         }
         if bytes.len() >= 4 {
-            self.add(u64::from(u32::from_le_bytes(bytes[..4].try_into().unwrap())));
+            self.add(u64::from(u32::from_le_bytes(
+                bytes[..4].try_into().unwrap(),
+            )));
             bytes = &bytes[4..];
         }
         for &b in bytes {

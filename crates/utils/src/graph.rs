@@ -28,7 +28,9 @@ pub struct AdjGraph {
 impl AdjGraph {
     /// Creates a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        AdjGraph { succ: vec![Vec::new(); n] }
+        AdjGraph {
+            succ: vec![Vec::new(); n],
+        }
     }
 
     /// Adds the edge `from → to`.
@@ -131,7 +133,10 @@ impl Scc {
                 }
             }
         }
-        Scc { component, components }
+        Scc {
+            component,
+            components,
+        }
     }
 
     /// Number of SCCs.
@@ -270,7 +275,11 @@ pub fn weak_topological_order(graph: &impl DiGraph, entry: usize) -> Wto {
         let mut head = ctx.dfn[v];
         let mut loop_found = false;
         for w in ctx.graph.successors(v) {
-            let min = if ctx.dfn[w] == UNVISITED { visit(ctx, w, partition) } else { ctx.dfn[w] };
+            let min = if ctx.dfn[w] == UNVISITED {
+                visit(ctx, w, partition)
+            } else {
+                ctx.dfn[w]
+            };
             if min != DONE && min <= head {
                 head = min;
                 loop_found = true;
@@ -303,7 +312,12 @@ pub fn weak_topological_order(graph: &impl DiGraph, entry: usize) -> Wto {
     }
 
     let n = graph.num_nodes();
-    let mut ctx = Ctx { graph, dfn: vec![UNVISITED; n], num: 0, stack: Vec::new() };
+    let mut ctx = Ctx {
+        graph,
+        dfn: vec![UNVISITED; n],
+        num: 0,
+        stack: Vec::new(),
+    };
     let mut partition = Vec::new();
     if n > 0 {
         visit(&mut ctx, entry, &mut partition);

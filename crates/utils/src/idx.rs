@@ -82,12 +82,18 @@ pub struct IndexVec<I: Idx, T> {
 impl<I: Idx, T> IndexVec<I, T> {
     /// Creates an empty vector.
     pub fn new() -> Self {
-        IndexVec { raw: Vec::new(), _marker: PhantomData }
+        IndexVec {
+            raw: Vec::new(),
+            _marker: PhantomData,
+        }
     }
 
     /// Creates an empty vector with capacity for `n` elements.
     pub fn with_capacity(n: usize) -> Self {
-        IndexVec { raw: Vec::with_capacity(n), _marker: PhantomData }
+        IndexVec {
+            raw: Vec::with_capacity(n),
+            _marker: PhantomData,
+        }
     }
 
     /// Creates a vector of `n` clones of `elem`.
@@ -95,12 +101,18 @@ impl<I: Idx, T> IndexVec<I, T> {
     where
         T: Clone,
     {
-        IndexVec { raw: vec![elem; n], _marker: PhantomData }
+        IndexVec {
+            raw: vec![elem; n],
+            _marker: PhantomData,
+        }
     }
 
     /// Wraps an existing `Vec`.
     pub fn from_raw(raw: Vec<T>) -> Self {
-        IndexVec { raw, _marker: PhantomData }
+        IndexVec {
+            raw,
+            _marker: PhantomData,
+        }
     }
 
     /// Appends an element, returning its index.
@@ -195,7 +207,10 @@ impl<I: Idx, T> std::ops::IndexMut<I> for IndexVec<I, T> {
 
 impl<I: Idx, T> FromIterator<T> for IndexVec<I, T> {
     fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
-        IndexVec { raw: Vec::from_iter(iter), _marker: PhantomData }
+        IndexVec {
+            raw: Vec::from_iter(iter),
+            _marker: PhantomData,
+        }
     }
 }
 

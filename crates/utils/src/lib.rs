@@ -20,14 +20,19 @@
 //! * [`stats`] — wall-clock timers and peak-memory sampling used by the
 //!   benchmark harness to fill in the paper's tables.
 
+//! * [`json`] — a small deterministic JSON reader/writer used by the
+//!   pipeline's run reports and on-disk cache.
+
 pub mod bitset;
 pub mod fxhash;
 pub mod graph;
 pub mod idx;
+pub mod json;
 pub mod pmap;
 pub mod stats;
 
 pub use bitset::BitSet;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use idx::{Idx, IndexVec};
+pub use json::Json;
 pub use pmap::PMap;

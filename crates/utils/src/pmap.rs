@@ -30,7 +30,14 @@
 
 use std::cmp::Ordering;
 use std::fmt;
-use std::rc::Rc;
+// `Arc`, not `Rc`: abstract states (pre-analysis results, fixpoint tables)
+// are shared read-only across the pipeline's worker threads, so the
+// structural-sharing pointer must be `Send + Sync`. The atomic refcount
+// costs a few percent on clone-heavy paths; sequential callers pay it too,
+// which keeps `--jobs 1` and `--jobs N` byte-identical for free.
+use std::sync::Arc;
+
+type Rc<T> = Arc<T>;
 
 type Link<K, V> = Option<Rc<Node<K, V>>>;
 
@@ -53,7 +60,9 @@ pub struct PMap<K, V> {
 
 impl<K, V> Clone for PMap<K, V> {
     fn clone(&self) -> Self {
-        PMap { root: self.root.clone() }
+        PMap {
+            root: self.root.clone(),
+        }
     }
 }
 
@@ -74,7 +83,14 @@ fn size<K, V>(l: &Link<K, V>) -> usize {
 fn mk<K, V>(left: Link<K, V>, key: K, value: V, right: Link<K, V>) -> Link<K, V> {
     let height = height(&left).max(height(&right)) + 1;
     let size = size(&left) + size(&right) + 1;
-    Some(Rc::new(Node { left, key, value, right, height, size }))
+    Some(Rc::new(Node {
+        left,
+        key,
+        value,
+        right,
+        height,
+        size,
+    }))
 }
 
 /// Rebalances assuming `left`/`right` heights differ by at most 3
@@ -85,11 +101,24 @@ fn bal<K: Clone, V: Clone>(left: Link<K, V>, key: K, value: V, right: Link<K, V>
     if hl > hr + 2 {
         let l = left.expect("left taller than right+2 implies nonempty");
         if height(&l.left) >= height(&l.right) {
-            mk(l.left.clone(), l.key.clone(), l.value.clone(), mk(l.right.clone(), key, value, right))
-        } else {
-            let lr = l.right.as_ref().expect("right-leaning left child is nonempty");
             mk(
-                mk(l.left.clone(), l.key.clone(), l.value.clone(), lr.left.clone()),
+                l.left.clone(),
+                l.key.clone(),
+                l.value.clone(),
+                mk(l.right.clone(), key, value, right),
+            )
+        } else {
+            let lr = l
+                .right
+                .as_ref()
+                .expect("right-leaning left child is nonempty");
+            mk(
+                mk(
+                    l.left.clone(),
+                    l.key.clone(),
+                    l.value.clone(),
+                    lr.left.clone(),
+                ),
                 lr.key.clone(),
                 lr.value.clone(),
                 mk(lr.right.clone(), key, value, right),
@@ -98,14 +127,27 @@ fn bal<K: Clone, V: Clone>(left: Link<K, V>, key: K, value: V, right: Link<K, V>
     } else if hr > hl + 2 {
         let r = right.expect("right taller than left+2 implies nonempty");
         if height(&r.right) >= height(&r.left) {
-            mk(mk(left, key, value, r.left.clone()), r.key.clone(), r.value.clone(), r.right.clone())
+            mk(
+                mk(left, key, value, r.left.clone()),
+                r.key.clone(),
+                r.value.clone(),
+                r.right.clone(),
+            )
         } else {
-            let rl = r.left.as_ref().expect("left-leaning right child is nonempty");
+            let rl = r
+                .left
+                .as_ref()
+                .expect("left-leaning right child is nonempty");
             mk(
                 mk(left, key, value, rl.left.clone()),
                 rl.key.clone(),
                 rl.value.clone(),
-                mk(rl.right.clone(), r.key.clone(), r.value.clone(), r.right.clone()),
+                mk(
+                    rl.right.clone(),
+                    r.key.clone(),
+                    r.value.clone(),
+                    r.right.clone(),
+                ),
             )
         }
     } else {
@@ -119,10 +161,20 @@ fn join<K: Clone, V: Clone>(left: Link<K, V>, key: K, value: V, right: Link<K, V
     let hr = height(&right);
     if hl > hr + 2 {
         let l = left.as_ref().unwrap();
-        bal(l.left.clone(), l.key.clone(), l.value.clone(), join(l.right.clone(), key, value, right))
+        bal(
+            l.left.clone(),
+            l.key.clone(),
+            l.value.clone(),
+            join(l.right.clone(), key, value, right),
+        )
     } else if hr > hl + 2 {
         let r = right.as_ref().unwrap();
-        bal(join(left, key, value, r.left.clone()), r.key.clone(), r.value.clone(), r.right.clone())
+        bal(
+            join(left, key, value, r.left.clone()),
+            r.key.clone(),
+            r.value.clone(),
+            r.right.clone(),
+        )
     } else {
         mk(left, key, value, right)
     }
@@ -153,7 +205,12 @@ fn remove_min<K: Clone + Ord, V: Clone>(link: Link<K, V>) -> Link<K, V> {
     let n = link.expect("remove_min on empty tree");
     match &n.left {
         None => n.right.clone(),
-        Some(_) => bal(remove_min(n.left.clone()), n.key.clone(), n.value.clone(), n.right.clone()),
+        Some(_) => bal(
+            remove_min(n.left.clone()),
+            n.key.clone(),
+            n.value.clone(),
+            n.right.clone(),
+        ),
     }
 }
 
@@ -161,12 +218,18 @@ fn insert_rec<K: Clone + Ord, V: Clone>(link: &Link<K, V>, key: K, value: V) -> 
     match link {
         None => mk(None, key, value, None),
         Some(n) => match key.cmp(&n.key) {
-            Ordering::Less => {
-                bal(insert_rec(&n.left, key, value), n.key.clone(), n.value.clone(), n.right.clone())
-            }
-            Ordering::Greater => {
-                bal(n.left.clone(), n.key.clone(), n.value.clone(), insert_rec(&n.right, key, value))
-            }
+            Ordering::Less => bal(
+                insert_rec(&n.left, key, value),
+                n.key.clone(),
+                n.value.clone(),
+                n.right.clone(),
+            ),
+            Ordering::Greater => bal(
+                n.left.clone(),
+                n.key.clone(),
+                n.value.clone(),
+                insert_rec(&n.right, key, value),
+            ),
             Ordering::Equal => mk(n.left.clone(), key, value, n.right.clone()),
         },
     }
@@ -179,7 +242,10 @@ fn remove_rec<K: Clone + Ord, V: Clone>(link: &Link<K, V>, key: &K) -> (Link<K, 
             Ordering::Less => {
                 let (l, removed) = remove_rec(&n.left, key);
                 if removed {
-                    (bal(l, n.key.clone(), n.value.clone(), n.right.clone()), true)
+                    (
+                        bal(l, n.key.clone(), n.value.clone(), n.right.clone()),
+                        true,
+                    )
                 } else {
                     (link.clone(), false)
                 }
@@ -199,18 +265,29 @@ fn remove_rec<K: Clone + Ord, V: Clone>(link: &Link<K, V>, key: &K) -> (Link<K, 
 
 /// Splits into (< key, at key, > key).
 #[allow(clippy::type_complexity)]
-fn split<K: Clone + Ord, V: Clone>(link: &Link<K, V>, key: &K) -> (Link<K, V>, Option<V>, Link<K, V>) {
+fn split<K: Clone + Ord, V: Clone>(
+    link: &Link<K, V>,
+    key: &K,
+) -> (Link<K, V>, Option<V>, Link<K, V>) {
     match link {
         None => (None, None, None),
         Some(n) => match key.cmp(&n.key) {
             Ordering::Equal => (n.left.clone(), Some(n.value.clone()), n.right.clone()),
             Ordering::Less => {
                 let (ll, hit, lr) = split(&n.left, key);
-                (ll, hit, join(lr, n.key.clone(), n.value.clone(), n.right.clone()))
+                (
+                    ll,
+                    hit,
+                    join(lr, n.key.clone(), n.value.clone(), n.right.clone()),
+                )
             }
             Ordering::Greater => {
                 let (rl, hit, rr) = split(&n.right, key);
-                (join(n.left.clone(), n.key.clone(), n.value.clone(), rl), hit, rr)
+                (
+                    join(n.left.clone(), n.key.clone(), n.value.clone(), rl),
+                    hit,
+                    rr,
+                )
             }
         },
     }
@@ -241,14 +318,24 @@ fn union_rec<K: Clone + Ord, V: Clone>(
                     Some(bv) => f(&an.key, &an.value, &bv),
                     None => an.value.clone(),
                 };
-                join(union_rec(&an.left, &bl, f), an.key.clone(), value, union_rec(&an.right, &br, f))
+                join(
+                    union_rec(&an.left, &bl, f),
+                    an.key.clone(),
+                    value,
+                    union_rec(&an.right, &br, f),
+                )
             } else {
                 let (al, hit, ar) = split(a, &bn.key);
                 let value = match hit {
                     Some(av) => f(&bn.key, &av, &bn.value),
                     None => bn.value.clone(),
                 };
-                join(union_rec(&al, &bn.left, f), bn.key.clone(), value, union_rec(&ar, &bn.right, f))
+                join(
+                    union_rec(&al, &bn.left, f),
+                    bn.key.clone(),
+                    value,
+                    union_rec(&ar, &bn.right, f),
+                )
             }
         }
     }
@@ -302,13 +389,17 @@ impl<K: Clone + Ord, V: Clone> PMap<K, V> {
     /// Returns a new map with `key` bound to `value`.
     #[must_use = "PMap::insert returns the updated map"]
     pub fn insert(&self, key: K, value: V) -> Self {
-        PMap { root: insert_rec(&self.root, key, value) }
+        PMap {
+            root: insert_rec(&self.root, key, value),
+        }
     }
 
     /// Returns a new map with `key` unbound (same map if it was absent).
     #[must_use = "PMap::remove returns the updated map"]
     pub fn remove(&self, key: &K) -> Self {
-        PMap { root: remove_rec(&self.root, key).0 }
+        PMap {
+            root: remove_rec(&self.root, key).0,
+        }
     }
 
     /// Merges two maps. Keys present in both are combined with `f`; keys in
@@ -318,7 +409,9 @@ impl<K: Clone + Ord, V: Clone> PMap<K, V> {
     /// be idempotent (`f(k, v, v) == v`) — which lattice joins are.
     #[must_use = "PMap::union_with returns the merged map"]
     pub fn union_with(&self, other: &Self, mut f: impl FnMut(&K, &V, &V) -> V) -> Self {
-        PMap { root: union_rec(&self.root, &other.root, &mut f) }
+        PMap {
+            root: union_rec(&self.root, &other.root, &mut f),
+        }
     }
 
     /// Returns the map restricted to keys satisfying `pred`.
@@ -349,7 +442,6 @@ impl<K: Clone + Ord, V: Clone> PMap<K, V> {
     pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
         self.iter().map(|(_, v)| v)
     }
-
 }
 
 fn push_left<'a, K, V>(mut link: &'a Link<K, V>, stack: &mut Vec<&'a Node<K, V>>) {
@@ -466,7 +558,9 @@ mod tests {
 
     #[test]
     fn iteration_is_ordered() {
-        let m: PMap<i32, i32> = [(5, 0), (1, 0), (3, 0), (2, 0), (4, 0)].into_iter().collect();
+        let m: PMap<i32, i32> = [(5, 0), (1, 0), (3, 0), (2, 0), (4, 0)]
+            .into_iter()
+            .collect();
         let keys: Vec<i32> = m.keys().copied().collect();
         assert_eq!(keys, vec![1, 2, 3, 4, 5]);
     }

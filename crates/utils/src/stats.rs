@@ -6,6 +6,9 @@
 //! process high-water mark from `/proc/self/status` (Linux), which is the
 //! same notion of "peak memory consumption" the paper reports.
 
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A simple stopwatch for one named analysis phase.
@@ -18,7 +21,10 @@ pub struct Phase {
 impl Phase {
     /// Starts timing a phase.
     pub fn start(name: &'static str) -> Self {
-        Phase { name, start: Instant::now() }
+        Phase {
+            name,
+            start: Instant::now(),
+        }
     }
 
     /// Phase name.
@@ -34,6 +40,76 @@ impl Phase {
     /// Elapsed time so far, without stopping.
     pub fn elapsed(&self) -> Duration {
         self.start.elapsed()
+    }
+}
+
+/// Thread-safe accumulating timers, one counter per named stage.
+///
+/// [`Phase`] times one scoped measurement on one thread; the parallel
+/// pipeline instead needs many workers charging time to shared stage
+/// buckets ("parse", "pre", "dep", "fix", …). Each bucket is an atomic
+/// nanosecond counter, so concurrent [`StageTimers::add`] calls never block
+/// each other; the registry mutex is touched only when a stage name is
+/// first seen (or at snapshot time). Stage order in snapshots is first-use
+/// order, which keeps reports deterministic.
+#[derive(Debug, Default)]
+pub struct StageTimers {
+    stages: Mutex<Vec<(String, Arc<AtomicU64>)>>,
+}
+
+impl StageTimers {
+    /// Creates an empty set of timers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn counter(&self, stage: &str) -> Arc<AtomicU64> {
+        let mut stages = self.stages.lock();
+        if let Some((_, c)) = stages.iter().find(|(name, _)| name == stage) {
+            return c.clone();
+        }
+        let c = Arc::new(AtomicU64::new(0));
+        stages.push((stage.to_string(), c.clone()));
+        c
+    }
+
+    /// Charges `elapsed` to `stage`.
+    pub fn add(&self, stage: &str, elapsed: Duration) {
+        self.counter(stage)
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Runs `f`, charging its wall time to `stage`.
+    pub fn time<R>(&self, stage: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.add(stage, start.elapsed());
+        out
+    }
+
+    /// Total charged to `stage` so far.
+    pub fn get(&self, stage: &str) -> Duration {
+        let stages = self.stages.lock();
+        stages
+            .iter()
+            .find(|(name, _)| name == stage)
+            .map_or(Duration::ZERO, |(_, c)| {
+                Duration::from_nanos(c.load(Ordering::Relaxed))
+            })
+    }
+
+    /// All stages with their accumulated times, in first-use order.
+    pub fn snapshot(&self) -> Vec<(String, Duration)> {
+        let stages = self.stages.lock();
+        stages
+            .iter()
+            .map(|(name, c)| {
+                (
+                    name.clone(),
+                    Duration::from_nanos(c.load(Ordering::Relaxed)),
+                )
+            })
+            .collect()
     }
 }
 
@@ -88,6 +164,26 @@ mod tests {
         assert_eq!(p.name(), "test");
         std::thread::sleep(Duration::from_millis(2));
         assert!(p.stop() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn stage_timers_accumulate_across_threads() {
+        let timers = StageTimers::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        timers.add("work", Duration::from_micros(10));
+                    }
+                });
+            }
+        });
+        assert_eq!(timers.get("work"), Duration::from_micros(4 * 50 * 10));
+        let r = timers.time("timed", || 7);
+        assert_eq!(r, 7);
+        assert!(timers.get("timed") > Duration::ZERO);
+        let names: Vec<String> = timers.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["work".to_string(), "timed".to_string()]);
     }
 
     #[test]

@@ -40,7 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Interval instance: diff is the difference of two ⊤ counters — ⊤.
     let iv = interval::analyze(&program, interval::Engine::Sparse);
-    let interval_diff = iv.value_at(diff_def, &sga::domains::AbsLoc::Var(diff_var)).itv;
+    let interval_diff = iv
+        .value_at(diff_def, &sga::domains::AbsLoc::Var(diff_var))
+        .itv;
     println!("interval analysis:  diff = {interval_diff}");
 
     // Octagon instance: the pack ⟪i, j, diff⟫ carries i − j = 0 through the
@@ -54,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         oct.packs.average_size()
     );
 
-    assert_eq!(oct_diff, sga::domains::Interval::constant(0), "octagons must prove diff == 0");
+    assert_eq!(
+        oct_diff,
+        sga::domains::Interval::constant(0),
+        "octagons must prove diff == 0"
+    );
     assert_ne!(
         interval_diff,
         sga::domains::Interval::constant(0),

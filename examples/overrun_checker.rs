@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = analyze(&program, Engine::Sparse);
     let alarms = check_overruns(&program, &result);
 
-    println!("checked {name}: {} potential buffer overrun(s)", alarms.len());
+    println!(
+        "checked {name}: {} potential buffer overrun(s)",
+        alarms.len()
+    );
     for alarm in &alarms {
         println!("  {alarm}");
     }

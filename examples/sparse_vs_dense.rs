@@ -12,7 +12,10 @@ use sga::domains::Lattice;
 use sga::frontend;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let kloc: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let kloc: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
     let config = GenConfig::sized(2026, kloc);
     let src = generate(&config);
     let program = frontend::parse(&src)?;
@@ -28,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The point of the paper: the dense global analysis does not scale.
         // Don't make the demo wait for it beyond a few KLOC.
         if engine == Engine::Vanilla && kloc > 3 {
-            println!("{:8}  skipped (dense global analysis beyond 3 KLOC takes minutes–hours)", "Vanilla");
+            println!(
+                "{:8}  skipped (dense global analysis beyond 3 KLOC takes minutes–hours)",
+                "Vanilla"
+            );
             continue;
         }
         let r = analyze(&program, engine);

@@ -19,8 +19,8 @@ fn arb_config() -> impl Strategy<Value = GenConfig> {
         0usize..8,
         0.0f64..0.5,
     )
-        .prop_map(|(seed, loc, functions, globals, global_ptrs, max_scc, ptr_density)| {
-            GenConfig {
+        .prop_map(
+            |(seed, loc, functions, globals, global_ptrs, max_scc, ptr_density)| GenConfig {
                 seed,
                 target_loc: loc,
                 functions,
@@ -29,8 +29,8 @@ fn arb_config() -> impl Strategy<Value = GenConfig> {
                 max_scc,
                 ptr_density,
                 stmts_per_block: 5,
-            }
-        })
+            },
+        )
 }
 
 proptest! {

@@ -45,7 +45,11 @@ fn generated_programs_run_through_all_engines() {
 
 #[test]
 fn metrics_reflect_generator_knobs() {
-    let cfg = GenConfig { max_scc: 5, functions: 12, ..GenConfig::default() };
+    let cfg = GenConfig {
+        max_scc: 5,
+        functions: 12,
+        ..GenConfig::default()
+    };
     let src = generate(&cfg);
     let program = parse(&src).unwrap();
     let pre = preanalysis::run(&program);
@@ -95,11 +99,18 @@ fn whole_pipeline_on_linked_list_program() {
         // i is bounded by the loop condition.
         let i_def = def_of(&program, "i");
         let iv = r.value_at(i_def, &AbsLoc::Var(var(&program, "i")));
-        assert!(iv.itv.le(&Interval::range(1, 5)), "{engine:?}: i = {:?}", iv.itv);
+        assert!(
+            iv.itv.le(&Interval::range(1, 5)),
+            "{engine:?}: i = {:?}",
+            iv.itv
+        );
         // list points to the single allocation site in cons.
         let list_def = def_of(&program, "list");
         let lv = r.value_at(list_def, &AbsLoc::Var(var(&program, "list")));
-        assert!(!lv.arr.is_empty() || !lv.ptr.is_empty(), "{engine:?}: list = {lv:?}");
+        assert!(
+            !lv.arr.is_empty() || !lv.ptr.is_empty(),
+            "{engine:?}: list = {lv:?}"
+        );
     }
 }
 
@@ -129,7 +140,7 @@ fn octagon_engines_run_on_generated_code() {
     for engine in [octagon::Engine::Base, octagon::Engine::Sparse] {
         let r = octagon::analyze(&program, engine);
         assert!(r.stats.iterations > 0);
-        assert!(r.packs.len() > 0);
+        assert!(!r.packs.is_empty());
     }
 }
 
@@ -162,7 +173,11 @@ fn function_pointers_resolve_end_to_end() {
             "{engine:?}: r = {:?}",
             rv.itv
         );
-        assert!(Interval::constant(14).le(&rv.itv), "{engine:?}: r = {:?}", rv.itv);
+        assert!(
+            Interval::constant(14).le(&rv.itv),
+            "{engine:?}: r = {:?}",
+            rv.itv
+        );
     }
 }
 

@@ -20,9 +20,7 @@ mod shim {
         match *target {
             ObservedLoc::Var(v) => AbsLoc::Var(v),
             ObservedLoc::Field(v, f) => AbsLoc::Field(v, f),
-            ObservedLoc::AllocSite(cp) => {
-                AbsLoc::Alloc(sga::domains::locs::AllocSite(cp))
-            }
+            ObservedLoc::AllocSite(cp) => AbsLoc::Alloc(sga::domains::locs::AllocSite(cp)),
             ObservedLoc::AllocField(cp, f) => {
                 AbsLoc::AllocField(sga::domains::locs::AllocSite(cp), f)
             }
@@ -115,7 +113,11 @@ fn check_sources(src: &str, configs: &[InterpConfig]) {
 fn arg_sweep() -> Vec<InterpConfig> {
     [-3i64, 0, 1, 5, 42, 1000]
         .into_iter()
-        .map(|a| InterpConfig { main_args: vec![a], unknown_supply: vec![a, 9, -1], ..Default::default() })
+        .map(|a| InterpConfig {
+            main_args: vec![a],
+            unknown_supply: vec![a, 9, -1],
+            ..Default::default()
+        })
         .collect()
 }
 

@@ -1,0 +1,96 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace's design permits exactly one parallelism dependency —
+//! `crossbeam` scoped threads — but the build container has no crates.io
+//! access, so this shim re-exposes crossbeam's `thread::scope` API on top of
+//! `std::thread::scope` (stable since Rust 1.63, and the mechanism crossbeam
+//! itself pioneered). Semantics match the subset used here: spawned threads
+//! may borrow from the enclosing stack, the scope joins every spawned thread
+//! before returning, and `scope` returns `Err` if any spawned thread
+//! panicked.
+
+pub mod thread {
+    //! Scoped threads (`crossbeam::thread::scope`).
+
+    use std::any::Any;
+
+    /// A panic payload from a spawned thread.
+    pub type Payload = Box<dyn Any + Send + 'static>;
+
+    /// The scope handle passed to [`scope`] closures and to every spawned
+    /// thread.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to one spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (`Err` = panicked).
+        pub fn join(self) -> Result<T, Payload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from the enclosing scope. As in
+        /// crossbeam, the closure receives the scope again so it can spawn
+        /// nested work.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope; all threads spawned in it are joined before this
+    /// returns. `Err` carries the first panic payload, as in crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (i, chunk) in out.chunks_mut(1).enumerate() {
+                let data = &data;
+                handles.push(s.spawn(move |_| {
+                    chunk[0] = data[i] * 10;
+                    i
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}
