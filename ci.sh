@@ -1,19 +1,77 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, and the tier-1 build + test suite.
-# Run from the repo root; exits non-zero on the first failure.
-set -euo pipefail
+# Local CI gate: formatting, lints, the tier-1 build + test suite, the
+# ignored-test gate, and the benchmark regression gate.
+#
+# Unlike a fail-fast script, every stage runs even after a failure so one
+# pass reports everything that is broken; the final summary table shows
+# per-stage pass/fail and the script exits non-zero if any stage failed.
+#
+# Usage: ci.sh [--quick]
+#   --quick   skip the release build and the (release-built) bench gate —
+#             the fast pre-push configuration.
+set -uo pipefail
 cd "$(dirname "$0")"
 
-echo "== cargo fmt --check"
-cargo fmt --all -- --check
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        -h|--help) echo "usage: ci.sh [--quick]"; exit 0 ;;
+        *) echo "ci.sh: unknown argument '$arg' (usage: ci.sh [--quick])" >&2; exit 2 ;;
+    esac
+done
 
-echo "== cargo clippy (-D warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+STAGE_NAMES=()
+STAGE_RESULTS=()
+STAGE_TIMES=()
+FAILED=0
 
-echo "== tier-1: cargo build --release"
-cargo build --release
+run_stage() {
+    local name="$1"; shift
+    echo
+    echo "== $name"
+    local start=$SECONDS
+    if "$@"; then
+        STAGE_RESULTS+=("pass")
+    else
+        STAGE_RESULTS+=("FAIL")
+        FAILED=1
+    fi
+    STAGE_NAMES+=("$name")
+    STAGE_TIMES+=("$((SECONDS - start))")
+}
 
-echo "== tier-1: cargo test"
-cargo test -q
+ignore_gate() {
+    # The precision suite must run in full: no test may be #[ignore]d, and
+    # anything marked ignored elsewhere must still pass when forced.
+    if grep -n '#\[ignore' tests/precision_preservation.rs; then
+        echo "ignore-gate: #[ignore] found in tests/precision_preservation.rs" >&2
+        return 1
+    fi
+    cargo test -q -- --ignored
+}
 
+run_stage "fmt"    cargo fmt --all -- --check
+run_stage "clippy" cargo clippy --workspace --all-targets -- -D warnings
+if [ "$QUICK" -eq 0 ]; then
+    run_stage "build-release" cargo build --release
+fi
+run_stage "test"        cargo test -q
+run_stage "ignore-gate" ignore_gate
+if [ "$QUICK" -eq 0 ]; then
+    run_stage "bench-gate" \
+        cargo run --release -p sga-bench --bin pipeline_bench -- --check BENCH_pipeline.json
+fi
+
+echo
+echo "ci.sh summary:"
+printf '  %-14s %-5s %ss\n' "stage" "result" "time"
+for i in "${!STAGE_NAMES[@]}"; do
+    printf '  %-14s %-5s %3ss\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}" "${STAGE_TIMES[$i]}"
+done
+
+if [ "$FAILED" -ne 0 ]; then
+    echo "ci.sh: FAILED"
+    exit 1
+fi
 echo "ci.sh: all green"

@@ -1,18 +1,27 @@
 //! Benchmarks the batch pipeline: sequential vs parallel wall time over a
-//! fixed-seed generated corpus, cache disabled so every run measures real
-//! analysis work. Writes `BENCH_pipeline.json` next to the working
-//! directory and prints a small table.
+//! fixed-seed generated corpus (cache disabled so every run measures real
+//! analysis work), plus a cold/warm cache pass measuring the hit rate.
+//! Writes `BENCH_pipeline.json` into the working directory and prints a
+//! small table.
 //!
-//! Note the container caveat recorded in ROADMAP.md: on a single-CPU host
-//! the parallel schedule cannot beat the sequential one (thread scheduling
-//! only adds overhead); the numbers written here are honest measurements of
-//! whatever hardware runs them, not the paper-style speedup table.
+//! With `--check <baseline.json>` it instead *gates* against a checked-in
+//! baseline: the run fails (exit 1) if the alarm count or the warm cache
+//! hit rate regresses. Timings are reported but never gated — they measure
+//! whatever hardware runs them (see the container caveat in ROADMAP.md: on
+//! a single-CPU host the parallel schedule cannot beat the sequential one).
 
 use sga::pipeline::{run, PipelineOptions, Project};
 use sga::utils::Json;
+use std::process::ExitCode;
 use std::time::Instant;
 
-fn measure(project: &Project, jobs: usize) -> (f64, String) {
+struct Measured {
+    secs: f64,
+    alarms: u64,
+    fingerprint: String,
+}
+
+fn measure(project: &Project, jobs: usize) -> Measured {
     let opts = PipelineOptions {
         jobs,
         canonical: true,
@@ -22,6 +31,7 @@ fn measure(project: &Project, jobs: usize) -> (f64, String) {
     let report = run(project, &opts).expect("pipeline run");
     let secs = start.elapsed().as_secs_f64();
     let totals = report.get("totals").expect("totals");
+    let alarms = totals.get("alarms").and_then(Json::as_u64).expect("alarms");
     let fingerprint: String = report
         .get("units")
         .and_then(Json::as_arr)
@@ -35,15 +45,103 @@ fn measure(project: &Project, jobs: usize) -> (f64, String) {
         .collect::<Vec<_>>()
         .join("+");
     println!(
-        "jobs={jobs}: {secs:.3}s  ({} units, {} procs, {} alarms)",
+        "jobs={jobs}: {secs:.3}s  ({} units, {} procs, {alarms} alarms)",
         totals.get("units").unwrap().as_u64().unwrap(),
         totals.get("procs").unwrap().as_u64().unwrap(),
-        totals.get("alarms").unwrap().as_u64().unwrap(),
     );
-    (secs, fingerprint)
+    Measured {
+        secs,
+        alarms,
+        fingerprint,
+    }
 }
 
-fn main() {
+/// Cold+warm pass over a throwaway cache directory; returns the warm run's
+/// hit rate (1.0 = every procedure served from cache).
+fn measure_hit_rate(project: &Project) -> f64 {
+    let dir = std::env::temp_dir().join(format!("sga-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = PipelineOptions {
+        jobs: 1,
+        canonical: true,
+        cache_dir: Some(dir.clone()),
+        ..PipelineOptions::default()
+    };
+    run(project, &opts).expect("cold cache run");
+    let warm = run(project, &opts).expect("warm cache run");
+    let _ = std::fs::remove_dir_all(&dir);
+    warm.get("totals")
+        .and_then(|t| t.get("hit_rate"))
+        .and_then(Json::as_f64)
+        .expect("hit_rate")
+}
+
+fn check(baseline_path: &str, alarms: u64, hit_rate: f64) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("pipeline_bench: cannot read {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("pipeline_bench: cannot parse {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base_alarms = baseline
+        .get("alarms")
+        .and_then(Json::as_u64)
+        .expect("baseline alarms");
+    let base_hit_rate = baseline
+        .get("warm_hit_rate")
+        .and_then(Json::as_f64)
+        .expect("baseline warm_hit_rate");
+
+    let mut failed = false;
+    if alarms > base_alarms {
+        eprintln!("FAIL: alarm count regressed: {alarms} > baseline {base_alarms}");
+        failed = true;
+    } else {
+        println!("alarms: {alarms} (baseline {base_alarms}) ok");
+    }
+    if hit_rate < base_hit_rate {
+        eprintln!(
+            "FAIL: warm cache hit rate regressed: {hit_rate:.3} < baseline {base_hit_rate:.3}"
+        );
+        failed = true;
+    } else {
+        println!("warm hit rate: {hit_rate:.3} (baseline {base_hit_rate:.3}) ok");
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        println!("bench gate passed");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let mut baseline: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => match args.next() {
+                Some(p) => baseline = Some(p),
+                None => {
+                    eprintln!("usage: pipeline_bench [--check BASELINE.json]");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("pipeline_bench: unexpected argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     let project = Project::Corpus {
         units: 8,
         kloc: 2,
@@ -52,12 +150,25 @@ fn main() {
     println!("pipeline_bench: 8 units x ~2 kloc, fixed seed 0xFEED, cache off");
 
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let (seq, seq_fp) = measure(&project, 1);
-    let (par, par_fp) = measure(&project, 4);
-    assert_eq!(seq_fp, par_fp, "parallel run changed the analysis results");
+    let seq = measure(&project, 1);
+    let par = measure(&project, 4);
+    assert_eq!(
+        seq.fingerprint, par.fingerprint,
+        "parallel run changed the analysis results"
+    );
+    assert_eq!(
+        seq.alarms, par.alarms,
+        "parallel run changed the alarm count"
+    );
 
-    let speedup = seq / par;
+    let speedup = seq.secs / par.secs;
     println!("speedup (jobs=4 over jobs=1): {speedup:.2}x on {cpus} cpu(s)");
+    let hit_rate = measure_hit_rate(&project);
+    println!("warm cache hit rate: {hit_rate:.3}");
+
+    if let Some(path) = baseline {
+        return check(&path, seq.alarms, hit_rate);
+    }
 
     let report = Json::obj()
         .with("bench", "pipeline")
@@ -69,11 +180,14 @@ fn main() {
                 .with("seed", 0xFEEDusize),
         )
         .with("cpus", cpus)
-        .with("sequential_secs", seq)
-        .with("parallel_jobs4_secs", par)
+        .with("alarms", seq.alarms as usize)
+        .with("warm_hit_rate", hit_rate)
+        .with("sequential_secs", seq.secs)
+        .with("parallel_jobs4_secs", par.secs)
         .with("speedup", speedup)
         .with("results_identical", true);
     std::fs::write("BENCH_pipeline.json", report.to_pretty() + "\n")
         .expect("write BENCH_pipeline.json");
     println!("wrote BENCH_pipeline.json");
+    ExitCode::SUCCESS
 }

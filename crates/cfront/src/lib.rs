@@ -32,6 +32,7 @@ pub mod ast;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
+pub mod thresholds;
 pub mod token;
 
 use sga_ir::Program;

@@ -1,0 +1,104 @@
+//! Widening-threshold harvesting.
+//!
+//! Threshold widening needs a per-program set of "landing points" — the
+//! constants a loop bound is likely to stabilize at. Following Sparrow's
+//! practice, we take them syntactically from the lowered IR:
+//!
+//! * constants in branch guards (`assume(x < 100)` yields 99/100/101 — the
+//!   guard bound plus both off-by-one neighbours, covering `<` vs `<=`
+//!   phrasing and pre/post-increment loops);
+//! * allocation and array sizes (`alloc(n)` with constant `n`, which also
+//!   covers lowered local/global array declarations);
+//! * constants assigned or compared anywhere else in an expression, which
+//!   catches split guards like `tmp = n - 1; assume(i <= tmp)`.
+//!
+//! `0` is always included: it is the overwhelmingly common loop floor, and
+//! its presence keeps "counts down to zero" loops finite.
+//!
+//! The result is a raw (unsorted, possibly duplicated) list; the domains'
+//! `Thresholds::new` normalizes it.
+
+use sga_ir::{Cmd, Expr, Program};
+
+/// Collects widening thresholds from every command of `program`.
+pub fn harvest(program: &Program) -> Vec<i64> {
+    let mut out = vec![0];
+    for proc in &program.procs {
+        for node in &proc.nodes {
+            match &node.cmd {
+                Cmd::Skip => {}
+                Cmd::Assign(_, e) | Cmd::Alloc(_, e) => collect_expr(e, &mut out),
+                Cmd::Assume(cond) => {
+                    collect_expr(&cond.lhs, &mut out);
+                    collect_expr(&cond.rhs, &mut out);
+                }
+                Cmd::Call { args, .. } => {
+                    for a in args {
+                        collect_expr(a, &mut out);
+                    }
+                }
+                Cmd::Return(e) => {
+                    if let Some(e) = e {
+                        collect_expr(e, &mut out);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Emits `c − 1`, `c`, `c + 1` for every literal in the expression. The
+/// neighbours make the set robust to strict/non-strict guard phrasing: a
+/// loop `while (i < N)` stabilizes at `N − 1` inside and `N` after.
+fn collect_expr(e: &Expr, out: &mut Vec<i64>) {
+    match e {
+        Expr::Const(c) => {
+            out.push(c.saturating_sub(1));
+            out.push(*c);
+            out.push(c.saturating_add(1));
+        }
+        Expr::Var(_)
+        | Expr::Field(_, _)
+        | Expr::AddrOf(_)
+        | Expr::AddrOfField(_, _)
+        | Expr::AddrOfProc(_)
+        | Expr::Unknown => {}
+        Expr::Deref(inner) | Expr::DerefField(inner, _) | Expr::Unop(_, inner) => {
+            collect_expr(inner, out)
+        }
+        Expr::Binop(_, a, b) => {
+            collect_expr(a, out);
+            collect_expr(b, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harvests_guard_and_alloc_constants() {
+        let src = r#"
+            int main() {
+                int i = 0;
+                int *p = malloc(40);
+                while (i < 100) { i = i + 1; }
+                return i;
+            }
+        "#;
+        let program = crate::parse(src).expect("valid source");
+        let ts = harvest(&program);
+        for expected in [0, 39, 40, 41, 99, 100, 101] {
+            assert!(ts.contains(&expected), "missing threshold {expected}");
+        }
+    }
+
+    #[test]
+    fn always_includes_zero() {
+        let src = "int main() { return 7; }";
+        let program = crate::parse(src).expect("valid source");
+        assert!(harvest(&program).contains(&0));
+    }
+}

@@ -13,6 +13,8 @@
 //! widening operator" setup of §6.1.
 
 use crate::icfg::{Icfg, InEdge};
+use crate::widening::WideningPlan;
+use sga_domains::Thresholds;
 use sga_ir::{Cp, Program};
 use sga_utils::FxHashMap;
 use std::collections::BTreeSet;
@@ -47,6 +49,12 @@ pub trait DenseSpec {
     /// Widening.
     fn widen(&self, a: &Self::St, b: &Self::St) -> Self::St;
 
+    /// Threshold widening; defaults to ignoring the thresholds.
+    fn widen_with(&self, a: &Self::St, b: &Self::St, thresholds: &Thresholds) -> Self::St {
+        let _ = thresholds;
+        self.widen(a, b)
+    }
+
     /// Narrowing.
     fn narrow(&self, a: &Self::St, b: &Self::St) -> Self::St;
 }
@@ -69,13 +77,27 @@ impl<St> DenseResult<St> {
     }
 }
 
+/// Runs the dense analysis with the naive widening plan. See [`solve_with`].
+pub fn solve<S: DenseSpec>(program: &Program, icfg: &Icfg, spec: &S) -> DenseResult<S::St> {
+    solve_with(program, icfg, spec, &WideningPlan::naive())
+}
+
 /// Runs the dense analysis to its (narrowed) fixpoint.
+///
+/// `plan` selects the widening strategy: the first `plan.delay` *changing*
+/// updates at each widening point are plain joins, after which threshold
+/// widening ([`DenseSpec::widen_with`]) takes over.
 ///
 /// # Panics
 ///
 /// Panics if the ascending phase exceeds a generous iteration budget —
 /// which indicates a widening bug, not a big program.
-pub fn solve<S: DenseSpec>(program: &Program, icfg: &Icfg, spec: &S) -> DenseResult<S::St> {
+pub fn solve_with<S: DenseSpec>(
+    program: &Program,
+    icfg: &Icfg,
+    spec: &S,
+    plan: &WideningPlan,
+) -> DenseResult<S::St> {
     let main_entry = Cp::new(program.main, program.procs[program.main].entry);
     let mut post: FxHashMap<Cp, S::St> = FxHashMap::default();
     let mut worklist: BTreeSet<(u32, Cp)> = BTreeSet::new();
@@ -105,6 +127,8 @@ pub fn solve<S: DenseSpec>(program: &Program, icfg: &Icfg, spec: &S) -> DenseRes
 
     let budget = 2000usize.saturating_mul(all_points.len()).max(100_000);
     let mut iterations = 0usize;
+    // Changing updates seen per widening point, for delayed widening.
+    let mut widen_delay: FxHashMap<Cp, u32> = FxHashMap::default();
     while let Some(&(prio, cp)) = worklist.iter().next() {
         worklist.remove(&(prio, cp));
         iterations += 1;
@@ -117,7 +141,18 @@ pub fn solve<S: DenseSpec>(program: &Program, icfg: &Icfg, spec: &S) -> DenseRes
         let old = post.get(&cp);
         if icfg.widen_points.contains(&cp) {
             if let Some(old) = old {
-                new_post = spec.widen(old, &new_post);
+                let joined = spec.join(old, &new_post);
+                if joined == *old {
+                    new_post = joined;
+                } else {
+                    let seen = widen_delay.entry(cp).or_insert(0);
+                    if *seen < plan.delay {
+                        *seen += 1;
+                        new_post = joined;
+                    } else {
+                        new_post = spec.widen_with(old, &new_post, &plan.thresholds);
+                    }
+                }
             }
         }
         let changed = old != Some(&new_post);
@@ -150,7 +185,17 @@ pub fn solve<S: DenseSpec>(program: &Program, icfg: &Icfg, spec: &S) -> DenseRes
         let input = compute_in(&post, cp);
         let candidate = spec.transfer(cp, &input);
         let new_post = match post.get(&cp) {
-            Some(old) if icfg.widen_points.contains(&cp) => spec.narrow(old, &candidate),
+            Some(old) if icfg.widen_points.contains(&cp) => {
+                // Threshold widening can overshoot finitely and `narrow`
+                // refines only infinite bounds, so under a threshold plan a
+                // candidate below the stored state (tested via join) is
+                // accepted outright — a capped descending-iteration step.
+                if !plan.thresholds.is_empty() && spec.join(&candidate, old) == *old {
+                    candidate
+                } else {
+                    spec.narrow(old, &candidate)
+                }
+            }
             _ => candidate,
         };
         if post.get(&cp) != Some(&new_post) {

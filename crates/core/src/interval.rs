@@ -22,7 +22,8 @@ use crate::preanalysis::{self, PreAnalysis};
 use crate::semantics;
 use crate::sparse::{self, SparseSpec};
 use crate::stats::AnalysisStats;
-use sga_domains::{AbsLoc, Lattice, LocSet, State, Value};
+use crate::widening::{WideningConfig, WideningPlan};
+use sga_domains::{AbsLoc, Lattice, LocSet, State, Thresholds, Value};
 use sga_ir::{Cmd, Cp, ProcId, Program};
 use sga_utils::stats::{peak_rss_bytes, Phase};
 use sga_utils::{FxHashMap, IndexVec, PMap};
@@ -46,6 +47,8 @@ pub struct AnalyzeOptions {
     /// Derive D̂/Û in the semi-sparse regime (§3.2's Hardekopf & Lin
     /// instance): only top-level variables treated sparsely.
     pub semi_sparse: bool,
+    /// Widening strategy applied at cycle heads / widening points.
+    pub widening: WideningConfig,
 }
 
 /// An interval analysis result.
@@ -88,8 +91,10 @@ pub fn analyze_with(program: &Program, engine: Engine, options: AnalyzeOptions) 
 
     let mut stats = AnalysisStats {
         pre_time,
+        widening: options.widening.strategy.name(),
         ..AnalysisStats::default()
     };
+    let plan = WideningPlan::for_program(program, options.widening);
 
     let values = match engine {
         Engine::Vanilla | Engine::Base => {
@@ -110,7 +115,7 @@ pub fn analyze_with(program: &Program, engine: Engine, options: AnalyzeOptions) 
                 out_sets,
             };
             let fix = Phase::start("fix");
-            let result = dense::solve(program, &icfg, &spec);
+            let result = dense::solve_with(program, &icfg, &spec, &plan);
             stats.fix_time = fix.stop();
             stats.iterations = result.iterations;
             result.post
@@ -136,7 +141,7 @@ pub fn analyze_with(program: &Program, engine: Engine, options: AnalyzeOptions) 
                 du: &du,
             };
             let fix = Phase::start("fix");
-            let result = sparse::solve(program, &icfg, &deps, &spec);
+            let result = sparse::solve_with(program, &icfg, &deps, &spec, &plan);
             stats.fix_time = fix.stop();
             stats.iterations = result.iterations;
             result
@@ -169,21 +174,26 @@ pub struct Pipeline<'p> {
     pub du: DefUse,
     /// Data dependencies.
     pub deps: DataDeps,
+    /// The widening plan resolved against the program.
+    pub widening: WideningPlan,
 }
 
 impl<'p> Pipeline<'p> {
-    /// Runs pre-analysis, def/use, and dependency generation.
+    /// Runs pre-analysis, def/use, dependency generation, and threshold
+    /// harvesting.
     pub fn prepare(program: &'p Program, options: AnalyzeOptions) -> Pipeline<'p> {
         let pre = preanalysis::run(program);
         let icfg = Icfg::build(program, &pre);
         let du = defuse::compute(program, &pre);
         let deps = depgen::generate(program, &pre, &du, options.depgen);
+        let widening = WideningPlan::for_program(program, options.widening);
         Pipeline {
             program,
             pre,
             icfg,
             du,
             deps,
+            widening,
         }
     }
 }
@@ -287,6 +297,10 @@ impl DenseSpec for IntervalDenseSpec<'_> {
 
     fn widen(&self, a: &State, b: &State) -> State {
         a.widen(b)
+    }
+
+    fn widen_with(&self, a: &State, b: &State, thresholds: &Thresholds) -> State {
+        a.widen_with(b, thresholds)
     }
 
     fn narrow(&self, a: &State, b: &State) -> State {

@@ -59,6 +59,7 @@ pub mod preanalysis;
 pub mod semantics;
 pub mod sparse;
 pub mod stats;
+pub mod widening;
 
 #[cfg(test)]
 mod examples_paper;

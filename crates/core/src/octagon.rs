@@ -31,10 +31,12 @@ use crate::defuse::DefUse;
 use crate::dense::{self, DenseSpec};
 use crate::depgen::{self, DataDeps, DepGenOptions, DepSource};
 use crate::icfg::{EdgeKind, Icfg, InEdge};
+use crate::interval::AnalyzeOptions;
 use crate::preanalysis::{self, PreAnalysis};
 use crate::sparse::{self, SparseSpec};
 use crate::stats::AnalysisStats;
-use sga_domains::{AbsLoc, Interval, Lattice, Octagon, Pack, PackId, PackSet};
+use crate::widening::WideningPlan;
+use sga_domains::{AbsLoc, Interval, Lattice, Octagon, Pack, PackId, PackSet, Thresholds};
 use sga_ir::{BinOp, Cmd, Cond, Cp, Expr, LVal, ProcId, Program, RelOp, VarId};
 use sga_utils::stats::{peak_rss_bytes, Phase};
 use sga_utils::{FxHashMap, FxHashSet, Idx, IndexVec, PMap};
@@ -105,15 +107,14 @@ impl OctagonResult {
 
 /// Runs the chosen octagon analyzer.
 pub fn analyze(program: &Program, engine: Engine) -> OctagonResult {
-    analyze_with(program, engine, DepGenOptions::default())
+    analyze_with(program, engine, AnalyzeOptions::default())
 }
 
-/// Runs the chosen octagon analyzer with dependency options.
-pub fn analyze_with(
-    program: &Program,
-    engine: Engine,
-    depgen_options: DepGenOptions,
-) -> OctagonResult {
+/// Runs the chosen octagon analyzer with analysis options (dependency
+/// generation + widening strategy; `semi_sparse` is interval-only and
+/// ignored here).
+pub fn analyze_with(program: &Program, engine: Engine, options: AnalyzeOptions) -> OctagonResult {
+    let depgen_options = options.depgen;
     let total = Phase::start("total");
     let pre_phase = Phase::start("pre");
     let pre = preanalysis::run(program);
@@ -122,9 +123,11 @@ pub fn analyze_with(
     let packs = build_packs(program);
     let du = crate::defuse::compute(program, &pre);
     let odu = OctDefUse::compute(program, &pre, &du, &packs);
+    let plan = WideningPlan::for_program(program, options.widening);
 
     let mut stats = AnalysisStats {
         pre_time,
+        widening: options.widening.strategy.name(),
         ..AnalysisStats::default()
     };
     stats.num_locs = packs.len();
@@ -147,7 +150,7 @@ pub fn analyze_with(
                 out_packs: odu.out_packs.clone(),
             };
             let fix = Phase::start("fix");
-            let result = dense::solve(program, &icfg, &spec);
+            let result = dense::solve_with(program, &icfg, &spec, &plan);
             stats.fix_time = fix.stop();
             stats.iterations = result.iterations;
             result.post
@@ -163,7 +166,7 @@ pub fn analyze_with(
                 odu: &odu,
             };
             let fix = Phase::start("fix");
-            let result = sparse::solve(program, &icfg, &deps, &spec);
+            let result = sparse::solve_with(program, &icfg, &deps, &spec, &plan);
             stats.fix_time = fix.stop();
             stats.iterations = result.iterations;
             result.values
@@ -1003,6 +1006,10 @@ impl DenseSpec for OctDenseSpec<'_> {
 
     fn widen(&self, a: &OctState, b: &OctState) -> OctState {
         a.union_with(b, |_, x, y| x.widen(y))
+    }
+
+    fn widen_with(&self, a: &OctState, b: &OctState, thresholds: &Thresholds) -> OctState {
+        a.union_with(b, |_, x, y| x.widen_with(y, thresholds))
     }
 
     fn narrow(&self, a: &OctState, b: &OctState) -> OctState {

@@ -13,6 +13,7 @@
 
 use crate::depgen::DataDeps;
 use crate::icfg::Icfg;
+use crate::widening::WideningPlan;
 use sga_domains::lattice::Lattice;
 use sga_ir::{Cp, Program};
 use sga_utils::{FxHashMap, PMap};
@@ -71,21 +72,36 @@ impl<L: Copy + Ord, V: Clone + Lattice> SparseResult<L, V> {
     }
 }
 
-/// Runs the sparse analysis to its (narrowed) fixpoint.
-///
-/// `icfg` supplies worklist priorities (shared with the dense engines so
-/// iteration orders are comparable); `deps` supplies edges and widening
-/// points.
-///
-/// # Panics
-///
-/// Panics if the ascending phase exceeds its iteration budget (a widening
-/// bug).
+/// Runs the sparse analysis with the naive widening plan (widen on first
+/// change, no thresholds). See [`solve_with`].
 pub fn solve<S: SparseSpec>(
     program: &Program,
     icfg: &Icfg,
     deps: &DataDeps,
     spec: &S,
+) -> SparseResult<S::L, S::V> {
+    solve_with(program, icfg, deps, spec, &WideningPlan::naive())
+}
+
+/// Runs the sparse analysis to its (narrowed) fixpoint.
+///
+/// `icfg` supplies worklist priorities (shared with the dense engines so
+/// iteration orders are comparable); `deps` supplies edges and widening
+/// points; `plan` selects the widening strategy: the first `plan.delay`
+/// *changing* updates at each cycle head are plain joins (absorbing the
+/// partial joins that trickle in through relay chains), after which
+/// threshold widening (`widen_with`) takes over.
+///
+/// # Panics
+///
+/// Panics if the ascending phase exceeds its iteration budget (a widening
+/// bug).
+pub fn solve_with<S: SparseSpec>(
+    program: &Program,
+    icfg: &Icfg,
+    deps: &DataDeps,
+    spec: &S,
+    plan: &WideningPlan,
 ) -> SparseResult<S::L, S::V> {
     let main_entry = Cp::new(program.main, program.procs[program.main].entry);
     let mut values: FxHashMap<Cp, PMap<S::L, S::V>> = FxHashMap::default();
@@ -139,16 +155,35 @@ pub fn solve<S: SparseSpec>(
     };
 
     let widen_map = |old: &PMap<S::L, S::V>, new: &PMap<S::L, S::V>| -> PMap<S::L, S::V> {
-        old.union_with(new, |_, o, n| o.widen(n))
+        old.union_with(new, |_, o, n| o.widen_with(n, &plan.thresholds))
+    };
+    let join_map = |old: &PMap<S::L, S::V>, new: &PMap<S::L, S::V>| -> PMap<S::L, S::V> {
+        old.union_with(new, |_, o, n| o.join(n))
     };
     let narrow_map = |old: &PMap<S::L, S::V>, new: &PMap<S::L, S::V>| -> PMap<S::L, S::V> {
         // Narrow entries present in both; entries only in `old` keep their
-        // value; entries only in `new` are fresh information.
-        old.union_with(new, |_, o, n| o.narrow(n))
+        // value; entries only in `new` are fresh information. Threshold
+        // widening can overshoot finitely (the clamp lands above the exact
+        // bound, and `narrow` refines only infinite bounds), so under a
+        // threshold plan a candidate below the stored value is accepted
+        // outright — a descending-iteration step, still bounded by the
+        // per-point cap and sound because every candidate re-applies the
+        // transfer to a post-fixpoint.
+        old.union_with(new, |_, o, n| {
+            if !plan.thresholds.is_empty() && n.le(o) {
+                n.clone()
+            } else {
+                o.narrow(n)
+            }
+        })
     };
 
     let budget = 2000usize.saturating_mul(all_points.len()).max(100_000);
     let mut iterations = 0usize;
+    // Changing updates seen per cycle head, for delayed widening. Counting
+    // only *changed* joins makes the count independent of how many no-op
+    // requeues the evaluation order produces.
+    let mut widen_delay: FxHashMap<Cp, u32> = FxHashMap::default();
     while let Some(&(rank, cp)) = worklist.iter().next() {
         worklist.remove(&(rank, cp));
         iterations += 1;
@@ -161,7 +196,18 @@ pub fn solve<S: SparseSpec>(
         let old = values.get(&cp);
         if deps.cycle_nodes.contains(&cp) {
             if let Some(old) = old {
-                out = widen_map(old, &out);
+                let joined = join_map(old, &out);
+                if joined == *old {
+                    out = joined;
+                } else {
+                    let seen = widen_delay.entry(cp).or_insert(0);
+                    if *seen < plan.delay {
+                        *seen += 1;
+                        out = joined;
+                    } else {
+                        out = widen_map(old, &out);
+                    }
+                }
             }
         }
         if old != Some(&out) {

@@ -30,6 +30,8 @@ pub struct AnalysisStats {
     pub dep_edges_raw: usize,
     /// Dependency edges actually used by the sparse engine.
     pub dep_edges: usize,
+    /// Widening strategy the run used (`""` when unset).
+    pub widening: &'static str,
 }
 
 impl AnalysisStats {

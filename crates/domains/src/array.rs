@@ -8,7 +8,7 @@
 //! buffer-overrun checker compares offset against size.
 
 use crate::interval::Interval;
-use crate::lattice::Lattice;
+use crate::lattice::{Lattice, Thresholds};
 use crate::locs::AbsLoc;
 use std::fmt;
 // `Arc`, not `Rc`: values travel across the pipeline's worker threads
@@ -56,6 +56,12 @@ impl Lattice for ArrInfo {
         ArrInfo {
             offset: self.offset.widen(&other.offset),
             size: self.size.widen(&other.size),
+        }
+    }
+    fn widen_with(&self, other: &Self, thresholds: &Thresholds) -> Self {
+        ArrInfo {
+            offset: self.offset.widen_with(&other.offset, thresholds),
+            size: self.size.widen_with(&other.size, thresholds),
         }
     }
     fn narrow(&self, other: &Self) -> Self {
@@ -184,6 +190,10 @@ impl Lattice for ArrayBlk {
 
     fn widen(&self, other: &Self) -> Self {
         self.merge_with(other, |a, b| a.widen(b))
+    }
+
+    fn widen_with(&self, other: &Self, thresholds: &Thresholds) -> Self {
+        self.merge_with(other, |a, b| a.widen_with(b, thresholds))
     }
 
     fn narrow(&self, other: &Self) -> Self {

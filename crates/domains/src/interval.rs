@@ -18,7 +18,7 @@
 //!                                        sga_domains::interval::Bound::PosInf));
 //! ```
 
-use crate::lattice::Lattice;
+use crate::lattice::{Lattice, Thresholds};
 use sga_ir::RelOp;
 use std::fmt;
 
@@ -446,6 +446,31 @@ impl Lattice for Interval {
         }
     }
 
+    fn widen_with(&self, other: &Self, thresholds: &Thresholds) -> Self {
+        match (self, other) {
+            (Interval::Bot, x) | (x, Interval::Bot) => *x,
+            (Interval::Range(l1, h1), Interval::Range(l2, h2)) => {
+                let lo = if l2.cmp_bound(*l1).is_lt() {
+                    match l2 {
+                        Bound::Int(v) => thresholds.clamp_lo(*v).map_or(Bound::NegInf, Bound::Int),
+                        _ => Bound::NegInf,
+                    }
+                } else {
+                    *l1
+                };
+                let hi = if h2.cmp_bound(*h1).is_gt() {
+                    match h2 {
+                        Bound::Int(v) => thresholds.clamp_hi(*v).map_or(Bound::PosInf, Bound::Int),
+                        _ => Bound::PosInf,
+                    }
+                } else {
+                    *h1
+                };
+                Interval::Range(lo, hi)
+            }
+        }
+    }
+
     fn narrow(&self, other: &Self) -> Self {
         match (self, other) {
             (Interval::Bot, _) | (_, Interval::Bot) => Interval::Bot,
@@ -541,6 +566,67 @@ mod tests {
         let c = Interval::range(-1, 10);
         assert_eq!(a.widen(&c), Interval::new(Bound::NegInf, Bound::Int(10)));
         assert_eq!(a.widen(&a), a);
+    }
+
+    #[test]
+    fn widen_with_lands_on_thresholds() {
+        let th = Thresholds::new(vec![0, 64, 1024]);
+        let a = Interval::range(0, 10);
+        let b = Interval::range(0, 11);
+        // Growing upper bound clamps to the smallest threshold ≥ 11.
+        assert_eq!(a.widen_with(&b, &th), Interval::range(0, 64));
+        // Growing past the largest threshold escapes to +∞.
+        let c = Interval::range(0, 2000);
+        assert_eq!(
+            a.widen_with(&c, &th),
+            Interval::new(Bound::Int(0), Bound::PosInf)
+        );
+        // Falling lower bound clamps to the largest threshold ≤ -1... none
+        // here, so -∞.
+        let d = Interval::range(-1, 10);
+        assert_eq!(
+            a.widen_with(&d, &th),
+            Interval::new(Bound::NegInf, Bound::Int(10))
+        );
+        // Stable bounds are untouched.
+        assert_eq!(a.widen_with(&a, &th), a);
+        // Empty thresholds degrade to the naive widen.
+        assert_eq!(a.widen_with(&b, &Thresholds::none()), a.widen(&b));
+    }
+
+    #[test]
+    fn widen_with_chains_terminate() {
+        let th = Thresholds::new(vec![10, 100, 1000]);
+        // A bound that keeps moving walks up the (finite) threshold ladder
+        // and then escapes; each step must grow, so the chain stabilizes.
+        let mut acc = Interval::range(0, 1);
+        for step in 2..2005 {
+            let next = acc.widen_with(&Interval::range(0, step), &th);
+            assert!(acc.le(&next));
+            acc = next;
+        }
+        assert_eq!(acc, Interval::new(Bound::Int(0), Bound::PosInf));
+    }
+
+    #[test]
+    fn widen_with_over_approximates_join() {
+        let th = Thresholds::new(vec![-50, 0, 50]);
+        for a in [
+            Interval::range(0, 10),
+            Interval::range(-100, 3),
+            Interval::Bot,
+        ] {
+            for b in [
+                Interval::range(-7, 45),
+                Interval::top(),
+                Interval::constant(51),
+                Interval::Bot,
+            ] {
+                let j = a.join(&b);
+                let w = a.widen_with(&b, &th);
+                assert!(j.le(&w), "{j:?} ⋢ {w:?} for {a:?} ∇_T {b:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,4 +1,87 @@
-//! The lattice interface every abstract domain implements.
+//! The lattice interface every abstract domain implements, plus the
+//! [`Thresholds`] set consumed by threshold widening.
+
+use std::sync::Arc;
+
+/// A finite, sorted set of widening thresholds — "landing points" a growing
+/// interval bound may be clamped to before escaping to ±∞.
+///
+/// Thresholds are harvested per program (constants in guards, array sizes,
+/// allocation sites), so a bound that is heading towards a program constant
+/// stabilizes *at* that constant instead of being widened past it. The set
+/// is finite, so threshold widening still terminates: a moving bound either
+/// lands on a threshold (each subsequent escape picks a strictly more
+/// extreme one) or falls off the end to ±∞.
+///
+/// The empty set degrades every `widen_with` to the plain `widen`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Thresholds {
+    /// Sorted, deduplicated threshold values.
+    values: Arc<[i64]>,
+    /// `values` merged with their doubles — the candidate set for octagon
+    /// DBM entries, where unary constraints are stored as `2x ≤ c`.
+    dbm_values: Arc<[i64]>,
+}
+
+impl Thresholds {
+    /// The empty set (threshold widening off).
+    pub fn none() -> Thresholds {
+        Thresholds::default()
+    }
+
+    /// Builds the set from raw harvested constants (sorted + deduplicated
+    /// here; duplicates and disorder are fine).
+    pub fn new(mut values: Vec<i64>) -> Thresholds {
+        values.sort_unstable();
+        values.dedup();
+        let mut dbm: Vec<i64> = values
+            .iter()
+            .flat_map(|&v| [v, v.saturating_mul(2)])
+            .collect();
+        dbm.sort_unstable();
+        dbm.dedup();
+        Thresholds {
+            values: values.into(),
+            dbm_values: dbm.into(),
+        }
+    }
+
+    /// Whether no thresholds are present.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of thresholds.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The threshold values, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        self.values.iter().copied()
+    }
+
+    /// The smallest threshold `≥ v`, if any — the clamp for a growing upper
+    /// bound.
+    pub fn clamp_hi(&self, v: i64) -> Option<i64> {
+        let i = self.values.partition_point(|&t| t < v);
+        self.values.get(i).copied()
+    }
+
+    /// The largest threshold `≤ v`, if any — the clamp for a falling lower
+    /// bound.
+    pub fn clamp_lo(&self, v: i64) -> Option<i64> {
+        let i = self.values.partition_point(|&t| t <= v);
+        i.checked_sub(1).map(|i| self.values[i])
+    }
+
+    /// The smallest DBM candidate `≥ v` (thresholds and their doubles), for
+    /// octagon constraint entries.
+    pub fn clamp_dbm(&self, v: i64) -> Option<i64> {
+        let i = self.dbm_values.partition_point(|&t| t < v);
+        self.dbm_values.get(i).copied()
+    }
+}
 
 /// A join-semilattice with widening/narrowing, as required by the abstract
 /// interpretation framework the analyses are built on.
@@ -31,6 +114,17 @@ pub trait Lattice: Clone + PartialEq {
     #[must_use = "widen returns the widened value"]
     fn widen(&self, other: &Self) -> Self {
         self.join(other)
+    }
+
+    /// Threshold widening `self ∇_T other`: like [`Lattice::widen`], but a
+    /// moving bound may stabilize at a harvested threshold instead of
+    /// escaping straight to ±∞. Defaults to ignoring the thresholds, so
+    /// domains without a numeric bound (and the empty threshold set) behave
+    /// exactly like `widen`.
+    #[must_use = "widen_with returns the widened value"]
+    fn widen_with(&self, other: &Self, thresholds: &Thresholds) -> Self {
+        let _ = thresholds;
+        self.widen(other)
     }
 
     /// Narrowing `self △ other`; defaults to keeping `self` (always sound
@@ -111,6 +205,35 @@ mod tests {
     #[test]
     fn default_narrow_keeps_self() {
         assert_eq!(TwoPoint::Top.narrow(&TwoPoint::Bot), TwoPoint::Top);
+    }
+
+    #[test]
+    fn thresholds_clamp_to_nearest() {
+        let th = Thresholds::new(vec![10, 0, -5, 10, 100]);
+        assert_eq!(th.len(), 4);
+        assert_eq!(th.clamp_hi(3), Some(10));
+        assert_eq!(th.clamp_hi(10), Some(10));
+        assert_eq!(th.clamp_hi(101), None);
+        assert_eq!(th.clamp_lo(3), Some(0));
+        assert_eq!(th.clamp_lo(-5), Some(-5));
+        assert_eq!(th.clamp_lo(-6), None);
+        // DBM candidates include doubles (for 2x ≤ c constraints).
+        assert_eq!(th.clamp_dbm(11), Some(20));
+    }
+
+    #[test]
+    fn empty_thresholds_clamp_nothing() {
+        let th = Thresholds::none();
+        assert!(th.is_empty());
+        assert_eq!(th.clamp_hi(0), None);
+        assert_eq!(th.clamp_lo(0), None);
+        assert_eq!(th.clamp_dbm(0), None);
+    }
+
+    #[test]
+    fn default_widen_with_ignores_thresholds() {
+        let th = Thresholds::new(vec![1, 2, 3]);
+        assert_eq!(TwoPoint::Bot.widen_with(&TwoPoint::Top, &th), TwoPoint::Top);
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod state;
 pub mod value;
 
 pub use interval::Interval;
-pub use lattice::Lattice;
+pub use lattice::{Lattice, Thresholds};
 pub use locs::{AbsLoc, LocSet};
 pub use octagon::Octagon;
 pub use pack::{Pack, PackId, PackSet};

@@ -22,7 +22,7 @@
 //! ```
 
 use crate::interval::{Bound, Interval};
-use crate::lattice::Lattice;
+use crate::lattice::{Lattice, Thresholds};
 use sga_ir::RelOp;
 use std::fmt;
 use std::rc::Rc;
@@ -473,6 +473,36 @@ impl Lattice for Octagon {
         }
     }
 
+    fn widen_with(&self, other: &Self, thresholds: &Thresholds) -> Self {
+        // Threshold DBM widening: a growing entry is clamped to the smallest
+        // scaled-threshold candidate that still covers it, instead of going
+        // straight to "no constraint". Unary rows store `2x ≤ c`, so the
+        // candidate set holds both the harvested values and their doubles.
+        // The left argument stays unclosed, exactly as in `widen`.
+        match (self, other.close()) {
+            (Octagon::Bot, o) => o,
+            (s, Octagon::Bot) => s.clone(),
+            (Octagon::Oct(a), Octagon::Oct(b)) => {
+                assert_eq!(a.dim, b.dim, "octagon dimension mismatch");
+                let m: Vec<i64> =
+                    a.m.iter()
+                        .zip(b.m.iter())
+                        .map(|(&x, &y)| {
+                            if y <= x {
+                                x
+                            } else {
+                                match thresholds.clamp_dbm(y) {
+                                    Some(t) if t < INF => t,
+                                    _ => INF,
+                                }
+                            }
+                        })
+                        .collect();
+                Octagon::with_matrix(a.dim, m, false)
+            }
+        }
+    }
+
     fn narrow(&self, other: &Self) -> Self {
         match (self.close(), other.close()) {
             (Octagon::Bot, _) | (_, Octagon::Bot) => Octagon::Bot,
@@ -649,6 +679,49 @@ mod tests {
         let init = Octagon::top(1).assign_interval(0, &Interval::constant(0));
         let narrowed = head.narrow(&init.join(&body));
         assert_eq!(narrowed.project(0), Interval::range(0, 100));
+    }
+
+    #[test]
+    fn threshold_widening_lands_on_guard_constant() {
+        // i := 0; while (i < 100) i++ — with 100 harvested, the widened
+        // head stabilizes at i ≤ 100 without needing narrowing.
+        let th = Thresholds::new(vec![100]);
+        let mut head = Octagon::top(1).assign_interval(0, &Interval::constant(0));
+        for _ in 0..8 {
+            let body = head
+                .assume_const(0, RelOp::Lt, 100)
+                .assign_var_plus(0, 0, 1);
+            let init = Octagon::top(1).assign_interval(0, &Interval::constant(0));
+            let next = head.widen_with(&init.join(&body), &th);
+            if next == head {
+                break;
+            }
+            head = next;
+        }
+        assert_eq!(head.project(0), Interval::range(0, 100));
+    }
+
+    #[test]
+    fn widen_with_empty_thresholds_is_widen() {
+        let a = Octagon::top(2).assign_interval(0, &Interval::range(0, 1));
+        let b = Octagon::top(2).assign_interval(0, &Interval::range(0, 2));
+        assert_eq!(a.widen_with(&b, &Thresholds::none()), a.widen(&b));
+    }
+
+    #[test]
+    fn widen_with_over_approximates_join() {
+        let th = Thresholds::new(vec![0, 10]);
+        let a = Octagon::top(1).assign_interval(0, &Interval::range(0, 3));
+        let b = Octagon::top(1).assign_interval(0, &Interval::range(0, 5));
+        let j = a.join(&b);
+        let w = a.widen_with(&b, &th);
+        assert!(j.le(&w));
+        // Unary rows store 2x ≤ c, so the growing entry 2·5 = 10 clamps to
+        // the candidate 10 ⇒ x ≤ 5, and a later jump past it lands on the
+        // doubled candidate 20 ⇒ x ≤ 10.
+        assert_eq!(w.project(0), Interval::range(0, 5));
+        let c = Octagon::top(1).assign_interval(0, &Interval::range(0, 7));
+        assert_eq!(w.widen_with(&c, &th).project(0), Interval::range(0, 10));
     }
 
     #[test]

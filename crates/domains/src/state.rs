@@ -4,7 +4,7 @@
 //! pointwise-lifted function, which is exactly what sparse analysis exploits:
 //! sparse states bind only the locations in `D̂(c)`.
 
-use crate::lattice::Lattice;
+use crate::lattice::{Lattice, Thresholds};
 use crate::locs::{AbsLoc, LocSet};
 use crate::value::Value;
 use sga_utils::PMap;
@@ -160,6 +160,14 @@ impl Lattice for State {
     fn widen(&self, other: &Self) -> Self {
         State {
             map: self.map.union_with(&other.map, |_, a, b| a.widen(b)),
+        }
+    }
+
+    fn widen_with(&self, other: &Self, thresholds: &Thresholds) -> Self {
+        State {
+            map: self
+                .map
+                .union_with(&other.map, |_, a, b| a.widen_with(b, thresholds)),
         }
     }
 

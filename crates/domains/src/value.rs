@@ -8,7 +8,7 @@
 
 use crate::array::ArrayBlk;
 use crate::interval::Interval;
-use crate::lattice::Lattice;
+use crate::lattice::{Lattice, Thresholds};
 use crate::locs::LocSet;
 use std::fmt;
 
@@ -134,6 +134,15 @@ impl Lattice for Value {
             itv: self.itv.widen(&other.itv),
             ptr: self.ptr.join(&other.ptr),
             arr: self.arr.widen(&other.arr),
+            procs: self.procs.join(&other.procs),
+        }
+    }
+
+    fn widen_with(&self, other: &Self, thresholds: &Thresholds) -> Self {
+        Value {
+            itv: self.itv.widen_with(&other.itv, thresholds),
+            ptr: self.ptr.join(&other.ptr),
+            arr: self.arr.widen_with(&other.arr, thresholds),
             procs: self.procs.join(&other.procs),
         }
     }

@@ -31,6 +31,7 @@ pub use cache::Cache;
 pub use unit::{analyze_unit, ProcArtifact, UnitAnalysis};
 
 use sga_core::depgen::DepGenOptions;
+use sga_core::widening::WideningConfig;
 use sga_utils::stats::StageTimers;
 use sga_utils::Json;
 use std::path::PathBuf;
@@ -75,6 +76,8 @@ pub struct PipelineOptions {
     pub canonical: bool,
     /// Dependency-generation options forwarded to the sparse analysis.
     pub depgen: DepGenOptions,
+    /// Widening strategy forwarded to the fixpoint solver.
+    pub widening: WideningConfig,
 }
 
 impl Default for PipelineOptions {
@@ -84,6 +87,7 @@ impl Default for PipelineOptions {
             cache_dir: None,
             canonical: false,
             depgen: DepGenOptions::default(),
+            widening: WideningConfig::default(),
         }
     }
 }
@@ -183,7 +187,9 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
     // Thread budget: units run concurrently; whatever head room is left
     // over goes to procedure-level parallelism inside each unit.
     let inner_jobs = (jobs / units.len().max(1)).max(1);
-    let options_tag = format!("{:?}", options.depgen);
+    // Both dependency options and the widening strategy shape the fixpoint,
+    // so both are part of the cache key.
+    let options_tag = format!("{:?}|{:?}", options.depgen, options.widening);
 
     let outcomes: Vec<Result<(u64, CacheStatus, UnitAnalysis), PipelineError>> =
         par::run_indexed(jobs, &units, |_, input| {
@@ -197,7 +203,13 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
                     unit: input.name.clone(),
                     message: e.to_string(),
                 })?;
-            let analysis = unit::analyze_unit(&program, inner_jobs, options.depgen, &timers);
+            let analysis = unit::analyze_unit(
+                &program,
+                inner_jobs,
+                options.depgen,
+                options.widening,
+                &timers,
+            );
             let status = match &cache {
                 Some(c) => {
                     // A store failure only costs the next run its hit.
@@ -244,6 +256,7 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
     let mut opts_json = Json::obj()
         .with("engine", "sparse")
         .with("bypass", options.depgen.bypass)
+        .with("widening", options.widening.strategy.name())
         .with("cache", options.cache_dir.is_some());
     if !options.canonical {
         opts_json.set("jobs", jobs);

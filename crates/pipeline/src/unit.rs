@@ -25,6 +25,7 @@ use sga_core::depgen::{self, DepGenOptions, IntervalDepSource};
 use sga_core::icfg::Icfg;
 use sga_core::interval::{Engine, IntervalResult, IntervalSparseSpec};
 use sga_core::stats::AnalysisStats;
+use sga_core::widening::{WideningConfig, WideningPlan};
 use sga_core::{checker, defuse, preanalysis, sparse};
 use sga_domains::State;
 use sga_ir::{Cp, ProcId, Program};
@@ -103,6 +104,7 @@ pub fn analyze_unit(
     program: &Program,
     jobs: usize,
     options: DepGenOptions,
+    widening: WideningConfig,
     timers: &StageTimers,
 ) -> UnitAnalysis {
     let pids: Vec<ProcId> = program.procs.indices().collect();
@@ -170,7 +172,8 @@ pub fn analyze_unit(
             pre: &pre,
             du: &du,
         };
-        let solved = sparse::solve(program, &icfg, &deps, &spec);
+        let plan = WideningPlan::for_program(program, widening);
+        let solved = sparse::solve_with(program, &icfg, &deps, &spec, &plan);
         let values: FxHashMap<Cp, State> = solved
             .values
             .into_iter()

@@ -5,6 +5,7 @@
 
 use sga_core::depgen::DepGenOptions;
 use sga_core::interval::{self, Engine};
+use sga_core::widening::WideningConfig;
 use sga_pipeline::{analyze_unit, run, PipelineOptions, Project};
 use sga_utils::stats::StageTimers;
 
@@ -44,7 +45,13 @@ fn staged_schedule_matches_sequential_analyzer() {
 
     // The staged per-procedure schedule, with real worker threads.
     let timers = StageTimers::new();
-    let staged = analyze_unit(&program, 4, DepGenOptions::default(), &timers);
+    let staged = analyze_unit(
+        &program,
+        4,
+        DepGenOptions::default(),
+        WideningConfig::default(),
+        &timers,
+    );
 
     assert_eq!(staged.iterations, reference.stats.iterations);
     assert_eq!(staged.num_locs, reference.stats.num_locs);

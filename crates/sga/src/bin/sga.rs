@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! sga <file.c> [--engine vanilla|base|sparse] [--domain interval|octagon]
+//!              [--widening naive|threshold|delayed]
 //!              [--check] [--dump-ir] [--dump-values] [--stats]
 //! sga analyze <dir> | --corpus units=N,kloc=K,seed=S
 //!             [--jobs N] [--cache-dir D] [--no-cache] [--canonical]
-//!             [--no-bypass] [--out FILE]
+//!             [--no-bypass] [--widening naive|threshold|delayed] [--out FILE]
 //! ```
 //!
 //! `sga analyze` runs the batch pipeline over every `*.c` file in a
@@ -14,7 +15,8 @@
 //! Exit code 0 when no definite alarm is found, 1 otherwise, 2 on usage or
 //! frontend errors.
 
-use sga::analysis::interval::{self, Engine};
+use sga::analysis::interval::{self, AnalyzeOptions, Engine};
+use sga::analysis::widening::{WideningConfig, WideningStrategy};
 use sga::analysis::{checker, octagon};
 use sga::domains::Lattice;
 use sga::pipeline::{self, PipelineOptions, Project};
@@ -25,6 +27,7 @@ struct Options {
     file: String,
     engine: Engine,
     domain: Domain,
+    widening: WideningConfig,
     check: bool,
     dump_ir: bool,
     dump_values: bool,
@@ -38,13 +41,15 @@ enum Domain {
 }
 
 const USAGE: &str = "usage: sga <file.c> [--engine vanilla|base|sparse] \
-                     [--domain interval|octagon] [--check] [--dump-ir] \
+                     [--domain interval|octagon] \
+                     [--widening naive|threshold|delayed] [--check] [--dump-ir] \
                      [--dump-values] [--stats]";
 
 fn parse_args() -> Result<Options, String> {
     let mut file: Option<String> = None;
     let mut engine = Engine::Sparse;
     let mut domain = Domain::Interval;
+    let mut widening = WideningConfig::default();
     let (mut check, mut dump_ir, mut dump_values, mut stats) = (false, false, false, false);
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -64,6 +69,12 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("bad --domain {other:?}")),
                 }
             }
+            "--widening" => {
+                widening = match args.next().as_deref().and_then(WideningStrategy::parse) {
+                    Some(s) => WideningConfig::of(s),
+                    None => return Err("bad --widening (naive|threshold|delayed)".to_string()),
+                }
+            }
             "--check" => check = true,
             "--dump-ir" => dump_ir = true,
             "--dump-values" => dump_values = true,
@@ -78,6 +89,7 @@ fn parse_args() -> Result<Options, String> {
         file,
         engine,
         domain,
+        widening,
         check,
         dump_ir,
         dump_values,
@@ -87,7 +99,8 @@ fn parse_args() -> Result<Options, String> {
 
 const ANALYZE_USAGE: &str = "usage: sga analyze <dir> | --corpus units=N,kloc=K,seed=S \
                              [--jobs N] [--cache-dir D] [--no-cache] [--canonical] \
-                             [--no-bypass] [--out FILE]";
+                             [--no-bypass] [--widening naive|threshold|delayed] \
+                             [--out FILE]";
 
 fn parse_analyze_args(
     args: impl Iterator<Item = String>,
@@ -115,6 +128,12 @@ fn parse_analyze_args(
             "--no-cache" => no_cache = true,
             "--canonical" => opts.canonical = true,
             "--no-bypass" => opts.depgen.bypass = false,
+            "--widening" => {
+                opts.widening = match args.next().as_deref().and_then(WideningStrategy::parse) {
+                    Some(s) => WideningConfig::of(s),
+                    None => return Err("bad --widening (naive|threshold|delayed)".to_string()),
+                }
+            }
             "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
             "--corpus" => {
                 let spec = args.next().ok_or("--corpus needs units=N,kloc=K,seed=S")?;
@@ -219,13 +238,20 @@ fn main() -> ExitCode {
     let mut definite = false;
     match opts.domain {
         Domain::Interval => {
-            let result = interval::analyze(&program, opts.engine);
+            let result = interval::analyze_with(
+                &program,
+                opts.engine,
+                AnalyzeOptions {
+                    widening: opts.widening,
+                    ..AnalyzeOptions::default()
+                },
+            );
             if opts.stats {
                 let s = &result.stats;
                 eprintln!(
-                    "engine {:?}: total {:?} (pre {:?}, dep {:?}, fix {:?}), {} evaluations, {} locations, {} dep edges",
+                    "engine {:?}: total {:?} (pre {:?}, dep {:?}, fix {:?}), {} evaluations, {} locations, {} dep edges, widening {}",
                     opts.engine, s.total_time, s.pre_time, s.dep_time, s.fix_time,
-                    s.iterations, s.num_locs, s.dep_edges
+                    s.iterations, s.num_locs, s.dep_edges, s.widening
                 );
             }
             if opts.dump_values {
@@ -260,13 +286,20 @@ fn main() -> ExitCode {
             }
         }
         Domain::Octagon => {
-            let result = octagon::analyze(&program, opts.engine);
+            let result = octagon::analyze_with(
+                &program,
+                opts.engine,
+                AnalyzeOptions {
+                    widening: opts.widening,
+                    ..AnalyzeOptions::default()
+                },
+            );
             if opts.stats {
                 let s = &result.stats;
                 eprintln!(
-                    "engine {:?} (octagon): total {:?} (fix {:?}), {} evaluations, {} packs (avg size {:.1})",
+                    "engine {:?} (octagon): total {:?} (fix {:?}), {} evaluations, {} packs (avg size {:.1}), widening {}",
                     opts.engine, s.total_time, s.fix_time, s.iterations,
-                    result.packs.len(), result.packs.average_size()
+                    result.packs.len(), result.packs.average_size(), s.widening
                 );
             }
             if opts.dump_values {

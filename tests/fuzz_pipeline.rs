@@ -4,7 +4,9 @@
 //! arbitrary C at the pipeline while staying deterministic.
 
 use proptest::prelude::*;
-use sga::analysis::interval::{analyze, Engine};
+use sga::analysis::depgen::DepGenOptions;
+use sga::analysis::interval::{analyze, analyze_with, AnalyzeOptions, Engine};
+use sga::analysis::widening::{WideningConfig, WideningStrategy};
 use sga::cgen::GenConfig;
 use sga::domains::{AbsLoc, Lattice};
 use sga::ir::interp::{self, CVal, InterpConfig, ObservedLoc, Place};
@@ -98,6 +100,77 @@ proptest! {
                     obs.cp,
                     obs.value,
                     aval
+                );
+            }
+        }
+    }
+
+    /// The widening strategies only ever *gain* precision over the naive
+    /// baseline: every binding of a threshold or delayed fixpoint must be
+    /// ⊑ the corresponding naive binding.
+    #[test]
+    fn strategy_fixpoints_refine_naive(config in arb_config()) {
+        let src = sga::cgen::generate(&config);
+        let program = sga::frontend::parse(&src)
+            .unwrap_or_else(|e| panic!("generated source must parse: {e}"));
+
+        let with_strategy = |strategy| {
+            analyze_with(
+                &program,
+                Engine::Sparse,
+                AnalyzeOptions {
+                    widening: WideningConfig::of(strategy),
+                    ..AnalyzeOptions::default()
+                },
+            )
+        };
+        let naive = with_strategy(WideningStrategy::Naive);
+        for strategy in [WideningStrategy::Threshold, WideningStrategy::Delayed] {
+            let refined = with_strategy(strategy);
+            for (cp, st) in &refined.values {
+                for (loc, v) in st.iter() {
+                    let nv = naive.value_at(*cp, loc);
+                    prop_assert!(
+                        v.le(&nv),
+                        "seed {}: {:?} at {cp} {loc:?} not ⊑ naive: {v:?} vs {nv:?}",
+                        config.seed,
+                        strategy.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Under the default `delayed` strategy the §5 bypass contraction is a
+    /// pure optimization: bypass on/off produce bit-identical bindings.
+    #[test]
+    fn bypass_is_invisible_under_delayed(config in arb_config()) {
+        let src = sga::cgen::generate(&config);
+        let program = sga::frontend::parse(&src)
+            .unwrap_or_else(|e| panic!("generated source must parse: {e}"));
+
+        let with_bypass = |bypass| {
+            analyze_with(
+                &program,
+                Engine::Sparse,
+                AnalyzeOptions {
+                    depgen: DepGenOptions { bypass },
+                    widening: WideningConfig::of(WideningStrategy::Delayed),
+                    ..AnalyzeOptions::default()
+                },
+            )
+        };
+        let on = with_bypass(true);
+        let off = with_bypass(false);
+        // Bypass-off stores extra bindings at relay nodes, so compare the
+        // bypass-on bindings (the contracted graph's) against the other run.
+        for (cp, st) in &on.values {
+            for (loc, v) in st.iter() {
+                let ov = off.value_at(*cp, loc);
+                prop_assert!(
+                    *v == ov,
+                    "seed {}: bypass changed {cp} {loc:?}: {v:?} vs {ov:?}",
+                    config.seed
                 );
             }
         }

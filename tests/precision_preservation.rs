@@ -234,17 +234,17 @@ fn octagon_sparse_matches_base_on_relations() {
     }
 }
 
-// KNOWN FAILURE (deep): bit-equality between bypass on/off does not hold
-// under widening. Without bypass, joins reach a cycle node through relay
-// hops in several worklist steps, so the node can observe a transiently
-// growing bound and widen it to ±oo; with bypass the full join arrives in
-// one step and the bound stays stable. On cgen seed 77 this leaves 6 of
-// 1629 bindings differing by a lost lower bound (e.g. p40:n25 g6:
-// [9, 30] vs [-oo, 30]) — bypass-on is strictly more precise, both are
-// sound. Restoring equality needs graph-shape-independent widening
-// (thresholds or delayed widening); see ROADMAP "Open items".
+// Bit-equality between bypass on/off is *not* graph-shape-independent under
+// naive widening: without bypass, joins reach a cycle node through relay
+// hops in several worklist steps, so the node observes a transiently growing
+// bound and widens it to ±oo, while with bypass the full join arrives in one
+// step and the bound stays stable (on cgen seed 77, naive widening leaves 6
+// of ~1629 bindings differing by a lost lower bound, e.g. [9, 30] vs
+// [-oo, 30]). The default `delayed` strategy restores equality: the first
+// DEFAULT_DELAY *changing* joins at each cycle head are plain joins, which
+// absorbs the relay-hop transients, so both evaluation orders enter actual
+// widening with the same accumulated state.
 #[test]
-#[ignore = "bypass changes widening history through relay hops; see comment"]
 fn bypass_optimization_preserves_results() {
     use sga::analysis::depgen::DepGenOptions;
     use sga::analysis::interval::{analyze_with, AnalyzeOptions};
