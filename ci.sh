@@ -58,6 +58,10 @@ if [ "$QUICK" -eq 0 ]; then
 fi
 run_stage "test"        cargo test -q
 run_stage "ignore-gate" ignore_gate
+# The fault-tolerance suite is cheap and guards invariants the other stages
+# don't (panic isolation, sound degradation, cache self-healing), so it
+# runs in --quick too.
+run_stage "robustness"  cargo test -q -p sga --test robustness
 if [ "$QUICK" -eq 0 ]; then
     run_stage "bench-gate" \
         cargo run --release -p sga-bench --bin pipeline_bench -- --check BENCH_pipeline.json

@@ -18,6 +18,8 @@ use std::time::Instant;
 struct Measured {
     secs: f64,
     alarms: u64,
+    degraded: u64,
+    crashed: u64,
     fingerprint: String,
 }
 
@@ -32,6 +34,14 @@ fn measure(project: &Project, jobs: usize) -> Measured {
     let secs = start.elapsed().as_secs_f64();
     let totals = report.get("totals").expect("totals");
     let alarms = totals.get("alarms").and_then(Json::as_u64).expect("alarms");
+    let degraded = totals
+        .get("degraded")
+        .and_then(Json::as_u64)
+        .expect("degraded");
+    let crashed = totals
+        .get("crashed")
+        .and_then(Json::as_u64)
+        .expect("crashed");
     let fingerprint: String = report
         .get("units")
         .and_then(Json::as_arr)
@@ -52,6 +62,8 @@ fn measure(project: &Project, jobs: usize) -> Measured {
     Measured {
         secs,
         alarms,
+        degraded,
+        crashed,
         fingerprint,
     }
 }
@@ -76,7 +88,7 @@ fn measure_hit_rate(project: &Project) -> f64 {
         .expect("hit_rate")
 }
 
-fn check(baseline_path: &str, alarms: u64, hit_rate: f64) -> ExitCode {
+fn check(baseline_path: &str, m: &Measured, hit_rate: f64) -> ExitCode {
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
         Err(e) => {
@@ -101,11 +113,32 @@ fn check(baseline_path: &str, alarms: u64, hit_rate: f64) -> ExitCode {
         .expect("baseline warm_hit_rate");
 
     let mut failed = false;
-    if alarms > base_alarms {
-        eprintln!("FAIL: alarm count regressed: {alarms} > baseline {base_alarms}");
+    if m.alarms > base_alarms {
+        eprintln!(
+            "FAIL: alarm count regressed: {} > baseline {base_alarms}",
+            m.alarms
+        );
         failed = true;
     } else {
-        println!("alarms: {alarms} (baseline {base_alarms}) ok");
+        println!("alarms: {} (baseline {base_alarms}) ok", m.alarms);
+    }
+    // Hard gates, independent of the baseline: the bench corpus under the
+    // default (unbounded) budget must finish every unit cleanly — a
+    // degraded or crashed unit here means a real robustness regression.
+    if m.degraded > 0 {
+        eprintln!(
+            "FAIL: {} unit(s) degraded under the default budget",
+            m.degraded
+        );
+        failed = true;
+    } else {
+        println!("degraded units: 0 ok");
+    }
+    if m.crashed > 0 {
+        eprintln!("FAIL: {} unit(s) crashed", m.crashed);
+        failed = true;
+    } else {
+        println!("crashed units: 0 ok");
     }
     if hit_rate < base_hit_rate {
         eprintln!(
@@ -160,6 +193,7 @@ fn main() -> ExitCode {
         seq.alarms, par.alarms,
         "parallel run changed the alarm count"
     );
+    assert_eq!(seq.crashed, 0, "bench corpus must analyze without crashes");
 
     let speedup = seq.secs / par.secs;
     println!("speedup (jobs=4 over jobs=1): {speedup:.2}x on {cpus} cpu(s)");
@@ -167,7 +201,7 @@ fn main() -> ExitCode {
     println!("warm cache hit rate: {hit_rate:.3}");
 
     if let Some(path) = baseline {
-        return check(&path, seq.alarms, hit_rate);
+        return check(&path, &seq, hit_rate);
     }
 
     let report = Json::obj()
@@ -181,6 +215,8 @@ fn main() -> ExitCode {
         )
         .with("cpus", cpus)
         .with("alarms", seq.alarms as usize)
+        .with("degraded", seq.degraded as usize)
+        .with("crashed", seq.crashed as usize)
         .with("warm_hit_rate", hit_rate)
         .with("sequential_secs", seq.secs)
         .with("parallel_jobs4_secs", par.secs)

@@ -13,15 +13,29 @@ pub fn parse_unit(tokens: &[Token]) -> Result<Unit, FrontError> {
     Parser {
         tokens,
         pos: 0,
+        depth: 0,
         typedefs: std::collections::HashMap::new(),
         enum_consts: std::collections::HashMap::new(),
     }
     .unit()
 }
 
+/// Maximum statement/expression nesting the parser accepts. Recursive
+/// descent burns native stack per nesting level and a stack overflow is
+/// *not* a catchable error — it aborts the whole process, defeating the
+/// pipeline's panic isolation — so pathological inputs (`((((…))))`,
+/// `{{{{…}}}}`) must be rejected with a structured error well before the
+/// stack runs out. The parser may run on a worker or test thread with only
+/// a 2 MiB stack, and a nested block costs three debug-build frames
+/// (~16 KiB) per level, so the bound must stay well under ~128; 64 levels
+/// is still far beyond anything a human (or our generator) writes.
+const MAX_NESTING: u32 = 64;
+
 struct Parser<'t> {
     tokens: &'t [Token],
     pos: usize,
+    /// Current statement/expression nesting, bounded by [`MAX_NESTING`].
+    depth: u32,
     /// `typedef` aliases in scope (file scope only).
     typedefs: std::collections::HashMap<String, Type>,
     /// `enum` constants in scope.
@@ -80,6 +94,21 @@ impl<'t> Parser<'t> {
 
     fn err(&self, message: impl Into<String>) -> FrontError {
         FrontError::new(self.line(), message)
+    }
+
+    /// Counts one level of recursion; errors out (instead of overflowing
+    /// the native stack) past [`MAX_NESTING`]. Pair with [`Parser::leave`].
+    fn enter(&mut self) -> Result<(), FrontError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            Err(self.err(format!("nesting deeper than {MAX_NESTING} levels")))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn ident(&mut self) -> Result<String, FrontError> {
@@ -324,6 +353,13 @@ impl<'t> Parser<'t> {
     /// Initializer: a plain expression or a braced list (abstracted to the
     /// first element joined with unknowns by the lowering pass).
     fn initializer(&mut self) -> Result<Expr, FrontError> {
+        self.enter()?;
+        let r = self.initializer_inner();
+        self.leave();
+        r
+    }
+
+    fn initializer_inner(&mut self) -> Result<Expr, FrontError> {
         if self.eat(Punct::LBrace) {
             // `{a, b, ...}` — keep the first element; array summarization
             // joins all elements into one abstract cell anyway.
@@ -420,6 +456,13 @@ impl<'t> Parser<'t> {
     }
 
     fn stmt(&mut self) -> Result<Stmt, FrontError> {
+        self.enter()?;
+        let r = self.stmt_inner();
+        self.leave();
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, FrontError> {
         let line = self.line();
         match self.peek().clone() {
             Tok::Punct(Punct::LBrace) => {
@@ -633,6 +676,13 @@ impl<'t> Parser<'t> {
     }
 
     fn assignment_expr(&mut self) -> Result<Expr, FrontError> {
+        self.enter()?;
+        let r = self.assignment_expr_inner();
+        self.leave();
+        r
+    }
+
+    fn assignment_expr_inner(&mut self) -> Result<Expr, FrontError> {
         let lhs = self.conditional_expr()?;
         let op = match self.peek() {
             Tok::Punct(Punct::Assign) => Some(None),
@@ -709,6 +759,13 @@ impl<'t> Parser<'t> {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, FrontError> {
+        self.enter()?;
+        let r = self.unary_expr_inner();
+        self.leave();
+        r
+    }
+
+    fn unary_expr_inner(&mut self) -> Result<Expr, FrontError> {
         match self.peek().clone() {
             Tok::Punct(Punct::Star) => {
                 self.bump();

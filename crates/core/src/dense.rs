@@ -12,6 +12,7 @@
 //! points, then bounded descending (narrowing) rounds — the "conventional
 //! widening operator" setup of §6.1.
 
+use crate::budget::Budget;
 use crate::icfg::{Icfg, InEdge};
 use crate::widening::WideningPlan;
 use sga_domains::Thresholds;
@@ -68,6 +69,11 @@ pub struct DenseResult<St> {
     pub iterations: usize,
     /// Descending rounds executed.
     pub narrowing_rounds: usize,
+    /// Whether the analysis budget ran out. A degraded result is still a
+    /// sound post-fixpoint — the remaining ascent used immediate plain
+    /// widening and the descending phase was skipped — but it is less
+    /// precise than the unbounded fixpoint.
+    pub degraded: bool,
 }
 
 impl<St> DenseResult<St> {
@@ -79,7 +85,13 @@ impl<St> DenseResult<St> {
 
 /// Runs the dense analysis with the naive widening plan. See [`solve_with`].
 pub fn solve<S: DenseSpec>(program: &Program, icfg: &Icfg, spec: &S) -> DenseResult<S::St> {
-    solve_with(program, icfg, spec, &WideningPlan::naive())
+    solve_with(
+        program,
+        icfg,
+        spec,
+        &WideningPlan::naive(),
+        &Budget::unbounded(),
+    )
 }
 
 /// Runs the dense analysis to its (narrowed) fixpoint.
@@ -88,15 +100,23 @@ pub fn solve<S: DenseSpec>(program: &Program, icfg: &Icfg, spec: &S) -> DenseRes
 /// updates at each widening point are plain joins, after which threshold
 /// widening ([`DenseSpec::widen_with`]) takes over.
 ///
+/// `budget` bounds the ascending phase. On exhaustion the solve *degrades
+/// soundly*: every further widening-point update applies the plain widening
+/// operator immediately (no delay, no thresholds), the ascent runs to
+/// quiescence, and the descending phase is skipped. The returned
+/// post-fixpoint over-approximates the unbounded one and `degraded` is set.
+///
 /// # Panics
 ///
-/// Panics if the ascending phase exceeds a generous iteration budget —
-/// which indicates a widening bug, not a big program.
+/// Panics if the ascending phase exceeds its internal iteration backstop
+/// even after degradation — which indicates a widening bug, not a big
+/// program.
 pub fn solve_with<S: DenseSpec>(
     program: &Program,
     icfg: &Icfg,
     spec: &S,
     plan: &WideningPlan,
+    budget: &Budget,
 ) -> DenseResult<S::St> {
     let main_entry = Cp::new(program.main, program.procs[program.main].entry);
     let mut post: FxHashMap<Cp, S::St> = FxHashMap::default();
@@ -125,17 +145,20 @@ pub fn solve_with<S: DenseSpec>(
         acc
     };
 
-    let budget = 2000usize.saturating_mul(all_points.len()).max(100_000);
+    let backstop = 2000usize.saturating_mul(all_points.len()).max(100_000);
     let mut iterations = 0usize;
+    let mut meter = budget.start();
+    let mut degraded = false;
     // Changing updates seen per widening point, for delayed widening.
     let mut widen_delay: FxHashMap<Cp, u32> = FxHashMap::default();
     while let Some(&(prio, cp)) = worklist.iter().next() {
         worklist.remove(&(prio, cp));
         iterations += 1;
         assert!(
-            iterations <= budget,
-            "dense fixpoint exceeded {budget} iterations: widening failure at {cp}"
+            iterations <= backstop,
+            "dense fixpoint exceeded {backstop} iterations: widening failure at {cp}"
         );
+        degraded |= meter.step();
         let input = compute_in(&post, cp);
         let mut new_post = spec.transfer(cp, &input);
         let old = post.get(&cp);
@@ -144,6 +167,10 @@ pub fn solve_with<S: DenseSpec>(
                 let joined = spec.join(old, &new_post);
                 if joined == *old {
                     new_post = joined;
+                } else if degraded {
+                    // Over budget: widen immediately with the plain operator
+                    // so every still-rising chain stabilizes in one step.
+                    new_post = spec.widen(old, &new_post);
                 } else {
                     let seen = widen_delay.entry(cp).or_insert(0);
                     if *seen < plan.delay {
@@ -166,13 +193,17 @@ pub fn solve_with<S: DenseSpec>(
 
     // Descending (narrowing) phase: change-driven from above — monotone, so
     // skipping points whose inputs did not change is exact. A per-point cap
-    // bounds descent.
+    // bounds descent. Skipped entirely when the budget ran out: the
+    // ascending result is already a post-fixpoint, and descending work is
+    // exactly the precision-chasing the budget said we cannot afford.
     const MAX_DESCENDS_PER_POINT: u8 = 4;
     let mut narrowing_rounds = 0usize;
     let mut desc_count: FxHashMap<Cp, u8> = FxHashMap::default();
     let mut worklist: BTreeSet<(u32, Cp)> = BTreeSet::new();
-    for &cp in &all_points {
-        worklist.insert((icfg.priority[&cp], cp));
+    if !degraded {
+        for &cp in &all_points {
+            worklist.insert((icfg.priority[&cp], cp));
+        }
     }
     while let Some(&(prio, cp)) = worklist.iter().next() {
         worklist.remove(&(prio, cp));
@@ -210,5 +241,6 @@ pub fn solve_with<S: DenseSpec>(
         post,
         iterations,
         narrowing_rounds,
+        degraded,
     }
 }

@@ -14,6 +14,7 @@
 //! preserves `base`'s precision on every `D̂(c)` entry (Lemma 2), which the
 //! workspace's integration tests assert program-by-program.
 
+use crate::budget::Budget;
 use crate::defuse::{self, DefUse};
 use crate::dense::{self, DenseSpec};
 use crate::depgen::{self, DataDeps, DepGenOptions};
@@ -49,6 +50,9 @@ pub struct AnalyzeOptions {
     pub semi_sparse: bool,
     /// Widening strategy applied at cycle heads / widening points.
     pub widening: WideningConfig,
+    /// Work budget for the fixpoint; on exhaustion the solve degrades
+    /// soundly and `stats.degraded` is set.
+    pub budget: Budget,
 }
 
 /// An interval analysis result.
@@ -115,9 +119,10 @@ pub fn analyze_with(program: &Program, engine: Engine, options: AnalyzeOptions) 
                 out_sets,
             };
             let fix = Phase::start("fix");
-            let result = dense::solve_with(program, &icfg, &spec, &plan);
+            let result = dense::solve_with(program, &icfg, &spec, &plan, &options.budget);
             stats.fix_time = fix.stop();
             stats.iterations = result.iterations;
+            stats.degraded = result.degraded;
             result.post
         }
         Engine::Sparse => {
@@ -141,9 +146,10 @@ pub fn analyze_with(program: &Program, engine: Engine, options: AnalyzeOptions) 
                 du: &du,
             };
             let fix = Phase::start("fix");
-            let result = sparse::solve_with(program, &icfg, &deps, &spec, &plan);
+            let result = sparse::solve_with(program, &icfg, &deps, &spec, &plan, &options.budget);
             stats.fix_time = fix.stop();
             stats.iterations = result.iterations;
+            stats.degraded = result.degraded;
             result
                 .values
                 .into_iter()

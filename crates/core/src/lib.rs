@@ -47,6 +47,7 @@
 //! assert_eq!(v.itv, sga_domains::Interval::constant(10));
 //! ```
 
+pub mod budget;
 pub mod checker;
 pub mod constprop;
 pub mod defuse;

@@ -150,9 +150,10 @@ pub fn analyze_with(program: &Program, engine: Engine, options: AnalyzeOptions) 
                 out_packs: odu.out_packs.clone(),
             };
             let fix = Phase::start("fix");
-            let result = dense::solve_with(program, &icfg, &spec, &plan);
+            let result = dense::solve_with(program, &icfg, &spec, &plan, &options.budget);
             stats.fix_time = fix.stop();
             stats.iterations = result.iterations;
+            stats.degraded = result.degraded;
             result.post
         }
         Engine::Sparse => {
@@ -166,9 +167,10 @@ pub fn analyze_with(program: &Program, engine: Engine, options: AnalyzeOptions) 
                 odu: &odu,
             };
             let fix = Phase::start("fix");
-            let result = sparse::solve_with(program, &icfg, &deps, &spec, &plan);
+            let result = sparse::solve_with(program, &icfg, &deps, &spec, &plan, &options.budget);
             stats.fix_time = fix.stop();
             stats.iterations = result.iterations;
+            stats.degraded = result.degraded;
             result.values
         }
     };

@@ -11,6 +11,7 @@
 //! cycles (loop-carried definitions, recursion) — the sparse counterpart of
 //! the dense engine's WTO heads.
 
+use crate::budget::Budget;
 use crate::depgen::DataDeps;
 use crate::icfg::Icfg;
 use crate::widening::WideningPlan;
@@ -60,6 +61,11 @@ pub struct SparseResult<L: Copy + Ord, V: Clone> {
     pub iterations: usize,
     /// Descending rounds executed.
     pub narrowing_rounds: usize,
+    /// Whether the analysis budget ran out. A degraded result is still a
+    /// sound post-fixpoint — the remaining ascent used immediate plain
+    /// widening and the descending phase was skipped — but it is less
+    /// precise than the unbounded fixpoint.
+    pub degraded: bool,
 }
 
 impl<L: Copy + Ord, V: Clone + Lattice> SparseResult<L, V> {
@@ -80,7 +86,14 @@ pub fn solve<S: SparseSpec>(
     deps: &DataDeps,
     spec: &S,
 ) -> SparseResult<S::L, S::V> {
-    solve_with(program, icfg, deps, spec, &WideningPlan::naive())
+    solve_with(
+        program,
+        icfg,
+        deps,
+        spec,
+        &WideningPlan::naive(),
+        &Budget::unbounded(),
+    )
 }
 
 /// Runs the sparse analysis to its (narrowed) fixpoint.
@@ -92,16 +105,24 @@ pub fn solve<S: SparseSpec>(
 /// partial joins that trickle in through relay chains), after which
 /// threshold widening (`widen_with`) takes over.
 ///
+/// `budget` bounds the ascending phase. On exhaustion the solve *degrades
+/// soundly*: every further cycle-head update applies the plain widening
+/// operator immediately (no delay, no thresholds — still-moving bounds
+/// escape to ±∞ in one step), the ascent runs to quiescence, and the
+/// descending phase is skipped. The returned post-fixpoint over-approximates
+/// the unbounded one and `degraded` is set.
+///
 /// # Panics
 ///
-/// Panics if the ascending phase exceeds its iteration budget (a widening
-/// bug).
+/// Panics if the ascending phase exceeds its internal iteration backstop
+/// even after degradation (a widening bug).
 pub fn solve_with<S: SparseSpec>(
     program: &Program,
     icfg: &Icfg,
     deps: &DataDeps,
     spec: &S,
     plan: &WideningPlan,
+    budget: &Budget,
 ) -> SparseResult<S::L, S::V> {
     let main_entry = Cp::new(program.main, program.procs[program.main].entry);
     let mut values: FxHashMap<Cp, PMap<S::L, S::V>> = FxHashMap::default();
@@ -178,8 +199,10 @@ pub fn solve_with<S: SparseSpec>(
         })
     };
 
-    let budget = 2000usize.saturating_mul(all_points.len()).max(100_000);
+    let backstop = 2000usize.saturating_mul(all_points.len()).max(100_000);
     let mut iterations = 0usize;
+    let mut meter = budget.start();
+    let mut degraded = false;
     // Changing updates seen per cycle head, for delayed widening. Counting
     // only *changed* joins makes the count independent of how many no-op
     // requeues the evaluation order produces.
@@ -188,9 +211,10 @@ pub fn solve_with<S: SparseSpec>(
         worklist.remove(&(rank, cp));
         iterations += 1;
         assert!(
-            iterations <= budget,
-            "sparse fixpoint exceeded {budget} iterations: widening failure at {cp}"
+            iterations <= backstop,
+            "sparse fixpoint exceeded {backstop} iterations: widening failure at {cp}"
         );
+        degraded |= meter.step();
         let (pre, ret) = assemble(&values, cp);
         let mut out = spec.transfer(cp, &pre, &ret);
         let old = values.get(&cp);
@@ -199,6 +223,10 @@ pub fn solve_with<S: SparseSpec>(
                 let joined = join_map(old, &out);
                 if joined == *old {
                     out = joined;
+                } else if degraded {
+                    // Over budget: widen immediately with the plain operator
+                    // so every still-rising chain stabilizes in one step.
+                    out = old.union_with(&out, |_, o, n| o.widen(n));
                 } else {
                     let seen = widen_delay.entry(cp).or_insert(0);
                     if *seen < plan.delay {
@@ -225,12 +253,17 @@ pub fn solve_with<S: SparseSpec>(
     }
 
     // Descending (narrowing) phase: change-driven, like the ascending
-    // phase, with a per-point evaluation cap to bound descent.
+    // phase, with a per-point evaluation cap to bound descent. Skipped
+    // entirely when the budget ran out: the ascending result is already a
+    // post-fixpoint, and descending work is exactly the precision-chasing
+    // the budget said we cannot afford.
     const MAX_DESCENDS_PER_POINT: u8 = 4;
     let mut narrowing_rounds = 0usize;
     let mut desc_count: FxHashMap<Cp, u8> = FxHashMap::default();
-    for &cp in &all_points {
-        worklist.insert((prio(cp), cp));
+    if !degraded {
+        for &cp in &all_points {
+            worklist.insert((prio(cp), cp));
+        }
     }
     while let Some(&(rank, cp)) = worklist.iter().next() {
         worklist.remove(&(rank, cp));
@@ -261,5 +294,6 @@ pub fn solve_with<S: SparseSpec>(
         values,
         iterations,
         narrowing_rounds,
+        degraded,
     }
 }

@@ -32,6 +32,9 @@ pub struct AnalysisStats {
     pub dep_edges: usize,
     /// Widening strategy the run used (`""` when unset).
     pub widening: &'static str,
+    /// Whether the fixpoint ran out of its analysis budget and finished in
+    /// degraded (sound but less precise) mode.
+    pub degraded: bool,
 }
 
 impl AnalysisStats {

@@ -1,4 +1,5 @@
-//! Content-hash-keyed on-disk cache of per-procedure analysis artifacts.
+//! Content-hash-keyed on-disk cache of per-procedure analysis artifacts —
+//! checksummed, atomically written, and self-healing.
 //!
 //! One JSON file per translation unit, named `<unit>-<key>.json` where the
 //! key is a hash of the unit's *source text* plus the analysis options and
@@ -9,25 +10,97 @@
 //! A cache file stores everything the driver needs to skip re-analysis
 //! entirely: the per-procedure callee-access summaries and dependency
 //! segments (the expensive artifacts named by the paper's pre-analysis and
-//! dependency-generation phases), plus the unit's alarms and the fixpoint
-//! fingerprint. Loads are fully validated — any parse error or shape
-//! mismatch is treated as a miss, never an error.
+//! dependency-generation phases), plus the unit's alarms, degradation flag,
+//! and the fixpoint fingerprint.
+//!
+//! Robustness model (the cache must survive killed runs and bad disks):
+//!
+//! * **Atomic stores.** Entries are written to a temp file in the cache
+//!   directory and `rename`d into place, so readers never observe a
+//!   half-written entry from a concurrent or killed writer.
+//! * **Checksums.** The entry wraps its payload as
+//!   `{"checksum": "<fxhash of compact payload>", "payload": {...}}`; loads
+//!   verify the checksum before decoding, catching truncation and bit rot
+//!   that still parse as JSON.
+//! * **Quarantine, not panic.** A present-but-damaged entry (unreadable,
+//!   unparsable, checksum mismatch, wrong embedded schema, shape mismatch)
+//!   is moved into `quarantine/` under the cache root and reported as
+//!   [`LoadOutcome::MissCorrupt`]; the driver recomputes and overwrites.
+//! * **Bounded retry.** Stores retry transient IO errors a few times with
+//!   short backoff before giving up; a final failure is returned to the
+//!   caller (it costs the *next* run a hit, never this run its result).
+//!
+//! [`CacheHealth`] counts quarantines, IO retries, and failed stores so the
+//! run report can surface self-healing activity.
 
+use crate::fault::CorruptionMode;
 use crate::unit::{ProcArtifact, UnitAnalysis};
 use sga_utils::{fxhash, Json};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Bump when the cached schema or any analysis semantics change.
-pub const CACHE_FORMAT: u32 = 1;
+///
+/// v2: checksummed `{checksum, payload}` envelope, atomic writes, the
+/// `degraded` flag.
+pub const CACHE_FORMAT: u32 = 2;
+
+/// Store attempts per entry (first try + retries of transient IO errors).
+const STORE_ATTEMPTS: u32 = 3;
+
+/// Backoff before retry `n` (1-based), in milliseconds.
+const RETRY_BACKOFF_MS: [u64; 2] = [1, 4];
 
 /// Cache key of one unit: format version + option fingerprint + source text.
 pub fn unit_key(source: &str, options_tag: &str) -> u64 {
     fxhash::hash_one(&(CACHE_FORMAT, options_tag, source))
 }
 
+/// Self-healing activity counters, shared across worker threads.
+#[derive(Debug, Default)]
+pub struct CacheHealth {
+    quarantined: AtomicUsize,
+    io_retries: AtomicUsize,
+    store_errors: AtomicUsize,
+}
+
+/// A point-in-time copy of [`CacheHealth`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheHealthSnapshot {
+    /// Damaged entries moved to `quarantine/` (and recomputed).
+    pub quarantined: usize,
+    /// Transient store failures that were retried.
+    pub io_retries: usize,
+    /// Stores that failed even after retrying.
+    pub store_errors: usize,
+}
+
+impl CacheHealth {
+    fn snapshot(&self) -> CacheHealthSnapshot {
+        CacheHealthSnapshot {
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            store_errors: self.store_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What a lookup found.
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// A validated entry.
+    Hit(Box<UnitAnalysis>),
+    /// No entry under this key.
+    MissAbsent,
+    /// An entry existed but was damaged; it has been quarantined.
+    MissCorrupt,
+}
+
 /// A directory of per-unit cache files.
 pub struct Cache {
     dir: PathBuf,
+    health: CacheHealth,
 }
 
 impl Cache {
@@ -36,10 +109,13 @@ impl Cache {
         std::fs::create_dir_all(dir)?;
         Ok(Cache {
             dir: dir.to_path_buf(),
+            health: CacheHealth::default(),
         })
     }
 
-    fn path_for(&self, unit: &str, key: u64) -> PathBuf {
+    /// The entry path for `unit` under `key` (exposed so tests and fault
+    /// injection can damage entries directly).
+    pub fn path_for(&self, unit: &str, key: u64) -> PathBuf {
         let safe: String = unit
             .chars()
             .map(|c| {
@@ -53,16 +129,134 @@ impl Cache {
         self.dir.join(format!("{safe}-{key:016x}.json"))
     }
 
-    /// Looks `unit` up under `key`; `None` on absence or any corruption.
-    pub fn load(&self, unit: &str, key: u64) -> Option<UnitAnalysis> {
-        let text = std::fs::read_to_string(self.path_for(unit, key)).ok()?;
-        decode(&Json::parse(&text).ok()?)
+    /// Where damaged entries go.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
     }
 
-    /// Stores `analysis` for `unit` under `key`.
-    pub fn store(&self, unit: &str, key: u64, analysis: &UnitAnalysis) -> std::io::Result<()> {
-        std::fs::write(self.path_for(unit, key), encode(unit, analysis).to_pretty())
+    /// Self-healing counters so far.
+    pub fn health(&self) -> CacheHealthSnapshot {
+        self.health.snapshot()
     }
+
+    /// Looks `unit` up under `key`, validating checksum, schema, and shape.
+    /// Damaged entries are quarantined and reported as
+    /// [`LoadOutcome::MissCorrupt`].
+    pub fn load(&self, unit: &str, key: u64) -> LoadOutcome {
+        let path = self.path_for(unit, key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LoadOutcome::MissAbsent,
+            Err(_) => {
+                // Present but unreadable — treat like damage.
+                self.quarantine(&path);
+                return LoadOutcome::MissCorrupt;
+            }
+        };
+        match Json::parse(&text).ok().as_ref().and_then(decode) {
+            Some(analysis) => LoadOutcome::Hit(Box::new(analysis)),
+            None => {
+                self.quarantine(&path);
+                LoadOutcome::MissCorrupt
+            }
+        }
+    }
+
+    /// Stores `analysis` for `unit` under `key`: temp file + rename, with
+    /// bounded retry of transient IO errors.
+    pub fn store(&self, unit: &str, key: u64, analysis: &UnitAnalysis) -> std::io::Result<()> {
+        self.store_injected(unit, key, analysis, 0)
+    }
+
+    /// [`Cache::store`] with `inject_fail_first` leading attempts failing
+    /// with a synthetic IO error — the [`crate::fault`] harness's entry
+    /// point for exercising the retry path.
+    pub fn store_injected(
+        &self,
+        unit: &str,
+        key: u64,
+        analysis: &UnitAnalysis,
+        inject_fail_first: u32,
+    ) -> std::io::Result<()> {
+        let path = self.path_for(unit, key);
+        let text = encode(unit, analysis).to_pretty();
+        let mut attempt = 0;
+        loop {
+            let result = if attempt < inject_fail_first {
+                Err(std::io::Error::other("injected fault: cache IO error"))
+            } else {
+                write_atomic(&path, text.as_bytes())
+            };
+            match result {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= STORE_ATTEMPTS {
+                        self.health.store_errors.fetch_add(1, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                    self.health.io_retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = RETRY_BACKOFF_MS[(attempt as usize - 1).min(1)];
+                    std::thread::sleep(std::time::Duration::from_millis(backoff));
+                }
+            }
+        }
+    }
+
+    /// Damages the stored entry for `unit`/`key` in place (fault injection;
+    /// also what the robustness tests call directly).
+    pub fn corrupt_entry(&self, unit: &str, key: u64, mode: CorruptionMode) -> std::io::Result<()> {
+        let path = self.path_for(unit, key);
+        match mode {
+            CorruptionMode::Truncate => {
+                let len = std::fs::metadata(&path)?.len();
+                let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+                file.set_len(len / 2)?;
+            }
+            CorruptionMode::BitFlip => {
+                let mut file = std::fs::OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(&path)?;
+                let len = std::fs::metadata(&path)?.len();
+                let mid = len / 2;
+                let mut byte = [0u8; 1];
+                file.seek(SeekFrom::Start(mid))?;
+                file.read_exact(&mut byte)?;
+                byte[0] ^= 0x40;
+                file.seek(SeekFrom::Start(mid))?;
+                file.write_all(&byte)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves a damaged entry aside so the next store starts clean and the
+    /// evidence survives for post-mortems. Failures fall back to deletion;
+    /// if even that fails the recompute-and-overwrite path still heals.
+    fn quarantine(&self, path: &Path) {
+        self.health.quarantined.fetch_add(1, Ordering::Relaxed);
+        let qdir = self.quarantine_dir();
+        let moved = std::fs::create_dir_all(&qdir).is_ok()
+            && path
+                .file_name()
+                .is_some_and(|name| std::fs::rename(path, qdir.join(name)).is_ok());
+        if !moved {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// then rename. The temp name is derived from the target name; only one
+/// writer per key exists within a run (each unit is analyzed once), and
+/// cross-run collisions just race to identical content.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
 }
 
 fn encode(unit: &str, a: &UnitAnalysis) -> Json {
@@ -89,7 +283,7 @@ fn encode(unit: &str, a: &UnitAnalysis) -> Json {
                 )
         })
         .collect();
-    Json::obj()
+    let payload = Json::obj()
         .with("schema", CACHE_FORMAT)
         .with("unit", unit)
         .with("fingerprint", format!("{:016x}", a.fingerprint))
@@ -97,17 +291,29 @@ fn encode(unit: &str, a: &UnitAnalysis) -> Json {
         .with("num_locs", a.num_locs)
         .with("dep_edges_raw", a.dep_edges_raw)
         .with("dep_edges", a.dep_edges)
+        .with("degraded", a.degraded)
         .with("alarms", strs(&a.alarms))
-        .with("procs", procs)
+        .with("procs", procs);
+    let checksum = fxhash::hash_one(&payload.to_compact());
+    Json::obj()
+        .with("checksum", format!("{checksum:016x}"))
+        .with("payload", payload)
 }
 
 fn decode(j: &Json) -> Option<UnitAnalysis> {
-    if j.get("schema")?.as_u64()? != u64::from(CACHE_FORMAT) {
+    let stored = u64::from_str_radix(j.get("checksum")?.as_str()?, 16).ok()?;
+    let payload = j.get("payload")?;
+    // The compact rendering of a parsed payload is deterministic (object
+    // order is preserved), so the checksum survives the roundtrip.
+    if fxhash::hash_one(&payload.to_compact()) != stored {
         return None;
     }
-    let fingerprint = u64::from_str_radix(j.get("fingerprint")?.as_str()?, 16).ok()?;
+    if payload.get("schema")?.as_u64()? != u64::from(CACHE_FORMAT) {
+        return None;
+    }
+    let fingerprint = u64::from_str_radix(payload.get("fingerprint")?.as_str()?, 16).ok()?;
     let mut procs = Vec::new();
-    for p in j.get("procs")?.as_arr()? {
+    for p in payload.get("procs")?.as_arr()? {
         let mut dep_segment = Vec::new();
         for row in p.get("dep_segment")?.as_arr()? {
             let row = row.as_arr()?;
@@ -129,12 +335,13 @@ fn decode(j: &Json) -> Option<UnitAnalysis> {
     }
     Some(UnitAnalysis {
         procs,
-        alarms: str_list(j.get("alarms")?)?,
+        alarms: str_list(payload.get("alarms")?)?,
         fingerprint,
-        iterations: j.get("iterations")?.as_u64()? as usize,
-        num_locs: j.get("num_locs")?.as_u64()? as usize,
-        dep_edges_raw: j.get("dep_edges_raw")?.as_u64()? as usize,
-        dep_edges: j.get("dep_edges")?.as_u64()? as usize,
+        iterations: payload.get("iterations")?.as_u64()? as usize,
+        num_locs: payload.get("num_locs")?.as_u64()? as usize,
+        dep_edges_raw: payload.get("dep_edges_raw")?.as_u64()? as usize,
+        dep_edges: payload.get("dep_edges")?.as_u64()? as usize,
+        degraded: payload.get("degraded")?.as_bool()?,
     })
 }
 
@@ -167,7 +374,14 @@ mod tests {
             num_locs: 9,
             dep_edges_raw: 12,
             dep_edges: 10,
+            degraded: false,
         }
+    }
+
+    fn temp_cache(tag: &str) -> Cache {
+        let dir = std::env::temp_dir().join(format!("sga-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Cache::open(&dir).unwrap()
     }
 
     #[test]
@@ -178,9 +392,81 @@ mod tests {
     }
 
     #[test]
-    fn schema_mismatch_is_a_miss() {
+    fn schema_mismatch_is_rejected() {
         let mut j = encode("u", &sample());
-        j.set("schema", 999u32);
+        // A stale schema with a *valid* checksum over the altered payload —
+        // checksums do not vouch for schema compatibility.
+        let mut payload = j.get("payload").unwrap().clone();
+        payload.set("schema", 1u32);
+        let checksum = fxhash::hash_one(&payload.to_compact());
+        j.set("checksum", format!("{checksum:016x}"));
+        j.set("payload", payload);
         assert!(decode(&j).is_none());
+    }
+
+    #[test]
+    fn checksum_mismatch_is_rejected() {
+        let mut j = encode("u", &sample());
+        let mut payload = j.get("payload").unwrap().clone();
+        payload.set("iterations", 43u32); // damage without updating checksum
+        j.set("payload", payload);
+        assert!(decode(&j).is_none());
+    }
+
+    #[test]
+    fn store_load_roundtrip_and_absent_miss() {
+        let cache = temp_cache("roundtrip");
+        let a = sample();
+        cache.store("u", 7, &a).unwrap();
+        match cache.load("u", 7) {
+            LoadOutcome::Hit(got) => assert_eq!(*got, a),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert!(matches!(cache.load("u", 8), LoadOutcome::MissAbsent));
+        assert_eq!(cache.health(), CacheHealthSnapshot::default());
+    }
+
+    #[test]
+    fn truncated_entry_is_quarantined() {
+        let cache = temp_cache("truncate");
+        cache.store("u", 7, &sample()).unwrap();
+        cache
+            .corrupt_entry("u", 7, CorruptionMode::Truncate)
+            .unwrap();
+        assert!(matches!(cache.load("u", 7), LoadOutcome::MissCorrupt));
+        assert_eq!(cache.health().quarantined, 1);
+        // The damaged file moved aside; the slot is free again.
+        assert!(!cache.path_for("u", 7).exists());
+        assert!(std::fs::read_dir(cache.quarantine_dir()).unwrap().count() == 1);
+        assert!(matches!(cache.load("u", 7), LoadOutcome::MissAbsent));
+    }
+
+    #[test]
+    fn bitflipped_entry_is_quarantined() {
+        let cache = temp_cache("bitflip");
+        cache.store("u", 7, &sample()).unwrap();
+        cache
+            .corrupt_entry("u", 7, CorruptionMode::BitFlip)
+            .unwrap();
+        assert!(matches!(cache.load("u", 7), LoadOutcome::MissCorrupt));
+        assert_eq!(cache.health().quarantined, 1);
+    }
+
+    #[test]
+    fn transient_io_errors_are_retried() {
+        let cache = temp_cache("retry");
+        cache.store_injected("u", 7, &sample(), 2).unwrap();
+        assert!(matches!(cache.load("u", 7), LoadOutcome::Hit(_)));
+        assert_eq!(cache.health().io_retries, 2);
+        assert_eq!(cache.health().store_errors, 0);
+    }
+
+    #[test]
+    fn persistent_io_errors_surface() {
+        let cache = temp_cache("io-fail");
+        let err = cache.store_injected("u", 7, &sample(), STORE_ATTEMPTS);
+        assert!(err.is_err());
+        assert_eq!(cache.health().store_errors, 1);
+        assert!(matches!(cache.load("u", 7), LoadOutcome::MissAbsent));
     }
 }

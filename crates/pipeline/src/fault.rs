@@ -1,0 +1,224 @@
+//! Deterministic fault injection for the batch driver.
+//!
+//! A [`FaultPlan`] names, per unit *index*, faults to inject while the
+//! pipeline runs: worker panics, budget exhaustion, cache-entry corruption
+//! after a store, and transient cache IO errors. Plans are plain data —
+//! built explicitly, parsed from a CLI spec ([`FaultPlan::parse`]), or
+//! drawn from a seeded RNG ([`FaultPlan::seeded`]) — so every injected
+//! failure is reproducible: the same plan over the same corpus produces the
+//! same report, byte for byte, at any `--jobs` value.
+//!
+//! The injection points live in the pipeline itself (`run`, `cache`), which
+//! keeps the faulted code path identical to the production path right up to
+//! the induced failure.
+
+use sga_core::budget::Budget;
+
+/// How to damage a just-written cache entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorruptionMode {
+    /// Cut the file roughly in half (simulates a killed writer on a
+    /// filesystem without atomic rename, or a torn copy).
+    Truncate,
+    /// Flip one bit in the middle of the file (simulates media rot).
+    BitFlip,
+}
+
+/// One fault, aimed at one unit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The unit's worker panics mid-analysis.
+    Panic,
+    /// The unit's fixpoint runs under a tiny step budget and degrades.
+    BudgetExhaust {
+        /// The injected `max_steps` value.
+        max_steps: u64,
+    },
+    /// The unit's cache entry is corrupted right after it is stored.
+    CorruptStore {
+        /// The damage to apply.
+        mode: CorruptionMode,
+    },
+    /// The unit's cache store fails with a synthetic IO error on its first
+    /// `fail_first` attempts (exercises the bounded-backoff retry; values
+    /// above the retry limit make the store fail outright).
+    IoError {
+        /// Number of leading attempts to fail.
+        fail_first: u32,
+    },
+}
+
+/// A reproducible set of faults, keyed by unit index.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<(usize, FaultKind)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Adds one fault aimed at `unit`.
+    pub fn add(mut self, unit: usize, kind: FaultKind) -> FaultPlan {
+        self.faults.push((unit, kind));
+        self
+    }
+
+    /// Unit indices the plan touches (with duplicates preserved, in plan
+    /// order) — the "faulted set" determinism tests exclude.
+    pub fn faulted_units(&self) -> Vec<usize> {
+        self.faults.iter().map(|&(u, _)| u).collect()
+    }
+
+    /// Whether `unit`'s worker should panic.
+    pub fn should_panic(&self, unit: usize) -> bool {
+        self.faults
+            .iter()
+            .any(|(u, k)| *u == unit && matches!(k, FaultKind::Panic))
+    }
+
+    /// The injected budget for `unit`, if any.
+    pub fn budget_for(&self, unit: usize) -> Option<Budget> {
+        self.faults.iter().find_map(|(u, k)| match k {
+            FaultKind::BudgetExhaust { max_steps } if *u == unit => {
+                Some(Budget::with_max_steps(*max_steps))
+            }
+            _ => None,
+        })
+    }
+
+    /// The post-store corruption for `unit`'s cache entry, if any.
+    pub fn corruption_for(&self, unit: usize) -> Option<CorruptionMode> {
+        self.faults.iter().find_map(|(u, k)| match k {
+            FaultKind::CorruptStore { mode } if *u == unit => Some(*mode),
+            _ => None,
+        })
+    }
+
+    /// How many leading store attempts for `unit` fail with a synthetic IO
+    /// error (0 = none).
+    pub fn io_fail_count(&self, unit: usize) -> u32 {
+        self.faults
+            .iter()
+            .find_map(|(u, k)| match k {
+                FaultKind::IoError { fail_first } if *u == unit => Some(*fail_first),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Parses a CLI fault spec: comma-separated directives
+    /// `panic@I` | `budget@I=STEPS` | `truncate@I` | `bitflip@I` | `io@I=N`,
+    /// where `I` is a unit index. Example: `panic@2,budget@0=50,io@1=2`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for raw in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (head, arg) = match raw.split_once('=') {
+                Some((h, a)) => (h, Some(a)),
+                None => (raw, None),
+            };
+            let (kind, unit) = head
+                .split_once('@')
+                .ok_or_else(|| format!("fault `{raw}`: expected KIND@UNIT"))?;
+            let unit: usize = unit
+                .parse()
+                .map_err(|_| format!("fault `{raw}`: bad unit index `{unit}`"))?;
+            let arg_num = |what: &str| -> Result<u64, String> {
+                arg.ok_or_else(|| format!("fault `{raw}`: `{kind}` needs ={what}"))?
+                    .parse()
+                    .map_err(|_| format!("fault `{raw}`: bad {what}"))
+            };
+            let kind = match kind {
+                "panic" => FaultKind::Panic,
+                "budget" => FaultKind::BudgetExhaust {
+                    max_steps: arg_num("STEPS")?,
+                },
+                "truncate" => FaultKind::CorruptStore {
+                    mode: CorruptionMode::Truncate,
+                },
+                "bitflip" => FaultKind::CorruptStore {
+                    mode: CorruptionMode::BitFlip,
+                },
+                "io" => FaultKind::IoError {
+                    fail_first: arg_num("N")? as u32,
+                },
+                other => return Err(format!("fault `{raw}`: unknown kind `{other}`")),
+            };
+            plan = plan.add(unit, kind);
+        }
+        Ok(plan)
+    }
+
+    /// Draws one random fault per kind from a seeded RNG over `units` unit
+    /// indices — a reproducible chaos preset for stress tests.
+    pub fn seeded(seed: u64, units: usize) -> FaultPlan {
+        use rand::{Rng, SeedableRng};
+        if units == 0 {
+            return FaultPlan::none();
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::none();
+        plan = plan.add(rng.gen_range(0..units), FaultKind::Panic);
+        plan = plan.add(
+            rng.gen_range(0..units),
+            FaultKind::BudgetExhaust {
+                max_steps: rng.gen_range(1..64),
+            },
+        );
+        let mode = if rng.gen_range(0..2) == 0 {
+            CorruptionMode::Truncate
+        } else {
+            CorruptionMode::BitFlip
+        };
+        plan = plan.add(rng.gen_range(0..units), FaultKind::CorruptStore { mode });
+        plan = plan.add(
+            rng.gen_range(0..units),
+            FaultKind::IoError {
+                fail_first: rng.gen_range(1..3),
+            },
+        );
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let plan = FaultPlan::parse("panic@2, budget@0=50, truncate@1, bitflip@3, io@4=2").unwrap();
+        assert!(plan.should_panic(2));
+        assert!(!plan.should_panic(0));
+        assert_eq!(plan.budget_for(0), Some(Budget::with_max_steps(50)));
+        assert_eq!(plan.budget_for(2), None);
+        assert_eq!(plan.corruption_for(1), Some(CorruptionMode::Truncate));
+        assert_eq!(plan.corruption_for(3), Some(CorruptionMode::BitFlip));
+        assert_eq!(plan.io_fail_count(4), 2);
+        assert_eq!(plan.io_fail_count(2), 0);
+        assert_eq!(plan.faulted_units(), vec![2, 0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(FaultPlan::parse("panic").is_err());
+        assert!(FaultPlan::parse("panic@x").is_err());
+        assert!(FaultPlan::parse("budget@1").is_err());
+        assert!(FaultPlan::parse("explode@1").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn seeded_is_reproducible() {
+        assert_eq!(FaultPlan::seeded(42, 8), FaultPlan::seeded(42, 8));
+        assert_ne!(FaultPlan::seeded(42, 8), FaultPlan::seeded(43, 8));
+        assert!(FaultPlan::seeded(7, 0).is_empty());
+    }
+}

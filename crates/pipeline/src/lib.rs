@@ -22,23 +22,39 @@
 //! input order ([`par::run_indexed`]), so the report — timings aside — is
 //! byte-identical for any `--jobs` value. The `canonical` option drops the
 //! timing and job-count fields, making the *entire* report byte-comparable.
+//!
+//! The driver is also **fault-tolerant**: a panicking unit is isolated with
+//! `catch_unwind` and recorded as a `crashed` outcome while the rest of the
+//! batch completes (`keep_going`, the default), fixpoints run under an
+//! optional [`sga_core::budget::Budget`] and degrade soundly instead of
+//! running away, and the cache self-heals from damaged entries (see
+//! [`cache`]). The [`fault`] module injects all of these failure modes
+//! deterministically for testing.
 
 pub mod cache;
+pub mod fault;
 pub mod par;
 pub mod unit;
 
 pub use cache::Cache;
+pub use fault::FaultPlan;
 pub use unit::{analyze_unit, ProcArtifact, UnitAnalysis};
 
+use sga_core::budget::Budget;
 use sga_core::depgen::DepGenOptions;
 use sga_core::widening::WideningConfig;
 use sga_utils::stats::StageTimers;
 use sga_utils::Json;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::time::Instant;
 
 /// Report schema version (`"schema"` field of the emitted JSON).
-pub const REPORT_SCHEMA: u32 = 1;
+///
+/// v2: per-unit `outcome` (`ok` | `degraded` | `crashed`, with `error` on
+/// crashes), `degraded`/`crashed` totals, and a `cache_health` block in
+/// non-canonical reports.
+pub const REPORT_SCHEMA: u32 = 2;
 
 /// What to analyze.
 #[derive(Clone, Debug)]
@@ -78,6 +94,14 @@ pub struct PipelineOptions {
     pub depgen: DepGenOptions,
     /// Widening strategy forwarded to the fixpoint solver.
     pub widening: WideningConfig,
+    /// Record a crashing unit and keep analyzing the rest (`true`, the
+    /// default), or abort the whole run on the first failure.
+    pub keep_going: bool,
+    /// Per-unit fixpoint work budget; exhaustion degrades soundly and marks
+    /// the unit `degraded`.
+    pub budget: Budget,
+    /// Deterministic fault injection (testing only; empty in production).
+    pub faults: FaultPlan,
 }
 
 impl Default for PipelineOptions {
@@ -88,21 +112,32 @@ impl Default for PipelineOptions {
             canonical: false,
             depgen: DepGenOptions::default(),
             widening: WideningConfig::default(),
+            keep_going: true,
+            budget: Budget::unbounded(),
+            faults: FaultPlan::none(),
         }
     }
 }
 
-/// Why a run failed. Per-unit *analysis* never fails; only I/O and the
-/// frontend can.
+/// Why a run failed outright. With `keep_going` (the default) per-unit
+/// failures are *recorded* in the report instead; only I/O errors — or any
+/// unit failure under `fail-fast` — abort the run.
 #[derive(Debug)]
 pub enum PipelineError {
     /// Filesystem trouble (project loading or cache directory creation).
     Io(String),
-    /// A unit did not parse.
+    /// A unit did not parse (fail-fast mode only).
     Frontend {
         /// The offending unit.
         unit: String,
         /// Rendered frontend error.
+        message: String,
+    },
+    /// A unit's worker panicked (fail-fast mode only).
+    Crashed {
+        /// The offending unit.
+        unit: String,
+        /// Rendered panic payload.
         message: String,
     },
 }
@@ -112,6 +147,9 @@ impl std::fmt::Display for PipelineError {
         match self {
             PipelineError::Io(m) => write!(f, "{m}"),
             PipelineError::Frontend { unit, message } => write!(f, "{unit}: {message}"),
+            PipelineError::Crashed { unit, message } => {
+                write!(f, "{unit}: analysis crashed: {message}")
+            }
         }
     }
 }
@@ -169,6 +207,27 @@ impl CacheStatus {
     }
 }
 
+/// What happened to one unit.
+enum UnitOutcome {
+    /// Analysis finished (possibly degraded — the flag travels inside).
+    Analyzed(CacheStatus, Box<UnitAnalysis>),
+    /// The frontend rejected the unit.
+    Frontend(String),
+    /// The unit's worker panicked; the panic was isolated.
+    Panicked(String),
+}
+
+/// Renders a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
 /// Runs the whole project and returns the JSON run report.
 pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, PipelineError> {
     let wall = Instant::now();
@@ -187,70 +246,144 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
     // Thread budget: units run concurrently; whatever head room is left
     // over goes to procedure-level parallelism inside each unit.
     let inner_jobs = (jobs / units.len().max(1)).max(1);
-    // Both dependency options and the widening strategy shape the fixpoint,
-    // so both are part of the cache key.
-    let options_tag = format!("{:?}|{:?}", options.depgen, options.widening);
+    // Dependency options, the widening strategy, and the analysis budget all
+    // shape the fixpoint, so all three are part of the cache key. The budget
+    // joins per unit (below) because fault injection can override it for a
+    // single unit without disturbing its neighbors' keys.
+    let base_tag = format!("{:?}|{:?}", options.depgen, options.widening);
 
-    let outcomes: Vec<Result<(u64, CacheStatus, UnitAnalysis), PipelineError>> =
-        par::run_indexed(jobs, &units, |_, input| {
-            let key = cache::unit_key(&input.source, &options_tag);
-            if let Some(cached) = cache.as_ref().and_then(|c| c.load(&input.name, key)) {
-                return Ok((key, CacheStatus::Hit, cached));
+    // With keep_going, worker panics are expected, caught, and recorded in
+    // the report — silence the default hook's per-panic backtrace spew for
+    // the duration of the unit loop so one bad unit doesn't flood stderr.
+    let prev_hook = if options.keep_going {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        Some(hook)
+    } else {
+        None
+    };
+    let outcomes: Vec<(u64, UnitOutcome)> = par::run_indexed(jobs, &units, |i, input| {
+        // An injected budget changes the unit's analysis semantics, so it
+        // participates in that unit's key — a faulted run never hits an
+        // entry the fault-free run stored, and vice versa.
+        let budget = options.faults.budget_for(i).unwrap_or(options.budget);
+        let options_tag = format!("{base_tag}|{}", budget.cache_tag());
+        let key = cache::unit_key(&input.source, &options_tag);
+        let caught = catch_unwind(AssertUnwindSafe(|| -> Result<_, String> {
+            if options.faults.should_panic(i) {
+                panic!("injected fault: worker panic in {}", input.name);
+            }
+            if let Some(c) = &cache {
+                if let cache::LoadOutcome::Hit(cached) = c.load(&input.name, key) {
+                    return Ok((CacheStatus::Hit, cached));
+                }
             }
             let program = timers
                 .time("parse", || sga_cfront::parse(&input.source))
-                .map_err(|e| PipelineError::Frontend {
-                    unit: input.name.clone(),
-                    message: e.to_string(),
-                })?;
+                .map_err(|e| e.to_string())?;
             let analysis = unit::analyze_unit(
                 &program,
                 inner_jobs,
                 options.depgen,
                 options.widening,
+                &budget,
                 &timers,
             );
-            let status = match &cache {
-                Some(c) => {
-                    // A store failure only costs the next run its hit.
-                    let _ = c.store(&input.name, key, &analysis);
-                    CacheStatus::Miss
+            if let Some(c) = &cache {
+                // A store failure is retried inside the cache and, if it
+                // sticks, counted in cache health; it only costs the next
+                // run its hit.
+                let _ =
+                    c.store_injected(&input.name, key, &analysis, options.faults.io_fail_count(i));
+                if let Some(mode) = options.faults.corruption_for(i) {
+                    let _ = c.corrupt_entry(&input.name, key, mode);
                 }
-                None => CacheStatus::Off,
+            }
+            let status = if cache.is_some() {
+                CacheStatus::Miss
+            } else {
+                CacheStatus::Off
             };
-            Ok((key, status, analysis))
-        });
+            Ok((status, Box::new(analysis)))
+        }));
+        let outcome = match caught {
+            Ok(Ok((status, analysis))) => UnitOutcome::Analyzed(status, analysis),
+            Ok(Err(message)) => UnitOutcome::Frontend(message),
+            Err(payload) => UnitOutcome::Panicked(panic_message(payload)),
+        };
+        (key, outcome)
+    });
+    if let Some(hook) = prev_hook {
+        std::panic::set_hook(hook);
+    }
+
+    if !options.keep_going {
+        for (input, (_, outcome)) in units.iter().zip(&outcomes) {
+            match outcome {
+                UnitOutcome::Frontend(message) => {
+                    return Err(PipelineError::Frontend {
+                        unit: input.name.clone(),
+                        message: message.clone(),
+                    });
+                }
+                UnitOutcome::Panicked(message) => {
+                    return Err(PipelineError::Crashed {
+                        unit: input.name.clone(),
+                        message: message.clone(),
+                    });
+                }
+                UnitOutcome::Analyzed(..) => {}
+            }
+        }
+    }
 
     let mut units_json: Vec<Json> = Vec::with_capacity(units.len());
     let (mut procs, mut alarms, mut hits, mut misses) = (0usize, 0usize, 0usize, 0usize);
-    for (input, outcome) in units.iter().zip(outcomes) {
-        let (key, status, a) = outcome?;
-        procs += a.procs.len();
-        alarms += a.alarms.len();
-        match status {
-            CacheStatus::Hit => hits += a.procs.len(),
-            CacheStatus::Miss => misses += a.procs.len(),
-            CacheStatus::Off => {}
+    let (mut degraded_units, mut crashed_units) = (0usize, 0usize);
+    for (input, (key, outcome)) in units.iter().zip(outcomes) {
+        match outcome {
+            UnitOutcome::Analyzed(status, a) => {
+                procs += a.procs.len();
+                alarms += a.alarms.len();
+                degraded_units += usize::from(a.degraded);
+                match status {
+                    CacheStatus::Hit => hits += a.procs.len(),
+                    CacheStatus::Miss => misses += a.procs.len(),
+                    CacheStatus::Off => {}
+                }
+                units_json.push(
+                    Json::obj()
+                        .with("name", input.name.as_str())
+                        .with("outcome", if a.degraded { "degraded" } else { "ok" })
+                        .with("source_hash", format!("{key:016x}"))
+                        .with("procs", a.procs.len())
+                        .with("locs", a.num_locs)
+                        .with("dep_edges_raw", a.dep_edges_raw)
+                        .with("dep_edges", a.dep_edges)
+                        .with("iterations", a.iterations)
+                        .with("fingerprint", format!("{:016x}", a.fingerprint))
+                        .with("cache", status.as_str())
+                        .with(
+                            "alarms",
+                            a.alarms
+                                .iter()
+                                .map(|s| Json::from(s.as_str()))
+                                .collect::<Vec<_>>(),
+                        ),
+                );
+            }
+            UnitOutcome::Frontend(message) | UnitOutcome::Panicked(message) => {
+                crashed_units += 1;
+                units_json.push(
+                    Json::obj()
+                        .with("name", input.name.as_str())
+                        .with("outcome", "crashed")
+                        .with("source_hash", format!("{key:016x}"))
+                        .with("error", message.as_str())
+                        .with("alarms", Vec::<Json>::new()),
+                );
+            }
         }
-        units_json.push(
-            Json::obj()
-                .with("name", input.name.as_str())
-                .with("source_hash", format!("{key:016x}"))
-                .with("procs", a.procs.len())
-                .with("locs", a.num_locs)
-                .with("dep_edges_raw", a.dep_edges_raw)
-                .with("dep_edges", a.dep_edges)
-                .with("iterations", a.iterations)
-                .with("fingerprint", format!("{:016x}", a.fingerprint))
-                .with("cache", status.as_str())
-                .with(
-                    "alarms",
-                    a.alarms
-                        .iter()
-                        .map(|s| Json::from(s.as_str()))
-                        .collect::<Vec<_>>(),
-                ),
-        );
     }
 
     let mut opts_json = Json::obj()
@@ -267,6 +400,8 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
         .with("units", units.len())
         .with("procs", procs)
         .with("alarms", alarms)
+        .with("degraded", degraded_units)
+        .with("crashed", crashed_units)
         .with("cache_hits", hits)
         .with("cache_misses", misses)
         .with(
@@ -286,6 +421,19 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
         .with("totals", totals);
 
     if !options.canonical {
+        // Self-healing activity varies with prior on-disk state (a corrupt
+        // entry quarantined here was stored by an earlier run), so it lives
+        // with the other run-specific fields, outside the canonical report.
+        if let Some(c) = &cache {
+            let health = c.health();
+            report.set(
+                "cache_health",
+                Json::obj()
+                    .with("quarantined", health.quarantined)
+                    .with("io_retries", health.io_retries)
+                    .with("store_errors", health.store_errors),
+            );
+        }
         let mut timing = Json::obj();
         for (stage, d) in timers.snapshot() {
             timing.set(&stage, d.as_secs_f64() * 1000.0);

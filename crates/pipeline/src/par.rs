@@ -27,7 +27,10 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let per_worker: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|s| {
+    // A worker panic is re-raised *on the calling thread* with its original
+    // payload, so callers that isolate faults (the unit loop's
+    // `catch_unwind`) see exactly the panic the work item raised.
+    let scoped = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|_| {
@@ -45,10 +48,13 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("pipeline worker panicked"))
-            .collect()
-    })
-    .expect("pipeline thread scope failed");
+            .map(|h| h.join())
+            .collect::<Result<Vec<_>, _>>()
+    });
+    let per_worker: Vec<Vec<(usize, R)>> = match scoped {
+        Ok(Ok(batches)) => batches,
+        Ok(Err(payload)) | Err(payload) => std::panic::resume_unwind(payload),
+    };
 
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for batch in per_worker {

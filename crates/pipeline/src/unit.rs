@@ -21,6 +21,7 @@
 //! outcome is bit-identical for any worker count.
 
 use crate::par;
+use sga_core::budget::Budget;
 use sga_core::depgen::{self, DepGenOptions, IntervalDepSource};
 use sga_core::icfg::Icfg;
 use sga_core::interval::{Engine, IntervalResult, IntervalSparseSpec};
@@ -64,6 +65,9 @@ pub struct UnitAnalysis {
     pub dep_edges_raw: usize,
     /// Dependency edges the solver actually propagates along.
     pub dep_edges: usize,
+    /// Whether the fixpoint ran out of its analysis budget and finished in
+    /// degraded (sound but less precise) mode.
+    pub degraded: bool,
 }
 
 /// Groups the call graph's SCC condensation into bottom-up *levels*: SCCs in
@@ -105,6 +109,7 @@ pub fn analyze_unit(
     jobs: usize,
     options: DepGenOptions,
     widening: WideningConfig,
+    budget: &Budget,
     timers: &StageTimers,
 ) -> UnitAnalysis {
     let pids: Vec<ProcId> = program.procs.indices().collect();
@@ -166,20 +171,20 @@ pub fn analyze_unit(
         (deps, segments)
     });
 
-    let (values, iterations) = timers.time("fix", || {
+    let (values, iterations, degraded) = timers.time("fix", || {
         let spec = IntervalSparseSpec {
             program,
             pre: &pre,
             du: &du,
         };
         let plan = WideningPlan::for_program(program, widening);
-        let solved = sparse::solve_with(program, &icfg, &deps, &spec, &plan);
+        let solved = sparse::solve_with(program, &icfg, &deps, &spec, &plan, budget);
         let values: FxHashMap<Cp, State> = solved
             .values
             .into_iter()
             .map(|(cp, m)| (cp, State::from_pmap(m)))
             .collect();
-        (values, solved.iterations)
+        (values, solved.iterations, solved.degraded)
     });
 
     let (alarms, fingerprint) = timers.time("check", || {
@@ -242,6 +247,7 @@ pub fn analyze_unit(
         num_locs: du.locs.len(),
         dep_edges_raw: deps.stats.raw_edges,
         dep_edges: deps.stats.final_edges,
+        degraded,
     }
 }
 

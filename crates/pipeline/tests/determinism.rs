@@ -3,6 +3,7 @@
 //! canonical reports, and the staged per-procedure schedule must agree
 //! exactly with the sequential single-unit analyzer it decomposes.
 
+use sga_core::budget::Budget;
 use sga_core::depgen::DepGenOptions;
 use sga_core::interval::{self, Engine};
 use sga_core::widening::WideningConfig;
@@ -50,6 +51,7 @@ fn staged_schedule_matches_sequential_analyzer() {
         4,
         DepGenOptions::default(),
         WideningConfig::default(),
+        &Budget::unbounded(),
         &timers,
     );
 

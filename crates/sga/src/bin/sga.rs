@@ -3,23 +3,34 @@
 //! ```text
 //! sga <file.c> [--engine vanilla|base|sparse] [--domain interval|octagon]
 //!              [--widening naive|threshold|delayed]
+//!              [--max-steps N] [--timeout-ms N]
 //!              [--check] [--dump-ir] [--dump-values] [--stats]
 //! sga analyze <dir> | --corpus units=N,kloc=K,seed=S
 //!             [--jobs N] [--cache-dir D] [--no-cache] [--canonical]
-//!             [--no-bypass] [--widening naive|threshold|delayed] [--out FILE]
+//!             [--no-bypass] [--widening naive|threshold|delayed]
+//!             [--keep-going | --fail-fast] [--max-steps N] [--timeout-ms N]
+//!             [--faults SPEC] [--out FILE]
 //! ```
 //!
 //! `sga analyze` runs the batch pipeline over every `*.c` file in a
 //! directory (or over a generated corpus) and prints a JSON run report.
+//! Under `--keep-going` (the default) a crashing or unparsable unit is
+//! recorded in the report while the rest of the batch completes;
+//! `--fail-fast` aborts the run on the first failure. `--max-steps` /
+//! `--timeout-ms` bound each unit's fixpoint — over-budget units degrade
+//! soundly and are marked `degraded`. `--faults` injects deterministic
+//! faults for testing (see `pipeline::fault`).
 //!
 //! Exit code 0 when no definite alarm is found, 1 otherwise, 2 on usage or
-//! frontend errors.
+//! frontend errors; `sga analyze` exits 3 when the run completed but some
+//! units crashed (partial failure).
 
+use sga::analysis::budget::Budget;
 use sga::analysis::interval::{self, AnalyzeOptions, Engine};
 use sga::analysis::widening::{WideningConfig, WideningStrategy};
 use sga::analysis::{checker, octagon};
 use sga::domains::Lattice;
-use sga::pipeline::{self, PipelineOptions, Project};
+use sga::pipeline::{self, FaultPlan, PipelineOptions, Project};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -28,6 +39,7 @@ struct Options {
     engine: Engine,
     domain: Domain,
     widening: WideningConfig,
+    budget: Budget,
     check: bool,
     dump_ir: bool,
     dump_values: bool,
@@ -42,14 +54,22 @@ enum Domain {
 
 const USAGE: &str = "usage: sga <file.c> [--engine vanilla|base|sparse] \
                      [--domain interval|octagon] \
-                     [--widening naive|threshold|delayed] [--check] [--dump-ir] \
+                     [--widening naive|threshold|delayed] \
+                     [--max-steps N] [--timeout-ms N] [--check] [--dump-ir] \
                      [--dump-values] [--stats]";
+
+/// Parses a positive-integer flag value.
+fn num_flag(flag: &str, value: Option<String>) -> Result<u64, String> {
+    let v = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse().map_err(|_| format!("bad {flag} {v:?}"))
+}
 
 fn parse_args() -> Result<Options, String> {
     let mut file: Option<String> = None;
     let mut engine = Engine::Sparse;
     let mut domain = Domain::Interval;
     let mut widening = WideningConfig::default();
+    let mut budget = Budget::unbounded();
     let (mut check, mut dump_ir, mut dump_values, mut stats) = (false, false, false, false);
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -75,6 +95,8 @@ fn parse_args() -> Result<Options, String> {
                     None => return Err("bad --widening (naive|threshold|delayed)".to_string()),
                 }
             }
+            "--max-steps" => budget.max_steps = Some(num_flag("--max-steps", args.next())?),
+            "--timeout-ms" => budget.timeout_ms = Some(num_flag("--timeout-ms", args.next())?),
             "--check" => check = true,
             "--dump-ir" => dump_ir = true,
             "--dump-values" => dump_values = true,
@@ -90,6 +112,7 @@ fn parse_args() -> Result<Options, String> {
         engine,
         domain,
         widening,
+        budget,
         check,
         dump_ir,
         dump_values,
@@ -100,7 +123,9 @@ fn parse_args() -> Result<Options, String> {
 const ANALYZE_USAGE: &str = "usage: sga analyze <dir> | --corpus units=N,kloc=K,seed=S \
                              [--jobs N] [--cache-dir D] [--no-cache] [--canonical] \
                              [--no-bypass] [--widening naive|threshold|delayed] \
-                             [--out FILE]";
+                             [--keep-going | --fail-fast] \
+                             [--max-steps N] [--timeout-ms N] \
+                             [--faults SPEC] [--out FILE]";
 
 fn parse_analyze_args(
     args: impl Iterator<Item = String>,
@@ -128,6 +153,18 @@ fn parse_analyze_args(
             "--no-cache" => no_cache = true,
             "--canonical" => opts.canonical = true,
             "--no-bypass" => opts.depgen.bypass = false,
+            "--keep-going" => opts.keep_going = true,
+            "--fail-fast" => opts.keep_going = false,
+            "--max-steps" => {
+                opts.budget.max_steps = Some(num_flag("--max-steps", args.next())?);
+            }
+            "--timeout-ms" => {
+                opts.budget.timeout_ms = Some(num_flag("--timeout-ms", args.next())?);
+            }
+            "--faults" => {
+                let spec = args.next().ok_or("--faults needs a spec")?;
+                opts.faults = FaultPlan::parse(&spec)?;
+            }
             "--widening" => {
                 opts.widening = match args.next().as_deref().and_then(WideningStrategy::parse) {
                     Some(s) => WideningConfig::of(s),
@@ -185,6 +222,11 @@ fn run_analyze(args: impl Iterator<Item = String>) -> ExitCode {
     };
     match pipeline::run(&project, &opts) {
         Ok(report) => {
+            let crashed = report
+                .get("totals")
+                .and_then(|t| t.get("crashed"))
+                .and_then(|c| c.as_u64())
+                .unwrap_or(0);
             let text = report.to_pretty();
             match out {
                 Some(path) => {
@@ -195,7 +237,14 @@ fn run_analyze(args: impl Iterator<Item = String>) -> ExitCode {
                 }
                 None => println!("{text}"),
             }
-            ExitCode::SUCCESS
+            if crashed > 0 {
+                // Partial failure: the batch completed but some units did
+                // not; distinct from both success and a usage/IO error.
+                eprintln!("sga: {crashed} unit(s) crashed; see the report");
+                ExitCode::from(3)
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(e) => {
             eprintln!("sga: {e}");
@@ -243,15 +292,20 @@ fn main() -> ExitCode {
                 opts.engine,
                 AnalyzeOptions {
                     widening: opts.widening,
+                    budget: opts.budget,
                     ..AnalyzeOptions::default()
                 },
             );
+            if result.stats.degraded {
+                eprintln!("sga: analysis budget exhausted; result degraded soundly");
+            }
             if opts.stats {
                 let s = &result.stats;
                 eprintln!(
-                    "engine {:?}: total {:?} (pre {:?}, dep {:?}, fix {:?}), {} evaluations, {} locations, {} dep edges, widening {}",
+                    "engine {:?}: total {:?} (pre {:?}, dep {:?}, fix {:?}), {} evaluations, {} locations, {} dep edges, widening {}{}",
                     opts.engine, s.total_time, s.pre_time, s.dep_time, s.fix_time,
-                    s.iterations, s.num_locs, s.dep_edges, s.widening
+                    s.iterations, s.num_locs, s.dep_edges, s.widening,
+                    if s.degraded { ", degraded" } else { "" }
                 );
             }
             if opts.dump_values {
@@ -291,15 +345,20 @@ fn main() -> ExitCode {
                 opts.engine,
                 AnalyzeOptions {
                     widening: opts.widening,
+                    budget: opts.budget,
                     ..AnalyzeOptions::default()
                 },
             );
+            if result.stats.degraded {
+                eprintln!("sga: analysis budget exhausted; result degraded soundly");
+            }
             if opts.stats {
                 let s = &result.stats;
                 eprintln!(
-                    "engine {:?} (octagon): total {:?} (fix {:?}), {} evaluations, {} packs (avg size {:.1}), widening {}",
+                    "engine {:?} (octagon): total {:?} (fix {:?}), {} evaluations, {} packs (avg size {:.1}), widening {}{}",
                     opts.engine, s.total_time, s.fix_time, s.iterations,
-                    result.packs.len(), result.packs.average_size(), s.widening
+                    result.packs.len(), result.packs.average_size(), s.widening,
+                    if s.degraded { ", degraded" } else { "" }
                 );
             }
             if opts.dump_values {

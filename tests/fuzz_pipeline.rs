@@ -141,6 +141,70 @@ proptest! {
         }
     }
 
+    /// Injected faults never leak: whatever a seeded fault plan throws at a
+    /// corpus (panics, starved budgets, cache corruption, IO errors), every
+    /// unit the plan does not touch reports byte-identically to the
+    /// fault-free run, at any worker count.
+    #[test]
+    fn faults_never_leak_into_nonfaulted_units(fault_seed in any::<u64>()) {
+        use sga::pipeline::{run, FaultPlan, PipelineOptions, Project};
+
+        const UNITS: usize = 3;
+        let corpus = Project::Corpus { units: UNITS, kloc: 1, seed: 11 };
+        let plan = FaultPlan::seeded(fault_seed, UNITS);
+
+        // Each run gets its own cold cache so the cache-corruption and
+        // IO-error faults exercise real stores.
+        let render = |jobs: usize, faults: &FaultPlan, tag: &str| {
+            let dir = std::env::temp_dir().join(format!(
+                "sga-fuzz-fault-{}-{fault_seed:016x}-{tag}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let report = run(
+                &corpus,
+                &PipelineOptions {
+                    jobs,
+                    cache_dir: Some(dir.clone()),
+                    canonical: true,
+                    faults: faults.clone(),
+                    ..PipelineOptions::default()
+                },
+            )
+            .expect("keep-going run completes");
+            let _ = std::fs::remove_dir_all(&dir);
+            report
+        };
+
+        let clean = render(1, &FaultPlan::none(), "clean");
+        let faulted = render(1, &plan, "faulted");
+        prop_assert!(
+            faulted.to_pretty() == render(4, &plan, "faulted-par").to_pretty(),
+            "faulted report not deterministic across jobs (seed {fault_seed})"
+        );
+
+        let faulted_units = plan.faulted_units();
+        let clean_units = clean.get("units").unwrap().as_arr().unwrap();
+        let units = faulted.get("units").unwrap().as_arr().unwrap();
+        for i in 0..UNITS {
+            if faulted_units.contains(&i) {
+                continue;
+            }
+            prop_assert!(
+                units[i].to_pretty() == clean_units[i].to_pretty(),
+                "seed {fault_seed}: fault leaked into unit {i}"
+            );
+        }
+
+        // Exactly one panic is injected, and a panicking worker never
+        // produces artifacts — it must show up as exactly one crash.
+        let crashed = faulted
+            .get("totals").unwrap()
+            .get("crashed").unwrap()
+            .as_u64().unwrap();
+        prop_assert!(crashed == 1, "seed {fault_seed}: expected 1 crash, got {crashed}");
+    }
+
     /// Under the default `delayed` strategy the §5 bypass contraction is a
     /// pure optimization: bypass on/off produce bit-identical bindings.
     #[test]

@@ -1,0 +1,1 @@
+int main() { break; return 0; }

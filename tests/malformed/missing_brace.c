@@ -1,0 +1,2 @@
+int f(int n) { if (n > 0) { return n;
+int main() { return f(3); }

@@ -1,0 +1,1 @@
+int main() { int x = 1 @ 2; return x; }

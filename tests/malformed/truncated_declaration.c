@@ -1,0 +1,2 @@
+int x;
+int f(int a, int

@@ -1,0 +1,1 @@
+int main() { int x = 1; x = x +

@@ -1,0 +1,1 @@
+int main() { int c = 'x; return c; }

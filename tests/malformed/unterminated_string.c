@@ -1,0 +1,1 @@
+int main() { char *s = "no closing quote; return 0; }

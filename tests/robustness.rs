@@ -1,0 +1,377 @@
+//! Robustness suite: the fault-tolerance guarantees of the batch driver.
+//!
+//! * a panicking unit is isolated and recorded; the rest of the batch
+//!   completes and the report stays deterministic at any `--jobs`;
+//! * budget exhaustion degrades *soundly* — every degraded binding covers
+//!   the corresponding unbounded binding;
+//! * the cache heals itself from truncated, bit-flipped, and stale-schema
+//!   entries without changing the report;
+//! * transient cache IO errors are retried and cost nothing;
+//! * the frontend rejects malformed C with structured errors, never panics;
+//! * a partial failure surfaces as exit code 3 from `sga analyze`.
+
+use sga::analysis::budget::Budget;
+use sga::analysis::interval::{analyze, analyze_with, AnalyzeOptions, Engine};
+use sga::domains::Lattice;
+use sga::pipeline::fault::FaultPlan;
+use sga::pipeline::{run, PipelineError, PipelineOptions, Project};
+use sga::utils::{fxhash, Json};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+fn corpus(units: usize) -> Project {
+    Project::Corpus {
+        units,
+        kloc: 1,
+        seed: 11,
+    }
+}
+
+/// A fresh (empty) scratch directory under the system temp dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sga-robust-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+// ---- panic isolation ---------------------------------------------------
+
+#[test]
+fn crashed_unit_is_isolated_and_report_stays_deterministic() {
+    let faults = FaultPlan::parse("panic@1").unwrap();
+    let render = |jobs: usize, faults: &FaultPlan| {
+        run(
+            &corpus(4),
+            &PipelineOptions {
+                jobs,
+                canonical: true,
+                faults: faults.clone(),
+                ..PipelineOptions::default()
+            },
+        )
+        .expect("keep-going run succeeds despite the crash")
+    };
+
+    let clean = render(1, &FaultPlan::none());
+    let faulted = render(1, &faults);
+
+    // The headline invariant survives injected panics: byte-identical
+    // canonical reports at any worker count.
+    for jobs in [2, 8] {
+        assert_eq!(
+            faulted.to_pretty(),
+            render(jobs, &faults).to_pretty(),
+            "faulted report differs between jobs=1 and jobs={jobs}"
+        );
+    }
+
+    // The crash is recorded, not propagated.
+    let units = faulted.get("units").unwrap().as_arr().unwrap();
+    assert_eq!(
+        units[1].get("outcome").unwrap().as_str().unwrap(),
+        "crashed"
+    );
+    assert!(units[1]
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("injected fault"));
+    let totals = faulted.get("totals").unwrap();
+    assert_eq!(totals.get("crashed").unwrap().as_u64(), Some(1));
+
+    // Blast-radius containment: every unit the plan does not touch reports
+    // byte-identically to the fault-free run.
+    let clean_units = clean.get("units").unwrap().as_arr().unwrap();
+    for i in [0usize, 2, 3] {
+        assert_eq!(
+            units[i].to_pretty(),
+            clean_units[i].to_pretty(),
+            "fault leaked into unit {i}"
+        );
+    }
+}
+
+#[test]
+fn fail_fast_aborts_on_first_crash() {
+    let err = run(
+        &corpus(3),
+        &PipelineOptions {
+            keep_going: false,
+            faults: FaultPlan::parse("panic@2").unwrap(),
+            ..PipelineOptions::default()
+        },
+    )
+    .expect_err("fail-fast must surface the crash");
+    match err {
+        PipelineError::Crashed { unit, message } => {
+            assert_eq!(unit, "unit002");
+            assert!(message.contains("injected fault"));
+        }
+        other => panic!("expected Crashed, got {other}"),
+    }
+}
+
+// ---- budgets and sound degradation -------------------------------------
+
+#[test]
+fn budget_degradation_is_sound() {
+    let src = sga::cgen::generate(&sga::cgen::GenConfig::sized(13, 1));
+    let program = sga::frontend::parse(&src).expect("generated source parses");
+
+    for engine in [Engine::Sparse, Engine::Base] {
+        let full = analyze(&program, engine);
+        assert!(!full.stats.degraded, "{engine:?}: unbounded run degraded");
+        assert!(full.stats.iterations > 0);
+
+        let degraded = analyze_with(
+            &program,
+            engine,
+            AnalyzeOptions {
+                budget: Budget::with_max_steps(8),
+                ..AnalyzeOptions::default()
+            },
+        );
+        assert!(
+            degraded.stats.degraded,
+            "{engine:?}: an 8-step budget must exhaust on a 1-kloc unit"
+        );
+
+        // Soundness of degradation: binding for binding, the degraded
+        // fixpoint over-approximates the unbounded one.
+        for (cp, st) in &full.values {
+            for (loc, v) in st.iter() {
+                let dv = degraded.value_at(*cp, loc);
+                assert!(
+                    v.le(&dv),
+                    "{engine:?} at {cp} {loc:?}: degraded {dv:?} does not cover {v:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pipeline_marks_budget_exhaustion_degraded() {
+    let report = run(
+        &corpus(2),
+        &PipelineOptions {
+            budget: Budget::with_max_steps(8),
+            canonical: true,
+            ..PipelineOptions::default()
+        },
+    )
+    .unwrap();
+    let totals = report.get("totals").unwrap();
+    assert_eq!(totals.get("crashed").unwrap().as_u64(), Some(0));
+    assert_eq!(totals.get("degraded").unwrap().as_u64(), Some(2));
+    for unit in report.get("units").unwrap().as_arr().unwrap() {
+        assert_eq!(unit.get("outcome").unwrap().as_str().unwrap(), "degraded");
+    }
+}
+
+#[test]
+fn injected_budget_degrades_only_its_target() {
+    let report = run(
+        &corpus(2),
+        &PipelineOptions {
+            canonical: true,
+            faults: FaultPlan::parse("budget@0=8").unwrap(),
+            ..PipelineOptions::default()
+        },
+    )
+    .unwrap();
+    let units = report.get("units").unwrap().as_arr().unwrap();
+    assert_eq!(
+        units[0].get("outcome").unwrap().as_str().unwrap(),
+        "degraded"
+    );
+    assert_eq!(units[1].get("outcome").unwrap().as_str().unwrap(), "ok");
+    let totals = report.get("totals").unwrap();
+    assert_eq!(totals.get("degraded").unwrap().as_u64(), Some(1));
+}
+
+// ---- cache self-healing ------------------------------------------------
+
+/// The cache entry files under `dir` (quarantine excluded), name-sorted.
+fn cache_entries(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    entries
+}
+
+fn truncate_file(path: &PathBuf) {
+    let len = std::fs::metadata(path).unwrap().len();
+    let file = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+    file.set_len(len / 2).unwrap();
+}
+
+fn bitflip_file(path: &PathBuf) {
+    let mut file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .unwrap();
+    let mid = std::fs::metadata(path).unwrap().len() / 2;
+    let mut byte = [0u8; 1];
+    file.seek(SeekFrom::Start(mid)).unwrap();
+    file.read_exact(&mut byte).unwrap();
+    byte[0] ^= 0x40;
+    file.seek(SeekFrom::Start(mid)).unwrap();
+    file.write_all(&byte).unwrap();
+}
+
+/// Rewrites a cache entry as a *stale-schema* entry: the payload claims an
+/// old format version but carries a valid checksum — the decoder must
+/// reject it on the schema check, not the checksum.
+fn stale_schema_file(path: &PathBuf) {
+    let mut j = Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+    let mut payload = j.get("payload").unwrap().clone();
+    payload.set("schema", 1u32);
+    let checksum = fxhash::hash_one(&payload.to_compact());
+    j.set("checksum", format!("{checksum:016x}"));
+    j.set("payload", payload);
+    std::fs::write(path, j.to_pretty()).unwrap();
+}
+
+#[test]
+fn cache_self_heals_from_damaged_entries() {
+    let dir = scratch_dir("heal");
+    let opts = PipelineOptions {
+        cache_dir: Some(dir.clone()),
+        canonical: true,
+        ..PipelineOptions::default()
+    };
+
+    let cold = run(&corpus(3), &opts).unwrap().to_pretty();
+
+    // Damage every entry, each in a different way.
+    let entries = cache_entries(&dir);
+    assert_eq!(entries.len(), 3, "expected one entry per unit");
+    truncate_file(&entries[0]);
+    bitflip_file(&entries[1]);
+    stale_schema_file(&entries[2]);
+
+    // The damaged run recomputes transparently: same report as cold.
+    let healed = run(&corpus(3), &opts).unwrap().to_pretty();
+    assert_eq!(healed, cold, "self-healed report differs from cold run");
+
+    // The evidence moved into quarantine/ ...
+    assert_eq!(
+        std::fs::read_dir(dir.join("quarantine")).unwrap().count(),
+        3
+    );
+
+    // ... and the rewritten entries serve hits again.
+    let warm = run(&corpus(3), &opts).unwrap();
+    let rate = warm
+        .get("totals")
+        .unwrap()
+        .get("hit_rate")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!((rate - 1.0).abs() < 1e-9, "expected full hits, got {rate}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_store_errors_are_retried_and_cost_nothing() {
+    let dir = scratch_dir("retry");
+
+    // First run: unit 0's first two store attempts fail with injected IO
+    // errors; the bounded retry must land the entry anyway.
+    let faulted = run(
+        &corpus(2),
+        &PipelineOptions {
+            cache_dir: Some(dir.clone()),
+            faults: FaultPlan::parse("io@0=2").unwrap(),
+            ..PipelineOptions::default()
+        },
+    )
+    .unwrap();
+    let health = faulted.get("cache_health").unwrap();
+    assert_eq!(health.get("io_retries").unwrap().as_u64(), Some(2));
+    assert_eq!(health.get("store_errors").unwrap().as_u64(), Some(0));
+
+    // IO faults do not change the key, so a fault-free second run hits
+    // every entry — the fault cost nothing.
+    let warm = run(
+        &corpus(2),
+        &PipelineOptions {
+            cache_dir: Some(dir.clone()),
+            ..PipelineOptions::default()
+        },
+    )
+    .unwrap();
+    let totals = warm.get("totals").unwrap();
+    assert_eq!(totals.get("cache_misses").unwrap().as_u64(), Some(0));
+    assert!(totals.get("cache_hits").unwrap().as_u64().unwrap() > 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- frontend hardening ------------------------------------------------
+
+#[test]
+fn malformed_corpus_is_rejected_with_structured_errors() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/malformed");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tests/malformed exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "c"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 10,
+        "malformed corpus shrank to {} files",
+        files.len()
+    );
+
+    for path in files {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        match std::panic::catch_unwind(|| sga::frontend::parse(&src)) {
+            Ok(Err(e)) => {
+                let msg = e.to_string();
+                assert!(!msg.is_empty(), "{name}: empty error message");
+            }
+            Ok(Ok(_)) => panic!("{name}: malformed input parsed successfully"),
+            Err(_) => panic!("{name}: frontend panicked instead of erroring"),
+        }
+    }
+}
+
+// ---- CLI exit codes ----------------------------------------------------
+
+#[test]
+fn partial_failure_exits_with_code_3() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_sga"))
+        .args([
+            "analyze",
+            "--corpus",
+            "units=2,kloc=1,seed=11",
+            "--no-cache",
+            "--canonical",
+            "--faults",
+            "panic@0",
+        ])
+        .output()
+        .expect("sga binary runs");
+    assert_eq!(out.status.code(), Some(3), "partial failure must exit 3");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"crashed\": 1"),
+        "report missing crash total"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unit(s) crashed"),
+        "stderr missing partial-failure notice: {stderr:?}"
+    );
+}
