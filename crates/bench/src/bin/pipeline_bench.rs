@@ -6,7 +6,10 @@
 //!
 //! With `--check <baseline.json>` it instead *gates* against a checked-in
 //! baseline: the run fails (exit 1) if the alarm count or the warm cache
-//! hit rate regresses. Timings are reported but never gated — they measure
+//! hit rate regresses, if any unit degrades or crashes, or if the
+//! post-fixpoint validation oracle marks any unit `invalid` (the last two
+//! are hard gates, independent of the baseline). Timings are reported but
+//! never gated — they measure
 //! whatever hardware runs them (see the container caveat in ROADMAP.md: on
 //! a single-CPU host the parallel schedule cannot beat the sequential one).
 
@@ -17,6 +20,7 @@ use std::time::Instant;
 
 struct Measured {
     secs: f64,
+    units: u64,
     alarms: u64,
     degraded: u64,
     crashed: u64,
@@ -54,18 +58,46 @@ fn measure(project: &Project, jobs: usize) -> Measured {
         })
         .collect::<Vec<_>>()
         .join("+");
+    let units = totals.get("units").and_then(Json::as_u64).expect("units");
     println!(
-        "jobs={jobs}: {secs:.3}s  ({} units, {} procs, {alarms} alarms)",
-        totals.get("units").unwrap().as_u64().unwrap(),
+        "jobs={jobs}: {secs:.3}s  ({units} units, {} procs, {alarms} alarms)",
         totals.get("procs").unwrap().as_u64().unwrap(),
     );
     Measured {
         secs,
+        units,
         alarms,
         degraded,
         crashed,
         fingerprint,
     }
+}
+
+/// One validated pass (jobs=1, cache off): every unit re-checked by the
+/// post-fixpoint oracle. Returns the `validated` and `invalid` totals.
+fn measure_validation(project: &Project) -> (u64, u64) {
+    let opts = PipelineOptions {
+        jobs: 1,
+        canonical: true,
+        validate: true,
+        ..PipelineOptions::default()
+    };
+    let start = Instant::now();
+    let report = run(project, &opts).expect("validated run");
+    let totals = report.get("totals").expect("totals");
+    let validated = totals
+        .get("validated")
+        .and_then(Json::as_u64)
+        .expect("validated");
+    let invalid = totals
+        .get("invalid")
+        .and_then(Json::as_u64)
+        .expect("invalid");
+    println!(
+        "validation oracle: {validated} validated, {invalid} invalid ({:.3}s)",
+        start.elapsed().as_secs_f64()
+    );
+    (validated, invalid)
 }
 
 /// Cold+warm pass over a throwaway cache directory; returns the warm run's
@@ -88,7 +120,13 @@ fn measure_hit_rate(project: &Project) -> f64 {
         .expect("hit_rate")
 }
 
-fn check(baseline_path: &str, m: &Measured, hit_rate: f64) -> ExitCode {
+fn check(
+    baseline_path: &str,
+    m: &Measured,
+    hit_rate: f64,
+    validated: u64,
+    invalid: u64,
+) -> ExitCode {
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
         Err(e) => {
@@ -139,6 +177,21 @@ fn check(baseline_path: &str, m: &Measured, hit_rate: f64) -> ExitCode {
         failed = true;
     } else {
         println!("crashed units: 0 ok");
+    }
+    // The oracle gate: every unit re-checked, none invalid. An `invalid`
+    // here means the analysis (or its cache) broke a contract the paper
+    // proves — the hardest possible failure, gated unconditionally.
+    if invalid > 0 || validated < m.units {
+        eprintln!(
+            "FAIL: validation oracle: {validated}/{} validated, {invalid} invalid",
+            m.units
+        );
+        failed = true;
+    } else {
+        println!(
+            "validation oracle: {validated}/{} validated, 0 invalid ok",
+            m.units
+        );
     }
     if hit_rate < base_hit_rate {
         eprintln!(
@@ -199,9 +252,10 @@ fn main() -> ExitCode {
     println!("speedup (jobs=4 over jobs=1): {speedup:.2}x on {cpus} cpu(s)");
     let hit_rate = measure_hit_rate(&project);
     println!("warm cache hit rate: {hit_rate:.3}");
+    let (validated, invalid) = measure_validation(&project);
 
     if let Some(path) = baseline {
-        return check(&path, &seq, hit_rate);
+        return check(&path, &seq, hit_rate, validated, invalid);
     }
 
     let report = Json::obj()
@@ -217,6 +271,8 @@ fn main() -> ExitCode {
         .with("alarms", seq.alarms as usize)
         .with("degraded", seq.degraded as usize)
         .with("crashed", seq.crashed as usize)
+        .with("validated", validated as usize)
+        .with("invalid", invalid as usize)
         .with("warm_hit_rate", hit_rate)
         .with("sequential_secs", seq.secs)
         .with("parallel_jobs4_secs", par.secs)

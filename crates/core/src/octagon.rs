@@ -185,6 +185,35 @@ pub fn analyze_with(program: &Program, engine: Engine, options: AnalyzeOptions) 
     }
 }
 
+/// Solves the sparse octagon analysis under `options` and re-checks
+/// `f̂_c(X̂) ⊑ X̂` at every point with [`crate::validate`]'s independent
+/// transfer pass. Lives here because the octagon spec types are private;
+/// [`crate::validate::check_octagon_sparse`] is the public entry point.
+pub(crate) fn sparse_post_fixpoint_check(
+    program: &Program,
+    options: AnalyzeOptions,
+) -> crate::validate::CheckReport {
+    let pre = preanalysis::run(program);
+    let icfg = Icfg::build(program, &pre);
+    let packs = build_packs(program);
+    let du = crate::defuse::compute(program, &pre);
+    let odu = OctDefUse::compute(program, &pre, &du, &packs);
+    let plan = WideningPlan::for_program(program, options.widening);
+    let deps = depgen::generate_from(program, &odu, options.depgen);
+    let sem = OctSemantics {
+        program,
+        pre: &pre,
+        packs: &packs,
+        fresh_packs: fresh_packs_of(program, &packs),
+    };
+    let spec = OctSparseSpec {
+        sem: &sem,
+        odu: &odu,
+    };
+    let result = sparse::solve_with(program, &icfg, &deps, &spec, &plan, &options.budget);
+    crate::validate::check_sparse_post_fixpoint(program, &deps, &spec, &result.values)
+}
+
 /// Builds the octagon dependency structures without running the fixpoint
 /// (used by the benchmark harness for phase-separated timing).
 pub fn prepare_deps(program: &Program) -> (PreAnalysis, PackSet, DataDeps) {

@@ -49,6 +49,10 @@ pub const CACHE_FORMAT: u32 = 2;
 /// Store attempts per entry (first try + retries of transient IO errors).
 const STORE_ATTEMPTS: u32 = 3;
 
+/// Default number of quarantined entries to retain (newest first). Without a
+/// cap every healing event would leak a file forever.
+pub const DEFAULT_QUARANTINE_KEEP: usize = 16;
+
 /// Backoff before retry `n` (1-based), in milliseconds.
 const RETRY_BACKOFF_MS: [u64; 2] = [1, 4];
 
@@ -101,6 +105,7 @@ pub enum LoadOutcome {
 pub struct Cache {
     dir: PathBuf,
     health: CacheHealth,
+    quarantine_keep: usize,
 }
 
 impl Cache {
@@ -110,7 +115,14 @@ impl Cache {
         Ok(Cache {
             dir: dir.to_path_buf(),
             health: CacheHealth::default(),
+            quarantine_keep: DEFAULT_QUARANTINE_KEEP,
         })
+    }
+
+    /// Caps `quarantine/` at the newest `keep` entries (set before sharing
+    /// the cache across workers).
+    pub fn set_quarantine_keep(&mut self, keep: usize) {
+        self.quarantine_keep = keep;
     }
 
     /// The entry path for `unit` under `key` (exposed so tests and fault
@@ -227,13 +239,43 @@ impl Cache {
                 file.seek(SeekFrom::Start(mid))?;
                 file.write_all(&byte)?;
             }
+            CorruptionMode::Forge => {
+                // Tamper the payload *then re-seal* with a valid checksum:
+                // the envelope passes, the content is wrong. Only the
+                // validation oracle's recompute-and-compare catches this.
+                let text = std::fs::read_to_string(&path)?;
+                let bad = std::io::Error::other("forge: entry not decodable");
+                let parsed = Json::parse(&text).map_err(|_| bad)?;
+                let mut payload = unseal(&parsed)
+                    .ok_or_else(|| std::io::Error::other("forge: bad envelope"))?
+                    .clone();
+                let fp = payload
+                    .get("fingerprint")
+                    .and_then(Json::as_str)
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or_else(|| std::io::Error::other("forge: no fingerprint"))?;
+                payload.set("fingerprint", format!("{:016x}", fp ^ 0x1));
+                write_atomic(&path, seal(payload).to_pretty().as_bytes())?;
+            }
         }
         Ok(())
     }
 
+    /// Quarantines the entry for `unit`/`key` explicitly — the validation
+    /// oracle's hook for evicting entries whose checksum is fine but whose
+    /// *content* disagrees with a recomputed result.
+    pub fn quarantine_entry(&self, unit: &str, key: u64) {
+        let path = self.path_for(unit, key);
+        if path.exists() {
+            self.quarantine(&path);
+        }
+    }
+
     /// Moves a damaged entry aside so the next store starts clean and the
     /// evidence survives for post-mortems. Failures fall back to deletion;
-    /// if even that fails the recompute-and-overwrite path still heals.
+    /// if even that fails the recompute-and-overwrite path still heals. The
+    /// quarantine directory is pruned to the newest `quarantine_keep`
+    /// entries afterwards so healing activity cannot leak disk forever.
     fn quarantine(&self, path: &Path) {
         self.health.quarantined.fetch_add(1, Ordering::Relaxed);
         let qdir = self.quarantine_dir();
@@ -244,19 +286,109 @@ impl Cache {
         if !moved {
             let _ = std::fs::remove_file(path);
         }
+        let _ = prune_dir_to_newest(&qdir, self.quarantine_keep);
     }
+}
+
+/// What [`gc`] cleaned up.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Quarantined entries removed (oldest beyond the cap).
+    pub quarantine_removed: usize,
+    /// Stranded `.tmp` files removed (leftovers of killed writers).
+    pub tmp_removed: usize,
+}
+
+/// Offline cache maintenance (`sga cache gc`): prunes `quarantine/` to the
+/// newest `keep` entries and sweeps stranded `.tmp` files (from killed
+/// atomic writers) out of the cache root and the `journal/` subdirectory.
+pub fn gc(dir: &Path, keep: usize) -> std::io::Result<GcStats> {
+    Ok(GcStats {
+        quarantine_removed: prune_dir_to_newest(&dir.join("quarantine"), keep)?,
+        tmp_removed: sweep_tmp(dir)? + sweep_tmp(&dir.join("journal"))?,
+    })
+}
+
+/// Removes `.tmp` files directly under `dir`. A missing directory is fine.
+fn sweep_tmp(dir: &Path) -> std::io::Result<usize> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "tmp") && std::fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+/// Keeps the newest `keep` files in `dir` (by mtime, file name as the
+/// deterministic tiebreak) and removes the rest. Missing directory = no-op.
+fn prune_dir_to_newest(dir: &Path, keep: usize) -> std::io::Result<usize> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let mut files: Vec<(std::time::SystemTime, PathBuf)> = entries
+        .flatten()
+        .filter_map(|entry| {
+            let path = entry.path();
+            let meta = entry.metadata().ok()?;
+            meta.is_file()
+                .then(|| (meta.modified().unwrap_or(std::time::UNIX_EPOCH), path))
+        })
+        .collect();
+    if files.len() <= keep {
+        return Ok(0);
+    }
+    // Oldest first; names break mtime ties so pruning is deterministic.
+    files.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    let excess = files.len() - keep;
+    let mut removed = 0;
+    for (_, path) in files.into_iter().take(excess) {
+        if std::fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
 }
 
 /// Writes `bytes` to `path` atomically: temp file in the same directory,
 /// then rename. The temp name is derived from the target name; only one
 /// writer per key exists within a run (each unit is analyzed once), and
-/// cross-run collisions just race to identical content.
-fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+/// cross-run collisions just race to identical content. Shared with the
+/// write-ahead journal, which has the same torn-write problem.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
     std::fs::write(&tmp, bytes)?;
     std::fs::rename(&tmp, path)
+}
+
+/// Wraps `payload` in the checksummed cache-v2 envelope
+/// `{"checksum": "<fxhash of compact payload>", "payload": {...}}`. Shared
+/// with the write-ahead journal so both on-disk formats verify the same way.
+pub(crate) fn seal(payload: Json) -> Json {
+    let checksum = fxhash::hash_one(&payload.to_compact());
+    Json::obj()
+        .with("checksum", format!("{checksum:016x}"))
+        .with("payload", payload)
+}
+
+/// Verifies the envelope checksum and returns the payload, or `None` on any
+/// damage (missing fields, bad hex, checksum mismatch).
+pub(crate) fn unseal(j: &Json) -> Option<&Json> {
+    let stored = u64::from_str_radix(j.get("checksum")?.as_str()?, 16).ok()?;
+    let payload = j.get("payload")?;
+    // The compact rendering of a parsed payload is deterministic (object
+    // order is preserved), so the checksum survives the roundtrip.
+    (fxhash::hash_one(&payload.to_compact()) == stored).then_some(payload)
 }
 
 fn encode(unit: &str, a: &UnitAnalysis) -> Json {
@@ -294,20 +426,11 @@ fn encode(unit: &str, a: &UnitAnalysis) -> Json {
         .with("degraded", a.degraded)
         .with("alarms", strs(&a.alarms))
         .with("procs", procs);
-    let checksum = fxhash::hash_one(&payload.to_compact());
-    Json::obj()
-        .with("checksum", format!("{checksum:016x}"))
-        .with("payload", payload)
+    seal(payload)
 }
 
 fn decode(j: &Json) -> Option<UnitAnalysis> {
-    let stored = u64::from_str_radix(j.get("checksum")?.as_str()?, 16).ok()?;
-    let payload = j.get("payload")?;
-    // The compact rendering of a parsed payload is deterministic (object
-    // order is preserved), so the checksum survives the roundtrip.
-    if fxhash::hash_one(&payload.to_compact()) != stored {
-        return None;
-    }
+    let payload = unseal(j)?;
     if payload.get("schema")?.as_u64()? != u64::from(CACHE_FORMAT) {
         return None;
     }
@@ -359,30 +482,7 @@ fn str_list(j: &Json) -> Option<Vec<String>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn sample() -> UnitAnalysis {
-        UnitAnalysis {
-            procs: vec![ProcArtifact {
-                name: "main".into(),
-                summary_defs: vec!["Var(v0)".into()],
-                summary_uses: vec![],
-                dep_segment: vec![[3, 0, 1, 0, 4, 0], [7, 0, 2, 0, 5, 1]],
-            }],
-            alarms: vec!["line 3: possible buffer overrun".into()],
-            fingerprint: 0xDEAD_BEEF_0BAD_CAFE,
-            iterations: 42,
-            num_locs: 9,
-            dep_edges_raw: 12,
-            dep_edges: 10,
-            degraded: false,
-        }
-    }
-
-    fn temp_cache(tag: &str) -> Cache {
-        let dir = std::env::temp_dir().join(format!("sga-cache-test-{tag}-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        Cache::open(&dir).unwrap()
-    }
+    use crate::testfix::{sample_analysis as sample, stored_cache, temp_cache};
 
     #[test]
     fn roundtrip() {
@@ -415,9 +515,7 @@ mod tests {
 
     #[test]
     fn store_load_roundtrip_and_absent_miss() {
-        let cache = temp_cache("roundtrip");
-        let a = sample();
-        cache.store("u", 7, &a).unwrap();
+        let (cache, a) = stored_cache("roundtrip", "u", 7);
         match cache.load("u", 7) {
             LoadOutcome::Hit(got) => assert_eq!(*got, a),
             other => panic!("expected hit, got {other:?}"),
@@ -428,8 +526,7 @@ mod tests {
 
     #[test]
     fn truncated_entry_is_quarantined() {
-        let cache = temp_cache("truncate");
-        cache.store("u", 7, &sample()).unwrap();
+        let (cache, _) = stored_cache("truncate", "u", 7);
         cache
             .corrupt_entry("u", 7, CorruptionMode::Truncate)
             .unwrap();
@@ -443,13 +540,82 @@ mod tests {
 
     #[test]
     fn bitflipped_entry_is_quarantined() {
-        let cache = temp_cache("bitflip");
-        cache.store("u", 7, &sample()).unwrap();
+        let (cache, _) = stored_cache("bitflip", "u", 7);
         cache
             .corrupt_entry("u", 7, CorruptionMode::BitFlip)
             .unwrap();
         assert!(matches!(cache.load("u", 7), LoadOutcome::MissCorrupt));
         assert_eq!(cache.health().quarantined, 1);
+    }
+
+    #[test]
+    fn forged_entry_passes_the_envelope_but_lies() {
+        // A forge re-seals tampered content with a valid checksum: the
+        // envelope cannot tell, so the load is a Hit — with the wrong
+        // fingerprint. Catching this is exactly the validation oracle's job.
+        let (cache, a) = stored_cache("forge", "u", 7);
+        cache.corrupt_entry("u", 7, CorruptionMode::Forge).unwrap();
+        match cache.load("u", 7) {
+            LoadOutcome::Hit(got) => {
+                assert_ne!(got.fingerprint, a.fingerprint);
+                assert_eq!(got.iterations, a.iterations);
+            }
+            other => panic!("expected (lying) hit, got {other:?}"),
+        }
+        assert_eq!(cache.health().quarantined, 0);
+    }
+
+    #[test]
+    fn explicit_quarantine_evicts_the_entry() {
+        let (cache, _) = stored_cache("evict", "u", 7);
+        cache.quarantine_entry("u", 7);
+        assert!(matches!(cache.load("u", 7), LoadOutcome::MissAbsent));
+        assert_eq!(cache.health().quarantined, 1);
+        // Quarantining a missing entry is a no-op, not an error.
+        cache.quarantine_entry("u", 99);
+        assert_eq!(cache.health().quarantined, 1);
+    }
+
+    #[test]
+    fn quarantine_growth_is_bounded() {
+        let mut cache = temp_cache("qcap");
+        cache.set_quarantine_keep(2);
+        for key in 0..5u64 {
+            cache.store("u", key, &sample()).unwrap();
+            cache
+                .corrupt_entry("u", key, CorruptionMode::Truncate)
+                .unwrap();
+            assert!(matches!(cache.load("u", key), LoadOutcome::MissCorrupt));
+        }
+        assert_eq!(cache.health().quarantined, 5);
+        let retained = std::fs::read_dir(cache.quarantine_dir()).unwrap().count();
+        assert_eq!(retained, 2);
+    }
+
+    #[test]
+    fn gc_prunes_quarantine_and_sweeps_tmp_files() {
+        let cache = temp_cache("gc");
+        for key in 0..4u64 {
+            cache.store("u", key, &sample()).unwrap();
+            cache
+                .corrupt_entry("u", key, CorruptionMode::BitFlip)
+                .unwrap();
+            assert!(matches!(cache.load("u", key), LoadOutcome::MissCorrupt));
+        }
+        let dir = cache.path_for("u", 0).parent().unwrap().to_path_buf();
+        std::fs::write(dir.join("stranded.json.tmp"), b"half a write").unwrap();
+        let jdir = dir.join("journal");
+        std::fs::create_dir_all(&jdir).unwrap();
+        std::fs::write(jdir.join("0001-xyz.json.tmp"), b"torn").unwrap();
+        let stats = gc(&dir, 1).unwrap();
+        assert_eq!(stats.quarantine_removed, 3);
+        assert_eq!(stats.tmp_removed, 2);
+        assert_eq!(
+            std::fs::read_dir(dir.join("quarantine")).unwrap().count(),
+            1
+        );
+        // Idempotent: a second pass finds nothing to do.
+        assert_eq!(gc(&dir, 1).unwrap(), GcStats::default());
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub enum CorruptionMode {
     Truncate,
     /// Flip one bit in the middle of the file (simulates media rot).
     BitFlip,
+    /// Rewrite the payload with a *valid* checksum over wrong content
+    /// (simulates semantic rot the envelope cannot catch — a buggy writer,
+    /// a bit flipped before checksumming). Only the `--validate` oracle's
+    /// recompute-and-compare pass detects it.
+    Forge,
 }
 
 /// One fault, aimed at one unit.
@@ -46,6 +51,20 @@ pub enum FaultKind {
         /// Number of leading attempts to fail.
         fail_first: u32,
     },
+    /// The whole *process* aborts (`std::process::abort`) the moment this
+    /// unit's worker claims it — a deterministic stand-in for OOM kills and
+    /// CI timeouts, for exercising journal replay (`--resume`).
+    Abort,
+    /// The unit's worker sleeps this long before analyzing — opens a
+    /// deterministic window for signal-delivery tests.
+    Stall {
+        /// Sleep duration in milliseconds.
+        ms: u64,
+    },
+    /// A graceful-shutdown request (as if SIGTERM arrived) fires when this
+    /// unit's worker claims it: the unit itself completes (drain), units
+    /// not yet claimed are skipped and the report is marked `interrupted`.
+    Stop,
 }
 
 /// A reproducible set of faults, keyed by unit index.
@@ -114,8 +133,32 @@ impl FaultPlan {
             .unwrap_or(0)
     }
 
+    /// Whether the process should hard-abort when `unit`'s worker starts.
+    pub fn should_abort(&self, unit: usize) -> bool {
+        self.faults
+            .iter()
+            .any(|(u, k)| *u == unit && matches!(k, FaultKind::Abort))
+    }
+
+    /// How long `unit`'s worker should sleep before analyzing, if at all.
+    pub fn stall_ms(&self, unit: usize) -> Option<u64> {
+        self.faults.iter().find_map(|(u, k)| match k {
+            FaultKind::Stall { ms } if *u == unit => Some(*ms),
+            _ => None,
+        })
+    }
+
+    /// Whether a graceful-shutdown request fires when `unit`'s worker
+    /// starts.
+    pub fn should_stop(&self, unit: usize) -> bool {
+        self.faults
+            .iter()
+            .any(|(u, k)| *u == unit && matches!(k, FaultKind::Stop))
+    }
+
     /// Parses a CLI fault spec: comma-separated directives
-    /// `panic@I` | `budget@I=STEPS` | `truncate@I` | `bitflip@I` | `io@I=N`,
+    /// `panic@I` | `budget@I=STEPS` | `truncate@I` | `bitflip@I` |
+    /// `forge@I` | `io@I=N` | `abort@I` | `stall@I=MS` | `stop@I`,
     /// where `I` is a unit index. Example: `panic@2,budget@0=50,io@1=2`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::none();
@@ -146,9 +189,15 @@ impl FaultPlan {
                 "bitflip" => FaultKind::CorruptStore {
                     mode: CorruptionMode::BitFlip,
                 },
+                "forge" => FaultKind::CorruptStore {
+                    mode: CorruptionMode::Forge,
+                },
                 "io" => FaultKind::IoError {
                     fail_first: arg_num("N")? as u32,
                 },
+                "abort" => FaultKind::Abort,
+                "stall" => FaultKind::Stall { ms: arg_num("MS")? },
+                "stop" => FaultKind::Stop,
                 other => return Err(format!("fault `{raw}`: unknown kind `{other}`")),
             };
             plan = plan.add(unit, kind);
@@ -204,6 +253,20 @@ mod tests {
         assert_eq!(plan.io_fail_count(4), 2);
         assert_eq!(plan.io_fail_count(2), 0);
         assert_eq!(plan.faulted_units(), vec![2, 0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn parse_durability_faults() {
+        let plan = FaultPlan::parse("abort@1,stall@2=250,stop@3,forge@0").unwrap();
+        assert!(plan.should_abort(1));
+        assert!(!plan.should_abort(0));
+        assert_eq!(plan.stall_ms(2), Some(250));
+        assert_eq!(plan.stall_ms(1), None);
+        assert!(plan.should_stop(3));
+        assert!(!plan.should_stop(2));
+        assert_eq!(plan.corruption_for(0), Some(CorruptionMode::Forge));
+        assert!(FaultPlan::parse("stall@2").is_err());
+        assert!(FaultPlan::parse("abort@x").is_err());
     }
 
     #[test]

@@ -30,31 +30,62 @@
 //! running away, and the cache self-heals from damaged entries (see
 //! [`cache`]). The [`fault`] module injects all of these failure modes
 //! deterministically for testing.
+//!
+//! Batch runs are **durable** and **checkable**:
+//!
+//! * Each completed unit is committed to a write-ahead [`journal`] before
+//!   its cache store; `resume` replays those records so a run killed by
+//!   anything — OOM, SIGKILL, a CI timeout — restarts where it stopped and
+//!   still produces a byte-identical report.
+//! * SIGINT/SIGTERM (see [`interrupt`]) drain in-flight workers, skip
+//!   unclaimed units, and flush a partial report marked `interrupted`.
+//! * `validate` runs the independent post-fixpoint oracle of
+//!   [`sga_core::validate`] over every unit (including cache hits, which are
+//!   cross-checked against a recomputation); a violated contract becomes the
+//!   `invalid` outcome, which is never cached.
 
 pub mod cache;
 pub mod fault;
+pub mod interrupt;
+pub mod journal;
 pub mod par;
 pub mod unit;
 
+#[cfg(test)]
+mod testfix;
+
 pub use cache::Cache;
 pub use fault::FaultPlan;
-pub use unit::{analyze_unit, ProcArtifact, UnitAnalysis};
+pub use journal::Journal;
+pub use unit::{analyze_unit, analyze_unit_traced, ProcArtifact, UnitAnalysis, UnitInternals};
 
+use journal::JournalRecord;
 use sga_core::budget::Budget;
 use sga_core::depgen::DepGenOptions;
+use sga_core::interval::AnalyzeOptions;
+use sga_core::validate::{self, CheckKind, UnitValidation, ValidationInputs};
 use sga_core::widening::WideningConfig;
 use sga_utils::stats::StageTimers;
 use sga_utils::Json;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Report schema version (`"schema"` field of the emitted JSON).
 ///
+/// v3: per-unit outcomes grow `invalid` (oracle violation) and `skipped`
+/// (graceful shutdown before the unit was claimed); totals grow `invalid`,
+/// `validated`, and `skipped`; a top-level `interrupted` flag is always
+/// present; analyzed units may carry a `validation` block; non-canonical
+/// reports may carry a `journal` block.
+///
 /// v2: per-unit `outcome` (`ok` | `degraded` | `crashed`, with `error` on
 /// crashes), `degraded`/`crashed` totals, and a `cache_health` block in
 /// non-canonical reports.
-pub const REPORT_SCHEMA: u32 = 2;
+pub const REPORT_SCHEMA: u32 = 3;
 
 /// What to analyze.
 #[derive(Clone, Debug)]
@@ -102,6 +133,21 @@ pub struct PipelineOptions {
     pub budget: Budget,
     /// Deterministic fault injection (testing only; empty in production).
     pub faults: FaultPlan,
+    /// Run the post-fixpoint validation oracle over every unit; violations
+    /// become the `invalid` outcome and are never cached.
+    pub validate: bool,
+    /// Replay the write-ahead journal: units a previous (killed or
+    /// interrupted) run already committed are served from their journal
+    /// records instead of being recomputed.
+    pub resume: bool,
+    /// Journal directory; defaults to `journal/` under the cache root.
+    /// `None` with caching disabled means no journal (and no resume).
+    pub journal_dir: Option<PathBuf>,
+    /// Quarantined damaged cache entries to retain (newest first).
+    pub quarantine_keep: usize,
+    /// External graceful-shutdown flag (embedders; the CLI uses signal
+    /// handlers via [`interrupt`] instead). Setting it drains the batch.
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 impl Default for PipelineOptions {
@@ -115,6 +161,11 @@ impl Default for PipelineOptions {
             keep_going: true,
             budget: Budget::unbounded(),
             faults: FaultPlan::none(),
+            validate: false,
+            resume: false,
+            journal_dir: None,
+            quarantine_keep: cache::DEFAULT_QUARANTINE_KEEP,
+            stop: None,
         }
     }
 }
@@ -207,14 +258,11 @@ impl CacheStatus {
     }
 }
 
-/// What happened to one unit.
-enum UnitOutcome {
-    /// Analysis finished (possibly degraded — the flag travels inside).
-    Analyzed(CacheStatus, Box<UnitAnalysis>),
-    /// The frontend rejected the unit.
-    Frontend(String),
-    /// The unit's worker panicked; the panic was isolated.
-    Panicked(String),
+/// What one worker hands back: the unit's rendered report object, plus the
+/// failure class (for fail-fast).
+struct WorkerResult {
+    json: Json,
+    failure: Option<(journal::Failure, String)>,
 }
 
 /// Renders a caught panic payload.
@@ -228,6 +276,94 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Violations rendered per unit before the rest are summarized by count.
+const MAX_RENDERED_VIOLATIONS: usize = 16;
+
+/// The per-unit `validation` block: check sizes (so "passed" is visibly
+/// distinct from "checked nothing") and rendered violations.
+fn validation_json(v: &UnitValidation) -> Json {
+    let all: Vec<String> = v.violations().map(|x| x.render()).collect();
+    let shown: Vec<Json> = all
+        .iter()
+        .take(MAX_RENDERED_VIOLATIONS)
+        .map(|s| Json::from(s.as_str()))
+        .collect();
+    let mut j = Json::obj()
+        .with("interval_points", v.interval.points)
+        .with("octagon_points", v.octagon.points)
+        .with("lemma1_bindings", v.lemma1.bindings)
+        .with("lemma1_equal", v.lemma1.equal)
+        .with("lemma1_drift", v.lemma1.drift)
+        .with("lemma1_skipped", v.lemma1.skipped)
+        .with("defuse_points", v.defuse.points)
+        .with("violations", shown);
+    let hidden = all.len().saturating_sub(MAX_RENDERED_VIOLATIONS) + v.suppressed();
+    if hidden > 0 {
+        j.set("violations_suppressed", hidden);
+    }
+    j
+}
+
+/// The per-unit report object of an analyzed (possibly degraded or invalid)
+/// unit.
+fn render_analyzed(
+    name: &str,
+    key: u64,
+    status: CacheStatus,
+    a: &UnitAnalysis,
+    validation: Option<&UnitValidation>,
+) -> Json {
+    let invalid = validation.is_some_and(|v| !v.is_valid());
+    let outcome = if invalid {
+        "invalid"
+    } else if a.degraded {
+        "degraded"
+    } else {
+        "ok"
+    };
+    let mut j = Json::obj()
+        .with("name", name)
+        .with("outcome", outcome)
+        .with("source_hash", format!("{key:016x}"))
+        .with("procs", a.procs.len())
+        .with("locs", a.num_locs)
+        .with("dep_edges_raw", a.dep_edges_raw)
+        .with("dep_edges", a.dep_edges)
+        .with("iterations", a.iterations)
+        .with("fingerprint", format!("{:016x}", a.fingerprint))
+        .with("cache", status.as_str())
+        .with(
+            "alarms",
+            a.alarms
+                .iter()
+                .map(|s| Json::from(s.as_str()))
+                .collect::<Vec<_>>(),
+        );
+    if let Some(v) = validation {
+        j.set("validation", validation_json(v));
+    }
+    j
+}
+
+/// The per-unit report object of a crashed (frontend-rejected or panicked)
+/// unit.
+fn render_crashed(name: &str, key: u64, message: &str) -> Json {
+    Json::obj()
+        .with("name", name)
+        .with("outcome", "crashed")
+        .with("source_hash", format!("{key:016x}"))
+        .with("error", message)
+        .with("alarms", Vec::<Json>::new())
+}
+
+/// The per-unit report object of a unit a graceful shutdown skipped.
+fn render_skipped(name: &str) -> Json {
+    Json::obj()
+        .with("name", name)
+        .with("outcome", "skipped")
+        .with("alarms", Vec::<Json>::new())
+}
+
 /// Runs the whole project and returns the JSON run report.
 pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, PipelineError> {
     let wall = Instant::now();
@@ -235,13 +371,48 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
     let jobs = options.jobs.max(1);
 
     let units = timers.time("load", || load_project(project))?;
-    let cache =
-        match &options.cache_dir {
-            Some(dir) => Some(Cache::open(dir).map_err(|e| {
+    let cache = match &options.cache_dir {
+        Some(dir) => {
+            let mut c = Cache::open(dir).map_err(|e| {
                 PipelineError::Io(format!("cannot open cache {}: {e}", dir.display()))
-            })?),
-            None => None,
-        };
+            })?;
+            c.set_quarantine_keep(options.quarantine_keep);
+            Some(c)
+        }
+        None => None,
+    };
+
+    // The write-ahead journal lives under the cache root unless placed
+    // explicitly; with neither there is nothing durable to resume from.
+    let journal_dir = options
+        .journal_dir
+        .clone()
+        .or_else(|| options.cache_dir.as_ref().map(|d| d.join("journal")));
+    let journal = match &journal_dir {
+        Some(dir) => Some(Journal::open(dir).map_err(|e| {
+            PipelineError::Io(format!("cannot open journal {}: {e}", dir.display()))
+        })?),
+        None => None,
+    };
+    let replay: BTreeMap<usize, JournalRecord> = if options.resume {
+        match &journal {
+            Some(j) => j.load(),
+            None => {
+                return Err(PipelineError::Io(
+                    "resume needs a journal: enable the cache or set a journal directory".into(),
+                ))
+            }
+        }
+    } else {
+        // A fresh run owns the journal: whatever a previous run left behind
+        // (it completed, or nobody resumed it) is stale now.
+        if let Some(j) = &journal {
+            j.clear().map_err(|e| {
+                PipelineError::Io(format!("cannot clear journal {}: {e}", j.dir().display()))
+            })?;
+        }
+        BTreeMap::new()
+    };
 
     // Thread budget: units run concurrently; whatever head room is left
     // over goes to procedure-level parallelism inside each unit.
@@ -262,135 +433,275 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
     } else {
         None
     };
-    let outcomes: Vec<(u64, UnitOutcome)> = par::run_indexed(jobs, &units, |i, input| {
-        // An injected budget changes the unit's analysis semantics, so it
-        // participates in that unit's key — a faulted run never hits an
-        // entry the fault-free run stored, and vice versa.
-        let budget = options.faults.budget_for(i).unwrap_or(options.budget);
-        let options_tag = format!("{base_tag}|{}", budget.cache_tag());
-        let key = cache::unit_key(&input.source, &options_tag);
-        let caught = catch_unwind(AssertUnwindSafe(|| -> Result<_, String> {
-            if options.faults.should_panic(i) {
-                panic!("injected fault: worker panic in {}", input.name);
-            }
-            if let Some(c) = &cache {
-                if let cache::LoadOutcome::Hit(cached) = c.load(&input.name, key) {
-                    return Ok((CacheStatus::Hit, cached));
+    let replayed_count = AtomicUsize::new(0);
+    let recorded_count = AtomicUsize::new(0);
+    // Set by the `stop@I` fault; real shutdown requests arrive through
+    // `interrupt` (signals) or `options.stop` (embedders). Any of the three
+    // drains the batch: in-flight units finish, unclaimed units are skipped.
+    let fault_stop = AtomicBool::new(false);
+    let stop_requested = || {
+        fault_stop.load(Ordering::Relaxed)
+            || interrupt::requested()
+            || options
+                .stop
+                .as_ref()
+                .is_some_and(|s| s.load(Ordering::Relaxed))
+    };
+
+    let results: Vec<Option<WorkerResult>> =
+        par::run_indexed_interruptible(jobs, &units, stop_requested, |i, input| {
+            // An injected budget changes the unit's analysis semantics, so it
+            // participates in that unit's key — a faulted run never hits an
+            // entry the fault-free run stored, and vice versa.
+            let budget = options.faults.budget_for(i).unwrap_or(options.budget);
+            let options_tag = format!("{base_tag}|{}", budget.cache_tag());
+            let key = cache::unit_key(&input.source, &options_tag);
+
+            // A journaled unit is already committed: replay its record
+            // verbatim — before fault injection, so a fault that killed the
+            // original run cannot re-fire on the unit it already finished.
+            if let Some(rec) = replay.get(&i) {
+                if rec.name == input.name && rec.key == key {
+                    replayed_count.fetch_add(1, Ordering::Relaxed);
+                    let failure = rec.failure.map(|f| {
+                        let message = rec
+                            .unit
+                            .get("error")
+                            .and_then(Json::as_str)
+                            .unwrap_or_default()
+                            .to_string();
+                        (f, message)
+                    });
+                    return WorkerResult {
+                        json: rec.unit.clone(),
+                        failure,
+                    };
                 }
             }
-            let program = timers
-                .time("parse", || sga_cfront::parse(&input.source))
-                .map_err(|e| e.to_string())?;
-            let analysis = unit::analyze_unit(
-                &program,
-                inner_jobs,
-                options.depgen,
-                options.widening,
-                &budget,
-                &timers,
-            );
-            if let Some(c) = &cache {
+
+            if let Some(ms) = options.faults.stall_ms(i) {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            if options.faults.should_abort(i) {
+                // A hard crash, not a panic: nothing unwinds, nothing
+                // flushes. Exactly what an OOM kill looks like to the next
+                // run — which is the point.
+                std::process::abort();
+            }
+            if options.faults.should_stop(i) {
+                fault_stop.store(true, Ordering::Relaxed);
+            }
+
+            type Analyzed = (CacheStatus, Box<UnitAnalysis>, Option<UnitValidation>);
+            let caught = catch_unwind(AssertUnwindSafe(|| -> Result<Analyzed, String> {
+                if options.faults.should_panic(i) {
+                    panic!("injected fault: worker panic in {}", input.name);
+                }
+                let mut cached_hit: Option<Box<UnitAnalysis>> = None;
+                if let Some(c) = &cache {
+                    if let cache::LoadOutcome::Hit(found) = c.load(&input.name, key) {
+                        if options.validate {
+                            // Under the oracle a hit is a *claim* — held
+                            // back and cross-checked against a
+                            // recomputation below. The envelope checksum
+                            // cannot catch an entry whose content was wrong
+                            // before it was sealed.
+                            cached_hit = Some(found);
+                        } else {
+                            return Ok((CacheStatus::Hit, found, None));
+                        }
+                    }
+                }
+                let program = timers
+                    .time("parse", || sga_cfront::parse(&input.source))
+                    .map_err(|e| e.to_string())?;
+                if options.validate {
+                    let (analysis, internals) = unit::analyze_unit_traced(
+                        &program,
+                        inner_jobs,
+                        options.depgen,
+                        options.widening,
+                        &budget,
+                        &timers,
+                    );
+                    let mut validation = timers.time("validate", || {
+                        validate::validate_unit(
+                            &program,
+                            &ValidationInputs {
+                                pre: &internals.pre,
+                                du: &internals.du,
+                                deps: &internals.deps,
+                                sparse_values: &internals.sparse_values,
+                                degraded: internals.degraded,
+                            },
+                            AnalyzeOptions {
+                                depgen: options.depgen,
+                                widening: options.widening,
+                                budget,
+                                ..AnalyzeOptions::default()
+                            },
+                        )
+                    });
+                    let status = match cached_hit {
+                        Some(cached) if *cached == analysis => CacheStatus::Hit,
+                        Some(cached) => {
+                            validation.add_extra(
+                                CheckKind::CacheMismatch,
+                                format!(
+                                    "cached entry (fingerprint {:016x}) disagrees with \
+                                     recomputation (fingerprint {:016x})",
+                                    cached.fingerprint, analysis.fingerprint,
+                                ),
+                            );
+                            if let Some(c) = &cache {
+                                c.quarantine_entry(&input.name, key);
+                            }
+                            CacheStatus::Miss
+                        }
+                        None if cache.is_some() => CacheStatus::Miss,
+                        None => CacheStatus::Off,
+                    };
+                    Ok((status, Box::new(analysis), Some(validation)))
+                } else {
+                    let analysis = unit::analyze_unit(
+                        &program,
+                        inner_jobs,
+                        options.depgen,
+                        options.widening,
+                        &budget,
+                        &timers,
+                    );
+                    let status = if cache.is_some() {
+                        CacheStatus::Miss
+                    } else {
+                        CacheStatus::Off
+                    };
+                    Ok((status, Box::new(analysis), None))
+                }
+            }));
+
+            let (json, failure, store) = match caught {
+                Ok(Ok((status, a, validation))) => {
+                    let invalid = validation.as_ref().is_some_and(|v| !v.is_valid());
+                    let json = render_analyzed(&input.name, key, status, &a, validation.as_ref());
+                    // Invalid results are never cached; hits already are.
+                    let store = (status == CacheStatus::Miss && !invalid).then_some(a);
+                    (json, None, store)
+                }
+                Ok(Err(message)) => {
+                    let json = render_crashed(&input.name, key, &message);
+                    (json, Some((journal::Failure::Frontend, message)), None)
+                }
+                Err(payload) => {
+                    let message = panic_message(payload);
+                    let json = render_crashed(&input.name, key, &message);
+                    (json, Some((journal::Failure::Panic, message)), None)
+                }
+            };
+
+            if let Some(j) = &journal {
+                // Write-ahead ordering: the journal record commits *before*
+                // the cache store. A crash between the two re-runs the unit
+                // from the journal — never from a cache entry the journal
+                // knows nothing about, which would flip the unit's recorded
+                // miss into a hit on resume and break byte-identity. A
+                // failed record only costs the resume a recompute.
+                let rec = JournalRecord {
+                    index: i,
+                    name: input.name.clone(),
+                    key,
+                    failure: failure.as_ref().map(|(f, _)| *f),
+                    unit: json.clone(),
+                };
+                if j.record(&rec).is_ok() {
+                    recorded_count.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if let (Some(c), Some(a)) = (&cache, &store) {
                 // A store failure is retried inside the cache and, if it
                 // sticks, counted in cache health; it only costs the next
                 // run its hit.
-                let _ =
-                    c.store_injected(&input.name, key, &analysis, options.faults.io_fail_count(i));
+                let _ = c.store_injected(&input.name, key, a, options.faults.io_fail_count(i));
                 if let Some(mode) = options.faults.corruption_for(i) {
                     let _ = c.corrupt_entry(&input.name, key, mode);
                 }
             }
-            let status = if cache.is_some() {
-                CacheStatus::Miss
-            } else {
-                CacheStatus::Off
-            };
-            Ok((status, Box::new(analysis)))
-        }));
-        let outcome = match caught {
-            Ok(Ok((status, analysis))) => UnitOutcome::Analyzed(status, analysis),
-            Ok(Err(message)) => UnitOutcome::Frontend(message),
-            Err(payload) => UnitOutcome::Panicked(panic_message(payload)),
-        };
-        (key, outcome)
-    });
+            WorkerResult { json, failure }
+        });
     if let Some(hook) = prev_hook {
         std::panic::set_hook(hook);
     }
 
     if !options.keep_going {
-        for (input, (_, outcome)) in units.iter().zip(&outcomes) {
-            match outcome {
-                UnitOutcome::Frontend(message) => {
-                    return Err(PipelineError::Frontend {
+        for (input, slot) in units.iter().zip(&results) {
+            if let Some(WorkerResult {
+                failure: Some((kind, message)),
+                ..
+            }) = slot
+            {
+                return Err(match kind {
+                    journal::Failure::Frontend => PipelineError::Frontend {
                         unit: input.name.clone(),
                         message: message.clone(),
-                    });
-                }
-                UnitOutcome::Panicked(message) => {
-                    return Err(PipelineError::Crashed {
+                    },
+                    journal::Failure::Panic => PipelineError::Crashed {
                         unit: input.name.clone(),
                         message: message.clone(),
-                    });
-                }
-                UnitOutcome::Analyzed(..) => {}
+                    },
+                });
             }
         }
     }
 
     let mut units_json: Vec<Json> = Vec::with_capacity(units.len());
     let (mut procs, mut alarms, mut hits, mut misses) = (0usize, 0usize, 0usize, 0usize);
-    let (mut degraded_units, mut crashed_units) = (0usize, 0usize);
-    for (input, (key, outcome)) in units.iter().zip(outcomes) {
-        match outcome {
-            UnitOutcome::Analyzed(status, a) => {
-                procs += a.procs.len();
-                alarms += a.alarms.len();
-                degraded_units += usize::from(a.degraded);
-                match status {
-                    CacheStatus::Hit => hits += a.procs.len(),
-                    CacheStatus::Miss => misses += a.procs.len(),
-                    CacheStatus::Off => {}
-                }
-                units_json.push(
-                    Json::obj()
-                        .with("name", input.name.as_str())
-                        .with("outcome", if a.degraded { "degraded" } else { "ok" })
-                        .with("source_hash", format!("{key:016x}"))
-                        .with("procs", a.procs.len())
-                        .with("locs", a.num_locs)
-                        .with("dep_edges_raw", a.dep_edges_raw)
-                        .with("dep_edges", a.dep_edges)
-                        .with("iterations", a.iterations)
-                        .with("fingerprint", format!("{:016x}", a.fingerprint))
-                        .with("cache", status.as_str())
-                        .with(
-                            "alarms",
-                            a.alarms
-                                .iter()
-                                .map(|s| Json::from(s.as_str()))
-                                .collect::<Vec<_>>(),
-                        ),
-                );
-            }
-            UnitOutcome::Frontend(message) | UnitOutcome::Panicked(message) => {
-                crashed_units += 1;
-                units_json.push(
-                    Json::obj()
-                        .with("name", input.name.as_str())
-                        .with("outcome", "crashed")
-                        .with("source_hash", format!("{key:016x}"))
-                        .with("error", message.as_str())
-                        .with("alarms", Vec::<Json>::new()),
-                );
-            }
+    let (mut degraded_units, mut crashed_units, mut invalid_units) = (0usize, 0usize, 0usize);
+    let (mut validated_units, mut skipped_units) = (0usize, 0usize);
+    for (input, slot) in units.iter().zip(results) {
+        let Some(w) = slot else {
+            skipped_units += 1;
+            units_json.push(render_skipped(&input.name));
+            continue;
+        };
+        let j = w.json;
+        // Totals aggregate over the rendered objects (rather than over
+        // in-memory analysis values) so replayed units count exactly like
+        // the run that journaled them.
+        let outcome = j
+            .get("outcome")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let nprocs = j.get("procs").and_then(Json::as_u64).unwrap_or(0) as usize;
+        procs += nprocs;
+        alarms += j
+            .get("alarms")
+            .and_then(Json::as_arr)
+            .map_or(0, |a| a.len());
+        match outcome.as_str() {
+            "degraded" => degraded_units += 1,
+            "crashed" => crashed_units += 1,
+            "invalid" => invalid_units += 1,
+            _ => {}
         }
+        if j.get("validation").is_some() && outcome != "invalid" {
+            validated_units += 1;
+        }
+        match j.get("cache").and_then(Json::as_str) {
+            Some("hit") => hits += nprocs,
+            Some("miss") => misses += nprocs,
+            _ => {}
+        }
+        units_json.push(j);
     }
+    let interrupted = skipped_units > 0;
 
     let mut opts_json = Json::obj()
         .with("engine", "sparse")
         .with("bypass", options.depgen.bypass)
         .with("widening", options.widening.strategy.name())
-        .with("cache", options.cache_dir.is_some());
+        .with("cache", options.cache_dir.is_some())
+        .with("validate", options.validate);
     if !options.canonical {
         opts_json.set("jobs", jobs);
     }
@@ -402,6 +713,9 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
         .with("alarms", alarms)
         .with("degraded", degraded_units)
         .with("crashed", crashed_units)
+        .with("invalid", invalid_units)
+        .with("validated", validated_units)
+        .with("skipped", skipped_units)
         .with("cache_hits", hits)
         .with("cache_misses", misses)
         .with(
@@ -418,9 +732,30 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
         .with("tool", "sga-pipeline")
         .with("options", opts_json)
         .with("units", units_json)
-        .with("totals", totals);
+        .with("totals", totals)
+        .with("interrupted", interrupted);
+
+    // A completed run retires its journal; an interrupted one leaves it in
+    // place for `resume`. (Error paths above return before this point, so
+    // fail-fast aborts stay resumable too.)
+    if !interrupted {
+        if let Some(j) = &journal {
+            let _ = j.clear();
+        }
+    }
 
     if !options.canonical {
+        // Replay/record activity depends on what a *previous* run left
+        // behind, so like cache health it stays out of the canonical
+        // report — resume byte-identity is over the canonical fields.
+        if journal.is_some() {
+            report.set(
+                "journal",
+                Json::obj()
+                    .with("replayed", replayed_count.load(Ordering::Relaxed))
+                    .with("recorded", recorded_count.load(Ordering::Relaxed)),
+            );
+        }
         // Self-healing activity varies with prior on-disk state (a corrupt
         // entry quarantined here was stored by an earlier run), so it lives
         // with the other run-specific fields, outside the canonical report.

@@ -20,10 +20,37 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    run_indexed_interruptible(jobs, items, || false, f)
+        .into_iter()
+        .map(|r| r.expect("uninterrupted run completes every item"))
+        .collect()
+}
+
+/// [`run_indexed`] with graceful-shutdown support: `stop` is polled before
+/// each item is *claimed*. Once it returns `true`, no new items start, but
+/// items already in flight run to completion (drain semantics) — so a slot
+/// is either the item's full result or `None`, never a half-result. The
+/// returned vector always has one slot per input item, in input order.
+pub fn run_indexed_interruptible<T, R, F, S>(
+    jobs: usize,
+    items: &[T],
+    stop: S,
+    f: F,
+) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    S: Fn() -> bool + Sync,
+{
     let n = items.len();
     let workers = jobs.min(n);
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        for (i, t) in items.iter().enumerate() {
+            slots.push((!stop()).then(|| f(i, t)));
+        }
+        return slots;
     }
 
     let next = AtomicUsize::new(0);
@@ -36,6 +63,9 @@ where
                 s.spawn(|_| {
                     let mut done = Vec::new();
                     loop {
+                        if stop() {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
@@ -64,9 +94,6 @@ where
         }
     }
     slots
-        .into_iter()
-        .map(|r| r.expect("every item claimed exactly once"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -89,5 +116,37 @@ mod tests {
     fn empty_input() {
         let out: Vec<u32> = run_indexed(4, &[] as &[u32], |_, &x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stop_skips_unclaimed_items_but_keeps_slots() {
+        use std::sync::atomic::AtomicBool;
+        let items: Vec<usize> = (0..10).collect();
+        // Sequential path: stop after item 3 completes, deterministically.
+        let stop = AtomicBool::new(false);
+        let out = run_indexed_interruptible(
+            1,
+            &items,
+            || stop.load(Ordering::Relaxed),
+            |i, &x| {
+                if i == 3 {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                x * 2
+            },
+        );
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[..4], [Some(0), Some(2), Some(4), Some(6)]);
+        assert!(out[4..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn stop_before_start_skips_everything() {
+        let items: Vec<usize> = (0..5).collect();
+        for jobs in [1, 3] {
+            let out = run_indexed_interruptible(jobs, &items, || true, |_, &x| x);
+            assert_eq!(out.len(), 5);
+            assert!(out.iter().all(Option::is_none));
+        }
     }
 }

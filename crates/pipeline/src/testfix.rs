@@ -1,0 +1,52 @@
+//! Shared fixtures for the pipeline crate's unit tests.
+//!
+//! The cache and journal tests all start the same way — a scratch
+//! directory, an opened cache, a representative analysis artifact, often
+//! already stored — so the boilerplate lives here once instead of being
+//! repeated (with slightly diverging `unwrap()` chains) per test module.
+
+use crate::cache::Cache;
+use crate::unit::{ProcArtifact, UnitAnalysis};
+use std::path::PathBuf;
+
+/// A representative per-unit artifact with every field populated — enough
+/// structure that encode/decode bugs can't hide behind empty collections.
+pub(crate) fn sample_analysis() -> UnitAnalysis {
+    UnitAnalysis {
+        procs: vec![ProcArtifact {
+            name: "main".into(),
+            summary_defs: vec!["Var(v0)".into()],
+            summary_uses: vec![],
+            dep_segment: vec![[3, 0, 1, 0, 4, 0], [7, 0, 2, 0, 5, 1]],
+        }],
+        alarms: vec!["line 3: possible buffer overrun".into()],
+        fingerprint: 0xDEAD_BEEF_0BAD_CAFE,
+        iterations: 42,
+        num_locs: 9,
+        dep_edges_raw: 12,
+        dep_edges: 10,
+        degraded: false,
+    }
+}
+
+/// A fresh scratch directory under the system temp dir (wiped if a previous
+/// run left one behind). `tag` must be unique per test within this crate.
+pub(crate) fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sga-pipeline-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// An opened cache rooted in a fresh scratch directory.
+pub(crate) fn temp_cache(tag: &str) -> Cache {
+    Cache::open(&temp_dir(tag)).expect("open temp cache")
+}
+
+/// The common open-then-store prologue of the corruption tests: a cache
+/// holding [`sample_analysis`] for `unit` under `key`.
+pub(crate) fn stored_cache(tag: &str, unit: &str, key: u64) -> (Cache, UnitAnalysis) {
+    let cache = temp_cache(tag);
+    let analysis = sample_analysis();
+    cache.store(unit, key, &analysis).expect("store sample");
+    (cache, analysis)
+}

@@ -28,10 +28,10 @@ use sga_core::interval::{Engine, IntervalResult, IntervalSparseSpec};
 use sga_core::stats::AnalysisStats;
 use sga_core::widening::{WideningConfig, WideningPlan};
 use sga_core::{checker, defuse, preanalysis, sparse};
-use sga_domains::State;
+use sga_domains::{AbsLoc, State, Value};
 use sga_ir::{Cp, ProcId, Program};
 use sga_utils::stats::StageTimers;
-use sga_utils::{fxhash, FxHashMap, Idx, IndexVec};
+use sga_utils::{fxhash, FxHashMap, Idx, IndexVec, PMap};
 
 /// Cached (and cacheable) artifacts of one procedure: its callee-access
 /// summary and its intraprocedural dependency segment.
@@ -100,6 +100,22 @@ fn scc_levels(pre: &preanalysis::PreAnalysis) -> Vec<Vec<usize>> {
     by_level
 }
 
+/// The solver-facing artifacts of one unit's analysis, kept alive past the
+/// report-facing [`UnitAnalysis`] so the validation oracle
+/// ([`sga_core::validate`]) can re-check the fixpoint it actually came from.
+pub struct UnitInternals {
+    /// Pre-analysis the result was derived from.
+    pub pre: preanalysis::PreAnalysis,
+    /// Def/use sets (with the interned location table).
+    pub du: defuse::DefUse,
+    /// The dependency edges the solver propagated along.
+    pub deps: depgen::DataDeps,
+    /// The final sparse value map, in solver form.
+    pub sparse_values: FxHashMap<Cp, PMap<AbsLoc, Value>>,
+    /// Whether the fixpoint degraded under its budget.
+    pub degraded: bool,
+}
+
 /// Runs the full sparse interval analysis of one parsed unit with up to
 /// `jobs` worker threads for the per-procedure stages. Stage wall times are
 /// accumulated into `timers` (they sum *work* across workers, not elapsed
@@ -112,6 +128,36 @@ pub fn analyze_unit(
     budget: &Budget,
     timers: &StageTimers,
 ) -> UnitAnalysis {
+    analyze_unit_inner(program, jobs, options, widening, budget, timers, false).0
+}
+
+/// [`analyze_unit`] keeping the solver internals alive for the validation
+/// oracle. Costs one extra clone of the sparse value map.
+pub fn analyze_unit_traced(
+    program: &Program,
+    jobs: usize,
+    options: DepGenOptions,
+    widening: WideningConfig,
+    budget: &Budget,
+    timers: &StageTimers,
+) -> (UnitAnalysis, UnitInternals) {
+    let (analysis, internals) =
+        analyze_unit_inner(program, jobs, options, widening, budget, timers, true);
+    (
+        analysis,
+        internals.expect("traced analysis keeps internals"),
+    )
+}
+
+fn analyze_unit_inner(
+    program: &Program,
+    jobs: usize,
+    options: DepGenOptions,
+    widening: WideningConfig,
+    budget: &Budget,
+    timers: &StageTimers,
+    keep_internals: bool,
+) -> (UnitAnalysis, Option<UnitInternals>) {
     let pids: Vec<ProcId> = program.procs.indices().collect();
 
     let (pre, icfg) = timers.time("pre", || {
@@ -171,7 +217,7 @@ pub fn analyze_unit(
         (deps, segments)
     });
 
-    let (values, iterations, degraded) = timers.time("fix", || {
+    let (values, sparse_values, iterations, degraded) = timers.time("fix", || {
         let spec = IntervalSparseSpec {
             program,
             pre: &pre,
@@ -179,12 +225,13 @@ pub fn analyze_unit(
         };
         let plan = WideningPlan::for_program(program, widening);
         let solved = sparse::solve_with(program, &icfg, &deps, &spec, &plan, budget);
+        let sparse_values = keep_internals.then(|| solved.values.clone());
         let values: FxHashMap<Cp, State> = solved
             .values
             .into_iter()
             .map(|(cp, m)| (cp, State::from_pmap(m)))
             .collect();
-        (values, solved.iterations, solved.degraded)
+        (values, sparse_values, solved.iterations, solved.degraded)
     });
 
     let (alarms, fingerprint) = timers.time("check", || {
@@ -239,7 +286,7 @@ pub fn analyze_unit(
         })
         .collect();
 
-    UnitAnalysis {
+    let analysis = UnitAnalysis {
         procs,
         alarms,
         fingerprint,
@@ -248,7 +295,15 @@ pub fn analyze_unit(
         dep_edges_raw: deps.stats.raw_edges,
         dep_edges: deps.stats.final_edges,
         degraded,
-    }
+    };
+    let internals = sparse_values.map(|sparse_values| UnitInternals {
+        pre,
+        du,
+        deps,
+        sparse_values,
+        degraded,
+    });
+    (analysis, internals)
 }
 
 /// Order-independent content hash of a value map: every binding rendered to

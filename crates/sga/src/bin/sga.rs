@@ -9,7 +9,9 @@
 //!             [--jobs N] [--cache-dir D] [--no-cache] [--canonical]
 //!             [--no-bypass] [--widening naive|threshold|delayed]
 //!             [--keep-going | --fail-fast] [--max-steps N] [--timeout-ms N]
-//!             [--faults SPEC] [--out FILE]
+//!             [--resume] [--validate] [--journal-dir D]
+//!             [--quarantine-keep N] [--faults SPEC] [--out FILE]
+//! sga cache gc <dir> [--keep N]
 //! ```
 //!
 //! `sga analyze` runs the batch pipeline over every `*.c` file in a
@@ -21,9 +23,28 @@
 //! soundly and are marked `degraded`. `--faults` injects deterministic
 //! faults for testing (see `pipeline::fault`).
 //!
-//! Exit code 0 when no definite alarm is found, 1 otherwise, 2 on usage or
-//! frontend errors; `sga analyze` exits 3 when the run completed but some
-//! units crashed (partial failure).
+//! Batch runs are durable and checkable: every finished unit is committed
+//! to a write-ahead journal before its cache store, `--resume` replays
+//! that journal after a crash or interruption (producing a report
+//! byte-identical to an uninterrupted run's), SIGINT/SIGTERM drain
+//! in-flight workers and flush a partial report marked `interrupted`, and
+//! `--validate` re-checks every unit against the paper's correctness
+//! contracts (post-fixpoint, Lemma 1, the Def. 5 side condition) plus the
+//! cache. `sga cache gc` prunes quarantined entries and stranded temp
+//! files.
+//!
+//! Exit codes, consolidated:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success (single-file: no definite alarm) |
+//! | 1    | single-file mode found a definite alarm |
+//! | 2    | usage, frontend, or IO error |
+//! | 3    | batch completed, but some units crashed (partial failure) |
+//! | 4    | batch completed, but the validation oracle found violations |
+//! | 5    | batch interrupted (SIGINT/SIGTERM); partial report flushed |
+//!
+//! When several apply, the most urgent wins: 5 over 4 over 3.
 
 use sga::analysis::budget::Budget;
 use sga::analysis::interval::{self, AnalyzeOptions, Engine};
@@ -125,7 +146,8 @@ const ANALYZE_USAGE: &str = "usage: sga analyze <dir> | --corpus units=N,kloc=K,
                              [--no-bypass] [--widening naive|threshold|delayed] \
                              [--keep-going | --fail-fast] \
                              [--max-steps N] [--timeout-ms N] \
-                             [--faults SPEC] [--out FILE]";
+                             [--resume] [--validate] [--journal-dir D] \
+                             [--quarantine-keep N] [--faults SPEC] [--out FILE]";
 
 fn parse_analyze_args(
     args: impl Iterator<Item = String>,
@@ -160,6 +182,16 @@ fn parse_analyze_args(
             }
             "--timeout-ms" => {
                 opts.budget.timeout_ms = Some(num_flag("--timeout-ms", args.next())?);
+            }
+            "--resume" => opts.resume = true,
+            "--validate" => opts.validate = true,
+            "--journal-dir" => {
+                opts.journal_dir = Some(PathBuf::from(
+                    args.next().ok_or("--journal-dir needs a value")?,
+                ));
+            }
+            "--quarantine-keep" => {
+                opts.quarantine_keep = num_flag("--quarantine-keep", args.next())? as usize;
             }
             "--faults" => {
                 let spec = args.next().ok_or("--faults needs a spec")?;
@@ -220,13 +252,23 @@ fn run_analyze(args: impl Iterator<Item = String>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // SIGINT/SIGTERM drain the batch instead of killing it: in-flight units
+    // finish and are journaled, and a partial report is still flushed.
+    pipeline::interrupt::install();
     match pipeline::run(&project, &opts) {
         Ok(report) => {
-            let crashed = report
-                .get("totals")
-                .and_then(|t| t.get("crashed"))
-                .and_then(|c| c.as_u64())
-                .unwrap_or(0);
+            let total = |field: &str| {
+                report
+                    .get("totals")
+                    .and_then(|t| t.get(field))
+                    .and_then(|c| c.as_u64())
+                    .unwrap_or(0)
+            };
+            let (crashed, invalid) = (total("crashed"), total("invalid"));
+            let interrupted = report
+                .get("interrupted")
+                .and_then(|i| i.as_bool())
+                .unwrap_or(false);
             let text = report.to_pretty();
             match out {
                 Some(path) => {
@@ -237,7 +279,16 @@ fn run_analyze(args: impl Iterator<Item = String>) -> ExitCode {
                 }
                 None => println!("{text}"),
             }
-            if crashed > 0 {
+            // Most urgent condition wins: an interrupted run is incomplete
+            // (rerun with --resume), an invalid run is *wrong*, a crashed
+            // run is merely partial.
+            if interrupted {
+                eprintln!("sga: run interrupted; partial report flushed (rerun with --resume)");
+                ExitCode::from(5)
+            } else if invalid > 0 {
+                eprintln!("sga: {invalid} unit(s) failed validation; see the report");
+                ExitCode::from(4)
+            } else if crashed > 0 {
                 // Partial failure: the batch completed but some units did
                 // not; distinct from both success and a usage/IO error.
                 eprintln!("sga: {crashed} unit(s) crashed; see the report");
@@ -253,11 +304,76 @@ fn run_analyze(args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+const CACHE_USAGE: &str = "usage: sga cache gc <dir> [--keep N]";
+
+/// `sga cache gc <dir> [--keep N]`: offline cache maintenance.
+fn run_cache(mut args: impl Iterator<Item = String>) -> ExitCode {
+    match args.next().as_deref() {
+        Some("gc") => {}
+        _ => {
+            eprintln!("{CACHE_USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    let mut dir: Option<PathBuf> = None;
+    let mut keep = pipeline::cache::DEFAULT_QUARANTINE_KEEP;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--keep" => match num_flag("--keep", args.next()) {
+                Ok(n) => keep = n as usize,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("{CACHE_USAGE}");
+                return ExitCode::from(2);
+            }
+            other if !other.starts_with('-') && dir.is_none() => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unexpected argument `{other}`\n{CACHE_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("{CACHE_USAGE}");
+        return ExitCode::from(2);
+    };
+    match pipeline::cache::gc(&dir, keep) {
+        Ok(stats) => {
+            println!(
+                "sga: cache gc: removed {} quarantined entr{}, {} temp file(s)",
+                stats.quarantine_removed,
+                if stats.quarantine_removed == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                stats.tmp_removed,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sga: cache gc {}: {e}", dir.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut raw = std::env::args().skip(1).peekable();
     if raw.peek().map(String::as_str) == Some("analyze") {
         raw.next();
         return run_analyze(raw);
+    }
+    if raw.peek().map(String::as_str) == Some("cache") {
+        raw.next();
+        return run_cache(raw);
     }
     let opts = match parse_args() {
         Ok(o) => o,

@@ -205,6 +205,53 @@ proptest! {
         prop_assert!(crashed == 1, "seed {fault_seed}: expected 1 crash, got {crashed}");
     }
 
+    /// Warm-vs-cold validator agreement: the oracle's verdict on a unit is
+    /// a property of the unit, not of where its artifacts came from. A
+    /// validated run over a cold cache and a second over the warm cache
+    /// (where every hit is held back and cross-checked against a
+    /// recomputation) must produce identical per-unit validation blocks and
+    /// outcomes.
+    #[test]
+    fn validator_verdicts_identical_warm_and_cold(corpus_seed in any::<u64>()) {
+        use sga::pipeline::{run, PipelineOptions, Project};
+
+        let corpus = Project::Corpus { units: 2, kloc: 1, seed: corpus_seed };
+        let dir = std::env::temp_dir().join(format!(
+            "sga-fuzz-validate-{}-{corpus_seed:016x}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = PipelineOptions {
+            cache_dir: Some(dir.clone()),
+            canonical: true,
+            validate: true,
+            ..PipelineOptions::default()
+        };
+        let cold = run(&corpus, &opts).expect("cold validated run completes");
+        let warm = run(&corpus, &opts).expect("warm validated run completes");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        prop_assert!(
+            warm.get("totals").unwrap().get("invalid").unwrap().as_u64() == Some(0),
+            "seed {corpus_seed}: warm run found invalid units"
+        );
+        let cold_units = cold.get("units").unwrap().as_arr().unwrap();
+        let warm_units = warm.get("units").unwrap().as_arr().unwrap();
+        for (i, (c, w)) in cold_units.iter().zip(warm_units).enumerate() {
+            // The cache field legitimately differs (miss vs hit); the
+            // verdict and every check count must not.
+            prop_assert!(
+                c.get("outcome") == w.get("outcome"),
+                "seed {corpus_seed}: unit {i} outcome differs warm vs cold"
+            );
+            prop_assert!(
+                c.get("validation").unwrap().to_pretty()
+                    == w.get("validation").unwrap().to_pretty(),
+                "seed {corpus_seed}: unit {i} validation differs warm vs cold"
+            );
+        }
+    }
+
     /// Under the default `delayed` strategy the §5 bypass contraction is a
     /// pure optimization: bypass on/off produce bit-identical bindings.
     #[test]
@@ -238,5 +285,76 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+// Each case below spawns three full `sga analyze` child processes, so the
+// durability property runs fewer cases than the in-process suite above.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Kill-and-resume byte-identity, fuzzed: a seeded fault plan picks
+    /// which unit hard-aborts (`std::process::abort`, no unwinding — an OOM
+    /// kill to the next run) and which unit runs under a starved budget.
+    /// The killed run's journal plus `--resume` must reproduce, byte for
+    /// byte, the canonical report of a run that was never killed.
+    #[test]
+    fn killed_runs_resume_byte_identically(plan_seed in any::<u64>()) {
+        const UNITS: usize = 3;
+        let abort_at = (plan_seed % UNITS as u64) as usize;
+        let budget_at = ((plan_seed >> 8) % UNITS as u64) as usize;
+        let budget_steps = 20 + ((plan_seed >> 16) % 40);
+        // The budget fault shapes the run either way; only the abort is
+        // exclusive to the killed run.
+        let base_faults = format!("budget@{budget_at}={budget_steps}");
+        let kill_faults = format!("{base_faults},abort@{abort_at}");
+
+        let analyze = |dir: &std::path::Path, faults: &str, resume: bool| {
+            let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_sga"));
+            cmd.args([
+                "analyze",
+                "--corpus",
+                &format!("units={UNITS},kloc=1,seed=11"),
+                "--cache-dir",
+                &dir.to_string_lossy(),
+                "--canonical",
+                "--faults",
+                faults,
+            ]);
+            if resume {
+                cmd.arg("--resume");
+            }
+            cmd.output().expect("sga binary runs")
+        };
+        let scratch = |tag: &str| {
+            let dir = std::env::temp_dir().join(format!(
+                "sga-fuzz-abort-{}-{plan_seed:016x}-{tag}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        };
+
+        let killed_dir = scratch("killed");
+        let killed = analyze(&killed_dir, &kill_faults, false);
+        prop_assert!(!killed.status.success(), "seed {plan_seed}: abort must kill the run");
+
+        let resumed = analyze(&killed_dir, &base_faults, true);
+        prop_assert!(
+            resumed.status.code() == Some(0),
+            "seed {plan_seed}: resume failed: {}",
+            String::from_utf8_lossy(&resumed.stderr)
+        );
+
+        let fresh_dir = scratch("fresh");
+        let fresh = analyze(&fresh_dir, &base_faults, false);
+        prop_assert!(fresh.status.code() == Some(0));
+        prop_assert!(
+            resumed.stdout == fresh.stdout,
+            "seed {plan_seed}: resumed report differs from the uninterrupted run"
+        );
+
+        let _ = std::fs::remove_dir_all(&killed_dir);
+        let _ = std::fs::remove_dir_all(&fresh_dir);
     }
 }

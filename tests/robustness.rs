@@ -17,7 +17,7 @@ use sga::pipeline::fault::FaultPlan;
 use sga::pipeline::{run, PipelineError, PipelineOptions, Project};
 use sga::utils::{fxhash, Json};
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn corpus(units: usize) -> Project {
     Project::Corpus {
@@ -345,6 +345,402 @@ fn malformed_corpus_is_rejected_with_structured_errors() {
             Err(_) => panic!("{name}: frontend panicked instead of erroring"),
         }
     }
+}
+
+// ---- durability: journal, resume, graceful shutdown --------------------
+
+/// Runs `sga analyze` on the 4-unit robustness corpus with extra args.
+fn sga_analyze(units: usize, extra: &[&str]) -> std::process::Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_sga"))
+        .arg("analyze")
+        .args(["--corpus", &format!("units={units},kloc=1,seed=11")])
+        .args(extra)
+        .output()
+        .expect("sga binary runs")
+}
+
+/// The committed journal records under `dir/journal`, if any.
+fn journal_records(dir: &Path) -> usize {
+    std::fs::read_dir(dir.join("journal")).map_or(0, |entries| {
+        entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .count()
+    })
+}
+
+/// A run killed by `abort@2` (a hard `std::process::abort`, no unwinding,
+/// no flush — an OOM kill as far as the next run can tell) must leave a
+/// replayable journal, and `--resume` must reproduce the uninterrupted
+/// run's canonical report byte for byte — at any worker count.
+#[test]
+fn abort_then_resume_reproduces_the_uninterrupted_report() {
+    for jobs in [1usize, 4] {
+        let jobs_s = jobs.to_string();
+        let dir = scratch_dir(&format!("abort-j{jobs}"));
+        let dir_s = dir.to_string_lossy().into_owned();
+
+        // jobs=4 claims every unit at once, so the aborting unit stalls
+        // first to give its siblings time to commit their records.
+        let faults = if jobs == 1 {
+            "abort@2".to_string()
+        } else {
+            "stall@2=1500,abort@2".to_string()
+        };
+        let killed = sga_analyze(
+            4,
+            &[
+                "--cache-dir",
+                &dir_s,
+                "--canonical",
+                "--jobs",
+                &jobs_s,
+                "--faults",
+                &faults,
+            ],
+        );
+        assert!(
+            !killed.status.success(),
+            "jobs={jobs}: abort@2 must kill the run"
+        );
+        assert!(
+            journal_records(&dir) >= 1,
+            "jobs={jobs}: the killed run committed no journal records"
+        );
+
+        let resumed = sga_analyze(
+            4,
+            &[
+                "--cache-dir",
+                &dir_s,
+                "--canonical",
+                "--jobs",
+                &jobs_s,
+                "--resume",
+            ],
+        );
+        assert_eq!(
+            resumed.status.code(),
+            Some(0),
+            "jobs={jobs}: resume failed: {}",
+            String::from_utf8_lossy(&resumed.stderr)
+        );
+
+        let fresh_dir = scratch_dir(&format!("abort-fresh-j{jobs}"));
+        let fresh = sga_analyze(
+            4,
+            &[
+                "--cache-dir",
+                &fresh_dir.to_string_lossy(),
+                "--canonical",
+                "--jobs",
+                &jobs_s,
+            ],
+        );
+        assert_eq!(fresh.status.code(), Some(0));
+        assert_eq!(
+            String::from_utf8_lossy(&resumed.stdout),
+            String::from_utf8_lossy(&fresh.stdout),
+            "jobs={jobs}: resumed report differs from the uninterrupted run"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&fresh_dir);
+    }
+}
+
+/// A drained run (here via the `stop@1` fault) journals what it finished;
+/// the resume replays those records — visible in the report's `journal`
+/// block — instead of recomputing, and the canonical fields match an
+/// uninterrupted run's.
+#[test]
+fn resume_serves_journaled_units_without_recompute() {
+    let dir = scratch_dir("resume-replay");
+    let opts = |faults: &str, resume: bool| PipelineOptions {
+        cache_dir: Some(dir.clone()),
+        faults: FaultPlan::parse(faults).unwrap(),
+        resume,
+        ..PipelineOptions::default()
+    };
+
+    let stopped = run(&corpus(4), &opts("stop@1", false)).unwrap();
+    assert_eq!(stopped.get("interrupted").unwrap().as_bool(), Some(true));
+    let totals = stopped.get("totals").unwrap();
+    assert_eq!(totals.get("skipped").unwrap().as_u64(), Some(2));
+    let outcomes: Vec<&str> = stopped
+        .get("units")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|u| u.get("outcome").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(outcomes, ["ok", "ok", "skipped", "skipped"]);
+    assert_eq!(
+        stopped
+            .get("journal")
+            .unwrap()
+            .get("recorded")
+            .unwrap()
+            .as_u64(),
+        Some(2),
+        "the drained run must journal both finished units"
+    );
+
+    let resumed = run(&corpus(4), &opts("", true)).unwrap();
+    assert_eq!(resumed.get("interrupted").unwrap().as_bool(), Some(false));
+    let journal = resumed.get("journal").unwrap();
+    assert_eq!(
+        journal.get("replayed").unwrap().as_u64(),
+        Some(2),
+        "resume must serve the two journaled units from their records"
+    );
+    assert_eq!(journal.get("recorded").unwrap().as_u64(), Some(2));
+
+    // The canonical fields of the resumed report match an uninterrupted
+    // run's — including the replayed units' recorded `"cache": "miss"`.
+    let fresh_dir = scratch_dir("resume-fresh");
+    let fresh = run(
+        &corpus(4),
+        &PipelineOptions {
+            cache_dir: Some(fresh_dir.clone()),
+            ..PipelineOptions::default()
+        },
+    )
+    .unwrap();
+    for field in ["units", "totals"] {
+        assert_eq!(
+            resumed.get(field).unwrap().to_pretty(),
+            fresh.get(field).unwrap().to_pretty(),
+            "resumed `{field}` differ from the uninterrupted run"
+        );
+    }
+
+    // A completed resume retires the journal.
+    assert_eq!(journal_records(&dir), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&fresh_dir);
+}
+
+/// SIGTERM mid-batch: in-flight units finish, unclaimed units are skipped,
+/// the partial report is well-formed JSON marked `interrupted` with exit
+/// code 5 — and a follow-up `--resume` completes the batch.
+#[cfg(unix)]
+#[test]
+fn sigterm_flushes_a_resumable_partial_report() {
+    let dir = scratch_dir("sigterm");
+    let dir_s = dir.to_string_lossy().into_owned();
+
+    // unit 1 stalls long enough to open a signal window after unit 0's
+    // journal record lands.
+    let child = std::process::Command::new(env!("CARGO_BIN_EXE_sga"))
+        .args([
+            "analyze",
+            "--corpus",
+            "units=4,kloc=1,seed=11",
+            "--cache-dir",
+            &dir_s,
+            "--jobs",
+            "1",
+            "--faults",
+            "stall@1=2500",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("sga binary spawns");
+
+    // Wait for the first committed record, then pull the trigger.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while journal_records(&dir) == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no journal record appeared before the deadline"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let term = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(term.success());
+
+    let out = child.wait_with_output().expect("child exits");
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "interrupted run must exit 5: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = Json::parse(&String::from_utf8_lossy(&out.stdout))
+        .expect("partial report is well-formed JSON");
+    assert_eq!(report.get("interrupted").unwrap().as_bool(), Some(true));
+    let totals = report.get("totals").unwrap();
+    assert!(totals.get("skipped").unwrap().as_u64().unwrap() >= 1);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--resume"),
+        "stderr should point at --resume: {stderr:?}"
+    );
+
+    // The journal survived the shutdown and the resume completes the batch.
+    assert!(journal_records(&dir) >= 1);
+    let resumed = sga_analyze(4, &["--cache-dir", &dir_s, "--canonical", "--resume"]);
+    assert_eq!(
+        resumed.status.code(),
+        Some(0),
+        "resume after SIGTERM failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let resumed_report = Json::parse(&String::from_utf8_lossy(&resumed.stdout)).unwrap();
+    assert_eq!(
+        resumed_report
+            .get("totals")
+            .unwrap()
+            .get("skipped")
+            .unwrap()
+            .as_u64(),
+        Some(0)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- the validation oracle ---------------------------------------------
+
+/// `--validate` on a healthy corpus — including a budget-degraded unit —
+/// finds nothing: every unit is independently re-checked and passes.
+#[test]
+fn validation_passes_on_a_degraded_corpus() {
+    let report = run(
+        &corpus(3),
+        &PipelineOptions {
+            canonical: true,
+            validate: true,
+            faults: FaultPlan::parse("budget@1=30").unwrap(),
+            ..PipelineOptions::default()
+        },
+    )
+    .unwrap();
+    let totals = report.get("totals").unwrap();
+    assert_eq!(totals.get("invalid").unwrap().as_u64(), Some(0));
+    assert_eq!(totals.get("validated").unwrap().as_u64(), Some(3));
+    assert_eq!(totals.get("degraded").unwrap().as_u64(), Some(1));
+    for (i, unit) in report
+        .get("units")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .enumerate()
+    {
+        let v = unit.get("validation").unwrap();
+        assert_eq!(
+            v.get("violations").unwrap().as_arr().unwrap().len(),
+            0,
+            "unit {i} has violations"
+        );
+        // The degraded unit's fixpoint legitimately differs from the dense
+        // reference, so Lemma 1 is skipped there — and only there.
+        assert_eq!(
+            v.get("lemma1_skipped").unwrap().as_bool(),
+            Some(i == 1),
+            "unit {i}: unexpected lemma1_skipped"
+        );
+        assert!(v.get("interval_points").unwrap().as_u64().unwrap() > 0);
+        assert!(v.get("octagon_points").unwrap().as_u64().unwrap() > 0);
+    }
+}
+
+/// A forged cache entry — wrong content resealed under a *valid* checksum,
+/// so the envelope cannot catch it — is exposed by the oracle's
+/// recompute-and-compare, reported `invalid` (CLI exit 4), quarantined, and
+/// never re-cached; the next run recomputes and recovers.
+#[test]
+fn forged_cache_entry_is_caught_invalid_and_quarantined() {
+    let dir = scratch_dir("forge");
+    let dir_s = dir.to_string_lossy().into_owned();
+
+    // Seed the cache, then forge unit 1's entry in place.
+    let seeded = sga_analyze(2, &["--cache-dir", &dir_s, "--faults", "forge@1"]);
+    assert_eq!(seeded.status.code(), Some(0));
+
+    let caught = sga_analyze(2, &["--cache-dir", &dir_s, "--validate"]);
+    assert_eq!(caught.status.code(), Some(4), "forged entry must exit 4");
+    let report = Json::parse(&String::from_utf8_lossy(&caught.stdout)).unwrap();
+    let units = report.get("units").unwrap().as_arr().unwrap();
+    assert_eq!(units[0].get("outcome").unwrap().as_str(), Some("ok"));
+    assert_eq!(units[1].get("outcome").unwrap().as_str(), Some("invalid"));
+    let violations = units[1]
+        .get("validation")
+        .unwrap()
+        .get("violations")
+        .unwrap()
+        .as_arr()
+        .unwrap();
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.as_str().unwrap().starts_with("cache_mismatch:")),
+        "missing cache_mismatch violation: {violations:?}"
+    );
+    let totals = report.get("totals").unwrap();
+    assert_eq!(totals.get("invalid").unwrap().as_u64(), Some(1));
+    assert_eq!(totals.get("validated").unwrap().as_u64(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&caught.stderr).contains("failed validation"),
+        "stderr missing validation notice"
+    );
+
+    // The forged entry moved to quarantine and was not replaced by the
+    // invalid result — so the next run recomputes, passes, and re-caches.
+    assert_eq!(
+        std::fs::read_dir(dir.join("quarantine")).unwrap().count(),
+        1
+    );
+    let healed = sga_analyze(2, &["--cache-dir", &dir_s, "--validate"]);
+    assert_eq!(healed.status.code(), Some(0), "recovery run must pass");
+    let healed_report = Json::parse(&String::from_utf8_lossy(&healed.stdout)).unwrap();
+    assert_eq!(
+        healed_report
+            .get("totals")
+            .unwrap()
+            .get("invalid")
+            .unwrap()
+            .as_u64(),
+        Some(0)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `sga cache gc` prunes quarantine and sweeps stranded temp files.
+#[test]
+fn cache_gc_subcommand_prunes_and_reports() {
+    let dir = scratch_dir("gc-cli");
+    let seeded = sga_analyze(2, &["--cache-dir", &dir.to_string_lossy()]);
+    assert_eq!(seeded.status.code(), Some(0));
+    std::fs::write(dir.join("stranded.json.tmp"), b"torn").unwrap();
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_sga"))
+        .args(["cache", "gc", &dir.to_string_lossy(), "--keep", "0"])
+        .output()
+        .expect("sga binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "cache gc failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("1 temp file"),
+        "unexpected gc output: {stdout}"
+    );
+    assert!(!dir.join("stranded.json.tmp").exists());
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 // ---- CLI exit codes ----------------------------------------------------
