@@ -41,6 +41,32 @@ run_stage() {
     STAGE_TIMES+=("$((SECONDS - start))")
 }
 
+diag_gate() {
+    # The alarm-triage surface, end to end and offline: the golden alarm
+    # corpus (fingerprints, octagon discharges, engine/widening agreement,
+    # SARIF validation against the vendored 2.1.0 schema), then a
+    # baseline-vs-self smoke over the corpus via the CLI — diffing a run
+    # against itself must classify zero new and zero fixed diagnostics.
+    cargo test -q -p sga --test diagnostics || return 1
+    local bin=./target/debug/sga
+    local tmp
+    tmp=$(mktemp -d) || return 1
+    "$bin" analyze tests/alarms --canonical --no-cache > "$tmp/base.json" || { rm -rf "$tmp"; return 1; }
+    "$bin" analyze tests/alarms --canonical --no-cache --baseline "$tmp/base.json" > "$tmp/diff.json"
+    local code=$?
+    if [ "$code" -ne 0 ]; then
+        echo "diag-gate: baseline-vs-self run exited $code" >&2
+        rm -rf "$tmp"; return 1
+    fi
+    if ! grep -q '"new_definite": 0' "$tmp/diff.json" \
+       || ! grep -q '"new": \[\]' "$tmp/diff.json" \
+       || ! grep -q '"fixed": \[\]' "$tmp/diff.json"; then
+        echo "diag-gate: baseline-vs-self diff is not empty" >&2
+        rm -rf "$tmp"; return 1
+    fi
+    rm -rf "$tmp"
+}
+
 ignore_gate() {
     # The precision suite must run in full: no test may be #[ignore]d, and
     # anything marked ignored elsewhere must still pass when forced.
@@ -57,6 +83,7 @@ if [ "$QUICK" -eq 0 ]; then
     run_stage "build-release" cargo build --release
 fi
 run_stage "test"        cargo test -q
+run_stage "diag-gate"   diag_gate
 run_stage "ignore-gate" ignore_gate
 # The fault-tolerance suite is cheap and guards invariants the other stages
 # don't (panic isolation, sound degradation, cache self-healing), so it

@@ -5,11 +5,12 @@
 //! small table.
 //!
 //! With `--check <baseline.json>` it instead *gates* against a checked-in
-//! baseline: the run fails (exit 1) if the alarm count or the warm cache
-//! hit rate regresses, if any unit degrades or crashes, or if the
-//! post-fixpoint validation oracle marks any unit `invalid` (the last two
-//! are hard gates, independent of the baseline). Timings are reported but
-//! never gated — they measure
+//! baseline: the run fails (exit 1) if the open-alarm count, the definite
+//! alarm count, or the warm cache hit rate regresses, if the octagon
+//! triage stage discharges nothing, if any unit degrades or crashes, or
+//! if the post-fixpoint validation oracle marks any unit `invalid` (the
+//! last three are hard gates, independent of the baseline). Timings are
+//! reported but never gated — they measure
 //! whatever hardware runs them (see the container caveat in ROADMAP.md: on
 //! a single-CPU host the parallel schedule cannot beat the sequential one).
 
@@ -22,6 +23,8 @@ struct Measured {
     secs: f64,
     units: u64,
     alarms: u64,
+    discharged: u64,
+    definite: u64,
     degraded: u64,
     crashed: u64,
     fingerprint: String,
@@ -38,6 +41,14 @@ fn measure(project: &Project, jobs: usize) -> Measured {
     let secs = start.elapsed().as_secs_f64();
     let totals = report.get("totals").expect("totals");
     let alarms = totals.get("alarms").and_then(Json::as_u64).expect("alarms");
+    let discharged = totals
+        .get("discharged")
+        .and_then(Json::as_u64)
+        .expect("discharged");
+    let definite = totals
+        .get("definite")
+        .and_then(Json::as_u64)
+        .expect("definite");
     let degraded = totals
         .get("degraded")
         .and_then(Json::as_u64)
@@ -60,13 +71,16 @@ fn measure(project: &Project, jobs: usize) -> Measured {
         .join("+");
     let units = totals.get("units").and_then(Json::as_u64).expect("units");
     println!(
-        "jobs={jobs}: {secs:.3}s  ({units} units, {} procs, {alarms} alarms)",
+        "jobs={jobs}: {secs:.3}s  ({units} units, {} procs, {alarms} open alarms, \
+         {discharged} discharged, {definite} definite)",
         totals.get("procs").unwrap().as_u64().unwrap(),
     );
     Measured {
         secs,
         units,
         alarms,
+        discharged,
+        definite,
         degraded,
         crashed,
         fingerprint,
@@ -149,6 +163,10 @@ fn check(
         .get("warm_hit_rate")
         .and_then(Json::as_f64)
         .expect("baseline warm_hit_rate");
+    let base_definite = baseline
+        .get("definite")
+        .and_then(Json::as_u64)
+        .expect("baseline definite");
 
     let mut failed = false;
     if m.alarms > base_alarms {
@@ -159,6 +177,29 @@ fn check(
         failed = true;
     } else {
         println!("alarms: {} (baseline {base_alarms}) ok", m.alarms);
+    }
+    // New definite alarms are must-fix findings: any growth over the
+    // baseline fails the gate outright.
+    if m.definite > base_definite {
+        eprintln!(
+            "FAIL: new definite alarms: {} > baseline {base_definite}",
+            m.definite
+        );
+        failed = true;
+    } else {
+        println!(
+            "definite alarms: {} (baseline {base_definite}) ok",
+            m.definite
+        );
+    }
+    // Hard gate, independent of the baseline: the octagon triage stage
+    // must discharge at least one interval alarm on the bench corpus —
+    // zero means the discharge path stopped working.
+    if m.discharged == 0 {
+        eprintln!("FAIL: octagon triage discharged no alarms");
+        failed = true;
+    } else {
+        println!("octagon-discharged alarms: {} ok", m.discharged);
     }
     // Hard gates, independent of the baseline: the bench corpus under the
     // default (unbounded) budget must finish every unit cleanly — a
@@ -269,6 +310,8 @@ fn main() -> ExitCode {
         )
         .with("cpus", cpus)
         .with("alarms", seq.alarms as usize)
+        .with("discharged", seq.discharged as usize)
+        .with("definite", seq.definite as usize)
         .with("degraded", seq.degraded as usize)
         .with("crashed", seq.crashed as usize)
         .with("validated", validated as usize)

@@ -165,8 +165,33 @@ impl<'c> Generator<'c> {
             }
         }
 
+        self.emit_probe();
         self.emit_main(nfuncs);
         self.out
+    }
+
+    /// A fixed call-free procedure whose two possible alarms (a loop
+    /// buffer write and a guarded division) are refutable by the packed
+    /// octagon but not by intervals. Every generated unit carries it so
+    /// batch runs always exercise the triage discharge path end to end.
+    fn emit_probe(&mut self) {
+        self.line(0, "int sga_probe(int n, int m) {");
+        self.line(1, "int s = 0;");
+        self.line(1, "int i = 0;");
+        self.line(1, "if (n > 0) {");
+        self.line(2, "int *buf = malloc(n);");
+        self.line(2, "i = 0;");
+        self.line(2, "while (i < n) {");
+        self.line(3, "buf[i] = i;");
+        self.line(3, "i = i + 1;");
+        self.line(2, "}");
+        self.line(2, "s = s + i;");
+        self.line(1, "}");
+        self.line(1, "if (m < n) {");
+        self.line(2, "s = s + 100 / (n - m);");
+        self.line(1, "}");
+        self.line(1, "return s;");
+        self.line(0, "}");
     }
 
     /// Picks callees: cycle members call the next cycle member (building the
@@ -324,6 +349,7 @@ impl<'c> Generator<'c> {
     fn emit_main(&mut self, nfuncs: usize) {
         self.line(0, "int main(int argc) {");
         self.line(1, "int r = 0;");
+        self.line(1, "r = r + sga_probe(argc, argc - 1);");
         // Seed the function-pointer table (deterministically, with the last
         // function — a DAG leaf — so indirect calls don't randomly reshape
         // the call-graph SCC the benchmark rows control via `max_scc`).

@@ -60,6 +60,7 @@ pub mod preanalysis;
 pub mod semantics;
 pub mod sparse;
 pub mod stats;
+pub mod triage;
 pub mod validate;
 pub mod widening;
 

@@ -1,0 +1,104 @@
+//! Run-over-run baseline diffing.
+//!
+//! `sga analyze --baseline old-report.json` classifies every diagnostic of
+//! the current run against a previous report **by fingerprint**: a
+//! fingerprint present in both runs is `unchanged`, one only in the
+//! current run is `new`, one only in the baseline is `fixed`. Fingerprints
+//! are compared as multisets, so two same-subject findings in one
+//! procedure are matched pairwise, not collapsed.
+
+use sga_utils::FxHashMap;
+
+/// Summary of a baseline comparison.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BaselineDiff {
+    /// Fingerprints present now but not in the baseline.
+    pub new: Vec<u64>,
+    /// Fingerprints present in the baseline but gone now.
+    pub fixed: Vec<u64>,
+    /// Count of fingerprints present in both.
+    pub unchanged: usize,
+    /// How many of the `new` findings are open and definite — the CI
+    /// gate's failure condition.
+    pub new_definite: usize,
+}
+
+/// Classification of one current diagnostic.
+pub const NEW: &str = "new";
+/// Classification of a diagnostic matched in the baseline.
+pub const UNCHANGED: &str = "unchanged";
+
+/// Compares the current run's `(fingerprint, open-and-definite)` pairs
+/// against the baseline's fingerprints. Returns the per-diagnostic
+/// classification (aligned with `current`) plus the summary.
+pub fn classify(current: &[(u64, bool)], baseline: &[u64]) -> (Vec<&'static str>, BaselineDiff) {
+    let mut remaining: FxHashMap<u64, usize> = FxHashMap::default();
+    for &fp in baseline {
+        *remaining.entry(fp).or_insert(0) += 1;
+    }
+    let mut classes = Vec::with_capacity(current.len());
+    let mut diff = BaselineDiff::default();
+    for &(fp, definite) in current {
+        match remaining.get_mut(&fp) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                diff.unchanged += 1;
+                classes.push(UNCHANGED);
+            }
+            _ => {
+                diff.new.push(fp);
+                if definite {
+                    diff.new_definite += 1;
+                }
+                classes.push(NEW);
+            }
+        }
+    }
+    let mut fixed: Vec<u64> = remaining
+        .into_iter()
+        .flat_map(|(fp, n)| std::iter::repeat_n(fp, n))
+        .collect();
+    fixed.sort_unstable();
+    diff.fixed = fixed;
+    diff.new.sort_unstable();
+    (classes, diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_diff_is_all_unchanged() {
+        let cur = [(1u64, true), (2, false), (2, false)];
+        let base = [1u64, 2, 2];
+        let (classes, diff) = classify(&cur, &base);
+        assert_eq!(classes, vec![UNCHANGED; 3]);
+        assert_eq!(diff.unchanged, 3);
+        assert!(diff.new.is_empty() && diff.fixed.is_empty());
+        assert_eq!(diff.new_definite, 0);
+    }
+
+    #[test]
+    fn multiset_matching_pairs_duplicates() {
+        // Two copies now, one before: exactly one is new.
+        let (classes, diff) = classify(&[(7, false), (7, true)], &[7]);
+        assert_eq!(classes, vec![UNCHANGED, NEW]);
+        assert_eq!(diff.new, vec![7]);
+        assert_eq!(diff.new_definite, 1);
+    }
+
+    #[test]
+    fn fixed_are_the_leftovers() {
+        let (_, diff) = classify(&[(1, false)], &[1, 2, 2]);
+        assert_eq!(diff.fixed, vec![2, 2]);
+        assert_eq!(diff.unchanged, 1);
+    }
+
+    #[test]
+    fn new_definite_counts_only_definite() {
+        let (_, diff) = classify(&[(3, false), (4, true)], &[]);
+        assert_eq!(diff.new.len(), 2);
+        assert_eq!(diff.new_definite, 1);
+    }
+}

@@ -1,0 +1,551 @@
+//! Structured analysis diagnostics.
+//!
+//! The checkers of `sga-core` report their findings as [`Diagnostic`]
+//! values: a kind, the control point and source line, the involved
+//! variable, rendered evidence, a definite/possible split, and a **stable
+//! content fingerprint**. The fingerprint identifies a finding across runs
+//! — it survives reordering of unrelated code and edits elsewhere in the
+//! file, because it hashes only the *content* of the finding (kind,
+//! procedure name, subject name and the finding's ordinal among its
+//! peers), never absolute control points or line numbers.
+//!
+//! A diagnostic starts [`Status::Open`] and may be demoted to
+//! [`Status::Discharged`] by the octagon-backed triage pass
+//! (`sga_core::triage`). A discharge always records the refuting pack and
+//! the constraint that proved the alarm impossible — absence of evidence
+//! is never a discharge.
+//!
+//! Submodules: [`sarif`] (SARIF 2.1.0 emission), [`schema`] (an offline
+//! JSON-Schema checker for the vendored SARIF schema), [`baseline`]
+//! (run-over-run fingerprint diffing).
+
+pub mod baseline;
+pub mod sarif;
+pub mod schema;
+
+use sga_ir::{Cp, NodeId, ProcId, VarId};
+use sga_utils::{fxhash, Idx, Json};
+use std::fmt;
+
+/// What a diagnostic reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagKind {
+    /// An array access whose offset may exceed the block's size.
+    BufferOverrun,
+    /// A dereference of a pointer whose value set may contain null.
+    NullDeref,
+    /// A division or modulo whose divisor may be zero.
+    DivByZero,
+    /// A read of a local variable no execution path initializes.
+    UninitRead,
+}
+
+impl DiagKind {
+    /// Every kind, in report order.
+    pub const ALL: [DiagKind; 4] = [
+        DiagKind::BufferOverrun,
+        DiagKind::NullDeref,
+        DiagKind::DivByZero,
+        DiagKind::UninitRead,
+    ];
+
+    /// The stable rule identifier (also the SARIF `ruleId`).
+    pub fn id(self) -> &'static str {
+        match self {
+            DiagKind::BufferOverrun => "buffer-overrun",
+            DiagKind::NullDeref => "null-deref",
+            DiagKind::DivByZero => "div-by-zero",
+            DiagKind::UninitRead => "uninit-read",
+        }
+    }
+
+    /// Parses a rule identifier.
+    pub fn from_id(id: &str) -> Option<DiagKind> {
+        DiagKind::ALL.into_iter().find(|k| k.id() == id)
+    }
+
+    /// Human phrase used in rendered messages.
+    pub fn phrase(self) -> &'static str {
+        match self {
+            DiagKind::BufferOverrun => "buffer overrun",
+            DiagKind::NullDeref => "null dereference",
+            DiagKind::DivByZero => "division by zero",
+            DiagKind::UninitRead => "read of uninitialized variable",
+        }
+    }
+}
+
+/// Kind-specific rendered evidence. The payloads are pre-rendered by the
+/// checker (interval strings, block names) so the diagnostic round-trips
+/// through JSON byte-identically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Evidence {
+    /// Offset/size intervals of the accessed block.
+    Overrun {
+        /// The access offset interval.
+        offset: String,
+        /// The block's size interval.
+        size: String,
+        /// The accessed abstract block (rendered).
+        block: String,
+        /// The allocation site `(proc, node)` when the block is a
+        /// `malloc`-style allocation — what triage re-examines.
+        alloc: Option<(u32, u32)>,
+    },
+    /// The pointer's numeric interval (contains 0).
+    Null {
+        /// Rendered interval of the pointer value.
+        value: String,
+    },
+    /// The divisor's interval (contains 0).
+    DivByZero {
+        /// Rendered interval of the divisor.
+        divisor: String,
+        /// Which divisor within the command (commands can divide twice).
+        nth: u32,
+    },
+    /// A read of a never-initialized local; the variable is the
+    /// diagnostic's subject.
+    Uninit,
+}
+
+impl Evidence {
+    fn render(&self) -> String {
+        match self {
+            Evidence::Overrun {
+                offset,
+                size,
+                block,
+                ..
+            } => format!("offset {offset} vs size {size} of {block}"),
+            Evidence::Null { value } => format!("pointer value {value}"),
+            Evidence::DivByZero { divisor, .. } => format!("divisor {divisor}"),
+            Evidence::Uninit => "no path assigns it before this read".to_string(),
+        }
+    }
+}
+
+/// Whether the alarm stands or was refuted by triage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// The alarm stands.
+    Open,
+    /// The octagon triage pass proved the alarm impossible; the proving
+    /// pack and the refuting constraint are recorded.
+    Discharged {
+        /// Rendered member list of the pack whose constraints refuted the
+        /// alarm.
+        pack: String,
+        /// The refuting constraint, rendered.
+        reason: String,
+    },
+}
+
+/// SARIF-style severity, derived from the definite flag and status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Open and definite: the abstract semantics guarantees the error.
+    Error,
+    /// Open and possible.
+    Warning,
+    /// Discharged.
+    Note,
+}
+
+/// One structured finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// What is reported.
+    pub kind: DiagKind,
+    /// The control point of the offending command.
+    pub cp: Cp,
+    /// Source line of the command.
+    pub line: u32,
+    /// Name of the enclosing procedure.
+    pub proc_name: String,
+    /// The involved variable, when the subject is a single variable (the
+    /// dereferenced pointer, the uninitialized local, a variable divisor).
+    pub var: Option<VarId>,
+    /// Stable rendering of the subject: the variable's source name, or the
+    /// rendered divisor expression. Feeds the fingerprint.
+    pub subject: String,
+    /// Whether the abstract semantics *guarantees* the error (`true`) or
+    /// merely fails to exclude it.
+    pub definite: bool,
+    /// Kind-specific evidence.
+    pub evidence: Evidence,
+    /// Open or discharged.
+    pub status: Status,
+    /// Stable content fingerprint (see [`assign_fingerprints`]).
+    pub fingerprint: u64,
+}
+
+impl Diagnostic {
+    /// Builds an open diagnostic with a zero fingerprint (assigned later by
+    /// [`assign_fingerprints`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kind: DiagKind,
+        cp: Cp,
+        line: u32,
+        proc_name: impl Into<String>,
+        var: Option<VarId>,
+        subject: impl Into<String>,
+        definite: bool,
+        evidence: Evidence,
+    ) -> Diagnostic {
+        Diagnostic {
+            kind,
+            cp,
+            line,
+            proc_name: proc_name.into(),
+            var,
+            subject: subject.into(),
+            definite,
+            evidence,
+            status: Status::Open,
+            fingerprint: 0,
+        }
+    }
+
+    /// Whether the alarm still stands.
+    pub fn is_open(&self) -> bool {
+        matches!(self.status, Status::Open)
+    }
+
+    /// Derived severity.
+    pub fn severity(&self) -> Severity {
+        match (&self.status, self.definite) {
+            (Status::Discharged { .. }, _) => Severity::Note,
+            (Status::Open, true) => Severity::Error,
+            (Status::Open, false) => Severity::Warning,
+        }
+    }
+
+    /// Serializes to the deterministic report/cache JSON shape.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .with("kind", self.kind.id())
+            .with(
+                "cp",
+                Json::Arr(vec![
+                    Json::Num(self.cp.proc.index() as f64),
+                    Json::Num(self.cp.node.index() as f64),
+                ]),
+            )
+            .with("line", self.line)
+            .with("proc", self.proc_name.as_str())
+            .with(
+                "var",
+                match self.var {
+                    Some(v) => Json::Num(v.index() as f64),
+                    None => Json::Null,
+                },
+            )
+            .with("subject", self.subject.as_str())
+            .with("definite", self.definite);
+        let evidence = match &self.evidence {
+            Evidence::Overrun {
+                offset,
+                size,
+                block,
+                alloc,
+            } => Json::obj()
+                .with("offset", offset.as_str())
+                .with("size", size.as_str())
+                .with("block", block.as_str())
+                .with(
+                    "alloc",
+                    match alloc {
+                        Some((p, n)) => {
+                            Json::Arr(vec![Json::Num(f64::from(*p)), Json::Num(f64::from(*n))])
+                        }
+                        None => Json::Null,
+                    },
+                ),
+            Evidence::Null { value } => Json::obj().with("value", value.as_str()),
+            Evidence::DivByZero { divisor, nth } => Json::obj()
+                .with("divisor", divisor.as_str())
+                .with("nth", *nth),
+            Evidence::Uninit => Json::obj(),
+        };
+        j.set("evidence", evidence);
+        match &self.status {
+            Status::Open => {
+                j.set("status", "open");
+            }
+            Status::Discharged { pack, reason } => {
+                j.set("status", "discharged");
+                j.set(
+                    "discharge",
+                    Json::obj()
+                        .with("pack", pack.as_str())
+                        .with("reason", reason.as_str()),
+                );
+            }
+        }
+        j.set("fingerprint", format!("{:016x}", self.fingerprint));
+        j
+    }
+
+    /// Parses the shape written by [`Diagnostic::to_json`].
+    pub fn from_json(j: &Json) -> Option<Diagnostic> {
+        let kind = DiagKind::from_id(j.get("kind")?.as_str()?)?;
+        let cp_arr = j.get("cp")?.as_arr()?;
+        let cp = Cp::new(
+            ProcId::new(cp_arr.first()?.as_u64()? as usize),
+            NodeId::new(cp_arr.get(1)?.as_u64()? as usize),
+        );
+        let line = j.get("line")?.as_u64()? as u32;
+        let proc_name = j.get("proc")?.as_str()?.to_string();
+        let var = match j.get("var")? {
+            Json::Null => None,
+            v => Some(VarId::new(v.as_u64()? as usize)),
+        };
+        let subject = j.get("subject")?.as_str()?.to_string();
+        let definite = j.get("definite")?.as_bool()?;
+        let ev = j.get("evidence")?;
+        let evidence = match kind {
+            DiagKind::BufferOverrun => Evidence::Overrun {
+                offset: ev.get("offset")?.as_str()?.to_string(),
+                size: ev.get("size")?.as_str()?.to_string(),
+                block: ev.get("block")?.as_str()?.to_string(),
+                alloc: match ev.get("alloc")? {
+                    Json::Null => None,
+                    a => {
+                        let a = a.as_arr()?;
+                        Some((a.first()?.as_u64()? as u32, a.get(1)?.as_u64()? as u32))
+                    }
+                },
+            },
+            DiagKind::NullDeref => Evidence::Null {
+                value: ev.get("value")?.as_str()?.to_string(),
+            },
+            DiagKind::DivByZero => Evidence::DivByZero {
+                divisor: ev.get("divisor")?.as_str()?.to_string(),
+                nth: ev.get("nth")?.as_u64()? as u32,
+            },
+            DiagKind::UninitRead => Evidence::Uninit,
+        };
+        let status = match j.get("status")?.as_str()? {
+            "open" => Status::Open,
+            "discharged" => {
+                let d = j.get("discharge")?;
+                Status::Discharged {
+                    pack: d.get("pack")?.as_str()?.to_string(),
+                    reason: d.get("reason")?.as_str()?.to_string(),
+                }
+            }
+            _ => return None,
+        };
+        let fingerprint = u64::from_str_radix(j.get("fingerprint")?.as_str()?, 16).ok()?;
+        Some(Diagnostic {
+            kind,
+            cp,
+            line,
+            proc_name,
+            var,
+            subject,
+            definite,
+            evidence,
+            status,
+            fingerprint,
+        })
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let certainty = if self.definite {
+            "definite"
+        } else {
+            "possible"
+        };
+        match self.kind {
+            DiagKind::UninitRead => write!(
+                f,
+                "line {}: {certainty} {} `{}` in {} at {} ({})",
+                self.line,
+                self.kind.phrase(),
+                self.subject,
+                self.proc_name,
+                self.cp,
+                self.evidence.render(),
+            )?,
+            _ => write!(
+                f,
+                "line {}: {certainty} {} in {} at {}: `{}` ({})",
+                self.line,
+                self.kind.phrase(),
+                self.proc_name,
+                self.cp,
+                self.subject,
+                self.evidence.render(),
+            )?,
+        }
+        if let Status::Discharged { pack, reason } = &self.status {
+            write!(f, " — discharged by pack {pack}: {reason}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Sorts diagnostics into the canonical report order: by control point,
+/// then kind, then subject, then evidence detail. The order depends only
+/// on program content, never on checker scheduling.
+pub fn sort_canonical(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.cp, a.kind, &a.subject, &a.evidence.render()).cmp(&(
+            b.cp,
+            b.kind,
+            &b.subject,
+            &b.evidence.render(),
+        ))
+    });
+}
+
+/// Assigns the stable content fingerprint to every diagnostic.
+///
+/// The recipe (documented in DESIGN.md §10): hash of
+/// `("sga-diag-v1", kind id, procedure name, subject, ordinal)` where the
+/// ordinal is the diagnostic's occurrence index within its
+/// `(kind, procedure, subject)` group, counted in canonical order.
+/// Absolute line numbers, control points and interval evidence are
+/// deliberately excluded, so the fingerprint survives reordering and
+/// unrelated edits; the ordinal keeps multiple same-subject findings in
+/// one procedure distinct.
+///
+/// The input must already be in canonical order (see [`sort_canonical`]).
+pub fn assign_fingerprints(diags: &mut [Diagnostic]) {
+    let mut seen: Vec<(DiagKind, String, String, u32)> = Vec::new();
+    for d in diags.iter_mut() {
+        let ordinal = match seen
+            .iter_mut()
+            .find(|(k, p, s, _)| *k == d.kind && *p == d.proc_name && *s == d.subject)
+        {
+            Some(entry) => {
+                entry.3 += 1;
+                entry.3
+            }
+            None => {
+                seen.push((d.kind, d.proc_name.clone(), d.subject.clone(), 0));
+                0
+            }
+        };
+        d.fingerprint = fxhash::hash_one(&(
+            "sga-diag-v1",
+            d.kind.id(),
+            d.proc_name.as_str(),
+            d.subject.as_str(),
+            ordinal,
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: DiagKind, line: u32, subject: &str) -> Diagnostic {
+        let evidence = match kind {
+            DiagKind::BufferOverrun => Evidence::Overrun {
+                offset: "[0,+oo]".into(),
+                size: "[1,1]".into(),
+                block: "alloc@p0:2".into(),
+                alloc: Some((0, 2)),
+            },
+            DiagKind::NullDeref => Evidence::Null {
+                value: "[0,0]".into(),
+            },
+            DiagKind::DivByZero => Evidence::DivByZero {
+                divisor: "[-oo,+oo]".into(),
+                nth: 0,
+            },
+            DiagKind::UninitRead => Evidence::Uninit,
+        };
+        Diagnostic::new(
+            kind,
+            Cp::new(ProcId::new(0), NodeId::new(line as usize)),
+            line,
+            "main",
+            None,
+            subject,
+            false,
+            evidence,
+        )
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        for kind in DiagKind::ALL {
+            let mut d = sample(kind, 7, "p");
+            d.definite = kind == DiagKind::UninitRead;
+            if kind == DiagKind::NullDeref {
+                d.status = Status::Discharged {
+                    pack: "{p,n}".into(),
+                    reason: "p >= 1".into(),
+                };
+            }
+            d.fingerprint = 0xdead_beef_0bad_f00d;
+            let j = d.to_json();
+            let back = Diagnostic::from_json(&j).expect("parses");
+            assert_eq!(back, d);
+            // And byte-identical serialization.
+            assert_eq!(back.to_json().to_compact(), j.to_compact());
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_lines_but_not_content() {
+        let mut a = vec![sample(DiagKind::NullDeref, 3, "p")];
+        let mut b = vec![sample(DiagKind::NullDeref, 90, "p")];
+        assign_fingerprints(&mut a);
+        assign_fingerprints(&mut b);
+        assert_eq!(
+            a[0].fingerprint, b[0].fingerprint,
+            "moving a finding keeps its identity"
+        );
+
+        let mut c = vec![sample(DiagKind::NullDeref, 3, "q")];
+        assign_fingerprints(&mut c);
+        assert_ne!(a[0].fingerprint, c[0].fingerprint, "subject matters");
+
+        let mut d = vec![sample(DiagKind::DivByZero, 3, "p")];
+        assign_fingerprints(&mut d);
+        assert_ne!(a[0].fingerprint, d[0].fingerprint, "kind matters");
+    }
+
+    #[test]
+    fn repeated_findings_get_distinct_ordinals() {
+        let mut v = vec![
+            sample(DiagKind::NullDeref, 3, "p"),
+            sample(DiagKind::NullDeref, 5, "p"),
+        ];
+        assign_fingerprints(&mut v);
+        assert_ne!(v[0].fingerprint, v[1].fingerprint);
+
+        // Inserting an unrelated finding between them changes neither.
+        let mut w = vec![
+            sample(DiagKind::NullDeref, 3, "p"),
+            sample(DiagKind::DivByZero, 4, "d"),
+            sample(DiagKind::NullDeref, 9, "p"),
+        ];
+        assign_fingerprints(&mut w);
+        assert_eq!(v[0].fingerprint, w[0].fingerprint);
+        assert_eq!(v[1].fingerprint, w[2].fingerprint);
+    }
+
+    #[test]
+    fn severity_tracks_status_and_definiteness() {
+        let mut d = sample(DiagKind::BufferOverrun, 1, "buf");
+        assert_eq!(d.severity(), Severity::Warning);
+        d.definite = true;
+        assert_eq!(d.severity(), Severity::Error);
+        d.definite = false;
+        d.status = Status::Discharged {
+            pack: "{i,n}".into(),
+            reason: "i - n <= -1".into(),
+        };
+        assert_eq!(d.severity(), Severity::Note);
+    }
+}

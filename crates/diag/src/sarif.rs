@@ -1,0 +1,184 @@
+//! SARIF 2.1.0 emission.
+//!
+//! `sga check --sarif out.sarif` serializes the diagnostics of one
+//! translation unit as a single-run SARIF log. The mapping:
+//!
+//! | diagnostic                | `level`   | `kind` |
+//! |---------------------------|-----------|--------|
+//! | open, definite            | `error`   | `fail` |
+//! | open, possible            | `warning` | `fail` |
+//! | discharged                | `none`    | `pass` |
+//!
+//! The stable content fingerprint is exported under
+//! `partialFingerprints["sga/v1"]`, which SARIF consumers use for
+//! run-over-run matching — the same contract as `--baseline`.
+
+use crate::{DiagKind, Diagnostic, Severity};
+use sga_utils::Json;
+
+/// Tool name recorded in the SARIF `driver`.
+const TOOL_NAME: &str = "sga";
+/// Tool version recorded in the SARIF `driver`.
+const TOOL_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+fn rule_description(kind: DiagKind) -> &'static str {
+    match kind {
+        DiagKind::BufferOverrun => "Array access offset may exceed the accessed block's size.",
+        DiagKind::NullDeref => "Dereferenced pointer value may be null.",
+        DiagKind::DivByZero => "Divisor of a division or modulo may be zero.",
+        DiagKind::UninitRead => "Local variable may be read before any assignment.",
+    }
+}
+
+/// Builds a complete SARIF 2.1.0 log for one artifact's diagnostics.
+pub fn to_sarif(artifact_uri: &str, diags: &[Diagnostic]) -> Json {
+    let rules: Vec<Json> = DiagKind::ALL
+        .into_iter()
+        .map(|k| {
+            Json::obj().with("id", k.id()).with(
+                "shortDescription",
+                Json::obj().with("text", rule_description(k)),
+            )
+        })
+        .collect();
+
+    let results: Vec<Json> = diags
+        .iter()
+        .map(|d| {
+            let (level, result_kind) = match d.severity() {
+                Severity::Error => ("error", "fail"),
+                Severity::Warning => ("warning", "fail"),
+                Severity::Note => ("none", "pass"),
+            };
+            let rule_index = DiagKind::ALL
+                .iter()
+                .position(|&k| k == d.kind)
+                .expect("every kind is a rule");
+            Json::obj()
+                .with("ruleId", d.kind.id())
+                .with("ruleIndex", rule_index)
+                .with("level", level)
+                .with("kind", result_kind)
+                .with("message", Json::obj().with("text", d.to_string()))
+                .with(
+                    "locations",
+                    Json::Arr(vec![Json::obj().with(
+                        "physicalLocation",
+                        Json::obj()
+                            .with("artifactLocation", Json::obj().with("uri", artifact_uri))
+                            .with("region", Json::obj().with("startLine", d.line.max(1))),
+                    )]),
+                )
+                .with(
+                    "partialFingerprints",
+                    Json::obj().with("sga/v1", format!("{:016x}", d.fingerprint)),
+                )
+        })
+        .collect();
+
+    Json::obj()
+        .with("$schema", "https://json.schemastore.org/sarif-2.1.0.json")
+        .with("version", "2.1.0")
+        .with(
+            "runs",
+            Json::Arr(vec![Json::obj()
+                .with(
+                    "tool",
+                    Json::obj().with(
+                        "driver",
+                        Json::obj()
+                            .with("name", TOOL_NAME)
+                            .with("version", TOOL_VERSION)
+                            .with("rules", Json::Arr(rules)),
+                    ),
+                )
+                .with(
+                    "artifacts",
+                    Json::Arr(vec![
+                        Json::obj().with("location", Json::obj().with("uri", artifact_uri))
+                    ]),
+                )
+                .with("results", Json::Arr(results))]),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assign_fingerprints, schema, Evidence, Status};
+    use sga_ir::{Cp, NodeId, ProcId};
+    use sga_utils::Idx;
+
+    fn diags() -> Vec<Diagnostic> {
+        let mut v = vec![
+            Diagnostic::new(
+                DiagKind::BufferOverrun,
+                Cp::new(ProcId::new(0), NodeId::new(4)),
+                9,
+                "main",
+                None,
+                "buf",
+                true,
+                Evidence::Overrun {
+                    offset: "[4,4]".into(),
+                    size: "[4,4]".into(),
+                    block: "alloc@p0:1".into(),
+                    alloc: Some((0, 1)),
+                },
+            ),
+            Diagnostic::new(
+                DiagKind::DivByZero,
+                Cp::new(ProcId::new(0), NodeId::new(7)),
+                12,
+                "main",
+                None,
+                "n - m",
+                false,
+                Evidence::DivByZero {
+                    divisor: "[-oo,+oo]".into(),
+                    nth: 0,
+                },
+            ),
+        ];
+        v[1].status = Status::Discharged {
+            pack: "{m,n}".into(),
+            reason: "n - m in [1,+oo]".into(),
+        };
+        assign_fingerprints(&mut v);
+        v
+    }
+
+    #[test]
+    fn emits_expected_levels_and_fingerprints() {
+        let log = to_sarif("tests/alarms/x.c", &diags());
+        let runs = log.get("runs").unwrap().as_arr().unwrap();
+        let results = runs[0].get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("level").unwrap().as_str(), Some("error"));
+        assert_eq!(results[0].get("kind").unwrap().as_str(), Some("fail"));
+        assert_eq!(results[1].get("level").unwrap().as_str(), Some("none"));
+        assert_eq!(results[1].get("kind").unwrap().as_str(), Some("pass"));
+        let fp = results[0]
+            .get("partialFingerprints")
+            .unwrap()
+            .get("sga/v1")
+            .unwrap()
+            .as_str()
+            .unwrap();
+        assert_eq!(fp.len(), 16);
+    }
+
+    #[test]
+    fn validates_against_vendored_schema() {
+        let log = to_sarif("x.c", &diags());
+        let errors = schema::validate(&log, &schema::vendored_sarif_schema());
+        assert!(errors.is_empty(), "schema violations: {errors:?}");
+    }
+
+    #[test]
+    fn empty_log_is_still_valid() {
+        let log = to_sarif("x.c", &[]);
+        let errors = schema::validate(&log, &schema::vendored_sarif_schema());
+        assert!(errors.is_empty(), "schema violations: {errors:?}");
+    }
+}

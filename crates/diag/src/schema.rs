@@ -1,0 +1,203 @@
+//! An offline JSON-Schema checker, sized for the vendored SARIF schema.
+//!
+//! The build environment has no network and no external schema-validation
+//! dependency, so CI validates emitted SARIF against the vendored
+//! `schema/sarif-2.1.0.json` with this checker. It implements the
+//! draft-04 subset that schema actually uses:
+//!
+//! * `type` (single name or list),
+//! * `enum` (scalar values),
+//! * `required`, `properties` (objects),
+//! * `items` (single schema), `minItems`,
+//! * `minimum` (numbers),
+//! * `$ref` into `#/definitions/...`.
+//!
+//! Unknown keywords are ignored, which is exactly the permissive behavior
+//! draft-04 prescribes. That makes the checker sound for rejection — any
+//! reported violation is a real one — while staying small.
+
+use sga_utils::Json;
+
+/// The vendored SARIF 2.1.0 schema (reduced to the properties the emitter
+/// produces; constraints are copied from the official schema).
+pub fn vendored_sarif_schema() -> Json {
+    Json::parse(include_str!("../schema/sarif-2.1.0.json")).expect("vendored SARIF schema parses")
+}
+
+/// Validates `instance` against `schema`. Returns human-readable
+/// violations; empty means valid.
+pub fn validate(instance: &Json, schema: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    check(instance, schema, schema, "$", &mut errors);
+    errors
+}
+
+fn type_name(j: &Json) -> &'static str {
+    match j {
+        Json::Null => "null",
+        Json::Bool(_) => "boolean",
+        Json::Num(n) => {
+            if n.fract() == 0.0 {
+                "integer"
+            } else {
+                "number"
+            }
+        }
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+fn type_matches(instance: &Json, want: &str) -> bool {
+    let got = type_name(instance);
+    got == want || (want == "number" && got == "integer")
+}
+
+fn resolve<'a>(root: &'a Json, reference: &str) -> Option<&'a Json> {
+    let path = reference.strip_prefix("#/")?;
+    let mut cur = root;
+    for seg in path.split('/') {
+        cur = cur.get(seg)?;
+    }
+    Some(cur)
+}
+
+fn check(instance: &Json, schema: &Json, root: &Json, path: &str, errors: &mut Vec<String>) {
+    if let Some(reference) = schema.get("$ref").and_then(Json::as_str) {
+        match resolve(root, reference) {
+            Some(target) => check(instance, target, root, path, errors),
+            None => errors.push(format!("{path}: unresolvable $ref {reference}")),
+        }
+        return;
+    }
+
+    if let Some(ty) = schema.get("type") {
+        let names: Vec<&str> = match ty {
+            Json::Str(s) => vec![s.as_str()],
+            Json::Arr(list) => list.iter().filter_map(Json::as_str).collect(),
+            _ => Vec::new(),
+        };
+        if !names.is_empty() && !names.iter().any(|n| type_matches(instance, n)) {
+            errors.push(format!(
+                "{path}: expected type {}, got {}",
+                names.join("|"),
+                type_name(instance)
+            ));
+            return;
+        }
+    }
+
+    if let Some(allowed) = schema.get("enum").and_then(Json::as_arr) {
+        if !allowed.contains(instance) {
+            errors.push(format!("{path}: value not in enum"));
+        }
+    }
+
+    if let Some(min) = schema.get("minimum").and_then(Json::as_f64) {
+        if let Some(n) = instance.as_f64() {
+            if n < min {
+                errors.push(format!("{path}: {n} below minimum {min}"));
+            }
+        }
+    }
+
+    if let Json::Obj(_) = instance {
+        if let Some(required) = schema.get("required").and_then(Json::as_arr) {
+            for key in required.iter().filter_map(Json::as_str) {
+                if instance.get(key).is_none() {
+                    errors.push(format!("{path}: missing required property `{key}`"));
+                }
+            }
+        }
+        if let Some(Json::Obj(props)) = schema.get("properties") {
+            for (key, sub) in props {
+                if let Some(value) = instance.get(key) {
+                    check(value, sub, root, &format!("{path}.{key}"), errors);
+                }
+            }
+        }
+    }
+
+    if let Json::Arr(items) = instance {
+        if let Some(min) = schema.get("minItems").and_then(Json::as_u64) {
+            if (items.len() as u64) < min {
+                errors.push(format!(
+                    "{path}: {} items, fewer than minItems {min}",
+                    items.len()
+                ));
+            }
+        }
+        if let Some(item_schema) = schema.get("items") {
+            for (i, item) in items.iter().enumerate() {
+                check(item, item_schema, root, &format!("{path}[{i}]"), errors);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Json {
+        Json::parse(
+            r##"{
+              "type": "object",
+              "required": ["version", "runs"],
+              "properties": {
+                "version": {"enum": ["2.1.0"]},
+                "runs": {"type": "array", "minItems": 1,
+                         "items": {"$ref": "#/definitions/run"}}
+              },
+              "definitions": {
+                "run": {"type": "object", "required": ["tool"],
+                        "properties": {"tool": {"type": "object"},
+                                       "n": {"type": "integer", "minimum": 1}}}
+              }
+            }"##,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accepts_conforming_instance() {
+        let doc = Json::parse(r#"{"version":"2.1.0","runs":[{"tool":{},"n":3}]}"#).unwrap();
+        assert!(validate(&doc, &schema()).is_empty());
+    }
+
+    #[test]
+    fn reports_missing_required_and_bad_enum() {
+        let doc = Json::parse(r#"{"version":"2.0.0"}"#).unwrap();
+        let errors = validate(&doc, &schema());
+        assert!(errors.iter().any(|e| e.contains("enum")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("runs")), "{errors:?}");
+    }
+
+    #[test]
+    fn follows_refs_and_checks_items() {
+        let doc = Json::parse(r#"{"version":"2.1.0","runs":[{"n":0}]}"#).unwrap();
+        let errors = validate(&doc, &schema());
+        assert!(
+            errors.iter().any(|e| e.contains("tool")),
+            "missing tool through $ref: {errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("minimum")),
+            "minimum through $ref: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn type_mismatch_is_reported() {
+        let doc = Json::parse(r#"{"version":"2.1.0","runs":"nope"}"#).unwrap();
+        let errors = validate(&doc, &schema());
+        assert!(errors.iter().any(|e| e.contains("expected type array")));
+    }
+
+    #[test]
+    fn vendored_schema_parses() {
+        let s = vendored_sarif_schema();
+        assert!(s.get("definitions").is_some());
+    }
+}

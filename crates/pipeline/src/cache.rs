@@ -35,6 +35,7 @@
 
 use crate::fault::CorruptionMode;
 use crate::unit::{ProcArtifact, UnitAnalysis};
+use sga_diag::Diagnostic;
 use sga_utils::{fxhash, Json};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -42,9 +43,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Bump when the cached schema or any analysis semantics change.
 ///
+/// v3: stringly `alarms` replaced by structured `diagnostics` (the
+/// [`sga_diag::Diagnostic`] JSON shape, with triage verdicts and content
+/// fingerprints), plus the `triage_degraded` flag.
+///
 /// v2: checksummed `{checksum, payload}` envelope, atomic writes, the
 /// `degraded` flag.
-pub const CACHE_FORMAT: u32 = 2;
+pub const CACHE_FORMAT: u32 = 3;
 
 /// Store attempts per entry (first try + retries of transient IO errors).
 const STORE_ATTEMPTS: u32 = 3;
@@ -424,7 +429,11 @@ fn encode(unit: &str, a: &UnitAnalysis) -> Json {
         .with("dep_edges_raw", a.dep_edges_raw)
         .with("dep_edges", a.dep_edges)
         .with("degraded", a.degraded)
-        .with("alarms", strs(&a.alarms))
+        .with("triage_degraded", a.triage_degraded)
+        .with(
+            "diagnostics",
+            a.diags.iter().map(Diagnostic::to_json).collect::<Vec<_>>(),
+        )
         .with("procs", procs);
     seal(payload)
 }
@@ -456,9 +465,16 @@ fn decode(j: &Json) -> Option<UnitAnalysis> {
             dep_segment,
         });
     }
+    let diags = payload
+        .get("diagnostics")?
+        .as_arr()?
+        .iter()
+        .map(Diagnostic::from_json)
+        .collect::<Option<Vec<_>>>()?;
     Some(UnitAnalysis {
         procs,
-        alarms: str_list(payload.get("alarms")?)?,
+        diags,
+        triage_degraded: payload.get("triage_degraded")?.as_bool()?,
         fingerprint,
         iterations: payload.get("iterations")?.as_u64()? as usize,
         num_locs: payload.get("num_locs")?.as_u64()? as usize,

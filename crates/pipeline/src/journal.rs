@@ -183,7 +183,7 @@ mod tests {
             unit: Json::obj()
                 .with("name", format!("unit{index:03}"))
                 .with("outcome", if failure.is_some() { "crashed" } else { "ok" })
-                .with("alarms", Vec::<Json>::new()),
+                .with("diagnostics", Vec::<Json>::new()),
         }
     }
 

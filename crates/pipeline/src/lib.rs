@@ -76,6 +76,15 @@ use std::time::Instant;
 
 /// Report schema version (`"schema"` field of the emitted JSON).
 ///
+/// v4: stringly per-unit `alarms` replaced by structured `diagnostics`
+/// (the [`sga_diag::Diagnostic`] JSON shape: kind, control point, line,
+/// subject, evidence, open/discharged status with the proving pack, and a
+/// stable content fingerprint); units gain `triage_degraded`; totals grow
+/// `alarms` (open diagnostics), `discharged`, and `definite`; runs under
+/// `--baseline` carry a `baseline` block (`new`/`fixed`/`unchanged`/
+/// `new_definite`) and every open diagnostic an individual `baseline`
+/// classification.
+///
 /// v3: per-unit outcomes grow `invalid` (oracle violation) and `skipped`
 /// (graceful shutdown before the unit was claimed); totals grow `invalid`,
 /// `validated`, and `skipped`; a top-level `interrupted` flag is always
@@ -85,7 +94,7 @@ use std::time::Instant;
 /// v2: per-unit `outcome` (`ok` | `degraded` | `crashed`, with `error` on
 /// crashes), `degraded`/`crashed` totals, and a `cache_health` block in
 /// non-canonical reports.
-pub const REPORT_SCHEMA: u32 = 3;
+pub const REPORT_SCHEMA: u32 = 4;
 
 /// What to analyze.
 #[derive(Clone, Debug)]
@@ -148,6 +157,10 @@ pub struct PipelineOptions {
     /// External graceful-shutdown flag (embedders; the CLI uses signal
     /// handlers via [`interrupt`] instead). Setting it drains the batch.
     pub stop: Option<Arc<AtomicBool>>,
+    /// Previous run report to diff against: every open diagnostic of this
+    /// run is classified `new`/`unchanged` against the baseline's open
+    /// fingerprints, and the report gains a `baseline` block.
+    pub baseline: Option<PathBuf>,
 }
 
 impl Default for PipelineOptions {
@@ -166,6 +179,7 @@ impl Default for PipelineOptions {
             journal_dir: None,
             quarantine_keep: cache::DEFAULT_QUARANTINE_KEEP,
             stop: None,
+            baseline: None,
         }
     }
 }
@@ -332,11 +346,12 @@ fn render_analyzed(
         .with("iterations", a.iterations)
         .with("fingerprint", format!("{:016x}", a.fingerprint))
         .with("cache", status.as_str())
+        .with("triage_degraded", a.triage_degraded)
         .with(
-            "alarms",
-            a.alarms
+            "diagnostics",
+            a.diags
                 .iter()
-                .map(|s| Json::from(s.as_str()))
+                .map(sga_diag::Diagnostic::to_json)
                 .collect::<Vec<_>>(),
         );
     if let Some(v) = validation {
@@ -353,7 +368,7 @@ fn render_crashed(name: &str, key: u64, message: &str) -> Json {
         .with("outcome", "crashed")
         .with("source_hash", format!("{key:016x}"))
         .with("error", message)
-        .with("alarms", Vec::<Json>::new())
+        .with("diagnostics", Vec::<Json>::new())
 }
 
 /// The per-unit report object of a unit a graceful shutdown skipped.
@@ -361,7 +376,87 @@ fn render_skipped(name: &str) -> Json {
     Json::obj()
         .with("name", name)
         .with("outcome", "skipped")
-        .with("alarms", Vec::<Json>::new())
+        .with("diagnostics", Vec::<Json>::new())
+}
+
+/// The `(fingerprint, open-and-definite)` pairs of every *open* diagnostic
+/// in a report's `units` array, in report order. Discharged diagnostics
+/// never participate in baseline matching: an alarm the octagon proved
+/// impossible is not an outstanding finding on either side of the diff.
+fn open_fingerprints(units: &[Json]) -> Vec<(u64, bool)> {
+    let mut out = Vec::new();
+    for u in units {
+        for d in u.get("diagnostics").and_then(Json::as_arr).unwrap_or(&[]) {
+            if d.get("status").and_then(Json::as_str) != Some("open") {
+                continue;
+            }
+            if let Some(fp) = d
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+            {
+                let definite = d.get("definite").and_then(Json::as_bool) == Some(true);
+                out.push((fp, definite));
+            }
+        }
+    }
+    out
+}
+
+/// Loads the baseline report at `path`, classifies this run's open
+/// diagnostics against it by fingerprint (annotating each with a
+/// `baseline` field), and returns the report's `baseline` block.
+fn apply_baseline(path: &std::path::Path, units_json: &mut [Json]) -> Result<Json, PipelineError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| PipelineError::Io(format!("cannot read baseline {}: {e}", path.display())))?;
+    let old = Json::parse(&text).map_err(|e| {
+        PipelineError::Io(format!(
+            "baseline {} is not valid JSON: {e}",
+            path.display()
+        ))
+    })?;
+    let old_units = old.get("units").and_then(Json::as_arr).ok_or_else(|| {
+        PipelineError::Io(format!(
+            "baseline {} has no `units` array (not an sga-pipeline report?)",
+            path.display()
+        ))
+    })?;
+    let base: Vec<u64> = open_fingerprints(old_units)
+        .into_iter()
+        .map(|(fp, _)| fp)
+        .collect();
+    let current = open_fingerprints(units_json);
+    let (classes, diff) = sga_diag::baseline::classify(&current, &base);
+
+    let mut k = 0;
+    for u in units_json.iter_mut() {
+        let Json::Obj(fields) = u else { continue };
+        let Some(Json::Arr(diags)) = fields
+            .iter_mut()
+            .find(|(key, _)| key == "diagnostics")
+            .map(|(_, v)| v)
+        else {
+            continue;
+        };
+        for d in diags.iter_mut() {
+            if d.get("status").and_then(Json::as_str) == Some("open") {
+                d.set("baseline", classes[k]);
+                k += 1;
+            }
+        }
+    }
+    debug_assert_eq!(k, classes.len());
+
+    let hex = |fps: &[u64]| {
+        fps.iter()
+            .map(|fp| Json::from(format!("{fp:016x}")))
+            .collect::<Vec<_>>()
+    };
+    Ok(Json::obj()
+        .with("new", hex(&diff.new))
+        .with("fixed", hex(&diff.fixed))
+        .with("unchanged", diff.unchanged)
+        .with("new_definite", diff.new_definite))
 }
 
 /// Runs the whole project and returns the JSON run report.
@@ -655,6 +750,7 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
 
     let mut units_json: Vec<Json> = Vec::with_capacity(units.len());
     let (mut procs, mut alarms, mut hits, mut misses) = (0usize, 0usize, 0usize, 0usize);
+    let (mut discharged, mut definite) = (0usize, 0usize);
     let (mut degraded_units, mut crashed_units, mut invalid_units) = (0usize, 0usize, 0usize);
     let (mut validated_units, mut skipped_units) = (0usize, 0usize);
     for (input, slot) in units.iter().zip(results) {
@@ -674,10 +770,18 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
             .to_string();
         let nprocs = j.get("procs").and_then(Json::as_u64).unwrap_or(0) as usize;
         procs += nprocs;
-        alarms += j
-            .get("alarms")
-            .and_then(Json::as_arr)
-            .map_or(0, |a| a.len());
+        for d in j.get("diagnostics").and_then(Json::as_arr).unwrap_or(&[]) {
+            match d.get("status").and_then(Json::as_str) {
+                Some("open") => {
+                    alarms += 1;
+                    if d.get("definite").and_then(Json::as_bool) == Some(true) {
+                        definite += 1;
+                    }
+                }
+                Some("discharged") => discharged += 1,
+                _ => {}
+            }
+        }
         match outcome.as_str() {
             "degraded" => degraded_units += 1,
             "crashed" => crashed_units += 1,
@@ -696,6 +800,14 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
     }
     let interrupted = skipped_units > 0;
 
+    // Run-over-run baseline: classify this run's open diagnostics against
+    // the previous report's open fingerprints (multiset match), annotating
+    // each one in place.
+    let baseline_json = match &options.baseline {
+        Some(path) => Some(apply_baseline(path, &mut units_json)?),
+        None => None,
+    };
+
     let mut opts_json = Json::obj()
         .with("engine", "sparse")
         .with("bypass", options.depgen.bypass)
@@ -711,6 +823,8 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
         .with("units", units.len())
         .with("procs", procs)
         .with("alarms", alarms)
+        .with("discharged", discharged)
+        .with("definite", definite)
         .with("degraded", degraded_units)
         .with("crashed", crashed_units)
         .with("invalid", invalid_units)
@@ -734,6 +848,9 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
         .with("units", units_json)
         .with("totals", totals)
         .with("interrupted", interrupted);
+    if let Some(b) = baseline_json {
+        report.set("baseline", b);
+    }
 
     // A completed run retires its journal; an interrupted one leaves it in
     // place for `resume`. (Error paths above return before this point, so

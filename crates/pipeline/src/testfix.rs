@@ -7,6 +7,9 @@
 
 use crate::cache::Cache;
 use crate::unit::{ProcArtifact, UnitAnalysis};
+use sga_diag::{DiagKind, Diagnostic, Evidence, Status};
+use sga_ir::{Cp, NodeId, ProcId};
+use sga_utils::Idx;
 use std::path::PathBuf;
 
 /// A representative per-unit artifact with every field populated — enough
@@ -19,7 +22,47 @@ pub(crate) fn sample_analysis() -> UnitAnalysis {
             summary_uses: vec![],
             dep_segment: vec![[3, 0, 1, 0, 4, 0], [7, 0, 2, 0, 5, 1]],
         }],
-        alarms: vec!["line 3: possible buffer overrun".into()],
+        diags: vec![
+            Diagnostic {
+                fingerprint: 0x1122_3344_5566_7788,
+                ..Diagnostic::new(
+                    DiagKind::BufferOverrun,
+                    Cp::new(ProcId::new(0), NodeId::new(3)),
+                    3,
+                    "main",
+                    None,
+                    "buf",
+                    false,
+                    Evidence::Overrun {
+                        offset: "[0,+oo]".into(),
+                        size: "[4,4]".into(),
+                        block: "Alloc@main:n1".into(),
+                        alloc: Some((0, 1)),
+                    },
+                )
+            },
+            Diagnostic {
+                fingerprint: 0x99AA_BBCC_DDEE_FF00,
+                status: Status::Discharged {
+                    pack: "{i,n}".into(),
+                    reason: "i >= 0 and i - n <= -1".into(),
+                },
+                ..Diagnostic::new(
+                    DiagKind::DivByZero,
+                    Cp::new(ProcId::new(0), NodeId::new(5)),
+                    7,
+                    "main",
+                    None,
+                    "n - m",
+                    false,
+                    Evidence::DivByZero {
+                        divisor: "[-oo,+oo]".into(),
+                        nth: 0,
+                    },
+                )
+            },
+        ],
+        triage_degraded: false,
         fingerprint: 0xDEAD_BEEF_0BAD_CAFE,
         iterations: 42,
         num_locs: 9,

@@ -26,8 +26,10 @@ use sga_core::depgen::{self, DepGenOptions, IntervalDepSource};
 use sga_core::icfg::Icfg;
 use sga_core::interval::{Engine, IntervalResult, IntervalSparseSpec};
 use sga_core::stats::AnalysisStats;
+use sga_core::triage::{self, TriageOptions};
 use sga_core::widening::{WideningConfig, WideningPlan};
 use sga_core::{checker, defuse, preanalysis, sparse};
+use sga_diag::Diagnostic;
 use sga_domains::{AbsLoc, State, Value};
 use sga_ir::{Cp, ProcId, Program};
 use sga_utils::stats::StageTimers;
@@ -53,8 +55,13 @@ pub struct ProcArtifact {
 pub struct UnitAnalysis {
     /// Per-procedure artifacts, in procedure order (externals skipped).
     pub procs: Vec<ProcArtifact>,
-    /// Rendered checker alarms (overruns, then null dereferences).
-    pub alarms: Vec<String>,
+    /// Structured diagnostics in canonical order: all four checkers, with
+    /// content fingerprints assigned and the octagon triage verdicts
+    /// applied.
+    pub diags: Vec<Diagnostic>,
+    /// Whether the triage octagon run degraded under its budget (triage
+    /// then discharges less; the unit's own `degraded` flag is separate).
+    pub triage_degraded: bool,
     /// Order-independent hash of every (point, location, value) binding.
     pub fingerprint: u64,
     /// Ascending-phase node evaluations.
@@ -234,7 +241,7 @@ fn analyze_unit_inner(
         (values, sparse_values, solved.iterations, solved.degraded)
     });
 
-    let (alarms, fingerprint) = timers.time("check", || {
+    let (mut diags, fingerprint) = timers.time("check", || {
         let stats = AnalysisStats {
             iterations,
             num_locs: du.locs.len(),
@@ -245,16 +252,20 @@ fn analyze_unit_inner(
             values,
             stats,
         };
-        let mut alarms: Vec<String> = checker::check_overruns(program, &result)
-            .iter()
-            .map(|a| a.to_string())
-            .collect();
-        alarms.extend(
-            checker::check_null_derefs(program, &result)
-                .iter()
-                .map(|a| a.to_string()),
-        );
-        (alarms, fingerprint_values(&result.values))
+        (
+            checker::check_all(program, &result, &pre),
+            fingerprint_values(&result.values),
+        )
+    });
+
+    let triage_degraded = timers.time("triage", || {
+        let topts = TriageOptions {
+            engine: Engine::Sparse,
+            depgen: options,
+            widening,
+            budget: triage::derived_budget(iterations, budget),
+        };
+        triage::discharge(program, &pre, &mut diags, &topts).degraded
     });
 
     let procs = pids
@@ -288,7 +299,8 @@ fn analyze_unit_inner(
 
     let analysis = UnitAnalysis {
         procs,
-        alarms,
+        diags,
+        triage_degraded,
         fingerprint,
         iterations,
         num_locs: du.locs.len(),

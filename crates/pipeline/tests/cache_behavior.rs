@@ -30,7 +30,10 @@ fn analysis_facts(report: &Json) -> String {
             ] {
                 copy.set(key, u.get(key).expect(key).clone());
             }
-            copy.set("alarms", u.get("alarms").expect("alarms").clone());
+            copy.set(
+                "diagnostics",
+                u.get("diagnostics").expect("diagnostics").clone(),
+            );
             copy
         })
         .collect();

@@ -60,14 +60,22 @@ fn staged_schedule_matches_sequential_analyzer() {
     assert_eq!(staged.dep_edges, reference.stats.dep_edges);
     assert_eq!(staged.dep_edges_raw, reference.stats.dep_edges_raw);
 
-    let mut reference_alarms: Vec<String> = sga_core::checker::check_overruns(&program, &reference)
-        .iter()
-        .map(|a| a.to_string())
-        .collect();
-    reference_alarms.extend(
-        sga_core::checker::check_null_derefs(&program, &reference)
-            .iter()
-            .map(|a| a.to_string()),
+    // The reference diagnostics: same checkers, same triage, over the
+    // one-shot result — the staged schedule must reproduce them exactly,
+    // fingerprints, triage verdicts and all.
+    let pre = sga_core::preanalysis::run(&program);
+    let mut reference_diags = sga_core::checker::check_all(&program, &reference, &pre);
+    sga_core::triage::discharge(
+        &program,
+        &pre,
+        &mut reference_diags,
+        &sga_core::triage::TriageOptions {
+            budget: sga_core::triage::derived_budget(
+                reference.stats.iterations,
+                &Budget::unbounded(),
+            ),
+            ..sga_core::triage::TriageOptions::default()
+        },
     );
-    assert_eq!(staged.alarms, reference_alarms);
+    assert_eq!(staged.diags, reference_diags);
 }

@@ -5,17 +5,32 @@
 //!              [--widening naive|threshold|delayed]
 //!              [--max-steps N] [--timeout-ms N]
 //!              [--check] [--dump-ir] [--dump-values] [--stats]
+//! sga check <file.c> [--sarif FILE] [--engine vanilla|base|sparse]
+//!           [--widening naive|threshold|delayed]
+//!           [--max-steps N] [--timeout-ms N]
 //! sga analyze <dir> | --corpus units=N,kloc=K,seed=S
 //!             [--jobs N] [--cache-dir D] [--no-cache] [--canonical]
 //!             [--no-bypass] [--widening naive|threshold|delayed]
 //!             [--keep-going | --fail-fast] [--max-steps N] [--timeout-ms N]
 //!             [--resume] [--validate] [--journal-dir D]
 //!             [--quarantine-keep N] [--faults SPEC] [--out FILE]
+//!             [--baseline REPORT]
 //! sga cache gc <dir> [--keep N]
 //! ```
 //!
+//! `sga check` runs all four checkers (buffer overrun, null dereference,
+//! division by zero, uninitialized read) over one file, re-examines every
+//! possible interval alarm against the packed octagon analysis (demoting
+//! relationally-refuted ones to *discharged*), prints the structured
+//! diagnostics, and with `--sarif` writes a SARIF 2.1.0 log (validated
+//! against the vendored schema before it is written).
+//!
 //! `sga analyze` runs the batch pipeline over every `*.c` file in a
 //! directory (or over a generated corpus) and prints a JSON run report.
+//! `--baseline old-report.json` diffs the run's open diagnostics against a
+//! previous report by content fingerprint — each is classified
+//! `new`/`unchanged`, disappeared ones are `fixed` — and a *new definite*
+//! alarm fails the run with exit code 6.
 //! Under `--keep-going` (the default) a crashing or unparsable unit is
 //! recorded in the report while the rest of the batch completes;
 //! `--fail-fast` aborts the run on the first failure. `--max-steps` /
@@ -37,19 +52,23 @@
 //!
 //! | code | meaning |
 //! |------|---------|
-//! | 0    | success (single-file: no definite alarm) |
-//! | 1    | single-file mode found a definite alarm |
+//! | 0    | success (single-file / `check`: no open definite alarm) |
+//! | 1    | single-file mode or `sga check` found an open definite alarm |
 //! | 2    | usage, frontend, or IO error |
 //! | 3    | batch completed, but some units crashed (partial failure) |
 //! | 4    | batch completed, but the validation oracle found violations |
 //! | 5    | batch interrupted (SIGINT/SIGTERM); partial report flushed |
+//! | 6    | batch completed, but `--baseline` found new definite alarms |
 //!
-//! When several apply, the most urgent wins: 5 over 4 over 3.
+//! When several apply, the most urgent wins: 5 over 4 over 3 over 6
+//! (a partial or invalid run's baseline diff is itself suspect).
 
 use sga::analysis::budget::Budget;
 use sga::analysis::interval::{self, AnalyzeOptions, Engine};
+use sga::analysis::triage::{self, TriageOptions};
 use sga::analysis::widening::{WideningConfig, WideningStrategy};
-use sga::analysis::{checker, octagon};
+use sga::analysis::{checker, octagon, preanalysis};
+use sga::diag::Diagnostic;
 use sga::domains::Lattice;
 use sga::pipeline::{self, FaultPlan, PipelineOptions, Project};
 use std::path::PathBuf;
@@ -147,7 +166,8 @@ const ANALYZE_USAGE: &str = "usage: sga analyze <dir> | --corpus units=N,kloc=K,
                              [--keep-going | --fail-fast] \
                              [--max-steps N] [--timeout-ms N] \
                              [--resume] [--validate] [--journal-dir D] \
-                             [--quarantine-keep N] [--faults SPEC] [--out FILE]";
+                             [--quarantine-keep N] [--faults SPEC] [--out FILE] \
+                             [--baseline REPORT]";
 
 fn parse_analyze_args(
     args: impl Iterator<Item = String>,
@@ -185,6 +205,11 @@ fn parse_analyze_args(
             }
             "--resume" => opts.resume = true,
             "--validate" => opts.validate = true,
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    args.next().ok_or("--baseline needs a report file")?,
+                ));
+            }
             "--journal-dir" => {
                 opts.journal_dir = Some(PathBuf::from(
                     args.next().ok_or("--journal-dir needs a value")?,
@@ -269,6 +294,11 @@ fn run_analyze(args: impl Iterator<Item = String>) -> ExitCode {
                 .get("interrupted")
                 .and_then(|i| i.as_bool())
                 .unwrap_or(false);
+            let new_definite = report
+                .get("baseline")
+                .and_then(|b| b.get("new_definite"))
+                .and_then(|n| n.as_u64())
+                .unwrap_or(0);
             let text = report.to_pretty();
             match out {
                 Some(path) => {
@@ -293,6 +323,11 @@ fn run_analyze(args: impl Iterator<Item = String>) -> ExitCode {
                 // not; distinct from both success and a usage/IO error.
                 eprintln!("sga: {crashed} unit(s) crashed; see the report");
                 ExitCode::from(3)
+            } else if new_definite > 0 {
+                eprintln!(
+                    "sga: {new_definite} new definite alarm(s) versus the baseline; see the report"
+                );
+                ExitCode::from(6)
             } else {
                 ExitCode::SUCCESS
             }
@@ -301,6 +336,146 @@ fn run_analyze(args: impl Iterator<Item = String>) -> ExitCode {
             eprintln!("sga: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+/// Runs all four checkers over an analyzed program and triages the
+/// possible interval alarms against the octagon analysis. Shared by
+/// `sga check` and single-file `--check`.
+fn diagnose(
+    program: &sga::ir::Program,
+    result: &interval::IntervalResult,
+    engine: Engine,
+    widening: WideningConfig,
+    budget: &Budget,
+) -> (Vec<Diagnostic>, triage::TriageStats) {
+    let pre = preanalysis::run(program);
+    let mut diags = checker::check_all(program, result, &pre);
+    let stats = triage::discharge(
+        program,
+        &pre,
+        &mut diags,
+        &TriageOptions {
+            engine,
+            widening,
+            budget: triage::derived_budget(result.stats.iterations, budget),
+            ..TriageOptions::default()
+        },
+    );
+    (diags, stats)
+}
+
+/// Prints diagnostics plus the summary line; returns whether any open
+/// definite alarm remains.
+fn print_diagnostics(diags: &[Diagnostic], stats: &triage::TriageStats) -> bool {
+    for d in diags {
+        println!("{d}");
+    }
+    let open = diags.iter().filter(|d| d.is_open()).count();
+    let definite = diags.iter().filter(|d| d.is_open() && d.definite).count();
+    println!(
+        "{open} open alarm(s) ({definite} definite), {} discharged by octagon triage",
+        stats.discharged
+    );
+    definite > 0
+}
+
+const CHECK_USAGE: &str = "usage: sga check <file.c> [--sarif FILE] \
+                           [--engine vanilla|base|sparse] \
+                           [--widening naive|threshold|delayed] \
+                           [--max-steps N] [--timeout-ms N]";
+
+/// `sga check <file.c> [--sarif FILE]`: structured diagnostics with octagon
+/// triage, optionally exported as a SARIF 2.1.0 log.
+fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut file: Option<String> = None;
+    let mut sarif_out: Option<PathBuf> = None;
+    let mut engine = Engine::Sparse;
+    let mut widening = WideningConfig::default();
+    let mut budget = Budget::unbounded();
+    let mut args = args.peekable();
+    let err = |msg: String| {
+        eprintln!("{msg}");
+        ExitCode::from(2)
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sarif" => match args.next() {
+                Some(path) => sarif_out = Some(PathBuf::from(path)),
+                None => return err("--sarif needs a file".into()),
+            },
+            "--engine" => {
+                engine = match args.next().as_deref() {
+                    Some("vanilla") => Engine::Vanilla,
+                    Some("base") => Engine::Base,
+                    Some("sparse") => Engine::Sparse,
+                    other => return err(format!("bad --engine {other:?}")),
+                }
+            }
+            "--widening" => {
+                widening = match args.next().as_deref().and_then(WideningStrategy::parse) {
+                    Some(s) => WideningConfig::of(s),
+                    None => return err("bad --widening (naive|threshold|delayed)".into()),
+                }
+            }
+            "--max-steps" => match num_flag("--max-steps", args.next()) {
+                Ok(n) => budget.max_steps = Some(n),
+                Err(msg) => return err(msg),
+            },
+            "--timeout-ms" => match num_flag("--timeout-ms", args.next()) {
+                Ok(n) => budget.timeout_ms = Some(n),
+                Err(msg) => return err(msg),
+            },
+            "--help" | "-h" => return err(CHECK_USAGE.into()),
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            other => return err(format!("unexpected argument `{other}`\n{CHECK_USAGE}")),
+        }
+    }
+    let Some(file) = file else {
+        return err(CHECK_USAGE.into());
+    };
+    let src = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => return err(format!("sga: cannot read {file}: {e}")),
+    };
+    let program = match sga::frontend::parse(&src) {
+        Ok(p) => p,
+        Err(e) => return err(format!("sga: {file}: {e}")),
+    };
+    let result = interval::analyze_with(
+        &program,
+        engine,
+        AnalyzeOptions {
+            widening,
+            budget,
+            ..AnalyzeOptions::default()
+        },
+    );
+    if result.stats.degraded {
+        eprintln!("sga: analysis budget exhausted; result degraded soundly");
+    }
+    let (diags, stats) = diagnose(&program, &result, engine, widening, &budget);
+    let definite = print_diagnostics(&diags, &stats);
+    if let Some(path) = sarif_out {
+        let log = sga::diag::sarif::to_sarif(&file, &diags);
+        let violations =
+            sga::diag::schema::validate(&log, &sga::diag::schema::vendored_sarif_schema());
+        if !violations.is_empty() {
+            // Never expected: the emitter and the vendored schema ship
+            // together. Refuse to write an invalid log.
+            for v in &violations {
+                eprintln!("sga: SARIF schema violation: {v}");
+            }
+            return ExitCode::from(2);
+        }
+        if let Err(e) = std::fs::write(&path, log.to_pretty() + "\n") {
+            return err(format!("sga: cannot write {}: {e}", path.display()));
+        }
+    }
+    if definite {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -371,6 +546,10 @@ fn main() -> ExitCode {
         raw.next();
         return run_analyze(raw);
     }
+    if raw.peek().map(String::as_str) == Some("check") {
+        raw.next();
+        return run_check(raw);
+    }
     if raw.peek().map(String::as_str) == Some("cache") {
         raw.next();
         return run_cache(raw);
@@ -439,20 +618,9 @@ fn main() -> ExitCode {
                 }
             }
             if opts.check {
-                let overruns = checker::check_overruns(&program, &result);
-                let nulls = checker::check_null_derefs(&program, &result);
-                for a in &overruns {
-                    println!("{a}");
-                }
-                for a in &nulls {
-                    println!("{a}");
-                }
-                println!(
-                    "{} buffer alarm(s), {} null-dereference alarm(s)",
-                    overruns.len(),
-                    nulls.len()
-                );
-                definite = overruns.iter().any(|a| a.definite) || nulls.iter().any(|a| a.definite);
+                let (diags, tstats) =
+                    diagnose(&program, &result, opts.engine, opts.widening, &opts.budget);
+                definite = print_diagnostics(&diags, &tstats);
             }
         }
         Domain::Octagon => {

@@ -15,6 +15,8 @@
 //! * [`analysis`] (`sga-core`) — the three interval analyzers
 //!   (`vanilla`/`base`/`sparse`), the octagon analyzers, and the
 //!   buffer-overrun checker;
+//! * [`diag`] (`sga-diag`) — structured diagnostics, SARIF 2.1.0 emission,
+//!   and run-over-run baseline diffing;
 //! * [`bdd`] (`sga-bdd`) — the BDD package and dependency-relation stores;
 //! * [`cgen`] (`sga-cgen`) — the deterministic benchmark-program generator;
 //! * [`pipeline`] (`sga-pipeline`) — the parallel, cache-aware batch
@@ -39,6 +41,7 @@ pub use sga_bdd as bdd;
 pub use sga_cfront as frontend;
 pub use sga_cgen as cgen;
 pub use sga_core as analysis;
+pub use sga_diag as diag;
 pub use sga_domains as domains;
 pub use sga_ir as ir;
 pub use sga_pipeline as pipeline;

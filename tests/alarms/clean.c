@@ -1,0 +1,13 @@
+/* No alarms of any kind: in-bounds constant indexing, initialized
+ * locals, non-null pointers, nonzero divisors. */
+int g;
+
+int main() {
+    int *buf = malloc(8);
+    int i = 0;
+    buf[3] = 4;
+    int *p = &g;
+    *p = 5;
+    i = 10 / 2;
+    return i;
+}

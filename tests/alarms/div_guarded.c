@@ -1,0 +1,10 @@
+/* The divisor n - m is relationally positive under the guard m < n.
+ * Interval analysis knows nothing about n - m; the octagon pack carries
+ * m - n <= -1, so triage discharges the division alarm. */
+int main(int n, int m) {
+    int r = 0;
+    if (m < n) {
+        r = 100 / (n - m);
+    }
+    return r;
+}

@@ -1,0 +1,5 @@
+/* A constant zero divisor: a definite division by zero. */
+int main(int y) {
+    int z = 0;
+    return y / z;
+}

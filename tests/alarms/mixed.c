@@ -1,0 +1,24 @@
+/* Several kinds across two procedures: a dischargeable loop overrun in
+ * one, a definite division by zero and an uninitialized read in the
+ * other. */
+int sum(int n) {
+    int s = 0;
+    if (n > 0) {
+        int *buf = malloc(n);
+        int i = 0;
+        while (i < n) {
+            buf[i] = i;
+            i = i + 1;
+        }
+        s = s + i;
+    }
+    return s;
+}
+
+int main(int argc) {
+    int w;
+    int z = 0;
+    int r = sum(argc);
+    r = r + 7 / z;
+    return r + w;
+}

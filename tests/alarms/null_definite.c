@@ -1,0 +1,6 @@
+/* An unconditionally null pointer: a definite null dereference. */
+int main() {
+    int *p = 0;
+    *p = 2;
+    return 0;
+}

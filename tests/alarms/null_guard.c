@@ -1,0 +1,12 @@
+/* A pointer that is null on one path and &g on the other: a possible
+ * (not definite) null dereference. */
+int g;
+
+int main(int c) {
+    int *p = 0;
+    if (c) {
+        p = &g;
+    }
+    *p = 1;
+    return 0;
+}

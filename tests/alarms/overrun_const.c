@@ -1,0 +1,7 @@
+/* A definite overrun: index 9 into a 4-byte block. Definite alarms are
+ * never triage candidates. */
+int main() {
+    int *buf = malloc(4);
+    buf[9] = 1;
+    return 0;
+}

@@ -1,0 +1,20 @@
+/* A loop-bounded access: the interval analysis alarms (offset [0,+oo]
+ * against size [1,+oo]) but the packed octagon proves i >= 0 and
+ * i - n <= -1, so triage discharges the alarm. */
+int fill(int n) {
+    int s = 0;
+    if (n > 0) {
+        int *buf = malloc(n);
+        int i = 0;
+        while (i < n) {
+            buf[i] = i;
+            i = i + 1;
+        }
+        s = i;
+    }
+    return s;
+}
+
+int main(int argc) {
+    return fill(argc);
+}

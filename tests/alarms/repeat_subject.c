@@ -1,0 +1,14 @@
+/* The same possibly-null pointer dereferenced twice in one procedure:
+ * two findings with the same (kind, proc, subject) must get distinct
+ * ordinals and therefore distinct fingerprints. */
+int g;
+
+int main(int c) {
+    int *p = 0;
+    if (c) {
+        p = &g;
+    }
+    *p = 1;
+    *p = 2;
+    return 0;
+}

@@ -1,0 +1,8 @@
+/* x is read but no execution path ever assigns it: the flow-insensitive
+ * pre-analysis leaves its location unbound, which proves the read
+ * uninitialized. */
+int main() {
+    int x;
+    int y = 1;
+    return x + y;
+}

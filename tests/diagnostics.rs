@@ -1,0 +1,301 @@
+//! Golden alarm corpus and diagnostic-subsystem invariants.
+//!
+//! `tests/alarms/` holds ten small C files, each annotated with the
+//! alarms it should raise. Every file has a `.expected` sidecar listing
+//! the exact diagnostics (fingerprint, triage status, rendering). The
+//! tests here pin four properties of the triage subsystem:
+//!
+//! 1. **Engine/widening agreement.** Both fixpoint engines and all three
+//!    widening strategies produce byte-identical diagnostics — sparse
+//!    evaluation and widening tactics change cost, never findings.
+//! 2. **Golden stability.** The corpus diagnostics match the checked-in
+//!    sidecars, so fingerprints and renderings cannot drift silently.
+//!    Regenerate with `SGA_BLESS=1 cargo test -q --test diagnostics`.
+//! 3. **Pipeline determinism.** Canonical batch reports over the corpus
+//!    are byte-identical across `--jobs 1/2/8` and warm/cold cache.
+//! 4. **Output formats.** The SARIF export validates against the
+//!    vendored 2.1.0 schema, and a report diffed against itself as a
+//!    baseline classifies everything `unchanged`.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use sga::analysis::budget::Budget;
+use sga::analysis::interval::{self, AnalyzeOptions, Engine};
+use sga::analysis::triage::{self, TriageOptions};
+use sga::analysis::widening::{WideningConfig, WideningStrategy};
+use sga::analysis::{checker, preanalysis};
+use sga::diag::{sarif, schema, Diagnostic, Status};
+use sga::pipeline::{self, PipelineOptions, Project};
+use sga::utils::Json;
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/alarms")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/alarms must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "c"))
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 10, "golden corpus should hold ten C files");
+    files
+}
+
+fn diagnose(src: &str, engine: Engine, widening: WideningConfig) -> Vec<Diagnostic> {
+    let program = sga::frontend::parse(src).expect("corpus file must parse");
+    let pre = preanalysis::run(&program);
+    let result = interval::analyze_with(
+        &program,
+        engine,
+        AnalyzeOptions {
+            widening,
+            ..Default::default()
+        },
+    );
+    let mut diags = checker::check_all(&program, &result, &pre);
+    triage::discharge(
+        &program,
+        &pre,
+        &mut diags,
+        &TriageOptions {
+            engine,
+            widening,
+            budget: triage::derived_budget(result.stats.iterations, &Budget::unbounded()),
+            ..Default::default()
+        },
+    );
+    diags
+}
+
+/// One line per diagnostic: fingerprint, triage status, rendering.
+fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let status = match &d.status {
+            Status::Open => "open".to_string(),
+            Status::Discharged { pack, .. } => format!("discharged[{pack}]"),
+        };
+        writeln!(out, "{:016x} {status} {d}", d.fingerprint).unwrap();
+    }
+    out
+}
+
+#[test]
+fn golden_corpus_agrees_across_engines_and_widenings() {
+    let bless = std::env::var_os("SGA_BLESS").is_some();
+    for file in corpus_files() {
+        let src = std::fs::read_to_string(&file).unwrap();
+        let reference = render(&diagnose(&src, Engine::Sparse, WideningConfig::default()));
+
+        let sidecar = file.with_extension("expected");
+        if bless {
+            std::fs::write(&sidecar, &reference).unwrap();
+        }
+        let expected = std::fs::read_to_string(&sidecar).unwrap_or_else(|_| {
+            panic!(
+                "missing golden sidecar {}; regenerate with SGA_BLESS=1",
+                sidecar.display()
+            )
+        });
+        assert_eq!(
+            reference,
+            expected,
+            "{} diverged from its golden sidecar",
+            file.display()
+        );
+
+        for engine in [Engine::Base, Engine::Sparse] {
+            for strategy in ["naive", "threshold", "delayed"] {
+                let widening = WideningConfig::of(WideningStrategy::parse(strategy).unwrap());
+                let got = render(&diagnose(&src, engine, widening));
+                assert_eq!(
+                    got,
+                    reference,
+                    "{}: {engine:?}/{strategy} disagrees with Sparse/default",
+                    file.display()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn triage_discharges_possible_alarms_and_keeps_definite_ones() {
+    let mut discharged_files = Vec::new();
+    for file in corpus_files() {
+        let name = file.file_name().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(&file).unwrap();
+        let diags = diagnose(&src, Engine::Sparse, WideningConfig::default());
+
+        for d in &diags {
+            if d.definite {
+                assert!(
+                    d.is_open(),
+                    "{name}: definite alarm must never be discharged: {d}"
+                );
+            }
+        }
+        if diags.iter().any(|d| !d.is_open()) {
+            discharged_files.push(name.clone());
+        }
+        match name.as_str() {
+            "clean.c" => assert!(diags.is_empty(), "clean.c must raise no alarms"),
+            "overrun_const.c" | "null_definite.c" | "div_zero.c" | "uninit.c" => {
+                assert!(
+                    diags.iter().any(|d| d.definite && d.is_open()),
+                    "{name}: expected a surviving definite alarm"
+                );
+            }
+            "overrun_loop.c" | "div_guarded.c" => {
+                assert!(
+                    diags.iter().all(|d| !d.is_open()),
+                    "{name}: every alarm should be octagon-discharged"
+                );
+                assert!(!diags.is_empty(), "{name}: expected at least one alarm");
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        discharged_files.len() >= 3,
+        "expected octagon discharges in at least three corpus files, got {discharged_files:?}"
+    );
+}
+
+#[test]
+fn repeated_subjects_get_distinct_fingerprints() {
+    let src = std::fs::read_to_string(corpus_dir().join("repeat_subject.c")).unwrap();
+    let diags = diagnose(&src, Engine::Sparse, WideningConfig::default());
+    assert!(diags.len() >= 2, "expected two null-deref alarms");
+    let mut fps: Vec<u64> = diags.iter().map(|d| d.fingerprint).collect();
+    fps.sort_unstable();
+    fps.dedup();
+    assert_eq!(fps.len(), diags.len(), "fingerprints must be distinct");
+}
+
+fn corpus_report(jobs: usize, cache_dir: Option<PathBuf>) -> Json {
+    let options = PipelineOptions {
+        jobs,
+        canonical: true,
+        cache_dir,
+        ..Default::default()
+    };
+    pipeline::run(&Project::Dir(corpus_dir()), &options).expect("pipeline run")
+}
+
+/// The analysis content of a report: per-unit name, value fingerprint,
+/// and rendered diagnostics. Cache-status fields (`"off"`/`"miss"`/
+/// `"hit"`) legitimately differ across cache states, so cached and
+/// uncached runs are compared on this projection.
+fn analysis_content(report: &Json) -> String {
+    let mut out = String::new();
+    for unit in report.get("units").unwrap().as_arr().unwrap() {
+        writeln!(
+            out,
+            "{} {} {}",
+            unit.get("name").unwrap().to_pretty(),
+            unit.get("fingerprint").unwrap().to_pretty(),
+            unit.get("diagnostics").unwrap().to_pretty(),
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[test]
+fn corpus_report_is_byte_identical_across_jobs_and_cache_state() {
+    let reference = corpus_report(1, None);
+    for jobs in [2, 8] {
+        assert_eq!(
+            corpus_report(jobs, None).to_pretty(),
+            reference.to_pretty(),
+            "--jobs {jobs} changed the canonical report"
+        );
+    }
+
+    let tmp = tempdir("diag-cache");
+    let cold = corpus_report(4, Some(tmp.clone()));
+    let warm = corpus_report(4, Some(tmp.clone()));
+    assert_eq!(
+        analysis_content(&cold),
+        analysis_content(&reference),
+        "cold cached run changed the diagnostics"
+    );
+    assert_eq!(
+        analysis_content(&warm),
+        analysis_content(&reference),
+        "warm cached run changed the diagnostics"
+    );
+    let hits = warm
+        .get("totals")
+        .and_then(|t| t.get("cache_hits"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(hits > 0, "warm run should be served from cache");
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
+fn sarif_export_validates_against_vendored_schema() {
+    let src = std::fs::read_to_string(corpus_dir().join("mixed.c")).unwrap();
+    let diags = diagnose(&src, Engine::Sparse, WideningConfig::default());
+    assert!(!diags.is_empty());
+
+    let log = sarif::to_sarif("tests/alarms/mixed.c", &diags);
+    let violations = schema::validate(&log, &schema::vendored_sarif_schema());
+    assert!(
+        violations.is_empty(),
+        "SARIF log violates the vendored 2.1.0 schema: {violations:?}"
+    );
+
+    let results = log.get("runs").unwrap().as_arr().unwrap()[0]
+        .get("results")
+        .unwrap()
+        .as_arr()
+        .unwrap();
+    assert_eq!(results.len(), diags.len());
+    for r in results {
+        assert!(
+            r.get("partialFingerprints")
+                .and_then(|f| f.get("sga/v1"))
+                .is_some(),
+            "every result must carry the sga/v1 partial fingerprint"
+        );
+    }
+}
+
+#[test]
+fn baseline_against_self_reports_everything_unchanged() {
+    let tmp = tempdir("diag-baseline");
+    let baseline_path = tmp.join("baseline.json");
+    let first = corpus_report(2, None);
+    std::fs::write(&baseline_path, first.to_pretty()).unwrap();
+
+    let options = PipelineOptions {
+        jobs: 2,
+        canonical: true,
+        baseline: Some(baseline_path),
+        ..Default::default()
+    };
+    let report = pipeline::run(&Project::Dir(corpus_dir()), &options).expect("pipeline run");
+    let block = report.get("baseline").expect("baseline block");
+    assert_eq!(block.get("new").unwrap().as_arr().unwrap().len(), 0);
+    assert_eq!(block.get("fixed").unwrap().as_arr().unwrap().len(), 0);
+    assert_eq!(block.get("new_definite").and_then(Json::as_u64), Some(0));
+    let open = first
+        .get("totals")
+        .unwrap()
+        .get("alarms")
+        .and_then(Json::as_u64);
+    assert_eq!(block.get("unchanged").and_then(Json::as_u64), open);
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sga-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}

@@ -385,7 +385,10 @@ fn abort_then_resume_reproduces_the_uninterrupted_report() {
         let faults = if jobs == 1 {
             "abort@2".to_string()
         } else {
-            "stall@2=1500,abort@2".to_string()
+            // The stall must outlast a sibling's full analyze + octagon
+            // triage in a debug build (~2s each); 6s leaves headroom on
+            // slow machines.
+            "stall@2=6000,abort@2".to_string()
         };
         let killed = sga_analyze(
             4,
