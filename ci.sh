@@ -67,6 +67,70 @@ diag_gate() {
     rm -rf "$tmp"
 }
 
+serve_gate() {
+    # The incremental daemon, end to end over a real socket: start
+    # `sga serve` on an ephemeral port, subscribe with `sga watch --once`,
+    # script an alarm-swapping edit through `sga watch --edit`, and assert
+    # the streamed diff event carries both a fixed and a new fingerprint.
+    # Then the convergence invariant, over the wire: the daemon's
+    # accumulated report must match a cold `sga analyze --no-cache
+    # --canonical` batch run of the edited corpus (whitespace-normalized
+    # here; the byte-exact comparison lives in the serve test suite).
+    local bin=./target/debug/sga
+    local tmp daemon watcher addr
+    tmp=$(mktemp -d) || return 1
+    mkdir "$tmp/corpus"
+    printf 'int main() { int *buf = malloc(4); buf[9] = 1; return 0; }\n' \
+        > "$tmp/corpus/lib.c"
+    printf 'int main() { return 3; }\n' > "$tmp/corpus/app.c"
+    "$bin" serve "$tmp/corpus" --no-cache --port-file "$tmp/port" \
+        > "$tmp/serve.log" 2>&1 &
+    daemon=$!
+    for _ in $(seq 1 100); do [ -s "$tmp/port" ] && break; sleep 0.1; done
+    if [ ! -s "$tmp/port" ]; then
+        echo "serve-gate: daemon never wrote its port file" >&2
+        cat "$tmp/serve.log" >&2
+        kill "$daemon" 2>/dev/null; rm -rf "$tmp"; return 1
+    fi
+    addr=$(tr -d '[:space:]' < "$tmp/port")
+    timeout 120 "$bin" watch "$addr" --once > "$tmp/event.json" &
+    watcher=$!
+    sleep 0.5   # let the subscriber register before the edit round fires
+    printf 'int main() { int *buf = malloc(4); buf[0] = 1; return 0; }\nint other() { int *b = malloc(4); b[6] = 1; return 0; }\n' \
+        > "$tmp/lib_v2.c"
+    if ! "$bin" watch "$addr" --edit lib.c "$tmp/lib_v2.c" > /dev/null; then
+        echo "serve-gate: scripted edit failed" >&2
+        kill "$daemon" "$watcher" 2>/dev/null; rm -rf "$tmp"; return 1
+    fi
+    if ! wait "$watcher"; then
+        echo "serve-gate: subscriber never received the diff event" >&2
+        kill "$daemon" 2>/dev/null; rm -rf "$tmp"; return 1
+    fi
+    if ! grep -qF '"event":"diff"' "$tmp/event.json" \
+       || ! grep -qF '"fixed":["' "$tmp/event.json" \
+       || ! grep -qF '"new":["' "$tmp/event.json"; then
+        echo "serve-gate: diff event lacks the swapped alarm fingerprints:" >&2
+        cat "$tmp/event.json" >&2
+        kill "$daemon" 2>/dev/null; rm -rf "$tmp"; return 1
+    fi
+    "$bin" watch "$addr" --report > "$tmp/live.json" || {
+        kill "$daemon" 2>/dev/null; rm -rf "$tmp"; return 1; }
+    "$bin" analyze "$tmp/corpus" --no-cache --canonical > "$tmp/cold.json" || {
+        kill "$daemon" 2>/dev/null; rm -rf "$tmp"; return 1; }
+    if ! cmp -s <(tr -d '[:space:]' < "$tmp/live.json") \
+                <(tr -d '[:space:]' < "$tmp/cold.json"); then
+        echo "serve-gate: daemon report diverged from the cold batch run" >&2
+        kill "$daemon" 2>/dev/null; rm -rf "$tmp"; return 1
+    fi
+    "$bin" watch "$addr" --shutdown > /dev/null
+    if ! wait "$daemon"; then
+        echo "serve-gate: daemon exited non-zero" >&2
+        cat "$tmp/serve.log" >&2
+        rm -rf "$tmp"; return 1
+    fi
+    rm -rf "$tmp"
+}
+
 ignore_gate() {
     # The precision suite must run in full: no test may be #[ignore]d, and
     # anything marked ignored elsewhere must still pass when forced.
@@ -89,9 +153,14 @@ run_stage "ignore-gate" ignore_gate
 # don't (panic isolation, sound degradation, cache self-healing), so it
 # runs in --quick too.
 run_stage "robustness"  cargo test -q -p sga --test robustness
+# The daemon gate drives the debug binary (built by the test stage) over a
+# real socket, so it is cheap enough for --quick too.
+run_stage "serve-gate"  serve_gate
 if [ "$QUICK" -eq 0 ]; then
     run_stage "bench-gate" \
         cargo run --release -p sga-bench --bin pipeline_bench -- --check BENCH_pipeline.json
+    run_stage "serve-bench-gate" \
+        cargo run --release -p sga-bench --bin serve_bench -- --check
 fi
 
 echo

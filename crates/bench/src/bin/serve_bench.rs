@@ -1,0 +1,215 @@
+//! Benchmarks the incremental daemon: cold-start time over a fixed-seed
+//! generated corpus, then sixteen single-function probe edits measuring
+//! per-edit latency and how far each edit's invalidation spreads. The same
+//! edit sequence is replayed at `jobs=1` and `jobs=4`, and each engine's
+//! accumulated report is compared byte-for-byte against a fresh cold batch
+//! run of the corpus' final state — the daemon's convergence invariant.
+//! Writes `BENCH_serve.json` into the working directory.
+//!
+//! With `--check` it instead *gates* (exit 1 on failure): no unit may
+//! crash, both convergence comparisons must hold, the two engines'
+//! reports must be identical to each other, and a single-function probe
+//! edit must invalidate a strict subset of the corpus (sparse
+//! invalidation actually sparing work). Timings are reported but never
+//! gated.
+
+use sga::pipeline::PipelineOptions;
+use sga::serve::{cold_report, Engine};
+use sga::utils::Json;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const UNITS: usize = 8;
+const KLOC: usize = 2;
+const SEED: u64 = 65261;
+const PROBE_ROUNDS: usize = 16;
+
+/// Generates the bench corpus into `dir` (fresh, deterministic).
+fn write_corpus(dir: &Path) -> Vec<(String, String)> {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).expect("create corpus dir");
+    (0..UNITS)
+        .map(|i| {
+            let name = format!("unit{i:03}.c");
+            let source = sga::cgen::generate(&sga::cgen::GenConfig::sized(SEED + i as u64, KLOC));
+            std::fs::write(dir.join(&name), &source).expect("write corpus unit");
+            (name, source)
+        })
+        .collect()
+}
+
+struct Run {
+    cold_start_ms: f64,
+    edit_ms: Vec<f64>,
+    invalidated: Vec<usize>,
+    crashed: u64,
+    converged: bool,
+    report_text: String,
+}
+
+/// Cold-starts an engine over a fresh corpus copy, applies the probe edit
+/// sequence, and checks convergence against a cold batch run of the final
+/// state.
+fn run_at(jobs: usize) -> Run {
+    let dir = std::env::temp_dir().join(format!("sga-serve-bench-{}-j{jobs}", std::process::id()));
+    let units = write_corpus(&dir);
+    let opts = PipelineOptions {
+        jobs,
+        canonical: true,
+        ..PipelineOptions::default()
+    };
+
+    let start = Instant::now();
+    let mut engine = Engine::new(&dir, &opts).expect("engine cold start");
+    let cold_start_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Probe edits: append one fresh, never-imported function per round to
+    // the first unit. Its interface gains an export nothing depends on, so
+    // a sparse invalidation should stop at the edited unit.
+    let (target, mut source) = units[0].clone();
+    let mut edit_ms = Vec::with_capacity(PROBE_ROUNDS);
+    let mut invalidated = Vec::with_capacity(PROBE_ROUNDS);
+    for round in 1..=PROBE_ROUNDS {
+        source.push_str(&format!(
+            "\nint sga_probe_{round}(int a) {{ return a + {round}; }}\n"
+        ));
+        let start = Instant::now();
+        let outcome = engine
+            .apply_edits(vec![(target.clone(), source.clone())])
+            .expect("probe edit");
+        edit_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        assert!(!outcome.is_noop(), "probe edit must change the unit");
+        invalidated.push(outcome.invalidated.len());
+    }
+
+    let report = engine.report().expect("daemon report");
+    let cold = cold_report(&dir, &opts).expect("cold batch run");
+    let report_text = report.to_pretty();
+    let converged = report_text == cold.to_pretty();
+    let crashed = report
+        .get("totals")
+        .and_then(|t| t.get("crashed"))
+        .and_then(Json::as_u64)
+        .expect("crashed total");
+    let _ = std::fs::remove_dir_all(&dir);
+    Run {
+        cold_start_ms,
+        edit_ms,
+        invalidated,
+        crashed,
+        converged,
+        report_text,
+    }
+}
+
+/// p-th percentile (nearest-rank) of an unsorted sample, in place.
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0 * samples.len() as f64).ceil() as usize).max(1);
+    samples[rank - 1]
+}
+
+fn main() -> ExitCode {
+    let mut gate = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => gate = true,
+            other => {
+                eprintln!("serve_bench: unexpected argument `{other}`");
+                eprintln!("usage: serve_bench [--check]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    println!(
+        "serve_bench: {UNITS} units x ~{KLOC} kloc, fixed seed {SEED}, \
+         {PROBE_ROUNDS} probe edits, cache off"
+    );
+    let seq = run_at(1);
+    let par = run_at(4);
+
+    let identical = seq.report_text == par.report_text;
+    let mut edit_ms = seq.edit_ms.clone();
+    let (p50, p95) = (
+        percentile(&mut edit_ms, 50.0),
+        percentile(&mut edit_ms, 95.0),
+    );
+    let inv_min = *seq.invalidated.iter().min().expect("rounds");
+    let inv_max = *seq.invalidated.iter().max().expect("rounds");
+    println!(
+        "cold start: {:.1}ms (jobs=1), {:.1}ms (jobs=4)",
+        seq.cold_start_ms, par.cold_start_ms
+    );
+    println!("single-edit latency (jobs=1): p50 {p50:.1}ms, p95 {p95:.1}ms");
+    println!("invalidated per probe edit: min {inv_min}, max {inv_max} (of {UNITS} units)");
+    println!(
+        "convergence vs cold run: jobs=1 {}, jobs=4 {}; reports identical across jobs: {}",
+        seq.converged, par.converged, identical
+    );
+
+    if gate {
+        let mut failed = false;
+        if seq.crashed > 0 || par.crashed > 0 {
+            eprintln!(
+                "FAIL: {} unit(s) crashed (jobs=1), {} (jobs=4)",
+                seq.crashed, par.crashed
+            );
+            failed = true;
+        } else {
+            println!("crashed units: 0 ok");
+        }
+        if !seq.converged || !par.converged {
+            eprintln!("FAIL: daemon report diverged from the cold batch run");
+            failed = true;
+        } else {
+            println!("convergence: daemon == cold batch run ok");
+        }
+        if !identical {
+            eprintln!("FAIL: jobs=1 and jobs=4 reports differ");
+            failed = true;
+        } else {
+            println!("determinism: jobs=1 == jobs=4 ok");
+        }
+        // The sparse-invalidation gate: a probe edit exports a symbol
+        // nothing imports, so re-analysis must spare at least one unit.
+        if inv_max >= UNITS {
+            eprintln!("FAIL: a probe edit invalidated the whole corpus ({inv_max}/{UNITS})");
+            failed = true;
+        } else {
+            println!("sparse invalidation: max {inv_max}/{UNITS} units ok");
+        }
+        return if failed {
+            ExitCode::from(1)
+        } else {
+            println!("serve gate passed");
+            ExitCode::SUCCESS
+        };
+    }
+
+    let report = Json::obj()
+        .with("bench", "serve")
+        .with(
+            "corpus",
+            Json::obj()
+                .with("units", UNITS)
+                .with("kloc", KLOC)
+                .with("seed", SEED as usize),
+        )
+        .with("probe_rounds", PROBE_ROUNDS)
+        .with("cold_start_jobs1_ms", seq.cold_start_ms)
+        .with("cold_start_jobs4_ms", par.cold_start_ms)
+        .with("edit_p50_ms", p50)
+        .with("edit_p95_ms", p95)
+        .with("invalidated_min", inv_min)
+        .with("invalidated_max", inv_max)
+        .with("crashed", seq.crashed as usize)
+        .with("converged_jobs1", seq.converged)
+        .with("converged_jobs4", par.converged)
+        .with("reports_identical", identical);
+    let path = PathBuf::from("BENCH_serve.json");
+    std::fs::write(&path, report.to_pretty() + "\n").expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+    ExitCode::SUCCESS
+}

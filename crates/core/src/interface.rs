@@ -1,0 +1,310 @@
+//! Per-function link interfaces and the reverse cross-unit dependency
+//! summary — the invalidation substrate of the incremental daemon.
+//!
+//! Every translation unit is analyzed standalone: a call to a function the
+//! unit does not define resolves to an *external* procedure whose effect is
+//! havoc (§6). But in a multi-unit corpus those external symbols are how
+//! units depend on one another at link level: if `app.c` calls `helper`
+//! and `lib.c` defines it, then a change to `helper`'s caller-visible
+//! behavior is exactly what could oblige `app.c` to be re-analyzed.
+//!
+//! This module exports that boundary:
+//!
+//! * each *defined* procedure's [`ProcInterface`] — its name, arity, and a
+//!   content hash over its exported access summary (the caller-visible
+//!   D̂/Û sets of §5). A body edit that leaves the summary intact leaves
+//!   the hash intact; a signature or summary change flips it;
+//! * each *imported* (external) symbol's [`ImportRef`] — which of the
+//!   unit's own procedures transitively depend on it (the per-unit reverse
+//!   dependency summary);
+//! * [`reverse_dependents`] — the cross-unit join: for every function
+//!   symbol, the units (and the procedures inside them) whose analysis
+//!   referenced it.
+//!
+//! The granularity follows *Symbol-Specific Sparsification* (Karakaya &
+//! Bodden): per-symbol, not whole-corpus — a unit is invalidated only when
+//! a symbol it actually imports changes interface, never merely because a
+//! sibling file was touched.
+
+use crate::defuse::DefUse;
+use crate::preanalysis::PreAnalysis;
+use sga_ir::{ProcId, Program};
+use sga_utils::{fxhash, Idx};
+use std::collections::BTreeMap;
+
+/// The caller-visible interface of one defined procedure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcInterface {
+    /// Source-level function name — the link symbol.
+    pub name: String,
+    /// Number of formal parameters (a signature edit flips the hash even
+    /// when the access summary happens to survive it).
+    pub arity: usize,
+    /// Content hash over `(name, arity, exported defs, exported uses)`.
+    /// Two interfaces with equal hashes are interchangeable to callers as
+    /// far as the sparse def/use machinery is concerned.
+    pub hash: u64,
+}
+
+/// One imported (external) symbol and the defined procedures that
+/// transitively reach a call to it — the unit-local reverse slice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ImportRef {
+    /// The external function's name.
+    pub symbol: String,
+    /// Arity at the declaration the frontend synthesized.
+    pub arity: usize,
+    /// Defined procedures whose call cone includes the symbol, sorted.
+    pub dependents: Vec<String>,
+}
+
+/// The link boundary of one translation unit.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct UnitInterface {
+    /// Defined procedures, sorted by name.
+    pub exports: Vec<ProcInterface>,
+    /// External symbols referenced, sorted by name.
+    pub imports: Vec<ImportRef>,
+}
+
+impl UnitInterface {
+    /// The export with the given symbol, if the unit defines it.
+    pub fn export(&self, symbol: &str) -> Option<&ProcInterface> {
+        self.exports
+            .binary_search_by(|e| e.name.as_str().cmp(symbol))
+            .ok()
+            .map(|i| &self.exports[i])
+    }
+
+    /// Whether the unit references `symbol` as an external function.
+    pub fn imports_symbol(&self, symbol: &str) -> bool {
+        self.imports
+            .binary_search_by(|i| i.symbol.as_str().cmp(symbol))
+            .is_ok()
+    }
+
+    /// Symbols exported here whose interface differs from `old` — added,
+    /// removed, or hash-changed. Sorted and deduplicated: this is the set
+    /// of symbols whose cross-unit dependents must be invalidated when the
+    /// unit transitions from `old` to `self`.
+    pub fn changed_exports(&self, old: &UnitInterface) -> Vec<String> {
+        let mut changed = Vec::new();
+        let (mut a, mut b) = (
+            self.exports.iter().peekable(),
+            old.exports.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => match x.name.cmp(&y.name) {
+                    std::cmp::Ordering::Equal => {
+                        if x.hash != y.hash {
+                            changed.push(x.name.clone());
+                        }
+                        a.next();
+                        b.next();
+                    }
+                    std::cmp::Ordering::Less => {
+                        changed.push(a.next().unwrap().name.clone());
+                    }
+                    std::cmp::Ordering::Greater => {
+                        changed.push(b.next().unwrap().name.clone());
+                    }
+                },
+                (Some(_), None) => changed.push(a.next().unwrap().name.clone()),
+                (None, Some(_)) => changed.push(b.next().unwrap().name.clone()),
+                (None, None) => break,
+            }
+        }
+        changed
+    }
+}
+
+/// Computes the link interface of one analyzed unit from the pre-analysis
+/// call graph and the def/use summaries the sparse engine already built.
+pub fn unit_interface(program: &Program, pre: &PreAnalysis, du: &DefUse) -> UnitInterface {
+    // Which defined procedures (transitively) reach each external symbol:
+    // walk the call graph once, propagating reachability bottom-up is
+    // overkill for the sizes at hand — a per-proc DFS is plenty and keeps
+    // the code obvious.
+    let mut exports = Vec::new();
+    let mut imports: BTreeMap<String, (usize, Vec<String>)> = BTreeMap::new();
+    for (pid, proc) in program.procs.iter_enumerated() {
+        if proc.is_external {
+            continue;
+        }
+        let summary = |locs: &[sga_domains::AbsLoc]| -> Vec<String> {
+            locs.iter().map(|l| format!("{l:?}")).collect()
+        };
+        let defs = summary(&du.summary_defs[pid]);
+        let uses = summary(&du.summary_uses[pid]);
+        exports.push(ProcInterface {
+            name: proc.name.clone(),
+            arity: proc.params.len(),
+            hash: fxhash::hash_one(&(&proc.name, proc.params.len(), defs, uses)),
+        });
+        for ext in reachable_externals(program, pre, pid) {
+            let e = &program.procs[ext];
+            let entry = imports
+                .entry(e.name.clone())
+                .or_insert_with(|| (e.params.len(), Vec::new()));
+            entry.1.push(proc.name.clone());
+        }
+    }
+    exports.sort_by(|a, b| a.name.cmp(&b.name));
+    let imports = imports
+        .into_iter()
+        .map(|(symbol, (arity, mut dependents))| {
+            dependents.sort();
+            dependents.dedup();
+            ImportRef {
+                symbol,
+                arity,
+                dependents,
+            }
+        })
+        .collect();
+    UnitInterface { exports, imports }
+}
+
+/// External procedures reachable from `start` through the call graph
+/// (including direct calls), deduplicated, in `ProcId` order.
+fn reachable_externals(program: &Program, pre: &PreAnalysis, start: ProcId) -> Vec<ProcId> {
+    let n = program.procs.len();
+    let mut seen = vec![false; n];
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    let mut externals = Vec::new();
+    while let Some(p) = stack.pop() {
+        for &q in &pre.callgraph.callees[p] {
+            if seen[q.index()] {
+                continue;
+            }
+            seen[q.index()] = true;
+            if program.procs[q].is_external {
+                externals.push(q);
+            } else {
+                stack.push(q);
+            }
+        }
+    }
+    externals.sort();
+    externals
+}
+
+/// Joins per-unit interfaces into the corpus-wide reverse dependency
+/// summary: for every function symbol, the `(unit, procedure)` pairs whose
+/// analysis imported it. Units that *define* a symbol are not listed under
+/// it (their dependence on their own body is what re-analyzing the edited
+/// unit itself covers).
+pub fn reverse_dependents<'a>(
+    units: impl IntoIterator<Item = (&'a str, &'a UnitInterface)>,
+) -> BTreeMap<String, Vec<(String, String)>> {
+    let mut rev: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+    for (unit, iface) in units {
+        for import in &iface.imports {
+            let slot = rev.entry(import.symbol.clone()).or_default();
+            for dep in &import.dependents {
+                slot.push((unit.to_string(), dep.clone()));
+            }
+        }
+    }
+    for deps in rev.values_mut() {
+        deps.sort();
+        deps.dedup();
+    }
+    rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{defuse, preanalysis};
+
+    fn interface_of(src: &str) -> UnitInterface {
+        let program = sga_cfront::parse(src).expect("parses");
+        let pre = preanalysis::run(&program);
+        let du = defuse::compute(&program, &pre);
+        unit_interface(&program, &pre, &du)
+    }
+
+    const LIB: &str = "int g; int helper(int x) { g = x; return x + 1; } \
+                       int main() { return helper(1); }";
+
+    #[test]
+    fn exports_cover_defined_procs_only() {
+        let iface = interface_of(LIB);
+        let names: Vec<&str> = iface.exports.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["helper", "main"]);
+        assert!(iface.imports.is_empty());
+    }
+
+    #[test]
+    fn body_edit_preserves_hash_signature_edit_flips_it() {
+        let base = interface_of(LIB);
+        // Constant tweak: same defs/uses, same arity — same interface.
+        let tweaked = interface_of(
+            "int g; int helper(int x) { g = x; return x + 2; } \
+             int main() { return helper(1); }",
+        );
+        assert_eq!(
+            base.export("helper").unwrap().hash,
+            tweaked.export("helper").unwrap().hash
+        );
+        assert!(tweaked.changed_exports(&base).is_empty());
+
+        // Arity change: hash must flip even though the summary survives.
+        let widened = interface_of(
+            "int g; int helper(int x, int y) { g = x; return x + 1; } \
+             int main() { return helper(1, 2); }",
+        );
+        assert_ne!(
+            base.export("helper").unwrap().hash,
+            widened.export("helper").unwrap().hash
+        );
+        assert_eq!(widened.changed_exports(&base), ["helper"]);
+
+        // Summary change: defining a new global is caller-visible.
+        let effectful = interface_of(
+            "int g; int h2; int helper(int x) { g = x; h2 = x; return x + 1; } \
+             int main() { return helper(1); }",
+        );
+        assert_ne!(
+            base.export("helper").unwrap().hash,
+            effectful.export("helper").unwrap().hash
+        );
+    }
+
+    #[test]
+    fn imports_carry_reverse_dependents() {
+        let iface = interface_of(
+            "int mid(int x) { return helper(x); } \
+             int main() { return mid(3); }",
+        );
+        assert_eq!(iface.imports.len(), 1);
+        let import = &iface.imports[0];
+        assert_eq!(import.symbol, "helper");
+        // Both mid (direct) and main (transitive) depend on the import.
+        assert_eq!(import.dependents, ["main", "mid"]);
+        assert!(iface.imports_symbol("helper"));
+        assert!(!iface.imports_symbol("mid"));
+    }
+
+    #[test]
+    fn changed_exports_sees_additions_and_removals() {
+        let one = interface_of("int main() { return 0; }");
+        let two = interface_of("int f() { return 1; } int main() { return 0; }");
+        assert_eq!(two.changed_exports(&one), ["f"]);
+        assert_eq!(one.changed_exports(&two), ["f"]);
+    }
+
+    #[test]
+    fn reverse_dependents_joins_across_units() {
+        let lib = interface_of(LIB);
+        let app = interface_of("int main() { return helper(7); }");
+        let rev = reverse_dependents([("lib.c", &lib), ("app.c", &app)]);
+        assert_eq!(
+            rev.get("helper").map(Vec::as_slice),
+            Some(&[("app.c".to_string(), "main".to_string())][..])
+        );
+    }
+}

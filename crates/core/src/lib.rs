@@ -54,6 +54,7 @@ pub mod defuse;
 pub mod dense;
 pub mod depgen;
 pub mod icfg;
+pub mod interface;
 pub mod interval;
 pub mod octagon;
 pub mod preanalysis;

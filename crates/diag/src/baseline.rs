@@ -7,6 +7,7 @@
 //! are compared as multisets, so two same-subject findings in one
 //! procedure are matched pairwise, not collapsed.
 
+use crate::Diagnostic;
 use sga_utils::FxHashMap;
 
 /// Summary of a baseline comparison.
@@ -64,9 +65,36 @@ pub fn classify(current: &[(u64, bool)], baseline: &[u64]) -> (Vec<&'static str>
     (classes, diff)
 }
 
+/// Pure run-over-run diff of two diagnostic sets: the current run's *open*
+/// diagnostics classified against the baseline's *open* fingerprints
+/// (multiset match, like [`classify`]). Discharged diagnostics never
+/// participate on either side — an alarm the octagon proved impossible is
+/// not an outstanding finding in either run. This is the set-level
+/// primitive behind both `--baseline` report annotation and the
+/// incremental daemon's streamed alarm diffs.
+pub fn diff_open<'a, 'b>(
+    current: impl IntoIterator<Item = &'a Diagnostic>,
+    baseline: impl IntoIterator<Item = &'b Diagnostic>,
+) -> BaselineDiff {
+    let cur: Vec<(u64, bool)> = current
+        .into_iter()
+        .filter(|d| d.is_open())
+        .map(|d| (d.fingerprint, d.definite))
+        .collect();
+    let base: Vec<u64> = baseline
+        .into_iter()
+        .filter(|d| d.is_open())
+        .map(|d| d.fingerprint)
+        .collect();
+    classify(&cur, &base).1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{DiagKind, Evidence, Status};
+    use sga_ir::{Cp, NodeId, ProcId};
+    use sga_utils::Idx;
 
     #[test]
     fn self_diff_is_all_unchanged() {
@@ -100,5 +128,62 @@ mod tests {
         let (_, diff) = classify(&[(3, false), (4, true)], &[]);
         assert_eq!(diff.new.len(), 2);
         assert_eq!(diff.new_definite, 1);
+    }
+
+    /// A minimal diagnostic with the given fingerprint/definite/status.
+    fn diag(fingerprint: u64, definite: bool, open: bool) -> Diagnostic {
+        let mut d = Diagnostic::new(
+            DiagKind::DivByZero,
+            Cp::new(ProcId::new(0), NodeId::new(0)),
+            1,
+            "f",
+            None,
+            "x",
+            definite,
+            Evidence::DivByZero {
+                divisor: "[-oo,+oo]".into(),
+                nth: 0,
+            },
+        );
+        d.fingerprint = fingerprint;
+        if !open {
+            d.status = Status::Discharged {
+                pack: "{x}".into(),
+                reason: "x >= 1".into(),
+            };
+        }
+        d
+    }
+
+    #[test]
+    fn diff_open_classifies_by_fingerprint() {
+        let current = [diag(1, false, true), diag(3, true, true)];
+        let baseline = [diag(1, false, true), diag(2, false, true)];
+        let diff = diff_open(&current, &baseline);
+        assert_eq!(diff.new, vec![3]);
+        assert_eq!(diff.fixed, vec![2]);
+        assert_eq!(diff.unchanged, 1);
+        assert_eq!(diff.new_definite, 1);
+    }
+
+    #[test]
+    fn diff_open_ignores_discharged_on_both_sides() {
+        // A discharged alarm is not outstanding: discharging it reads as
+        // `fixed`, and a discharged baseline entry cannot absorb a live one.
+        let current = [diag(1, false, false), diag(2, true, true)];
+        let baseline = [diag(1, false, true), diag(2, true, false)];
+        let diff = diff_open(&current, &baseline);
+        assert_eq!(diff.new, vec![2]);
+        assert_eq!(diff.fixed, vec![1]);
+        assert_eq!(diff.unchanged, 0);
+        assert_eq!(diff.new_definite, 1);
+    }
+
+    #[test]
+    fn diff_open_of_identical_sets_is_empty() {
+        let run = [diag(5, true, true), diag(6, false, false)];
+        let diff = diff_open(&run, &run);
+        assert!(diff.new.is_empty() && diff.fixed.is_empty());
+        assert_eq!(diff.unchanged, 1);
     }
 }

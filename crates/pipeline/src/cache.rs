@@ -35,6 +35,7 @@
 
 use crate::fault::CorruptionMode;
 use crate::unit::{ProcArtifact, UnitAnalysis};
+use sga_core::interface::{ImportRef, ProcInterface, UnitInterface};
 use sga_diag::Diagnostic;
 use sga_utils::{fxhash, Json};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -43,13 +44,17 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Bump when the cached schema or any analysis semantics change.
 ///
+/// v4: entries carry the unit's link `interface` (per-function export
+/// hashes and imported external symbols with reverse dependents) — the
+/// incremental daemon's invalidation substrate.
+///
 /// v3: stringly `alarms` replaced by structured `diagnostics` (the
 /// [`sga_diag::Diagnostic`] JSON shape, with triage verdicts and content
 /// fingerprints), plus the `triage_degraded` flag.
 ///
 /// v2: checksummed `{checksum, payload}` envelope, atomic writes, the
 /// `degraded` flag.
-pub const CACHE_FORMAT: u32 = 3;
+pub const CACHE_FORMAT: u32 = 4;
 
 /// Store attempts per entry (first try + retries of transient IO errors).
 const STORE_ATTEMPTS: u32 = 3;
@@ -72,6 +77,7 @@ pub struct CacheHealth {
     quarantined: AtomicUsize,
     io_retries: AtomicUsize,
     store_errors: AtomicUsize,
+    evicted: AtomicUsize,
 }
 
 /// A point-in-time copy of [`CacheHealth`].
@@ -83,6 +89,8 @@ pub struct CacheHealthSnapshot {
     pub io_retries: usize,
     /// Stores that failed even after retrying.
     pub store_errors: usize,
+    /// Entries removed by the LRU-by-access sweep (`max_entries` cap).
+    pub evicted: usize,
 }
 
 impl CacheHealth {
@@ -91,6 +99,7 @@ impl CacheHealth {
             quarantined: self.quarantined.load(Ordering::Relaxed),
             io_retries: self.io_retries.load(Ordering::Relaxed),
             store_errors: self.store_errors.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
         }
     }
 }
@@ -111,6 +120,7 @@ pub struct Cache {
     dir: PathBuf,
     health: CacheHealth,
     quarantine_keep: usize,
+    max_entries: Option<usize>,
 }
 
 impl Cache {
@@ -121,6 +131,7 @@ impl Cache {
             dir: dir.to_path_buf(),
             health: CacheHealth::default(),
             quarantine_keep: DEFAULT_QUARANTINE_KEEP,
+            max_entries: None,
         })
     }
 
@@ -128,6 +139,27 @@ impl Cache {
     /// the cache across workers).
     pub fn set_quarantine_keep(&mut self, keep: usize) {
         self.quarantine_keep = keep;
+    }
+
+    /// Caps the cache at `max` entries, evicted LRU-by-access by
+    /// [`Cache::sweep_lru`] (set before sharing the cache across workers).
+    /// `None` (the default) means unbounded.
+    pub fn set_max_entries(&mut self, max: Option<usize>) {
+        self.max_entries = max;
+    }
+
+    /// Evicts entries beyond the `max_entries` cap, least-recently-accessed
+    /// first (hits refresh an entry's mtime, so mtime order *is* access
+    /// order). Called once per batch/round rather than per store: eviction
+    /// is a policy sweep, not a hot-path bookkeeping step. Returns how many
+    /// entries were removed (also accumulated in [`CacheHealth`]).
+    pub fn sweep_lru(&self) -> usize {
+        let Some(max) = self.max_entries else {
+            return 0;
+        };
+        let evicted = prune_entries_to_newest(&self.dir, max).unwrap_or(0);
+        self.health.evicted.fetch_add(evicted, Ordering::Relaxed);
+        evicted
     }
 
     /// The entry path for `unit` under `key` (exposed so tests and fault
@@ -171,7 +203,18 @@ impl Cache {
             }
         };
         match Json::parse(&text).ok().as_ref().and_then(decode) {
-            Some(analysis) => LoadOutcome::Hit(Box::new(analysis)),
+            Some(analysis) => {
+                // Refresh the entry's access time so the LRU sweep sees a
+                // hit as recent use. Best effort: a failed touch only makes
+                // the entry *look* colder than it is.
+                if self.max_entries.is_some() {
+                    let _ = std::fs::File::options()
+                        .append(true)
+                        .open(&path)
+                        .and_then(|f| f.set_modified(std::time::SystemTime::now()));
+                }
+                LoadOutcome::Hit(Box::new(analysis))
+            }
             None => {
                 self.quarantine(&path);
                 LoadOutcome::MissCorrupt
@@ -302,16 +345,31 @@ pub struct GcStats {
     pub quarantine_removed: usize,
     /// Stranded `.tmp` files removed (leftovers of killed writers).
     pub tmp_removed: usize,
+    /// Cache entries evicted by the LRU-by-access sweep.
+    pub evicted: usize,
 }
 
 /// Offline cache maintenance (`sga cache gc`): prunes `quarantine/` to the
-/// newest `keep` entries and sweeps stranded `.tmp` files (from killed
-/// atomic writers) out of the cache root and the `journal/` subdirectory.
-pub fn gc(dir: &Path, keep: usize) -> std::io::Result<GcStats> {
+/// newest `keep` entries, sweeps stranded `.tmp` files (from killed atomic
+/// writers) out of the cache root and the `journal/` subdirectory, and —
+/// when `max_entries` is set — evicts cache entries beyond the cap,
+/// least-recently-accessed first.
+pub fn gc(dir: &Path, keep: usize, max_entries: Option<usize>) -> std::io::Result<GcStats> {
     Ok(GcStats {
         quarantine_removed: prune_dir_to_newest(&dir.join("quarantine"), keep)?,
         tmp_removed: sweep_tmp(dir)? + sweep_tmp(&dir.join("journal"))?,
+        evicted: match max_entries {
+            Some(max) => prune_entries_to_newest(dir, max)?,
+            None => 0,
+        },
     })
+}
+
+/// Keeps the newest `keep` cache *entry* files (`*.json` directly under the
+/// cache root; the `journal/` and `quarantine/` subdirectories are not
+/// entries) and removes the rest, oldest access first.
+fn prune_entries_to_newest(dir: &Path, keep: usize) -> std::io::Result<usize> {
+    prune_to_newest(dir, keep, |p| p.extension().is_some_and(|e| e == "json"))
 }
 
 /// Removes `.tmp` files directly under `dir`. A missing directory is fine.
@@ -334,6 +392,15 @@ fn sweep_tmp(dir: &Path) -> std::io::Result<usize> {
 /// Keeps the newest `keep` files in `dir` (by mtime, file name as the
 /// deterministic tiebreak) and removes the rest. Missing directory = no-op.
 fn prune_dir_to_newest(dir: &Path, keep: usize) -> std::io::Result<usize> {
+    prune_to_newest(dir, keep, |_| true)
+}
+
+/// [`prune_dir_to_newest`] restricted to files matching `select`.
+fn prune_to_newest(
+    dir: &Path,
+    keep: usize,
+    select: impl Fn(&Path) -> bool,
+) -> std::io::Result<usize> {
     let entries = match std::fs::read_dir(dir) {
         Ok(entries) => entries,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
@@ -343,6 +410,9 @@ fn prune_dir_to_newest(dir: &Path, keep: usize) -> std::io::Result<usize> {
         .flatten()
         .filter_map(|entry| {
             let path = entry.path();
+            if !select(&path) {
+                return None;
+            }
             let meta = entry.metadata().ok()?;
             meta.is_file()
                 .then(|| (meta.modified().unwrap_or(std::time::UNIX_EPOCH), path))
@@ -434,8 +504,59 @@ fn encode(unit: &str, a: &UnitAnalysis) -> Json {
             "diagnostics",
             a.diags.iter().map(Diagnostic::to_json).collect::<Vec<_>>(),
         )
+        .with("interface", encode_interface(&a.interface))
         .with("procs", procs);
     seal(payload)
+}
+
+fn encode_interface(iface: &UnitInterface) -> Json {
+    Json::obj()
+        .with(
+            "exports",
+            iface
+                .exports
+                .iter()
+                .map(|e| {
+                    Json::obj()
+                        .with("name", e.name.as_str())
+                        .with("arity", e.arity)
+                        .with("hash", format!("{:016x}", e.hash))
+                })
+                .collect::<Vec<_>>(),
+        )
+        .with(
+            "imports",
+            iface
+                .imports
+                .iter()
+                .map(|i| {
+                    Json::obj()
+                        .with("symbol", i.symbol.as_str())
+                        .with("arity", i.arity)
+                        .with("dependents", strs(&i.dependents))
+                })
+                .collect::<Vec<_>>(),
+        )
+}
+
+fn decode_interface(j: &Json) -> Option<UnitInterface> {
+    let mut exports = Vec::new();
+    for e in j.get("exports")?.as_arr()? {
+        exports.push(ProcInterface {
+            name: e.get("name")?.as_str()?.to_string(),
+            arity: e.get("arity")?.as_u64()? as usize,
+            hash: u64::from_str_radix(e.get("hash")?.as_str()?, 16).ok()?,
+        });
+    }
+    let mut imports = Vec::new();
+    for i in j.get("imports")?.as_arr()? {
+        imports.push(ImportRef {
+            symbol: i.get("symbol")?.as_str()?.to_string(),
+            arity: i.get("arity")?.as_u64()? as usize,
+            dependents: str_list(i.get("dependents")?)?,
+        });
+    }
+    Some(UnitInterface { exports, imports })
 }
 
 fn decode(j: &Json) -> Option<UnitAnalysis> {
@@ -473,6 +594,7 @@ fn decode(j: &Json) -> Option<UnitAnalysis> {
         .collect::<Option<Vec<_>>>()?;
     Some(UnitAnalysis {
         procs,
+        interface: decode_interface(payload.get("interface")?)?,
         diags,
         triage_degraded: payload.get("triage_degraded")?.as_bool()?,
         fingerprint,
@@ -623,7 +745,7 @@ mod tests {
         let jdir = dir.join("journal");
         std::fs::create_dir_all(&jdir).unwrap();
         std::fs::write(jdir.join("0001-xyz.json.tmp"), b"torn").unwrap();
-        let stats = gc(&dir, 1).unwrap();
+        let stats = gc(&dir, 1, None).unwrap();
         assert_eq!(stats.quarantine_removed, 3);
         assert_eq!(stats.tmp_removed, 2);
         assert_eq!(
@@ -631,7 +753,58 @@ mod tests {
             1
         );
         // Idempotent: a second pass finds nothing to do.
-        assert_eq!(gc(&dir, 1).unwrap(), GcStats::default());
+        assert_eq!(gc(&dir, 1, None).unwrap(), GcStats::default());
+    }
+
+    /// Backdates an entry's mtime by `secs` so LRU ordering is
+    /// deterministic without sleeping.
+    fn backdate(cache: &Cache, unit: &str, key: u64, secs: u64) {
+        let past = std::time::SystemTime::now() - std::time::Duration::from_secs(secs);
+        std::fs::File::options()
+            .append(true)
+            .open(cache.path_for(unit, key))
+            .and_then(|f| f.set_modified(past))
+            .expect("backdate entry");
+    }
+
+    #[test]
+    fn lru_sweep_evicts_oldest_access_first() {
+        let mut cache = temp_cache("lru");
+        cache.set_max_entries(Some(2));
+        for key in 0..4u64 {
+            cache.store("u", key, &sample()).unwrap();
+            backdate(&cache, "u", key, 1000 - key * 100);
+        }
+        // A hit refreshes key 0 (the oldest by store order) to "now".
+        assert!(matches!(cache.load("u", 0), LoadOutcome::Hit(_)));
+        assert_eq!(cache.sweep_lru(), 2);
+        // Survivors: the hit-refreshed key 0 and the youngest key 3.
+        assert!(matches!(cache.load("u", 0), LoadOutcome::Hit(_)));
+        assert!(matches!(cache.load("u", 3), LoadOutcome::Hit(_)));
+        assert!(matches!(cache.load("u", 1), LoadOutcome::MissAbsent));
+        assert!(matches!(cache.load("u", 2), LoadOutcome::MissAbsent));
+        assert_eq!(cache.health().evicted, 2);
+        // Under the cap: a second sweep is a no-op.
+        assert_eq!(cache.sweep_lru(), 0);
+    }
+
+    #[test]
+    fn lru_sweep_is_off_by_default_and_spares_journal_and_quarantine() {
+        let cache = temp_cache("lru-off");
+        for key in 0..3u64 {
+            cache.store("u", key, &sample()).unwrap();
+        }
+        assert_eq!(cache.sweep_lru(), 0);
+
+        // With a cap, only entry files are candidates: the journal and
+        // quarantine subdirectories are untouched.
+        let dir = cache.path_for("u", 0).parent().unwrap().to_path_buf();
+        let jdir = dir.join("journal");
+        std::fs::create_dir_all(&jdir).unwrap();
+        std::fs::write(jdir.join("0001-abc.json"), b"journal record").unwrap();
+        let stats = gc(&dir, DEFAULT_QUARANTINE_KEEP, Some(1)).unwrap();
+        assert_eq!(stats.evicted, 2);
+        assert!(jdir.join("0001-abc.json").exists());
     }
 
     #[test]

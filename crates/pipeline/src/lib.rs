@@ -123,10 +123,15 @@ pub struct UnitInput {
 #[derive(Clone, Debug)]
 pub struct PipelineOptions {
     /// Worker-thread budget shared between unit-level and procedure-level
-    /// parallelism (1 = fully sequential).
+    /// parallelism (1 = fully sequential, 0 = auto-detect via
+    /// [`auto_jobs`]).
     pub jobs: usize,
     /// Cache directory; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
+    /// Cap on cache entry files; a run ends with an LRU-by-access sweep
+    /// evicting entries beyond it (hits refresh an entry's access time).
+    /// `None` (the default) means unbounded.
+    pub cache_max_entries: Option<usize>,
     /// Emit the canonical (timing-free, job-count-free) report, suitable
     /// for byte comparison across runs and `--jobs` values.
     pub canonical: bool,
@@ -168,6 +173,7 @@ impl Default for PipelineOptions {
         PipelineOptions {
             jobs: 1,
             cache_dir: None,
+            cache_max_entries: None,
             canonical: false,
             depgen: DepGenOptions::default(),
             widening: WideningConfig::default(),
@@ -220,6 +226,23 @@ impl std::fmt::Display for PipelineError {
 }
 
 impl std::error::Error for PipelineError {}
+
+/// The `--jobs 0` auto value: the machine's available parallelism (1 when
+/// it cannot be determined).
+pub fn auto_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Resolves a requested job count: `0` means auto-detect ([`auto_jobs`]),
+/// anything else is taken literally. The report stays byte-identical across
+/// job counts either way, so auto-detection never costs determinism.
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        auto_jobs()
+    } else {
+        jobs
+    }
+}
 
 /// Loads a project's translation units in deterministic order.
 pub fn load_project(project: &Project) -> Result<Vec<UnitInput>, PipelineError> {
@@ -459,11 +482,336 @@ fn apply_baseline(path: &std::path::Path, units_json: &mut [Json]) -> Result<Jso
         .with("new_definite", diff.new_definite))
 }
 
+/// Shared per-worker context of [`process_unit`].
+struct UnitCtx<'a> {
+    options: &'a PipelineOptions,
+    cache: Option<&'a Cache>,
+    timers: &'a StageTimers,
+    /// Procedure-level parallelism inside one unit.
+    inner_jobs: usize,
+}
+
+/// What [`process_unit`] produced for one unit.
+struct Processed {
+    /// The rendered per-unit report object.
+    json: Json,
+    /// Failure class and message, when the unit crashed.
+    failure: Option<(journal::Failure, String)>,
+    /// The artifacts (`None` when the unit crashed).
+    analysis: Option<Box<UnitAnalysis>>,
+    /// The artifacts are fresh and cacheable (a miss that validated). The
+    /// *caller* performs the store, so write-ahead ordering — journal
+    /// record before cache store — stays in its hands.
+    store: bool,
+}
+
+/// Analyzes one unit end to end — cache lookup, parse, fixpoint, optional
+/// validation oracle, panic isolation — and renders its report object.
+/// Shared by the batch driver ([`run`]) and the incremental daemon's
+/// frontier re-analysis ([`analyze_units`]), so both produce byte-identical
+/// per-unit objects from identical inputs.
+fn process_unit(
+    ctx: &UnitCtx,
+    i: usize,
+    input: &UnitInput,
+    key: u64,
+    budget: &Budget,
+) -> Processed {
+    let options = ctx.options;
+    let cache = ctx.cache;
+    let timers = ctx.timers;
+
+    type Analyzed = (CacheStatus, Box<UnitAnalysis>, Option<UnitValidation>);
+    let caught = catch_unwind(AssertUnwindSafe(|| -> Result<Analyzed, String> {
+        if options.faults.should_panic(i) {
+            panic!("injected fault: worker panic in {}", input.name);
+        }
+        let mut cached_hit: Option<Box<UnitAnalysis>> = None;
+        if let Some(c) = cache {
+            if let cache::LoadOutcome::Hit(found) = c.load(&input.name, key) {
+                if options.validate {
+                    // Under the oracle a hit is a *claim* — held back and
+                    // cross-checked against a recomputation below. The
+                    // envelope checksum cannot catch an entry whose content
+                    // was wrong before it was sealed.
+                    cached_hit = Some(found);
+                } else {
+                    return Ok((CacheStatus::Hit, found, None));
+                }
+            }
+        }
+        let program = timers
+            .time("parse", || sga_cfront::parse(&input.source))
+            .map_err(|e| e.to_string())?;
+        if options.validate {
+            let (analysis, internals) = unit::analyze_unit_traced(
+                &program,
+                ctx.inner_jobs,
+                options.depgen,
+                options.widening,
+                budget,
+                timers,
+            );
+            let mut validation = timers.time("validate", || {
+                validate::validate_unit(
+                    &program,
+                    &ValidationInputs {
+                        pre: &internals.pre,
+                        du: &internals.du,
+                        deps: &internals.deps,
+                        sparse_values: &internals.sparse_values,
+                        degraded: internals.degraded,
+                    },
+                    AnalyzeOptions {
+                        depgen: options.depgen,
+                        widening: options.widening,
+                        budget: *budget,
+                        ..AnalyzeOptions::default()
+                    },
+                )
+            });
+            let status = match cached_hit {
+                Some(cached) if *cached == analysis => CacheStatus::Hit,
+                Some(cached) => {
+                    validation.add_extra(
+                        CheckKind::CacheMismatch,
+                        format!(
+                            "cached entry (fingerprint {:016x}) disagrees with \
+                             recomputation (fingerprint {:016x})",
+                            cached.fingerprint, analysis.fingerprint,
+                        ),
+                    );
+                    if let Some(c) = cache {
+                        c.quarantine_entry(&input.name, key);
+                    }
+                    CacheStatus::Miss
+                }
+                None if cache.is_some() => CacheStatus::Miss,
+                None => CacheStatus::Off,
+            };
+            Ok((status, Box::new(analysis), Some(validation)))
+        } else {
+            let analysis = unit::analyze_unit(
+                &program,
+                ctx.inner_jobs,
+                options.depgen,
+                options.widening,
+                budget,
+                timers,
+            );
+            let status = if cache.is_some() {
+                CacheStatus::Miss
+            } else {
+                CacheStatus::Off
+            };
+            Ok((status, Box::new(analysis), None))
+        }
+    }));
+
+    match caught {
+        Ok(Ok((status, a, validation))) => {
+            let invalid = validation.as_ref().is_some_and(|v| !v.is_valid());
+            let json = render_analyzed(&input.name, key, status, &a, validation.as_ref());
+            Processed {
+                json,
+                failure: None,
+                // Invalid results are never cached; hits already are.
+                store: status == CacheStatus::Miss && !invalid,
+                analysis: Some(a),
+            }
+        }
+        Ok(Err(message)) => Processed {
+            json: render_crashed(&input.name, key, &message),
+            failure: Some((journal::Failure::Frontend, message)),
+            analysis: None,
+            store: false,
+        },
+        Err(payload) => {
+            let message = panic_message(payload);
+            Processed {
+                json: render_crashed(&input.name, key, &message),
+                failure: Some((journal::Failure::Panic, message)),
+                analysis: None,
+                store: false,
+            }
+        }
+    }
+}
+
+/// One unit's result from [`analyze_units`].
+pub struct UnitOutcome {
+    /// The rendered per-unit report object — the same shape as an entry of
+    /// a [`run`] report's `units` array.
+    pub json: Json,
+    /// The analysis artifacts; `None` when the unit crashed.
+    pub analysis: Option<Box<UnitAnalysis>>,
+    /// The rendered frontend error or panic payload, when the unit crashed.
+    pub failure: Option<String>,
+}
+
+/// Analyzes an arbitrary set of units under `options`, sharing `cache` when
+/// given — the incremental daemon's entry point for re-analyzing just the
+/// invalidated frontier of a project. Unlike [`run`] there is no journal
+/// and no report assembly: the caller gets each unit's rendered object plus
+/// its in-memory artifacts and maintains project state itself (see
+/// [`assemble_report`]). Determinism matches [`run`]: results come back in
+/// input order, byte-identical for any `options.jobs`, and cache keys are
+/// computed identically, so the daemon and a cold batch run share entries.
+pub fn analyze_units(
+    units: &[UnitInput],
+    options: &PipelineOptions,
+    cache: Option<&Cache>,
+) -> Vec<UnitOutcome> {
+    let timers = StageTimers::new();
+    let jobs = effective_jobs(options.jobs);
+    let ctx = UnitCtx {
+        options,
+        cache,
+        timers: &timers,
+        inner_jobs: (jobs / units.len().max(1)).max(1),
+    };
+    let base_tag = format!("{:?}|{:?}", options.depgen, options.widening);
+    let prev_hook = if options.keep_going {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        Some(hook)
+    } else {
+        None
+    };
+    let out = par::run_indexed(jobs, units, |i, input| {
+        let budget = options.faults.budget_for(i).unwrap_or(options.budget);
+        let options_tag = format!("{base_tag}|{}", budget.cache_tag());
+        let key = cache::unit_key(&input.source, &options_tag);
+        let p = process_unit(&ctx, i, input, key, &budget);
+        if p.store {
+            if let (Some(c), Some(a)) = (cache, &p.analysis) {
+                let _ = c.store(&input.name, key, a);
+            }
+        }
+        UnitOutcome {
+            json: p.json,
+            analysis: p.analysis,
+            failure: p.failure.map(|(_, message)| message),
+        }
+    });
+    if let Some(hook) = prev_hook {
+        std::panic::set_hook(hook);
+    }
+    out
+}
+
+/// Assembles the run report from per-unit report objects — the same
+/// aggregation [`run`] uses, exposed so the incremental daemon can rebuild
+/// the whole-project report from accumulated per-unit state. `units_json`
+/// must hold one entry per unit, in project order (with the `skipped`
+/// outcome for units a shutdown drained). Produces the canonical fields
+/// only (`schema` through `interrupted`, plus `baseline` when
+/// `options.baseline` is set); [`run`] appends the non-canonical extras
+/// (journal, cache health, timing) itself.
+pub fn assemble_report(
+    mut units_json: Vec<Json>,
+    options: &PipelineOptions,
+) -> Result<Json, PipelineError> {
+    let (mut procs, mut alarms, mut hits, mut misses) = (0usize, 0usize, 0usize, 0usize);
+    let (mut discharged, mut definite) = (0usize, 0usize);
+    let (mut degraded_units, mut crashed_units, mut invalid_units) = (0usize, 0usize, 0usize);
+    let (mut validated_units, mut skipped_units) = (0usize, 0usize);
+    // Totals aggregate over the rendered objects (rather than over
+    // in-memory analysis values) so replayed and daemon-accumulated units
+    // count exactly like the run that produced them.
+    for j in &units_json {
+        let outcome = j.get("outcome").and_then(Json::as_str).unwrap_or("");
+        let nprocs = j.get("procs").and_then(Json::as_u64).unwrap_or(0) as usize;
+        procs += nprocs;
+        for d in j.get("diagnostics").and_then(Json::as_arr).unwrap_or(&[]) {
+            match d.get("status").and_then(Json::as_str) {
+                Some("open") => {
+                    alarms += 1;
+                    if d.get("definite").and_then(Json::as_bool) == Some(true) {
+                        definite += 1;
+                    }
+                }
+                Some("discharged") => discharged += 1,
+                _ => {}
+            }
+        }
+        match outcome {
+            "degraded" => degraded_units += 1,
+            "crashed" => crashed_units += 1,
+            "invalid" => invalid_units += 1,
+            "skipped" => skipped_units += 1,
+            _ => {}
+        }
+        if j.get("validation").is_some() && outcome != "invalid" {
+            validated_units += 1;
+        }
+        match j.get("cache").and_then(Json::as_str) {
+            Some("hit") => hits += nprocs,
+            Some("miss") => misses += nprocs,
+            _ => {}
+        }
+    }
+    let interrupted = skipped_units > 0;
+
+    // Run-over-run baseline: classify this run's open diagnostics against
+    // the previous report's open fingerprints (multiset match), annotating
+    // each one in place.
+    let baseline_json = match &options.baseline {
+        Some(path) => Some(apply_baseline(path, &mut units_json)?),
+        None => None,
+    };
+
+    let mut opts_json = Json::obj()
+        .with("engine", "sparse")
+        .with("bypass", options.depgen.bypass)
+        .with("widening", options.widening.strategy.name())
+        .with("cache", options.cache_dir.is_some())
+        .with("validate", options.validate);
+    if !options.canonical {
+        opts_json.set("jobs", effective_jobs(options.jobs));
+    }
+
+    let looked_up = hits + misses;
+    let totals = Json::obj()
+        .with("units", units_json.len())
+        .with("procs", procs)
+        .with("alarms", alarms)
+        .with("discharged", discharged)
+        .with("definite", definite)
+        .with("degraded", degraded_units)
+        .with("crashed", crashed_units)
+        .with("invalid", invalid_units)
+        .with("validated", validated_units)
+        .with("skipped", skipped_units)
+        .with("cache_hits", hits)
+        .with("cache_misses", misses)
+        .with(
+            "hit_rate",
+            if looked_up == 0 {
+                0.0
+            } else {
+                hits as f64 / looked_up as f64
+            },
+        );
+
+    let mut report = Json::obj()
+        .with("schema", REPORT_SCHEMA)
+        .with("tool", "sga-pipeline")
+        .with("options", opts_json)
+        .with("units", units_json)
+        .with("totals", totals)
+        .with("interrupted", interrupted);
+    if let Some(b) = baseline_json {
+        report.set("baseline", b);
+    }
+    Ok(report)
+}
+
 /// Runs the whole project and returns the JSON run report.
 pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, PipelineError> {
     let wall = Instant::now();
     let timers = StageTimers::new();
-    let jobs = options.jobs.max(1);
+    let jobs = effective_jobs(options.jobs);
 
     let units = timers.time("load", || load_project(project))?;
     let cache = match &options.cache_dir {
@@ -472,6 +820,7 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
                 PipelineError::Io(format!("cannot open cache {}: {e}", dir.display()))
             })?;
             c.set_quarantine_keep(options.quarantine_keep);
+            c.set_max_entries(options.cache_max_entries);
             Some(c)
         }
         None => None,
@@ -543,6 +892,12 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
                 .is_some_and(|s| s.load(Ordering::Relaxed))
     };
 
+    let ctx = UnitCtx {
+        options,
+        cache: cache.as_ref(),
+        timers: &timers,
+        inner_jobs,
+    };
     let results: Vec<Option<WorkerResult>> =
         par::run_indexed_interruptible(jobs, &units, stop_requested, |i, input| {
             // An injected budget changes the unit's analysis semantics, so it
@@ -587,112 +942,7 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
                 fault_stop.store(true, Ordering::Relaxed);
             }
 
-            type Analyzed = (CacheStatus, Box<UnitAnalysis>, Option<UnitValidation>);
-            let caught = catch_unwind(AssertUnwindSafe(|| -> Result<Analyzed, String> {
-                if options.faults.should_panic(i) {
-                    panic!("injected fault: worker panic in {}", input.name);
-                }
-                let mut cached_hit: Option<Box<UnitAnalysis>> = None;
-                if let Some(c) = &cache {
-                    if let cache::LoadOutcome::Hit(found) = c.load(&input.name, key) {
-                        if options.validate {
-                            // Under the oracle a hit is a *claim* — held
-                            // back and cross-checked against a
-                            // recomputation below. The envelope checksum
-                            // cannot catch an entry whose content was wrong
-                            // before it was sealed.
-                            cached_hit = Some(found);
-                        } else {
-                            return Ok((CacheStatus::Hit, found, None));
-                        }
-                    }
-                }
-                let program = timers
-                    .time("parse", || sga_cfront::parse(&input.source))
-                    .map_err(|e| e.to_string())?;
-                if options.validate {
-                    let (analysis, internals) = unit::analyze_unit_traced(
-                        &program,
-                        inner_jobs,
-                        options.depgen,
-                        options.widening,
-                        &budget,
-                        &timers,
-                    );
-                    let mut validation = timers.time("validate", || {
-                        validate::validate_unit(
-                            &program,
-                            &ValidationInputs {
-                                pre: &internals.pre,
-                                du: &internals.du,
-                                deps: &internals.deps,
-                                sparse_values: &internals.sparse_values,
-                                degraded: internals.degraded,
-                            },
-                            AnalyzeOptions {
-                                depgen: options.depgen,
-                                widening: options.widening,
-                                budget,
-                                ..AnalyzeOptions::default()
-                            },
-                        )
-                    });
-                    let status = match cached_hit {
-                        Some(cached) if *cached == analysis => CacheStatus::Hit,
-                        Some(cached) => {
-                            validation.add_extra(
-                                CheckKind::CacheMismatch,
-                                format!(
-                                    "cached entry (fingerprint {:016x}) disagrees with \
-                                     recomputation (fingerprint {:016x})",
-                                    cached.fingerprint, analysis.fingerprint,
-                                ),
-                            );
-                            if let Some(c) = &cache {
-                                c.quarantine_entry(&input.name, key);
-                            }
-                            CacheStatus::Miss
-                        }
-                        None if cache.is_some() => CacheStatus::Miss,
-                        None => CacheStatus::Off,
-                    };
-                    Ok((status, Box::new(analysis), Some(validation)))
-                } else {
-                    let analysis = unit::analyze_unit(
-                        &program,
-                        inner_jobs,
-                        options.depgen,
-                        options.widening,
-                        &budget,
-                        &timers,
-                    );
-                    let status = if cache.is_some() {
-                        CacheStatus::Miss
-                    } else {
-                        CacheStatus::Off
-                    };
-                    Ok((status, Box::new(analysis), None))
-                }
-            }));
-
-            let (json, failure, store) = match caught {
-                Ok(Ok((status, a, validation))) => {
-                    let invalid = validation.as_ref().is_some_and(|v| !v.is_valid());
-                    let json = render_analyzed(&input.name, key, status, &a, validation.as_ref());
-                    // Invalid results are never cached; hits already are.
-                    let store = (status == CacheStatus::Miss && !invalid).then_some(a);
-                    (json, None, store)
-                }
-                Ok(Err(message)) => {
-                    let json = render_crashed(&input.name, key, &message);
-                    (json, Some((journal::Failure::Frontend, message)), None)
-                }
-                Err(payload) => {
-                    let message = panic_message(payload);
-                    let json = render_crashed(&input.name, key, &message);
-                    (json, Some((journal::Failure::Panic, message)), None)
-                }
-            };
+            let p = process_unit(&ctx, i, input, key, &budget);
 
             if let Some(j) = &journal {
                 // Write-ahead ordering: the journal record commits *before*
@@ -705,23 +955,28 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
                     index: i,
                     name: input.name.clone(),
                     key,
-                    failure: failure.as_ref().map(|(f, _)| *f),
-                    unit: json.clone(),
+                    failure: p.failure.as_ref().map(|(f, _)| *f),
+                    unit: p.json.clone(),
                 };
                 if j.record(&rec).is_ok() {
                     recorded_count.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            if let (Some(c), Some(a)) = (&cache, &store) {
-                // A store failure is retried inside the cache and, if it
-                // sticks, counted in cache health; it only costs the next
-                // run its hit.
-                let _ = c.store_injected(&input.name, key, a, options.faults.io_fail_count(i));
-                if let Some(mode) = options.faults.corruption_for(i) {
-                    let _ = c.corrupt_entry(&input.name, key, mode);
+            if p.store {
+                if let (Some(c), Some(a)) = (&cache, &p.analysis) {
+                    // A store failure is retried inside the cache and, if it
+                    // sticks, counted in cache health; it only costs the
+                    // next run its hit.
+                    let _ = c.store_injected(&input.name, key, a, options.faults.io_fail_count(i));
+                    if let Some(mode) = options.faults.corruption_for(i) {
+                        let _ = c.corrupt_entry(&input.name, key, mode);
+                    }
                 }
             }
-            WorkerResult { json, failure }
+            WorkerResult {
+                json: p.json,
+                failure: p.failure,
+            }
         });
     if let Some(hook) = prev_hook {
         std::panic::set_hook(hook);
@@ -748,109 +1003,23 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
         }
     }
 
-    let mut units_json: Vec<Json> = Vec::with_capacity(units.len());
-    let (mut procs, mut alarms, mut hits, mut misses) = (0usize, 0usize, 0usize, 0usize);
-    let (mut discharged, mut definite) = (0usize, 0usize);
-    let (mut degraded_units, mut crashed_units, mut invalid_units) = (0usize, 0usize, 0usize);
-    let (mut validated_units, mut skipped_units) = (0usize, 0usize);
-    for (input, slot) in units.iter().zip(results) {
-        let Some(w) = slot else {
-            skipped_units += 1;
-            units_json.push(render_skipped(&input.name));
-            continue;
-        };
-        let j = w.json;
-        // Totals aggregate over the rendered objects (rather than over
-        // in-memory analysis values) so replayed units count exactly like
-        // the run that journaled them.
-        let outcome = j
-            .get("outcome")
-            .and_then(Json::as_str)
-            .unwrap_or("")
-            .to_string();
-        let nprocs = j.get("procs").and_then(Json::as_u64).unwrap_or(0) as usize;
-        procs += nprocs;
-        for d in j.get("diagnostics").and_then(Json::as_arr).unwrap_or(&[]) {
-            match d.get("status").and_then(Json::as_str) {
-                Some("open") => {
-                    alarms += 1;
-                    if d.get("definite").and_then(Json::as_bool) == Some(true) {
-                        definite += 1;
-                    }
-                }
-                Some("discharged") => discharged += 1,
-                _ => {}
-            }
-        }
-        match outcome.as_str() {
-            "degraded" => degraded_units += 1,
-            "crashed" => crashed_units += 1,
-            "invalid" => invalid_units += 1,
-            _ => {}
-        }
-        if j.get("validation").is_some() && outcome != "invalid" {
-            validated_units += 1;
-        }
-        match j.get("cache").and_then(Json::as_str) {
-            Some("hit") => hits += nprocs,
-            Some("miss") => misses += nprocs,
-            _ => {}
-        }
-        units_json.push(j);
-    }
-    let interrupted = skipped_units > 0;
+    let units_json: Vec<Json> = units
+        .iter()
+        .zip(results)
+        .map(|(input, slot)| match slot {
+            Some(w) => w.json,
+            None => render_skipped(&input.name),
+        })
+        .collect();
 
-    // Run-over-run baseline: classify this run's open diagnostics against
-    // the previous report's open fingerprints (multiset match), annotating
-    // each one in place.
-    let baseline_json = match &options.baseline {
-        Some(path) => Some(apply_baseline(path, &mut units_json)?),
-        None => None,
-    };
-
-    let mut opts_json = Json::obj()
-        .with("engine", "sparse")
-        .with("bypass", options.depgen.bypass)
-        .with("widening", options.widening.strategy.name())
-        .with("cache", options.cache_dir.is_some())
-        .with("validate", options.validate);
-    if !options.canonical {
-        opts_json.set("jobs", jobs);
+    // All stores are committed; evict beyond the entry cap (if any),
+    // least-recently-accessed first.
+    if let Some(c) = &cache {
+        c.sweep_lru();
     }
 
-    let looked_up = hits + misses;
-    let totals = Json::obj()
-        .with("units", units.len())
-        .with("procs", procs)
-        .with("alarms", alarms)
-        .with("discharged", discharged)
-        .with("definite", definite)
-        .with("degraded", degraded_units)
-        .with("crashed", crashed_units)
-        .with("invalid", invalid_units)
-        .with("validated", validated_units)
-        .with("skipped", skipped_units)
-        .with("cache_hits", hits)
-        .with("cache_misses", misses)
-        .with(
-            "hit_rate",
-            if looked_up == 0 {
-                0.0
-            } else {
-                hits as f64 / looked_up as f64
-            },
-        );
-
-    let mut report = Json::obj()
-        .with("schema", REPORT_SCHEMA)
-        .with("tool", "sga-pipeline")
-        .with("options", opts_json)
-        .with("units", units_json)
-        .with("totals", totals)
-        .with("interrupted", interrupted);
-    if let Some(b) = baseline_json {
-        report.set("baseline", b);
-    }
+    let mut report = assemble_report(units_json, options)?;
+    let interrupted = report.get("interrupted").and_then(Json::as_bool) == Some(true);
 
     // A completed run retires its journal; an interrupted one leaves it in
     // place for `resume`. (Error paths above return before this point, so
@@ -883,7 +1052,8 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
                 Json::obj()
                     .with("quarantined", health.quarantined)
                     .with("io_retries", health.io_retries)
-                    .with("store_errors", health.store_errors),
+                    .with("store_errors", health.store_errors)
+                    .with("evicted", health.evicted),
             );
         }
         let mut timing = Json::obj();

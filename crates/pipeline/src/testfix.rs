@@ -7,6 +7,7 @@
 
 use crate::cache::Cache;
 use crate::unit::{ProcArtifact, UnitAnalysis};
+use sga_core::interface::{ImportRef, ProcInterface, UnitInterface};
 use sga_diag::{DiagKind, Diagnostic, Evidence, Status};
 use sga_ir::{Cp, NodeId, ProcId};
 use sga_utils::Idx;
@@ -22,6 +23,18 @@ pub(crate) fn sample_analysis() -> UnitAnalysis {
             summary_uses: vec![],
             dep_segment: vec![[3, 0, 1, 0, 4, 0], [7, 0, 2, 0, 5, 1]],
         }],
+        interface: UnitInterface {
+            exports: vec![ProcInterface {
+                name: "main".into(),
+                arity: 0,
+                hash: 0x0123_4567_89AB_CDEF,
+            }],
+            imports: vec![ImportRef {
+                symbol: "ext_helper".into(),
+                arity: 2,
+                dependents: vec!["main".into()],
+            }],
+        },
         diags: vec![
             Diagnostic {
                 fingerprint: 0x1122_3344_5566_7788,

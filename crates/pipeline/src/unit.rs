@@ -24,6 +24,7 @@ use crate::par;
 use sga_core::budget::Budget;
 use sga_core::depgen::{self, DepGenOptions, IntervalDepSource};
 use sga_core::icfg::Icfg;
+use sga_core::interface::{self, UnitInterface};
 use sga_core::interval::{Engine, IntervalResult, IntervalSparseSpec};
 use sga_core::stats::AnalysisStats;
 use sga_core::triage::{self, TriageOptions};
@@ -55,6 +56,10 @@ pub struct ProcArtifact {
 pub struct UnitAnalysis {
     /// Per-procedure artifacts, in procedure order (externals skipped).
     pub procs: Vec<ProcArtifact>,
+    /// The unit's link boundary: exported per-function interfaces and
+    /// imported external symbols with their reverse dependents — the
+    /// incremental daemon's invalidation substrate.
+    pub interface: UnitInterface,
     /// Structured diagnostics in canonical order: all four checkers, with
     /// content fingerprints assigned and the octagon triage verdicts
     /// applied.
@@ -299,6 +304,7 @@ fn analyze_unit_inner(
 
     let analysis = UnitAnalysis {
         procs,
+        interface: interface::unit_interface(program, &pre, &du),
         diags,
         triage_degraded,
         fingerprint,

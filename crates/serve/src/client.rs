@@ -1,0 +1,129 @@
+//! Client helpers for the daemon's line-JSON protocol — the library behind
+//! `sga watch`, and what the integration tests and the CI gate script use.
+//!
+//! Addresses: a string containing a `/` is a Unix socket path; anything
+//! else is a TCP `host:port`.
+
+use sga_utils::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+/// One client connection, TCP or Unix.
+pub enum Conn {
+    /// TCP `host:port`.
+    Tcp(TcpStream),
+    /// Unix domain socket.
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Connects to `addr` (`host:port`, or a socket path if it contains
+    /// `/`).
+    pub fn connect(addr: &str) -> std::io::Result<Conn> {
+        if addr.contains('/') {
+            Ok(Conn::Unix(UnixStream::connect(addr)?))
+        } else {
+            Ok(Conn::Tcp(TcpStream::connect(addr)?))
+        }
+    }
+
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => Ok(Conn::Tcp(s.try_clone()?)),
+            Conn::Unix(s) => Ok(Conn::Unix(s.try_clone()?)),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Sends one request line and returns the one-line reply.
+pub fn request(addr: &str, line: &str) -> std::io::Result<String> {
+    let mut conn = Conn::connect(addr)?;
+    let read = conn.try_clone()?;
+    conn.write_all(format!("{}\n", line.trim_end()).as_bytes())?;
+    conn.flush()?;
+    let mut reply = String::new();
+    BufReader::new(read).read_line(&mut reply)?;
+    Ok(reply.trim_end().to_string())
+}
+
+/// Replaces `unit`'s source on the daemon. Returns the ack line.
+pub fn edit(addr: &str, unit: &str, source: &str) -> std::io::Result<String> {
+    let req = Json::obj()
+        .with("cmd", "edit")
+        .with("unit", unit)
+        .with("source", source);
+    request(addr, &req.to_compact())
+}
+
+/// Fetches the accumulated whole-project report (compact JSON).
+pub fn report(addr: &str) -> std::io::Result<String> {
+    request(addr, &Json::obj().with("cmd", "report").to_compact())
+}
+
+/// Fetches the one-line status.
+pub fn status(addr: &str) -> std::io::Result<String> {
+    request(addr, &Json::obj().with("cmd", "status").to_compact())
+}
+
+/// Asks the daemon to stop.
+pub fn shutdown(addr: &str) -> std::io::Result<String> {
+    request(addr, &Json::obj().with("cmd", "shutdown").to_compact())
+}
+
+/// Subscribes to diff events, invoking `on_event` with each event line
+/// until the daemon closes the stream or `max_events` lines arrived.
+pub fn watch(
+    addr: &str,
+    max_events: Option<usize>,
+    mut on_event: impl FnMut(&str),
+) -> std::io::Result<()> {
+    let mut conn = Conn::connect(addr)?;
+    let read = conn.try_clone()?;
+    conn.write_all(format!("{}\n", Json::obj().with("cmd", "subscribe").to_compact()).as_bytes())?;
+    conn.flush()?;
+    let mut lines = BufReader::new(read).lines();
+    // First line is the subscription ack, not an event.
+    match lines.next() {
+        Some(Ok(_ack)) => {}
+        Some(Err(e)) => return Err(e),
+        None => return Ok(()),
+    }
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        on_event(&line);
+        seen += 1;
+        if max_events.is_some_and(|m| seen >= m) {
+            break;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! `sga-serve` — the incremental analysis daemon behind `sga serve`.
+//!
+//! A batch run ([`sga_pipeline::run`]) answers "what are the alarms of
+//! this corpus?" once. The daemon keeps answering it as the corpus is
+//! edited, re-analyzing only what an edit can actually affect:
+//!
+//! * [`engine`] — the state machine: per-unit results plus link
+//!   [`sga_core::interface`]s, dependency-aware invalidation (a unit is
+//!   re-analyzed only when a symbol it imports changed interface), and the
+//!   convergence invariant — the accumulated report is byte-identical to a
+//!   cold batch run of the corpus' current state;
+//! * [`server`] — the network front: line-delimited JSON over TCP and/or
+//!   Unix sockets, an engine thread with edit coalescing, streamed alarm
+//!   diff events to any number of subscribers, and a filesystem-polling
+//!   fallback;
+//! * [`client`] — the matching client helpers (`sga watch`).
+
+pub mod client;
+pub mod engine;
+pub mod server;
+
+pub use engine::{cold_report, diff_json, Engine, RoundOutcome};
+pub use server::{serve, ServerConfig, ServerHandle};

@@ -1,0 +1,456 @@
+//! The daemon's network front: line-delimited JSON over TCP and/or Unix
+//! sockets, with a filesystem-polling fallback for editors that only write
+//! files.
+//!
+//! # Wire protocol
+//!
+//! Every request and reply is one JSON object per line. Client → server:
+//!
+//! ```text
+//! {"cmd":"subscribe"}                          stream diff events here
+//! {"cmd":"edit","unit":"lib.c","source":"…"}   replace a unit's source
+//! {"cmd":"report"}                             full accumulated report
+//! {"cmd":"status"}                             units / alarms / rounds
+//! {"cmd":"shutdown"}                           stop the daemon
+//! ```
+//!
+//! Server → client: every command gets an `{"ok":…}` reply; subscribers
+//! additionally receive one event per completed edit round:
+//!
+//! ```text
+//! {"event":"diff","round":1,"edited":["lib.c"],"invalidated":["app.c","lib.c"],
+//!  "diff":{"new":["<fp>"],"fixed":[],"unchanged":41,"new_definite":1},"alarms":42}
+//! ```
+//!
+//! The `diff` body is exactly the report's `baseline` block shape — the
+//! baseline classifier *is* the wire protocol.
+//!
+//! # Concurrency model
+//!
+//! One engine thread owns all analysis state and drains a request channel;
+//! socket reader threads and the filesystem poller only ever enqueue.
+//! Edits that arrive while a round is in flight queue up and are
+//! **coalesced** into the next round (consecutive edit requests batch, with
+//! last-write-wins per unit), so a burst of keystrokes costs one
+//! re-analysis, and an edit can never observe — or corrupt — a half-done
+//! round.
+
+use crate::engine::{diff_json, Engine, RoundOutcome};
+use sga_utils::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How listener threads poll their nonblocking accept loops.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Where and how to serve.
+#[derive(Clone, Debug, Default)]
+pub struct ServerConfig {
+    /// TCP bind address (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub tcp: Option<String>,
+    /// Unix socket path (removed and re-created on start).
+    pub unix: Option<PathBuf>,
+    /// File to write the bound TCP address to once listening — how scripts
+    /// find an ephemeral port.
+    pub port_file: Option<PathBuf>,
+    /// Poll the corpus directory for out-of-band file edits every this many
+    /// milliseconds (`None` = sockets only).
+    pub poll_ms: Option<u64>,
+}
+
+/// A request enqueued to the engine thread.
+enum Req {
+    /// Apply edits (unit name, new source).
+    Edits(Vec<(String, String)>),
+    /// Render the accumulated report.
+    Report(Sender<String>),
+    /// One-line status.
+    Status(Sender<String>),
+    /// Stop the daemon.
+    Shutdown,
+}
+
+/// A subscriber's write half.
+type Subscribers = Arc<Mutex<Vec<Box<dyn Write + Send>>>>;
+
+/// A running daemon.
+pub struct ServerHandle {
+    /// The bound TCP address, when TCP was configured.
+    pub tcp_addr: Option<SocketAddr>,
+    req_tx: Sender<Req>,
+    engine_thread: JoinHandle<()>,
+    stop: Arc<AtomicBool>,
+    unix_path: Option<PathBuf>,
+}
+
+impl ServerHandle {
+    /// Requests shutdown without waiting.
+    pub fn shutdown(&self) {
+        let _ = self.req_tx.send(Req::Shutdown);
+    }
+
+    /// Blocks until the engine thread exits (after a `shutdown` command
+    /// from any client or [`ServerHandle::shutdown`]), then tears down the
+    /// listeners.
+    pub fn wait(self) {
+        let _ = self.engine_thread.join();
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Starts serving `engine` per `config`: spawns the engine thread, the
+/// configured listeners, and (optionally) the filesystem poller, then
+/// returns immediately. Callers typically follow with
+/// [`ServerHandle::wait`].
+pub fn serve(engine: Engine, config: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let (req_tx, req_rx) = mpsc::channel::<Req>();
+    let subscribers: Subscribers = Arc::new(Mutex::new(Vec::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut tcp_addr = None;
+    if let Some(bind) = &config.tcp {
+        let listener = TcpListener::bind(bind)?;
+        listener.set_nonblocking(true)?;
+        tcp_addr = Some(listener.local_addr()?);
+        spawn_tcp_acceptor(listener, req_tx.clone(), subscribers.clone(), stop.clone());
+    }
+    if let (Some(addr), Some(path)) = (tcp_addr, &config.port_file) {
+        std::fs::write(path, format!("{addr}\n"))?;
+    }
+
+    let mut unix_path = None;
+    if let Some(path) = &config.unix {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        unix_path = Some(path.clone());
+        spawn_unix_acceptor(listener, req_tx.clone(), subscribers.clone(), stop.clone());
+    }
+
+    if let Some(ms) = config.poll_ms {
+        spawn_poller(
+            engine.dir().to_path_buf(),
+            ms.max(1),
+            req_tx.clone(),
+            stop.clone(),
+        );
+    }
+
+    let engine_stop = stop.clone();
+    let engine_subs = subscribers;
+    let engine_thread = std::thread::Builder::new()
+        .name("sga-serve-engine".into())
+        .spawn(move || {
+            engine_loop(engine, req_rx, engine_subs);
+            engine_stop.store(true, Ordering::Relaxed);
+        })?;
+
+    Ok(ServerHandle {
+        tcp_addr,
+        req_tx,
+        engine_thread,
+        stop,
+        unix_path,
+    })
+}
+
+/// The engine thread: drains requests in order, coalescing consecutive
+/// edit batches into one round, and broadcasts each round's diff event.
+fn engine_loop(mut engine: Engine, req_rx: Receiver<Req>, subscribers: Subscribers) {
+    let mut stashed: Option<Req> = None;
+    loop {
+        let req = match stashed.take() {
+            Some(r) => r,
+            None => match req_rx.recv() {
+                Ok(r) => r,
+                Err(_) => return, // every sender gone
+            },
+        };
+        match req {
+            Req::Edits(mut batch) => {
+                // Coalesce the burst: consecutive edit requests already in
+                // the channel join this round (later entries win per unit —
+                // `apply_edits` is last-write-wins). The first non-edit
+                // request is stashed, preserving order for report/status.
+                loop {
+                    match req_rx.try_recv() {
+                        Ok(Req::Edits(more)) => batch.extend(more),
+                        Ok(other) => {
+                            stashed = Some(other);
+                            break;
+                        }
+                        Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+                    }
+                }
+                match engine.apply_edits(batch) {
+                    Ok(outcome) if outcome.is_noop() => {}
+                    Ok(outcome) => broadcast(&subscribers, &diff_event(engine.rounds(), &outcome)),
+                    Err(e) => broadcast(
+                        &subscribers,
+                        &Json::obj()
+                            .with("event", "error")
+                            .with("error", e.to_string()),
+                    ),
+                }
+            }
+            Req::Report(reply) => {
+                let line = match engine.report() {
+                    Ok(report) => report.to_compact(),
+                    Err(e) => Json::obj()
+                        .with("ok", false)
+                        .with("error", e.to_string())
+                        .to_compact(),
+                };
+                let _ = reply.send(line);
+            }
+            Req::Status(reply) => {
+                let line = Json::obj()
+                    .with("ok", true)
+                    .with("units", engine.unit_names().len())
+                    .with("alarms", engine.alarms())
+                    .with("rounds", engine.rounds())
+                    .to_compact();
+                let _ = reply.send(line);
+            }
+            Req::Shutdown => return,
+        }
+    }
+}
+
+/// Renders one round's broadcast event.
+fn diff_event(round: usize, outcome: &RoundOutcome) -> Json {
+    let names = |v: &[String]| v.iter().map(|n| Json::from(n.as_str())).collect::<Vec<_>>();
+    Json::obj()
+        .with("event", "diff")
+        .with("round", round)
+        .with("edited", names(&outcome.edited))
+        .with("invalidated", names(&outcome.invalidated))
+        .with("diff", diff_json(&outcome.diff))
+        .with("alarms", outcome.alarms)
+}
+
+/// Writes `event` to every subscriber, dropping the ones whose connection
+/// is gone.
+fn broadcast(subscribers: &Subscribers, event: &Json) {
+    let line = format!("{}\n", event.to_compact());
+    let mut subs = subscribers.lock().unwrap_or_else(|p| p.into_inner());
+    subs.retain_mut(|w| {
+        w.write_all(line.as_bytes())
+            .and_then(|()| w.flush())
+            .is_ok()
+    });
+}
+
+fn spawn_tcp_acceptor(
+    listener: TcpListener,
+    req_tx: Sender<Req>,
+    subscribers: Subscribers,
+    stop: Arc<AtomicBool>,
+) {
+    std::thread::spawn(move || loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let tx = req_tx.clone();
+                let subs = subscribers.clone();
+                std::thread::spawn(move || {
+                    if let Ok(write) = stream.try_clone() {
+                        handle_connection(stream, Box::new(write), tx, subs);
+                    }
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => return,
+        }
+    });
+}
+
+fn spawn_unix_acceptor(
+    listener: UnixListener,
+    req_tx: Sender<Req>,
+    subscribers: Subscribers,
+    stop: Arc<AtomicBool>,
+) {
+    std::thread::spawn(move || loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let tx = req_tx.clone();
+                let subs = subscribers.clone();
+                std::thread::spawn(move || {
+                    if let Ok(write) = stream.try_clone() {
+                        handle_connection(stream, Box::new(write), tx, subs);
+                    }
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => return,
+        }
+    });
+}
+
+/// One client connection: reads request lines until EOF, replying on the
+/// connection's write half. `subscribe` moves a clone of the write half
+/// into the broadcast list; the reader keeps running so the same
+/// connection can still issue commands.
+fn handle_connection<R: std::io::Read>(
+    read: R,
+    mut write: Box<dyn Write + Send>,
+    req_tx: Sender<Req>,
+    subscribers: Subscribers,
+) {
+    let reply = |w: &mut Box<dyn Write + Send>, j: Json| {
+        let _ = w
+            .write_all(format!("{}\n", j.to_compact()).as_bytes())
+            .and_then(|()| w.flush());
+    };
+    let err = |msg: &str| Json::obj().with("ok", false).with("error", msg);
+    for line in BufReader::new(read).lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(req) = Json::parse(&line) else {
+            reply(&mut write, err("request is not valid JSON"));
+            continue;
+        };
+        match req.get("cmd").and_then(Json::as_str) {
+            Some("subscribe") => {
+                // Subscribing hands this connection's write half to the
+                // broadcaster for good; the connection becomes a pure event
+                // stream, further commands belong on a fresh connection.
+                // Ack and push under the broadcast lock: once the client has
+                // read the ack, every later broadcast is ordered after its
+                // registration — it cannot miss an event it caused.
+                let mut subs = subscribers.lock().unwrap_or_else(|p| p.into_inner());
+                reply(
+                    &mut write,
+                    Json::obj().with("ok", true).with("subscribed", true),
+                );
+                subs.push(write);
+                return;
+            }
+            Some("edit") => {
+                let unit = req.get("unit").and_then(Json::as_str);
+                let source = req.get("source").and_then(Json::as_str);
+                match (unit, source) {
+                    (Some(unit), Some(source)) => {
+                        let queued = req_tx
+                            .send(Req::Edits(vec![(unit.to_string(), source.to_string())]))
+                            .is_ok();
+                        reply(
+                            &mut write,
+                            Json::obj().with("ok", queued).with("queued", unit),
+                        );
+                    }
+                    _ => reply(
+                        &mut write,
+                        err("edit needs string fields `unit` and `source`"),
+                    ),
+                }
+            }
+            Some("report") => {
+                let (tx, rx) = mpsc::channel();
+                if req_tx.send(Req::Report(tx)).is_ok() {
+                    if let Ok(line) = rx.recv() {
+                        let _ = write
+                            .write_all(format!("{line}\n").as_bytes())
+                            .and_then(|()| write.flush());
+                        continue;
+                    }
+                }
+                reply(&mut write, err("daemon is shutting down"));
+            }
+            Some("status") => {
+                let (tx, rx) = mpsc::channel();
+                if req_tx.send(Req::Status(tx)).is_ok() {
+                    if let Ok(line) = rx.recv() {
+                        let _ = write
+                            .write_all(format!("{line}\n").as_bytes())
+                            .and_then(|()| write.flush());
+                        continue;
+                    }
+                }
+                reply(&mut write, err("daemon is shutting down"));
+            }
+            Some("shutdown") => {
+                let _ = req_tx.send(Req::Shutdown);
+                reply(
+                    &mut write,
+                    Json::obj().with("ok", true).with("stopping", true),
+                );
+                return;
+            }
+            _ => reply(&mut write, err("unknown cmd")),
+        }
+    }
+}
+
+/// The filesystem fallback: polls the corpus directory and synthesizes
+/// edit requests for files whose content changed out of band. The engine
+/// drops edits that match its current state, so observing the daemon's own
+/// writes (from socket edits) is a harmless no-op.
+fn spawn_poller(dir: PathBuf, poll_ms: u64, req_tx: Sender<Req>, stop: Arc<AtomicBool>) {
+    std::thread::spawn(move || {
+        let mut snapshot: std::collections::BTreeMap<String, u64> = scan(&dir)
+            .into_iter()
+            .map(|(name, source)| (name, sga_utils::fxhash::hash_one(&source)))
+            .collect();
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(poll_ms));
+            let mut edits = Vec::new();
+            for (name, source) in scan(&dir) {
+                let hash = sga_utils::fxhash::hash_one(&source);
+                if snapshot.insert(name.clone(), hash) != Some(hash) {
+                    edits.push((name, source));
+                }
+            }
+            if !edits.is_empty() && req_tx.send(Req::Edits(edits)).is_err() {
+                return;
+            }
+        }
+    });
+}
+
+/// All `*.c` files directly in `dir`, name-sorted, with their content.
+fn scan(dir: &std::path::Path) -> Vec<(String, String)> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut files: Vec<(String, String)> = entries
+        .flatten()
+        .filter_map(|entry| {
+            let path = entry.path();
+            if path.extension().is_some_and(|x| x == "c") {
+                let name = path.file_name()?.to_string_lossy().into_owned();
+                let source = std::fs::read_to_string(&path).ok()?;
+                Some((name, source))
+            } else {
+                None
+            }
+        })
+        .collect();
+    files.sort();
+    files
+}

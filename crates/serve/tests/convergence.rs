@@ -1,0 +1,158 @@
+//! Randomized edit-sequence convergence: after any batch-edit sequence,
+//! the daemon's accumulated report is byte-identical to a fresh cold batch
+//! run of the corpus' final state — at `jobs = 1` and `jobs = 4`, which
+//! must also agree with each other.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sga_pipeline::PipelineOptions;
+use sga_serve::{cold_report, Engine};
+use std::path::PathBuf;
+
+const UNITS: usize = 5;
+const ROUNDS: usize = 6;
+
+/// One randomized translation unit. The shape varies along every axis the
+/// invalidation machinery cares about: `f{idx}`'s arity and access summary
+/// (interface-changing), its constants (interface-preserving), which
+/// sibling unit it imports, and whether it raises an overrun alarm.
+fn gen_unit(rng: &mut StdRng, idx: usize) -> String {
+    let c = rng.gen_range(0..50i64);
+    let mut src = format!("int g{idx};\nint h{idx};\n");
+    let effect = if rng.gen_bool(0.5) {
+        format!("h{idx} = x; ")
+    } else {
+        String::new()
+    };
+    let two_params = rng.gen_bool(0.5);
+    if two_params {
+        src.push_str(&format!(
+            "int f{idx}(int x, int y) {{ g{idx} = x + {c}; {effect}return x + y; }}\n"
+        ));
+    } else {
+        src.push_str(&format!(
+            "int f{idx}(int x) {{ g{idx} = x + {c}; {effect}return x + {c}; }}\n"
+        ));
+    }
+    let callee = rng.gen_range(0..UNITS as i64) as usize;
+    if callee != idx {
+        src.push_str(&format!(
+            "int call{idx}(int x) {{ return f{callee}(x + {c}); }}\n"
+        ));
+    }
+    if rng.gen_bool(0.4) {
+        let at = rng.gen_range(0..4i64) * 3; // 0 in bounds; 3, 6, 9 overrun
+        src.push_str(&format!(
+            "int m{idx}() {{ int *b = malloc(4); b[{at}] = 1; return 0; }}\n"
+        ));
+    }
+    // The frontend requires a `main` per unit; route it through `f{idx}`
+    // so every interface change is locally observable.
+    let args = if two_params { "x, 1" } else { "x" };
+    src.push_str(&format!("int main(int x) {{ return f{idx}({args}); }}\n"));
+    src
+}
+
+fn unit_name(idx: usize) -> String {
+    format!("u{idx}.c")
+}
+
+type Edits = Vec<(String, String)>;
+
+/// The full scripted session: initial sources plus per-round edit batches,
+/// all drawn from one seeded stream so every engine replays the same tape.
+fn script(seed: u64) -> (Edits, Vec<Edits>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let initial = (0..UNITS)
+        .map(|i| (unit_name(i), gen_unit(&mut rng, i)))
+        .collect();
+    let rounds = (0..ROUNDS)
+        .map(|_| {
+            let k = rng.gen_range(1..4i64);
+            (0..k)
+                .map(|_| {
+                    let idx = rng.gen_range(0..UNITS as i64) as usize;
+                    (unit_name(idx), gen_unit(&mut rng, idx))
+                })
+                .collect()
+        })
+        .collect();
+    (initial, rounds)
+}
+
+/// Replays the scripted session at the given job count; returns the final
+/// report, checking convergence mid-sequence and at the end.
+fn replay(seed: u64, jobs: usize) -> String {
+    let (initial, rounds) = script(seed);
+    let dir = std::env::temp_dir().join(format!(
+        "sga-serve-conv-{seed}-j{jobs}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    for (name, source) in &initial {
+        std::fs::write(dir.join(name), source).expect("write unit");
+    }
+    let opts = PipelineOptions {
+        jobs,
+        ..PipelineOptions::default()
+    };
+    let mut engine = Engine::new(&dir, &opts).expect("engine");
+    for (i, batch) in rounds.into_iter().enumerate() {
+        engine.apply_edits(batch).expect("edit round");
+        // One mid-sequence probe: divergence should be caught where it
+        // arises, not only after the final round.
+        if i == ROUNDS / 2 {
+            assert_eq!(
+                engine.report().expect("report").to_pretty(),
+                cold_report(&dir, &opts).expect("cold run").to_pretty(),
+                "diverged mid-sequence (seed {seed}, jobs {jobs}, round {i})"
+            );
+        }
+    }
+    let live = engine.report().expect("report").to_pretty();
+    let cold = cold_report(&dir, &opts).expect("cold run").to_pretty();
+    assert_eq!(live, cold, "diverged (seed {seed}, jobs {jobs})");
+    let _ = std::fs::remove_dir_all(&dir);
+    live
+}
+
+#[test]
+fn randomized_edit_sequences_converge_at_any_job_count() {
+    for seed in [11u64, 3257] {
+        let sequential = replay(seed, 1);
+        let parallel = replay(seed, 4);
+        assert_eq!(
+            sequential, parallel,
+            "jobs=1 and jobs=4 reports differ (seed {seed})"
+        );
+    }
+}
+
+/// Editing the same unit repeatedly within one batch is last-write-wins.
+#[test]
+fn batched_edits_are_last_write_wins() {
+    let dir: PathBuf = std::env::temp_dir().join(format!("sga-serve-lww-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    std::fs::write(dir.join("u.c"), "int main() { return 1; }\n").expect("write unit");
+    let opts = PipelineOptions::default();
+    let mut engine = Engine::new(&dir, &opts).expect("engine");
+    let outcome = engine
+        .apply_edits(vec![
+            ("u.c".into(), "int main() { return 2; }\n".into()),
+            ("u.c".into(), "int main(int x) { return x; }\n".into()),
+        ])
+        .expect("batch");
+    assert_eq!(outcome.edited, ["u.c"]);
+    assert_eq!(
+        engine.source_of("u.c"),
+        Some("int main(int x) { return x; }\n")
+    );
+    assert_eq!(
+        std::fs::read_to_string(dir.join("u.c")).expect("read back"),
+        "int main(int x) { return x; }\n",
+        "the corpus directory must mirror the applied edit"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

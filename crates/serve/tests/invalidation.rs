@@ -1,0 +1,168 @@
+//! Dependency-cone invalidation: a body edit re-analyzes exactly the
+//! edited unit, an interface edit (summary or signature) additionally
+//! re-analyzes its importers — and never an unrelated unit.
+
+use sga_pipeline::PipelineOptions;
+use sga_serve::{cold_report, Engine};
+use std::path::PathBuf;
+
+/// `lib.c` exports `helper`; `app.c` imports it; `standalone.c` touches
+/// neither. (The frontend requires every unit to define `main`.)
+const LIB: &str = "int g;\n\
+                   int helper(int x) { g = x; return x + 1; }\n\
+                   int main() { return helper(1); }\n";
+const APP: &str = "int main() { return helper(7); }\n";
+const STANDALONE: &str = "int alone(int x) { return x * 2; }\n\
+                          int main() { return alone(3); }\n";
+
+/// Same defs/uses, same arity — `helper`'s interface hash survives.
+const LIB_BODY_EDIT: &str = "int g;\n\
+                             int helper(int x) { g = x; return x + 2; }\n\
+                             int main() { return helper(1); }\n";
+
+/// `helper` now defines a second global: its access summary — hence its
+/// interface hash — changes.
+const LIB_SUMMARY_EDIT: &str = "int g;\nint h2;\n\
+                                int helper(int x) { g = x; h2 = x; return x + 2; }\n\
+                                int main() { return helper(1); }\n";
+
+/// `helper` gains a parameter: a signature change flips the hash even
+/// where the summary survives.
+const LIB_ARITY_EDIT: &str = "int g;\nint h2;\n\
+                              int helper(int x, int y) { g = x; h2 = x; return x + y; }\n\
+                              int main() { return helper(1, 2); }\n";
+
+fn corpus(tag: &str, units: &[(&str, &str)]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sga-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    for (name, source) in units {
+        std::fs::write(dir.join(name), source).expect("write unit");
+    }
+    dir
+}
+
+fn three_unit_corpus(tag: &str) -> PathBuf {
+    corpus(
+        tag,
+        &[("lib.c", LIB), ("app.c", APP), ("standalone.c", STANDALONE)],
+    )
+}
+
+#[test]
+fn body_edit_reanalyzes_exactly_the_edited_unit() {
+    let dir = three_unit_corpus("cone-body");
+    let opts = PipelineOptions::default();
+    let mut engine = Engine::new(&dir, &opts).expect("engine");
+
+    let outcome = engine
+        .apply_edits(vec![("lib.c".into(), LIB_BODY_EDIT.into())])
+        .expect("round");
+    assert_eq!(outcome.edited, ["lib.c"]);
+    assert_eq!(
+        outcome.invalidated,
+        ["lib.c"],
+        "a summary-preserving body edit must not spill past the edited unit"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interface_edits_propagate_to_importers_but_never_to_strangers() {
+    let dir = three_unit_corpus("cone-iface");
+    let opts = PipelineOptions::default();
+    let mut engine = Engine::new(&dir, &opts).expect("engine");
+
+    // Warm past the body edit so the two interface rounds each start from
+    // a converged state.
+    engine
+        .apply_edits(vec![("lib.c".into(), LIB_BODY_EDIT.into())])
+        .expect("body round");
+
+    let summary = engine
+        .apply_edits(vec![("lib.c".into(), LIB_SUMMARY_EDIT.into())])
+        .expect("summary round");
+    assert_eq!(
+        summary.invalidated,
+        ["app.c", "lib.c"],
+        "a summary change must re-analyze the importer"
+    );
+
+    let arity = engine
+        .apply_edits(vec![("lib.c".into(), LIB_ARITY_EDIT.into())])
+        .expect("arity round");
+    assert_eq!(
+        arity.invalidated,
+        ["app.c", "lib.c"],
+        "a signature change must re-analyze the importer"
+    );
+
+    assert_eq!(engine.rounds(), 3);
+    // The accumulated state must match a cold batch run of the final
+    // corpus, byte for byte.
+    assert_eq!(
+        engine.report().expect("report").to_pretty(),
+        cold_report(&dir, &opts).expect("cold run").to_pretty()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn noop_edits_are_dropped_without_a_round() {
+    let dir = three_unit_corpus("cone-noop");
+    let opts = PipelineOptions::default();
+    let mut engine = Engine::new(&dir, &opts).expect("engine");
+
+    let outcome = engine
+        .apply_edits(vec![("lib.c".into(), LIB.into())])
+        .expect("noop round");
+    assert!(outcome.is_noop());
+    assert!(outcome.invalidated.is_empty());
+    assert_eq!(engine.rounds(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn an_edit_can_introduce_a_new_unit() {
+    let dir = three_unit_corpus("cone-new");
+    let opts = PipelineOptions::default();
+    let mut engine = Engine::new(&dir, &opts).expect("engine");
+
+    let outcome = engine
+        .apply_edits(vec![(
+            "new.c".into(),
+            "int main() { return helper(0); }\n".into(),
+        )])
+        .expect("new-unit round");
+    assert_eq!(outcome.edited, ["new.c"]);
+    assert!(engine.unit_names().contains(&"new.c".to_string()));
+    assert_eq!(
+        engine.report().expect("report").to_pretty(),
+        cold_report(&dir, &opts).expect("cold run").to_pretty()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn convergence_holds_with_a_warm_cache() {
+    let dir = three_unit_corpus("cone-cache");
+    let opts = PipelineOptions {
+        cache_dir: Some(dir.join(".sga-cache")),
+        ..PipelineOptions::default()
+    };
+    let mut engine = Engine::new(&dir, &opts).expect("engine");
+    engine
+        .apply_edits(vec![("lib.c".into(), LIB_SUMMARY_EDIT.into())])
+        .expect("summary round");
+    // Edit back: the first analysis of LIB is now a cache hit, and the
+    // cached result must be indistinguishable from a fresh one.
+    engine
+        .apply_edits(vec![("lib.c".into(), LIB.into())])
+        .expect("revert round");
+    assert_eq!(
+        engine.report().expect("report").to_pretty(),
+        cold_report(&dir, &opts).expect("cold run").to_pretty(),
+        "cache-served units must render identically to a cache-less run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -9,13 +9,21 @@
 //!           [--widening naive|threshold|delayed]
 //!           [--max-steps N] [--timeout-ms N]
 //! sga analyze <dir> | --corpus units=N,kloc=K,seed=S
-//!             [--jobs N] [--cache-dir D] [--no-cache] [--canonical]
+//!             [--jobs N (0=auto)] [--cache-dir D] [--no-cache] [--canonical]
+//!             [--cache-max-entries N]
 //!             [--no-bypass] [--widening naive|threshold|delayed]
 //!             [--keep-going | --fail-fast] [--max-steps N] [--timeout-ms N]
 //!             [--resume] [--validate] [--journal-dir D]
 //!             [--quarantine-keep N] [--faults SPEC] [--out FILE]
 //!             [--baseline REPORT]
-//! sga cache gc <dir> [--keep N]
+//! sga serve <dir> [--tcp ADDR] [--unix PATH] [--port-file FILE]
+//!           [--poll-ms N] [--jobs N (0=auto)] [--cache-dir D] [--no-cache]
+//!           [--cache-max-entries N] [--no-bypass]
+//!           [--widening naive|threshold|delayed]
+//!           [--max-steps N] [--timeout-ms N]
+//! sga watch <addr> [--once | --max-events N | --report | --status
+//!           | --edit UNIT FILE | --shutdown]
+//! sga cache gc <dir> [--keep N] [--max-entries N]
 //! ```
 //!
 //! `sga check` runs all four checkers (buffer overrun, null dereference,
@@ -46,7 +54,19 @@
 //! `--validate` re-checks every unit against the paper's correctness
 //! contracts (post-fixpoint, Lemma 1, the Def. 5 side condition) plus the
 //! cache. `sga cache gc` prunes quarantined entries and stranded temp
-//! files.
+//! files, and with `--max-entries` evicts cache entries beyond the cap,
+//! least-recently-accessed first. `--jobs 0` auto-detects the machine's
+//! parallelism.
+//!
+//! `sga serve` keeps a corpus loaded and re-analyzes on edit: clients send
+//! line-delimited JSON commands over TCP (`--tcp`, default `127.0.0.1:0`;
+//! the bound address goes to `--port-file`) or a Unix socket (`--unix`),
+//! and subscribers receive one alarm-diff event per edit round. Only units
+//! whose imported symbols changed interface are re-analyzed (see
+//! `serve::engine`). `--poll-ms` additionally watches the corpus directory
+//! for out-of-band file edits. `sga watch <addr>` is the matching client:
+//! by default it streams diff events; `--once` exits after the first one,
+//! `--edit`/`--report`/`--status`/`--shutdown` issue one command each.
 //!
 //! Exit codes, consolidated:
 //!
@@ -161,7 +181,8 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const ANALYZE_USAGE: &str = "usage: sga analyze <dir> | --corpus units=N,kloc=K,seed=S \
-                             [--jobs N] [--cache-dir D] [--no-cache] [--canonical] \
+                             [--jobs N (0=auto)] [--cache-dir D] [--no-cache] [--canonical] \
+                             [--cache-max-entries N] \
                              [--no-bypass] [--widening naive|threshold|delayed] \
                              [--keep-going | --fail-fast] \
                              [--max-steps N] [--timeout-ms N] \
@@ -181,11 +202,15 @@ fn parse_analyze_args(
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--jobs" => {
+                // 0 = auto-detect (resolved by the pipeline).
                 let n = args.next().ok_or("--jobs needs a value")?;
                 opts.jobs = n
                     .parse::<usize>()
-                    .map_err(|_| format!("bad --jobs {n:?}"))?
-                    .max(1);
+                    .map_err(|_| format!("bad --jobs {n:?}"))?;
+            }
+            "--cache-max-entries" => {
+                opts.cache_max_entries =
+                    Some(num_flag("--cache-max-entries", args.next())? as usize);
             }
             "--cache-dir" => {
                 cache_dir = Some(PathBuf::from(
@@ -479,9 +504,10 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
-const CACHE_USAGE: &str = "usage: sga cache gc <dir> [--keep N]";
+const CACHE_USAGE: &str = "usage: sga cache gc <dir> [--keep N] [--max-entries N]";
 
-/// `sga cache gc <dir> [--keep N]`: offline cache maintenance.
+/// `sga cache gc <dir> [--keep N] [--max-entries N]`: offline cache
+/// maintenance.
 fn run_cache(mut args: impl Iterator<Item = String>) -> ExitCode {
     match args.next().as_deref() {
         Some("gc") => {}
@@ -492,11 +518,19 @@ fn run_cache(mut args: impl Iterator<Item = String>) -> ExitCode {
     }
     let mut dir: Option<PathBuf> = None;
     let mut keep = pipeline::cache::DEFAULT_QUARANTINE_KEEP;
+    let mut max_entries: Option<usize> = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--keep" => match num_flag("--keep", args.next()) {
                 Ok(n) => keep = n as usize,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--max-entries" => match num_flag("--max-entries", args.next()) {
+                Ok(n) => max_entries = Some(n as usize),
                 Err(msg) => {
                     eprintln!("{msg}");
                     return ExitCode::from(2);
@@ -519,10 +553,11 @@ fn run_cache(mut args: impl Iterator<Item = String>) -> ExitCode {
         eprintln!("{CACHE_USAGE}");
         return ExitCode::from(2);
     };
-    match pipeline::cache::gc(&dir, keep) {
+    match pipeline::cache::gc(&dir, keep, max_entries) {
         Ok(stats) => {
             println!(
-                "sga: cache gc: removed {} quarantined entr{}, {} temp file(s)",
+                "sga: cache gc: removed {} quarantined entr{}, {} temp file(s), \
+                 evicted {} over the LRU cap",
                 stats.quarantine_removed,
                 if stats.quarantine_removed == 1 {
                     "y"
@@ -530,6 +565,7 @@ fn run_cache(mut args: impl Iterator<Item = String>) -> ExitCode {
                     "ies"
                 },
                 stats.tmp_removed,
+                stats.evicted,
             );
             ExitCode::SUCCESS
         }
@@ -537,6 +573,190 @@ fn run_cache(mut args: impl Iterator<Item = String>) -> ExitCode {
             eprintln!("sga: cache gc {}: {e}", dir.display());
             ExitCode::from(2)
         }
+    }
+}
+
+const SERVE_USAGE: &str = "usage: sga serve <dir> [--tcp ADDR] [--unix PATH] \
+                           [--port-file FILE] [--poll-ms N] [--jobs N (0=auto)] \
+                           [--cache-dir D] [--no-cache] [--cache-max-entries N] \
+                           [--no-bypass] [--widening naive|threshold|delayed] \
+                           [--max-steps N] [--timeout-ms N]";
+
+/// `sga serve <dir>`: incremental analysis daemon over a corpus directory.
+fn run_serve(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut dir: Option<PathBuf> = None;
+    let mut config = sga::serve::ServerConfig::default();
+    let mut opts = PipelineOptions::default();
+    let mut no_cache = false;
+    let mut cache_dir: Option<PathBuf> = None;
+    let err = |msg: String| {
+        eprintln!("{msg}");
+        ExitCode::from(2)
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tcp" => match args.next() {
+                Some(addr) => config.tcp = Some(addr),
+                None => return err("--tcp needs an address".into()),
+            },
+            "--unix" => match args.next() {
+                Some(path) => config.unix = Some(PathBuf::from(path)),
+                None => return err("--unix needs a path".into()),
+            },
+            "--port-file" => match args.next() {
+                Some(path) => config.port_file = Some(PathBuf::from(path)),
+                None => return err("--port-file needs a file".into()),
+            },
+            "--poll-ms" => match num_flag("--poll-ms", args.next()) {
+                Ok(n) => config.poll_ms = Some(n),
+                Err(msg) => return err(msg),
+            },
+            "--jobs" => match args.next() {
+                // 0 = auto-detect, as for `sga analyze`.
+                Some(n) => match n.parse::<usize>() {
+                    Ok(jobs) => opts.jobs = jobs,
+                    Err(_) => return err(format!("bad --jobs {n:?}")),
+                },
+                None => return err("--jobs needs a value".into()),
+            },
+            "--cache-dir" => match args.next() {
+                Some(d) => cache_dir = Some(PathBuf::from(d)),
+                None => return err("--cache-dir needs a value".into()),
+            },
+            "--no-cache" => no_cache = true,
+            "--cache-max-entries" => match num_flag("--cache-max-entries", args.next()) {
+                Ok(n) => opts.cache_max_entries = Some(n as usize),
+                Err(msg) => return err(msg),
+            },
+            "--no-bypass" => opts.depgen.bypass = false,
+            "--widening" => {
+                opts.widening = match args.next().as_deref().and_then(WideningStrategy::parse) {
+                    Some(s) => WideningConfig::of(s),
+                    None => return err("bad --widening (naive|threshold|delayed)".into()),
+                }
+            }
+            "--max-steps" => match num_flag("--max-steps", args.next()) {
+                Ok(n) => opts.budget.max_steps = Some(n),
+                Err(msg) => return err(msg),
+            },
+            "--timeout-ms" => match num_flag("--timeout-ms", args.next()) {
+                Ok(n) => opts.budget.timeout_ms = Some(n),
+                Err(msg) => return err(msg),
+            },
+            "--help" | "-h" => return err(SERVE_USAGE.into()),
+            other if !other.starts_with('-') && dir.is_none() => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => return err(format!("unexpected argument `{other}`\n{SERVE_USAGE}")),
+        }
+    }
+    let Some(dir) = dir else {
+        return err(SERVE_USAGE.into());
+    };
+    // A daemon without listeners is unreachable; default to an ephemeral
+    // TCP port so `sga serve <dir>` alone is useful.
+    if config.tcp.is_none() && config.unix.is_none() {
+        config.tcp = Some("127.0.0.1:0".to_string());
+    }
+    opts.cache_dir = if no_cache {
+        None
+    } else {
+        Some(cache_dir.unwrap_or_else(|| dir.join(".sga-cache")))
+    };
+    let engine = match sga::serve::Engine::new(&dir, &opts) {
+        Ok(e) => e,
+        Err(e) => return err(format!("sga: serve {}: {e}", dir.display())),
+    };
+    let (units, alarms) = (engine.unit_names().len(), engine.alarms());
+    let handle = match sga::serve::serve(engine, &config) {
+        Ok(h) => h,
+        Err(e) => return err(format!("sga: serve: {e}")),
+    };
+    let mut endpoints = Vec::new();
+    if let Some(addr) = handle.tcp_addr {
+        endpoints.push(addr.to_string());
+    }
+    if let Some(path) = &config.unix {
+        endpoints.push(path.display().to_string());
+    }
+    println!(
+        "sga: serving {} on {} ({units} unit(s), {alarms} alarm(s))",
+        dir.display(),
+        endpoints.join(" and "),
+    );
+    handle.wait();
+    println!("sga: serve: stopped");
+    ExitCode::SUCCESS
+}
+
+const WATCH_USAGE: &str = "usage: sga watch <addr> [--once | --max-events N | \
+                           --report | --status | --edit UNIT FILE | --shutdown]";
+
+/// `sga watch <addr>`: client for a running `sga serve` daemon. `addr` is
+/// `host:port` or a Unix socket path. By default streams diff events.
+fn run_watch(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut max_events: Option<usize> = None;
+    // One-shot command, if any: (label, closure producing the reply).
+    enum Cmd {
+        Stream,
+        Report,
+        Status,
+        Shutdown,
+        Edit(String, PathBuf),
+    }
+    let mut cmd = Cmd::Stream;
+    let err = |msg: String| {
+        eprintln!("{msg}");
+        ExitCode::from(2)
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--once" => max_events = Some(1),
+            "--max-events" => match num_flag("--max-events", args.next()) {
+                Ok(n) => max_events = Some(n as usize),
+                Err(msg) => return err(msg),
+            },
+            "--report" => cmd = Cmd::Report,
+            "--status" => cmd = Cmd::Status,
+            "--shutdown" => cmd = Cmd::Shutdown,
+            "--edit" => match (args.next(), args.next()) {
+                (Some(unit), Some(file)) => cmd = Cmd::Edit(unit, PathBuf::from(file)),
+                _ => return err("--edit needs UNIT and FILE".into()),
+            },
+            "--help" | "-h" => return err(WATCH_USAGE.into()),
+            other if !other.starts_with('-') && addr.is_none() => {
+                addr = Some(other.to_string());
+            }
+            other => return err(format!("unexpected argument `{other}`\n{WATCH_USAGE}")),
+        }
+    }
+    let Some(addr) = addr else {
+        return err(WATCH_USAGE.into());
+    };
+    let reply = match cmd {
+        Cmd::Stream => {
+            return match sga::serve::client::watch(&addr, max_events, |event| {
+                println!("{event}");
+            }) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => err(format!("sga: watch {addr}: {e}")),
+            };
+        }
+        Cmd::Report => sga::serve::client::report(&addr),
+        Cmd::Status => sga::serve::client::status(&addr),
+        Cmd::Shutdown => sga::serve::client::shutdown(&addr),
+        Cmd::Edit(unit, file) => match std::fs::read_to_string(&file) {
+            Ok(source) => sga::serve::client::edit(&addr, &unit, &source),
+            Err(e) => return err(format!("sga: cannot read {}: {e}", file.display())),
+        },
+    };
+    match reply {
+        Ok(line) => {
+            println!("{line}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => err(format!("sga: watch {addr}: {e}")),
     }
 }
 
@@ -553,6 +773,14 @@ fn main() -> ExitCode {
     if raw.peek().map(String::as_str) == Some("cache") {
         raw.next();
         return run_cache(raw);
+    }
+    if raw.peek().map(String::as_str) == Some("serve") {
+        raw.next();
+        return run_serve(raw);
+    }
+    if raw.peek().map(String::as_str) == Some("watch") {
+        raw.next();
+        return run_watch(raw);
     }
     let opts = match parse_args() {
         Ok(o) => o,

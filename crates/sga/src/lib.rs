@@ -21,6 +21,8 @@
 //! * [`cgen`] (`sga-cgen`) — the deterministic benchmark-program generator;
 //! * [`pipeline`] (`sga-pipeline`) — the parallel, cache-aware batch
 //!   analysis driver behind `sga analyze`;
+//! * [`serve`] (`sga-serve`) — the incremental analysis daemon behind
+//!   `sga serve` / `sga watch`;
 //! * [`utils`] (`sga-utils`) — support data structures.
 //!
 //! # Quickstart
@@ -45,4 +47,5 @@ pub use sga_diag as diag;
 pub use sga_domains as domains;
 pub use sga_ir as ir;
 pub use sga_pipeline as pipeline;
+pub use sga_serve as serve;
 pub use sga_utils as utils;
