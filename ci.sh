@@ -6,20 +6,46 @@
 # pass reports everything that is broken; the final summary table shows
 # per-stage pass/fail and the script exits non-zero if any stage failed.
 #
-# Usage: ci.sh [--quick]
-#   --quick   skip the release build and the (release-built) bench gate —
-#             the fast pre-push configuration.
+# Usage: ci.sh [--quick] [--stage NAME]
+#   --quick        skip the release build and the (release-built) bench
+#                  gates — the fast pre-push configuration.
+#   --stage NAME   run exactly one named stage (see ALL_STAGES below);
+#                  exits 2 on an unknown name. Stages that drive the debug
+#                  binary get it built on demand.
 set -uo pipefail
 cd "$(dirname "$0")"
 
+ALL_STAGES="fmt clippy build-release test diag-gate ignore-gate robustness serve-gate backend-gate bench-gate serve-bench-gate"
+
 QUICK=0
+ONLY_STAGE=""
+EXPECT_STAGE=0
 for arg in "$@"; do
+    if [ "$EXPECT_STAGE" -eq 1 ]; then
+        ONLY_STAGE="$arg"; EXPECT_STAGE=0; continue
+    fi
     case "$arg" in
         --quick) QUICK=1 ;;
-        -h|--help) echo "usage: ci.sh [--quick]"; exit 0 ;;
-        *) echo "ci.sh: unknown argument '$arg' (usage: ci.sh [--quick])" >&2; exit 2 ;;
+        --stage) EXPECT_STAGE=1 ;;
+        -h|--help) echo "usage: ci.sh [--quick] [--stage NAME]"; echo "stages: $ALL_STAGES"; exit 0 ;;
+        *) echo "ci.sh: unknown argument '$arg' (usage: ci.sh [--quick] [--stage NAME])" >&2; exit 2 ;;
     esac
 done
+if [ "$EXPECT_STAGE" -eq 1 ]; then
+    echo "ci.sh: --stage needs a name (one of: $ALL_STAGES)" >&2; exit 2
+fi
+if [ -n "$ONLY_STAGE" ]; then
+    case " $ALL_STAGES " in
+        *" $ONLY_STAGE "*) ;;
+        *) echo "ci.sh: unknown stage '$ONLY_STAGE' (one of: $ALL_STAGES)" >&2; exit 2 ;;
+    esac
+    # The binary-driven gates normally ride on the debug build the `test`
+    # stage leaves behind; a single-stage run must provide it itself.
+    case "$ONLY_STAGE" in
+        diag-gate|serve-gate|backend-gate)
+            [ -x target/debug/sga ] || cargo build -q -p sga || exit 1 ;;
+    esac
+fi
 
 STAGE_NAMES=()
 STAGE_RESULTS=()
@@ -28,6 +54,9 @@ FAILED=0
 
 run_stage() {
     local name="$1"; shift
+    if [ -n "$ONLY_STAGE" ] && [ "$name" != "$ONLY_STAGE" ]; then
+        return 0
+    fi
     echo
     echo "== $name"
     local start=$SECONDS
@@ -95,7 +124,18 @@ serve_gate() {
     addr=$(tr -d '[:space:]' < "$tmp/port")
     timeout 120 "$bin" watch "$addr" --once > "$tmp/event.json" &
     watcher=$!
-    sleep 0.5   # let the subscriber register before the edit round fires
+    # The daemon acknowledges a subscription before registering it for
+    # broadcast, and `sga watch` prints that ack line before any event —
+    # wait for it instead of sleeping, so the edit round cannot fire
+    # before the subscriber is in the broadcast set.
+    for _ in $(seq 1 100); do
+        grep -q '"subscribed"' "$tmp/event.json" 2>/dev/null && break
+        sleep 0.1
+    done
+    if ! grep -q '"subscribed"' "$tmp/event.json" 2>/dev/null; then
+        echo "serve-gate: watcher never acknowledged its subscription" >&2
+        kill "$daemon" "$watcher" 2>/dev/null; rm -rf "$tmp"; return 1
+    fi
     printf 'int main() { int *buf = malloc(4); buf[0] = 1; return 0; }\nint other() { int *b = malloc(4); b[6] = 1; return 0; }\n' \
         > "$tmp/lib_v2.c"
     if ! "$bin" watch "$addr" --edit lib.c "$tmp/lib_v2.c" > /dev/null; then
@@ -131,6 +171,27 @@ serve_gate() {
     rm -rf "$tmp"
 }
 
+backend_gate() {
+    # Representation independence, end to end: the BDD/set dependency store
+    # and the lowered CSR store (compact adjacency + flat worklist) must
+    # produce byte-identical canonical reports on the golden alarm corpus.
+    # The cache is off and the key differs per backend anyway, so neither
+    # run can serve the other's entries.
+    local bin=./target/debug/sga
+    local tmp
+    tmp=$(mktemp -d) || return 1
+    "$bin" analyze tests/alarms --canonical --no-cache --dep-backend bdd \
+        > "$tmp/bdd.json" || { rm -rf "$tmp"; return 1; }
+    "$bin" analyze tests/alarms --canonical --no-cache --dep-backend csr \
+        > "$tmp/csr.json" || { rm -rf "$tmp"; return 1; }
+    if ! cmp -s "$tmp/bdd.json" "$tmp/csr.json"; then
+        echo "backend-gate: canonical reports differ across dep backends:" >&2
+        diff "$tmp/bdd.json" "$tmp/csr.json" | head -20 >&2
+        rm -rf "$tmp"; return 1
+    fi
+    rm -rf "$tmp"
+}
+
 ignore_gate() {
     # The precision suite must run in full: no test may be #[ignore]d, and
     # anything marked ignored elsewhere must still pass when forced.
@@ -143,7 +204,7 @@ ignore_gate() {
 
 run_stage "fmt"    cargo fmt --all -- --check
 run_stage "clippy" cargo clippy --workspace --all-targets -- -D warnings
-if [ "$QUICK" -eq 0 ]; then
+if [ "$QUICK" -eq 0 ] || [ -n "$ONLY_STAGE" ]; then
     run_stage "build-release" cargo build --release
 fi
 run_stage "test"        cargo test -q
@@ -156,7 +217,10 @@ run_stage "robustness"  cargo test -q -p sga --test robustness
 # The daemon gate drives the debug binary (built by the test stage) over a
 # real socket, so it is cheap enough for --quick too.
 run_stage "serve-gate"  serve_gate
-if [ "$QUICK" -eq 0 ]; then
+# The backend equivalence gate also drives the debug binary and must hold
+# in every configuration, so it runs in --quick too.
+run_stage "backend-gate" backend_gate
+if [ "$QUICK" -eq 0 ] || [ -n "$ONLY_STAGE" ]; then
     run_stage "bench-gate" \
         cargo run --release -p sga-bench --bin pipeline_bench -- --check BENCH_pipeline.json
     run_stage "serve-bench-gate" \

@@ -1,23 +1,33 @@
 //! Benchmarks the batch pipeline: sequential vs parallel wall time over a
 //! fixed-seed generated corpus (cache disabled so every run measures real
-//! analysis work), plus a cold/warm cache pass measuring the hit rate.
+//! analysis work), a cold/warm cache pass measuring the hit rate, and a
+//! dependency-backend race (`--dep-backend bdd` vs `csr`) measuring
+//! per-backend wall time and peak RSS in separate child processes.
 //! Writes `BENCH_pipeline.json` into the working directory and prints a
 //! small table.
 //!
 //! With `--check <baseline.json>` it instead *gates* against a checked-in
 //! baseline: the run fails (exit 1) if the open-alarm count, the definite
 //! alarm count, or the warm cache hit rate regresses, if the octagon
-//! triage stage discharges nothing, if any unit degrades or crashes, or
-//! if the post-fixpoint validation oracle marks any unit `invalid` (the
-//! last three are hard gates, independent of the baseline). Timings are
-//! reported but never gated — they measure
+//! triage stage discharges nothing, if any unit degrades or crashes, if
+//! the post-fixpoint validation oracle marks any unit `invalid`, or if
+//! the two dependency backends produce canonical reports that are not
+//! byte-identical (the last four are hard gates, independent of the
+//! baseline). Timings are reported but never gated — they measure
 //! whatever hardware runs them (see the container caveat in ROADMAP.md: on
 //! a single-CPU host the parallel schedule cannot beat the sequential one).
 
+use sga::analysis::depstore::DepBackend;
 use sga::pipeline::{run, PipelineOptions, Project};
-use sga::utils::Json;
+use sga::utils::{stats, Json};
 use std::process::ExitCode;
 use std::time::Instant;
+
+const CORPUS: Project = Project::Corpus {
+    units: 8,
+    kloc: 2,
+    seed: 0xFEED,
+};
 
 struct Measured {
     secs: f64,
@@ -114,6 +124,84 @@ fn measure_validation(project: &Project) -> (u64, u64) {
     (validated, invalid)
 }
 
+/// Wall time, peak RSS and canonical report text of one dependency-backend
+/// run, as reported by a child process.
+struct BackendRun {
+    backend: DepBackend,
+    secs: f64,
+    peak_rss_bytes: u64,
+    report: String,
+}
+
+/// Hidden child mode behind `--measure-backend`: run the corpus once with
+/// one backend in a fresh process, so `VmHWM` (which only ever grows over
+/// a process's lifetime) measures that backend alone. Writes the canonical
+/// report to `out_path` and prints a one-line JSON summary on stdout.
+fn measure_backend_child(backend: DepBackend, out_path: &str) -> ExitCode {
+    let opts = PipelineOptions {
+        jobs: 1,
+        canonical: true,
+        dep_backend: backend,
+        ..PipelineOptions::default()
+    };
+    let start = Instant::now();
+    let report = run(&CORPUS, &opts).expect("backend run");
+    let secs = start.elapsed().as_secs_f64();
+    std::fs::write(out_path, report.to_pretty() + "\n").expect("write backend report");
+    let summary = Json::obj().with("secs", secs).with(
+        "peak_rss_bytes",
+        stats::peak_rss_bytes().unwrap_or(0) as usize,
+    );
+    println!("{}", summary.to_compact());
+    ExitCode::SUCCESS
+}
+
+/// Races the two dependency backends, each in its own child process, and
+/// compares their canonical reports byte-for-byte.
+fn measure_backends() -> (Vec<BackendRun>, bool) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut runs = Vec::new();
+    for backend in [DepBackend::Csr, DepBackend::Bdd] {
+        let out = std::env::temp_dir().join(format!(
+            "sga-bench-backend-{backend}-{}.json",
+            std::process::id()
+        ));
+        let output = std::process::Command::new(&exe)
+            .arg("--measure-backend")
+            .arg(backend.as_str())
+            .arg(&out)
+            .output()
+            .expect("spawn backend child");
+        assert!(
+            output.status.success(),
+            "backend child ({backend}) failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let line = stdout.lines().last().expect("child summary line");
+        let summary = Json::parse(line).expect("child summary JSON");
+        let secs = summary.get("secs").and_then(Json::as_f64).expect("secs");
+        let peak_rss_bytes = summary
+            .get("peak_rss_bytes")
+            .and_then(Json::as_u64)
+            .expect("peak_rss_bytes");
+        let report = std::fs::read_to_string(&out).expect("child report");
+        let _ = std::fs::remove_file(&out);
+        println!(
+            "dep-backend {backend}: {secs:.3}s, peak RSS {:.1} MiB",
+            peak_rss_bytes as f64 / (1024.0 * 1024.0)
+        );
+        runs.push(BackendRun {
+            backend,
+            secs,
+            peak_rss_bytes,
+            report,
+        });
+    }
+    let identical = runs.windows(2).all(|w| w[0].report == w[1].report);
+    (runs, identical)
+}
+
 /// Cold+warm pass over a throwaway cache directory; returns the warm run's
 /// hit rate (1.0 = every procedure served from cache).
 fn measure_hit_rate(project: &Project) -> f64 {
@@ -140,6 +228,7 @@ fn check(
     hit_rate: f64,
     validated: u64,
     invalid: u64,
+    backends_identical: bool,
 ) -> ExitCode {
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
@@ -234,6 +323,16 @@ fn check(
             m.units
         );
     }
+    // Hard gate, independent of the baseline: the BDD and CSR dependency
+    // backends must produce byte-identical canonical reports — the same
+    // invariant the repo holds across `--jobs`, extended to the lowered
+    // representation.
+    if !backends_identical {
+        eprintln!("FAIL: bdd/csr canonical reports differ");
+        failed = true;
+    } else {
+        println!("backend reports byte-identical ok");
+    }
     if hit_rate < base_hit_rate {
         eprintln!(
             "FAIL: warm cache hit rate regressed: {hit_rate:.3} < baseline {base_hit_rate:.3}"
@@ -262,6 +361,18 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            // Internal re-exec entry point used by `measure_backends`.
+            "--measure-backend" => {
+                let (Some(name), Some(out)) = (args.next(), args.next()) else {
+                    eprintln!("usage: pipeline_bench --measure-backend bdd|csr OUT.json");
+                    return ExitCode::from(2);
+                };
+                let Some(backend) = DepBackend::parse(&name) else {
+                    eprintln!("pipeline_bench: unknown backend `{name}`");
+                    return ExitCode::from(2);
+                };
+                return measure_backend_child(backend, &out);
+            }
             other => {
                 eprintln!("pipeline_bench: unexpected argument `{other}`");
                 return ExitCode::from(2);
@@ -269,11 +380,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let project = Project::Corpus {
-        units: 8,
-        kloc: 2,
-        seed: 0xFEED,
-    };
+    let project = CORPUS;
     println!("pipeline_bench: 8 units x ~2 kloc, fixed seed 0xFEED, cache off");
 
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -294,10 +401,22 @@ fn main() -> ExitCode {
     let hit_rate = measure_hit_rate(&project);
     println!("warm cache hit rate: {hit_rate:.3}");
     let (validated, invalid) = measure_validation(&project);
+    let (backend_runs, backends_identical) = measure_backends();
 
     if let Some(path) = baseline {
-        return check(&path, &seq, hit_rate, validated, invalid);
+        return check(
+            &path,
+            &seq,
+            hit_rate,
+            validated,
+            invalid,
+            backends_identical,
+        );
     }
+    assert!(
+        backends_identical,
+        "bdd/csr canonical reports differ on the bench corpus"
+    );
 
     let report = Json::obj()
         .with("bench", "pipeline")
@@ -320,7 +439,20 @@ fn main() -> ExitCode {
         .with("sequential_secs", seq.secs)
         .with("parallel_jobs4_secs", par.secs)
         .with("speedup", speedup)
-        .with("results_identical", true);
+        .with("results_identical", true)
+        .with("backends", {
+            let mut obj = Json::obj();
+            for r in &backend_runs {
+                obj.set(
+                    r.backend.as_str(),
+                    Json::obj()
+                        .with("secs", r.secs)
+                        .with("peak_rss_bytes", r.peak_rss_bytes as usize),
+                );
+            }
+            obj
+        })
+        .with("backends_identical", true);
     std::fs::write("BENCH_pipeline.json", report.to_pretty() + "\n")
         .expect("write BENCH_pipeline.json");
     println!("wrote BENCH_pipeline.json");

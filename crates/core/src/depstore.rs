@@ -1,0 +1,431 @@
+//! Dependency-store backends for the sparse solver.
+//!
+//! The §5 dependency relation is a set of triples `(c_from, c_to, l)`, but
+//! *how* the solver walks it dominates the fixpoint's constant factor: edge
+//! gathering and target requeuing are the inner loop of everything built on
+//! the sparse engine. [`crate::sparse::solve_with`] therefore consumes the
+//! relation through the [`DepStore`] trait, which couples edge access with
+//! worklist construction, and two backends implement it:
+//!
+//! * [`DataDeps`] — the faithful representation family the repo started
+//!   with: hash-map adjacency (the §5 "set store", with the `sga-bdd` BDD
+//!   relation as its ablation twin), iterated through a `BTreeSet` priority
+//!   worklist keyed on `(topo rank, ICFG priority, point)`;
+//! * [`CsrDeps`] — the tuned layout: compressed-sparse-row adjacency over
+//!   the program's dense [`PointNumbering`], cycle membership as a bitset,
+//!   and a flat topologically-ordered worklist (a pending bitset plus a
+//!   backward-resettable cursor over precomputed priority slots).
+//!
+//! **Equivalence invariant.** Both backends produce *byte-identical*
+//! results. The delayed-widening counter makes the fixpoint sensitive to
+//! pop order, so the flat worklist is built to pop exactly the point the
+//! `BTreeSet` would: its slots are the sorted positions of the same total
+//! order `((topo_rank, icfg_priority), cp)`, a pending bit stands for set
+//! membership, and the cursor scan returns the minimum pending slot.
+//! `ci.sh backend-gate` and the backend fuzz property in
+//! `tests/fuzz_pipeline.rs` enforce the invariant continuously.
+
+use crate::depgen::DataDeps;
+use crate::icfg::Icfg;
+use sga_ir::{Cp, PointNumbering, Program};
+use sga_utils::{BitSet, FxHashMap};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which dependency representation the sparse solver iterates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DepBackend {
+    /// The faithful §5 store family: hash-map adjacency with the BDD
+    /// relation as its ablation twin, `BTreeSet` worklist.
+    Bdd,
+    /// CSR adjacency + flat topologically-ordered worklist (the default).
+    #[default]
+    Csr,
+}
+
+impl DepBackend {
+    /// Parses a `--dep-backend` value.
+    pub fn parse(s: &str) -> Option<DepBackend> {
+        match s {
+            "bdd" => Some(DepBackend::Bdd),
+            "csr" => Some(DepBackend::Csr),
+            _ => None,
+        }
+    }
+
+    /// The CLI / report spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DepBackend::Bdd => "bdd",
+            DepBackend::Csr => "csr",
+        }
+    }
+}
+
+impl fmt::Display for DepBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A dependency representation the sparse solver can iterate: per-point
+/// edge rows plus the worklist that orders their evaluation.
+pub trait DepStore {
+    /// Incoming ordinary dependencies of `cp`, as `(loc id, from)` rows in
+    /// ascending `(loc, from)` order.
+    fn edges_into(&self, cp: Cp) -> &[(u32, Cp)];
+    /// Incoming return-flow dependencies of `cp` (call sites only).
+    fn edges_into_ret(&self, cp: Cp) -> &[(u32, Cp)];
+    /// Outgoing dependencies of `cp`, as `(loc id, to)` rows.
+    fn edges_out(&self, cp: Cp) -> &[(u32, Cp)];
+    /// Whether `cp` lies on a dependency cycle (a widening point).
+    fn is_cycle_node(&self, cp: Cp) -> bool;
+    /// Size of the dense dependency-location id universe, when the store
+    /// tracks one. A `Some` lets the solver memoize per-location change
+    /// tests in bitsets instead of re-comparing per edge.
+    fn loc_universe(&self) -> Option<usize> {
+        None
+    }
+    /// Builds this store's (empty) worklist; the solver seeds it.
+    fn make_worklist<'a>(&'a self, icfg: &Icfg, all_points: &[Cp]) -> Box<dyn Worklist + 'a>;
+}
+
+/// A sparse-solver worklist. `pop` must return the pending point that is
+/// minimal in `((topo_rank, icfg_priority), cp)` order — the fixpoint's
+/// delayed-widening counts depend on it, so every implementation must agree
+/// or the backends drift apart.
+pub trait Worklist {
+    /// Marks `cp` pending (idempotent).
+    fn push(&mut self, cp: Cp);
+    /// Removes and returns the minimal pending point.
+    fn pop(&mut self) -> Option<Cp>;
+}
+
+// ---------------------------------------------------------------------------
+// Faithful backend: DataDeps + BTreeSet worklist
+// ---------------------------------------------------------------------------
+
+impl DepStore for DataDeps {
+    fn edges_into(&self, cp: Cp) -> &[(u32, Cp)] {
+        self.deps_into(cp)
+    }
+
+    fn edges_into_ret(&self, cp: Cp) -> &[(u32, Cp)] {
+        self.deps_into_ret(cp)
+    }
+
+    fn edges_out(&self, cp: Cp) -> &[(u32, Cp)] {
+        self.deps_out(cp)
+    }
+
+    fn is_cycle_node(&self, cp: Cp) -> bool {
+        self.cycle_nodes.contains(&cp)
+    }
+
+    fn make_worklist<'a>(&'a self, icfg: &Icfg, all_points: &[Cp]) -> Box<dyn Worklist + 'a> {
+        // Priority: dependency-graph topological rank (producers first),
+        // with the ICFG priority as a deterministic tiebreak for nodes
+        // outside the dependency graph.
+        let mut prio = FxHashMap::default();
+        for &cp in all_points {
+            let rank = self.topo_rank.get(&cp).copied().unwrap_or(0);
+            prio.insert(cp, (rank, icfg.priority[&cp]));
+        }
+        Box::new(BTreeWorklist {
+            set: BTreeSet::new(),
+            prio,
+        })
+    }
+}
+
+/// The original ordered worklist: a `BTreeSet` of `(priority, point)`.
+struct BTreeWorklist {
+    set: BTreeSet<((u32, u32), Cp)>,
+    prio: FxHashMap<Cp, (u32, u32)>,
+}
+
+impl Worklist for BTreeWorklist {
+    fn push(&mut self, cp: Cp) {
+        self.set.insert((self.prio[&cp], cp));
+    }
+
+    fn pop(&mut self) -> Option<Cp> {
+        let &(p, cp) = self.set.iter().next()?;
+        self.set.remove(&(p, cp));
+        Some(cp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CSR backend
+// ---------------------------------------------------------------------------
+
+/// One CSR adjacency: `row(i)` is the edge slice of the point with dense
+/// index `i`.
+struct CsrEdges {
+    offsets: Vec<u32>,
+    edges: Vec<(u32, Cp)>,
+}
+
+impl CsrEdges {
+    fn build(
+        program: &Program,
+        num: &PointNumbering,
+        map: &FxHashMap<Cp, Vec<(u32, Cp)>>,
+    ) -> CsrEdges {
+        let mut offsets = Vec::with_capacity(num.len() + 1);
+        let mut edges = Vec::new();
+        offsets.push(0);
+        // `all_points` enumerates procs then nodes in order — exactly the
+        // dense numbering — so each row lands at its own index.
+        for (i, cp) in program.all_points().enumerate() {
+            debug_assert_eq!(num.index(cp), i);
+            if let Some(row) = map.get(&cp) {
+                edges.extend_from_slice(row);
+            }
+            offsets.push(edges.len() as u32);
+        }
+        CsrEdges { offsets, edges }
+    }
+
+    fn row(&self, i: usize) -> &[(u32, Cp)] {
+        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// The CSR dependency store: [`DataDeps`] lowered onto the program's dense
+/// point numbering. Edge rows keep the exact (sorted) order of the source
+/// store, so gathers join values in the same sequence.
+pub struct CsrDeps {
+    num: PointNumbering,
+    into: CsrEdges,
+    into_ret: CsrEdges,
+    out: CsrEdges,
+    cycle: BitSet,
+    /// Dense point index → flat-worklist slot; `u32::MAX` for points that
+    /// are never queued (external procedures).
+    slot_of: Vec<u32>,
+    /// Inverse of `slot_of`: the point each slot stands for, in ascending
+    /// `((topo_rank, icfg_priority), cp)` order.
+    cp_by_slot: Vec<Cp>,
+    /// One past the largest dependency-edge location id.
+    num_locs: usize,
+}
+
+impl CsrDeps {
+    /// Lowers `deps` into the CSR layout and precomputes the flat-worklist
+    /// slot order.
+    pub fn build(program: &Program, icfg: &Icfg, deps: &DataDeps) -> CsrDeps {
+        let num = program.point_numbering();
+        let into = CsrEdges::build(program, &num, &deps.into);
+        let into_ret = CsrEdges::build(program, &num, &deps.into_ret);
+        let out = CsrEdges::build(program, &num, &deps.out);
+        let num_locs = [&into, &into_ret, &out]
+            .iter()
+            .flat_map(|e| e.edges.iter().map(|&(loc, _)| loc as usize + 1))
+            .max()
+            .unwrap_or(0);
+
+        let mut cycle = BitSet::new(num.len());
+        for &cp in &deps.cycle_nodes {
+            cycle.insert(num.index(cp));
+        }
+
+        let mut order: Vec<Cp> = program
+            .all_points()
+            .filter(|cp| !program.procs[cp.proc].is_external)
+            .collect();
+        order.sort_unstable_by_key(|&cp| {
+            let rank = deps.topo_rank.get(&cp).copied().unwrap_or(0);
+            ((rank, icfg.priority[&cp]), cp)
+        });
+        let mut slot_of = vec![u32::MAX; num.len()];
+        for (slot, &cp) in order.iter().enumerate() {
+            slot_of[num.index(cp)] = slot as u32;
+        }
+
+        CsrDeps {
+            num,
+            into,
+            into_ret,
+            out,
+            cycle,
+            slot_of,
+            cp_by_slot: order,
+            num_locs,
+        }
+    }
+
+    /// All `(from, loc, to)` triples, in dense-point then row order.
+    pub fn iter(&self) -> impl Iterator<Item = (Cp, u32, Cp)> + '_ {
+        (0..self.num.len()).flat_map(move |i| {
+            let from = self.num.cp(i);
+            self.out
+                .row(i)
+                .iter()
+                .map(move |&(loc, to)| (from, loc, to))
+        })
+    }
+}
+
+impl DepStore for CsrDeps {
+    fn edges_into(&self, cp: Cp) -> &[(u32, Cp)] {
+        self.into.row(self.num.index(cp))
+    }
+
+    fn edges_into_ret(&self, cp: Cp) -> &[(u32, Cp)] {
+        self.into_ret.row(self.num.index(cp))
+    }
+
+    fn edges_out(&self, cp: Cp) -> &[(u32, Cp)] {
+        self.out.row(self.num.index(cp))
+    }
+
+    fn is_cycle_node(&self, cp: Cp) -> bool {
+        self.cycle.contains(self.num.index(cp))
+    }
+
+    fn loc_universe(&self) -> Option<usize> {
+        Some(self.num_locs)
+    }
+
+    fn make_worklist<'a>(&'a self, _icfg: &Icfg, _all_points: &[Cp]) -> Box<dyn Worklist + 'a> {
+        Box::new(FlatWorklist {
+            deps: self,
+            pending: BitSet::new(self.cp_by_slot.len()),
+            cursor: 0,
+        })
+    }
+}
+
+/// The flat worklist: pending bits over precomputed priority slots, popped
+/// by a forward bit scan from a cursor that pushes can move backward.
+struct FlatWorklist<'a> {
+    deps: &'a CsrDeps,
+    pending: BitSet,
+    cursor: usize,
+}
+
+impl Worklist for FlatWorklist<'_> {
+    fn push(&mut self, cp: Cp) {
+        let slot = self.deps.slot_of[self.deps.num.index(cp)];
+        debug_assert_ne!(slot, u32::MAX, "queued external point {cp:?}");
+        let slot = slot as usize;
+        self.pending.insert(slot);
+        if slot < self.cursor {
+            self.cursor = slot;
+        }
+    }
+
+    fn pop(&mut self) -> Option<Cp> {
+        let slot = self.pending.next_set_from(self.cursor)?;
+        self.pending.remove(slot);
+        self.cursor = slot;
+        Some(self.deps.cp_by_slot[slot])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{defuse, depgen, preanalysis};
+    use proptest::prelude::*;
+    use sga_cfront::parse;
+
+    const LOOPY: &str = r#"
+        int g;
+        int helper(int x) {
+            int y;
+            y = x + 1;
+            g = g + y;
+            return y;
+        }
+        int main() {
+            int i;
+            i = 0;
+            while (i < 10) {
+                i = helper(i);
+            }
+            return g;
+        }
+    "#;
+
+    fn build_both(src: &str) -> (sga_ir::Program, Icfg, DataDeps) {
+        let program = parse(src).unwrap();
+        let pre = preanalysis::run(&program);
+        let icfg = Icfg::build(&program, &pre);
+        let du = defuse::compute(&program, &pre);
+        let deps = depgen::generate(&program, &pre, &du, depgen::DepGenOptions::default());
+        (program, icfg, deps)
+    }
+
+    #[test]
+    fn csr_rows_match_datadeps() {
+        let (program, icfg, deps) = build_both(LOOPY);
+        let csr = CsrDeps::build(&program, &icfg, &deps);
+        for cp in program.all_points() {
+            assert_eq!(
+                csr.edges_into(cp),
+                deps.deps_into(cp),
+                "into rows at {cp:?}"
+            );
+            assert_eq!(
+                csr.edges_into_ret(cp),
+                deps.deps_into_ret(cp),
+                "into_ret rows at {cp:?}"
+            );
+            assert_eq!(csr.edges_out(cp), deps.deps_out(cp), "out rows at {cp:?}");
+            assert_eq!(
+                csr.is_cycle_node(cp),
+                deps.cycle_nodes.contains(&cp),
+                "cycle bit at {cp:?}"
+            );
+        }
+        let mut a: Vec<_> = csr.iter().collect();
+        let mut b: Vec<_> = deps.iter().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "triple sets");
+    }
+
+    #[test]
+    fn backend_parse_roundtrip() {
+        for b in [DepBackend::Bdd, DepBackend::Csr] {
+            assert_eq!(DepBackend::parse(b.as_str()), Some(b));
+        }
+        assert_eq!(DepBackend::parse("hash"), None);
+        assert_eq!(DepBackend::default(), DepBackend::Csr);
+    }
+
+    proptest! {
+        /// The flat worklist and the BTreeSet worklist agree on every pop
+        /// under an arbitrary interleaving of pushes and pops.
+        #[test]
+        fn worklists_pop_identically(ops in prop::collection::vec((0usize..64, any::<bool>()), 1..80)) {
+            let (program, icfg, deps) = build_both(LOOPY);
+            let csr = CsrDeps::build(&program, &icfg, &deps);
+            let all_points: Vec<Cp> = program
+                .all_points()
+                .filter(|cp| !program.procs[cp.proc].is_external)
+                .collect();
+            let mut a = deps.make_worklist(&icfg, &all_points);
+            let mut b = csr.make_worklist(&icfg, &all_points);
+            for (i, push) in ops {
+                if push {
+                    let cp = all_points[i % all_points.len()];
+                    a.push(cp);
+                    b.push(cp);
+                } else {
+                    prop_assert_eq!(a.pop(), b.pop());
+                }
+            }
+            loop {
+                let (x, y) = (a.pop(), b.pop());
+                prop_assert_eq!(x, y);
+                if x.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -18,6 +18,7 @@ use crate::budget::Budget;
 use crate::defuse::{self, DefUse};
 use crate::dense::{self, DenseSpec};
 use crate::depgen::{self, DataDeps, DepGenOptions};
+use crate::depstore::DepBackend;
 use crate::icfg::{EdgeKind, Icfg, InEdge};
 use crate::preanalysis::{self, PreAnalysis};
 use crate::semantics;
@@ -45,6 +46,9 @@ pub enum Engine {
 pub struct AnalyzeOptions {
     /// Dependency-generation options (sparse only).
     pub depgen: DepGenOptions,
+    /// Dependency representation the sparse solver iterates (sparse only;
+    /// results are byte-identical across backends).
+    pub dep_backend: DepBackend,
     /// Derive D̂/Û in the semi-sparse regime (§3.2's Hardekopf & Lin
     /// instance): only top-level variables treated sparsely.
     pub semi_sparse: bool,
@@ -146,7 +150,15 @@ pub fn analyze_with(program: &Program, engine: Engine, options: AnalyzeOptions) 
                 du: &du,
             };
             let fix = Phase::start("fix");
-            let result = sparse::solve_with(program, &icfg, &deps, &spec, &plan, &options.budget);
+            let result = sparse::solve_backend(
+                options.dep_backend,
+                program,
+                &icfg,
+                &deps,
+                &spec,
+                &plan,
+                &options.budget,
+            );
             stats.fix_time = fix.stop();
             stats.iterations = result.iterations;
             stats.degraded = result.degraded;

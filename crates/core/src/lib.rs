@@ -53,6 +53,7 @@ pub mod constprop;
 pub mod defuse;
 pub mod dense;
 pub mod depgen;
+pub mod depstore;
 pub mod icfg;
 pub mod interface;
 pub mod interval;

@@ -167,7 +167,15 @@ pub fn analyze_with(program: &Program, engine: Engine, options: AnalyzeOptions) 
                 odu: &odu,
             };
             let fix = Phase::start("fix");
-            let result = sparse::solve_with(program, &icfg, &deps, &spec, &plan, &options.budget);
+            let result = sparse::solve_backend(
+                options.dep_backend,
+                program,
+                &icfg,
+                &deps,
+                &spec,
+                &plan,
+                &options.budget,
+            );
             stats.fix_time = fix.stop();
             stats.iterations = result.iterations;
             stats.degraded = result.degraded;
@@ -210,7 +218,15 @@ pub(crate) fn sparse_post_fixpoint_check(
         sem: &sem,
         odu: &odu,
     };
-    let result = sparse::solve_with(program, &icfg, &deps, &spec, &plan, &options.budget);
+    let result = sparse::solve_backend(
+        options.dep_backend,
+        program,
+        &icfg,
+        &deps,
+        &spec,
+        &plan,
+        &options.budget,
+    );
     crate::validate::check_sparse_post_fixpoint(program, &deps, &spec, &result.values)
 }
 

@@ -13,12 +13,12 @@
 
 use crate::budget::Budget;
 use crate::depgen::DataDeps;
+use crate::depstore::{CsrDeps, DepBackend, DepStore};
 use crate::icfg::Icfg;
 use crate::widening::WideningPlan;
 use sga_domains::lattice::Lattice;
 use sga_ir::{Cp, Program};
-use sga_utils::{FxHashMap, PMap};
-use std::collections::BTreeSet;
+use sga_utils::{BitSet, FxHashMap, PMap};
 use std::fmt;
 use std::hash::Hash;
 
@@ -116,10 +116,10 @@ pub fn solve<S: SparseSpec>(
 ///
 /// Panics if the ascending phase exceeds its internal iteration backstop
 /// even after degradation (a widening bug).
-pub fn solve_with<S: SparseSpec>(
+pub fn solve_with<S: SparseSpec, D: DepStore + ?Sized>(
     program: &Program,
     icfg: &Icfg,
-    deps: &DataDeps,
+    deps: &D,
     spec: &S,
     plan: &WideningPlan,
     budget: &Budget,
@@ -130,19 +130,20 @@ pub fn solve_with<S: SparseSpec>(
         .all_points()
         .filter(|cp| !program.procs[cp.proc].is_external)
         .collect();
-    // Priority: dependency-graph topological rank (producers first), with
-    // the ICFG priority as a deterministic tiebreak for nodes outside the
-    // dependency graph.
-    let prio = |cp: Cp| -> (u32, u32) {
-        (
-            deps.topo_rank.get(&cp).copied().unwrap_or(0),
-            icfg.priority[&cp],
-        )
-    };
-    let mut worklist: BTreeSet<((u32, u32), Cp)> = BTreeSet::new();
+    // The backend supplies the worklist; every implementation pops the
+    // pending point minimal in ((topo rank, ICFG priority), cp) order, so
+    // the fixpoint trajectory is backend-independent.
+    let mut worklist = deps.make_worklist(icfg, &all_points);
     for &cp in &all_points {
-        worklist.insert((prio(cp), cp));
+        worklist.push(cp);
     }
+    // Per-location change memoization: with a dense location-id universe
+    // (the CSR backend) the old-vs-new comparison runs once per distinct
+    // location instead of once per out-edge; the requeued target set is
+    // identical either way.
+    let mut loc_scratch = deps
+        .loc_universe()
+        .map(|n| (BitSet::new(n), BitSet::new(n), Vec::<u32>::new()));
 
     let gather = |values: &FxHashMap<Cp, PMap<S::L, S::V>>,
                   edges: &[(u32, Cp)],
@@ -170,8 +171,8 @@ pub fn solve_with<S: SparseSpec>(
         } else {
             PMap::new()
         };
-        let pre = gather(values, deps.deps_into(cp), seed);
-        let ret = gather(values, deps.deps_into_ret(cp), PMap::new());
+        let pre = gather(values, deps.edges_into(cp), seed);
+        let ret = gather(values, deps.edges_into_ret(cp), PMap::new());
         (pre, ret)
     };
 
@@ -207,8 +208,7 @@ pub fn solve_with<S: SparseSpec>(
     // only *changed* joins makes the count independent of how many no-op
     // requeues the evaluation order produces.
     let mut widen_delay: FxHashMap<Cp, u32> = FxHashMap::default();
-    while let Some(&(rank, cp)) = worklist.iter().next() {
-        worklist.remove(&(rank, cp));
+    while let Some(cp) = worklist.pop() {
         iterations += 1;
         assert!(
             iterations <= backstop,
@@ -218,7 +218,7 @@ pub fn solve_with<S: SparseSpec>(
         let (pre, ret) = assemble(&values, cp);
         let mut out = spec.transfer(cp, &pre, &ret);
         let old = values.get(&cp);
-        if deps.cycle_nodes.contains(&cp) {
+        if deps.is_cycle_node(cp) {
             if let Some(old) = old {
                 let joined = join_map(old, &out);
                 if joined == *old {
@@ -240,12 +240,35 @@ pub fn solve_with<S: SparseSpec>(
         }
         if old != Some(&out) {
             // Requeue only dependency targets whose location changed.
-            for &(loc_id, to) in deps.deps_out(cp) {
-                let l = spec.loc_of(loc_id);
-                let old_v = old.and_then(|m| m.get(&l));
-                let new_v = out.get(&l);
-                if old_v != new_v {
-                    worklist.insert((prio(to), to));
+            match &mut loc_scratch {
+                Some((touched, changed, dirty)) => {
+                    for &id in dirty.iter() {
+                        touched.remove(id as usize);
+                        changed.remove(id as usize);
+                    }
+                    dirty.clear();
+                    for &(loc_id, to) in deps.edges_out(cp) {
+                        let li = loc_id as usize;
+                        if !touched.contains(li) {
+                            touched.insert(li);
+                            dirty.push(loc_id);
+                            let l = spec.loc_of(loc_id);
+                            if old.and_then(|m| m.get(&l)) != out.get(&l) {
+                                changed.insert(li);
+                            }
+                        }
+                        if changed.contains(li) {
+                            worklist.push(to);
+                        }
+                    }
+                }
+                None => {
+                    for &(loc_id, to) in deps.edges_out(cp) {
+                        let l = spec.loc_of(loc_id);
+                        if old.and_then(|m| m.get(&l)) != out.get(&l) {
+                            worklist.push(to);
+                        }
+                    }
                 }
             }
             values.insert(cp, out);
@@ -262,11 +285,10 @@ pub fn solve_with<S: SparseSpec>(
     let mut desc_count: FxHashMap<Cp, u8> = FxHashMap::default();
     if !degraded {
         for &cp in &all_points {
-            worklist.insert((prio(cp), cp));
+            worklist.push(cp);
         }
     }
-    while let Some(&(rank, cp)) = worklist.iter().next() {
-        worklist.remove(&(rank, cp));
+    while let Some(cp) = worklist.pop() {
         let count = desc_count.entry(cp).or_insert(0);
         if *count >= MAX_DESCENDS_PER_POINT {
             continue;
@@ -276,14 +298,40 @@ pub fn solve_with<S: SparseSpec>(
         let (pre, ret) = assemble(&values, cp);
         let candidate = spec.transfer(cp, &pre, &ret);
         let new_out = match values.get(&cp) {
-            Some(old) if deps.cycle_nodes.contains(&cp) => narrow_map(old, &candidate),
+            Some(old) if deps.is_cycle_node(cp) => narrow_map(old, &candidate),
             _ => candidate,
         };
         if values.get(&cp) != Some(&new_out) {
-            for &(loc_id, to) in deps.deps_out(cp) {
-                let l = spec.loc_of(loc_id);
-                if values.get(&cp).and_then(|m| m.get(&l)) != new_out.get(&l) {
-                    worklist.insert((prio(to), to));
+            let old = values.get(&cp);
+            match &mut loc_scratch {
+                Some((touched, changed, dirty)) => {
+                    for &id in dirty.iter() {
+                        touched.remove(id as usize);
+                        changed.remove(id as usize);
+                    }
+                    dirty.clear();
+                    for &(loc_id, to) in deps.edges_out(cp) {
+                        let li = loc_id as usize;
+                        if !touched.contains(li) {
+                            touched.insert(li);
+                            dirty.push(loc_id);
+                            let l = spec.loc_of(loc_id);
+                            if old.and_then(|m| m.get(&l)) != new_out.get(&l) {
+                                changed.insert(li);
+                            }
+                        }
+                        if changed.contains(li) {
+                            worklist.push(to);
+                        }
+                    }
+                }
+                None => {
+                    for &(loc_id, to) in deps.edges_out(cp) {
+                        let l = spec.loc_of(loc_id);
+                        if old.and_then(|m| m.get(&l)) != new_out.get(&l) {
+                            worklist.push(to);
+                        }
+                    }
                 }
             }
             values.insert(cp, new_out);
@@ -295,5 +343,27 @@ pub fn solve_with<S: SparseSpec>(
         iterations,
         narrowing_rounds,
         degraded,
+    }
+}
+
+/// Runs [`solve_with`] through the representation `backend` selects:
+/// `Bdd` iterates `deps` directly (the faithful set/BDD store family),
+/// `Csr` first lowers it to the CSR layout ([`CsrDeps`]). Results are
+/// byte-identical by the equivalence invariant in [`crate::depstore`].
+pub fn solve_backend<S: SparseSpec>(
+    backend: DepBackend,
+    program: &Program,
+    icfg: &Icfg,
+    deps: &DataDeps,
+    spec: &S,
+    plan: &WideningPlan,
+    budget: &Budget,
+) -> SparseResult<S::L, S::V> {
+    match backend {
+        DepBackend::Bdd => solve_with(program, icfg, deps, spec, plan, budget),
+        DepBackend::Csr => {
+            let csr = CsrDeps::build(program, icfg, deps);
+            solve_with(program, icfg, &csr, spec, plan, budget)
+        }
     }
 }

@@ -44,6 +44,7 @@
 use crate::budget::Budget;
 use crate::checker;
 use crate::depgen::DepGenOptions;
+use crate::depstore::DepBackend;
 use crate::interval::{AnalyzeOptions, Engine};
 use crate::octagon::{self, OctagonResult};
 use crate::preanalysis::PreAnalysis;
@@ -61,6 +62,8 @@ pub struct TriageOptions {
     pub engine: Engine,
     /// Dependency-generation options for the sparse octagon run.
     pub depgen: DepGenOptions,
+    /// Dependency representation for the sparse octagon run.
+    pub dep_backend: DepBackend,
     /// Widening strategy for the octagon run.
     pub widening: WideningConfig,
     /// Work budget for the octagon fixpoint (see [`derived_budget`]).
@@ -72,6 +75,7 @@ impl Default for TriageOptions {
         TriageOptions {
             engine: Engine::Sparse,
             depgen: DepGenOptions::default(),
+            dep_backend: DepBackend::default(),
             widening: WideningConfig::default(),
             budget: Budget::unbounded(),
         }
@@ -139,6 +143,7 @@ pub fn discharge(
         options.engine,
         AnalyzeOptions {
             depgen: options.depgen,
+            dep_backend: options.dep_backend,
             semi_sparse: false,
             widening: options.widening,
             budget: options.budget,

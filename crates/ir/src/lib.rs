@@ -29,4 +29,4 @@ pub mod validate;
 pub use builder::ProcBuilder;
 pub use expr::{BinOp, Callee, Cmd, Cond, Expr, LVal, RelOp, UnOp};
 pub use proc::{Node, NodeId, Proc, ProcId};
-pub use program::{Cp, FieldId, Program, VarId, VarInfo, VarKind};
+pub use program::{Cp, FieldId, PointNumbering, Program, VarId, VarInfo, VarKind};

@@ -62,6 +62,7 @@ pub use unit::{analyze_unit, analyze_unit_traced, ProcArtifact, UnitAnalysis, Un
 use journal::JournalRecord;
 use sga_core::budget::Budget;
 use sga_core::depgen::DepGenOptions;
+use sga_core::depstore::DepBackend;
 use sga_core::interval::AnalyzeOptions;
 use sga_core::validate::{self, CheckKind, UnitValidation, ValidationInputs};
 use sga_core::widening::WideningConfig;
@@ -137,6 +138,11 @@ pub struct PipelineOptions {
     pub canonical: bool,
     /// Dependency-generation options forwarded to the sparse analysis.
     pub depgen: DepGenOptions,
+    /// Dependency representation the sparse solver iterates. Part of the
+    /// cache key (no cross-backend hits) but not of the canonical report:
+    /// backends are byte-equivalent by construction, and the CI backend
+    /// gate compares canonical reports across them.
+    pub dep_backend: DepBackend,
     /// Widening strategy forwarded to the fixpoint solver.
     pub widening: WideningConfig,
     /// Record a crashing unit and keep analyzing the rest (`true`, the
@@ -176,6 +182,7 @@ impl Default for PipelineOptions {
             cache_max_entries: None,
             canonical: false,
             depgen: DepGenOptions::default(),
+            dep_backend: DepBackend::default(),
             widening: WideningConfig::default(),
             keep_going: true,
             budget: Budget::unbounded(),
@@ -515,6 +522,7 @@ fn process_unit(
     i: usize,
     input: &UnitInput,
     key: u64,
+    render_key: u64,
     budget: &Budget,
 ) -> Processed {
     let options = ctx.options;
@@ -548,6 +556,7 @@ fn process_unit(
                 &program,
                 ctx.inner_jobs,
                 options.depgen,
+                options.dep_backend,
                 options.widening,
                 budget,
                 timers,
@@ -564,6 +573,7 @@ fn process_unit(
                     },
                     AnalyzeOptions {
                         depgen: options.depgen,
+                        dep_backend: options.dep_backend,
                         widening: options.widening,
                         budget: *budget,
                         ..AnalyzeOptions::default()
@@ -595,6 +605,7 @@ fn process_unit(
                 &program,
                 ctx.inner_jobs,
                 options.depgen,
+                options.dep_backend,
                 options.widening,
                 budget,
                 timers,
@@ -611,7 +622,7 @@ fn process_unit(
     match caught {
         Ok(Ok((status, a, validation))) => {
             let invalid = validation.as_ref().is_some_and(|v| !v.is_valid());
-            let json = render_analyzed(&input.name, key, status, &a, validation.as_ref());
+            let json = render_analyzed(&input.name, render_key, status, &a, validation.as_ref());
             Processed {
                 json,
                 failure: None,
@@ -621,7 +632,7 @@ fn process_unit(
             }
         }
         Ok(Err(message)) => Processed {
-            json: render_crashed(&input.name, key, &message),
+            json: render_crashed(&input.name, render_key, &message),
             failure: Some((journal::Failure::Frontend, message)),
             analysis: None,
             store: false,
@@ -629,13 +640,33 @@ fn process_unit(
         Err(payload) => {
             let message = panic_message(payload);
             Processed {
-                json: render_crashed(&input.name, key, &message),
+                json: render_crashed(&input.name, render_key, &message),
                 failure: Some((journal::Failure::Panic, message)),
                 analysis: None,
                 store: false,
             }
         }
     }
+}
+
+/// The options part of every unit cache key: dependency options, widening,
+/// and the dependency backend. Keeping the backend in the key means a CSR
+/// run never serves a BDD run's entries (or vice versa) — equivalence is a
+/// *gated invariant*, not an assumption the cache is allowed to make.
+fn base_cache_tag(options: &PipelineOptions) -> String {
+    format!(
+        "{:?}|{:?}|{}",
+        options.depgen, options.widening, options.dep_backend
+    )
+}
+
+/// The options part of the *rendered* `source_hash`: only knobs that shape
+/// the analysis result (dependency options, widening; the budget joins per
+/// unit). The dependency backend is deliberately absent — backends must
+/// produce byte-identical canonical reports, so a run-mechanics knob may
+/// split the cache key but never the rendered hash.
+fn semantic_tag(options: &PipelineOptions) -> String {
+    format!("{:?}|{:?}", options.depgen, options.widening)
 }
 
 /// One unit's result from [`analyze_units`].
@@ -670,7 +701,8 @@ pub fn analyze_units(
         timers: &timers,
         inner_jobs: (jobs / units.len().max(1)).max(1),
     };
-    let base_tag = format!("{:?}|{:?}", options.depgen, options.widening);
+    let base_tag = base_cache_tag(options);
+    let sem_tag = semantic_tag(options);
     let prev_hook = if options.keep_going {
         let hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
@@ -682,7 +714,9 @@ pub fn analyze_units(
         let budget = options.faults.budget_for(i).unwrap_or(options.budget);
         let options_tag = format!("{base_tag}|{}", budget.cache_tag());
         let key = cache::unit_key(&input.source, &options_tag);
-        let p = process_unit(&ctx, i, input, key, &budget);
+        let render_key =
+            cache::unit_key(&input.source, &format!("{sem_tag}|{}", budget.cache_tag()));
+        let p = process_unit(&ctx, i, input, key, render_key, &budget);
         if p.store {
             if let (Some(c), Some(a)) = (cache, &p.analysis) {
                 let _ = c.store(&input.name, key, a);
@@ -769,6 +803,10 @@ pub fn assemble_report(
         .with("validate", options.validate);
     if !options.canonical {
         opts_json.set("jobs", effective_jobs(options.jobs));
+        // Like `jobs`: run mechanics, not semantics. The backends are
+        // byte-equivalent (backend-gate enforces it), so the canonical
+        // report must not mention which one ran.
+        opts_json.set("dep_backend", options.dep_backend.as_str());
     }
 
     let looked_up = hits + misses;
@@ -861,11 +899,13 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
     // Thread budget: units run concurrently; whatever head room is left
     // over goes to procedure-level parallelism inside each unit.
     let inner_jobs = (jobs / units.len().max(1)).max(1);
-    // Dependency options, the widening strategy, and the analysis budget all
-    // shape the fixpoint, so all three are part of the cache key. The budget
-    // joins per unit (below) because fault injection can override it for a
-    // single unit without disturbing its neighbors' keys.
-    let base_tag = format!("{:?}|{:?}", options.depgen, options.widening);
+    // Dependency options, the widening strategy, the dependency backend,
+    // and the analysis budget all shape the fixpoint run, so all four are
+    // part of the cache key. The budget joins per unit (below) because
+    // fault injection can override it for a single unit without disturbing
+    // its neighbors' keys.
+    let base_tag = base_cache_tag(options);
+    let sem_tag = semantic_tag(options);
 
     // With keep_going, worker panics are expected, caught, and recorded in
     // the report — silence the default hook's per-panic backtrace spew for
@@ -906,6 +946,8 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
             let budget = options.faults.budget_for(i).unwrap_or(options.budget);
             let options_tag = format!("{base_tag}|{}", budget.cache_tag());
             let key = cache::unit_key(&input.source, &options_tag);
+            let render_key =
+                cache::unit_key(&input.source, &format!("{sem_tag}|{}", budget.cache_tag()));
 
             // A journaled unit is already committed: replay its record
             // verbatim — before fault injection, so a fault that killed the
@@ -942,7 +984,7 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
                 fault_stop.store(true, Ordering::Relaxed);
             }
 
-            let p = process_unit(&ctx, i, input, key, &budget);
+            let p = process_unit(&ctx, i, input, key, render_key, &budget);
 
             if let Some(j) = &journal {
                 // Write-ahead ordering: the journal record commits *before*
@@ -1064,4 +1106,38 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
         report.set("timing_ms", timing);
     }
     Ok(report)
+}
+
+#[cfg(test)]
+mod tag_tests {
+    use super::*;
+    use sga_core::depstore::DepBackend;
+
+    /// The dependency backend splits the cache key (a CSR run must never
+    /// serve a BDD run's entries) without splitting the rendered
+    /// `source_hash` (canonical reports must be byte-identical across
+    /// backends).
+    #[test]
+    fn backend_splits_cache_key_but_not_rendered_hash() {
+        let csr = PipelineOptions {
+            dep_backend: DepBackend::Csr,
+            ..PipelineOptions::default()
+        };
+        let bdd = PipelineOptions {
+            dep_backend: DepBackend::Bdd,
+            ..PipelineOptions::default()
+        };
+        assert_ne!(base_cache_tag(&csr), base_cache_tag(&bdd));
+        assert_eq!(semantic_tag(&csr), semantic_tag(&bdd));
+
+        let source = "int main() { return 0; }";
+        assert_ne!(
+            cache::unit_key(source, &base_cache_tag(&csr)),
+            cache::unit_key(source, &base_cache_tag(&bdd)),
+        );
+        assert_eq!(
+            cache::unit_key(source, &semantic_tag(&csr)),
+            cache::unit_key(source, &semantic_tag(&bdd)),
+        );
+    }
 }

@@ -23,6 +23,7 @@
 use crate::par;
 use sga_core::budget::Budget;
 use sga_core::depgen::{self, DepGenOptions, IntervalDepSource};
+use sga_core::depstore::DepBackend;
 use sga_core::icfg::Icfg;
 use sga_core::interface::{self, UnitInterface};
 use sga_core::interval::{Engine, IntervalResult, IntervalSparseSpec};
@@ -136,11 +137,15 @@ pub fn analyze_unit(
     program: &Program,
     jobs: usize,
     options: DepGenOptions,
+    backend: DepBackend,
     widening: WideningConfig,
     budget: &Budget,
     timers: &StageTimers,
 ) -> UnitAnalysis {
-    analyze_unit_inner(program, jobs, options, widening, budget, timers, false).0
+    analyze_unit_inner(
+        program, jobs, options, backend, widening, budget, timers, false,
+    )
+    .0
 }
 
 /// [`analyze_unit`] keeping the solver internals alive for the validation
@@ -149,22 +154,26 @@ pub fn analyze_unit_traced(
     program: &Program,
     jobs: usize,
     options: DepGenOptions,
+    backend: DepBackend,
     widening: WideningConfig,
     budget: &Budget,
     timers: &StageTimers,
 ) -> (UnitAnalysis, UnitInternals) {
-    let (analysis, internals) =
-        analyze_unit_inner(program, jobs, options, widening, budget, timers, true);
+    let (analysis, internals) = analyze_unit_inner(
+        program, jobs, options, backend, widening, budget, timers, true,
+    );
     (
         analysis,
         internals.expect("traced analysis keeps internals"),
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn analyze_unit_inner(
     program: &Program,
     jobs: usize,
     options: DepGenOptions,
+    backend: DepBackend,
     widening: WideningConfig,
     budget: &Budget,
     timers: &StageTimers,
@@ -236,7 +245,7 @@ fn analyze_unit_inner(
             du: &du,
         };
         let plan = WideningPlan::for_program(program, widening);
-        let solved = sparse::solve_with(program, &icfg, &deps, &spec, &plan, budget);
+        let solved = sparse::solve_backend(backend, program, &icfg, &deps, &spec, &plan, budget);
         let sparse_values = keep_internals.then(|| solved.values.clone());
         let values: FxHashMap<Cp, State> = solved
             .values
@@ -267,6 +276,7 @@ fn analyze_unit_inner(
         let topts = TriageOptions {
             engine: Engine::Sparse,
             depgen: options,
+            dep_backend: backend,
             widening,
             budget: triage::derived_budget(iterations, budget),
         };

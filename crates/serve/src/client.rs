@@ -100,6 +100,21 @@ pub fn shutdown(addr: &str) -> std::io::Result<String> {
 pub fn watch(
     addr: &str,
     max_events: Option<usize>,
+    on_event: impl FnMut(&str),
+) -> std::io::Result<()> {
+    watch_ready(addr, max_events, |_| {}, on_event)
+}
+
+/// [`watch`], surfacing the daemon's subscription acknowledgment:
+/// `on_ready` receives the ack line (`{"ok":true,"subscribed":true}`)
+/// before any event can arrive. The daemon sends the ack under its
+/// broadcast lock *before* registering the subscriber, so once a caller
+/// has seen it, no subsequent edit round's event can be missed — the
+/// synchronization point the CI serve gate waits on instead of sleeping.
+pub fn watch_ready(
+    addr: &str,
+    max_events: Option<usize>,
+    mut on_ready: impl FnMut(&str),
     mut on_event: impl FnMut(&str),
 ) -> std::io::Result<()> {
     let mut conn = Conn::connect(addr)?;
@@ -109,7 +124,7 @@ pub fn watch(
     let mut lines = BufReader::new(read).lines();
     // First line is the subscription ack, not an event.
     match lines.next() {
-        Some(Ok(_ack)) => {}
+        Some(Ok(ack)) => on_ready(ack.trim_end()),
         Some(Err(e)) => return Err(e),
         None => return Ok(()),
     }

@@ -126,26 +126,41 @@ fn tcp_protocol_end_to_end() {
         "daemon report must match the cold batch run byte for byte"
     );
 
-    // `client::watch` — the `sga watch` code path — sees later rounds.
+    // `client::watch_ready` — the `sga watch` code path — sees later
+    // rounds. The ack is sent before the subscriber is registered, so once
+    // it arrives a single edit is guaranteed to stream back: no probing,
+    // no sleeps.
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel::<String>();
     let (tx, rx) = std::sync::mpsc::channel::<String>();
     let watch_addr = addr.clone();
     let watcher = std::thread::spawn(move || {
-        client::watch(&watch_addr, Some(1), |event| {
-            let _ = tx.send(event.to_string());
-        })
+        client::watch_ready(
+            &watch_addr,
+            Some(1),
+            |ack| {
+                let _ = ready_tx.send(ack.to_string());
+            },
+            |event| {
+                let _ = tx.send(event.to_string());
+            },
+        )
     });
-    // The watcher subscribes asynchronously; probe with distinct edits
-    // until it reports in (each probe is also seen by the raw subscribers).
-    let mut watched: Option<String> = None;
-    for probe in 0..5 {
-        let source = format!("{APP_CLEAN}int probe{probe}() {{ return {probe}; }}\n");
-        client::edit(&addr, "app.c", &source).expect("probe edit");
-        if let Ok(event) = rx.recv_timeout(Duration::from_secs(10)) {
-            watched = Some(event);
-            break;
-        }
-    }
-    let watched = watched.expect("client::watch never received an event");
+    let ack = ready_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("subscribe ack");
+    assert_eq!(
+        Json::parse(&ack)
+            .expect("ack is JSON")
+            .get("subscribed")
+            .and_then(Json::as_bool),
+        Some(true),
+        "watch_ready must surface the subscription ack"
+    );
+    let source = format!("{APP_CLEAN}int probe() {{ return 7; }}\n");
+    client::edit(&addr, "app.c", &source).expect("watched edit");
+    let watched = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("client::watch never received an event");
     let event = Json::parse(&watched).expect("watched event is JSON");
     assert_eq!(event.get("event").and_then(Json::as_str), Some("diff"));
     assert_eq!(strings(event.get("edited")), ["app.c"]);

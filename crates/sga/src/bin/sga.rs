@@ -2,16 +2,17 @@
 //!
 //! ```text
 //! sga <file.c> [--engine vanilla|base|sparse] [--domain interval|octagon]
-//!              [--widening naive|threshold|delayed]
+//!              [--widening naive|threshold|delayed] [--dep-backend bdd|csr]
 //!              [--max-steps N] [--timeout-ms N]
 //!              [--check] [--dump-ir] [--dump-values] [--stats]
 //! sga check <file.c> [--sarif FILE] [--engine vanilla|base|sparse]
-//!           [--widening naive|threshold|delayed]
+//!           [--widening naive|threshold|delayed] [--dep-backend bdd|csr]
 //!           [--max-steps N] [--timeout-ms N]
 //! sga analyze <dir> | --corpus units=N,kloc=K,seed=S
 //!             [--jobs N (0=auto)] [--cache-dir D] [--no-cache] [--canonical]
 //!             [--cache-max-entries N]
 //!             [--no-bypass] [--widening naive|threshold|delayed]
+//!             [--dep-backend bdd|csr]
 //!             [--keep-going | --fail-fast] [--max-steps N] [--timeout-ms N]
 //!             [--resume] [--validate] [--journal-dir D]
 //!             [--quarantine-keep N] [--faults SPEC] [--out FILE]
@@ -19,7 +20,7 @@
 //! sga serve <dir> [--tcp ADDR] [--unix PATH] [--port-file FILE]
 //!           [--poll-ms N] [--jobs N (0=auto)] [--cache-dir D] [--no-cache]
 //!           [--cache-max-entries N] [--no-bypass]
-//!           [--widening naive|threshold|delayed]
+//!           [--widening naive|threshold|delayed] [--dep-backend bdd|csr]
 //!           [--max-steps N] [--timeout-ms N]
 //! sga watch <addr> [--once | --max-events N | --report | --status
 //!           | --edit UNIT FILE | --shutdown]
@@ -44,7 +45,11 @@
 //! `--fail-fast` aborts the run on the first failure. `--max-steps` /
 //! `--timeout-ms` bound each unit's fixpoint — over-budget units degrade
 //! soundly and are marked `degraded`. `--faults` injects deterministic
-//! faults for testing (see `pipeline::fault`).
+//! faults for testing (see `pipeline::fault`). `--dep-backend` selects the
+//! dependency representation the sparse solver iterates — `csr` (default,
+//! compact adjacency + flat worklist) or `bdd` (the faithful §5 store) —
+//! with byte-identical canonical reports either way; the choice is part of
+//! the unit cache key, so the two backends never share cache entries.
 //!
 //! Batch runs are durable and checkable: every finished unit is committed
 //! to a write-ahead journal before its cache store, `--resume` replays
@@ -84,6 +89,7 @@
 //! (a partial or invalid run's baseline diff is itself suspect).
 
 use sga::analysis::budget::Budget;
+use sga::analysis::depstore::DepBackend;
 use sga::analysis::interval::{self, AnalyzeOptions, Engine};
 use sga::analysis::triage::{self, TriageOptions};
 use sga::analysis::widening::{WideningConfig, WideningStrategy};
@@ -99,6 +105,7 @@ struct Options {
     engine: Engine,
     domain: Domain,
     widening: WideningConfig,
+    dep_backend: DepBackend,
     budget: Budget,
     check: bool,
     dump_ir: bool,
@@ -115,6 +122,7 @@ enum Domain {
 const USAGE: &str = "usage: sga <file.c> [--engine vanilla|base|sparse] \
                      [--domain interval|octagon] \
                      [--widening naive|threshold|delayed] \
+                     [--dep-backend bdd|csr] \
                      [--max-steps N] [--timeout-ms N] [--check] [--dump-ir] \
                      [--dump-values] [--stats]";
 
@@ -129,6 +137,7 @@ fn parse_args() -> Result<Options, String> {
     let mut engine = Engine::Sparse;
     let mut domain = Domain::Interval;
     let mut widening = WideningConfig::default();
+    let mut dep_backend = DepBackend::default();
     let mut budget = Budget::unbounded();
     let (mut check, mut dump_ir, mut dump_values, mut stats) = (false, false, false, false);
     let mut args = std::env::args().skip(1);
@@ -155,6 +164,12 @@ fn parse_args() -> Result<Options, String> {
                     None => return Err("bad --widening (naive|threshold|delayed)".to_string()),
                 }
             }
+            "--dep-backend" => {
+                dep_backend = match args.next().as_deref().and_then(DepBackend::parse) {
+                    Some(b) => b,
+                    None => return Err("bad --dep-backend (bdd|csr)".to_string()),
+                }
+            }
             "--max-steps" => budget.max_steps = Some(num_flag("--max-steps", args.next())?),
             "--timeout-ms" => budget.timeout_ms = Some(num_flag("--timeout-ms", args.next())?),
             "--check" => check = true,
@@ -172,6 +187,7 @@ fn parse_args() -> Result<Options, String> {
         engine,
         domain,
         widening,
+        dep_backend,
         budget,
         check,
         dump_ir,
@@ -184,6 +200,7 @@ const ANALYZE_USAGE: &str = "usage: sga analyze <dir> | --corpus units=N,kloc=K,
                              [--jobs N (0=auto)] [--cache-dir D] [--no-cache] [--canonical] \
                              [--cache-max-entries N] \
                              [--no-bypass] [--widening naive|threshold|delayed] \
+                             [--dep-backend bdd|csr] \
                              [--keep-going | --fail-fast] \
                              [--max-steps N] [--timeout-ms N] \
                              [--resume] [--validate] [--journal-dir D] \
@@ -251,6 +268,12 @@ fn parse_analyze_args(
                 opts.widening = match args.next().as_deref().and_then(WideningStrategy::parse) {
                     Some(s) => WideningConfig::of(s),
                     None => return Err("bad --widening (naive|threshold|delayed)".to_string()),
+                }
+            }
+            "--dep-backend" => {
+                opts.dep_backend = match args.next().as_deref().and_then(DepBackend::parse) {
+                    Some(b) => b,
+                    None => return Err("bad --dep-backend (bdd|csr)".to_string()),
                 }
             }
             "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
@@ -372,6 +395,7 @@ fn diagnose(
     result: &interval::IntervalResult,
     engine: Engine,
     widening: WideningConfig,
+    dep_backend: DepBackend,
     budget: &Budget,
 ) -> (Vec<Diagnostic>, triage::TriageStats) {
     let pre = preanalysis::run(program);
@@ -383,6 +407,7 @@ fn diagnose(
         &TriageOptions {
             engine,
             widening,
+            dep_backend,
             budget: triage::derived_budget(result.stats.iterations, budget),
             ..TriageOptions::default()
         },
@@ -408,6 +433,7 @@ fn print_diagnostics(diags: &[Diagnostic], stats: &triage::TriageStats) -> bool 
 const CHECK_USAGE: &str = "usage: sga check <file.c> [--sarif FILE] \
                            [--engine vanilla|base|sparse] \
                            [--widening naive|threshold|delayed] \
+                           [--dep-backend bdd|csr] \
                            [--max-steps N] [--timeout-ms N]";
 
 /// `sga check <file.c> [--sarif FILE]`: structured diagnostics with octagon
@@ -417,6 +443,7 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
     let mut sarif_out: Option<PathBuf> = None;
     let mut engine = Engine::Sparse;
     let mut widening = WideningConfig::default();
+    let mut dep_backend = DepBackend::default();
     let mut budget = Budget::unbounded();
     let mut args = args.peekable();
     let err = |msg: String| {
@@ -441,6 +468,12 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
                 widening = match args.next().as_deref().and_then(WideningStrategy::parse) {
                     Some(s) => WideningConfig::of(s),
                     None => return err("bad --widening (naive|threshold|delayed)".into()),
+                }
+            }
+            "--dep-backend" => {
+                dep_backend = match args.next().as_deref().and_then(DepBackend::parse) {
+                    Some(b) => b,
+                    None => return err("bad --dep-backend (bdd|csr)".into()),
                 }
             }
             "--max-steps" => match num_flag("--max-steps", args.next()) {
@@ -472,6 +505,7 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
         engine,
         AnalyzeOptions {
             widening,
+            dep_backend,
             budget,
             ..AnalyzeOptions::default()
         },
@@ -479,7 +513,7 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
     if result.stats.degraded {
         eprintln!("sga: analysis budget exhausted; result degraded soundly");
     }
-    let (diags, stats) = diagnose(&program, &result, engine, widening, &budget);
+    let (diags, stats) = diagnose(&program, &result, engine, widening, dep_backend, &budget);
     let definite = print_diagnostics(&diags, &stats);
     if let Some(path) = sarif_out {
         let log = sga::diag::sarif::to_sarif(&file, &diags);
@@ -580,6 +614,7 @@ const SERVE_USAGE: &str = "usage: sga serve <dir> [--tcp ADDR] [--unix PATH] \
                            [--port-file FILE] [--poll-ms N] [--jobs N (0=auto)] \
                            [--cache-dir D] [--no-cache] [--cache-max-entries N] \
                            [--no-bypass] [--widening naive|threshold|delayed] \
+                           [--dep-backend bdd|csr] \
                            [--max-steps N] [--timeout-ms N]";
 
 /// `sga serve <dir>`: incremental analysis daemon over a corpus directory.
@@ -633,6 +668,12 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> ExitCode {
                 opts.widening = match args.next().as_deref().and_then(WideningStrategy::parse) {
                     Some(s) => WideningConfig::of(s),
                     None => return err("bad --widening (naive|threshold|delayed)".into()),
+                }
+            }
+            "--dep-backend" => {
+                opts.dep_backend = match args.next().as_deref().and_then(DepBackend::parse) {
+                    Some(b) => b,
+                    None => return err("bad --dep-backend (bdd|csr)".into()),
                 }
             }
             "--max-steps" => match num_flag("--max-steps", args.next()) {
@@ -736,9 +777,21 @@ fn run_watch(mut args: impl Iterator<Item = String>) -> ExitCode {
     };
     let reply = match cmd {
         Cmd::Stream => {
-            return match sga::serve::client::watch(&addr, max_events, |event| {
-                println!("{event}");
-            }) {
+            // The ack line is printed (and flushed) before any event, so a
+            // script can wait for `"subscribed"` in the output instead of
+            // sleeping and hoping the subscriber registered in time.
+            return match sga::serve::client::watch_ready(
+                &addr,
+                max_events,
+                |ack| {
+                    println!("{ack}");
+                    let _ = std::io::Write::flush(&mut std::io::stdout());
+                },
+                |event| {
+                    println!("{event}");
+                    let _ = std::io::Write::flush(&mut std::io::stdout());
+                },
+            ) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => err(format!("sga: watch {addr}: {e}")),
             };
@@ -815,6 +868,7 @@ fn main() -> ExitCode {
                 opts.engine,
                 AnalyzeOptions {
                     widening: opts.widening,
+                    dep_backend: opts.dep_backend,
                     budget: opts.budget,
                     ..AnalyzeOptions::default()
                 },
@@ -846,8 +900,14 @@ fn main() -> ExitCode {
                 }
             }
             if opts.check {
-                let (diags, tstats) =
-                    diagnose(&program, &result, opts.engine, opts.widening, &opts.budget);
+                let (diags, tstats) = diagnose(
+                    &program,
+                    &result,
+                    opts.engine,
+                    opts.widening,
+                    opts.dep_backend,
+                    &opts.budget,
+                );
                 definite = print_diagnostics(&diags, &tstats);
             }
         }
@@ -857,6 +917,7 @@ fn main() -> ExitCode {
                 opts.engine,
                 AnalyzeOptions {
                     widening: opts.widening,
+                    dep_backend: opts.dep_backend,
                     budget: opts.budget,
                     ..AnalyzeOptions::default()
                 },

@@ -166,6 +166,24 @@ impl BitSet {
             .all(|(a, b)| a & !b == 0)
     }
 
+    /// The smallest element `>= from`, if any — the cursor primitive a
+    /// sorted worklist needs (pop scans forward; an insertion behind the
+    /// cursor moves it back).
+    pub fn next_set_from(&self, from: usize) -> Option<usize> {
+        if from >= self.domain_size {
+            return None;
+        }
+        let mut w = from / WORD_BITS;
+        let mut word = self.words[w] & (!0u64 << (from % WORD_BITS));
+        loop {
+            if word != 0 {
+                return Some(w * WORD_BITS + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            word = *self.words.get(w)?;
+        }
+    }
+
     /// Iterates over the elements in ascending order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
@@ -246,6 +264,33 @@ mod tests {
             s.insert(b);
         }
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64, 65, 128, 250]);
+    }
+
+    #[test]
+    fn next_set_from_scans_and_wraps_nothing() {
+        let mut s = BitSet::new(300);
+        for &b in &[3, 64, 65, 250] {
+            s.insert(b);
+        }
+        assert_eq!(s.next_set_from(0), Some(3));
+        assert_eq!(s.next_set_from(3), Some(3));
+        assert_eq!(s.next_set_from(4), Some(64));
+        assert_eq!(s.next_set_from(66), Some(250));
+        assert_eq!(s.next_set_from(251), None);
+        assert_eq!(s.next_set_from(300), None);
+        assert_eq!(BitSet::new(0).next_set_from(0), None);
+    }
+
+    proptest! {
+        #[test]
+        fn next_set_from_matches_iter(bits in prop::collection::btree_set(0usize..512, 0..64), from in 0usize..600) {
+            let mut s = BitSet::new(512);
+            for &b in &bits {
+                s.insert(b);
+            }
+            let expected = bits.iter().copied().find(|&b| b >= from);
+            prop_assert_eq!(s.next_set_from(from), expected);
+        }
     }
 
     #[test]

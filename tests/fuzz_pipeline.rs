@@ -5,7 +5,8 @@
 
 use proptest::prelude::*;
 use sga::analysis::depgen::DepGenOptions;
-use sga::analysis::interval::{analyze, analyze_with, AnalyzeOptions, Engine};
+use sga::analysis::depstore::{CsrDeps, DepBackend};
+use sga::analysis::interval::{analyze, analyze_with, AnalyzeOptions, Engine, Pipeline};
 use sga::analysis::widening::{WideningConfig, WideningStrategy};
 use sga::cgen::GenConfig;
 use sga::domains::{AbsLoc, Lattice};
@@ -249,6 +250,74 @@ proptest! {
                     == w.get("validation").unwrap().to_pretty(),
                 "seed {corpus_seed}: unit {i} validation differs warm vs cold"
             );
+        }
+    }
+
+    /// The two dependency backends are the same relation in different
+    /// clothes: the lowered CSR store must hold exactly the triples of the
+    /// hash-map store (mirrored through the BDD store as a third witness),
+    /// and the sparse fixpoint must produce bit-identical bindings over
+    /// either one.
+    #[test]
+    fn dep_backends_agree(config in arb_config()) {
+        use sga::bdd::DepStore as _;
+        use std::collections::BTreeSet;
+
+        let src = sga::cgen::generate(&config);
+        let program = sga::frontend::parse(&src)
+            .unwrap_or_else(|e| panic!("generated source must parse: {e}"));
+
+        let pl = Pipeline::prepare(&program, AnalyzeOptions::default());
+        let csr = CsrDeps::build(&program, &pl.icfg, &pl.deps);
+        let set_triples: BTreeSet<_> = pl.deps.iter().collect();
+        let csr_triples: BTreeSet<_> = csr.iter().collect();
+        prop_assert!(
+            set_triples == csr_triples,
+            "seed {}: CSR rows diverge from the hash-map rows",
+            config.seed
+        );
+
+        let numbering = program.point_numbering();
+        let mut bdd = sga::bdd::BddDepStore::new(
+            numbering.len() as u32,
+            pl.du.locs.len() as u32,
+        );
+        for (from, loc, to) in pl.deps.iter() {
+            bdd.insert(sga::bdd::relation::DepTriple {
+                from: numbering.index(from) as u32,
+                to: numbering.index(to) as u32,
+                loc,
+            });
+        }
+        prop_assert!(
+            bdd.len() == set_triples.len(),
+            "seed {}: BDD mirror lost or invented triples",
+            config.seed
+        );
+
+        let with_backend = |backend| {
+            analyze_with(
+                &program,
+                Engine::Sparse,
+                AnalyzeOptions {
+                    dep_backend: backend,
+                    ..AnalyzeOptions::default()
+                },
+            )
+        };
+        let over_csr = with_backend(DepBackend::Csr);
+        let over_bdd = with_backend(DepBackend::Bdd);
+        prop_assert_eq!(over_csr.stats.iterations, over_bdd.stats.iterations);
+        prop_assert_eq!(over_csr.values.len(), over_bdd.values.len());
+        for (cp, st) in &over_csr.values {
+            for (loc, v) in st.iter() {
+                let ov = over_bdd.value_at(*cp, loc);
+                prop_assert!(
+                    *v == ov,
+                    "seed {}: backends disagree at {cp} {loc:?}: {v:?} vs {ov:?}",
+                    config.seed
+                );
+            }
         }
     }
 
