@@ -6,20 +6,23 @@
 # pass reports everything that is broken; the final summary table shows
 # per-stage pass/fail and the script exits non-zero if any stage failed.
 #
-# Usage: ci.sh [--quick] [--stage NAME]
+# Usage: ci.sh [--quick] [--stage NAME] [--list]
 #   --quick        skip the release build and the (release-built) bench
 #                  gates — the fast pre-push configuration.
 #   --stage NAME   run exactly one named stage (see ALL_STAGES below);
 #                  exits 2 on an unknown name. Stages that drive the debug
 #                  binary get it built on demand.
+#   --list         print the stage table (name + what it guards) and exit
+#                  without running anything.
 set -uo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES="fmt clippy build-release test diag-gate ignore-gate robustness serve-gate backend-gate bench-gate serve-bench-gate"
+ALL_STAGES="fmt clippy build-release test diag-gate ignore-gate robustness serve-gate chaos-gate backend-gate bench-gate serve-bench-gate"
 
 QUICK=0
 ONLY_STAGE=""
 EXPECT_STAGE=0
+LIST=0
 for arg in "$@"; do
     if [ "$EXPECT_STAGE" -eq 1 ]; then
         ONLY_STAGE="$arg"; EXPECT_STAGE=0; continue
@@ -27,12 +30,30 @@ for arg in "$@"; do
     case "$arg" in
         --quick) QUICK=1 ;;
         --stage) EXPECT_STAGE=1 ;;
-        -h|--help) echo "usage: ci.sh [--quick] [--stage NAME]"; echo "stages: $ALL_STAGES"; exit 0 ;;
-        *) echo "ci.sh: unknown argument '$arg' (usage: ci.sh [--quick] [--stage NAME])" >&2; exit 2 ;;
+        --list) LIST=1 ;;
+        -h|--help) echo "usage: ci.sh [--quick] [--stage NAME] [--list]"; echo "stages: $ALL_STAGES"; exit 0 ;;
+        *) echo "ci.sh: unknown argument '$arg' (usage: ci.sh [--quick] [--stage NAME] [--list])" >&2; exit 2 ;;
     esac
 done
 if [ "$EXPECT_STAGE" -eq 1 ]; then
     echo "ci.sh: --stage needs a name (one of: $ALL_STAGES)" >&2; exit 2
+fi
+if [ "$LIST" -eq 1 ]; then
+    echo "ci.sh stages, in run order (* = skipped under --quick):"
+    printf '  %-18s %s\n' \
+        "fmt"              "rustfmt check over the whole workspace" \
+        "clippy"           "clippy with -D warnings, all targets" \
+        "build-release *"  "release build (tier-1)" \
+        "test"             "cargo test -q: the full tier-1 suite" \
+        "diag-gate"        "alarm triage: golden corpus, SARIF, baseline self-diff" \
+        "ignore-gate"      "no #[ignore] in the precision suite; ignored tests pass" \
+        "robustness"       "panic isolation, sound degradation, cache healing" \
+        "serve-gate"       "daemon over a real socket: diff events + convergence" \
+        "chaos-gate"       "kill -9 the daemon, restart --resume, convergence" \
+        "backend-gate"     "bdd vs csr dependency backends byte-identical" \
+        "bench-gate *"     "pipeline benchmark regression thresholds" \
+        "serve-bench-gate *" "daemon bench: latency, sparsity, flood shedding"
+    exit 0
 fi
 if [ -n "$ONLY_STAGE" ]; then
     case " $ALL_STAGES " in
@@ -42,7 +63,7 @@ if [ -n "$ONLY_STAGE" ]; then
     # The binary-driven gates normally ride on the debug build the `test`
     # stage leaves behind; a single-stage run must provide it itself.
     case "$ONLY_STAGE" in
-        diag-gate|serve-gate|backend-gate)
+        diag-gate|serve-gate|chaos-gate|backend-gate)
             [ -x target/debug/sga ] || cargo build -q -p sga || exit 1 ;;
     esac
 fi
@@ -171,6 +192,84 @@ serve_gate() {
     rm -rf "$tmp"
 }
 
+chaos_gate() {
+    # Crash safety, operator-style: start the daemon with a cache (the
+    # round journal lives under it), script an edit, quiesce with a
+    # report, `kill -9` the process, restart with `--resume`, edit again,
+    # and require the resumed daemon's report to match a cold batch run
+    # (whitespace-normalized, as in serve-gate). The fine-grained
+    # kill-point sweep — including kills aimed inside a stalled round —
+    # lives in tests/serve_chaos.rs; this stage proves the same story for
+    # the shipped binary driven exactly as an operator would drive it.
+    local bin=./target/debug/sga
+    local tmp daemon addr
+    tmp=$(mktemp -d) || return 1
+    mkdir "$tmp/corpus"
+    printf 'int main() { int *buf = malloc(4); buf[9] = 1; return 0; }\n' \
+        > "$tmp/corpus/lib.c"
+    printf 'int main() { return 3; }\n' > "$tmp/corpus/app.c"
+    "$bin" serve "$tmp/corpus" --cache-dir "$tmp/cache" --port-file "$tmp/port" \
+        > "$tmp/serve1.log" 2>&1 &
+    daemon=$!
+    for _ in $(seq 1 100); do [ -s "$tmp/port" ] && break; sleep 0.1; done
+    if [ ! -s "$tmp/port" ]; then
+        echo "chaos-gate: daemon never wrote its port file" >&2
+        cat "$tmp/serve1.log" >&2
+        kill "$daemon" 2>/dev/null; rm -rf "$tmp"; return 1
+    fi
+    addr=$(tr -d '[:space:]' < "$tmp/port")
+    printf 'int main() { return 41; }\n' > "$tmp/app_v2.c"
+    "$bin" watch "$addr" --edit app.c "$tmp/app_v2.c" > /dev/null || {
+        echo "chaos-gate: pre-kill edit failed" >&2
+        kill "$daemon" 2>/dev/null; rm -rf "$tmp"; return 1; }
+    # A report is served by the same engine thread, strictly after the
+    # edit round — once it answers, the round is journaled.
+    "$bin" watch "$addr" --report > /dev/null || {
+        echo "chaos-gate: pre-kill report failed" >&2
+        kill "$daemon" 2>/dev/null; rm -rf "$tmp"; return 1; }
+    kill -9 "$daemon" 2>/dev/null
+    wait "$daemon" 2>/dev/null
+    rm -f "$tmp/port"
+    "$bin" serve "$tmp/corpus" --cache-dir "$tmp/cache" --port-file "$tmp/port" \
+        --resume > "$tmp/serve2.log" 2>&1 &
+    daemon=$!
+    for _ in $(seq 1 100); do [ -s "$tmp/port" ] && break; sleep 0.1; done
+    if [ ! -s "$tmp/port" ]; then
+        echo "chaos-gate: resumed daemon never wrote its port file" >&2
+        cat "$tmp/serve2.log" >&2
+        kill "$daemon" 2>/dev/null; rm -rf "$tmp"; return 1
+    fi
+    addr=$(tr -d '[:space:]' < "$tmp/port")
+    # The restart must be warm: both units replayed from the journal, no
+    # re-analysis.
+    if ! grep -q "2 resumed from journal" "$tmp/serve2.log"; then
+        echo "chaos-gate: restart did not warm-resume from the journal:" >&2
+        cat "$tmp/serve2.log" >&2
+        kill "$daemon" 2>/dev/null; rm -rf "$tmp"; return 1
+    fi
+    printf 'int main() { int *buf = malloc(4); buf[0] = 1; return 0; }\n' \
+        > "$tmp/lib_v2.c"
+    "$bin" watch "$addr" --edit lib.c "$tmp/lib_v2.c" > /dev/null || {
+        echo "chaos-gate: post-resume edit failed" >&2
+        kill "$daemon" 2>/dev/null; rm -rf "$tmp"; return 1; }
+    "$bin" watch "$addr" --report > "$tmp/live.json" || {
+        kill "$daemon" 2>/dev/null; rm -rf "$tmp"; return 1; }
+    "$bin" analyze "$tmp/corpus" --no-cache --canonical > "$tmp/cold.json" || {
+        kill "$daemon" 2>/dev/null; rm -rf "$tmp"; return 1; }
+    if ! cmp -s <(tr -d '[:space:]' < "$tmp/live.json") \
+                <(tr -d '[:space:]' < "$tmp/cold.json"); then
+        echo "chaos-gate: resumed daemon diverged from the cold batch run" >&2
+        kill "$daemon" 2>/dev/null; rm -rf "$tmp"; return 1
+    fi
+    "$bin" watch "$addr" --shutdown > /dev/null
+    if ! wait "$daemon"; then
+        echo "chaos-gate: resumed daemon exited non-zero" >&2
+        cat "$tmp/serve2.log" >&2
+        rm -rf "$tmp"; return 1
+    fi
+    rm -rf "$tmp"
+}
+
 backend_gate() {
     # Representation independence, end to end: the BDD/set dependency store
     # and the lowered CSR store (compact adjacency + flat worklist) must
@@ -217,6 +316,10 @@ run_stage "robustness"  cargo test -q -p sga --test robustness
 # The daemon gate drives the debug binary (built by the test stage) over a
 # real socket, so it is cheap enough for --quick too.
 run_stage "serve-gate"  serve_gate
+# The chaos gate proves crash-safe warm restart (kill -9, --resume,
+# convergence) with the same cheap debug-binary recipe, so it runs in
+# --quick too.
+run_stage "chaos-gate"  chaos_gate
 # The backend equivalence gate also drives the debug binary and must hold
 # in every configuration, so it runs in --quick too.
 run_stage "backend-gate" backend_gate

@@ -1,29 +1,52 @@
-//! Benchmarks the incremental daemon: cold-start time over a fixed-seed
-//! generated corpus, then sixteen single-function probe edits measuring
-//! per-edit latency and how far each edit's invalidation spreads. The same
-//! edit sequence is replayed at `jobs=1` and `jobs=4`, and each engine's
-//! accumulated report is compared byte-for-byte against a fresh cold batch
-//! run of the corpus' final state — the daemon's convergence invariant.
+//! Benchmarks the incremental daemon, two scenarios:
+//!
+//! **Probe** — cold-start time over a fixed-seed generated corpus, then
+//! sixteen single-function probe edits measuring per-edit latency and how
+//! far each edit's invalidation spreads. The same edit sequence is
+//! replayed at `jobs=1` and `jobs=4`, and each engine's accumulated
+//! report is compared byte-for-byte against a fresh cold batch run of the
+//! corpus' final state — the daemon's convergence invariant.
+//!
+//! **Flood** — a live socket daemon under deliberately hostile traffic:
+//! a tiny request queue (`queue_cap=2`) plus round-stall faults force
+//! load shedding while four client threads flood edits through the
+//! retrying client; a subscriber that reads its ack and then never reads
+//! again (with a shrunken kernel send buffer and a short write deadline)
+//! forces a slow-subscriber eviction. Records shed count, evictions, p95
+//! round latency, and — the invariant again — whether the flooded
+//! daemon's report still matches a cold batch run.
+//!
 //! Writes `BENCH_serve.json` into the working directory.
 //!
 //! With `--check` it instead *gates* (exit 1 on failure): no unit may
-//! crash, both convergence comparisons must hold, the two engines'
-//! reports must be identical to each other, and a single-function probe
-//! edit must invalidate a strict subset of the corpus (sparse
-//! invalidation actually sparing work). Timings are reported but never
-//! gated.
+//! crash, every convergence comparison must hold (probe at both job
+//! counts, and the flooded daemon), the two probe engines' reports must
+//! be identical to each other, a single-function probe edit must
+//! invalidate a strict subset of the corpus (sparse invalidation actually
+//! sparing work), and the flood must have shed at least one edit and
+//! evicted the stalled subscriber. Timings are reported but never gated.
 
-use sga::pipeline::PipelineOptions;
-use sga::serve::{cold_report, Engine};
+use sga::pipeline::{FaultPlan, PipelineOptions};
+use sga::serve::{client, cold_report, serve, Engine, ServerConfig};
 use sga::utils::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const UNITS: usize = 8;
 const KLOC: usize = 2;
 const SEED: u64 = 65261;
 const PROBE_ROUNDS: usize = 16;
+
+/// Flood scenario shape: enough concurrent edits to overwhelm a 2-slot
+/// queue during the injected stalls, few enough to finish fast on one CPU.
+const FLOOD_THREADS: usize = 4;
+const FLOOD_EDITS_PER_THREAD: usize = 12;
+/// Eviction phase bound: events needed to fill the stalled subscriber's
+/// shrunken send buffer plus slack.
+const EVICT_ROUNDS_MAX: usize = 200;
 
 /// Generates the bench corpus into `dir` (fresh, deterministic).
 fn write_corpus(dir: &Path) -> Vec<(String, String)> {
@@ -110,6 +133,145 @@ fn percentile(samples: &mut [f64], p: f64) -> f64 {
     samples[rank - 1]
 }
 
+struct Flood {
+    edits: usize,
+    shed: usize,
+    evicted_slow: usize,
+    rounds: usize,
+    round_p50_ms: u64,
+    round_p95_ms: u64,
+    crashed: u64,
+    converged: bool,
+}
+
+/// The hostile-traffic scenario over a real TCP socket. Shedding is made
+/// deterministic by a 2-slot request queue plus injected round stalls
+/// (during a 300ms stall, four flooding threads can only land two edits;
+/// the rest get `{"shed":true}` and retry). Eviction is made
+/// deterministic by a subscriber that never reads past its ack, a ~4KB
+/// kernel send buffer, an 8-event outbound queue, and a 250ms write
+/// deadline: a few dozen diff events wedge its writer, the deadline
+/// trips, and the daemon evicts it while rounds keep completing.
+fn run_flood() -> Flood {
+    let dir = std::env::temp_dir().join(format!("sga-serve-bench-flood-{}", std::process::id()));
+    write_corpus(&dir);
+    let opts = PipelineOptions {
+        jobs: 1,
+        canonical: true,
+        ..PipelineOptions::default()
+    };
+    let engine = Engine::new(&dir, &opts).expect("flood engine cold start");
+    let sock =
+        std::env::temp_dir().join(format!("sga-serve-bench-flood-{}.sock", std::process::id()));
+    let config = ServerConfig {
+        tcp: Some("127.0.0.1:0".into()),
+        unix: Some(sock.clone()),
+        queue_cap: 2,
+        sub_queue_cap: 8,
+        write_deadline_ms: 250,
+        sub_sndbuf: Some(4096),
+        faults: FaultPlan::parse("stall@2=300,stall@4=300").expect("fault spec"),
+        ..ServerConfig::default()
+    };
+    let handle = serve(engine, &config).expect("serve");
+    let addr = handle.tcp_addr.expect("tcp addr").to_string();
+    let stats = handle.stats();
+
+    // The stalled subscriber: subscribe, read the ack, then never read
+    // again, keeping the stream alive so the peer looks healthy while its
+    // buffers silently fill. It connects over the *Unix* socket because
+    // AF_UNIX charges every in-flight byte to the sender's (shrunken)
+    // SO_SNDBUF — over TCP the peer's ~128KB receive buffer would absorb
+    // hundreds of events before the daemon's writer ever blocked.
+    let stalled = UnixStream::connect(&sock).expect("stalled subscriber connect");
+    {
+        let mut w = stalled.try_clone().expect("clone");
+        w.write_all(b"{\"cmd\":\"subscribe\"}\n")
+            .expect("subscribe");
+        let mut ack = String::new();
+        BufReader::new(&stalled).read_line(&mut ack).expect("ack");
+        assert!(ack.contains("subscribed"), "bad subscribe ack: {ack}");
+    }
+
+    // Flood phase: concurrent edit streams through the retrying client.
+    // Every thread writes its own unit, so content never collides and
+    // every successful edit is a real round (no no-op dedup).
+    let timeout = Some(Duration::from_secs(30));
+    let threads: Vec<_> = (0..FLOOD_THREADS)
+        .map(|t| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let unit = format!("flood{t}.c");
+                let mut source = format!("int main() {{ return {t}; }}\n");
+                for i in 0..FLOOD_EDITS_PER_THREAD {
+                    source.push_str(&format!(
+                        "int sga_flood_{t}_{i}(int a) {{ return a + {i}; }}\n"
+                    ));
+                    let (reply, _sheds) =
+                        client::edit_with_retry(&addr, &unit, &source, timeout, 10)
+                            .expect("flood edit");
+                    assert!(
+                        !client::is_shed(&reply),
+                        "edit still shed after retries: {reply}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("flood thread");
+    }
+
+    // Eviction phase: sequential rounds until the stalled subscriber's
+    // writer misses its deadline (each completed round broadcasts one
+    // event into its clogged pipe).
+    let mut evict_rounds = 0usize;
+    let mut probe_source = String::from("int main() { return 9; }\n");
+    while stats.evicted_slow() == 0 && evict_rounds < EVICT_ROUNDS_MAX {
+        evict_rounds += 1;
+        probe_source.push_str(&format!(
+            "int sga_evict_{evict_rounds}(int a) {{ return a * {evict_rounds}; }}\n"
+        ));
+        let (reply, _sheds) = client::edit_with_retry(&addr, "evict.c", &probe_source, timeout, 10)
+            .expect("evict edit");
+        assert!(!client::is_shed(&reply), "evict edit shed out: {reply}");
+    }
+    // Edits are acked at enqueue; wait for the engine to drain before
+    // reading the final state (status is ordered behind the queue).
+    let status = client::status_t(&addr, timeout).expect("status");
+    let status = Json::parse(&status).expect("status json");
+    let rounds = status
+        .get("rounds")
+        .and_then(Json::as_u64)
+        .expect("rounds stat") as usize;
+
+    let report_text = client::report_t(&addr, timeout).expect("flooded report");
+    let report = Json::parse(&report_text).expect("report json");
+    let cold = cold_report(&dir, &opts).expect("cold batch run");
+    let converged = report_text == cold.to_compact();
+    let crashed = report
+        .get("totals")
+        .and_then(|t| t.get("crashed"))
+        .and_then(Json::as_u64)
+        .expect("crashed total");
+
+    let flood = Flood {
+        edits: FLOOD_THREADS * FLOOD_EDITS_PER_THREAD + evict_rounds,
+        shed: stats.shed(),
+        evicted_slow: stats.evicted_slow(),
+        rounds,
+        round_p50_ms: stats.round_percentile_ms(50).unwrap_or(0),
+        round_p95_ms: stats.round_percentile_ms(95).unwrap_or(0),
+        crashed,
+        converged,
+    };
+    drop(stalled);
+    let _ = client::shutdown_t(&addr, timeout);
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+    flood
+}
+
 fn main() -> ExitCode {
     let mut gate = false;
     for arg in std::env::args().skip(1) {
@@ -129,6 +291,11 @@ fn main() -> ExitCode {
     );
     let seq = run_at(1);
     let par = run_at(4);
+    println!(
+        "flood: {FLOOD_THREADS} threads x {FLOOD_EDITS_PER_THREAD} edits, queue_cap=2, \
+         stall faults, stalled subscriber over unix socket"
+    );
+    let flood = run_flood();
 
     let identical = seq.report_text == par.report_text;
     let mut edit_ms = seq.edit_ms.clone();
@@ -147,6 +314,17 @@ fn main() -> ExitCode {
     println!(
         "convergence vs cold run: jobs=1 {}, jobs=4 {}; reports identical across jobs: {}",
         seq.converged, par.converged, identical
+    );
+    println!(
+        "flood: {} edits over {} rounds, {} shed, {} evicted_slow, \
+         round p50 {}ms p95 {}ms, converged {}",
+        flood.edits,
+        flood.rounds,
+        flood.shed,
+        flood.evicted_slow,
+        flood.round_p50_ms,
+        flood.round_p95_ms,
+        flood.converged
     );
 
     if gate {
@@ -180,6 +358,32 @@ fn main() -> ExitCode {
         } else {
             println!("sparse invalidation: max {inv_max}/{UNITS} units ok");
         }
+        // Flood gates: overload must actually shed, the stalled subscriber
+        // must actually be evicted, and neither may cost convergence.
+        if flood.crashed > 0 {
+            eprintln!("FAIL: {} unit(s) crashed under flood", flood.crashed);
+            failed = true;
+        } else {
+            println!("flood crashed units: 0 ok");
+        }
+        if flood.shed == 0 {
+            eprintln!("FAIL: flood shed no edits (backpressure untested)");
+            failed = true;
+        } else {
+            println!("flood load shedding: {} shed ok", flood.shed);
+        }
+        if flood.evicted_slow == 0 {
+            eprintln!("FAIL: stalled subscriber was never evicted");
+            failed = true;
+        } else {
+            println!("flood slow-subscriber eviction: {} ok", flood.evicted_slow);
+        }
+        if !flood.converged {
+            eprintln!("FAIL: flooded daemon report diverged from the cold batch run");
+            failed = true;
+        } else {
+            println!("flood convergence: daemon == cold batch run ok");
+        }
         return if failed {
             ExitCode::from(1)
         } else {
@@ -207,7 +411,20 @@ fn main() -> ExitCode {
         .with("crashed", seq.crashed as usize)
         .with("converged_jobs1", seq.converged)
         .with("converged_jobs4", par.converged)
-        .with("reports_identical", identical);
+        .with("reports_identical", identical)
+        .with(
+            "flood",
+            Json::obj()
+                .with("threads", FLOOD_THREADS)
+                .with("edits", flood.edits)
+                .with("rounds", flood.rounds)
+                .with("shed", flood.shed)
+                .with("evicted_slow", flood.evicted_slow)
+                .with("round_p50_ms", flood.round_p50_ms as usize)
+                .with("round_p95_ms", flood.round_p95_ms as usize)
+                .with("crashed", flood.crashed as usize)
+                .with("converged", flood.converged),
+        );
     let path = PathBuf::from("BENCH_serve.json");
     std::fs::write(&path, report.to_pretty() + "\n").expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json");

@@ -437,8 +437,9 @@ fn prune_to_newest(
 /// then rename. The temp name is derived from the target name; only one
 /// writer per key exists within a run (each unit is analyzed once), and
 /// cross-run collisions just race to identical content. Shared with the
-/// write-ahead journal, which has the same torn-write problem.
-pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+/// write-ahead journal and the serve daemon's round journal, which have
+/// the same torn-write problem.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
@@ -448,8 +449,9 @@ pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
 
 /// Wraps `payload` in the checksummed cache-v2 envelope
 /// `{"checksum": "<fxhash of compact payload>", "payload": {...}}`. Shared
-/// with the write-ahead journal so both on-disk formats verify the same way.
-pub(crate) fn seal(payload: Json) -> Json {
+/// with the write-ahead journal (and the serve daemon's round journal) so
+/// every durable on-disk format verifies the same way.
+pub fn seal(payload: Json) -> Json {
     let checksum = fxhash::hash_one(&payload.to_compact());
     Json::obj()
         .with("checksum", format!("{checksum:016x}"))
@@ -458,7 +460,7 @@ pub(crate) fn seal(payload: Json) -> Json {
 
 /// Verifies the envelope checksum and returns the payload, or `None` on any
 /// damage (missing fields, bad hex, checksum mismatch).
-pub(crate) fn unseal(j: &Json) -> Option<&Json> {
+pub fn unseal(j: &Json) -> Option<&Json> {
     let stored = u64::from_str_radix(j.get("checksum")?.as_str()?, 16).ok()?;
     let payload = j.get("payload")?;
     // The compact rendering of a parsed payload is deterministic (object
@@ -509,7 +511,10 @@ fn encode(unit: &str, a: &UnitAnalysis) -> Json {
     seal(payload)
 }
 
-fn encode_interface(iface: &UnitInterface) -> Json {
+/// Renders a [`UnitInterface`] in the cache-entry shape. Public so the
+/// serve daemon's round journal persists interfaces in exactly the format
+/// the cache already proves durable.
+pub fn encode_interface(iface: &UnitInterface) -> Json {
     Json::obj()
         .with(
             "exports",
@@ -539,7 +544,8 @@ fn encode_interface(iface: &UnitInterface) -> Json {
         )
 }
 
-fn decode_interface(j: &Json) -> Option<UnitInterface> {
+/// Parses the shape written by [`encode_interface`]; `None` on any damage.
+pub fn decode_interface(j: &Json) -> Option<UnitInterface> {
     let mut exports = Vec::new();
     for e in j.get("exports")?.as_arr()? {
         exports.push(ProcInterface {

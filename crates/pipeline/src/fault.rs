@@ -11,6 +11,12 @@
 //! The injection points live in the pipeline itself (`run`, `cache`), which
 //! keeps the faulted code path identical to the production path right up to
 //! the induced failure.
+//!
+//! The serve daemon reuses the same plan format with a different index
+//! space: `sga serve --faults panic@2,stall@3=200` keys faults by *round
+//! number* (1-based edit rounds) instead of unit index, injecting them on
+//! the engine thread after the round's sources are persisted — so a
+//! panicked round loses no edit and the supervisor's recovery is testable.
 
 use sga_core::budget::Budget;
 

@@ -669,6 +669,17 @@ fn semantic_tag(options: &PipelineOptions) -> String {
     format!("{:?}|{:?}", options.depgen, options.widening)
 }
 
+/// The full per-unit cache key under `options` for a unit with this
+/// `source`: the batch driver's key exactly — source × dependency options ×
+/// widening × backend × budget — so an embedder that needs to know whether
+/// a stored artifact still describes a source (the serve daemon's round
+/// journal) asks the same question the cache does. Per-unit fault budget
+/// overrides are a batch-driver concern and are not applied here.
+pub fn unit_cache_key(options: &PipelineOptions, source: &str) -> u64 {
+    let tag = format!("{}|{}", base_cache_tag(options), options.budget.cache_tag());
+    cache::unit_key(source, &tag)
+}
+
 /// One unit's result from [`analyze_units`].
 pub struct UnitOutcome {
     /// The rendered per-unit report object — the same shape as an entry of

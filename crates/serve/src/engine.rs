@@ -18,13 +18,24 @@
 //! cache-less run), and re-analysis is idempotent — an invalidated unit
 //! whose source did not change reproduces its exact previous result, so
 //! over-invalidation can never corrupt state, only waste work.
+//!
+//! **Durability.** When a cache or journal directory is configured, every
+//! (re-)analyzed unit is committed to a [`RoundJournal`] at the end of its
+//! round. [`Engine::open`] with `resume` replays those records: a unit
+//! whose current on-disk source still hashes to its record's cache key is
+//! restored without analysis, so a daemon killed mid-round (`kill -9`,
+//! OOM, a supervised panic) warm-restarts in time proportional to the
+//! interrupted round's frontier, not the corpus — and, because analysis is
+//! a pure function of (source, options), replay preserves the convergence
+//! invariant exactly.
 
+use crate::journal::RoundJournal;
 use sga_core::interface::UnitInterface;
 use sga_diag::baseline::{self, BaselineDiff};
 use sga_diag::Diagnostic;
 use sga_pipeline::{
-    analyze_units, assemble_report, load_project, Cache, PipelineError, PipelineOptions, Project,
-    UnitInput,
+    analyze_units, assemble_report, load_project, unit_cache_key, Cache, PipelineError,
+    PipelineOptions, Project, UnitInput,
 };
 use sga_utils::Json;
 use std::collections::{BTreeMap, BTreeSet};
@@ -65,20 +76,59 @@ impl RoundOutcome {
     }
 }
 
+/// Faults to inject into one edit round — the serve-side projection of a
+/// [`sga_pipeline::FaultPlan`] directive keyed by round number. Injection
+/// happens on the engine thread *after* the round's sources are persisted
+/// to the corpus directory, so a faulted round never loses an
+/// acknowledged edit: the supervisor's recovery re-reads the directory.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundFault {
+    /// Panic the engine thread (exercises supervision).
+    pub panic: bool,
+    /// Sleep this long before analyzing (opens a deterministic overload /
+    /// kill window).
+    pub stall_ms: Option<u64>,
+}
+
+impl RoundFault {
+    /// No injection.
+    pub fn none() -> RoundFault {
+        RoundFault::default()
+    }
+}
+
 /// The incremental analysis engine behind `sga serve`.
 pub struct Engine {
     dir: PathBuf,
     options: PipelineOptions,
     cache: Option<Cache>,
+    journal: Option<RoundJournal>,
     units: BTreeMap<String, UnitState>,
     rounds: usize,
+    resumed: usize,
 }
 
 impl Engine {
     /// Loads the corpus at `dir` and performs the initial (cache-warming)
     /// analysis of every unit. `options.canonical` is forced on — the
-    /// daemon's report is defined as the canonical one.
+    /// daemon's report is defined as the canonical one. Equivalent to
+    /// [`Engine::open`] with `resume` off.
     pub fn new(dir: &Path, options: &PipelineOptions) -> Result<Engine, PipelineError> {
+        Engine::open(dir, options, false)
+    }
+
+    /// Loads the corpus at `dir`, replaying the round journal when `resume`
+    /// is set: units whose on-disk source still matches a journaled record
+    /// are restored verbatim, the rest (including units a crash caught
+    /// mid-round) are analyzed. Without `resume` the journal is cleared —
+    /// a fresh start owns it. The journal lives at `options.journal_dir`,
+    /// or `serve-journal/` under the cache root, or nowhere (no durability,
+    /// `resume` then degrades to a cold start).
+    pub fn open(
+        dir: &Path,
+        options: &PipelineOptions,
+        resume: bool,
+    ) -> Result<Engine, PipelineError> {
         let mut options = options.clone();
         options.canonical = true;
         options.baseline = None;
@@ -93,19 +143,66 @@ impl Engine {
             }
             None => None,
         };
+        let journal_dir = options
+            .journal_dir
+            .clone()
+            .or_else(|| options.cache_dir.as_ref().map(|d| d.join("serve-journal")));
+        let journal = match &journal_dir {
+            Some(jdir) => Some(RoundJournal::open(jdir).map_err(|e| {
+                PipelineError::Io(format!("cannot open journal {}: {e}", jdir.display()))
+            })?),
+            None => None,
+        };
         let inputs = load_project(&Project::Dir(dir.to_path_buf()))?;
         let mut engine = Engine {
             dir: dir.to_path_buf(),
             options,
             cache,
+            journal,
             units: BTreeMap::new(),
             rounds: 0,
+            resumed: 0,
         };
-        let outcomes = analyze_units(&inputs, &engine.options, engine.cache.as_ref());
-        for (input, out) in inputs.into_iter().zip(outcomes) {
-            engine
-                .units
-                .insert(input.name.clone(), state_of(input.source, out));
+
+        // Partition the corpus into journal hits (restored verbatim) and
+        // misses (analyzed now). A non-resume start analyzes everything.
+        let saved = match (&engine.journal, resume) {
+            (Some(j), true) => j.load(),
+            (Some(j), false) => {
+                j.clear().map_err(|e| {
+                    PipelineError::Io(format!("cannot clear journal {}: {e}", j.dir().display()))
+                })?;
+                BTreeMap::new()
+            }
+            (None, _) => BTreeMap::new(),
+        };
+        let mut misses: Vec<UnitInput> = Vec::new();
+        for input in inputs {
+            match saved.get(&input.name) {
+                Some(rec) if rec.key == unit_cache_key(&engine.options, &input.source) => {
+                    engine.units.insert(
+                        input.name.clone(),
+                        UnitState {
+                            source: input.source,
+                            json: rec.json.clone(),
+                            diags: rec.diags.clone(),
+                            interface: rec.interface.clone(),
+                        },
+                    );
+                    engine.resumed += 1;
+                }
+                _ => misses.push(input),
+            }
+        }
+        let outcomes = analyze_units(&misses, &engine.options, engine.cache.as_ref());
+        for (input, out) in misses.into_iter().zip(outcomes) {
+            let state = state_of(input.source, out);
+            engine.journal_unit(&input.name, &state);
+            engine.units.insert(input.name, state);
+        }
+        if let Some(j) = &engine.journal {
+            let units = &engine.units;
+            j.retain(&|name| units.contains_key(name));
         }
         if let Some(c) = &engine.cache {
             c.sweep_lru();
@@ -118,6 +215,12 @@ impl Engine {
         &self.dir
     }
 
+    /// The engine's (massaged) analysis options — what a supervisor passes
+    /// back to [`Engine::open`] to rebuild a poisoned engine.
+    pub fn options(&self) -> &PipelineOptions {
+        &self.options
+    }
+
     /// Unit names, in report order.
     pub fn unit_names(&self) -> Vec<String> {
         self.units.keys().cloned().collect()
@@ -126,6 +229,11 @@ impl Engine {
     /// Completed (non-no-op) edit rounds so far.
     pub fn rounds(&self) -> usize {
         self.rounds
+    }
+
+    /// Units restored from the round journal at open (0 without `resume`).
+    pub fn resumed_units(&self) -> usize {
+        self.resumed
     }
 
     /// Open alarms across the corpus right now.
@@ -164,6 +272,19 @@ impl Engine {
         &mut self,
         edits: Vec<(String, String)>,
     ) -> Result<RoundOutcome, PipelineError> {
+        self.apply_edits_injected(edits, RoundFault::none())
+    }
+
+    /// [`Engine::apply_edits`] with deterministic fault injection: the
+    /// fault fires after the round's sources are persisted (so no
+    /// acknowledged edit is ever lost) and before analysis. A no-op batch
+    /// returns before the injection point — faults aimed at no-op rounds
+    /// do not fire.
+    pub fn apply_edits_injected(
+        &mut self,
+        edits: Vec<(String, String)>,
+        fault: RoundFault,
+    ) -> Result<RoundOutcome, PipelineError> {
         let mut latest: BTreeMap<String, String> = BTreeMap::new();
         for (name, source) in edits {
             latest.insert(name, source);
@@ -183,10 +304,18 @@ impl Engine {
             .collect();
 
         // Persist first: the corpus directory is the ground truth the
-        // convergence anchor (a cold batch run) reads.
+        // convergence anchor (a cold batch run) reads — and what the
+        // supervisor or a `--resume` restart recovers from.
         for (name, source) in &latest {
             write_atomic(&self.dir.join(name), source.as_bytes())
                 .map_err(|e| PipelineError::Io(format!("cannot write {name}: {e}")))?;
+        }
+
+        if let Some(ms) = fault.stall_ms {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        if fault.panic {
+            panic!("injected fault: engine round panic");
         }
 
         let edited: Vec<String> = latest.keys().cloned().collect();
@@ -236,6 +365,16 @@ impl Engine {
                 .collect();
         }
 
+        // Commit the round's results to the journal. A kill between the
+        // source writes above and here leaves stale records whose keys no
+        // longer match the on-disk sources — resume recomputes exactly
+        // those units.
+        for name in &done {
+            if let Some(state) = self.units.get(name) {
+                self.journal_unit(name, state);
+            }
+        }
+
         let after: Vec<&Diagnostic> = self.units.values().flat_map(|u| &u.diags).collect();
         let diff = baseline::diff_open(after.iter().copied(), &before);
         let alarms = after.iter().filter(|d| d.is_open()).count();
@@ -249,6 +388,15 @@ impl Engine {
             diff,
             alarms,
         })
+    }
+
+    /// Best-effort journal commit of one unit's state — a failed write only
+    /// costs the next restart a recompute, mirroring a failed cache store.
+    fn journal_unit(&self, name: &str, state: &UnitState) {
+        if let Some(j) = &self.journal {
+            let key = unit_cache_key(&self.options, &state.source);
+            let _ = j.record(name, key, &state.json, &state.diags, &state.interface);
+        }
     }
 }
 

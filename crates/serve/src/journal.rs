@@ -1,0 +1,276 @@
+//! The daemon's round journal: crash-safe warm restart for `sga serve`.
+//!
+//! The batch pipeline's write-ahead journal makes *one run* resumable; a
+//! daemon has no "run" to finish — it accumulates state round after round
+//! until something kills it. The round journal makes that accumulated
+//! state durable: after the initial analysis and after every edit round,
+//! each (re-)analyzed unit's live state — its rendered report object, its
+//! diagnostics, and its link interface — is committed to one file per
+//! unit, keyed by the unit's full cache key (source × analysis options).
+//!
+//! `sga serve --resume` replays the journal at startup: a unit whose
+//! on-disk source still hashes to its record's key is restored verbatim
+//! (no re-analysis), and only units the crash caught mid-round — source
+//! persisted, record not yet rewritten — are recomputed. Because the
+//! record carries the *normalized* rendered object (the same bytes
+//! [`crate::engine::Engine::report`] accumulates), a resumed daemon's
+//! report is byte-identical to the report the killed daemon would have
+//! produced, which is in turn byte-identical to a cold batch run of the
+//! corpus directory's current state.
+//!
+//! On disk each record reuses the pipeline cache's machinery wholesale:
+//! the checksummed `{checksum, payload}` envelope ([`cache::seal`]), the
+//! temp-file + rename write ([`cache::write_atomic`]), and the cache-entry
+//! interface codec ([`cache::encode_interface`]). A torn or rotten record
+//! fails to decode and its unit is simply recomputed — a SIGKILL at any
+//! byte offset costs work, never correctness.
+
+use sga_core::interface::UnitInterface;
+use sga_diag::Diagnostic;
+use sga_pipeline::cache;
+use sga_utils::{fxhash, Json};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Round-journal record schema version (inside the envelope payload).
+pub const ROUND_JOURNAL_FORMAT: u32 = 1;
+
+/// One unit's journaled live state.
+#[derive(Clone, Debug)]
+pub struct SavedUnit {
+    /// The unit's full cache key when the record was written; a record is
+    /// only replayed when the current source still hashes to this key.
+    pub key: u64,
+    /// The normalized rendered per-unit report object.
+    pub json: Json,
+    /// The unit's diagnostics (what alarm diffs and totals are built from).
+    pub diags: Vec<Diagnostic>,
+    /// The unit's link boundary (what invalidation is built from).
+    pub interface: UnitInterface,
+}
+
+/// An open round-journal directory.
+pub struct RoundJournal {
+    dir: PathBuf,
+}
+
+impl RoundJournal {
+    /// Opens (creating if needed) a round journal rooted at `dir`.
+    pub fn open(dir: &Path) -> std::io::Result<RoundJournal> {
+        std::fs::create_dir_all(dir)?;
+        Ok(RoundJournal {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The journal's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// One file per unit, named by the unit name's hash — unit names are
+    /// client-supplied file names, so they never become path components.
+    fn path_of(&self, name: &str) -> PathBuf {
+        self.dir
+            .join(format!("u-{:016x}.json", fxhash::hash_one(&name)))
+    }
+
+    /// Commits one unit's state: checksummed envelope, atomic write. A
+    /// failed write is reported but non-fatal to the caller by convention —
+    /// like a failed cache store, it only costs the next restart a
+    /// recompute.
+    pub fn record(
+        &self,
+        name: &str,
+        key: u64,
+        json: &Json,
+        diags: &[Diagnostic],
+        interface: &UnitInterface,
+    ) -> std::io::Result<()> {
+        let payload = Json::obj()
+            .with("schema", ROUND_JOURNAL_FORMAT)
+            .with("name", name)
+            .with("key", format!("{key:016x}"))
+            .with("unit", json.clone())
+            .with(
+                "diagnostics",
+                diags.iter().map(Diagnostic::to_json).collect::<Vec<_>>(),
+            )
+            .with("interface", cache::encode_interface(interface));
+        cache::write_atomic(
+            &self.path_of(name),
+            cache::seal(payload).to_pretty().as_bytes(),
+        )
+    }
+
+    /// Loads every decodable record, keyed by unit name. Damaged records
+    /// (torn writes, bit rot, stale schema) are skipped — their units are
+    /// recomputed on resume.
+    pub fn load(&self) -> BTreeMap<String, SavedUnit> {
+        let mut records = BTreeMap::new();
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return records;
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            if let Some((name, saved)) = Json::parse(&text).ok().as_ref().and_then(decode) {
+                records.insert(name, saved);
+            }
+        }
+        records
+    }
+
+    /// Drops records for units no longer in the corpus (plus stranded temp
+    /// files), so a shrunken corpus cannot resurrect deleted units.
+    pub fn retain(&self, live: &dyn Fn(&str) -> bool) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|x| x == "tmp") {
+                let _ = std::fs::remove_file(&path);
+                continue;
+            }
+            if path.extension().is_none_or(|x| x != "json") {
+                continue;
+            }
+            let stale = match std::fs::read_to_string(&path) {
+                Ok(text) => match Json::parse(&text).ok().as_ref().and_then(decode) {
+                    Some((name, _)) => !live(&name),
+                    None => true, // undecodable: useless, drop it
+                },
+                Err(_) => true,
+            };
+            if stale {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+
+    /// Removes every record, keeping the directory — a fresh (non-resumed)
+    /// start owns the journal, like a fresh batch run owns the pipeline's.
+    pub fn clear(&self) -> std::io::Result<()> {
+        for entry in std::fs::read_dir(&self.dir)?.flatten() {
+            let path = entry.path();
+            if path.is_file() {
+                std::fs::remove_file(&path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn decode(j: &Json) -> Option<(String, SavedUnit)> {
+    let payload = cache::unseal(j)?;
+    if payload.get("schema")?.as_u64()? != u64::from(ROUND_JOURNAL_FORMAT) {
+        return None;
+    }
+    let name = payload.get("name")?.as_str()?.to_string();
+    let diags = payload
+        .get("diagnostics")?
+        .as_arr()?
+        .iter()
+        .map(Diagnostic::from_json)
+        .collect::<Option<Vec<_>>>()?;
+    Some((
+        name,
+        SavedUnit {
+            key: u64::from_str_radix(payload.get("key")?.as_str()?, 16).ok()?,
+            json: payload.get("unit")?.clone(),
+            diags,
+            interface: cache::decode_interface(payload.get("interface")?)?,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sga-roundj-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample(name: &str, key: u64) -> (Json, Vec<Diagnostic>, UnitInterface) {
+        let json = Json::obj()
+            .with("name", name)
+            .with("outcome", "ok")
+            .with("source_hash", format!("{key:016x}"))
+            .with("diagnostics", Vec::<Json>::new());
+        (json, Vec::new(), UnitInterface::default())
+    }
+
+    #[test]
+    fn record_load_roundtrip_keyed_by_name() {
+        let j = RoundJournal::open(&temp_dir("roundtrip")).unwrap();
+        for (name, key) in [("a.c", 0x11u64), ("b.c", 0x22)] {
+            let (json, diags, iface) = sample(name, key);
+            j.record(name, key, &json, &diags, &iface).unwrap();
+        }
+        let loaded = j.load();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded["a.c"].key, 0x11);
+        assert_eq!(loaded["b.c"].key, 0x22);
+        assert_eq!(
+            loaded["a.c"].json.get("name").and_then(Json::as_str),
+            Some("a.c")
+        );
+    }
+
+    #[test]
+    fn rerecording_a_unit_replaces_its_record() {
+        let j = RoundJournal::open(&temp_dir("replace")).unwrap();
+        let (json, diags, iface) = sample("a.c", 1);
+        j.record("a.c", 1, &json, &diags, &iface).unwrap();
+        let (json, diags, iface) = sample("a.c", 2);
+        j.record("a.c", 2, &json, &diags, &iface).unwrap();
+        let loaded = j.load();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded["a.c"].key, 2);
+    }
+
+    #[test]
+    fn damaged_records_are_skipped_and_retain_prunes() {
+        let j = RoundJournal::open(&temp_dir("damage")).unwrap();
+        for name in ["a.c", "b.c", "gone.c"] {
+            let (json, diags, iface) = sample(name, 7);
+            j.record(name, 7, &json, &diags, &iface).unwrap();
+        }
+        // Tear b.c's record in half and drop in noise.
+        let torn = j.path_of("b.c");
+        let text = std::fs::read_to_string(&torn).unwrap();
+        std::fs::write(&torn, &text[..text.len() / 2]).unwrap();
+        std::fs::write(j.dir().join("stranded.json.tmp"), b"junk").unwrap();
+        std::fs::write(j.dir().join("noise.json"), b"{}").unwrap();
+        let loaded = j.load();
+        assert_eq!(loaded.len(), 2, "torn record must be skipped");
+        // Prune everything that isn't a live unit; damaged files go too.
+        j.retain(&|name| name == "a.c");
+        let after = j.load();
+        assert_eq!(after.len(), 1);
+        assert!(after.contains_key("a.c"));
+        assert!(!j.dir().join("stranded.json.tmp").exists());
+        assert!(!j.dir().join("noise.json").exists());
+    }
+
+    #[test]
+    fn clear_empties_the_journal() {
+        let j = RoundJournal::open(&temp_dir("clear")).unwrap();
+        let (json, diags, iface) = sample("a.c", 1);
+        j.record("a.c", 1, &json, &diags, &iface).unwrap();
+        j.clear().unwrap();
+        assert!(j.load().is_empty());
+        assert!(j.dir().is_dir());
+    }
+}

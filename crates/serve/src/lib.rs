@@ -9,15 +9,22 @@
 //!   re-analyzed only when a symbol it imports changed interface), and the
 //!   convergence invariant — the accumulated report is byte-identical to a
 //!   cold batch run of the corpus' current state;
+//! * [`journal`] — the round journal: each round's unit results are
+//!   committed to disk so a killed daemon warm-restarts (`--resume`)
+//!   without re-analyzing the whole corpus;
 //! * [`server`] — the network front: line-delimited JSON over TCP and/or
-//!   Unix sockets, an engine thread with edit coalescing, streamed alarm
-//!   diff events to any number of subscribers, and a filesystem-polling
+//!   Unix sockets, an engine thread with edit coalescing and bounded-queue
+//!   load shedding, supervised against analyzer panics, per-subscriber
+//!   writer threads that isolate slow consumers, and a filesystem-polling
 //!   fallback;
-//! * [`client`] — the matching client helpers (`sga watch`).
+//! * [`client`] — the matching client helpers (`sga watch`): timeouts,
+//!   bounded retry on shed edits.
 
 pub mod client;
 pub mod engine;
+pub mod journal;
 pub mod server;
 
-pub use engine::{cold_report, diff_json, Engine, RoundOutcome};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use engine::{cold_report, diff_json, Engine, RoundFault, RoundOutcome};
+pub use journal::RoundJournal;
+pub use server::{serve, ServeStats, ServerConfig, ServerHandle};

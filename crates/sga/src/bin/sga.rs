@@ -22,8 +22,12 @@
 //!           [--cache-max-entries N] [--no-bypass]
 //!           [--widening naive|threshold|delayed] [--dep-backend bdd|csr]
 //!           [--max-steps N] [--timeout-ms N]
+//!           [--resume] [--journal-dir D] [--queue-cap N] [--sub-queue-cap N]
+//!           [--write-deadline-ms N] [--sub-sndbuf BYTES] [--max-line BYTES]
+//!           [--faults SPEC]
 //! sga watch <addr> [--once | --max-events N | --report | --status
 //!           | --edit UNIT FILE | --shutdown]
+//!           [--timeout-ms N (0=none)] [--retries N]
 //! sga cache gc <dir> [--keep N] [--max-entries N]
 //! ```
 //!
@@ -69,9 +73,23 @@
 //! and subscribers receive one alarm-diff event per edit round. Only units
 //! whose imported symbols changed interface are re-analyzed (see
 //! `serve::engine`). `--poll-ms` additionally watches the corpus directory
-//! for out-of-band file edits. `sga watch <addr>` is the matching client:
-//! by default it streams diff events; `--once` exits after the first one,
-//! `--edit`/`--report`/`--status`/`--shutdown` issue one command each.
+//! for out-of-band file edits. The daemon is built for hostile traffic:
+//! the request queue is bounded (`--queue-cap`) and overload edits are
+//! shed with `{"ok":false,"shed":true}`; each subscriber gets its own
+//! writer thread with a bounded queue and write deadline
+//! (`--sub-queue-cap`, `--write-deadline-ms`), so a stalled consumer is
+//! evicted instead of blocking rounds; a panicking round is supervised —
+//! the daemon broadcasts `round_degraded`, rebuilds the engine from its
+//! journal, and broadcasts `engine_restarted`; every round's unit results
+//! are journaled (`--journal-dir`, default `serve-journal/` under the
+//! cache), and `--resume` warm-restarts from that journal after a crash
+//! with a byte-identical report. `--faults panic@ROUND,stall@ROUND=MS`
+//! injects deterministic round-keyed faults for testing. `sga watch
+//! <addr>` is the matching client: by default it streams diff events;
+//! `--once` exits after the first one,
+//! `--edit`/`--report`/`--status`/`--shutdown` issue one command each,
+//! under a connect/read deadline (`--timeout-ms`) with shed-edit retry
+//! (`--retries`).
 //!
 //! Exit codes, consolidated:
 //!
@@ -615,7 +633,11 @@ const SERVE_USAGE: &str = "usage: sga serve <dir> [--tcp ADDR] [--unix PATH] \
                            [--cache-dir D] [--no-cache] [--cache-max-entries N] \
                            [--no-bypass] [--widening naive|threshold|delayed] \
                            [--dep-backend bdd|csr] \
-                           [--max-steps N] [--timeout-ms N]";
+                           [--max-steps N] [--timeout-ms N] \
+                           [--resume] [--journal-dir D] [--queue-cap N] \
+                           [--sub-queue-cap N] [--write-deadline-ms N] \
+                           [--sub-sndbuf BYTES] [--max-line BYTES] \
+                           [--faults SPEC (panic@ROUND|stall@ROUND=MS)]";
 
 /// `sga serve <dir>`: incremental analysis daemon over a corpus directory.
 fn run_serve(mut args: impl Iterator<Item = String>) -> ExitCode {
@@ -624,6 +646,7 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut opts = PipelineOptions::default();
     let mut no_cache = false;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut resume = false;
     let err = |msg: String| {
         eprintln!("{msg}");
         ExitCode::from(2)
@@ -684,6 +707,36 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> ExitCode {
                 Ok(n) => opts.budget.timeout_ms = Some(n),
                 Err(msg) => return err(msg),
             },
+            "--resume" => resume = true,
+            "--journal-dir" => match args.next() {
+                Some(d) => opts.journal_dir = Some(PathBuf::from(d)),
+                None => return err("--journal-dir needs a value".into()),
+            },
+            "--queue-cap" => match num_flag("--queue-cap", args.next()) {
+                Ok(n) => config.queue_cap = (n as usize).max(1),
+                Err(msg) => return err(msg),
+            },
+            "--sub-queue-cap" => match num_flag("--sub-queue-cap", args.next()) {
+                Ok(n) => config.sub_queue_cap = (n as usize).max(1),
+                Err(msg) => return err(msg),
+            },
+            "--write-deadline-ms" => match num_flag("--write-deadline-ms", args.next()) {
+                Ok(n) => config.write_deadline_ms = n.max(1),
+                Err(msg) => return err(msg),
+            },
+            "--sub-sndbuf" => match num_flag("--sub-sndbuf", args.next()) {
+                Ok(n) => config.sub_sndbuf = Some(n as usize),
+                Err(msg) => return err(msg),
+            },
+            "--max-line" => match num_flag("--max-line", args.next()) {
+                Ok(n) => config.max_request_line = (n as usize).max(1),
+                Err(msg) => return err(msg),
+            },
+            "--faults" => match args.next().as_deref().map(FaultPlan::parse) {
+                Some(Ok(plan)) => config.faults = plan,
+                Some(Err(e)) => return err(format!("bad --faults: {e}")),
+                None => return err("--faults needs a spec".into()),
+            },
             "--help" | "-h" => return err(SERVE_USAGE.into()),
             other if !other.starts_with('-') && dir.is_none() => {
                 dir = Some(PathBuf::from(other));
@@ -704,11 +757,12 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> ExitCode {
     } else {
         Some(cache_dir.unwrap_or_else(|| dir.join(".sga-cache")))
     };
-    let engine = match sga::serve::Engine::new(&dir, &opts) {
+    let engine = match sga::serve::Engine::open(&dir, &opts, resume) {
         Ok(e) => e,
         Err(e) => return err(format!("sga: serve {}: {e}", dir.display())),
     };
     let (units, alarms) = (engine.unit_names().len(), engine.alarms());
+    let resumed = engine.resumed_units();
     let handle = match sga::serve::serve(engine, &config) {
         Ok(h) => h,
         Err(e) => return err(format!("sga: serve: {e}")),
@@ -721,9 +775,14 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> ExitCode {
         endpoints.push(path.display().to_string());
     }
     println!(
-        "sga: serving {} on {} ({units} unit(s), {alarms} alarm(s))",
+        "sga: serving {} on {} ({units} unit(s), {alarms} alarm(s){})",
         dir.display(),
         endpoints.join(" and "),
+        if resume {
+            format!(", {resumed} resumed from journal")
+        } else {
+            String::new()
+        },
     );
     handle.wait();
     println!("sga: serve: stopped");
@@ -731,13 +790,20 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> ExitCode {
 }
 
 const WATCH_USAGE: &str = "usage: sga watch <addr> [--once | --max-events N | \
-                           --report | --status | --edit UNIT FILE | --shutdown]";
+                           --report | --status | --edit UNIT FILE | --shutdown] \
+                           [--timeout-ms N (0=none, default 10000)] [--retries N]";
 
 /// `sga watch <addr>`: client for a running `sga serve` daemon. `addr` is
 /// `host:port` or a Unix socket path. By default streams diff events.
+/// Every command runs under a connect/read deadline (`--timeout-ms`,
+/// default 10s; 0 disables) so a wedged daemon means a nonzero exit, not a
+/// hang; `--edit` retries shed replies with backoff (`--retries`, default
+/// 5) so a flooded daemon loses no edit.
 fn run_watch(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut addr: Option<String> = None;
     let mut max_events: Option<usize> = None;
+    let mut timeout_ms: u64 = 10_000;
+    let mut retries: u32 = 5;
     // One-shot command, if any: (label, closure producing the reply).
     enum Cmd {
         Stream,
@@ -765,6 +831,14 @@ fn run_watch(mut args: impl Iterator<Item = String>) -> ExitCode {
                 (Some(unit), Some(file)) => cmd = Cmd::Edit(unit, PathBuf::from(file)),
                 _ => return err("--edit needs UNIT and FILE".into()),
             },
+            "--timeout-ms" => match num_flag("--timeout-ms", args.next()) {
+                Ok(n) => timeout_ms = n,
+                Err(msg) => return err(msg),
+            },
+            "--retries" => match num_flag("--retries", args.next()) {
+                Ok(n) => retries = n as u32,
+                Err(msg) => return err(msg),
+            },
             "--help" | "-h" => return err(WATCH_USAGE.into()),
             other if !other.starts_with('-') && addr.is_none() => {
                 addr = Some(other.to_string());
@@ -775,14 +849,18 @@ fn run_watch(mut args: impl Iterator<Item = String>) -> ExitCode {
     let Some(addr) = addr else {
         return err(WATCH_USAGE.into());
     };
+    let timeout = (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms));
     let reply = match cmd {
         Cmd::Stream => {
             // The ack line is printed (and flushed) before any event, so a
             // script can wait for `"subscribed"` in the output instead of
-            // sleeping and hoping the subscriber registered in time.
-            return match sga::serve::client::watch_ready(
+            // sleeping and hoping the subscriber registered in time. The
+            // deadline covers connect + ack only — a quiet event stream is
+            // not a wedged daemon.
+            return match sga::serve::client::watch_ready_t(
                 &addr,
                 max_events,
+                timeout,
                 |ack| {
                     println!("{ack}");
                     let _ = std::io::Write::flush(&mut std::io::stdout());
@@ -796,16 +874,25 @@ fn run_watch(mut args: impl Iterator<Item = String>) -> ExitCode {
                 Err(e) => err(format!("sga: watch {addr}: {e}")),
             };
         }
-        Cmd::Report => sga::serve::client::report(&addr),
-        Cmd::Status => sga::serve::client::status(&addr),
-        Cmd::Shutdown => sga::serve::client::shutdown(&addr),
+        Cmd::Report => sga::serve::client::report_t(&addr, timeout),
+        Cmd::Status => sga::serve::client::status_t(&addr, timeout),
+        Cmd::Shutdown => sga::serve::client::shutdown_t(&addr, timeout),
         Cmd::Edit(unit, file) => match std::fs::read_to_string(&file) {
-            Ok(source) => sga::serve::client::edit(&addr, &unit, &source),
+            Ok(source) => {
+                sga::serve::client::edit_with_retry(&addr, &unit, &source, timeout, retries)
+                    .map(|(reply, _sheds)| reply)
+            }
             Err(e) => return err(format!("sga: cannot read {}: {e}", file.display())),
         },
     };
     match reply {
         Ok(line) => {
+            // A final still-shed reply means the daemon's overload outlasted
+            // the retry budget — that is a failure, not a success.
+            if sga::serve::client::is_shed(&line) {
+                eprintln!("sga: watch {addr}: edit shed after {retries} retries: {line}");
+                return ExitCode::from(2);
+            }
             println!("{line}");
             ExitCode::SUCCESS
         }
