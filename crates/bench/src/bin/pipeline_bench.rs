@@ -2,7 +2,9 @@
 //! fixed-seed generated corpus (cache disabled so every run measures real
 //! analysis work), a cold/warm cache pass measuring the hit rate, and a
 //! dependency-backend race (`--dep-backend bdd` vs `csr`) measuring
-//! per-backend wall time and peak RSS in separate child processes.
+//! per-backend wall time and peak RSS in separate child processes, and an
+//! isolation race (`--isolation thread` vs `process`) measuring per-mode
+//! wall time plus the worker-pool kill/retry counters.
 //! Writes `BENCH_pipeline.json` into the working directory and prints a
 //! small table.
 //!
@@ -202,6 +204,53 @@ fn measure_backends() -> (Vec<BackendRun>, bool) {
     (runs, identical)
 }
 
+/// Per-mode wall time and worker-pool counters from racing the two
+/// isolation modes over the same corpus.
+struct IsolationRuns {
+    thread_secs: f64,
+    process_secs: f64,
+    counters: sga::pipeline::worker::IsolationSnapshot,
+    identical: bool,
+}
+
+/// One canonical pass per isolation mode (jobs=1, cache off). Process
+/// isolation re-execs this binary per unit (see the dispatch in `main`),
+/// so its wall time includes the spawn overhead — the price of surviving
+/// aborts. The canonical reports must stay byte-identical.
+fn measure_isolation() -> IsolationRuns {
+    use sga::pipeline::IsolationMode;
+    let before = sga::pipeline::worker::stats();
+    let mut secs = [0.0f64; 2];
+    let mut reports = Vec::new();
+    for (slot, mode) in [IsolationMode::Thread, IsolationMode::Process]
+        .into_iter()
+        .enumerate()
+    {
+        let opts = PipelineOptions {
+            jobs: 1,
+            canonical: true,
+            isolation: mode,
+            ..PipelineOptions::default()
+        };
+        let start = Instant::now();
+        let report = run(&CORPUS, &opts).expect("isolation run");
+        secs[slot] = start.elapsed().as_secs_f64();
+        reports.push(report.to_pretty());
+    }
+    let counters = sga::pipeline::worker::stats().since(&before);
+    println!(
+        "isolation: thread {:.3}s, process {:.3}s (workers killed {}, retried {}, \
+         oom {}, stalled {})",
+        secs[0], secs[1], counters.killed, counters.retried, counters.oom, counters.stalls
+    );
+    IsolationRuns {
+        thread_secs: secs[0],
+        process_secs: secs[1],
+        counters,
+        identical: reports[0] == reports[1],
+    }
+}
+
 /// Cold+warm pass over a throwaway cache directory; returns the warm run's
 /// hit rate (1.0 = every procedure served from cache).
 fn measure_hit_rate(project: &Project) -> f64 {
@@ -229,6 +278,7 @@ fn check(
     validated: u64,
     invalid: u64,
     backends_identical: bool,
+    isolation: &IsolationRuns,
 ) -> ExitCode {
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
@@ -333,6 +383,24 @@ fn check(
     } else {
         println!("backend reports byte-identical ok");
     }
+    // Hard gate, independent of the baseline: process-isolated workers must
+    // reproduce the in-thread canonical report byte-for-byte, and a clean
+    // corpus must need no kills or retries.
+    if !isolation.identical {
+        eprintln!("FAIL: thread/process canonical reports differ");
+        failed = true;
+    } else {
+        println!("isolation reports byte-identical ok");
+    }
+    if isolation.counters.killed > 0 || isolation.counters.retried > 0 {
+        eprintln!(
+            "FAIL: clean corpus needed worker intervention: killed {}, retried {}",
+            isolation.counters.killed, isolation.counters.retried
+        );
+        failed = true;
+    } else {
+        println!("isolated workers: 0 killed, 0 retried ok");
+    }
     if hit_rate < base_hit_rate {
         eprintln!(
             "FAIL: warm cache hit rate regressed: {hit_rate:.3} < baseline {base_hit_rate:.3}"
@@ -350,6 +418,13 @@ fn check(
 }
 
 fn main() -> ExitCode {
+    // The isolation measurement's worker pool re-execs this binary with
+    // the hidden `__worker` argument (the pool spawns `current_exe()`);
+    // dispatch before anything else so a child never runs the bench
+    // driver.
+    if std::env::args().nth(1).as_deref() == Some(sga::pipeline::worker::WORKER_ARG) {
+        return ExitCode::from(sga::pipeline::worker::worker_main() as u8);
+    }
     let mut baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -402,6 +477,7 @@ fn main() -> ExitCode {
     println!("warm cache hit rate: {hit_rate:.3}");
     let (validated, invalid) = measure_validation(&project);
     let (backend_runs, backends_identical) = measure_backends();
+    let isolation = measure_isolation();
 
     if let Some(path) = baseline {
         return check(
@@ -411,11 +487,16 @@ fn main() -> ExitCode {
             validated,
             invalid,
             backends_identical,
+            &isolation,
         );
     }
     assert!(
         backends_identical,
         "bdd/csr canonical reports differ on the bench corpus"
+    );
+    assert!(
+        isolation.identical,
+        "thread/process canonical reports differ on the bench corpus"
     );
 
     let report = Json::obj()
@@ -452,7 +533,18 @@ fn main() -> ExitCode {
             }
             obj
         })
-        .with("backends_identical", true);
+        .with("backends_identical", true)
+        .with(
+            "isolation",
+            Json::obj()
+                .with("thread_secs", isolation.thread_secs)
+                .with("process_secs", isolation.process_secs)
+                .with("killed", isolation.counters.killed)
+                .with("retried", isolation.counters.retried)
+                .with("oom", isolation.counters.oom)
+                .with("stalls", isolation.counters.stalls)
+                .with("identical", true),
+        );
     std::fs::write("BENCH_pipeline.json", report.to_pretty() + "\n")
         .expect("write BENCH_pipeline.json");
     println!("wrote BENCH_pipeline.json");

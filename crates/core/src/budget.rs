@@ -84,6 +84,49 @@ impl Budget {
     }
 }
 
+/// Hard per-worker resource limits, enforced from *outside* the analysis.
+///
+/// A [`Budget`] is cooperative: the solver meters its own steps and
+/// degrades soundly when it runs out. `WorkerLimits` is the uncooperative
+/// complement for process-isolated execution — an address-space cap
+/// (`RLIMIT_AS`) and a wall-clock deadline the supervisor enforces with
+/// SIGKILL. Exceeding a budget yields a `degraded` unit; exceeding a worker
+/// limit kills the worker and yields a `crashed` unit. The two are kept
+/// distinct on purpose: degradation is a sound analysis result, a kill is
+/// not a result at all.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerLimits {
+    /// Address-space cap per worker process, in MiB (`RLIMIT_AS`).
+    pub mem_mb: Option<u64>,
+    /// Wall-clock limit per worker attempt, in milliseconds. The parent
+    /// SIGKILLs a worker that outlives it.
+    pub timeout_ms: Option<u64>,
+}
+
+impl WorkerLimits {
+    /// No hard limits (the default): workers run unconfined.
+    pub const fn unbounded() -> WorkerLimits {
+        WorkerLimits {
+            mem_mb: None,
+            timeout_ms: None,
+        }
+    }
+
+    /// Whether neither limit is set.
+    pub fn is_unbounded(&self) -> bool {
+        self.mem_mb.is_none() && self.timeout_ms.is_none()
+    }
+
+    /// The `RLIMIT_CPU` backstop (whole seconds) derived from the wall-clock
+    /// limit: a worker the supervisor somehow fails to kill still dies on
+    /// its own once it has *burned* this much CPU. One second of headroom
+    /// past the rounded-up wall limit keeps the backstop from firing before
+    /// the supervisor on a busy worker.
+    pub fn cpu_limit_secs(&self) -> Option<u64> {
+        self.timeout_ms.map(|ms| ms.div_ceil(1000) + 1)
+    }
+}
+
 /// How often the (comparatively expensive) deadline clock is consulted.
 const DEADLINE_CHECK_PERIOD: u64 = 128;
 

@@ -347,19 +347,39 @@ pub struct GcStats {
     pub tmp_removed: usize,
     /// Cache entries evicted by the LRU-by-access sweep.
     pub evicted: usize,
+    /// Serve round-journal records pruned (oldest beyond the cap).
+    pub serve_journal_removed: usize,
 }
 
 /// Offline cache maintenance (`sga cache gc`): prunes `quarantine/` to the
 /// newest `keep` entries, sweeps stranded `.tmp` files (from killed atomic
-/// writers) out of the cache root and the `journal/` subdirectory, and —
-/// when `max_entries` is set — evicts cache entries beyond the cap,
-/// least-recently-accessed first.
-pub fn gc(dir: &Path, keep: usize, max_entries: Option<usize>) -> std::io::Result<GcStats> {
+/// writers) out of the cache root and the `journal/` and `serve-journal/`
+/// subdirectories, and — when `max_entries` is set — evicts cache entries
+/// beyond the cap, least-recently-accessed first.
+///
+/// The serve daemon's `serve-journal/` records are **spared** by the entry
+/// sweep (they are warm-restart state, not cache entries): only their
+/// stranded `.tmp` files are removed, unless `serve_journal_max` caps them
+/// explicitly — then the oldest records beyond the cap are pruned, which at
+/// worst costs the next warm restart a recompute of those units.
+pub fn gc(
+    dir: &Path,
+    keep: usize,
+    max_entries: Option<usize>,
+    serve_journal_max: Option<usize>,
+) -> std::io::Result<GcStats> {
+    let serve_journal = dir.join("serve-journal");
     Ok(GcStats {
         quarantine_removed: prune_dir_to_newest(&dir.join("quarantine"), keep)?,
-        tmp_removed: sweep_tmp(dir)? + sweep_tmp(&dir.join("journal"))?,
+        tmp_removed: sweep_tmp(dir)?
+            + sweep_tmp(&dir.join("journal"))?
+            + sweep_tmp(&serve_journal)?,
         evicted: match max_entries {
             Some(max) => prune_entries_to_newest(dir, max)?,
+            None => 0,
+        },
+        serve_journal_removed: match serve_journal_max {
+            Some(max) => prune_entries_to_newest(&serve_journal, max)?,
             None => 0,
         },
     })
@@ -468,7 +488,11 @@ pub fn unseal(j: &Json) -> Option<&Json> {
     (fxhash::hash_one(&payload.to_compact()) == stored).then_some(payload)
 }
 
-fn encode(unit: &str, a: &UnitAnalysis) -> Json {
+/// Renders a [`UnitAnalysis`] as a sealed cache-entry object. Crate-visible
+/// so the isolated worker ships its artifacts back to the parent over the
+/// pipe in exactly the envelope the cache already proves durable — a torn
+/// write from a dying worker fails the same checksum a torn file would.
+pub(crate) fn encode(unit: &str, a: &UnitAnalysis) -> Json {
     let procs: Vec<Json> = a
         .procs
         .iter()
@@ -565,7 +589,9 @@ pub fn decode_interface(j: &Json) -> Option<UnitInterface> {
     Some(UnitInterface { exports, imports })
 }
 
-fn decode(j: &Json) -> Option<UnitAnalysis> {
+/// Parses the shape written by [`encode`]; `None` on any damage (the
+/// isolated worker's response decoder shares this path with cache loads).
+pub(crate) fn decode(j: &Json) -> Option<UnitAnalysis> {
     let payload = unseal(j)?;
     if payload.get("schema")?.as_u64()? != u64::from(CACHE_FORMAT) {
         return None;
@@ -751,7 +777,7 @@ mod tests {
         let jdir = dir.join("journal");
         std::fs::create_dir_all(&jdir).unwrap();
         std::fs::write(jdir.join("0001-xyz.json.tmp"), b"torn").unwrap();
-        let stats = gc(&dir, 1, None).unwrap();
+        let stats = gc(&dir, 1, None, None).unwrap();
         assert_eq!(stats.quarantine_removed, 3);
         assert_eq!(stats.tmp_removed, 2);
         assert_eq!(
@@ -759,7 +785,51 @@ mod tests {
             1
         );
         // Idempotent: a second pass finds nothing to do.
-        assert_eq!(gc(&dir, 1, None).unwrap(), GcStats::default());
+        assert_eq!(gc(&dir, 1, None, None).unwrap(), GcStats::default());
+    }
+
+    #[test]
+    fn gc_spares_serve_journal_records_and_prunes_on_request() {
+        let cache = temp_cache("gc-serve");
+        for key in 0..3u64 {
+            cache.store("u", key, &sample()).unwrap();
+        }
+        let dir = cache.path_for("u", 0).parent().unwrap().to_path_buf();
+        let sdir = dir.join("serve-journal");
+        std::fs::create_dir_all(&sdir).unwrap();
+        for (i, name) in ["u-aaaa.json", "u-bbbb.json", "u-cccc.json"]
+            .iter()
+            .enumerate()
+        {
+            let path = sdir.join(name);
+            std::fs::write(&path, b"round record").unwrap();
+            // Backdate so mtime ordering (oldest first) is deterministic.
+            let past =
+                std::time::SystemTime::now() - std::time::Duration::from_secs(1000 - i as u64);
+            std::fs::File::options()
+                .append(true)
+                .open(&path)
+                .and_then(|f| f.set_modified(past))
+                .unwrap();
+        }
+        std::fs::write(sdir.join("u-dddd.json.tmp"), b"torn").unwrap();
+
+        // Default policy: tmp strays are swept, records are spared — even
+        // under an aggressive cache-entry cap.
+        let stats = gc(&dir, DEFAULT_QUARANTINE_KEEP, Some(1), None).unwrap();
+        assert_eq!(stats.tmp_removed, 1);
+        assert_eq!(stats.serve_journal_removed, 0);
+        assert_eq!(stats.evicted, 2);
+        assert!(sdir.join("u-aaaa.json").exists());
+        assert!(sdir.join("u-bbbb.json").exists());
+        assert!(sdir.join("u-cccc.json").exists());
+
+        // Explicit cap: oldest records beyond it are pruned.
+        let stats = gc(&dir, DEFAULT_QUARANTINE_KEEP, None, Some(1)).unwrap();
+        assert_eq!(stats.serve_journal_removed, 2);
+        assert!(!sdir.join("u-aaaa.json").exists());
+        assert!(!sdir.join("u-bbbb.json").exists());
+        assert!(sdir.join("u-cccc.json").exists());
     }
 
     /// Backdates an entry's mtime by `secs` so LRU ordering is
@@ -808,7 +878,7 @@ mod tests {
         let jdir = dir.join("journal");
         std::fs::create_dir_all(&jdir).unwrap();
         std::fs::write(jdir.join("0001-abc.json"), b"journal record").unwrap();
-        let stats = gc(&dir, DEFAULT_QUARANTINE_KEEP, Some(1)).unwrap();
+        let stats = gc(&dir, DEFAULT_QUARANTINE_KEEP, Some(1), None).unwrap();
         assert_eq!(stats.evicted, 2);
         assert!(jdir.join("0001-abc.json").exists());
     }

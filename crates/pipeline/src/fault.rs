@@ -71,6 +71,52 @@ pub enum FaultKind {
     /// unit's worker claims it: the unit itself completes (drain), units
     /// not yet claimed are skipped and the report is marked `interrupted`.
     Stop,
+    /// The unit's worker reserves this many MiB of address space and then
+    /// dies (allocation failure under `RLIMIT_AS`, or a deterministic abort
+    /// standing in for the OOM killer once the reservation succeeds).
+    /// Uncatchable in-process — exactly what `--isolation process` exists
+    /// to contain.
+    Oom {
+        /// MiB of address space to claim.
+        mb: u64,
+    },
+    /// The unit's worker overflows its stack (unbounded recursion). Like
+    /// `Oom`, fatal to whichever process runs the unit.
+    StackOverflow,
+    /// The unit's worker busy-spins — a *non-cooperative* stall no budget
+    /// meter ever observes — for this long, then dies. Under `--isolation
+    /// process` with a `--worker-timeout-ms` below `ms`, the wall-clock
+    /// supervisor SIGKILLs it first.
+    Spin {
+        /// Busy-spin duration in milliseconds.
+        ms: u64,
+    },
+}
+
+impl FaultKind {
+    /// The directive name this kind parses from (`oom@I=MB` → `"oom"`).
+    pub fn directive(&self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::BudgetExhaust { .. } => "budget",
+            FaultKind::CorruptStore {
+                mode: CorruptionMode::Truncate,
+            } => "truncate",
+            FaultKind::CorruptStore {
+                mode: CorruptionMode::BitFlip,
+            } => "bitflip",
+            FaultKind::CorruptStore {
+                mode: CorruptionMode::Forge,
+            } => "forge",
+            FaultKind::IoError { .. } => "io",
+            FaultKind::Abort => "abort",
+            FaultKind::Stall { .. } => "stall",
+            FaultKind::Stop => "stop",
+            FaultKind::Oom { .. } => "oom",
+            FaultKind::StackOverflow => "stackoverflow",
+            FaultKind::Spin { .. } => "spin",
+        }
+    }
 }
 
 /// A reproducible set of faults, keyed by unit index.
@@ -162,10 +208,58 @@ impl FaultPlan {
             .any(|(u, k)| *u == unit && matches!(k, FaultKind::Stop))
     }
 
+    /// MiB of address space `unit`'s worker should claim before dying, if
+    /// any.
+    pub fn oom_mb(&self, unit: usize) -> Option<u64> {
+        self.faults.iter().find_map(|(u, k)| match k {
+            FaultKind::Oom { mb } if *u == unit => Some(*mb),
+            _ => None,
+        })
+    }
+
+    /// Whether `unit`'s worker should overflow its stack.
+    pub fn should_stackoverflow(&self, unit: usize) -> bool {
+        self.faults
+            .iter()
+            .any(|(u, k)| *u == unit && matches!(k, FaultKind::StackOverflow))
+    }
+
+    /// How long `unit`'s worker should busy-spin (non-cooperatively) before
+    /// dying, if at all.
+    pub fn spin_ms(&self, unit: usize) -> Option<u64> {
+        self.faults.iter().find_map(|(u, k)| match k {
+            FaultKind::Spin { ms } if *u == unit => Some(*ms),
+            _ => None,
+        })
+    }
+
+    /// Directives the serve daemon cannot interpret, in plan order
+    /// (deduplicated). The daemon keys faults by *round attempt*, not unit
+    /// index, and only `panic@ROUND` and `stall@ROUND=MS` have a meaning
+    /// there — the rest are batch-driver directives (cache corruption,
+    /// process death, journal replay) that a daemon plan must reject
+    /// loudly instead of silently ignoring.
+    pub fn serve_unsupported(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for (_, kind) in &self.faults {
+            if matches!(kind, FaultKind::Panic | FaultKind::Stall { .. }) {
+                continue;
+            }
+            let name = kind.directive();
+            if !out.contains(&name) {
+                out.push(name);
+            }
+        }
+        out
+    }
+
     /// Parses a CLI fault spec: comma-separated directives
     /// `panic@I` | `budget@I=STEPS` | `truncate@I` | `bitflip@I` |
-    /// `forge@I` | `io@I=N` | `abort@I` | `stall@I=MS` | `stop@I`,
-    /// where `I` is a unit index. Example: `panic@2,budget@0=50,io@1=2`.
+    /// `forge@I` | `io@I=N` | `abort@I` | `stall@I=MS` | `stop@I` |
+    /// `oom@I=MB` | `stackoverflow@I` | `spin@I=MS`,
+    /// where `I` is a unit index (the serve daemon reads `I` as a 1-based
+    /// round attempt instead, and accepts only `panic` and `stall`).
+    /// Example: `panic@2,budget@0=50,io@1=2`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::none();
         for raw in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
@@ -204,6 +298,9 @@ impl FaultPlan {
                 "abort" => FaultKind::Abort,
                 "stall" => FaultKind::Stall { ms: arg_num("MS")? },
                 "stop" => FaultKind::Stop,
+                "oom" => FaultKind::Oom { mb: arg_num("MB")? },
+                "stackoverflow" => FaultKind::StackOverflow,
+                "spin" => FaultKind::Spin { ms: arg_num("MS")? },
                 other => return Err(format!("fault `{raw}`: unknown kind `{other}`")),
             };
             plan = plan.add(unit, kind);
@@ -241,6 +338,53 @@ impl FaultPlan {
         );
         plan
     }
+}
+
+// ---- fatal fault executors ---------------------------------------------
+//
+// The executors for the three process-killing faults live here so the batch
+// driver (thread mode: the fault takes the parent down, by design) and the
+// isolated worker (process mode: the fault takes only the worker down) run
+// the *same* death, not two approximations of it.
+
+/// Claims `mb` MiB of address space, then dies. Under an `RLIMIT_AS` below
+/// `mb` the reservation itself fails and Rust's allocation-failure handler
+/// aborts; otherwise the (untouched, so RSS-free) reservation succeeds and
+/// an explicit abort stands in for the OOM killer. Either way the process
+/// hosting the unit is gone, deterministically.
+pub(crate) fn trigger_oom(mb: u64) -> ! {
+    let bytes = (mb as usize).saturating_mul(1 << 20);
+    let reservation: Vec<u8> = Vec::with_capacity(bytes.max(1));
+    std::hint::black_box(&reservation);
+    std::process::abort();
+}
+
+/// Overflows the stack with unbounded recursion (each frame pins a buffer
+/// so the optimizer cannot collapse the recursion into a loop).
+pub(crate) fn trigger_stackoverflow() -> ! {
+    // The recursion is the whole point: every call pushes a real frame
+    // until the guard page faults.
+    #[allow(unconditional_recursion)]
+    fn dive(depth: u64) -> u64 {
+        let frame = [depth; 512];
+        std::hint::black_box(&frame);
+        dive(depth + 1) ^ std::hint::black_box(frame[0])
+    }
+    let _ = std::hint::black_box(dive(0));
+    // Unreachable: the recursion faults first. Satisfies the `!` return.
+    std::process::abort();
+}
+
+/// Busy-spins — no sleeping, no budget metering, no cancellation points —
+/// for `ms` wall-clock milliseconds, then dies. A worker under a shorter
+/// `--worker-timeout-ms` is SIGKILLed mid-spin instead.
+pub(crate) fn trigger_spin(ms: u64) -> ! {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(ms);
+    let mut x = 0u64;
+    while std::time::Instant::now() < deadline {
+        x = std::hint::black_box(x.wrapping_mul(6364136223846793005).wrapping_add(1));
+    }
+    std::process::abort();
 }
 
 #[cfg(test)]
@@ -282,6 +426,28 @@ mod tests {
         assert!(FaultPlan::parse("budget@1").is_err());
         assert!(FaultPlan::parse("explode@1").is_err());
         assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_isolation_faults() {
+        let plan = FaultPlan::parse("oom@4=64,stackoverflow@1,spin@6=5000").unwrap();
+        assert_eq!(plan.oom_mb(4), Some(64));
+        assert_eq!(plan.oom_mb(1), None);
+        assert!(plan.should_stackoverflow(1));
+        assert!(!plan.should_stackoverflow(4));
+        assert_eq!(plan.spin_ms(6), Some(5000));
+        assert_eq!(plan.spin_ms(4), None);
+        assert!(FaultPlan::parse("oom@1").is_err());
+        assert!(FaultPlan::parse("spin@1").is_err());
+        assert!(FaultPlan::parse("oom@1=x").is_err());
+    }
+
+    #[test]
+    fn serve_rejects_what_it_cannot_interpret() {
+        let daemon_ok = FaultPlan::parse("panic@1,stall@2=100").unwrap();
+        assert!(daemon_ok.serve_unsupported().is_empty());
+        let mixed = FaultPlan::parse("panic@1,abort@2,oom@3=64,abort@4,spin@5=10").unwrap();
+        assert_eq!(mixed.serve_unsupported(), vec!["abort", "oom", "spin"]);
     }
 
     #[test]

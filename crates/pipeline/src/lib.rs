@@ -50,6 +50,7 @@ pub mod interrupt;
 pub mod journal;
 pub mod par;
 pub mod unit;
+pub mod worker;
 
 #[cfg(test)]
 mod testfix;
@@ -58,9 +59,10 @@ pub use cache::Cache;
 pub use fault::FaultPlan;
 pub use journal::Journal;
 pub use unit::{analyze_unit, analyze_unit_traced, ProcArtifact, UnitAnalysis, UnitInternals};
+pub use worker::IsolationMode;
 
 use journal::JournalRecord;
-use sga_core::budget::Budget;
+use sga_core::budget::{Budget, WorkerLimits};
 use sga_core::depgen::DepGenOptions;
 use sga_core::depstore::DepBackend;
 use sga_core::interval::AnalyzeOptions;
@@ -145,6 +147,15 @@ pub struct PipelineOptions {
     pub dep_backend: DepBackend,
     /// Widening strategy forwarded to the fixpoint solver.
     pub widening: WideningConfig,
+    /// Where each unit's analysis runs: in-process worker threads (the
+    /// default) or supervised re-exec'd worker processes that survive
+    /// aborts, OOM, stack overflow, and hard stalls (see [`worker`]). Run
+    /// mechanics like `jobs` and `dep_backend`: joins neither the cache key
+    /// nor the canonical report.
+    pub isolation: IsolationMode,
+    /// Hard per-worker limits (`RLIMIT_AS` + wall-clock SIGKILL), applied
+    /// only under [`IsolationMode::Process`].
+    pub worker_limits: WorkerLimits,
     /// Record a crashing unit and keep analyzing the rest (`true`, the
     /// default), or abort the whole run on the first failure.
     pub keep_going: bool,
@@ -184,6 +195,8 @@ impl Default for PipelineOptions {
             depgen: DepGenOptions::default(),
             dep_backend: DepBackend::default(),
             widening: WideningConfig::default(),
+            isolation: IsolationMode::default(),
+            worker_limits: WorkerLimits::unbounded(),
             keep_going: true,
             budget: Budget::unbounded(),
             faults: FaultPlan::none(),
@@ -529,6 +542,13 @@ fn process_unit(
     let cache = ctx.cache;
     let timers = ctx.timers;
 
+    // Process isolation: ship the unit to a supervised worker process (the
+    // worker runs this same function in thread mode). Everything after —
+    // journal ordering, cache store, report assembly — is isolation-blind.
+    if options.isolation == IsolationMode::Process {
+        return worker::run_unit_in_worker(ctx, i, input, key, render_key, budget);
+    }
+
     type Analyzed = (CacheStatus, Box<UnitAnalysis>, Option<UnitValidation>);
     let caught = catch_unwind(AssertUnwindSafe(|| -> Result<Analyzed, String> {
         if options.faults.should_panic(i) {
@@ -818,6 +838,10 @@ pub fn assemble_report(
         // byte-equivalent (backend-gate enforces it), so the canonical
         // report must not mention which one ran.
         opts_json.set("dep_backend", options.dep_backend.as_str());
+        // Same rule again: thread and process runs are byte-equivalent
+        // (isolation-gate enforces it), so only the non-canonical report
+        // says where the units ran.
+        opts_json.set("isolation", options.isolation.as_str());
     }
 
     let looked_up = hits + misses;
@@ -930,6 +954,9 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
     };
     let replayed_count = AtomicUsize::new(0);
     let recorded_count = AtomicUsize::new(0);
+    // Containment counters are process-wide and cumulative; the report
+    // carries this run's movement.
+    let isolation_before = worker::stats();
     // Set by the `stop@I` fault; real shutdown requests arrive through
     // `interrupt` (signals) or `options.stop` (embedders). Any of the three
     // drains the batch: in-flight units finish, unclaimed units are skipped.
@@ -982,14 +1009,31 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
                 }
             }
 
-            if let Some(ms) = options.faults.stall_ms(i) {
-                std::thread::sleep(std::time::Duration::from_millis(ms));
-            }
-            if options.faults.should_abort(i) {
-                // A hard crash, not a panic: nothing unwinds, nothing
-                // flushes. Exactly what an OOM kill looks like to the next
-                // run — which is the point.
-                std::process::abort();
+            // The process-killing faults (stall-then-SIGKILL windows, abort,
+            // OOM, stack overflow, non-cooperative spin) execute wherever
+            // the unit executes: here in thread mode — taking the parent
+            // down, which is precisely the limitation `--isolation process`
+            // exists to remove — or inside the worker process, delegated
+            // via its request.
+            if options.isolation == IsolationMode::Thread {
+                if let Some(ms) = options.faults.stall_ms(i) {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+                if options.faults.should_abort(i) {
+                    // A hard crash, not a panic: nothing unwinds, nothing
+                    // flushes. Exactly what an OOM kill looks like to the
+                    // next run — which is the point.
+                    std::process::abort();
+                }
+                if let Some(mb) = options.faults.oom_mb(i) {
+                    fault::trigger_oom(mb);
+                }
+                if options.faults.should_stackoverflow(i) {
+                    fault::trigger_stackoverflow();
+                }
+                if let Some(ms) = options.faults.spin_ms(i) {
+                    fault::trigger_spin(ms);
+                }
             }
             if options.faults.should_stop(i) {
                 fault_stop.store(true, Ordering::Relaxed);
@@ -1109,6 +1153,21 @@ pub fn run(project: &Project, options: &PipelineOptions) -> Result<Json, Pipelin
                     .with("evicted", health.evicted),
             );
         }
+        // Containment activity (kills, retries, OOM deaths, supervisor
+        // SIGKILLs) depends on injected faults and machine state, never on
+        // analysis semantics — non-canonical, like cache health.
+        if options.isolation == IsolationMode::Process {
+            let moved = worker::stats().since(&isolation_before);
+            report.set(
+                "isolation",
+                Json::obj()
+                    .with("mode", options.isolation.as_str())
+                    .with("killed", moved.killed)
+                    .with("retried", moved.retried)
+                    .with("oom", moved.oom)
+                    .with("stalls", moved.stalls),
+            );
+        }
         let mut timing = Json::obj();
         for (stage, d) in timers.snapshot() {
             timing.set(&stage, d.as_secs_f64() * 1000.0);
@@ -1149,6 +1208,44 @@ mod tag_tests {
         assert_eq!(
             cache::unit_key(source, &semantic_tag(&csr)),
             cache::unit_key(source, &semantic_tag(&bdd)),
+        );
+    }
+
+    /// Isolation is pure run mechanics: it splits *neither* the cache key
+    /// (thread and process runs share entries) nor the canonical report —
+    /// only the non-canonical options block says where the units ran.
+    #[test]
+    fn isolation_splits_neither_cache_key_nor_canonical_report() {
+        let thread = PipelineOptions::default();
+        let process = PipelineOptions {
+            isolation: IsolationMode::Process,
+            ..PipelineOptions::default()
+        };
+        assert_eq!(base_cache_tag(&thread), base_cache_tag(&process));
+        assert_eq!(semantic_tag(&thread), semantic_tag(&process));
+        let source = "int main() { return 0; }";
+        assert_eq!(
+            unit_cache_key(&thread, source),
+            unit_cache_key(&process, source)
+        );
+
+        let canonical = assemble_report(
+            Vec::new(),
+            &PipelineOptions {
+                canonical: true,
+                isolation: IsolationMode::Process,
+                ..PipelineOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(canonical.get("options").unwrap().get("isolation").is_none());
+        let full = assemble_report(Vec::new(), &process).unwrap();
+        assert_eq!(
+            full.get("options")
+                .unwrap()
+                .get("isolation")
+                .and_then(Json::as_str),
+            Some("process")
         );
     }
 }

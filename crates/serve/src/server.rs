@@ -530,6 +530,13 @@ fn engine_loop(
                     .with("evicted_slow", stats.evicted_slow())
                     .with("degraded_rounds", stats.degraded_rounds())
                     .with("engine_restarts", stats.engine_restarts());
+                // Cumulative isolated-worker counters for this process;
+                // all zero unless the engine runs with process isolation.
+                let workers = sga_pipeline::worker::stats();
+                status.set("workers_killed", workers.killed);
+                status.set("workers_retried", workers.retried);
+                status.set("workers_oom", workers.oom);
+                status.set("workers_stalled", workers.stalls);
                 if let Some(p50) = stats.round_percentile_ms(50) {
                     status.set("round_p50_ms", p50 as usize);
                 }

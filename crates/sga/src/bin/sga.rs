@@ -7,12 +7,14 @@
 //!              [--check] [--dump-ir] [--dump-values] [--stats]
 //! sga check <file.c> [--sarif FILE] [--engine vanilla|base|sparse]
 //!           [--widening naive|threshold|delayed] [--dep-backend bdd|csr]
-//!           [--max-steps N] [--timeout-ms N]
+//!           [--max-steps N] [--timeout-ms N] [--isolation thread|process]
+//!           [--worker-mem-mb N] [--worker-timeout-ms N]
 //! sga analyze <dir> | --corpus units=N,kloc=K,seed=S
 //!             [--jobs N (0=auto)] [--cache-dir D] [--no-cache] [--canonical]
 //!             [--cache-max-entries N]
 //!             [--no-bypass] [--widening naive|threshold|delayed]
-//!             [--dep-backend bdd|csr]
+//!             [--dep-backend bdd|csr] [--isolation thread|process]
+//!             [--worker-mem-mb N] [--worker-timeout-ms N]
 //!             [--keep-going | --fail-fast] [--max-steps N] [--timeout-ms N]
 //!             [--resume] [--validate] [--journal-dir D]
 //!             [--quarantine-keep N] [--faults SPEC] [--out FILE]
@@ -21,14 +23,15 @@
 //!           [--poll-ms N] [--jobs N (0=auto)] [--cache-dir D] [--no-cache]
 //!           [--cache-max-entries N] [--no-bypass]
 //!           [--widening naive|threshold|delayed] [--dep-backend bdd|csr]
-//!           [--max-steps N] [--timeout-ms N]
+//!           [--max-steps N] [--timeout-ms N] [--isolation thread|process]
+//!           [--worker-mem-mb N] [--worker-timeout-ms N]
 //!           [--resume] [--journal-dir D] [--queue-cap N] [--sub-queue-cap N]
 //!           [--write-deadline-ms N] [--sub-sndbuf BYTES] [--max-line BYTES]
 //!           [--faults SPEC]
 //! sga watch <addr> [--once | --max-events N | --report | --status
 //!           | --edit UNIT FILE | --shutdown]
 //!           [--timeout-ms N (0=none)] [--retries N]
-//! sga cache gc <dir> [--keep N] [--max-entries N]
+//! sga cache gc <dir> [--keep N] [--max-entries N] [--serve-journal-max N]
 //! ```
 //!
 //! `sga check` runs all four checkers (buffer overrun, null dereference,
@@ -54,6 +57,25 @@
 //! compact adjacency + flat worklist) or `bdd` (the faithful §5 store) —
 //! with byte-identical canonical reports either way; the choice is part of
 //! the unit cache key, so the two backends never share cache entries.
+//!
+//! `--isolation process` re-executes the binary as one supervised worker
+//! process per unit (`thread`, the default, runs units on in-process
+//! worker threads): a unit that aborts, overflows its stack, exhausts
+//! memory, or spins forever kills only its worker — retried once, then
+//! recorded `crashed` — instead of the whole run or daemon.
+//! `--worker-mem-mb` caps each worker's address space (`RLIMIT_AS`);
+//! `--worker-timeout-ms` arms a wall-clock supervisor that SIGKILLs a
+//! stalled worker (with an `RLIMIT_CPU` backstop). The cooperative
+//! `--timeout-ms` budget still degrades soundly *inside* the worker —
+//! budget exhaustion is `degraded`, a worker kill is `crashed`. Canonical
+//! reports are byte-identical across isolation modes, and both modes share
+//! cache entries.
+//!
+//! `--faults` keys directives by **unit index** in the batch driver
+//! (`abort@2` = unit 2) but by **1-based round attempt** in `sga serve`
+//! (`panic@2` = second edit round); serve accepts only `panic` and `stall`
+//! and rejects plans carrying anything else, rather than silently ignoring
+//! them.
 //!
 //! Batch runs are durable and checkable: every finished unit is committed
 //! to a write-ahead journal before its cache store, `--resume` replays
@@ -114,7 +136,7 @@ use sga::analysis::widening::{WideningConfig, WideningStrategy};
 use sga::analysis::{checker, octagon, preanalysis};
 use sga::diag::Diagnostic;
 use sga::domains::Lattice;
-use sga::pipeline::{self, FaultPlan, PipelineOptions, Project};
+use sga::pipeline::{self, FaultPlan, IsolationMode, PipelineOptions, Project};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -219,11 +241,15 @@ const ANALYZE_USAGE: &str = "usage: sga analyze <dir> | --corpus units=N,kloc=K,
                              [--cache-max-entries N] \
                              [--no-bypass] [--widening naive|threshold|delayed] \
                              [--dep-backend bdd|csr] \
+                             [--isolation thread|process] [--worker-mem-mb N] \
+                             [--worker-timeout-ms N] \
                              [--keep-going | --fail-fast] \
                              [--max-steps N] [--timeout-ms N] \
                              [--resume] [--validate] [--journal-dir D] \
-                             [--quarantine-keep N] [--faults SPEC] [--out FILE] \
-                             [--baseline REPORT]";
+                             [--quarantine-keep N] \
+                             [--faults SPEC (unit-indexed, e.g. abort@2; \
+                             serve keys the same spec by round attempt)] \
+                             [--out FILE] [--baseline REPORT]";
 
 fn parse_analyze_args(
     args: impl Iterator<Item = String>,
@@ -255,6 +281,18 @@ fn parse_analyze_args(
             "--no-cache" => no_cache = true,
             "--canonical" => opts.canonical = true,
             "--no-bypass" => opts.depgen.bypass = false,
+            "--isolation" => {
+                opts.isolation = match args.next().as_deref().and_then(IsolationMode::parse) {
+                    Some(m) => m,
+                    None => return Err("bad --isolation (thread|process)".to_string()),
+                }
+            }
+            "--worker-mem-mb" => {
+                opts.worker_limits.mem_mb = Some(num_flag("--worker-mem-mb", args.next())?);
+            }
+            "--worker-timeout-ms" => {
+                opts.worker_limits.timeout_ms = Some(num_flag("--worker-timeout-ms", args.next())?);
+            }
             "--keep-going" => opts.keep_going = true,
             "--fail-fast" => opts.keep_going = false,
             "--max-steps" => {
@@ -452,7 +490,89 @@ const CHECK_USAGE: &str = "usage: sga check <file.c> [--sarif FILE] \
                            [--engine vanilla|base|sparse] \
                            [--widening naive|threshold|delayed] \
                            [--dep-backend bdd|csr] \
-                           [--max-steps N] [--timeout-ms N]";
+                           [--max-steps N] [--timeout-ms N] \
+                           [--isolation thread|process] [--worker-mem-mb N] \
+                           [--worker-timeout-ms N]";
+
+/// `sga check <file.c> --isolation process`: the file is analyzed in one
+/// supervised worker process (the sparse batch path), so a file that
+/// aborts or exhausts memory yields a diagnosable exit instead of killing
+/// the CLI.
+fn run_check_isolated(
+    file: &str,
+    source: String,
+    widening: WideningConfig,
+    dep_backend: DepBackend,
+    budget: Budget,
+    limits: sga::analysis::budget::WorkerLimits,
+    sarif_out: Option<PathBuf>,
+) -> ExitCode {
+    let err = |msg: String| {
+        eprintln!("{msg}");
+        ExitCode::from(2)
+    };
+    let opts = PipelineOptions {
+        isolation: IsolationMode::Process,
+        worker_limits: limits,
+        widening,
+        dep_backend,
+        budget,
+        ..PipelineOptions::default()
+    };
+    let unit = pipeline::UnitInput {
+        name: file.to_string(),
+        source,
+    };
+    let mut outcomes = pipeline::analyze_units(&[unit], &opts, None);
+    let outcome = outcomes.remove(0);
+    if let Some(message) = outcome.failure {
+        return err(format!("sga: {file}: {message}"));
+    }
+    let Some(analysis) = outcome.analysis else {
+        return err(format!("sga: {file}: isolated worker returned no result"));
+    };
+    if analysis.degraded {
+        eprintln!("sga: analysis budget exhausted; result degraded soundly");
+    }
+    let diags = analysis.diags;
+    let discharged = diags.iter().filter(|d| !d.is_open()).count();
+    let stats = triage::TriageStats {
+        candidates: diags.iter().filter(|d| d.is_open() && !d.definite).count() + discharged,
+        discharged,
+        octagon_ran: discharged > 0,
+        degraded: analysis.triage_degraded,
+    };
+    let definite = print_diagnostics(&diags, &stats);
+    if let Some(path) = sarif_out {
+        if let Some(code) = write_sarif(file, &diags, &path) {
+            return code;
+        }
+    }
+    if definite {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Validates and writes a SARIF log; `Some(code)` on failure.
+fn write_sarif(file: &str, diags: &[Diagnostic], path: &PathBuf) -> Option<ExitCode> {
+    let log = sga::diag::sarif::to_sarif(file, diags);
+    let violations = sga::diag::schema::validate(&log, &sga::diag::schema::vendored_sarif_schema());
+    if !violations.is_empty() {
+        // Never expected: the emitter and the vendored schema ship
+        // together. Refuse to write an invalid log.
+        for v in &violations {
+            eprintln!("sga: SARIF schema violation: {v}");
+        }
+        return Some(ExitCode::from(2));
+    }
+    if let Err(e) = std::fs::write(path, log.to_pretty() + "\n") {
+        eprintln!("sga: cannot write {}: {e}", path.display());
+        return Some(ExitCode::from(2));
+    }
+    None
+}
 
 /// `sga check <file.c> [--sarif FILE]`: structured diagnostics with octagon
 /// triage, optionally exported as a SARIF 2.1.0 log.
@@ -460,9 +580,12 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
     let mut file: Option<String> = None;
     let mut sarif_out: Option<PathBuf> = None;
     let mut engine = Engine::Sparse;
+    let mut engine_set = false;
     let mut widening = WideningConfig::default();
     let mut dep_backend = DepBackend::default();
     let mut budget = Budget::unbounded();
+    let mut isolation = IsolationMode::Thread;
+    let mut limits = sga::analysis::budget::WorkerLimits::unbounded();
     let mut args = args.peekable();
     let err = |msg: String| {
         eprintln!("{msg}");
@@ -475,6 +598,7 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
                 None => return err("--sarif needs a file".into()),
             },
             "--engine" => {
+                engine_set = true;
                 engine = match args.next().as_deref() {
                     Some("vanilla") => Engine::Vanilla,
                     Some("base") => Engine::Base,
@@ -502,6 +626,20 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
                 Ok(n) => budget.timeout_ms = Some(n),
                 Err(msg) => return err(msg),
             },
+            "--isolation" => {
+                isolation = match args.next().as_deref().and_then(IsolationMode::parse) {
+                    Some(m) => m,
+                    None => return err("bad --isolation (thread|process)".into()),
+                }
+            }
+            "--worker-mem-mb" => match num_flag("--worker-mem-mb", args.next()) {
+                Ok(n) => limits.mem_mb = Some(n),
+                Err(msg) => return err(msg),
+            },
+            "--worker-timeout-ms" => match num_flag("--worker-timeout-ms", args.next()) {
+                Ok(n) => limits.timeout_ms = Some(n),
+                Err(msg) => return err(msg),
+            },
             "--help" | "-h" => return err(CHECK_USAGE.into()),
             other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
             other => return err(format!("unexpected argument `{other}`\n{CHECK_USAGE}")),
@@ -514,6 +652,14 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
         Ok(s) => s,
         Err(e) => return err(format!("sga: cannot read {file}: {e}")),
     };
+    if isolation == IsolationMode::Process {
+        // The isolated worker runs the sparse batch path; an explicit
+        // non-sparse engine choice cannot be honored there.
+        if engine_set && engine != Engine::Sparse {
+            return err("--isolation process runs the sparse engine only".into());
+        }
+        return run_check_isolated(&file, src, widening, dep_backend, budget, limits, sarif_out);
+    }
     let program = match sga::frontend::parse(&src) {
         Ok(p) => p,
         Err(e) => return err(format!("sga: {file}: {e}")),
@@ -534,19 +680,8 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
     let (diags, stats) = diagnose(&program, &result, engine, widening, dep_backend, &budget);
     let definite = print_diagnostics(&diags, &stats);
     if let Some(path) = sarif_out {
-        let log = sga::diag::sarif::to_sarif(&file, &diags);
-        let violations =
-            sga::diag::schema::validate(&log, &sga::diag::schema::vendored_sarif_schema());
-        if !violations.is_empty() {
-            // Never expected: the emitter and the vendored schema ship
-            // together. Refuse to write an invalid log.
-            for v in &violations {
-                eprintln!("sga: SARIF schema violation: {v}");
-            }
-            return ExitCode::from(2);
-        }
-        if let Err(e) = std::fs::write(&path, log.to_pretty() + "\n") {
-            return err(format!("sga: cannot write {}: {e}", path.display()));
+        if let Some(code) = write_sarif(&file, &diags, &path) {
+            return code;
         }
     }
     if definite {
@@ -556,10 +691,13 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
-const CACHE_USAGE: &str = "usage: sga cache gc <dir> [--keep N] [--max-entries N]";
+const CACHE_USAGE: &str = "usage: sga cache gc <dir> [--keep N] [--max-entries N] \
+                           [--serve-journal-max N]";
 
-/// `sga cache gc <dir> [--keep N] [--max-entries N]`: offline cache
-/// maintenance.
+/// `sga cache gc <dir> [--keep N] [--max-entries N] [--serve-journal-max N]`:
+/// offline cache maintenance. The daemon's write-ahead journal under
+/// `serve-journal/` is spared by default; `--serve-journal-max` prunes it
+/// to the N newest records.
 fn run_cache(mut args: impl Iterator<Item = String>) -> ExitCode {
     match args.next().as_deref() {
         Some("gc") => {}
@@ -571,6 +709,7 @@ fn run_cache(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut dir: Option<PathBuf> = None;
     let mut keep = pipeline::cache::DEFAULT_QUARANTINE_KEEP;
     let mut max_entries: Option<usize> = None;
+    let mut serve_journal_max: Option<usize> = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -583,6 +722,13 @@ fn run_cache(mut args: impl Iterator<Item = String>) -> ExitCode {
             },
             "--max-entries" => match num_flag("--max-entries", args.next()) {
                 Ok(n) => max_entries = Some(n as usize),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--serve-journal-max" => match num_flag("--serve-journal-max", args.next()) {
+                Ok(n) => serve_journal_max = Some(n as usize),
                 Err(msg) => {
                     eprintln!("{msg}");
                     return ExitCode::from(2);
@@ -605,11 +751,11 @@ fn run_cache(mut args: impl Iterator<Item = String>) -> ExitCode {
         eprintln!("{CACHE_USAGE}");
         return ExitCode::from(2);
     };
-    match pipeline::cache::gc(&dir, keep, max_entries) {
+    match pipeline::cache::gc(&dir, keep, max_entries, serve_journal_max) {
         Ok(stats) => {
             println!(
                 "sga: cache gc: removed {} quarantined entr{}, {} temp file(s), \
-                 evicted {} over the LRU cap",
+                 evicted {} over the LRU cap, pruned {} serve-journal record(s)",
                 stats.quarantine_removed,
                 if stats.quarantine_removed == 1 {
                     "y"
@@ -618,6 +764,7 @@ fn run_cache(mut args: impl Iterator<Item = String>) -> ExitCode {
                 },
                 stats.tmp_removed,
                 stats.evicted,
+                stats.serve_journal_removed,
             );
             ExitCode::SUCCESS
         }
@@ -637,6 +784,8 @@ const SERVE_USAGE: &str = "usage: sga serve <dir> [--tcp ADDR] [--unix PATH] \
                            [--resume] [--journal-dir D] [--queue-cap N] \
                            [--sub-queue-cap N] [--write-deadline-ms N] \
                            [--sub-sndbuf BYTES] [--max-line BYTES] \
+                           [--isolation thread|process] [--worker-mem-mb N] \
+                           [--worker-timeout-ms N] \
                            [--faults SPEC (panic@ROUND|stall@ROUND=MS)]";
 
 /// `sga serve <dir>`: incremental analysis daemon over a corpus directory.
@@ -732,8 +881,36 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> ExitCode {
                 Ok(n) => config.max_request_line = (n as usize).max(1),
                 Err(msg) => return err(msg),
             },
+            "--isolation" => {
+                opts.isolation = match args.next().as_deref().and_then(IsolationMode::parse) {
+                    Some(m) => m,
+                    None => return err("bad --isolation (thread|process)".into()),
+                }
+            }
+            "--worker-mem-mb" => match num_flag("--worker-mem-mb", args.next()) {
+                Ok(n) => opts.worker_limits.mem_mb = Some(n),
+                Err(msg) => return err(msg),
+            },
+            "--worker-timeout-ms" => match num_flag("--worker-timeout-ms", args.next()) {
+                Ok(n) => opts.worker_limits.timeout_ms = Some(n),
+                Err(msg) => return err(msg),
+            },
             "--faults" => match args.next().as_deref().map(FaultPlan::parse) {
-                Some(Ok(plan)) => config.faults = plan,
+                Some(Ok(plan)) => {
+                    // The daemon keys fault directives by 1-based round
+                    // attempt and only interprets panic@ and stall@; the
+                    // fatal batch directives would kill or hang the whole
+                    // daemon, so refuse them up front.
+                    let unsupported = plan.serve_unsupported();
+                    if !unsupported.is_empty() {
+                        return err(format!(
+                            "--faults: serve cannot interpret {}: only panic@ROUND and \
+                             stall@ROUND=MS apply to the daemon",
+                            unsupported.join(", ")
+                        ));
+                    }
+                    config.faults = plan;
+                }
                 Some(Err(e)) => return err(format!("bad --faults: {e}")),
                 None => return err("--faults needs a spec".into()),
             },
@@ -902,6 +1079,12 @@ fn run_watch(mut args: impl Iterator<Item = String>) -> ExitCode {
 
 fn main() -> ExitCode {
     let mut raw = std::env::args().skip(1).peekable();
+    // The hidden worker dispatch comes before everything else: a re-exec'd
+    // `--isolation process` worker must never fall into normal argument
+    // parsing, whatever flags the parent was started with.
+    if raw.peek().map(String::as_str) == Some(pipeline::worker::WORKER_ARG) {
+        return ExitCode::from(pipeline::worker::worker_main() as u8);
+    }
     if raw.peek().map(String::as_str) == Some("analyze") {
         raw.next();
         return run_analyze(raw);

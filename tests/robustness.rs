@@ -386,9 +386,10 @@ fn abort_then_resume_reproduces_the_uninterrupted_report() {
             "abort@2".to_string()
         } else {
             // The stall must outlast a sibling's full analyze + octagon
-            // triage in a debug build (~2s each); 6s leaves headroom on
-            // slow machines.
-            "stall@2=6000,abort@2".to_string()
+            // triage in a debug build (~2s each); on a loaded single-CPU
+            // host the three siblings run serially, so the window must
+            // cover their *sum* plus contention headroom.
+            "stall@2=15000,abort@2".to_string()
         };
         let killed = sga_analyze(
             4,
