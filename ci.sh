@@ -17,7 +17,7 @@
 set -uo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES="fmt clippy build-release test diag-gate ignore-gate robustness serve-gate chaos-gate backend-gate isolation-gate bench-gate serve-bench-gate"
+ALL_STAGES="fmt clippy build-release test diag-gate ignore-gate robustness serve-gate chaos-gate backend-gate triage-gate isolation-gate bench-gate serve-bench-gate"
 
 QUICK=0
 ONLY_STAGE=""
@@ -51,6 +51,7 @@ if [ "$LIST" -eq 1 ]; then
         "serve-gate"       "daemon over a real socket: diff events + convergence" \
         "chaos-gate"       "kill -9 the daemon, restart --resume, convergence" \
         "backend-gate"     "bdd vs csr dependency backends byte-identical" \
+        "triage-gate"      "--triage both strictly grows discharges; definite alarms untouched" \
         "isolation-gate"   "process workers byte-identical; abort/oom/spin survived" \
         "bench-gate *"     "pipeline benchmark regression thresholds" \
         "serve-bench-gate *" "daemon bench: latency, sparsity, flood shedding"
@@ -64,7 +65,7 @@ if [ -n "$ONLY_STAGE" ]; then
     # The binary-driven gates normally ride on the debug build the `test`
     # stage leaves behind; a single-stage run must provide it itself.
     case "$ONLY_STAGE" in
-        diag-gate|serve-gate|chaos-gate|backend-gate|isolation-gate)
+        diag-gate|serve-gate|chaos-gate|backend-gate|triage-gate|isolation-gate)
             [ -x target/debug/sga ] || cargo build -q -p sga || exit 1 ;;
     esac
 fi
@@ -292,6 +293,54 @@ backend_gate() {
     rm -rf "$tmp"
 }
 
+triage_gate() {
+    # The path-condition layer's contract, end to end: over the golden
+    # alarm corpus, `--triage both` must discharge *strictly more* alarms
+    # than `--triage octagon` (the path_*.c cases exist precisely to keep
+    # this strict), the octagon-method discharges must be identical in
+    # both runs (the path pass only ever adds), every added discharge must
+    # carry a path_infeasible proving pack, and the definite alarms —
+    # which no triage layer may ever touch — must be byte-identical.
+    local bin=./target/debug/sga
+    local tmp oct both oct_methods both_oct_methods path_methods
+    tmp=$(mktemp -d) || return 1
+    "$bin" analyze tests/alarms --canonical --no-cache --triage octagon \
+        > "$tmp/oct.json" || { rm -rf "$tmp"; return 1; }
+    "$bin" analyze tests/alarms --canonical --no-cache --triage both \
+        > "$tmp/both.json" || { rm -rf "$tmp"; return 1; }
+    oct=$(grep -c '"status": "discharged"' "$tmp/oct.json")
+    both=$(grep -c '"status": "discharged"' "$tmp/both.json")
+    if [ "$both" -le "$oct" ]; then
+        echo "triage-gate: both mode discharged $both, octagon $oct — want strictly more" >&2
+        rm -rf "$tmp"; return 1
+    fi
+    oct_methods=$(grep -c '"method": "octagon"' "$tmp/oct.json")
+    both_oct_methods=$(grep -c '"method": "octagon"' "$tmp/both.json")
+    if [ "$oct_methods" -ne "$both_oct_methods" ]; then
+        echo "triage-gate: octagon discharges changed under both mode ($oct_methods -> $both_oct_methods)" >&2
+        rm -rf "$tmp"; return 1
+    fi
+    path_methods=$(grep -c '"method": "path_infeasible"' "$tmp/both.json")
+    if [ "$path_methods" -ne "$((both - oct))" ]; then
+        echo "triage-gate: $((both - oct)) added discharges but $path_methods path_infeasible packs" >&2
+        rm -rf "$tmp"; return 1
+    fi
+    # Every definite alarm, identified by its kind/cp/line/proc/subject
+    # block, must survive both runs untouched.
+    grep -B7 '"definite": true' "$tmp/oct.json"  > "$tmp/oct-definite.txt"
+    grep -B7 '"definite": true' "$tmp/both.json" > "$tmp/both-definite.txt"
+    if ! cmp -s "$tmp/oct-definite.txt" "$tmp/both-definite.txt"; then
+        echo "triage-gate: definite alarms differ across triage modes:" >&2
+        diff "$tmp/oct-definite.txt" "$tmp/both-definite.txt" | head -20 >&2
+        rm -rf "$tmp"; return 1
+    fi
+    if [ ! -s "$tmp/oct-definite.txt" ]; then
+        echo "triage-gate: corpus holds no definite alarms to protect" >&2
+        rm -rf "$tmp"; return 1
+    fi
+    rm -rf "$tmp"
+}
+
 isolation_gate() {
     # The process-isolated worker pool, driven as an operator would: the
     # canonical report must be byte-identical to the in-thread engine at
@@ -380,6 +429,9 @@ run_stage "chaos-gate"  chaos_gate
 # The backend equivalence gate also drives the debug binary and must hold
 # in every configuration, so it runs in --quick too.
 run_stage "backend-gate" backend_gate
+# The triage gate pins the path layer's superset/definite contract with
+# the same cheap debug-binary recipe, so it runs in --quick too.
+run_stage "triage-gate" triage_gate
 # The isolation gate proves the process worker pool reproduces the thread
 # engine byte-for-byte and survives fatal faults; it drives the debug
 # binary and runs in --quick too.

@@ -11,10 +11,11 @@
 //! With `--check <baseline.json>` it instead *gates* against a checked-in
 //! baseline: the run fails (exit 1) if the open-alarm count, the definite
 //! alarm count, or the warm cache hit rate regresses, if the octagon
-//! triage stage discharges nothing, if any unit degrades or crashes, if
-//! the post-fixpoint validation oracle marks any unit `invalid`, or if
-//! the two dependency backends produce canonical reports that are not
-//! byte-identical (the last four are hard gates, independent of the
+//! triage stage discharges nothing, if the path-condition layer
+//! discharges nothing over the golden alarm corpus, if any unit degrades
+//! or crashes, if the post-fixpoint validation oracle marks any unit
+//! `invalid`, or if the two dependency backends produce canonical reports
+//! that are not byte-identical (those are hard gates, independent of the
 //! baseline). Timings are reported but never gated — they measure
 //! whatever hardware runs them (see the container caveat in ROADMAP.md: on
 //! a single-CPU host the parallel schedule cannot beat the sequential one).
@@ -251,6 +252,44 @@ fn measure_isolation() -> IsolationRuns {
     }
 }
 
+/// The path-condition triage layer over the golden alarm corpus: wall
+/// time of a `--triage both` pass plus how many alarms the path layer
+/// (alone) discharged. The generated bench corpus rarely produces dead
+/// dominating guards, so this measurement runs over `tests/alarms/`,
+/// whose `path_*.c` cases guarantee path discharges.
+struct TriageRun {
+    mode: &'static str,
+    discharged_path: u64,
+    secs: f64,
+}
+
+fn measure_triage() -> TriageRun {
+    let opts = PipelineOptions {
+        jobs: 1,
+        canonical: true,
+        ..PipelineOptions::default()
+    };
+    let project = Project::Dir("tests/alarms".into());
+    let start = Instant::now();
+    let report = run(&project, &opts).expect("triage run over tests/alarms");
+    let secs = start.elapsed().as_secs_f64();
+    let discharged_path = report
+        .get("totals")
+        .and_then(|t| t.get("discharged_path"))
+        .and_then(Json::as_u64)
+        .expect("discharged_path");
+    println!(
+        "triage (mode {}): {discharged_path} path-discharged alarm(s) over \
+         tests/alarms ({secs:.3}s)",
+        opts.triage.name()
+    );
+    TriageRun {
+        mode: opts.triage.name(),
+        discharged_path,
+        secs,
+    }
+}
+
 /// Cold+warm pass over a throwaway cache directory; returns the warm run's
 /// hit rate (1.0 = every procedure served from cache).
 fn measure_hit_rate(project: &Project) -> f64 {
@@ -271,6 +310,7 @@ fn measure_hit_rate(project: &Project) -> f64 {
         .expect("hit_rate")
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check(
     baseline_path: &str,
     m: &Measured,
@@ -279,6 +319,7 @@ fn check(
     invalid: u64,
     backends_identical: bool,
     isolation: &IsolationRuns,
+    triage: &TriageRun,
 ) -> ExitCode {
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
@@ -401,6 +442,18 @@ fn check(
     } else {
         println!("isolated workers: 0 killed, 0 retried ok");
     }
+    // Hard gate, independent of the baseline: the path-condition layer
+    // must discharge at least one alarm over the golden corpus — zero
+    // means the dominating-guard walk stopped finding its cases.
+    if triage.discharged_path == 0 {
+        eprintln!("FAIL: path triage discharged no alarms over tests/alarms");
+        failed = true;
+    } else {
+        println!(
+            "path-discharged alarms (mode {}): {} ok",
+            triage.mode, triage.discharged_path
+        );
+    }
     if hit_rate < base_hit_rate {
         eprintln!(
             "FAIL: warm cache hit rate regressed: {hit_rate:.3} < baseline {base_hit_rate:.3}"
@@ -478,6 +531,7 @@ fn main() -> ExitCode {
     let (validated, invalid) = measure_validation(&project);
     let (backend_runs, backends_identical) = measure_backends();
     let isolation = measure_isolation();
+    let triage = measure_triage();
 
     if let Some(path) = baseline {
         return check(
@@ -488,6 +542,7 @@ fn main() -> ExitCode {
             invalid,
             backends_identical,
             &isolation,
+            &triage,
         );
     }
     assert!(
@@ -544,6 +599,13 @@ fn main() -> ExitCode {
                 .with("oom", isolation.counters.oom)
                 .with("stalls", isolation.counters.stalls)
                 .with("identical", true),
+        )
+        .with(
+            "triage",
+            Json::obj()
+                .with("mode", triage.mode)
+                .with("discharged_path", triage.discharged_path as usize)
+                .with("triage_secs", triage.secs),
         );
     std::fs::write("BENCH_pipeline.json", report.to_pretty() + "\n")
         .expect("write BENCH_pipeline.json");

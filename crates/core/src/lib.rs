@@ -28,6 +28,8 @@
 //!   same D̂/Û sets, dependencies and engine — the framework's genericity
 //!   demonstrated in code;
 //! * [`checker`] — the Sparrow-style buffer-overrun + null-deref client;
+//! * [`pathcond`] — dominator trees, dominating `assume` guard chains and
+//!   the sound guard-conjunction evaluation behind path-sensitive triage;
 //! * [`stats`] — the per-phase measurements the tables report.
 //!
 //! # Quickstart
@@ -58,6 +60,7 @@ pub mod icfg;
 pub mod interface;
 pub mod interval;
 pub mod octagon;
+pub mod pathcond;
 pub mod preanalysis;
 pub mod semantics;
 pub mod sparse;

@@ -1,14 +1,27 @@
-//! Octagon-backed alarm triage: discharging interval alarms with the
-//! packed relational analysis of §4.
+//! Alarm triage: discharging interval alarms with the packed relational
+//! analysis of §4 (octagon layer) and with dominating-guard path
+//! conditions (path layer), selectable via [`TriageMode`].
 //!
 //! The interval checkers ([`crate::checker`]) over-approximate each
 //! variable in isolation, so loop-bounded accesses like
 //! `while (i < n) buf[i] = …` (with `buf = malloc(n)`) alarm even though
 //! `i < n` always holds at the access. The packed octagon domain *does*
-//! track `i − n ≤ −1`, so this pass re-examines every **possible** (open,
-//! non-definite) alarm against an octagon run and demotes the ones whose
-//! error condition is relationally refuted to
+//! track `i − n ≤ −1`, so the octagon pass re-examines every **possible**
+//! (open, non-definite) alarm against an octagon run and demotes the ones
+//! whose error condition is relationally refuted to
 //! [`Status::Discharged`].
+//!
+//! The path layer ([`crate::pathcond`]) is orthogonal: instead of refuting
+//! the error *condition* it refutes the error *point*. For each remaining
+//! possible alarm it collects the chain of `assume` guards dominating the
+//! alarm (with the branch polarity actually taken) and discharges when
+//! the guard conjunction is infeasible under sound interval evaluation —
+//! either a single dominating guard can never hold on its own inputs, or
+//! the conjunction of write-free ("stable") dominating guards refines
+//! some variable to ⊥. Discharges carry the `path_infeasible` method and
+//! a proving pack naming the guard chain. Degraded interval results skip
+//! the path layer entirely: its queries lean on the fixpoint being a
+//! genuine post-fixpoint.
 //!
 //! # Soundness
 //!
@@ -45,17 +58,63 @@ use crate::budget::Budget;
 use crate::checker;
 use crate::depgen::DepGenOptions;
 use crate::depstore::DepBackend;
-use crate::interval::{AnalyzeOptions, Engine};
+use crate::interval::{AnalyzeOptions, Engine, IntervalResult};
 use crate::octagon::{self, OctagonResult};
+use crate::pathcond::{self, DomTree, GuardSite, PathIndex};
 use crate::preanalysis::PreAnalysis;
 use crate::widening::WideningConfig;
-use sga_diag::{DiagKind, Diagnostic, Evidence, Status};
+use sga_diag::{DiagKind, Diagnostic, DischargeMethod, Evidence, Status};
 use sga_domains::interval::Bound;
 use sga_domains::{AbsLoc, Interval, Lattice, Octagon, PackId};
-use sga_ir::{BinOp, Cmd, Cp, Expr, LVal, NodeId, Proc, ProcId, Program, VarId};
+use sga_ir::{BinOp, Cmd, Cond, Cp, Expr, LVal, NodeId, Proc, ProcId, Program, VarId};
 use sga_utils::{FxHashSet, Idx};
 
-/// How the triage octagon run is configured.
+/// Which triage layers run. The octagon layer refutes error conditions
+/// relationally; the path layer proves alarm points unreachable from
+/// their dominating guards. `Both` runs octagon first, then path on
+/// whatever stays open — its discharged set is a superset of either layer
+/// alone by construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TriageMode {
+    /// Octagon layer only (the pre-path behavior).
+    Octagon,
+    /// Path-condition layer only (no octagon fixpoint).
+    Path,
+    /// Octagon, then path on the remaining open alarms.
+    #[default]
+    Both,
+}
+
+impl TriageMode {
+    /// Stable name, as accepted by `--triage` and recorded in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TriageMode::Octagon => "octagon",
+            TriageMode::Path => "path",
+            TriageMode::Both => "both",
+        }
+    }
+
+    /// Parses a `--triage` argument.
+    pub fn parse(s: &str) -> Option<TriageMode> {
+        match s {
+            "octagon" => Some(TriageMode::Octagon),
+            "path" => Some(TriageMode::Path),
+            "both" => Some(TriageMode::Both),
+            _ => None,
+        }
+    }
+
+    fn runs_octagon(self) -> bool {
+        matches!(self, TriageMode::Octagon | TriageMode::Both)
+    }
+
+    fn runs_path(self) -> bool {
+        matches!(self, TriageMode::Path | TriageMode::Both)
+    }
+}
+
+/// How the triage pass is configured.
 #[derive(Clone, Debug)]
 pub struct TriageOptions {
     /// Octagon engine (defaults to sparse, like the main analysis).
@@ -68,6 +127,8 @@ pub struct TriageOptions {
     pub widening: WideningConfig,
     /// Work budget for the octagon fixpoint (see [`derived_budget`]).
     pub budget: Budget,
+    /// Which triage layers run.
+    pub mode: TriageMode,
 }
 
 impl Default for TriageOptions {
@@ -78,6 +139,7 @@ impl Default for TriageOptions {
             dep_backend: DepBackend::default(),
             widening: WideningConfig::default(),
             budget: Budget::unbounded(),
+            mode: TriageMode::default(),
         }
     }
 }
@@ -87,10 +149,12 @@ impl Default for TriageOptions {
 pub struct TriageStats {
     /// Open, non-definite alarms examined.
     pub candidates: usize,
-    /// Alarms demoted to discharged.
+    /// Alarms demoted to discharged (all layers).
     pub discharged: usize,
+    /// Alarms discharged by the path-condition layer specifically.
+    pub discharged_path: usize,
     /// Whether the octagon fixpoint ran at all (skipped when there are no
-    /// candidates).
+    /// candidates, or in `--triage path` mode).
     pub octagon_ran: bool,
     /// Whether the octagon fixpoint degraded under its budget.
     pub degraded: bool,
@@ -110,12 +174,15 @@ pub fn derived_budget(interval_iterations: usize, base: &Budget) -> Budget {
     }
 }
 
-/// Runs the octagon analysis (if there is anything to examine) and demotes
-/// every relationally-refuted alarm in `diags` to discharged, recording
-/// the proving packs and constraint.
+/// Runs the triage layers selected by `options.mode` and demotes every
+/// refuted alarm in `diags` to discharged, recording the proving packs
+/// (octagon member sets, or dominating guard chains) and the refuting
+/// constraint. `result` is the interval fixpoint the alarms came from —
+/// the path layer evaluates guard conditions against it.
 pub fn discharge(
     program: &Program,
     pre: &PreAnalysis,
+    result: &IntervalResult,
     diags: &mut [Diagnostic],
     options: &TriageOptions,
 ) -> TriageStats {
@@ -138,34 +205,122 @@ pub fn discharge(
         return stats;
     }
 
-    let res = octagon::analyze_with(
-        program,
-        options.engine,
-        AnalyzeOptions {
-            depgen: options.depgen,
-            dep_backend: options.dep_backend,
-            semi_sparse: false,
-            widening: options.widening,
-            budget: options.budget,
-        },
-    );
-    stats.octagon_ran = true;
-    stats.degraded = res.stats.degraded;
+    // Dominator trees and assume-site indices are built lazily per
+    // procedure and shared by both layers (the octagon overrun check needs
+    // dominance for its alloc chains, the path layer for guard chains).
+    let mut paths = PathIndex::new();
 
-    let q = OctQuery { program, res: &res };
-    for i in candidates {
-        let verdict = match diags[i].kind {
-            DiagKind::BufferOverrun => try_discharge_overrun(program, pre, &q, &diags[i]),
-            DiagKind::NullDeref => try_discharge_null(program, &q, &diags[i]),
-            DiagKind::DivByZero => try_discharge_div(program, &q, &diags[i]),
-            _ => None,
-        };
-        if let Some((pack, reason)) = verdict {
-            diags[i].status = Status::Discharged { pack, reason };
-            stats.discharged += 1;
+    if options.mode.runs_octagon() {
+        let res = octagon::analyze_with(
+            program,
+            options.engine,
+            AnalyzeOptions {
+                depgen: options.depgen,
+                dep_backend: options.dep_backend,
+                semi_sparse: false,
+                widening: options.widening,
+                budget: options.budget,
+            },
+        );
+        stats.octagon_ran = true;
+        stats.degraded = res.stats.degraded;
+
+        let q = OctQuery { program, res: &res };
+        for &i in &candidates {
+            let verdict = match diags[i].kind {
+                DiagKind::BufferOverrun => {
+                    try_discharge_overrun(program, pre, &q, &mut paths, &diags[i])
+                }
+                DiagKind::NullDeref => try_discharge_null(program, &q, &diags[i]),
+                DiagKind::DivByZero => try_discharge_div(program, &q, &diags[i]),
+                _ => None,
+            };
+            if let Some((pack, reason)) = verdict {
+                diags[i].status = Status::Discharged {
+                    method: DischargeMethod::Octagon,
+                    pack,
+                    reason,
+                };
+                stats.discharged += 1;
+            }
+        }
+    }
+
+    // The path layer runs on whatever the octagon layer left open, so in
+    // `Both` mode its discharged set can only grow. A degraded interval
+    // fixpoint is skipped outright: the guard evaluation below is only
+    // sound against a genuine post-fixpoint.
+    if options.mode.runs_path() && !result.stats.degraded {
+        for &i in &candidates {
+            if !diags[i].is_open() {
+                continue;
+            }
+            if let Some((pack, reason)) = try_discharge_path(program, result, &mut paths, &diags[i])
+            {
+                diags[i].status = Status::Discharged {
+                    method: DischargeMethod::PathInfeasible,
+                    pack,
+                    reason,
+                };
+                stats.discharged += 1;
+                stats.discharged_path += 1;
+            }
         }
     }
     stats
+}
+
+/// The path-condition layer for one alarm: collect the dominating assume
+/// guards, then either (a) find a single dominating guard that can never
+/// hold on its own inputs — the alarm point is unreachable — or (b) refute
+/// the conjunction of the *stable* dominating guards (no writes to their
+/// variables between guard and alarm) by iterated interval refinement.
+fn try_discharge_path(
+    program: &Program,
+    result: &IntervalResult,
+    paths: &mut PathIndex,
+    d: &Diagnostic,
+) -> Option<(String, String)> {
+    let pid = d.cp.proc;
+    let proc = &program.procs[pid];
+    if proc.is_external {
+        return None;
+    }
+    let pp = paths.proc_paths(program, pid);
+    let chain = pp.guard_chain(d.cp.node);
+    if chain.is_empty() {
+        return None;
+    }
+
+    // (a) A dead dominating guard: the proving pack is the chain prefix up
+    // to and including the guard that can never hold.
+    for (i, g) in chain.iter().enumerate() {
+        if let Some(reason) = pathcond::guard_is_dead(program, result, pid, g.node) {
+            let pack = pathcond::render_chain(program, proc, &chain[..=i]);
+            return Some((pack, reason));
+        }
+    }
+
+    // (b) Contradictory conjunction of stable guards. A single guard can
+    // never contradict the seed (the seed already reflects it), so only
+    // bother from two guards up.
+    let stable: Vec<&GuardSite> = chain
+        .iter()
+        .copied()
+        .filter(|g| pathcond::guard_is_stable(program, pid, g.node, d.cp.node))
+        .collect();
+    if stable.len() < 2 {
+        return None;
+    }
+    let guards: Vec<(NodeId, &Cond)> = stable
+        .iter()
+        .filter_map(|g| match &proc.nodes[g.node].cmd {
+            Cmd::Assume(c) => Some((g.node, c)),
+            _ => None,
+        })
+        .collect();
+    let reason = pathcond::refute_conjunction(program, result, d.cp, &guards)?;
+    Some((pathcond::render_chain(program, proc, &stable), reason))
 }
 
 /// Relational queries against the octagon result, evaluated *before* a
@@ -307,48 +462,23 @@ fn writes_of(program: &Program, x: VarId) -> Vec<Cp> {
     out
 }
 
-/// Whether every entry→`target` path passes through `dom` (with
-/// `dom == target` trivially true): `target` must be unreachable from the
-/// entry once `dom` is removed.
-fn dominates(proc: &Proc, dom: NodeId, target: NodeId) -> bool {
-    if dom == target {
-        return true;
-    }
-    if proc.entry == dom {
-        return true;
-    }
-    let mut stack = vec![proc.entry];
-    let mut visited: FxHashSet<NodeId> = stack.iter().copied().collect();
-    while let Some(n) = stack.pop() {
-        if n == dom {
-            continue;
-        }
-        if n == target {
-            return false;
-        }
-        for &s in proc.succs_of(n) {
-            if visited.insert(s) {
-                stack.push(s);
-            }
-        }
-    }
-    true
-}
-
 /// Follows single-write copy chains from `base` down to the alarm's
 /// allocation: every link must be the variable's only direct write in the
 /// whole program, must not be address-taken, must live in `proc`, and must
 /// dominate the point the previous link is consumed at — so at the access,
 /// `base` provably holds offset 0 of a block allocated *this* activation
-/// at `alloc_cp`. Returns the allocation's size expression.
-fn alloc_chain_size(
-    program: &Program,
+/// at `alloc_cp`. Returns the allocation's size expression. Dominance
+/// comes from the shared memoized dominator tree ([`DomTree`]) rather
+/// than a per-query reachability walk.
+fn alloc_chain_size<'p>(
+    program: &'p Program,
     pid: ProcId,
+    dom: &DomTree,
     base: VarId,
     alloc_cp: Cp,
     use_node: NodeId,
     depth: usize,
-) -> Option<&Expr> {
+) -> Option<&'p Expr> {
     if depth == 0 {
         return None;
     }
@@ -363,13 +493,13 @@ fn alloc_chain_size(
         return None;
     }
     let proc = &program.procs[pid];
-    if !dominates(proc, w.node, use_node) {
+    if !dom.dominates(w.node, use_node) {
         return None;
     }
     match &proc.nodes[w.node].cmd {
         Cmd::Alloc(LVal::Var(_), size) => (*w == alloc_cp).then_some(size),
         Cmd::Assign(LVal::Var(_), Expr::Var(src)) => {
-            alloc_chain_size(program, pid, *src, alloc_cp, w.node, depth - 1)
+            alloc_chain_size(program, pid, dom, *src, alloc_cp, w.node, depth - 1)
         }
         _ => None,
     }
@@ -387,6 +517,7 @@ fn try_discharge_overrun(
     program: &Program,
     pre: &PreAnalysis,
     q: &OctQuery<'_>,
+    paths: &mut PathIndex,
     d: &Diagnostic,
 ) -> Option<(String, String)> {
     let t = d.var?;
@@ -430,7 +561,8 @@ fn try_discharge_overrun(
         _ => return None,
     };
 
-    let size = alloc_chain_size(program, pid, base, alloc_cp, d.cp.node, 4)?;
+    let dom = &paths.proc_paths(program, pid).dom;
+    let size = alloc_chain_size(program, pid, dom, base, alloc_cp, d.cp.node, 4)?;
 
     let (idx_itv, mut pids) = q.itv_before(d.cp, idx);
     if !matches!(idx_itv.lo(), Some(Bound::Int(l)) if l >= 0) {
@@ -535,11 +667,19 @@ mod tests {
     use sga_cfront::parse;
 
     fn triage(src: &str) -> (Vec<Diagnostic>, TriageStats) {
+        triage_with(src, TriageMode::default())
+    }
+
+    fn triage_with(src: &str, mode: TriageMode) -> (Vec<Diagnostic>, TriageStats) {
         let p = parse(src).unwrap();
         let pre = preanalysis::run(&p);
         let r = analyze(&p, Engine::Sparse);
         let mut diags = checker::check_all(&p, &r, &pre);
-        let stats = discharge(&p, &pre, &mut diags, &TriageOptions::default());
+        let opts = TriageOptions {
+            mode,
+            ..TriageOptions::default()
+        };
+        let stats = discharge(&p, &pre, &r, &mut diags, &opts);
         (diags, stats)
     }
 
@@ -572,7 +712,7 @@ mod tests {
             "octagon should discharge the loop access: {overruns:?}"
         );
         assert!(stats.discharged >= 1, "{stats:?}");
-        if let Some(Status::Discharged { pack, reason }) =
+        if let Some(Status::Discharged { pack, reason, .. }) =
             overruns.iter().find(|d| !d.is_open()).map(|d| &d.status)
         {
             assert!(
@@ -703,7 +843,7 @@ mod tests {
             budget: Budget::with_max_steps(1),
             ..TriageOptions::default()
         };
-        let stats = discharge(&p, &pre, &mut diags, &opts);
+        let stats = discharge(&p, &pre, &r, &mut diags, &opts);
         assert!(stats.octagon_ran);
         // Degraded or not, every status change must still carry a pack.
         for d in &diags {
@@ -719,5 +859,199 @@ mod tests {
         assert_eq!(b.max_steps, Some(656));
         let b = derived_budget(100, &Budget::with_max_steps(10));
         assert_eq!(b.max_steps, Some(10));
+    }
+
+    /// A null deref guarded by a dominating condition that can never hold:
+    /// the octagon layer cannot refute it (the pointer genuinely may be
+    /// null), the path layer proves the deref unreachable.
+    const DEAD_GUARD: &str = "int g;
+        int main(int n) {
+            int x = 3;
+            int *p = 0;
+            if (n > 0) { p = &g; }
+            if (x > 10) { *p = 1; }
+            return 0;
+         }";
+
+    #[test]
+    fn dead_dominating_guard_discharges_via_path_layer() {
+        let (diags, stats) = triage(DEAD_GUARD);
+        let nulls: Vec<_> = diags
+            .iter()
+            .filter(|d| d.kind == DiagKind::NullDeref)
+            .collect();
+        assert!(!nulls.is_empty(), "interval must alarm first: {diags:?}");
+        let discharged = nulls.iter().find(|d| !d.is_open()).expect("discharged");
+        let Status::Discharged {
+            method,
+            pack,
+            reason,
+        } = &discharged.status
+        else {
+            panic!("{discharged:?}");
+        };
+        assert_eq!(*method, DischargeMethod::PathInfeasible, "{discharged:?}");
+        assert!(pack.contains("then@") && pack.contains("x > 10"), "{pack}");
+        assert!(reason.contains("never holds"), "{reason}");
+        assert_eq!(stats.discharged_path, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn octagon_mode_leaves_path_only_alarms_open() {
+        let (diags, stats) = triage_with(DEAD_GUARD, TriageMode::Octagon);
+        assert!(
+            diags
+                .iter()
+                .filter(|d| d.kind == DiagKind::NullDeref)
+                .all(|d| d.is_open()),
+            "octagon alone cannot refute a may-null pointer: {diags:?}"
+        );
+        assert_eq!(stats.discharged_path, 0);
+        assert!(stats.octagon_ran);
+    }
+
+    #[test]
+    fn path_mode_skips_the_octagon_fixpoint() {
+        let (diags, stats) = triage_with(DEAD_GUARD, TriageMode::Path);
+        assert!(!stats.octagon_ran);
+        assert_eq!(stats.discharged, stats.discharged_path);
+        assert!(
+            diags
+                .iter()
+                .filter(|d| d.kind == DiagKind::NullDeref)
+                .any(|d| !d.is_open()),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn both_mode_discharges_a_superset_of_octagon_mode() {
+        // One octagon-dischargeable alarm (relational divisor) plus one
+        // path-dischargeable alarm (dead guard over a may-null deref).
+        let src = "int g;
+            int main(int n, int m) {
+                int r = 0;
+                if (m < n) { r = 100 / (n - m); }
+                int x = 1;
+                int *p = 0;
+                if (n > 0) { p = &g; }
+                if (x > 5) { *p = r; }
+                return r;
+             }";
+        let (oct, _) = triage_with(src, TriageMode::Octagon);
+        let (both, stats) = triage_with(src, TriageMode::Both);
+        let discharged = |v: &[Diagnostic]| -> Vec<u64> {
+            v.iter()
+                .filter(|d| !d.is_open())
+                .map(|d| d.fingerprint)
+                .collect()
+        };
+        let oct_set = discharged(&oct);
+        let both_set = discharged(&both);
+        assert!(
+            oct_set.iter().all(|fp| both_set.contains(fp)),
+            "both must contain every octagon discharge: {oct_set:?} vs {both_set:?}"
+        );
+        assert!(
+            both_set.len() > oct_set.len(),
+            "path layer must add a discharge: {oct_set:?} vs {both_set:?}"
+        );
+        // Definite alarms are untouched in every mode.
+        let definite = |v: &[Diagnostic]| -> Vec<(u64, bool)> {
+            v.iter()
+                .filter(|d| d.definite)
+                .map(|d| (d.fingerprint, d.is_open()))
+                .collect()
+        };
+        assert_eq!(definite(&oct), definite(&both));
+        assert!(stats.discharged_path >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn contradictory_stable_guards_discharge_via_refinement() {
+        // n > 5 and n < 3 cannot hold together; n is never written between
+        // the guards and the division. Path-only mode, so the octagon layer
+        // (which also refutes this divisor) cannot get there first.
+        let (diags, stats) = triage_with(
+            "int main(int n) {
+                int r = 0;
+                if (n > 5) {
+                    if (n < 3) { r = 100 / n; }
+                }
+                return r;
+             }",
+            TriageMode::Path,
+        );
+        let divs: Vec<_> = diags
+            .iter()
+            .filter(|d| d.kind == DiagKind::DivByZero)
+            .collect();
+        if divs.is_empty() {
+            // The interval refinement may already prove the branch dead and
+            // raise no alarm at all — also acceptable.
+            return;
+        }
+        for d in &divs {
+            let Status::Discharged {
+                method,
+                pack,
+                reason,
+            } = &d.status
+            else {
+                panic!("contradictory guards must discharge: {d:?}");
+            };
+            assert_eq!(*method, DischargeMethod::PathInfeasible);
+            assert!(pack.contains("n > 5") && pack.contains("n < 3"), "{pack}");
+            assert!(
+                reason.contains("conflict") || reason.contains("never holds"),
+                "{reason}"
+            );
+        }
+        let _ = stats;
+    }
+
+    #[test]
+    fn loop_carried_guard_is_never_path_discharged() {
+        // The loop guard i < 8 dominates the body access but i is written
+        // inside the guard→access region, so it is not stable and the path
+        // layer must not reason with it. In Path-only mode everything
+        // stays open.
+        let (diags, stats) = triage_with(
+            "int probe(int n) {
+                int s = 0;
+                if (n > 0) {
+                    int *buf = malloc(n);
+                    int i = 0;
+                    while (i < n) { buf[i] = i; i = i + 1; }
+                    s = i;
+                }
+                return s;
+             }
+             int main(int argc) { return probe(argc); }",
+            TriageMode::Path,
+        );
+        assert!(
+            diags.iter().any(|d| d.kind == DiagKind::BufferOverrun),
+            "interval must alarm first: {diags:?}"
+        );
+        assert!(
+            diags.iter().filter(|d| !d.definite).all(|d| d.is_open()),
+            "loop-carried guards must not discharge: {diags:?}"
+        );
+        assert_eq!(stats.discharged_path, 0);
+    }
+
+    #[test]
+    fn degraded_interval_result_skips_the_path_layer() {
+        let p = parse(DEAD_GUARD).unwrap();
+        let pre = preanalysis::run(&p);
+        let mut r = analyze(&p, Engine::Sparse);
+        let mut diags = checker::check_all(&p, &r, &pre);
+        r.stats.degraded = true;
+        let stats = discharge(&p, &pre, &r, &mut diags, &TriageOptions::default());
+        assert_eq!(
+            stats.discharged_path, 0,
+            "degraded fixpoints must not feed path discharge: {stats:?}"
+        );
     }
 }

@@ -92,7 +92,7 @@ pub fn diff_open<'a, 'b>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DiagKind, Evidence, Status};
+    use crate::{DiagKind, DischargeMethod, Evidence, Status};
     use sga_ir::{Cp, NodeId, ProcId};
     use sga_utils::Idx;
 
@@ -148,6 +148,7 @@ mod tests {
         d.fingerprint = fingerprint;
         if !open {
             d.status = Status::Discharged {
+                method: DischargeMethod::Octagon,
                 pack: "{x}".into(),
                 reason: "x >= 1".into(),
             };

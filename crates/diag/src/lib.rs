@@ -10,10 +10,12 @@
 //! peers), never absolute control points or line numbers.
 //!
 //! A diagnostic starts [`Status::Open`] and may be demoted to
-//! [`Status::Discharged`] by the octagon-backed triage pass
-//! (`sga_core::triage`). A discharge always records the refuting pack and
-//! the constraint that proved the alarm impossible — absence of evidence
-//! is never a discharge.
+//! [`Status::Discharged`] by a triage pass (`sga_core::triage`): the
+//! octagon layer refutes the error condition relationally, the
+//! path-condition layer proves the alarm point unreachable from its
+//! dominating guards ([`DischargeMethod`]). A discharge always records
+//! the proving pack and the constraint that proved the alarm impossible —
+//! absence of evidence is never a discharge.
 //!
 //! Submodules: [`sarif`] (SARIF 2.1.0 emission), [`schema`] (an offline
 //! JSON-Schema checker for the vendored SARIF schema), [`baseline`]
@@ -125,18 +127,51 @@ impl Evidence {
     }
 }
 
+/// Which triage layer proved an alarm impossible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DischargeMethod {
+    /// The packed octagon pass: a relational constraint refuted the error
+    /// condition.
+    Octagon,
+    /// The path-condition pass: the conjunction of dominating `assume`
+    /// guards is infeasible, so the alarm point is unreachable.
+    PathInfeasible,
+}
+
+impl DischargeMethod {
+    /// Stable identifier used in report/cache JSON and SARIF.
+    pub fn id(self) -> &'static str {
+        match self {
+            DischargeMethod::Octagon => "octagon",
+            DischargeMethod::PathInfeasible => "path_infeasible",
+        }
+    }
+
+    /// Parses a method identifier.
+    pub fn from_id(id: &str) -> Option<DischargeMethod> {
+        match id {
+            "octagon" => Some(DischargeMethod::Octagon),
+            "path_infeasible" => Some(DischargeMethod::PathInfeasible),
+            _ => None,
+        }
+    }
+}
+
 /// Whether the alarm stands or was refuted by triage.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Status {
     /// The alarm stands.
     Open,
-    /// The octagon triage pass proved the alarm impossible; the proving
-    /// pack and the refuting constraint are recorded.
+    /// A triage pass proved the alarm impossible; the proving pack and the
+    /// refuting constraint are recorded.
     Discharged {
-        /// Rendered member list of the pack whose constraints refuted the
-        /// alarm.
+        /// Which triage layer discharged the alarm.
+        method: DischargeMethod,
+        /// The proving pack: the rendered member list of the octagon pack,
+        /// or the rendered dominating guard chain (with polarities) for a
+        /// path discharge.
         pack: String,
-        /// The refuting constraint, rendered.
+        /// The refuting constraint or infeasibility fact, rendered.
         reason: String,
     },
 }
@@ -274,11 +309,16 @@ impl Diagnostic {
             Status::Open => {
                 j.set("status", "open");
             }
-            Status::Discharged { pack, reason } => {
+            Status::Discharged {
+                method,
+                pack,
+                reason,
+            } => {
                 j.set("status", "discharged");
                 j.set(
                     "discharge",
                     Json::obj()
+                        .with("method", method.id())
                         .with("pack", pack.as_str())
                         .with("reason", reason.as_str()),
                 );
@@ -331,7 +371,14 @@ impl Diagnostic {
             "open" => Status::Open,
             "discharged" => {
                 let d = j.get("discharge")?;
+                // Records written before the method field existed are all
+                // octagon discharges.
+                let method = match d.get("method") {
+                    Some(m) => DischargeMethod::from_id(m.as_str()?)?,
+                    None => DischargeMethod::Octagon,
+                };
                 Status::Discharged {
+                    method,
                     pack: d.get("pack")?.as_str()?.to_string(),
                     reason: d.get("reason")?.as_str()?.to_string(),
                 }
@@ -383,8 +430,18 @@ impl fmt::Display for Diagnostic {
                 self.evidence.render(),
             )?,
         }
-        if let Status::Discharged { pack, reason } = &self.status {
-            write!(f, " — discharged by pack {pack}: {reason}")?;
+        match &self.status {
+            Status::Discharged {
+                method: DischargeMethod::Octagon,
+                pack,
+                reason,
+            } => write!(f, " — discharged by pack {pack}: {reason}")?,
+            Status::Discharged {
+                method: DischargeMethod::PathInfeasible,
+                pack,
+                reason,
+            } => write!(f, " — discharged by infeasible path {pack}: {reason}")?,
+            Status::Open => {}
         }
         Ok(())
     }
@@ -482,8 +539,16 @@ mod tests {
             d.definite = kind == DiagKind::UninitRead;
             if kind == DiagKind::NullDeref {
                 d.status = Status::Discharged {
+                    method: DischargeMethod::Octagon,
                     pack: "{p,n}".into(),
                     reason: "p >= 1".into(),
+                };
+            }
+            if kind == DiagKind::DivByZero {
+                d.status = Status::Discharged {
+                    method: DischargeMethod::PathInfeasible,
+                    pack: "then@3(n > 0) & else@5(n <= 0)".into(),
+                    reason: "guards conflict: n in [1,+oo] refines to empty".into(),
                 };
             }
             d.fingerprint = 0xdead_beef_0bad_f00d;
@@ -543,9 +608,26 @@ mod tests {
         assert_eq!(d.severity(), Severity::Error);
         d.definite = false;
         d.status = Status::Discharged {
+            method: DischargeMethod::Octagon,
             pack: "{i,n}".into(),
             reason: "i - n <= -1".into(),
         };
         assert_eq!(d.severity(), Severity::Note);
+    }
+
+    #[test]
+    fn missing_method_parses_as_octagon() {
+        let mut d = sample(DiagKind::NullDeref, 4, "p");
+        d.status = Status::Discharged {
+            method: DischargeMethod::Octagon,
+            pack: "{p}".into(),
+            reason: "p >= 1".into(),
+        };
+        let mut j = d.to_json();
+        // Simulate a pre-method record: strip the field.
+        let discharge = Json::obj().with("pack", "{p}").with("reason", "p >= 1");
+        j.set("discharge", discharge);
+        let back = Diagnostic::from_json(&j).expect("parses");
+        assert_eq!(back.status, d.status);
     }
 }

@@ -105,7 +105,7 @@ pub fn to_sarif(artifact_uri: &str, diags: &[Diagnostic]) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{assign_fingerprints, schema, Evidence, Status};
+    use crate::{assign_fingerprints, schema, DischargeMethod, Evidence, Status};
     use sga_ir::{Cp, NodeId, ProcId};
     use sga_utils::Idx;
 
@@ -141,6 +141,7 @@ mod tests {
             ),
         ];
         v[1].status = Status::Discharged {
+            method: DischargeMethod::Octagon,
             pack: "{m,n}".into(),
             reason: "n - m in [1,+oo]".into(),
         };

@@ -44,6 +44,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Bump when the cached schema or any analysis semantics change.
 ///
+/// v5: discharge records carry a `method` (`octagon` | `path_infeasible`)
+/// and the path-condition triage layer exists — entries written by a
+/// pre-path binary describe a different discharged set, so they must not
+/// be served to one that runs it (the triage mode itself also joins the
+/// options tag).
+///
 /// v4: entries carry the unit's link `interface` (per-function export
 /// hashes and imported external symbols with reverse dependents) — the
 /// incremental daemon's invalidation substrate.
@@ -54,7 +60,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 ///
 /// v2: checksummed `{checksum, payload}` envelope, atomic writes, the
 /// `degraded` flag.
-pub const CACHE_FORMAT: u32 = 4;
+pub const CACHE_FORMAT: u32 = 5;
 
 /// Store attempts per entry (first try + retries of transient IO errors).
 const STORE_ATTEMPTS: u32 = 3;

@@ -66,6 +66,7 @@ use sga_core::budget::{Budget, WorkerLimits};
 use sga_core::depgen::DepGenOptions;
 use sga_core::depstore::DepBackend;
 use sga_core::interval::AnalyzeOptions;
+use sga_core::triage::TriageMode;
 use sga_core::validate::{self, CheckKind, UnitValidation, ValidationInputs};
 use sga_core::widening::WideningConfig;
 use sga_utils::stats::StageTimers;
@@ -78,6 +79,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Report schema version (`"schema"` field of the emitted JSON).
+///
+/// v5: discharge records carry a `method` (`octagon` | `path_infeasible`;
+/// absent in older reports means `octagon`) with path discharges' proving
+/// packs naming the dominating guard chain; totals grow `discharged_path`;
+/// the options block grows `triage` (the [`sga_core::triage::TriageMode`]
+/// that ran).
 ///
 /// v4: stringly per-unit `alarms` replaced by structured `diagnostics`
 /// (the [`sga_diag::Diagnostic`] JSON shape: kind, control point, line,
@@ -97,7 +104,7 @@ use std::time::Instant;
 /// v2: per-unit `outcome` (`ok` | `degraded` | `crashed`, with `error` on
 /// crashes), `degraded`/`crashed` totals, and a `cache_health` block in
 /// non-canonical reports.
-pub const REPORT_SCHEMA: u32 = 4;
+pub const REPORT_SCHEMA: u32 = 5;
 
 /// What to analyze.
 #[derive(Clone, Debug)]
@@ -147,6 +154,11 @@ pub struct PipelineOptions {
     pub dep_backend: DepBackend,
     /// Widening strategy forwarded to the fixpoint solver.
     pub widening: WideningConfig,
+    /// Which triage layers run over each unit's possible alarms. Shapes
+    /// the diagnostics, so it joins both the cache key and the rendered
+    /// `source_hash` (unlike `dep_backend`, modes are *not* byte-equivalent
+    /// — `both` discharges strictly more than `octagon`).
+    pub triage: TriageMode,
     /// Where each unit's analysis runs: in-process worker threads (the
     /// default) or supervised re-exec'd worker processes that survive
     /// aborts, OOM, stack overflow, and hard stalls (see [`worker`]). Run
@@ -195,6 +207,7 @@ impl Default for PipelineOptions {
             depgen: DepGenOptions::default(),
             dep_backend: DepBackend::default(),
             widening: WideningConfig::default(),
+            triage: TriageMode::default(),
             isolation: IsolationMode::default(),
             worker_limits: WorkerLimits::unbounded(),
             keep_going: true,
@@ -578,6 +591,7 @@ fn process_unit(
                 options.depgen,
                 options.dep_backend,
                 options.widening,
+                options.triage,
                 budget,
                 timers,
             );
@@ -627,6 +641,7 @@ fn process_unit(
                 options.depgen,
                 options.dep_backend,
                 options.widening,
+                options.triage,
                 budget,
                 timers,
             );
@@ -670,23 +685,35 @@ fn process_unit(
 }
 
 /// The options part of every unit cache key: dependency options, widening,
-/// and the dependency backend. Keeping the backend in the key means a CSR
-/// run never serves a BDD run's entries (or vice versa) — equivalence is a
-/// *gated invariant*, not an assumption the cache is allowed to make.
+/// the triage mode, and the dependency backend. Keeping the backend in the
+/// key means a CSR run never serves a BDD run's entries (or vice versa) —
+/// equivalence is a *gated invariant*, not an assumption the cache is
+/// allowed to make. The triage mode joins for the opposite reason: modes
+/// genuinely change the stored diagnostics, so an `--triage octagon` entry
+/// (or journal record keyed off this tag) must never be served to an
+/// `--triage both` run.
 fn base_cache_tag(options: &PipelineOptions) -> String {
     format!(
-        "{:?}|{:?}|{}",
-        options.depgen, options.widening, options.dep_backend
+        "{:?}|{:?}|{}|{}",
+        options.depgen,
+        options.widening,
+        options.triage.name(),
+        options.dep_backend
     )
 }
 
 /// The options part of the *rendered* `source_hash`: only knobs that shape
-/// the analysis result (dependency options, widening; the budget joins per
-/// unit). The dependency backend is deliberately absent — backends must
-/// produce byte-identical canonical reports, so a run-mechanics knob may
-/// split the cache key but never the rendered hash.
+/// the analysis result (dependency options, widening, triage mode; the
+/// budget joins per unit). The dependency backend is deliberately absent —
+/// backends must produce byte-identical canonical reports, so a
+/// run-mechanics knob may split the cache key but never the rendered hash.
 fn semantic_tag(options: &PipelineOptions) -> String {
-    format!("{:?}|{:?}", options.depgen, options.widening)
+    format!(
+        "{:?}|{:?}|{}",
+        options.depgen,
+        options.widening,
+        options.triage.name()
+    )
 }
 
 /// The full per-unit cache key under `options` for a unit with this
@@ -778,7 +805,7 @@ pub fn assemble_report(
     options: &PipelineOptions,
 ) -> Result<Json, PipelineError> {
     let (mut procs, mut alarms, mut hits, mut misses) = (0usize, 0usize, 0usize, 0usize);
-    let (mut discharged, mut definite) = (0usize, 0usize);
+    let (mut discharged, mut discharged_path, mut definite) = (0usize, 0usize, 0usize);
     let (mut degraded_units, mut crashed_units, mut invalid_units) = (0usize, 0usize, 0usize);
     let (mut validated_units, mut skipped_units) = (0usize, 0usize);
     // Totals aggregate over the rendered objects (rather than over
@@ -796,7 +823,16 @@ pub fn assemble_report(
                         definite += 1;
                     }
                 }
-                Some("discharged") => discharged += 1,
+                Some("discharged") => {
+                    discharged += 1;
+                    let method = d
+                        .get("discharge")
+                        .and_then(|x| x.get("method"))
+                        .and_then(Json::as_str);
+                    if method == Some("path_infeasible") {
+                        discharged_path += 1;
+                    }
+                }
                 _ => {}
             }
         }
@@ -830,6 +866,7 @@ pub fn assemble_report(
         .with("engine", "sparse")
         .with("bypass", options.depgen.bypass)
         .with("widening", options.widening.strategy.name())
+        .with("triage", options.triage.name())
         .with("cache", options.cache_dir.is_some())
         .with("validate", options.validate);
     if !options.canonical {
@@ -850,6 +887,7 @@ pub fn assemble_report(
         .with("procs", procs)
         .with("alarms", alarms)
         .with("discharged", discharged)
+        .with("discharged_path", discharged_path)
         .with("definite", definite)
         .with("degraded", degraded_units)
         .with("crashed", crashed_units)
@@ -1208,6 +1246,30 @@ mod tag_tests {
         assert_eq!(
             cache::unit_key(source, &semantic_tag(&csr)),
             cache::unit_key(source, &semantic_tag(&bdd)),
+        );
+    }
+
+    /// The triage mode changes the diagnostics themselves (`both`
+    /// discharges strictly more than `octagon`), so unlike the backend it
+    /// splits the cache key *and* the rendered `source_hash`: a stale
+    /// journal or cache entry from another mode can never replay.
+    #[test]
+    fn triage_mode_splits_cache_key_and_rendered_hash() {
+        use sga_core::triage::TriageMode;
+        let octagon = PipelineOptions {
+            triage: TriageMode::Octagon,
+            ..PipelineOptions::default()
+        };
+        let both = PipelineOptions {
+            triage: TriageMode::Both,
+            ..PipelineOptions::default()
+        };
+        assert_ne!(base_cache_tag(&octagon), base_cache_tag(&both));
+        assert_ne!(semantic_tag(&octagon), semantic_tag(&both));
+        let source = "int main() { return 0; }";
+        assert_ne!(
+            unit_cache_key(&octagon, source),
+            unit_cache_key(&both, source)
         );
     }
 

@@ -8,7 +8,7 @@
 use crate::cache::Cache;
 use crate::unit::{ProcArtifact, UnitAnalysis};
 use sga_core::interface::{ImportRef, ProcInterface, UnitInterface};
-use sga_diag::{DiagKind, Diagnostic, Evidence, Status};
+use sga_diag::{DiagKind, Diagnostic, DischargeMethod, Evidence, Status};
 use sga_ir::{Cp, NodeId, ProcId};
 use sga_utils::Idx;
 use std::path::PathBuf;
@@ -57,8 +57,9 @@ pub(crate) fn sample_analysis() -> UnitAnalysis {
             Diagnostic {
                 fingerprint: 0x99AA_BBCC_DDEE_FF00,
                 status: Status::Discharged {
-                    pack: "{i,n}".into(),
-                    reason: "i >= 0 and i - n <= -1".into(),
+                    method: DischargeMethod::PathInfeasible,
+                    pack: "then@3(n > 0) & else@6(i <= 0)".into(),
+                    reason: "guards conflict: i in [1,+oo] refines to empty".into(),
                 },
                 ..Diagnostic::new(
                     DiagKind::DivByZero,

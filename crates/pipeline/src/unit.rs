@@ -28,7 +28,7 @@ use sga_core::icfg::Icfg;
 use sga_core::interface::{self, UnitInterface};
 use sga_core::interval::{Engine, IntervalResult, IntervalSparseSpec};
 use sga_core::stats::AnalysisStats;
-use sga_core::triage::{self, TriageOptions};
+use sga_core::triage::{self, TriageMode, TriageOptions};
 use sga_core::widening::{WideningConfig, WideningPlan};
 use sga_core::{checker, defuse, preanalysis, sparse};
 use sga_diag::Diagnostic;
@@ -133,34 +133,38 @@ pub struct UnitInternals {
 /// `jobs` worker threads for the per-procedure stages. Stage wall times are
 /// accumulated into `timers` (they sum *work* across workers, not elapsed
 /// wall time, once `jobs > 1`).
+#[allow(clippy::too_many_arguments)]
 pub fn analyze_unit(
     program: &Program,
     jobs: usize,
     options: DepGenOptions,
     backend: DepBackend,
     widening: WideningConfig,
+    triage: TriageMode,
     budget: &Budget,
     timers: &StageTimers,
 ) -> UnitAnalysis {
     analyze_unit_inner(
-        program, jobs, options, backend, widening, budget, timers, false,
+        program, jobs, options, backend, widening, triage, budget, timers, false,
     )
     .0
 }
 
 /// [`analyze_unit`] keeping the solver internals alive for the validation
 /// oracle. Costs one extra clone of the sparse value map.
+#[allow(clippy::too_many_arguments)]
 pub fn analyze_unit_traced(
     program: &Program,
     jobs: usize,
     options: DepGenOptions,
     backend: DepBackend,
     widening: WideningConfig,
+    triage: TriageMode,
     budget: &Budget,
     timers: &StageTimers,
 ) -> (UnitAnalysis, UnitInternals) {
     let (analysis, internals) = analyze_unit_inner(
-        program, jobs, options, backend, widening, budget, timers, true,
+        program, jobs, options, backend, widening, triage, budget, timers, true,
     );
     (
         analysis,
@@ -175,6 +179,7 @@ fn analyze_unit_inner(
     options: DepGenOptions,
     backend: DepBackend,
     widening: WideningConfig,
+    triage_mode: TriageMode,
     budget: &Budget,
     timers: &StageTimers,
     keep_internals: bool,
@@ -255,17 +260,20 @@ fn analyze_unit_inner(
         (values, sparse_values, solved.iterations, solved.degraded)
     });
 
-    let (mut diags, fingerprint) = timers.time("check", || {
-        let stats = AnalysisStats {
+    // The result outlives the check stage: the path-condition triage layer
+    // evaluates dominating guards against the same fixpoint the alarms came
+    // from (and its `degraded` flag gates that layer off entirely).
+    let result = IntervalResult {
+        engine: Engine::Sparse,
+        values,
+        stats: AnalysisStats {
             iterations,
             num_locs: du.locs.len(),
+            degraded,
             ..AnalysisStats::default()
-        };
-        let result = IntervalResult {
-            engine: Engine::Sparse,
-            values,
-            stats,
-        };
+        },
+    };
+    let (mut diags, fingerprint) = timers.time("check", || {
         (
             checker::check_all(program, &result, &pre),
             fingerprint_values(&result.values),
@@ -279,8 +287,9 @@ fn analyze_unit_inner(
             dep_backend: backend,
             widening,
             budget: triage::derived_budget(iterations, budget),
+            mode: triage_mode,
         };
-        triage::discharge(program, &pre, &mut diags, &topts).degraded
+        triage::discharge(program, &pre, &result, &mut diags, &topts).degraded
     });
 
     let procs = pids

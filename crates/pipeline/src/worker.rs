@@ -42,6 +42,7 @@ use crate::unit::UnitAnalysis;
 use crate::{PipelineOptions, Processed, UnitCtx, UnitInput};
 use sga_core::budget::{Budget, WorkerLimits};
 use sga_core::depstore::DepBackend;
+use sga_core::triage::TriageMode;
 use sga_core::widening::{WideningConfig, WideningStrategy};
 use sga_utils::stats::StageTimers;
 use sga_utils::Json;
@@ -233,6 +234,7 @@ fn encode_request(
         .with("bypass", options.depgen.bypass)
         .with("dep_backend", options.dep_backend.as_str())
         .with("widening", options.widening.strategy.name())
+        .with("triage", options.triage.name())
         .with("validate", options.validate)
         .with("quarantine_keep", options.quarantine_keep)
         .with("inner_jobs", ctx.inner_jobs);
@@ -259,6 +261,7 @@ fn decode_request(text: &str) -> Option<Request> {
         },
         dep_backend: DepBackend::parse(p.get("dep_backend")?.as_str()?)?,
         widening: WideningConfig::of(WideningStrategy::parse(p.get("widening")?.as_str()?)?),
+        triage: TriageMode::parse(p.get("triage")?.as_str()?)?,
         validate: p.get("validate")?.as_bool()?,
         quarantine_keep: p.get("quarantine_keep")?.as_u64()? as usize,
         // The worker itself always runs in thread mode: isolation does not
@@ -683,6 +686,7 @@ mod tests {
     fn request_roundtrips_through_the_sealed_envelope() {
         let options = PipelineOptions {
             validate: true,
+            triage: TriageMode::Octagon,
             faults: FaultPlan::parse("panic@0,oom@0=64,spin@0=10").unwrap(),
             worker_limits: WorkerLimits {
                 mem_mb: Some(512),
@@ -711,6 +715,7 @@ mod tests {
         assert_eq!(req.faults.spin_ms, Some(10));
         assert!(!req.faults.abort);
         assert!(req.options.validate);
+        assert_eq!(req.options.triage, TriageMode::Octagon);
         assert_eq!(req.options.isolation, IsolationMode::Thread);
     }
 

@@ -53,6 +53,7 @@ fn staged_schedule_matches_sequential_analyzer() {
         DepGenOptions::default(),
         DepBackend::default(),
         WideningConfig::default(),
+        sga_core::triage::TriageMode::default(),
         &Budget::unbounded(),
         &timers,
     );
@@ -70,6 +71,7 @@ fn staged_schedule_matches_sequential_analyzer() {
     sga_core::triage::discharge(
         &program,
         &pre,
+        &reference,
         &mut reference_diags,
         &sga_core::triage::TriageOptions {
             budget: sga_core::triage::derived_budget(

@@ -446,6 +446,55 @@ fn warm_restart_replays_the_round_journal() {
     let _ = std::fs::remove_dir_all(&cache);
 }
 
+/// Switching `--triage` between daemon restarts must not replay the other
+/// mode's journal: a record written under `octagon` carries that mode in
+/// its unit cache key, so a `both` resume recomputes every unit (and vice
+/// versa), while a same-mode resume still warm-restores everything. A
+/// stale replay here would resurrect diagnostics the new mode would have
+/// discharged (or vice versa) — the report must instead match a cold run
+/// under the *new* mode.
+#[test]
+fn triage_mode_switch_invalidates_the_round_journal() {
+    use sga_core::triage::TriageMode;
+    let dir = corpus("triage-switch", &[("lib.c", LIB), ("app.c", APP)]);
+    let cache =
+        std::env::temp_dir().join(format!("sga-hostile-triage-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+    let with_mode = |mode| PipelineOptions {
+        cache_dir: Some(cache.clone()),
+        triage: mode,
+        ..PipelineOptions::default()
+    };
+
+    let engine = Engine::new(&dir, &with_mode(TriageMode::Octagon)).expect("engine");
+    drop(engine);
+
+    // Same mode: both units warm-resume from the journal.
+    let same = Engine::open(&dir, &with_mode(TriageMode::Octagon), true).expect("same-mode resume");
+    assert_eq!(same.resumed_units(), 2, "same mode should warm-resume");
+    drop(same);
+
+    // Mode switch: every journal record's key misses, so nothing resumes,
+    // and the rebuilt report matches a cold run under the new mode.
+    let switched = Engine::open(&dir, &with_mode(TriageMode::Both), true).expect("switched resume");
+    assert_eq!(
+        switched.resumed_units(),
+        0,
+        "journal records from --triage octagon must not replay under both"
+    );
+    let report = switched.report().expect("report").to_pretty();
+    let cold = cold_report(&dir, &with_mode(TriageMode::Both))
+        .expect("cold run")
+        .to_pretty();
+    assert_eq!(
+        report, cold,
+        "post-switch resume must converge on the new mode"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
 /// Client deadlines: a `status` against a listener that accepts and then
 /// never replies errors out within the timeout instead of hanging.
 #[test]

@@ -3,17 +3,19 @@
 //! ```text
 //! sga <file.c> [--engine vanilla|base|sparse] [--domain interval|octagon]
 //!              [--widening naive|threshold|delayed] [--dep-backend bdd|csr]
-//!              [--max-steps N] [--timeout-ms N]
+//!              [--triage octagon|path|both] [--max-steps N] [--timeout-ms N]
 //!              [--check] [--dump-ir] [--dump-values] [--stats]
 //! sga check <file.c> [--sarif FILE] [--engine vanilla|base|sparse]
 //!           [--widening naive|threshold|delayed] [--dep-backend bdd|csr]
+//!           [--triage octagon|path|both]
 //!           [--max-steps N] [--timeout-ms N] [--isolation thread|process]
 //!           [--worker-mem-mb N] [--worker-timeout-ms N]
 //! sga analyze <dir> | --corpus units=N,kloc=K,seed=S
 //!             [--jobs N (0=auto)] [--cache-dir D] [--no-cache] [--canonical]
 //!             [--cache-max-entries N]
 //!             [--no-bypass] [--widening naive|threshold|delayed]
-//!             [--dep-backend bdd|csr] [--isolation thread|process]
+//!             [--dep-backend bdd|csr] [--triage octagon|path|both]
+//!             [--isolation thread|process]
 //!             [--worker-mem-mb N] [--worker-timeout-ms N]
 //!             [--keep-going | --fail-fast] [--max-steps N] [--timeout-ms N]
 //!             [--resume] [--validate] [--journal-dir D]
@@ -23,6 +25,7 @@
 //!           [--poll-ms N] [--jobs N (0=auto)] [--cache-dir D] [--no-cache]
 //!           [--cache-max-entries N] [--no-bypass]
 //!           [--widening naive|threshold|delayed] [--dep-backend bdd|csr]
+//!           [--triage octagon|path|both]
 //!           [--max-steps N] [--timeout-ms N] [--isolation thread|process]
 //!           [--worker-mem-mb N] [--worker-timeout-ms N]
 //!           [--resume] [--journal-dir D] [--queue-cap N] [--sub-queue-cap N]
@@ -40,6 +43,20 @@
 //! relationally-refuted ones to *discharged*), prints the structured
 //! diagnostics, and with `--sarif` writes a SARIF 2.1.0 log (validated
 //! against the vendored schema before it is written).
+//!
+//! `--triage octagon|path|both` (default `both`) selects the discharge
+//! layers: `octagon` re-runs possible alarms against the packed octagon
+//! relations only; `path` walks the dominator tree from each alarm to its
+//! procedure entry and discharges alarms whose dominating `assume` guard
+//! chain is infeasible under the interval bindings (a dead guard, or a
+//! contradictory conjunction of stable guards); `both` layers the path
+//! pass after the octagon pass, so its discharged set is a superset by
+//! construction. Every path discharge carries a `path_infeasible` proving
+//! pack naming the guard chain with branch polarities and the refuting
+//! domain fact. Definite alarms are never triaged, and a budget-degraded
+//! unit skips the path layer. The mode is part of the unit cache key —
+//! switching `--triage` between runs (or daemon restarts) never replays
+//! another mode's cached or journaled diagnostics.
 //!
 //! `sga analyze` runs the batch pipeline over every `*.c` file in a
 //! directory (or over a generated corpus) and prints a JSON run report.
@@ -131,7 +148,7 @@
 use sga::analysis::budget::Budget;
 use sga::analysis::depstore::DepBackend;
 use sga::analysis::interval::{self, AnalyzeOptions, Engine};
-use sga::analysis::triage::{self, TriageOptions};
+use sga::analysis::triage::{self, TriageMode, TriageOptions};
 use sga::analysis::widening::{WideningConfig, WideningStrategy};
 use sga::analysis::{checker, octagon, preanalysis};
 use sga::diag::Diagnostic;
@@ -146,6 +163,7 @@ struct Options {
     domain: Domain,
     widening: WideningConfig,
     dep_backend: DepBackend,
+    triage: TriageMode,
     budget: Budget,
     check: bool,
     dump_ir: bool,
@@ -162,7 +180,7 @@ enum Domain {
 const USAGE: &str = "usage: sga <file.c> [--engine vanilla|base|sparse] \
                      [--domain interval|octagon] \
                      [--widening naive|threshold|delayed] \
-                     [--dep-backend bdd|csr] \
+                     [--dep-backend bdd|csr] [--triage octagon|path|both] \
                      [--max-steps N] [--timeout-ms N] [--check] [--dump-ir] \
                      [--dump-values] [--stats]";
 
@@ -178,6 +196,7 @@ fn parse_args() -> Result<Options, String> {
     let mut domain = Domain::Interval;
     let mut widening = WideningConfig::default();
     let mut dep_backend = DepBackend::default();
+    let mut triage_mode = TriageMode::default();
     let mut budget = Budget::unbounded();
     let (mut check, mut dump_ir, mut dump_values, mut stats) = (false, false, false, false);
     let mut args = std::env::args().skip(1);
@@ -210,6 +229,12 @@ fn parse_args() -> Result<Options, String> {
                     None => return Err("bad --dep-backend (bdd|csr)".to_string()),
                 }
             }
+            "--triage" => {
+                triage_mode = match args.next().as_deref().and_then(TriageMode::parse) {
+                    Some(m) => m,
+                    None => return Err("bad --triage (octagon|path|both)".to_string()),
+                }
+            }
             "--max-steps" => budget.max_steps = Some(num_flag("--max-steps", args.next())?),
             "--timeout-ms" => budget.timeout_ms = Some(num_flag("--timeout-ms", args.next())?),
             "--check" => check = true,
@@ -228,6 +253,7 @@ fn parse_args() -> Result<Options, String> {
         domain,
         widening,
         dep_backend,
+        triage: triage_mode,
         budget,
         check,
         dump_ir,
@@ -240,7 +266,7 @@ const ANALYZE_USAGE: &str = "usage: sga analyze <dir> | --corpus units=N,kloc=K,
                              [--jobs N (0=auto)] [--cache-dir D] [--no-cache] [--canonical] \
                              [--cache-max-entries N] \
                              [--no-bypass] [--widening naive|threshold|delayed] \
-                             [--dep-backend bdd|csr] \
+                             [--dep-backend bdd|csr] [--triage octagon|path|both] \
                              [--isolation thread|process] [--worker-mem-mb N] \
                              [--worker-timeout-ms N] \
                              [--keep-going | --fail-fast] \
@@ -330,6 +356,12 @@ fn parse_analyze_args(
                 opts.dep_backend = match args.next().as_deref().and_then(DepBackend::parse) {
                     Some(b) => b,
                     None => return Err("bad --dep-backend (bdd|csr)".to_string()),
+                }
+            }
+            "--triage" => {
+                opts.triage = match args.next().as_deref().and_then(TriageMode::parse) {
+                    Some(m) => m,
+                    None => return Err("bad --triage (octagon|path|both)".to_string()),
                 }
             }
             "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
@@ -446,12 +478,14 @@ fn run_analyze(args: impl Iterator<Item = String>) -> ExitCode {
 /// Runs all four checkers over an analyzed program and triages the
 /// possible interval alarms against the octagon analysis. Shared by
 /// `sga check` and single-file `--check`.
+#[allow(clippy::too_many_arguments)]
 fn diagnose(
     program: &sga::ir::Program,
     result: &interval::IntervalResult,
     engine: Engine,
     widening: WideningConfig,
     dep_backend: DepBackend,
+    triage_mode: TriageMode,
     budget: &Budget,
 ) -> (Vec<Diagnostic>, triage::TriageStats) {
     let pre = preanalysis::run(program);
@@ -459,12 +493,14 @@ fn diagnose(
     let stats = triage::discharge(
         program,
         &pre,
+        result,
         &mut diags,
         &TriageOptions {
             engine,
             widening,
             dep_backend,
             budget: triage::derived_budget(result.stats.iterations, budget),
+            mode: triage_mode,
             ..TriageOptions::default()
         },
     );
@@ -480,8 +516,11 @@ fn print_diagnostics(diags: &[Diagnostic], stats: &triage::TriageStats) -> bool 
     let open = diags.iter().filter(|d| d.is_open()).count();
     let definite = diags.iter().filter(|d| d.is_open() && d.definite).count();
     println!(
-        "{open} open alarm(s) ({definite} definite), {} discharged by octagon triage",
-        stats.discharged
+        "{open} open alarm(s) ({definite} definite), {} discharged by triage \
+         ({} octagon, {} path-infeasible)",
+        stats.discharged,
+        stats.discharged - stats.discharged_path,
+        stats.discharged_path,
     );
     definite > 0
 }
@@ -489,7 +528,7 @@ fn print_diagnostics(diags: &[Diagnostic], stats: &triage::TriageStats) -> bool 
 const CHECK_USAGE: &str = "usage: sga check <file.c> [--sarif FILE] \
                            [--engine vanilla|base|sparse] \
                            [--widening naive|threshold|delayed] \
-                           [--dep-backend bdd|csr] \
+                           [--dep-backend bdd|csr] [--triage octagon|path|both] \
                            [--max-steps N] [--timeout-ms N] \
                            [--isolation thread|process] [--worker-mem-mb N] \
                            [--worker-timeout-ms N]";
@@ -498,11 +537,13 @@ const CHECK_USAGE: &str = "usage: sga check <file.c> [--sarif FILE] \
 /// supervised worker process (the sparse batch path), so a file that
 /// aborts or exhausts memory yields a diagnosable exit instead of killing
 /// the CLI.
+#[allow(clippy::too_many_arguments)]
 fn run_check_isolated(
     file: &str,
     source: String,
     widening: WideningConfig,
     dep_backend: DepBackend,
+    triage_mode: TriageMode,
     budget: Budget,
     limits: sga::analysis::budget::WorkerLimits,
     sarif_out: Option<PathBuf>,
@@ -516,6 +557,7 @@ fn run_check_isolated(
         worker_limits: limits,
         widening,
         dep_backend,
+        triage: triage_mode,
         budget,
         ..PipelineOptions::default()
     };
@@ -536,10 +578,23 @@ fn run_check_isolated(
     }
     let diags = analysis.diags;
     let discharged = diags.iter().filter(|d| !d.is_open()).count();
+    let discharged_path = diags
+        .iter()
+        .filter(|d| {
+            matches!(
+                &d.status,
+                sga::diag::Status::Discharged {
+                    method: sga::diag::DischargeMethod::PathInfeasible,
+                    ..
+                }
+            )
+        })
+        .count();
     let stats = triage::TriageStats {
         candidates: diags.iter().filter(|d| d.is_open() && !d.definite).count() + discharged,
         discharged,
-        octagon_ran: discharged > 0,
+        discharged_path,
+        octagon_ran: discharged > discharged_path,
         degraded: analysis.triage_degraded,
     };
     let definite = print_diagnostics(&diags, &stats);
@@ -583,6 +638,7 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
     let mut engine_set = false;
     let mut widening = WideningConfig::default();
     let mut dep_backend = DepBackend::default();
+    let mut triage_mode = TriageMode::default();
     let mut budget = Budget::unbounded();
     let mut isolation = IsolationMode::Thread;
     let mut limits = sga::analysis::budget::WorkerLimits::unbounded();
@@ -616,6 +672,12 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
                 dep_backend = match args.next().as_deref().and_then(DepBackend::parse) {
                     Some(b) => b,
                     None => return err("bad --dep-backend (bdd|csr)".into()),
+                }
+            }
+            "--triage" => {
+                triage_mode = match args.next().as_deref().and_then(TriageMode::parse) {
+                    Some(m) => m,
+                    None => return err("bad --triage (octagon|path|both)".into()),
                 }
             }
             "--max-steps" => match num_flag("--max-steps", args.next()) {
@@ -658,7 +720,16 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
         if engine_set && engine != Engine::Sparse {
             return err("--isolation process runs the sparse engine only".into());
         }
-        return run_check_isolated(&file, src, widening, dep_backend, budget, limits, sarif_out);
+        return run_check_isolated(
+            &file,
+            src,
+            widening,
+            dep_backend,
+            triage_mode,
+            budget,
+            limits,
+            sarif_out,
+        );
     }
     let program = match sga::frontend::parse(&src) {
         Ok(p) => p,
@@ -677,7 +748,15 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
     if result.stats.degraded {
         eprintln!("sga: analysis budget exhausted; result degraded soundly");
     }
-    let (diags, stats) = diagnose(&program, &result, engine, widening, dep_backend, &budget);
+    let (diags, stats) = diagnose(
+        &program,
+        &result,
+        engine,
+        widening,
+        dep_backend,
+        triage_mode,
+        &budget,
+    );
     let definite = print_diagnostics(&diags, &stats);
     if let Some(path) = sarif_out {
         if let Some(code) = write_sarif(&file, &diags, &path) {
@@ -779,7 +858,7 @@ const SERVE_USAGE: &str = "usage: sga serve <dir> [--tcp ADDR] [--unix PATH] \
                            [--port-file FILE] [--poll-ms N] [--jobs N (0=auto)] \
                            [--cache-dir D] [--no-cache] [--cache-max-entries N] \
                            [--no-bypass] [--widening naive|threshold|delayed] \
-                           [--dep-backend bdd|csr] \
+                           [--dep-backend bdd|csr] [--triage octagon|path|both] \
                            [--max-steps N] [--timeout-ms N] \
                            [--resume] [--journal-dir D] [--queue-cap N] \
                            [--sub-queue-cap N] [--write-deadline-ms N] \
@@ -846,6 +925,12 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> ExitCode {
                 opts.dep_backend = match args.next().as_deref().and_then(DepBackend::parse) {
                     Some(b) => b,
                     None => return err("bad --dep-backend (bdd|csr)".into()),
+                }
+            }
+            "--triage" => {
+                opts.triage = match args.next().as_deref().and_then(TriageMode::parse) {
+                    Some(m) => m,
+                    None => return err("bad --triage (octagon|path|both)".into()),
                 }
             }
             "--max-steps" => match num_flag("--max-steps", args.next()) {
@@ -1176,6 +1261,7 @@ fn main() -> ExitCode {
                     opts.engine,
                     opts.widening,
                     opts.dep_backend,
+                    opts.triage,
                     &opts.budget,
                 );
                 definite = print_diagnostics(&diags, &tstats);

@@ -1,0 +1,19 @@
+/* Mixed polarities along the chain: the alarm sits under the *else* of
+ * n >= 0 (so n < 0 holds there) and then under n > 5 — contradictory,
+ * so the possible deref is path-discharged with a two-guard pack. */
+int g;
+
+int main(int n, int c) {
+    int *p = 0;
+    if (c) {
+        p = &g;
+    }
+    if (n >= 0) {
+        n = n + 1;
+    } else {
+        if (n > 5) {
+            *p = 1;
+        }
+    }
+    return n;
+}

@@ -1,0 +1,18 @@
+/* Two dominating guards on the same variable contradict each other:
+ * inside n > 5 the refined value [6, +oo] makes n < 3 dead, so the
+ * nested possible null dereference is path-discharged. The octagon
+ * pass has no relation to offer here — p may genuinely be null. */
+int g;
+
+int main(int n, int c) {
+    int *p = 0;
+    if (c) {
+        p = &g;
+    }
+    if (n > 5) {
+        if (n < 3) {
+            *p = 1;
+        }
+    }
+    return 0;
+}

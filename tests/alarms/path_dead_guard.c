@@ -1,0 +1,16 @@
+/* The deref is dominated by the guard x > 10, but x is the constant 3:
+ * the guard can never hold, so the path layer discharges the possible
+ * null dereference the interval checker still raises. */
+int g;
+
+int main(int c) {
+    int x = 3;
+    int *p = 0;
+    if (c) {
+        p = &g;
+    }
+    if (x > 10) {
+        *p = 1;
+    }
+    return 0;
+}

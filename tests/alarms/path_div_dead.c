@@ -1,0 +1,11 @@
+/* A possible division by zero (the divisor is an unconstrained
+ * parameter) inside a branch whose guard is constant-false. Only the
+ * path layer can discharge it — no relation constrains d. */
+int main(int d) {
+    int x = 3;
+    int r = 0;
+    if (x > 10) {
+        r = 100 / d;
+    }
+    return r;
+}

@@ -1,0 +1,18 @@
+/* The deref sits in the else branch, so the dominating guard is the
+ * negation !(x < 10); with x the constant 3 that negation never holds.
+ * Pins the else polarity in the proving pack. */
+int g;
+
+int main(int c) {
+    int x = 3;
+    int *p = 0;
+    if (c) {
+        p = &g;
+    }
+    if (x < 10) {
+        x = x + 1;
+    } else {
+        *p = 1;
+    }
+    return x;
+}

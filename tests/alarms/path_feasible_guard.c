@@ -1,0 +1,16 @@
+/* A perfectly feasible dominating guard: c > 0 is satisfiable, so the
+ * possible null dereference under it must stay open under every triage
+ * mode — the path layer refutes only contradictions, never mere
+ * uncertainty. */
+int g;
+
+int main(int c) {
+    int *p = 0;
+    if (c > 3) {
+        p = &g;
+    }
+    if (c > 0) {
+        *p = 1;
+    }
+    return 0;
+}

@@ -1,0 +1,22 @@
+/* A loop-carried guard must never be path-discharged: the guard i < n
+ * holds on entry to each iteration, the body writes i, and the access
+ * is genuinely reachable. The alarm (offset top vs size [1, +oo]) is
+ * octagon-discharged in `both` mode, and must simply stay open in
+ * `path` mode — no false path refutation. */
+int probe(int n) {
+    int s = 0;
+    if (n > 0) {
+        int *buf = malloc(n);
+        int i = 0;
+        while (i < n) {
+            buf[i] = i;
+            i = i + 2;
+        }
+        s = i;
+    }
+    return s;
+}
+
+int main(int argc) {
+    return probe(argc);
+}

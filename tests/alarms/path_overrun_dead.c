@@ -1,0 +1,12 @@
+/* A possible (index unknown) buffer overrun under a guard that can
+ * never hold: the path layer discharges it; the octagon pass cannot,
+ * because i really is unconstrained. */
+int main(int i) {
+    int a[4];
+    int x = 3;
+    a[0] = 0;
+    if (x > 10) {
+        a[i] = 1;
+    }
+    return a[0];
+}

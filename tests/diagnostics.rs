@@ -1,9 +1,13 @@
 //! Golden alarm corpus and diagnostic-subsystem invariants.
 //!
-//! `tests/alarms/` holds ten small C files, each annotated with the
+//! `tests/alarms/` holds eighteen small C files, each annotated with the
 //! alarms it should raise. Every file has a `.expected` sidecar listing
 //! the exact diagnostics (fingerprint, triage status, rendering). The
-//! tests here pin four properties of the triage subsystem:
+//! `path_*.c` family exercises the path-condition layer: dead dominating
+//! guards, contradictory guard chains, and — just as important — guards
+//! that are loop-carried or merely uncertain and must *never* be
+//! path-discharged. The tests here pin four properties of the triage
+//! subsystem:
 //!
 //! 1. **Engine/widening agreement.** Both fixpoint engines and all three
 //!    widening strategies produce byte-identical diagnostics — sparse
@@ -22,10 +26,10 @@ use std::path::{Path, PathBuf};
 
 use sga::analysis::budget::Budget;
 use sga::analysis::interval::{self, AnalyzeOptions, Engine};
-use sga::analysis::triage::{self, TriageOptions};
+use sga::analysis::triage::{self, TriageMode, TriageOptions};
 use sga::analysis::widening::{WideningConfig, WideningStrategy};
 use sga::analysis::{checker, preanalysis};
-use sga::diag::{sarif, schema, Diagnostic, Status};
+use sga::diag::{sarif, schema, Diagnostic, DischargeMethod, Status};
 use sga::pipeline::{self, PipelineOptions, Project};
 use sga::utils::Json;
 
@@ -40,11 +44,24 @@ fn corpus_files() -> Vec<PathBuf> {
         .filter(|p| p.extension().is_some_and(|e| e == "c"))
         .collect();
     files.sort();
-    assert_eq!(files.len(), 10, "golden corpus should hold ten C files");
+    assert_eq!(
+        files.len(),
+        18,
+        "golden corpus should hold eighteen C files"
+    );
     files
 }
 
 fn diagnose(src: &str, engine: Engine, widening: WideningConfig) -> Vec<Diagnostic> {
+    diagnose_with(src, engine, widening, TriageMode::default())
+}
+
+fn diagnose_with(
+    src: &str,
+    engine: Engine,
+    widening: WideningConfig,
+    mode: TriageMode,
+) -> Vec<Diagnostic> {
     let program = sga::frontend::parse(src).expect("corpus file must parse");
     let pre = preanalysis::run(&program);
     let result = interval::analyze_with(
@@ -59,11 +76,13 @@ fn diagnose(src: &str, engine: Engine, widening: WideningConfig) -> Vec<Diagnost
     triage::discharge(
         &program,
         &pre,
+        &result,
         &mut diags,
         &TriageOptions {
             engine,
             widening,
             budget: triage::derived_budget(result.stats.iterations, &Budget::unbounded()),
+            mode,
             ..Default::default()
         },
     );
@@ -76,7 +95,9 @@ fn render(diags: &[Diagnostic]) -> String {
     for d in diags {
         let status = match &d.status {
             Status::Open => "open".to_string(),
-            Status::Discharged { pack, .. } => format!("discharged[{pack}]"),
+            Status::Discharged { method, pack, .. } => {
+                format!("discharged[{}:{pack}]", method.id())
+            }
         };
         writeln!(out, "{:016x} {status} {d}", d.fingerprint).unwrap();
     }
@@ -163,6 +184,105 @@ fn triage_discharges_possible_alarms_and_keeps_definite_ones() {
         discharged_files.len() >= 3,
         "expected octagon discharges in at least three corpus files, got {discharged_files:?}"
     );
+}
+
+/// The `path_*.c` family, checked by name: the dead-guard and
+/// contradictory-chain cases are discharged by the path layer (with a
+/// proving pack naming the guard chain), while the loop-carried and
+/// feasible-guard cases must never be — and octagon-only mode leaves
+/// every path-only discharge open, so `both` is a strict superset.
+#[test]
+fn path_corpus_cases_discharge_by_name() {
+    let path_discharged = [
+        "path_dead_guard.c",
+        "path_contra_null.c",
+        "path_else_dead.c",
+        "path_overrun_dead.c",
+        "path_div_dead.c",
+        "path_chain.c",
+    ];
+    let never_path_discharged = ["path_loop_carried.c", "path_feasible_guard.c"];
+
+    for name in path_discharged {
+        let src = std::fs::read_to_string(corpus_dir().join(name)).unwrap();
+        let diags = diagnose(&src, Engine::Sparse, WideningConfig::default());
+        assert_eq!(diags.len(), 1, "{name}: expected exactly one alarm");
+        let Status::Discharged {
+            method,
+            pack,
+            reason,
+        } = &diags[0].status
+        else {
+            panic!("{name}: alarm should be path-discharged: {}", diags[0]);
+        };
+        assert_eq!(
+            *method,
+            DischargeMethod::PathInfeasible,
+            "{name}: wrong discharge method"
+        );
+        assert!(
+            pack.contains('@') && pack.contains('('),
+            "{name}: proving pack must name the guard chain, got {pack:?}"
+        );
+        assert!(
+            reason.contains("never holds") || reason.contains("conflict"),
+            "{name}: reason must state the infeasibility, got {reason:?}"
+        );
+
+        // Octagon-only mode cannot reach these: the alarm stays open.
+        let octagon = diagnose_with(
+            &src,
+            Engine::Sparse,
+            WideningConfig::default(),
+            TriageMode::Octagon,
+        );
+        assert!(
+            octagon.iter().all(Diagnostic::is_open),
+            "{name}: octagon-only mode should leave the alarm open"
+        );
+    }
+
+    // Polarity spot checks: the else-branch cases carry `else@` in the
+    // pack, the then-branch cases `then@`.
+    for (name, label) in [
+        ("path_dead_guard.c", "then@"),
+        ("path_else_dead.c", "else@"),
+        ("path_chain.c", "else@"),
+    ] {
+        let src = std::fs::read_to_string(corpus_dir().join(name)).unwrap();
+        let diags = diagnose(&src, Engine::Sparse, WideningConfig::default());
+        let Status::Discharged { pack, .. } = &diags[0].status else {
+            panic!("{name}: expected a discharge");
+        };
+        assert!(pack.contains(label), "{name}: pack {pack:?} lacks {label}");
+    }
+
+    for name in never_path_discharged {
+        let src = std::fs::read_to_string(corpus_dir().join(name)).unwrap();
+        // In path-only mode nothing may be discharged at all.
+        let path_only = diagnose_with(
+            &src,
+            Engine::Sparse,
+            WideningConfig::default(),
+            TriageMode::Path,
+        );
+        assert!(!path_only.is_empty(), "{name}: expected an alarm");
+        assert!(
+            path_only.iter().all(Diagnostic::is_open),
+            "{name}: the path layer must not discharge a feasible guard"
+        );
+        // And in both mode any discharge must come from the octagon.
+        let both = diagnose(&src, Engine::Sparse, WideningConfig::default());
+        for d in &both {
+            if let Status::Discharged { method, .. } = &d.status {
+                assert_eq!(
+                    *method,
+                    DischargeMethod::Octagon,
+                    "{name}: unexpected path discharge: {d}"
+                );
+            }
+        }
+    }
 }
 
 #[test]

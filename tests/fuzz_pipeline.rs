@@ -321,6 +321,96 @@ proptest! {
         }
     }
 
+    /// Triage-mode lattice: over seeded generated programs, the alarms
+    /// discharged by `--triage both` must be a superset of those discharged
+    /// by `--triage octagon` (and of `path`) — the layered pass only ever
+    /// adds discharges. And the set of *definite* alarms is untouchable: its
+    /// fingerprint set is byte-identical across every triage mode and both
+    /// dependency backends.
+    #[test]
+    fn triage_modes_form_a_superset_lattice(config in arb_config()) {
+        use sga::analysis::triage::{self, TriageMode, TriageOptions};
+        use sga::analysis::{checker, preanalysis};
+        use sga::analysis::budget::Budget;
+        use std::collections::BTreeSet;
+
+        let src = sga::cgen::generate(&config);
+        let program = sga::frontend::parse(&src)
+            .unwrap_or_else(|e| panic!("generated source must parse: {e}"));
+        let pre = preanalysis::run(&program);
+
+        let mut discharged: std::collections::BTreeMap<&str, BTreeSet<u64>> =
+            Default::default();
+        let mut definite_renderings: BTreeSet<String> = Default::default();
+        for backend in [DepBackend::Csr, DepBackend::Bdd] {
+            let result = analyze_with(
+                &program,
+                Engine::Sparse,
+                AnalyzeOptions {
+                    dep_backend: backend,
+                    ..AnalyzeOptions::default()
+                },
+            );
+            for mode in [TriageMode::Octagon, TriageMode::Path, TriageMode::Both] {
+                let mut diags = checker::check_all(&program, &result, &pre);
+                triage::discharge(
+                    &program,
+                    &pre,
+                    &result,
+                    &mut diags,
+                    &TriageOptions {
+                        dep_backend: backend,
+                        budget: triage::derived_budget(
+                            result.stats.iterations,
+                            &Budget::unbounded(),
+                        ),
+                        mode,
+                        ..TriageOptions::default()
+                    },
+                );
+                let fps: BTreeSet<u64> = diags
+                    .iter()
+                    .filter(|d| !d.is_open())
+                    .map(|d| d.fingerprint)
+                    .collect();
+                // The same mode must discharge the same alarms over either
+                // backend; accumulate via union and check against both.
+                let entry = discharged.entry(mode.name()).or_default();
+                prop_assert!(
+                    entry.is_empty() || *entry == fps,
+                    "seed {}: {} discharges differ across dep backends",
+                    config.seed,
+                    mode.name()
+                );
+                *entry = fps;
+                let definite: String = diags
+                    .iter()
+                    .filter(|d| d.definite)
+                    .map(|d| format!("{:016x} {d}\n", d.fingerprint))
+                    .collect();
+                definite_renderings.insert(definite);
+            }
+        }
+        let octagon = &discharged["octagon"];
+        let path = &discharged["path"];
+        let both = &discharged["both"];
+        prop_assert!(
+            octagon.is_subset(both),
+            "seed {}: both-mode lost octagon discharges",
+            config.seed
+        );
+        prop_assert!(
+            path.is_subset(both),
+            "seed {}: both-mode lost path discharges",
+            config.seed
+        );
+        prop_assert!(
+            definite_renderings.len() == 1,
+            "seed {}: definite alarms differ across triage modes or backends",
+            config.seed
+        );
+    }
+
     /// Under the default `delayed` strategy the §5 bypass contraction is a
     /// pure optimization: bypass on/off produce bit-identical bindings.
     #[test]
